@@ -1,0 +1,192 @@
+// Google-benchmark microbenchmarks over the hot kernels: RAID encode /
+// decode, GF(2^8) multiply-accumulate, AES-128-CTR, SHA-256, the chunker,
+// the misleading codec, the DHT ring, and the end-to-end distributor
+// put/get paths. These are the per-operation costs behind the E4/E7/E8
+// tables.
+#include <benchmark/benchmark.h>
+
+#include "core/chunker.hpp"
+#include "core/distributor.hpp"
+#include "core/misleading.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/gf256.hpp"
+#include "crypto/sha256.hpp"
+#include "dht/ring.hpp"
+#include "raid/raid.hpp"
+#include "storage/provider_registry.hpp"
+
+namespace {
+
+using namespace cshield;
+
+Bytes payload_of(std::size_t n) {
+  Rng rng(n + 1);
+  Bytes data(n);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  return data;
+}
+
+void BM_Gf256MulAdd(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Bytes src = payload_of(n);
+  Bytes dst = payload_of(n + 1);
+  dst.resize(n);
+  for (auto _ : state) {
+    gf256::mul_add(0x57, src.data(), dst.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Gf256MulAdd)->Arg(4096)->Arg(1 << 20);
+
+void BM_RaidEncode(benchmark::State& state) {
+  const auto level = static_cast<raid::RaidLevel>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const raid::StripeLayout layout =
+      level == raid::RaidLevel::kRaid1
+          ? raid::StripeLayout::make(level, 1, 2)
+          : raid::StripeLayout::make(level, 4);
+  const Bytes data = payload_of(n);
+  for (auto _ : state) {
+    raid::EncodedStripe stripe = raid::encode(layout, data);
+    benchmark::DoNotOptimize(stripe.shards.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(std::string(raid::raid_level_name(level)));
+}
+BENCHMARK(BM_RaidEncode)
+    ->Args({static_cast<int>(raid::RaidLevel::kRaid0), 1 << 20})
+    ->Args({static_cast<int>(raid::RaidLevel::kRaid1), 1 << 20})
+    ->Args({static_cast<int>(raid::RaidLevel::kRaid5), 1 << 20})
+    ->Args({static_cast<int>(raid::RaidLevel::kRaid6), 1 << 20});
+
+void BM_RaidDecodeWorstCase(benchmark::State& state) {
+  const auto level = static_cast<raid::RaidLevel>(state.range(0));
+  const raid::StripeLayout layout = raid::StripeLayout::make(level, 4);
+  const Bytes data = payload_of(1 << 20);
+  const raid::EncodedStripe stripe = raid::encode(layout, data);
+  std::vector<std::optional<Bytes>> shards(stripe.shards.begin(),
+                                           stripe.shards.end());
+  for (std::size_t e = 0; e < layout.fault_tolerance(); ++e) shards[e].reset();
+  for (auto _ : state) {
+    Result<Bytes> r = raid::decode(layout, shards, stripe.original_size);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+  state.SetLabel(std::string(raid::raid_level_name(level)));
+}
+BENCHMARK(BM_RaidDecodeWorstCase)
+    ->Arg(static_cast<int>(raid::RaidLevel::kRaid5))
+    ->Arg(static_cast<int>(raid::RaidLevel::kRaid6));
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = payload_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    crypto::Digest d = crypto::sha256(data);
+    benchmark::DoNotOptimize(d.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1024)->Arg(1 << 20);
+
+void BM_Aes128Ctr(benchmark::State& state) {
+  const Bytes data = payload_of(static_cast<std::size_t>(state.range(0)));
+  const crypto::AesKey key = {1, 2, 3, 4, 5, 6, 7, 8,
+                              9, 10, 11, 12, 13, 14, 15, 16};
+  for (auto _ : state) {
+    Bytes ct = crypto::aes128_ctr(key, 7, data);
+    benchmark::DoNotOptimize(ct.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Aes128Ctr)->Arg(1024)->Arg(1 << 18);
+
+void BM_SplitFile(benchmark::State& state) {
+  const Bytes data = payload_of(static_cast<std::size_t>(state.range(0)));
+  const core::ChunkSizePolicy policy;
+  for (auto _ : state) {
+    auto chunks = core::split_file(data, PrivacyLevel::kHigh, policy);
+    benchmark::DoNotOptimize(chunks.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SplitFile)->Arg(1 << 20);
+
+void BM_MisleadingInject(benchmark::State& state) {
+  const Bytes data = payload_of(1 << 16);
+  Rng rng(3);
+  for (auto _ : state) {
+    auto enc = core::MisleadingCodec::inject(data, 0.2, rng);
+    benchmark::DoNotOptimize(enc.data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_MisleadingInject);
+
+void BM_RingLookup(benchmark::State& state) {
+  dht::HashRing ring(128);
+  for (ProviderIndex p = 0; p < 16; ++p) {
+    ring.add_provider(p, "provider" + std::to_string(p));
+  }
+  std::uint64_t key = 1;
+  for (auto _ : state) {
+    key = mix64(key);
+    benchmark::DoNotOptimize(ring.lookup(key));
+  }
+}
+BENCHMARK(BM_RingLookup);
+
+void BM_DistributorPutFile(benchmark::State& state) {
+  storage::ProviderRegistry registry = storage::make_default_registry(12);
+  core::DistributorConfig config;
+  config.stripe_data_shards = 3;
+  core::CloudDataDistributor cdd(registry, config);
+  (void)cdd.register_client("bench");
+  (void)cdd.add_password("bench", "pw", PrivacyLevel::kHigh);
+  const Bytes data = payload_of(static_cast<std::size_t>(state.range(0)));
+  core::PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kLow;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    Status st = cdd.put_file("bench", "pw", "f" + std::to_string(i++), data,
+                             opts);
+    if (!st.ok()) state.SkipWithError(st.to_string().c_str());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DistributorPutFile)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_DistributorGetFile(benchmark::State& state) {
+  storage::ProviderRegistry registry = storage::make_default_registry(12);
+  core::DistributorConfig config;
+  config.stripe_data_shards = 3;
+  core::CloudDataDistributor cdd(registry, config);
+  (void)cdd.register_client("bench");
+  (void)cdd.add_password("bench", "pw", PrivacyLevel::kHigh);
+  const Bytes data = payload_of(static_cast<std::size_t>(state.range(0)));
+  core::PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kLow;
+  Status st = cdd.put_file("bench", "pw", "f", data, opts);
+  if (!st.ok()) {
+    state.SkipWithError(st.to_string().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    Result<Bytes> r = cdd.get_file("bench", "pw", "f");
+    if (!r.ok()) state.SkipWithError(r.status().to_string().c_str());
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DistributorGetFile)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace

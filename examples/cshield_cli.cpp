@@ -1,0 +1,232 @@
+// cshield_cli: a small command-line client driving a disk-backed CloudShield
+// deployment, the artifact a downstream user would script against.
+//
+// State lives under a root directory: one DiskStore per simulated provider
+// plus the serialized metadata tables, so the "cloud" persists across
+// invocations.
+//
+// Usage:
+//   cshield_cli <root> init [providers]
+//   cshield_cli <root> adduser <client> <password> <pl 0-3>
+//   cshield_cli <root> put <client> <password> <name> <local-file> <pl 0-3>
+//   cshield_cli <root> get <client> <password> <name> <local-file>
+//   cshield_cli <root> rm  <client> <password> <name>
+//   cshield_cli <root> ls
+//   cshield_cli <root> ls-files <client> <password>
+//   cshield_cli <root> repair
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <vector>
+
+#include "core/distributor.hpp"
+#include "core/metadata_io.hpp"
+#include "storage/disk_store.hpp"
+#include "storage/provider_registry.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cshield;
+namespace fs = std::filesystem;
+
+/// A cloud provider whose object store is a directory: SimCloudProvider
+/// models faults/latency in-memory, so for the CLI we persist via DiskStore
+/// mirrors -- every provider object is written through to disk on put and
+/// loaded back on startup.
+struct CliWorld {
+  fs::path root;
+  storage::ProviderRegistry registry;
+  std::vector<std::unique_ptr<storage::DiskStore>> disks;
+  std::shared_ptr<core::MetadataStore> metadata;
+  std::unique_ptr<core::CloudDataDistributor> cdd;
+
+  explicit CliWorld(fs::path r, std::size_t providers = 0) : root(std::move(r)) {
+    // Provider count: from init argument, or from the directory layout.
+    std::size_t n = providers;
+    if (n == 0) {
+      while (fs::exists(root / ("provider" + std::to_string(n)))) ++n;
+      CS_REQUIRE(n > 0, "no providers under " + root.string() +
+                            " -- run 'init' first");
+    }
+    registry = storage::make_default_registry(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      disks.push_back(std::make_unique<storage::DiskStore>(
+          root / ("provider" + std::to_string(p))));
+      // Load persisted objects back into the simulated provider.
+      for (VirtualId id : disks[p]->list_ids()) {
+        Result<Bytes> obj = disks[p]->get(id);
+        if (obj.ok()) (void)registry.at(p).put(id, obj.value());
+      }
+    }
+    // Metadata image, if present.
+    const fs::path meta_path = root / "metadata.bin";
+    if (fs::exists(meta_path)) {
+      std::ifstream in(meta_path, std::ios::binary | std::ios::ate);
+      Bytes image(static_cast<std::size_t>(in.tellg()));
+      in.seekg(0);
+      in.read(reinterpret_cast<char*>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+      Result<std::shared_ptr<core::MetadataStore>> restored =
+          core::deserialize_metadata(image);
+      CS_REQUIRE(restored.ok(), restored.status().to_string());
+      metadata = restored.value();
+    }
+    core::DistributorConfig config;
+    config.stripe_data_shards = 3;
+    config.misleading_fraction = 0.05;
+    // Unique-ish per process so restart never reuses virtual ids.
+    config.seed = 0xC11D ^ static_cast<std::uint64_t>(
+                               std::chrono::steady_clock::now()
+                                   .time_since_epoch()
+                                   .count());
+    cdd = std::make_unique<core::CloudDataDistributor>(registry, config,
+                                                       metadata);
+    metadata = cdd->metadata_ptr();
+  }
+
+  /// Persists metadata and mirrors every provider's objects to disk.
+  void sync() {
+    const Bytes image = core::serialize_metadata(*metadata);
+    std::ofstream out(root / "metadata.bin", std::ios::binary);
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+    for (std::size_t p = 0; p < registry.size(); ++p) {
+      // Mirror adds/removals.
+      std::set<VirtualId> live;
+      for (VirtualId id : registry.at(p).list_ids()) {
+        live.insert(id);
+        if (!disks[p]->contains(id)) {
+          Result<Bytes> obj = registry.at(p).get(id);
+          if (obj.ok()) (void)disks[p]->put(id, obj.value());
+        }
+      }
+      for (VirtualId id : disks[p]->list_ids()) {
+        if (live.count(id) == 0) (void)disks[p]->remove(id);
+      }
+    }
+  }
+};
+
+Bytes read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  CS_REQUIRE(static_cast<bool>(in), "cannot read " + path.string());
+  Bytes data(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  return data;
+}
+
+void write_file(const fs::path& path, BytesView data) {
+  std::ofstream out(path, std::ios::binary);
+  CS_REQUIRE(static_cast<bool>(out), "cannot write " + path.string());
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+int usage() {
+  std::cerr << "usage: cshield_cli <root> "
+               "init [n] | adduser <c> <pw> <pl> | put <c> <pw> <name> "
+               "<file> <pl> | get <c> <pw> <name> <file> | rm <c> <pw> "
+               "<name> | ls | ls-files <c> <pw> | repair\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const fs::path root = argv[1];
+  const std::string cmd = argv[2];
+  try {
+    if (cmd == "init") {
+      const std::size_t n = argc > 3 ? std::stoul(argv[3]) : 12;
+      fs::create_directories(root);
+      CliWorld world(root, n);
+      world.sync();
+      std::cout << "initialized " << n << " providers under " << root
+                << "\n";
+      return 0;
+    }
+    CliWorld world(root);
+    if (cmd == "adduser" && argc == 6) {
+      const std::string client = argv[3];
+      (void)world.cdd->register_client(client);  // idempotent enough
+      Status st = world.cdd->add_password(
+          client, argv[4], privacy_level_from_int(std::stoi(argv[5])));
+      std::cout << st.to_string() << "\n";
+      world.sync();
+      return st.ok() ? 0 : 1;
+    }
+    if (cmd == "put" && argc == 8) {
+      core::PutOptions opts;
+      opts.privacy_level = privacy_level_from_int(std::stoi(argv[7]));
+      core::OpReport report;
+      Status st = world.cdd->put_file(argv[3], argv[4], argv[5],
+                                      read_file(argv[6]), opts, &report);
+      std::cout << st.to_string() << " (" << report.chunks << " chunks, "
+                << report.shards << " shards, " << report.bytes_stored
+                << " B stored)\n";
+      world.sync();
+      return st.ok() ? 0 : 1;
+    }
+    if (cmd == "get" && argc == 7) {
+      Result<Bytes> data = world.cdd->get_file(argv[3], argv[4], argv[5]);
+      if (!data.ok()) {
+        std::cout << data.status().to_string() << "\n";
+        return 1;
+      }
+      write_file(argv[6], data.value());
+      std::cout << "OK (" << data.value().size() << " B)\n";
+      return 0;
+    }
+    if (cmd == "rm" && argc == 6) {
+      Status st = world.cdd->remove_file(argv[3], argv[4], argv[5]);
+      std::cout << st.to_string() << "\n";
+      world.sync();
+      return st.ok() ? 0 : 1;
+    }
+    if (cmd == "ls-files" && argc == 5) {
+      Result<std::vector<core::CloudDataDistributor::FileInfo>> files =
+          world.cdd->list_files(argv[3], argv[4]);
+      if (!files.ok()) {
+        std::cout << files.status().to_string() << "\n";
+        return 1;
+      }
+      TextTable t({"file", "PL", "chunks"});
+      for (const auto& f : files.value()) {
+        t.add(f.filename, level_index(f.privacy_level), f.chunks);
+      }
+      t.print(std::cout);
+      return 0;
+    }
+    if (cmd == "ls") {
+      TextTable t({"Cloud Provider", "PL", "CL", "Count", "Bytes"});
+      const auto table = world.metadata->provider_table();
+      for (std::size_t p = 0; p < table.size(); ++p) {
+        t.add(table[p].name, level_index(table[p].privacy_level),
+              level_index(table[p].cost_level), table[p].count(),
+              world.registry.at(p).bytes_stored());
+      }
+      t.print(std::cout);
+      return 0;
+    }
+    if (cmd == "repair") {
+      Result<std::size_t> repaired = world.cdd->repair();
+      if (!repaired.ok()) {
+        std::cout << repaired.status().to_string() << "\n";
+        return 1;
+      }
+      std::cout << "repaired " << repaired.value() << " shards\n";
+      world.sync();
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

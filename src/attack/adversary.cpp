@@ -1,0 +1,62 @@
+#include "attack/adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cshield::attack {
+
+AdversaryView compromise(const storage::ProviderRegistry& registry,
+                         const std::vector<ProviderIndex>& providers) {
+  AdversaryView view;
+  view.compromised = providers;
+  for (ProviderIndex p : providers) {
+    const storage::SimCloudProvider& provider = registry.at(p);
+    // A compromised provider exposes its raw object map; ids are sorted so
+    // the dump is deterministic but conveys no upload order.
+    std::vector<VirtualId> ids = provider.list_ids();
+    std::sort(ids.begin(), ids.end());
+    for (VirtualId id : ids) {
+      Result<Bytes> obj = provider.raw_store().get(id);
+      if (!obj.ok()) continue;
+      view.total_bytes += obj.value().size();
+      view.objects.push_back(std::move(obj).value());
+    }
+  }
+  return view;
+}
+
+AdversaryView insider(const storage::ProviderRegistry& registry,
+                      ProviderIndex provider) {
+  return compromise(registry, {provider});
+}
+
+mining::Dataset reconstruct_rows(const AdversaryView& view,
+                                 const workload::RecordCodec& codec) {
+  mining::Dataset pooled(codec.columns());
+  for (const Bytes& obj : view.objects) {
+    const mining::Dataset rows = codec.decode_prefix(obj);
+    if (!rows.empty()) pooled.append(rows);
+  }
+  return pooled;
+}
+
+mining::Dataset sanitize_rows(const mining::Dataset& rows, double abs_limit) {
+  mining::Dataset out(rows.column_names());
+  for (std::size_t r = 0; r < rows.num_rows(); ++r) {
+    bool keep = true;
+    for (std::size_t c = 0; c < rows.num_cols() && keep; ++c) {
+      const double v = rows.at(r, c);
+      keep = std::isfinite(v) && std::abs(v) <= abs_limit;
+    }
+    if (keep) out.add_row(rows.row(r));
+  }
+  return out;
+}
+
+double coverage(const mining::Dataset& reconstructed, std::size_t total_rows) {
+  if (total_rows == 0) return 0.0;
+  return std::min(1.0, static_cast<double>(reconstructed.num_rows()) /
+                           static_cast<double>(total_rows));
+}
+
+}  // namespace cshield::attack

@@ -1,0 +1,64 @@
+// Adversary models (SIII-A/B).
+//
+// The paper's two attacker classes:
+//   * insider -- "malicious employees at a cloud provider": sees every
+//     object stored at that one provider;
+//   * outsider -- compromises some subset of providers ("managing access to
+//     various providers") and pools what they hold.
+//
+// Either way the adversary obtains a bag of opaque objects keyed by virtual
+// ids -- no client names, no filenames, no chunk order (that is the
+// virtualization guarantee). Knowing the victim's record schema (the
+// realistic worst case: bidding records, GPS fixes), the attacker decodes
+// whatever objects parse as whole records and mines the pooled rows.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "mining/dataset.hpp"
+#include "storage/provider_registry.hpp"
+#include "util/bytes.hpp"
+#include "workload/records.hpp"
+
+namespace cshield::attack {
+
+/// Everything the adversary exfiltrated.
+struct AdversaryView {
+  std::vector<ProviderIndex> compromised;
+  std::vector<Bytes> objects;  ///< raw stored objects (shards)
+  std::size_t total_bytes = 0;
+};
+
+/// Dumps the object stores of the given providers (order of objects is the
+/// providers' internal order -- the adversary gets no upload ordering).
+[[nodiscard]] AdversaryView compromise(
+    const storage::ProviderRegistry& registry,
+    const std::vector<ProviderIndex>& providers);
+
+/// Insider at a single provider.
+[[nodiscard]] AdversaryView insider(const storage::ProviderRegistry& registry,
+                                    ProviderIndex provider);
+
+/// Attempts to decode every captured object as whole records of the given
+/// schema, pooling all rows. Objects whose length is not a whole number of
+/// records contribute their whole-record prefix (the adversary cannot tell
+/// where chaff or padding cut a record). This mirrors the paper's attacker
+/// who "performs mining on chunks provided to the provider".
+[[nodiscard]] mining::Dataset reconstruct_rows(
+    const AdversaryView& view, const workload::RecordCodec& codec);
+
+/// Fraction of `total_rows` the adversary reconstructed -- the coverage
+/// metric of E10.
+[[nodiscard]] double coverage(const mining::Dataset& reconstructed,
+                              std::size_t total_rows);
+
+/// Attacker-side data cleaning: drops rows containing non-finite values or
+/// magnitudes above `abs_limit`. Chaff bytes shift record boundaries, so
+/// decoded doubles are frequently NaN/Inf or astronomically large; a
+/// competent adversary filters those before mining. Rows that survive the
+/// filter can still be silently poisoned -- that is the SVII-D effect.
+[[nodiscard]] mining::Dataset sanitize_rows(const mining::Dataset& rows,
+                                            double abs_limit = 1e9);
+
+}  // namespace cshield::attack

@@ -1,0 +1,123 @@
+#include "attack/harness.hpp"
+
+#include <cmath>
+
+namespace cshield::attack {
+
+RegressionAttackResult regression_attack(
+    const mining::Dataset& visible, const std::vector<std::string>& features,
+    const std::string& target, const mining::LinearModel& reference_model,
+    const mining::Dataset& truth_data) {
+  RegressionAttackResult out;
+  out.rows_used = visible.num_rows();
+  Result<mining::LinearModel> fit =
+      mining::fit_linear(visible, features, target);
+  if (!fit.ok()) return out;  // mining failure -- the defender's win
+  out.mining_succeeded = true;
+  out.model = std::move(fit).value();
+  out.coefficient_error =
+      mining::coefficient_error(reference_model, out.model);
+
+  // Score the attacker's equation on the *true* rows: how well could they
+  // predict the victim's next bid?
+  std::vector<std::size_t> feature_cols;
+  feature_cols.reserve(features.size());
+  for (const auto& f : features) {
+    feature_cols.push_back(truth_data.column_index(f));
+  }
+  const std::size_t target_col = truth_data.column_index(target);
+  double ss = 0.0;
+  for (std::size_t r = 0; r < truth_data.num_rows(); ++r) {
+    std::vector<double> x;
+    x.reserve(feature_cols.size());
+    for (std::size_t c : feature_cols) x.push_back(truth_data.at(r, c));
+    const double e = truth_data.at(r, target_col) - out.model.predict(x);
+    ss += e * e;
+  }
+  out.prediction_rmse =
+      truth_data.num_rows() > 0
+          ? std::sqrt(ss / static_cast<double>(truth_data.num_rows()))
+          : 0.0;
+  return out;
+}
+
+ClusteringAttackResult clustering_attack(
+    const mining::Dataset& visible_features,
+    const mining::Dendrogram& reference, std::size_t k,
+    mining::Linkage linkage) {
+  ClusteringAttackResult out;
+  if (visible_features.num_rows() != reference.num_leaves() ||
+      visible_features.num_rows() < 2) {
+    return out;
+  }
+  const mining::Dendrogram tree =
+      mining::cluster_rows(mining::standardize(visible_features), linkage);
+  out.mining_succeeded = true;
+  out.labels = tree.cut(k);
+  const std::vector<int> ref_labels = reference.cut(k);
+  out.ari_vs_reference = mining::adjusted_rand_index(ref_labels, out.labels);
+  out.churn_vs_reference = mining::membership_churn(ref_labels, out.labels);
+  out.cophenetic_corr = mining::cophenetic_correlation(reference, tree);
+  out.bakers_gamma = mining::bakers_gamma(reference, tree);
+  return out;
+}
+
+RuleAttackResult rule_attack(
+    const std::vector<mining::Transaction>& visible,
+    const std::vector<mining::AssociationRule>& reference_rules,
+    const mining::AprioriOptions& opts) {
+  RuleAttackResult out;
+  out.transactions_used = visible.size();
+  Result<mining::AprioriResult> mined = mining::apriori(visible, opts);
+  if (!mined.ok()) return out;
+  out.mining_succeeded = true;
+  out.comparison = mining::compare_rules(reference_rules,
+                                         mined.value().rules);
+  return out;
+}
+
+std::string_view classifier_name(Classifier c) {
+  switch (c) {
+    case Classifier::kNaiveBayes: return "naive-bayes";
+    case Classifier::kDecisionTree: return "decision-tree";
+    case Classifier::kKnn: return "knn";
+  }
+  return "invalid";
+}
+
+ClassificationAttackResult classification_attack(
+    const mining::Dataset& visible, const mining::Dataset& test_truth,
+    const std::string& label_column, Classifier classifier) {
+  ClassificationAttackResult out;
+  out.rows_used = visible.num_rows();
+  if (visible.empty()) return out;
+  switch (classifier) {
+    case Classifier::kNaiveBayes: {
+      Result<mining::NaiveBayes> model =
+          mining::NaiveBayes::fit(visible, label_column);
+      if (!model.ok()) return out;
+      out.mining_succeeded = true;
+      out.test_accuracy = model.value().accuracy(test_truth, label_column);
+      break;
+    }
+    case Classifier::kDecisionTree: {
+      Result<mining::DecisionTree> model =
+          mining::DecisionTree::fit(visible, label_column);
+      if (!model.ok()) return out;
+      out.mining_succeeded = true;
+      out.test_accuracy = model.value().accuracy(test_truth, label_column);
+      break;
+    }
+    case Classifier::kKnn: {
+      Result<mining::KnnClassifier> model =
+          mining::KnnClassifier::fit(visible, label_column);
+      if (!model.ok()) return out;
+      out.mining_succeeded = true;
+      out.test_accuracy = model.value().accuracy(test_truth, label_column);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace cshield::attack

@@ -1,0 +1,85 @@
+// Attack-experiment drivers: run a mining algorithm on the adversary's
+// reconstruction and score it against the full-data result. One function
+// per attack family; benches E1/E3/E5/E6/E10 compose these.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mining/apriori.hpp"
+#include "mining/decision_tree.hpp"
+#include "mining/dataset.hpp"
+#include "mining/hierarchical.hpp"
+#include "mining/knn.hpp"
+#include "mining/naive_bayes.hpp"
+#include "mining/metrics.hpp"
+#include "mining/regression.hpp"
+#include "util/status.hpp"
+
+namespace cshield::attack {
+
+/// Regression attack (the SVII-A Hercules scenario).
+struct RegressionAttackResult {
+  bool mining_succeeded = false;   ///< false = singular fit / too few rows
+  mining::LinearModel model;       ///< the attacker's equation (if any)
+  double coefficient_error = 0.0;  ///< vs the full-data model (1.0 = 100%)
+  double prediction_rmse = 0.0;    ///< attacker model scored on true data
+  std::size_t rows_used = 0;
+};
+
+/// Fits on `visible`, scores against `reference_model` and against the
+/// ground-truth rows in `truth_data`.
+[[nodiscard]] RegressionAttackResult regression_attack(
+    const mining::Dataset& visible, const std::vector<std::string>& features,
+    const std::string& target, const mining::LinearModel& reference_model,
+    const mining::Dataset& truth_data);
+
+/// Clustering attack (the SVIII GPS scenario).
+struct ClusteringAttackResult {
+  bool mining_succeeded = false;
+  double ari_vs_reference = 0.0;   ///< flat-cut agreement with full-data tree
+  double churn_vs_reference = 0.0; ///< fraction of entities that moved
+  double cophenetic_corr = 0.0;    ///< tree-shape agreement
+  double bakers_gamma = 0.0;
+  std::vector<int> labels;
+};
+
+/// Clusters `visible_features` (one row per entity; same entity order as
+/// the reference) and compares with the reference dendrogram at a k-cluster
+/// cut.
+[[nodiscard]] ClusteringAttackResult clustering_attack(
+    const mining::Dataset& visible_features,
+    const mining::Dendrogram& reference, std::size_t k,
+    mining::Linkage linkage = mining::Linkage::kAverage);
+
+/// Association-rule attack.
+struct RuleAttackResult {
+  bool mining_succeeded = false;
+  mining::RuleSetComparison comparison;
+  std::size_t transactions_used = 0;
+};
+
+[[nodiscard]] RuleAttackResult rule_attack(
+    const std::vector<mining::Transaction>& visible,
+    const std::vector<mining::AssociationRule>& reference_rules,
+    const mining::AprioriOptions& opts);
+
+/// Classification attack (the "likelihood of an individual getting a
+/// terminal illness" threat of SII-A): train a classifier on the
+/// adversary's reconstruction, score it on held-out true records.
+enum class Classifier { kNaiveBayes, kDecisionTree, kKnn };
+
+[[nodiscard]] std::string_view classifier_name(Classifier c);
+
+struct ClassificationAttackResult {
+  bool mining_succeeded = false;
+  double test_accuracy = 0.0;  ///< on held-out truth
+  std::size_t rows_used = 0;
+};
+
+[[nodiscard]] ClassificationAttackResult classification_attack(
+    const mining::Dataset& visible, const mining::Dataset& test_truth,
+    const std::string& label_column, Classifier classifier);
+
+}  // namespace cshield::attack

@@ -1,0 +1,71 @@
+// Domain vocabulary shared by the storage, core and attack layers.
+//
+// The paper fixes a 4-level sensitivity scale for both data and providers
+// (SIV-A): PL0 public, PL1 low, PL2 moderate, PL3 highly sensitive. Provider
+// cost levels mirror that with "the higher the cost level, the more costly
+// the provider". Virtual ids are the only name a provider ever sees for a
+// chunk -- they carry no client identity.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace cshield {
+
+/// Mining-sensitivity level of a file/chunk, or trustworthiness of a
+/// provider. Ordered: higher = more sensitive / more trustworthy.
+enum class PrivacyLevel : std::uint8_t {
+  kPublic = 0,     ///< PL0 -- accessible to everyone including the adversary
+  kLow = 1,        ///< PL1 -- no private info, but pattern-minable
+  kModerate = 2,   ///< PL2 -- protected financial/legal/health data
+  kHigh = 3,       ///< PL3 -- private data; leakage is disastrous
+};
+
+inline constexpr int kNumPrivacyLevels = 4;
+
+[[nodiscard]] constexpr int level_index(PrivacyLevel pl) {
+  return static_cast<int>(pl);
+}
+
+[[nodiscard]] inline PrivacyLevel privacy_level_from_int(int v) {
+  CS_REQUIRE(v >= 0 && v < kNumPrivacyLevels, "privacy level outside 0..3");
+  return static_cast<PrivacyLevel>(v);
+}
+
+[[nodiscard]] constexpr std::string_view privacy_level_name(PrivacyLevel pl) {
+  switch (pl) {
+    case PrivacyLevel::kPublic: return "PL0-public";
+    case PrivacyLevel::kLow: return "PL1-low";
+    case PrivacyLevel::kModerate: return "PL2-moderate";
+    case PrivacyLevel::kHigh: return "PL3-high";
+  }
+  return "PL?-invalid";
+}
+
+/// A password at privilege p may read a chunk at level c iff p >= c (SV).
+[[nodiscard]] constexpr bool privileged_for(PrivacyLevel password_level,
+                                            PrivacyLevel chunk_level) {
+  return level_index(password_level) >= level_index(chunk_level);
+}
+
+/// Provider storage-cost tier, 0 (cheapest) .. 3 (most expensive). The
+/// distributor prefers the cheaper provider among equally-trusted ones.
+enum class CostLevel : std::uint8_t { kCheapest = 0, kCheap = 1, kPricey = 2, kPremium = 3 };
+
+inline constexpr int kNumCostLevels = 4;
+
+[[nodiscard]] constexpr int level_index(CostLevel cl) {
+  return static_cast<int>(cl);
+}
+
+/// Opaque 64-bit chunk identity; the only key providers ever see.
+using VirtualId = std::uint64_t;
+
+/// Index of a provider row in the Cloud Provider Table / ProviderRegistry.
+using ProviderIndex = std::size_t;
+
+inline constexpr ProviderIndex kNoProvider = static_cast<ProviderIndex>(-1);
+
+}  // namespace cshield

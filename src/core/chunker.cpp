@@ -1,0 +1,44 @@
+#include "core/chunker.hpp"
+
+namespace cshield::core {
+
+std::vector<RawChunk> split_file(BytesView data, PrivacyLevel pl,
+                                 const ChunkSizePolicy& policy,
+                                 std::size_t record_align) {
+  std::size_t chunk_size = policy.chunk_size(pl);
+  CS_REQUIRE(chunk_size > 0, "split_file: zero chunk size");
+  if (record_align > 0) {
+    CS_REQUIRE(record_align <= (1u << 20), "split_file: absurd record size");
+    chunk_size = std::max(record_align,
+                          chunk_size - chunk_size % record_align);
+  }
+
+  std::vector<RawChunk> chunks;
+  if (data.empty()) {
+    chunks.push_back(RawChunk{0, Bytes{}});
+    return chunks;
+  }
+  const std::size_t count = (data.size() + chunk_size - 1) / chunk_size;
+  chunks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    RawChunk c;
+    c.serial = i;
+    c.data = slice(data, i * chunk_size, chunk_size);
+    chunks.push_back(std::move(c));
+  }
+  return chunks;
+}
+
+Bytes join_chunks(const std::vector<RawChunk>& chunks) {
+  Bytes out;
+  std::size_t total = 0;
+  for (const auto& c : chunks) total += c.data.size();
+  out.reserve(total);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    CS_REQUIRE(chunks[i].serial == i, "join_chunks: serials out of order");
+    append(out, chunks[i].data);
+  }
+  return out;
+}
+
+}  // namespace cshield::core

@@ -1,0 +1,54 @@
+// Privacy-level-aware file fragmentation (SVI split(), SVII-B/C).
+//
+// "The chunk size is fixed for a particular privilege level. The higher the
+// privilege level, the lower the chunk size" -- sensitive files are cut into
+// smaller pieces so any single provider holds less minable data, while
+// public files use large chunks to minimize splitting overhead. Chunk sizes
+// can additionally be aligned down to a record width so fragmentation never
+// splits a logical row (the paper's bidding example distributes whole table
+// rows).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace cshield::core {
+
+/// Chunk-size schedule per privacy level, bytes.
+struct ChunkSizePolicy {
+  std::array<std::size_t, kNumPrivacyLevels> size_bytes = {
+      64 * 1024,  // PL0 public: large chunks, low overhead
+      16 * 1024,  // PL1
+      4 * 1024,   // PL2
+      1 * 1024,   // PL3 highly sensitive: smallest chunks
+  };
+
+  [[nodiscard]] std::size_t chunk_size(PrivacyLevel pl) const {
+    return size_bytes[static_cast<std::size_t>(level_index(pl))];
+  }
+};
+
+/// One fragment of a file before ids/placement are assigned.
+struct RawChunk {
+  std::uint64_t serial = 0;  ///< position within the file (SIV-A "serial no.")
+  Bytes data;
+};
+
+/// Splits `data` into chunks of the PL-mandated size. When `record_align`
+/// is non-zero the effective chunk size is rounded *down* to a multiple of
+/// it (but never below one record), so chunks hold whole records. The final
+/// chunk carries the remainder. Empty input yields one empty chunk so that
+/// an empty file still exists in the tables.
+[[nodiscard]] std::vector<RawChunk> split_file(BytesView data,
+                                               PrivacyLevel pl,
+                                               const ChunkSizePolicy& policy,
+                                               std::size_t record_align = 0);
+
+/// Reassembles chunks (must be serial-ordered 0..n-1) into the file.
+[[nodiscard]] Bytes join_chunks(const std::vector<RawChunk>& chunks);
+
+}  // namespace cshield::core

@@ -1,0 +1,119 @@
+#include "core/client_side.hpp"
+
+#include "core/misleading.hpp"
+#include "util/hash.hpp"
+
+namespace cshield::core {
+
+ClientSideDistributor::ClientSideDistributor(
+    storage::ProviderRegistry& registry, ClientSideConfig config)
+    : registry_(registry),
+      config_(std::move(config)),
+      rings_{dht::HashRing(config_.virtual_nodes),
+             dht::HashRing(config_.virtual_nodes),
+             dht::HashRing(config_.virtual_nodes),
+             dht::HashRing(config_.virtual_nodes)},
+      rng_(config_.seed),
+      id_key_(mix64(config_.seed ^ 0xD47F00D)) {
+  // A provider trusted at level L joins the rings of every tier <= L.
+  for (ProviderIndex p = 0; p < registry_.size(); ++p) {
+    const auto& d = registry_.at(p).descriptor();
+    for (int tier = 0; tier <= level_index(d.privacy_level); ++tier) {
+      rings_[static_cast<std::size_t>(tier)].add_provider(p, d.name);
+    }
+  }
+}
+
+Status ClientSideDistributor::put_file(const std::string& filename,
+                                       BytesView data, PrivacyLevel pl) {
+  if (filename.empty()) return Status::InvalidArgument("empty filename");
+  if (files_.count(filename) != 0) {
+    return Status::AlreadyExists("file " + filename);
+  }
+  const dht::HashRing& ring = ring_for(pl);
+  if (ring.empty()) {
+    return Status::ResourceExhausted(
+        "no providers trusted for " + std::string(privacy_level_name(pl)));
+  }
+
+  std::vector<LocalChunk> table;
+  for (const RawChunk& chunk :
+       split_file(data, pl, config_.chunk_sizes)) {
+    MisleadingCodec::Encoded chaffed =
+        MisleadingCodec::inject(chunk.data, config_.misleading_fraction, rng_);
+    LocalChunk row;
+    row.serial = chunk.serial;
+    row.privacy_level = pl;
+    row.replicas = ring.lookup_many(
+        dht::HashRing::chunk_key(filename, chunk.serial), config_.replicas);
+    row.virtual_id =
+        mix64(dht::HashRing::chunk_key(filename, chunk.serial) ^ id_key_);
+    row.padded_size = chaffed.data.size();
+    row.misleading = std::move(chaffed.positions);
+    row.digest = crypto::sha256(chaffed.data);
+    for (ProviderIndex p : row.replicas) {
+      CS_RETURN_IF_ERROR(registry_.at(p).put(row.virtual_id, chaffed.data));
+    }
+    table.push_back(std::move(row));
+  }
+  files_.emplace(filename, std::move(table));
+  return Status::Ok();
+}
+
+Result<Bytes> ClientSideDistributor::get_chunk(const std::string& filename,
+                                               std::uint64_t serial) {
+  auto it = files_.find(filename);
+  if (it == files_.end()) return Status::NotFound("file " + filename);
+  for (const LocalChunk& row : it->second) {
+    if (row.serial != serial) continue;
+    // Try replicas in ring order; a digest mismatch counts as a miss.
+    for (ProviderIndex p : row.replicas) {
+      Result<Bytes> r = registry_.at(p).get(row.virtual_id);
+      if (r.ok() && crypto::sha256(r.value()) == row.digest) {
+        return MisleadingCodec::strip(r.value(), row.misleading);
+      }
+    }
+    return Status::Unavailable("all replicas of chunk " +
+                               std::to_string(serial) + " unreachable");
+  }
+  return Status::NotFound("chunk " + filename + "#" + std::to_string(serial));
+}
+
+Result<Bytes> ClientSideDistributor::get_file(const std::string& filename) {
+  auto it = files_.find(filename);
+  if (it == files_.end()) return Status::NotFound("file " + filename);
+  Bytes out;
+  for (const LocalChunk& row : it->second) {
+    Result<Bytes> chunk = get_chunk(filename, row.serial);
+    if (!chunk.ok()) return chunk.status();
+    append(out, chunk.value());
+  }
+  return out;
+}
+
+Status ClientSideDistributor::remove_file(const std::string& filename) {
+  auto it = files_.find(filename);
+  if (it == files_.end()) return Status::NotFound("file " + filename);
+  for (const LocalChunk& row : it->second) {
+    for (ProviderIndex p : row.replicas) {
+      (void)registry_.at(p).remove(row.virtual_id);
+    }
+  }
+  files_.erase(it);
+  return Status::Ok();
+}
+
+std::size_t ClientSideDistributor::local_table_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [name, rows] : files_) {
+    bytes += name.size();
+    for (const LocalChunk& row : rows) {
+      bytes += sizeof(LocalChunk) +
+               row.replicas.size() * sizeof(ProviderIndex) +
+               row.misleading.size() * sizeof(std::uint32_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace cshield::core

@@ -1,0 +1,88 @@
+// Client-side distributor built on a CHORD-like hash ring (SIV-C).
+//
+// "The Cloud Data Distributor can be implemented at client side by using
+// CAN or CHORD like hash tables that will map each <filename, chunk Sl>
+// pair to a Cloud Provider. A downloadable list of Cloud Providers can be
+// used to generate the Cloud Provider Table. Client will also have to
+// maintain a Chunk Table for his chunks. This approach has some
+// limitations: client will require some memory where the tables will
+// reside."
+//
+// One ring per privacy tier (a chunk at PL p hashes onto the ring of
+// providers trusted at >= p), replication via the ring's successor list.
+// There is no third party: the client keeps its own chunk table (digests,
+// sizes, chaff positions) and talks to providers directly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/chunker.hpp"
+#include "crypto/sha256.hpp"
+#include "dht/ring.hpp"
+#include "storage/provider_registry.hpp"
+#include "util/random.hpp"
+
+namespace cshield::core {
+
+struct ClientSideConfig {
+  ChunkSizePolicy chunk_sizes;
+  std::size_t replicas = 2;        ///< copies per chunk (ring successors)
+  double misleading_fraction = 0.0;
+  std::size_t virtual_nodes = 64;  ///< ring smoothing
+  /// Per-client secret; virtual ids derive from it. Two clients MUST use
+  /// different seeds or same-named files collide on virtual ids at the
+  /// providers.
+  std::uint64_t seed = 0xC11E47;
+};
+
+class ClientSideDistributor {
+ public:
+  /// `registry` is the "downloadable list of Cloud Providers"; the client
+  /// derives the per-tier rings from provider names so every client builds
+  /// the same mapping.
+  ClientSideDistributor(storage::ProviderRegistry& registry,
+                        ClientSideConfig config);
+
+  /// Uploads a file at the given privacy level.
+  Status put_file(const std::string& filename, BytesView data,
+                  PrivacyLevel pl);
+
+  [[nodiscard]] Result<Bytes> get_file(const std::string& filename);
+  [[nodiscard]] Result<Bytes> get_chunk(const std::string& filename,
+                                        std::uint64_t serial);
+  Status remove_file(const std::string& filename);
+
+  /// The client-resident chunk-table footprint in bytes -- the paper's
+  /// "client will require some memory" limitation, made measurable.
+  [[nodiscard]] std::size_t local_table_bytes() const;
+
+  [[nodiscard]] const dht::HashRing& ring_for(PrivacyLevel pl) const {
+    return rings_[static_cast<std::size_t>(level_index(pl))];
+  }
+
+ private:
+  /// Client-local chunk-table row (replaces the third party's Table III).
+  struct LocalChunk {
+    std::uint64_t serial = 0;
+    PrivacyLevel privacy_level = PrivacyLevel::kPublic;
+    std::vector<ProviderIndex> replicas;
+    VirtualId virtual_id = 0;
+    std::size_t padded_size = 0;
+    std::vector<std::uint32_t> misleading;
+    crypto::Digest digest{};
+  };
+
+  storage::ProviderRegistry& registry_;
+  ClientSideConfig config_;
+  std::array<dht::HashRing, kNumPrivacyLevels> rings_;
+  std::map<std::string, std::vector<LocalChunk>> files_;
+  Rng rng_;
+  std::uint64_t id_key_;
+};
+
+}  // namespace cshield::core

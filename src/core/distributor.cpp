@@ -1,0 +1,681 @@
+#include "core/distributor.hpp"
+
+#include <algorithm>
+#include <future>
+#include <queue>
+
+#include "core/misleading.hpp"
+#include "util/hash.hpp"
+
+namespace cshield::core {
+namespace {
+
+/// Chaff ratio recorded implicitly by a chunk entry (positions / original).
+double chaff_fraction_of(const ChunkEntry& entry) {
+  const std::size_t original = entry.padded_size - entry.misleading.size();
+  return original == 0 ? 0.0
+                       : static_cast<double>(entry.misleading.size()) /
+                             static_cast<double>(original);
+}
+
+}  // namespace
+
+SimDuration parallel_makespan(std::vector<SimDuration> times,
+                              std::size_t channels) {
+  if (times.empty()) return SimDuration{0};
+  CS_REQUIRE(channels > 0, "parallel_makespan: zero channels");
+  // Greedy list scheduling in submission order onto the earliest-free
+  // channel -- matches how the thread pool drains its FIFO queue.
+  std::priority_queue<std::int64_t, std::vector<std::int64_t>,
+                      std::greater<>> ends;
+  for (std::size_t c = 0; c < channels; ++c) ends.push(0);
+  std::int64_t makespan = 0;
+  for (const SimDuration& t : times) {
+    const std::int64_t start = ends.top();
+    ends.pop();
+    const std::int64_t end = start + t.count();
+    makespan = std::max(makespan, end);
+    ends.push(end);
+  }
+  return SimDuration{makespan};
+}
+
+CloudDataDistributor::CloudDataDistributor(
+    storage::ProviderRegistry& registry, DistributorConfig config,
+    std::shared_ptr<MetadataStore> metadata)
+    : registry_(registry),
+      config_(std::move(config)),
+      metadata_(metadata ? std::move(metadata)
+                         : std::make_shared<MetadataStore>()),
+      placement_(config_.seed ^ 0x91ACE, config_.placement),
+      pool_(config_.worker_threads),
+      chaff_rng_(config_.seed ^ 0xC4AFF),
+      id_key_(mix64(config_.seed ^ 0x1DFEED)) {
+  // Mirror registry rows into the Cloud Provider Table (idempotent when a
+  // shared, already-populated store is handed in).
+  const std::size_t known = metadata_->provider_table().size();
+  for (ProviderIndex i = known; i < registry_.size(); ++i) {
+    const auto& d = registry_.at(i).descriptor();
+    metadata_->register_provider(d.name, d.privacy_level, d.cost_level);
+  }
+}
+
+Status CloudDataDistributor::register_client(const std::string& name) {
+  if (name.empty()) return Status::InvalidArgument("empty client name");
+  return metadata_->register_client(name);
+}
+
+Status CloudDataDistributor::add_password(const std::string& client,
+                                          const std::string& password,
+                                          PrivacyLevel pl) {
+  if (password.empty()) return Status::InvalidArgument("empty password");
+  return metadata_->add_password(client, password, pl);
+}
+
+Result<PrivacyLevel> CloudDataDistributor::authorize(
+    const std::string& client, const std::string& password,
+    PrivacyLevel required) const {
+  Result<PrivacyLevel> granted = metadata_->authenticate(client, password);
+  if (!granted.ok()) return granted;
+  if (!privileged_for(granted.value(), required)) {
+    return Status::PermissionDenied(
+        "password privilege " +
+        std::string(privacy_level_name(granted.value())) +
+        " below required " + std::string(privacy_level_name(required)));
+  }
+  return granted;
+}
+
+VirtualId CloudDataDistributor::next_virtual_id() {
+  // Counter mixed with a per-distributor key: unique, and reveals neither
+  // client identity nor upload order to providers.
+  VirtualId id = 0;
+  do {
+    id = mix64(id_counter_.fetch_add(1, std::memory_order_relaxed) ^ id_key_);
+  } while (id == 0);
+  return id;
+}
+
+Result<CloudDataDistributor::StripeWriteResult>
+CloudDataDistributor::write_stripe(BytesView payload,
+                                   const raid::StripeLayout& layout,
+                                   const std::vector<ProviderIndex>& targets,
+                                   std::vector<SimDuration>& times) {
+  raid::EncodedStripe encoded = raid::encode(layout, payload);
+  CS_REQUIRE(targets.size() == encoded.shards.size(),
+             "write_stripe: target/shard arity mismatch");
+
+  StripeWriteResult result;
+  result.locations.resize(encoded.shards.size());
+  result.digests.resize(encoded.shards.size());
+
+  struct ShardOutcome {
+    Status status = Status::Ok();
+    SimDuration time{0};
+  };
+  std::vector<std::future<ShardOutcome>> futures;
+  futures.reserve(encoded.shards.size());
+  for (std::size_t s = 0; s < encoded.shards.size(); ++s) {
+    const VirtualId id = next_virtual_id();
+    result.locations[s] = ShardLocation{targets[s], id};
+    result.digests[s] = crypto::sha256(encoded.shards[s]);
+    result.bytes_stored += encoded.shards[s].size();
+    futures.push_back(pool_.submit(
+        [this, id, provider = targets[s], shard = std::move(encoded.shards[s])] {
+          ShardOutcome outcome;
+          outcome.status = registry_.at(provider).put(id, shard, &outcome.time);
+          return outcome;
+        }));
+  }
+  Status first_error = Status::Ok();
+  for (std::size_t s = 0; s < futures.size(); ++s) {
+    ShardOutcome outcome = futures[s].get();
+    times.push_back(outcome.time);
+    if (!outcome.status.ok() && first_error.ok()) first_error = outcome.status;
+  }
+  if (!first_error.ok()) {
+    // Best-effort rollback of the shards that did land.
+    for (const auto& loc : result.locations) {
+      (void)registry_.at(loc.provider).remove(loc.virtual_id);
+    }
+    return first_error;
+  }
+  for (const auto& loc : result.locations) {
+    metadata_->record_placement(loc.provider, loc.virtual_id);
+  }
+  return result;
+}
+
+Result<Bytes> CloudDataDistributor::read_stripe(
+    const raid::StripeLayout& layout, const std::vector<ShardLocation>& stripe,
+    const std::vector<crypto::Digest>& digests, std::size_t padded_size,
+    std::vector<SimDuration>& times) {
+  CS_REQUIRE(stripe.size() == layout.total_shards(),
+             "read_stripe: stripe arity mismatch");
+  struct ShardFetch {
+    std::optional<Bytes> data;
+    SimDuration time{0};
+  };
+  std::vector<std::future<ShardFetch>> futures;
+  futures.reserve(stripe.size());
+  for (std::size_t s = 0; s < stripe.size(); ++s) {
+    futures.push_back(pool_.submit([this, loc = stripe[s],
+                                    digest = digests[s]] {
+      ShardFetch fetch;
+      Result<Bytes> r = registry_.at(loc.provider).get(loc.virtual_id,
+                                                       &fetch.time);
+      // A shard that is unreachable OR fails its integrity digest counts as
+      // an erasure; the RAID decode below recovers through it if it can.
+      if (r.ok() && crypto::sha256(r.value()) == digest) {
+        fetch.data = std::move(r).value();
+      }
+      return fetch;
+    }));
+  }
+  std::vector<std::optional<Bytes>> shards(stripe.size());
+  for (std::size_t s = 0; s < futures.size(); ++s) {
+    ShardFetch fetch = futures[s].get();
+    times.push_back(fetch.time);
+    shards[s] = std::move(fetch.data);
+  }
+  return raid::decode(layout, shards, padded_size);
+}
+
+void CloudDataDistributor::drop_stripe(const std::vector<ShardLocation>& stripe,
+                                       std::vector<SimDuration>* times) {
+  for (const auto& loc : stripe) {
+    SimDuration t{0};
+    (void)registry_.at(loc.provider).remove(loc.virtual_id, &t);
+    if (times != nullptr) times->push_back(t);
+    metadata_->record_removal(loc.provider, loc.virtual_id);
+  }
+}
+
+Status CloudDataDistributor::put_file(const std::string& client,
+                                      const std::string& password,
+                                      const std::string& filename,
+                                      BytesView data, const PutOptions& options,
+                                      OpReport* report) {
+  if (filename.empty()) return Status::InvalidArgument("empty filename");
+  Result<PrivacyLevel> auth = authorize(client, password,
+                                        options.privacy_level);
+  if (!auth.ok()) return auth.status();
+  if (!metadata_->file_chunks(client, filename).empty()) {
+    return Status::AlreadyExists("file " + filename + " for client " + client);
+  }
+
+  const raid::RaidLevel level = options.raid.value_or(config_.default_raid);
+  const raid::StripeLayout layout =
+      (level == raid::RaidLevel::kRaid1)
+          ? raid::StripeLayout::make(level, 1, config_.replication)
+          : raid::StripeLayout::make(level, config_.stripe_data_shards);
+  const double chaff =
+      options.misleading_fraction.value_or(config_.misleading_fraction);
+
+  Stopwatch wall;
+  std::vector<SimDuration> times;
+  std::vector<RawChunk> chunks = split_file(data, options.privacy_level,
+                                            config_.chunk_sizes,
+                                            options.record_align);
+  OpReport local;
+  local.chunks = chunks.size();
+  local.bytes_logical = data.size();
+
+  for (const RawChunk& chunk : chunks) {
+    MisleadingCodec::Encoded chaffed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      chaffed = MisleadingCodec::inject(chunk.data, chaff, chaff_rng_);
+    }
+    Result<std::vector<ProviderIndex>> targets = [&] {
+      std::lock_guard<std::mutex> lock(mu_);
+      return placement_.choose(registry_, options.privacy_level,
+                               layout.total_shards());
+    }();
+    if (!targets.ok()) return targets.status();
+
+    Result<StripeWriteResult> written =
+        write_stripe(chaffed.data, layout, targets.value(), times);
+    if (!written.ok()) return written.status();
+
+    ChunkEntry entry;
+    entry.privacy_level = options.privacy_level;
+    entry.layout = layout;
+    entry.stripe = std::move(written.value().locations);
+    entry.misleading = std::move(chaffed.positions);
+    entry.padded_size = chaffed.data.size();
+    entry.shard_digests = std::move(written.value().digests);
+    local.bytes_stored += written.value().bytes_stored;
+    local.shards += layout.total_shards();
+
+    Result<std::size_t> idx =
+        metadata_->add_chunk(client, filename, chunk.serial, std::move(entry));
+    if (!idx.ok()) return idx.status();
+  }
+
+  local.sim_time_parallel = parallel_makespan(times, config_.worker_threads);
+  for (const auto& t : times) local.sim_time_serial += t;
+  local.wall_seconds = wall.elapsed_seconds();
+  if (report != nullptr) *report = local;
+  return Status::Ok();
+}
+
+Result<Bytes> CloudDataDistributor::get_chunk(const std::string& client,
+                                              const std::string& password,
+                                              const std::string& filename,
+                                              std::uint64_t serial,
+                                              OpReport* report) {
+  std::optional<ChunkRef> ref = metadata_->find_chunk(client, filename, serial);
+  if (!ref.has_value()) {
+    // Authenticate first so an attacker cannot probe the namespace with a
+    // bad password.
+    Result<PrivacyLevel> auth = metadata_->authenticate(client, password);
+    if (!auth.ok()) return auth.status();
+    return Status::NotFound("chunk " + filename + "#" +
+                            std::to_string(serial));
+  }
+  Result<PrivacyLevel> auth = authorize(client, password, ref->privacy_level);
+  if (!auth.ok()) return auth.status();
+  Result<ChunkEntry> entry = metadata_->chunk_entry(ref->chunk_index);
+  if (!entry.ok()) return entry.status();
+
+  Stopwatch wall;
+  std::vector<SimDuration> times;
+  Result<Bytes> padded =
+      read_stripe(entry.value().layout, entry.value().stripe,
+                  entry.value().shard_digests, entry.value().padded_size,
+                  times);
+  if (!padded.ok()) return padded.status();
+  Bytes plain = MisleadingCodec::strip(padded.value(),
+                                       entry.value().misleading);
+  if (report != nullptr) {
+    report->chunks = 1;
+    report->shards = entry.value().stripe.size();
+    report->bytes_logical = plain.size();
+    report->bytes_stored = entry.value().padded_size;
+    report->sim_time_parallel =
+        parallel_makespan(times, config_.worker_threads);
+    for (const auto& t : times) report->sim_time_serial += t;
+    report->wall_seconds = wall.elapsed_seconds();
+  }
+  return plain;
+}
+
+Result<Bytes> CloudDataDistributor::get_file(const std::string& client,
+                                             const std::string& password,
+                                             const std::string& filename,
+                                             OpReport* report) {
+  std::vector<ChunkRef> refs = metadata_->file_chunks(client, filename);
+  if (refs.empty()) {
+    Result<PrivacyLevel> auth = metadata_->authenticate(client, password);
+    if (!auth.ok()) return auth.status();
+    return Status::NotFound("file " + filename + " for client " + client);
+  }
+  Result<PrivacyLevel> auth =
+      authorize(client, password, refs.front().privacy_level);
+  if (!auth.ok()) return auth.status();
+
+  Stopwatch wall;
+  std::vector<SimDuration> times;
+  OpReport local;
+  Bytes out;
+  for (const ChunkRef& ref : refs) {
+    if (!privileged_for(auth.value(), ref.privacy_level)) {
+      return Status::PermissionDenied("chunk " + std::to_string(ref.serial) +
+                                      " above password privilege");
+    }
+    Result<ChunkEntry> entry = metadata_->chunk_entry(ref.chunk_index);
+    if (!entry.ok()) return entry.status();
+    Result<Bytes> padded =
+        read_stripe(entry.value().layout, entry.value().stripe,
+                    entry.value().shard_digests, entry.value().padded_size,
+                    times);
+    if (!padded.ok()) return padded.status();
+    Bytes plain =
+        MisleadingCodec::strip(padded.value(), entry.value().misleading);
+    local.bytes_stored += entry.value().padded_size;
+    local.shards += entry.value().stripe.size();
+    ++local.chunks;
+    append(out, plain);
+  }
+  local.bytes_logical = out.size();
+  local.sim_time_parallel = parallel_makespan(times, config_.worker_threads);
+  for (const auto& t : times) local.sim_time_serial += t;
+  local.wall_seconds = wall.elapsed_seconds();
+  if (report != nullptr) *report = local;
+  return out;
+}
+
+Result<std::vector<CloudDataDistributor::FileInfo>>
+CloudDataDistributor::list_files(const std::string& client,
+                                 const std::string& password) {
+  Result<PrivacyLevel> auth = metadata_->authenticate(client, password);
+  if (!auth.ok()) return auth.status();
+  Result<ClientEntry> entry = metadata_->client_entry(client);
+  if (!entry.ok()) return entry.status();
+  std::vector<FileInfo> files;
+  for (const ChunkRef& ref : entry.value().chunks) {
+    if (!privileged_for(auth.value(), ref.privacy_level)) continue;
+    bool found = false;
+    for (auto& f : files) {
+      if (f.filename == ref.filename) {
+        ++f.chunks;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      files.push_back(FileInfo{ref.filename, ref.privacy_level, 1});
+    }
+  }
+  return files;
+}
+
+Status CloudDataDistributor::update_chunk(const std::string& client,
+                                          const std::string& password,
+                                          const std::string& filename,
+                                          std::uint64_t serial,
+                                          BytesView new_data,
+                                          OpReport* report) {
+  std::optional<ChunkRef> ref = metadata_->find_chunk(client, filename, serial);
+  if (!ref.has_value()) {
+    return Status::NotFound("chunk " + filename + "#" +
+                            std::to_string(serial));
+  }
+  Result<PrivacyLevel> auth = authorize(client, password, ref->privacy_level);
+  if (!auth.ok()) return auth.status();
+  Result<ChunkEntry> entry_r = metadata_->chunk_entry(ref->chunk_index);
+  if (!entry_r.ok()) return entry_r.status();
+  ChunkEntry entry = std::move(entry_r).value();
+
+  Stopwatch wall;
+  std::vector<SimDuration> times;
+
+  // 1. Read the current padded payload (pre-state, chaff included).
+  Result<Bytes> pre_state = read_stripe(entry.layout, entry.stripe,
+                                        entry.shard_digests,
+                                        entry.padded_size, times);
+  if (!pre_state.ok()) return pre_state.status();
+
+  // 2. Move the pre-state to a snapshot stripe: "snapshot provider stores
+  //    the pre-state and cloud provider stores the post-state of a chunk
+  //    after each modification" (Table III). Any older snapshot is dropped.
+  if (entry.has_snapshot) drop_stripe(entry.snapshot, &times);
+  Result<std::vector<ProviderIndex>> snap_targets = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return placement_.choose(registry_, entry.privacy_level,
+                             entry.layout.total_shards());
+  }();
+  if (!snap_targets.ok()) return snap_targets.status();
+  Result<StripeWriteResult> snap = write_stripe(
+      pre_state.value(), entry.layout, snap_targets.value(), times);
+  if (!snap.ok()) return snap.status();
+
+  // 3. Chaff and write the post-state under fresh virtual ids, then retire
+  //    the old stripe.
+  MisleadingCodec::Encoded chaffed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    chaffed = MisleadingCodec::inject(new_data, chaff_fraction_of(entry),
+                                      chaff_rng_);
+  }
+  Result<std::vector<ProviderIndex>> new_targets = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return placement_.choose(registry_, entry.privacy_level,
+                             entry.layout.total_shards());
+  }();
+  if (!new_targets.ok()) return new_targets.status();
+  Result<StripeWriteResult> written =
+      write_stripe(chaffed.data, entry.layout, new_targets.value(), times);
+  if (!written.ok()) return written.status();
+  drop_stripe(entry.stripe, &times);
+
+  ChunkEntry updated = entry;
+  updated.snapshot = std::move(snap.value().locations);
+  updated.snapshot_digests = std::move(snap.value().digests);
+  updated.snapshot_misleading = entry.misleading;
+  updated.snapshot_padded_size = entry.padded_size;
+  updated.has_snapshot = true;
+  updated.stripe = std::move(written.value().locations);
+  updated.shard_digests = std::move(written.value().digests);
+  updated.misleading = std::move(chaffed.positions);
+  updated.padded_size = chaffed.data.size();
+  CS_RETURN_IF_ERROR(metadata_->update_chunk(ref->chunk_index,
+                                             std::move(updated)));
+
+  if (report != nullptr) {
+    report->chunks = 1;
+    report->shards = entry.layout.total_shards() * 2;
+    report->bytes_logical = new_data.size();
+    report->bytes_stored = chaffed.data.size();
+    report->sim_time_parallel =
+        parallel_makespan(times, config_.worker_threads);
+    for (const auto& t : times) report->sim_time_serial += t;
+    report->wall_seconds = wall.elapsed_seconds();
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> CloudDataDistributor::get_chunk_snapshot(
+    const std::string& client, const std::string& password,
+    const std::string& filename, std::uint64_t serial) {
+  std::optional<ChunkRef> ref = metadata_->find_chunk(client, filename, serial);
+  if (!ref.has_value()) {
+    return Status::NotFound("chunk " + filename + "#" +
+                            std::to_string(serial));
+  }
+  Result<PrivacyLevel> auth = authorize(client, password, ref->privacy_level);
+  if (!auth.ok()) return auth.status();
+  Result<ChunkEntry> entry = metadata_->chunk_entry(ref->chunk_index);
+  if (!entry.ok()) return entry.status();
+  if (!entry.value().has_snapshot) {
+    return Status::NotFound("chunk has no snapshot (never modified)");
+  }
+  std::vector<SimDuration> times;
+  Result<Bytes> padded = read_stripe(
+      entry.value().layout, entry.value().snapshot,
+      entry.value().snapshot_digests, entry.value().snapshot_padded_size,
+      times);
+  if (!padded.ok()) return padded.status();
+  return MisleadingCodec::strip(padded.value(),
+                                entry.value().snapshot_misleading);
+}
+
+Status CloudDataDistributor::remove_chunk(const std::string& client,
+                                          const std::string& password,
+                                          const std::string& filename,
+                                          std::uint64_t serial) {
+  std::optional<ChunkRef> ref = metadata_->find_chunk(client, filename, serial);
+  if (!ref.has_value()) {
+    return Status::NotFound("chunk " + filename + "#" +
+                            std::to_string(serial));
+  }
+  Result<PrivacyLevel> auth = authorize(client, password, ref->privacy_level);
+  if (!auth.ok()) return auth.status();
+  Result<ChunkEntry> entry = metadata_->chunk_entry(ref->chunk_index);
+  if (!entry.ok()) return entry.status();
+
+  drop_stripe(entry.value().stripe, nullptr);
+  if (entry.value().has_snapshot) drop_stripe(entry.value().snapshot, nullptr);
+
+  ChunkEntry tombstone = entry.value();
+  tombstone.deleted = true;
+  tombstone.stripe.clear();
+  tombstone.snapshot.clear();
+  CS_RETURN_IF_ERROR(metadata_->update_chunk(ref->chunk_index,
+                                             std::move(tombstone)));
+  return metadata_->unlink_chunk(client, filename, serial);
+}
+
+Status CloudDataDistributor::remove_file(const std::string& client,
+                                         const std::string& password,
+                                         const std::string& filename) {
+  std::vector<ChunkRef> refs = metadata_->file_chunks(client, filename);
+  if (refs.empty()) {
+    Result<PrivacyLevel> auth = metadata_->authenticate(client, password);
+    if (!auth.ok()) return auth.status();
+    return Status::NotFound("file " + filename + " for client " + client);
+  }
+  for (const ChunkRef& ref : refs) {
+    CS_RETURN_IF_ERROR(remove_chunk(client, password, filename, ref.serial));
+  }
+  return Status::Ok();
+}
+
+Result<std::size_t> CloudDataDistributor::repair() {
+  std::size_t repaired = 0;
+  const std::size_t n = metadata_->total_chunks();
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    Result<ChunkEntry> entry_r = metadata_->chunk_entry(idx);
+    if (!entry_r.ok()) continue;
+    ChunkEntry entry = std::move(entry_r).value();
+    if (entry.deleted) continue;
+
+    auto repair_stripe = [&](std::vector<ShardLocation>& stripe,
+                             const std::vector<crypto::Digest>& digests)
+        -> Result<std::size_t> {
+      // Probe every shard.
+      std::vector<std::optional<Bytes>> shards(stripe.size());
+      std::vector<std::size_t> broken;
+      for (std::size_t s = 0; s < stripe.size(); ++s) {
+        Result<Bytes> r = registry_.at(stripe[s].provider)
+                              .get(stripe[s].virtual_id);
+        if (r.ok() && crypto::sha256(r.value()) == digests[s]) {
+          shards[s] = std::move(r).value();
+        } else {
+          broken.push_back(s);
+        }
+      }
+      if (broken.empty()) return std::size_t{0};
+      std::size_t fixed = 0;
+      for (std::size_t s : broken) {
+        Result<Bytes> shard =
+            raid::reconstruct_shard(entry.layout, shards, s);
+        if (!shard.ok()) return shard.status();
+        // New home: eligible, online, and not already a stripe member.
+        ProviderIndex home = kNoProvider;
+        for (ProviderIndex cand :
+             registry_.eligible_for(entry.privacy_level)) {
+          if (!registry_.at(cand).online()) continue;
+          bool in_stripe = false;
+          for (const auto& loc : stripe) {
+            if (loc.provider == cand) in_stripe = true;
+          }
+          if (!in_stripe) {
+            home = cand;
+            break;
+          }
+        }
+        if (home == kNoProvider) {
+          return Status::ResourceExhausted(
+              "repair: no healthy provider outside the stripe");
+        }
+        const VirtualId id = next_virtual_id();
+        CS_RETURN_IF_ERROR(registry_.at(home).put(id, shard.value()));
+        metadata_->record_removal(stripe[s].provider, stripe[s].virtual_id);
+        metadata_->record_placement(home, id);
+        stripe[s] = ShardLocation{home, id};
+        shards[s] = std::move(shard).value();
+        ++fixed;
+      }
+      return fixed;
+    };
+
+    Result<std::size_t> fixed = repair_stripe(entry.stripe,
+                                              entry.shard_digests);
+    if (!fixed.ok()) return fixed.status();
+    std::size_t total_fixed = fixed.value();
+    if (entry.has_snapshot) {
+      Result<std::size_t> snap_fixed =
+          repair_stripe(entry.snapshot, entry.snapshot_digests);
+      if (!snap_fixed.ok()) return snap_fixed.status();
+      total_fixed += snap_fixed.value();
+    }
+    if (total_fixed > 0) {
+      repaired += total_fixed;
+      CS_RETURN_IF_ERROR(metadata_->update_chunk(idx, std::move(entry)));
+    }
+  }
+  return repaired;
+}
+
+Result<std::size_t> CloudDataDistributor::rebalance() {
+  std::size_t migrated = 0;
+  const std::size_t n = metadata_->total_chunks();
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    Result<ChunkEntry> entry_r = metadata_->chunk_entry(idx);
+    if (!entry_r.ok()) continue;
+    ChunkEntry entry = std::move(entry_r).value();
+    if (entry.deleted) continue;
+
+    auto migrate_stripe = [&](std::vector<ShardLocation>& stripe)
+        -> Result<std::size_t> {
+      std::size_t moved = 0;
+      for (std::size_t s = 0; s < stripe.size(); ++s) {
+        const auto& holder = registry_.at(stripe[s].provider).descriptor();
+        if (privileged_for(holder.privacy_level, entry.privacy_level)) {
+          continue;  // still trusted at this sensitivity
+        }
+        // Fetch the shard from the demoted provider (it is not *offline*,
+        // just no longer trusted) and move it to a qualifying home outside
+        // the current stripe.
+        Result<Bytes> shard =
+            registry_.at(stripe[s].provider).get(stripe[s].virtual_id);
+        if (!shard.ok()) {
+          // Unreachable demoted provider: fall back to RAID reconstruction.
+          std::vector<std::optional<Bytes>> shards(stripe.size());
+          for (std::size_t t = 0; t < stripe.size(); ++t) {
+            if (t == s) continue;
+            Result<Bytes> other =
+                registry_.at(stripe[t].provider).get(stripe[t].virtual_id);
+            if (other.ok()) shards[t] = std::move(other).value();
+          }
+          shard = raid::reconstruct_shard(entry.layout, shards, s);
+          if (!shard.ok()) return shard.status();
+        }
+        ProviderIndex home = kNoProvider;
+        for (ProviderIndex cand :
+             registry_.eligible_for(entry.privacy_level)) {
+          if (!registry_.at(cand).online()) continue;
+          bool in_stripe = false;
+          for (const auto& loc : stripe) {
+            if (loc.provider == cand) in_stripe = true;
+          }
+          if (!in_stripe) {
+            home = cand;
+            break;
+          }
+        }
+        if (home == kNoProvider) {
+          return Status::ResourceExhausted(
+              "rebalance: no trusted provider available for " +
+              std::string(privacy_level_name(entry.privacy_level)));
+        }
+        const VirtualId id = next_virtual_id();
+        CS_RETURN_IF_ERROR(registry_.at(home).put(id, shard.value()));
+        (void)registry_.at(stripe[s].provider).remove(stripe[s].virtual_id);
+        metadata_->record_removal(stripe[s].provider, stripe[s].virtual_id);
+        metadata_->record_placement(home, id);
+        stripe[s] = ShardLocation{home, id};
+        ++moved;
+      }
+      return moved;
+    };
+
+    Result<std::size_t> moved = migrate_stripe(entry.stripe);
+    if (!moved.ok()) return moved.status();
+    std::size_t total_moved = moved.value();
+    if (entry.has_snapshot) {
+      Result<std::size_t> snap_moved = migrate_stripe(entry.snapshot);
+      if (!snap_moved.ok()) return snap_moved.status();
+      total_moved += snap_moved.value();
+    }
+    if (total_moved > 0) {
+      migrated += total_moved;
+      CS_RETURN_IF_ERROR(metadata_->update_chunk(idx, std::move(entry)));
+    }
+  }
+  return migrated;
+}
+
+}  // namespace cshield::core

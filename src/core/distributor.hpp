@@ -1,0 +1,214 @@
+// CloudDataDistributor -- the paper's central entity (SIV-A, SV, SVI).
+//
+// "Cloud Data Distributor is the entity that receives data (files) from
+// clients, performs fragmentation of data (splits files into chunks) and
+// distributes these fragments (chunks) among Cloud Providers. ... Clients do
+// not interact with Cloud Providers directly rather via Cloud Data
+// Distributor."
+//
+// The pipeline per file:
+//   categorize (client-chosen privacy level)
+//     -> fragment (PL-sized chunks, optionally record-aligned)
+//     -> chaff (optional misleading bytes, positions kept in the tables)
+//     -> erasure-code (RAID-5 default, RAID-6 for high assurance)
+//     -> place (trust-eligible, cost-preferring, randomized providers)
+//     -> upload under fresh virtual ids that carry no client identity.
+//
+// Reads authenticate a <password, PL> pair, check privilege against the
+// chunk PL, fetch the stripe in parallel, verify per-shard SHA-256 digests
+// (a corrupted shard counts as an erasure and RAID recovers through it),
+// decode, strip chaff, and return the plaintext chunk.
+//
+// Several distributor front-ends may share one MetadataStore -- that is the
+// Fig. 2 multi-distributor architecture (see multi_distributor.hpp).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/chunker.hpp"
+#include "core/placement.hpp"
+#include "core/tables.hpp"
+#include "raid/raid.hpp"
+#include "storage/provider_registry.hpp"
+#include "util/sim_clock.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cshield::core {
+
+struct DistributorConfig {
+  ChunkSizePolicy chunk_sizes;
+  raid::RaidLevel default_raid = raid::RaidLevel::kRaid5;
+  std::size_t stripe_data_shards = 3;  ///< k data shards per stripe
+  std::size_t replication = 1;         ///< extra copies when RAID-1 is chosen
+  double misleading_fraction = 0.0;    ///< default chaff ratio
+  PlacementMode placement = PlacementMode::kCostAware;
+  std::size_t worker_threads = 8;      ///< parallel provider channels
+  std::uint64_t seed = 0xC10D0D15;
+};
+
+/// Per-upload overrides (the client's "demands": sensitivity, assurance,
+/// chaff).
+struct PutOptions {
+  PrivacyLevel privacy_level = PrivacyLevel::kModerate;
+  std::optional<raid::RaidLevel> raid;  ///< e.g. kRaid6 for "higher assurance"
+  std::optional<double> misleading_fraction;
+  std::size_t record_align = 0;  ///< chunk sizes snap to this record width
+};
+
+/// Measured footprint of one operation.
+struct OpReport {
+  std::size_t chunks = 0;
+  std::size_t shards = 0;
+  std::size_t bytes_logical = 0;  ///< client payload bytes
+  std::size_t bytes_stored = 0;   ///< bytes at providers (chaff + parity)
+  SimDuration sim_time_parallel{0};  ///< modeled makespan over worker channels
+  SimDuration sim_time_serial{0};    ///< modeled sum of all provider requests
+  double wall_seconds = 0.0;         ///< executed CPU time (chunk/parity math)
+};
+
+class CloudDataDistributor {
+ public:
+  /// `registry` must outlive the distributor. Passing a shared MetadataStore
+  /// lets several distributors serve one namespace; by default the
+  /// distributor creates (and registers providers into) its own.
+  CloudDataDistributor(storage::ProviderRegistry& registry,
+                       DistributorConfig config,
+                       std::shared_ptr<MetadataStore> metadata = nullptr);
+
+  // --- client management ----------------------------------------------
+
+  Status register_client(const std::string& name);
+  Status add_password(const std::string& client, const std::string& password,
+                      PrivacyLevel pl);
+
+  // --- SVI "Distribute Data" --------------------------------------------
+
+  /// Uploads a file: split -> chaff -> encode -> place -> put. The password
+  /// must be privileged for the file's privacy level. Duplicate filenames
+  /// per client are rejected.
+  Status put_file(const std::string& client, const std::string& password,
+                  const std::string& filename, BytesView data,
+                  const PutOptions& options, OpReport* report = nullptr);
+
+  // --- SVI "Retrieve Data" ------------------------------------------------
+
+  /// get_file(client name, password, filename) -- all chunks, in parallel.
+  [[nodiscard]] Result<Bytes> get_file(const std::string& client,
+                                       const std::string& password,
+                                       const std::string& filename,
+                                       OpReport* report = nullptr);
+
+  /// get_chunk(client name, password, filename, sl no.).
+  [[nodiscard]] Result<Bytes> get_chunk(const std::string& client,
+                                        const std::string& password,
+                                        const std::string& filename,
+                                        std::uint64_t serial,
+                                        OpReport* report = nullptr);
+
+  /// A client's file inventory from its Table II rows. Only files whose
+  /// privacy level the password can read are listed -- a low-privilege
+  /// password cannot even learn the names of more sensitive files.
+  struct FileInfo {
+    std::string filename;
+    PrivacyLevel privacy_level = PrivacyLevel::kPublic;
+    std::size_t chunks = 0;
+  };
+  [[nodiscard]] Result<std::vector<FileInfo>> list_files(
+      const std::string& client, const std::string& password);
+
+  // --- modification & snapshots (Table III's SP column) ------------------
+
+  /// Overwrites one chunk's payload. The pre-state moves to a snapshot
+  /// stripe on distinct providers first, so the previous version stays
+  /// retrievable.
+  Status update_chunk(const std::string& client, const std::string& password,
+                      const std::string& filename, std::uint64_t serial,
+                      BytesView new_data, OpReport* report = nullptr);
+
+  /// Retrieves the pre-modification state of a chunk.
+  [[nodiscard]] Result<Bytes> get_chunk_snapshot(const std::string& client,
+                                                 const std::string& password,
+                                                 const std::string& filename,
+                                                 std::uint64_t serial);
+
+  // --- SVI "Remove Data" ---------------------------------------------------
+
+  Status remove_chunk(const std::string& client, const std::string& password,
+                      const std::string& filename, std::uint64_t serial);
+  Status remove_file(const std::string& client, const std::string& password,
+                     const std::string& filename);
+
+  // --- maintenance -----------------------------------------------------
+
+  /// Scans every live stripe, re-derives shards that are missing or fail
+  /// their digest, and re-places them on healthy eligible providers not
+  /// already holding stripe members. Returns the number of shards repaired
+  /// via the Result value.
+  Result<std::size_t> repair();
+
+  /// Trust-driven migration: when a provider's privacy level has been
+  /// demoted (reputation loss, see core/reputation.hpp) below the
+  /// sensitivity of chunks it holds, moves those shards to providers that
+  /// still qualify and deletes them at the demoted provider. Returns the
+  /// number of shards migrated.
+  Result<std::size_t> rebalance();
+
+  [[nodiscard]] const MetadataStore& metadata() const { return *metadata_; }
+  [[nodiscard]] std::shared_ptr<MetadataStore> metadata_ptr() { return metadata_; }
+  [[nodiscard]] storage::ProviderRegistry& registry() { return registry_; }
+  [[nodiscard]] const DistributorConfig& config() const { return config_; }
+
+ private:
+  struct StripeWriteResult {
+    std::vector<ShardLocation> locations;
+    std::vector<crypto::Digest> digests;
+    std::size_t bytes_stored = 0;
+  };
+
+  /// Authenticates and checks privilege against `required`.
+  Result<PrivacyLevel> authorize(const std::string& client,
+                                 const std::string& password,
+                                 PrivacyLevel required) const;
+
+  VirtualId next_virtual_id();
+
+  /// Encodes `payload` under `layout` and uploads shards to `targets`,
+  /// appending per-request service times to `times`.
+  Result<StripeWriteResult> write_stripe(BytesView payload,
+                                         const raid::StripeLayout& layout,
+                                         const std::vector<ProviderIndex>& targets,
+                                         std::vector<SimDuration>& times);
+
+  /// Fetches + digest-verifies + RAID-decodes one stripe into its padded
+  /// payload (chaff still present).
+  Result<Bytes> read_stripe(const raid::StripeLayout& layout,
+                            const std::vector<ShardLocation>& stripe,
+                            const std::vector<crypto::Digest>& digests,
+                            std::size_t padded_size,
+                            std::vector<SimDuration>& times);
+
+  /// Deletes stripe shards at providers and updates the provider table.
+  void drop_stripe(const std::vector<ShardLocation>& stripe,
+                   std::vector<SimDuration>* times);
+
+  storage::ProviderRegistry& registry_;
+  DistributorConfig config_;
+  std::shared_ptr<MetadataStore> metadata_;
+  PlacementPolicy placement_;
+  ThreadPool pool_;
+  Rng chaff_rng_;
+  std::atomic<std::uint64_t> id_counter_{1};
+  std::uint64_t id_key_;
+  mutable std::mutex mu_;  ///< guards placement_ and chaff_rng_
+};
+
+/// Models the makespan of `times` scheduled greedily onto `channels`
+/// parallel provider connections (how long the batch of requests takes with
+/// the distributor's thread pool). Exposed for tests/benches.
+[[nodiscard]] SimDuration parallel_makespan(std::vector<SimDuration> times,
+                                            std::size_t channels);
+
+}  // namespace cshield::core

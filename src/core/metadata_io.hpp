@@ -1,0 +1,27 @@
+// Durable serialization of the Cloud Data Distributor's metadata tables.
+//
+// The three tables (SIV-A, Tables I-III) are the only state a distributor
+// cannot recompute: losing them strands every stored chunk. This codec
+// round-trips a MetadataStore through a versioned binary image so a
+// distributor can restart against the same providers (the paper's
+// architectural worry about the distributor being a single point of failure
+// -- persistence plus the Fig. 2 group addresses it).
+#pragma once
+
+#include <memory>
+
+#include "core/tables.hpp"
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace cshield::core {
+
+/// Serializes the full table state.
+[[nodiscard]] Bytes serialize_metadata(const MetadataStore& store);
+
+/// Rebuilds a store from an image produced by serialize_metadata. Rejects
+/// bad magic, unknown versions and truncation.
+[[nodiscard]] Result<std::shared_ptr<MetadataStore>> deserialize_metadata(
+    BytesView image);
+
+}  // namespace cshield::core

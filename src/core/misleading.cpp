@@ -1,0 +1,73 @@
+#include "core/misleading.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cshield::core {
+
+MisleadingCodec::Encoded MisleadingCodec::inject(BytesView data,
+                                                 double fraction, Rng& rng) {
+  CS_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+             "misleading fraction outside [0,1]");
+  Encoded out;
+  if (fraction == 0.0 || data.empty()) {
+    out.data.assign(data.begin(), data.end());
+    return out;
+  }
+  const std::size_t chaff = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * static_cast<double>(data.size())));
+  const std::size_t total = data.size() + chaff;
+
+  // Choose chaff positions uniformly over the final buffer: a sorted sample
+  // of `chaff` distinct indices in [0, total).
+  // Floyd's algorithm for a uniform sample of `chaff` distinct indices.
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(chaff * 2);
+  for (std::size_t j = total - chaff; j < total; ++j) {
+    const std::uint32_t t = static_cast<std::uint32_t>(rng.below(j + 1));
+    if (!chosen.insert(t).second) {
+      chosen.insert(static_cast<std::uint32_t>(j));
+    }
+  }
+  out.positions.assign(chosen.begin(), chosen.end());
+  std::sort(out.positions.begin(), out.positions.end());
+
+  out.data.resize(total);
+  std::size_t src = 0;
+  std::size_t pos_idx = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (pos_idx < out.positions.size() && out.positions[pos_idx] == i) {
+      // Chaff byte: sampled from the real payload's byte distribution so it
+      // is statistically indistinguishable from data.
+      out.data[i] = data[rng.below(data.size())];
+      ++pos_idx;
+    } else {
+      out.data[i] = data[src++];
+    }
+  }
+  CS_REQUIRE(src == data.size() && pos_idx == out.positions.size(),
+             "misleading inject accounting error");
+  return out;
+}
+
+Bytes MisleadingCodec::strip(BytesView data,
+                             const std::vector<std::uint32_t>& positions) {
+  if (positions.empty()) return Bytes(data.begin(), data.end());
+  CS_REQUIRE(positions.size() <= data.size(),
+             "strip: more chaff positions than bytes");
+  Bytes out;
+  out.reserve(data.size() - positions.size());
+  std::size_t pos_idx = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (pos_idx < positions.size() && positions[pos_idx] == i) {
+      ++pos_idx;
+      continue;
+    }
+    out.push_back(data[i]);
+  }
+  CS_REQUIRE(pos_idx == positions.size(),
+             "strip: position beyond buffer end");
+  return out;
+}
+
+}  // namespace cshield::core

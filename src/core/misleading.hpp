@@ -1,0 +1,44 @@
+// Misleading-byte injection (SIV-A, SVII-D).
+//
+// "To ensure greater dimension of privacy, the Cloud Data Distributor may
+// add misleading data into chunks depending on the demand of clients. The
+// positions of misleading data bytes are also maintained by the distributor
+// and these misleading bytes are removed while providing the chunks to the
+// clients."
+//
+// The injected bytes are drawn to look like plausible payload (random
+// values), at pseudo-random positions recorded in the Chunk Table only --
+// a provider or attacker holding the chunk cannot tell real bytes from
+// chaff, so any mining over the raw chunk reads poisoned records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cshield::core {
+
+/// Result of injecting chaff into a chunk: the padded payload plus the
+/// positions (indices in the padded buffer, strictly increasing) that hold
+/// misleading bytes. The position list is Table III's "M" column.
+struct MisleadingCodec {
+  /// Injects floor(fraction * data.size()) misleading bytes (at least 1
+  /// when fraction > 0 and data non-empty). Positions are uniform over the
+  /// output buffer.
+  struct Encoded {
+    Bytes data;
+    std::vector<std::uint32_t> positions;  ///< sorted indices into data
+  };
+
+  [[nodiscard]] static Encoded inject(BytesView data, double fraction,
+                                      Rng& rng);
+
+  /// Removes the recorded misleading bytes, restoring the original payload.
+  [[nodiscard]] static Bytes strip(BytesView data,
+                                   const std::vector<std::uint32_t>& positions);
+};
+
+}  // namespace cshield::core

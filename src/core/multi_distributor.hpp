@@ -1,0 +1,104 @@
+// Extended architecture with multiple Cloud Data Distributors (Fig. 2).
+//
+// "A single data distributor can create a bottleneck in the system as it can
+// be the single point of failure. To eliminate this, multiple distributors
+// of cloud data can be introduced. In case of multiple data distributors,
+// for each client, a specific distributor will act as the primary
+// distributor that will upload data, whereas other distributors will act as
+// secondary distributors who can perform the data retrieval operations."
+//
+// All front-ends share one MetadataStore (the consistent namespace) and one
+// ProviderRegistry; writes route to the client's primary, reads to any
+// distributor -- round-robin here, modelling read load spreading.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/distributor.hpp"
+#include "util/hash.hpp"
+
+namespace cshield::core {
+
+class DistributorGroup {
+ public:
+  /// Builds `count` distributors over the shared registry/metadata. Seeds
+  /// are derived from config.seed so the group is reproducible.
+  DistributorGroup(storage::ProviderRegistry& registry,
+                   DistributorConfig config, std::size_t count)
+      : metadata_(std::make_shared<MetadataStore>()) {
+    CS_REQUIRE(count > 0, "DistributorGroup needs >= 1 distributor");
+    distributors_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      DistributorConfig c = config;
+      c.seed = config.seed + 0x9E3779B9ULL * (i + 1);
+      distributors_.push_back(std::make_unique<CloudDataDistributor>(
+          registry, c, metadata_));
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return distributors_.size(); }
+
+  /// The client's primary distributor (stable hash of the client name).
+  [[nodiscard]] CloudDataDistributor& primary_for(const std::string& client) {
+    return *distributors_[fnv1a64(client) % distributors_.size()];
+  }
+
+  /// Any distributor, round-robin -- the read path.
+  [[nodiscard]] CloudDataDistributor& any() {
+    return *distributors_[next_.fetch_add(1, std::memory_order_relaxed) %
+                          distributors_.size()];
+  }
+
+  [[nodiscard]] CloudDataDistributor& at(std::size_t i) {
+    CS_REQUIRE(i < distributors_.size(), "DistributorGroup index");
+    return *distributors_[i];
+  }
+
+  // --- client-facing convenience that enforces the primary/secondary
+  //     routing discipline --------------------------------------------------
+
+  Status register_client(const std::string& client) {
+    return primary_for(client).register_client(client);
+  }
+
+  Status add_password(const std::string& client, const std::string& password,
+                      PrivacyLevel pl) {
+    return primary_for(client).add_password(client, password, pl);
+  }
+
+  /// Uploads go through the client's primary.
+  Status put_file(const std::string& client, const std::string& password,
+                  const std::string& filename, BytesView data,
+                  const PutOptions& options, OpReport* report = nullptr) {
+    return primary_for(client).put_file(client, password, filename, data,
+                                        options, report);
+  }
+
+  /// Retrievals may hit any distributor (they share the tables).
+  [[nodiscard]] Result<Bytes> get_file(const std::string& client,
+                                       const std::string& password,
+                                       const std::string& filename,
+                                       OpReport* report = nullptr) {
+    return any().get_file(client, password, filename, report);
+  }
+
+  [[nodiscard]] Result<Bytes> get_chunk(const std::string& client,
+                                        const std::string& password,
+                                        const std::string& filename,
+                                        std::uint64_t serial,
+                                        OpReport* report = nullptr) {
+    return any().get_chunk(client, password, filename, serial, report);
+  }
+
+  [[nodiscard]] const MetadataStore& metadata() const { return *metadata_; }
+
+ private:
+  std::shared_ptr<MetadataStore> metadata_;
+  std::vector<std::unique_ptr<CloudDataDistributor>> distributors_;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace cshield::core

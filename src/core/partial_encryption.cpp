@@ -1,0 +1,66 @@
+#include "core/partial_encryption.hpp"
+
+#include <algorithm>
+
+namespace cshield::core {
+
+PartialEncryptor::PartialEncryptor(std::vector<std::string> schema,
+                                   std::vector<std::string> sensitive,
+                                   const crypto::AesKey& key)
+    : schema_(std::move(schema)), key_(key) {
+  CS_REQUIRE(!schema_.empty(), "PartialEncryptor: empty schema");
+  for (const auto& name : sensitive) {
+    auto it = std::find(schema_.begin(), schema_.end(), name);
+    CS_REQUIRE(it != schema_.end(),
+               "PartialEncryptor: sensitive column not in schema: " + name);
+    sensitive_cols_.push_back(
+        static_cast<std::size_t>(it - schema_.begin()));
+  }
+  std::sort(sensitive_cols_.begin(), sensitive_cols_.end());
+  sensitive_cols_.erase(
+      std::unique(sensitive_cols_.begin(), sensitive_cols_.end()),
+      sensitive_cols_.end());
+}
+
+Result<Bytes> PartialEncryptor::apply(BytesView data,
+                                      std::uint64_t base_record) const {
+  const std::size_t rec = record_size();
+  if (data.size() % rec != 0) {
+    return Status::InvalidArgument(
+        "PartialEncryptor::apply: buffer is not whole records");
+  }
+  Bytes out(data.begin(), data.end());
+  if (sensitive_cols_.empty()) return out;
+
+  const std::size_t records = data.size() / rec;
+  const crypto::Aes128 cipher(key_);
+  for (std::size_t r = 0; r < records; ++r) {
+    // One keystream block per record: counter = record index. 16 bytes
+    // covers two doubles; wider sensitive sets draw more blocks.
+    const std::uint64_t record_index = base_record + r;
+    std::size_t consumed = 16;  // force a fresh block on first use
+    std::uint8_t blocks_drawn = 0;
+    crypto::AesBlock keystream{};
+    for (std::size_t c : sensitive_cols_) {
+      std::uint8_t* field = out.data() + r * rec + c * sizeof(double);
+      for (std::size_t b = 0; b < sizeof(double); ++b) {
+        if (consumed == 16) {
+          // Counter block: (record index, blocks drawn within the record).
+          crypto::AesBlock counter{};
+          for (int i = 0; i < 8; ++i) {
+            counter[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(record_index >> (56 - 8 * i));
+          }
+          counter[15] = blocks_drawn++;
+          keystream = counter;
+          cipher.encrypt_block(keystream);
+          consumed = 0;
+        }
+        field[b] ^= keystream[consumed++];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cshield::core

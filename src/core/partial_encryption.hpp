@@ -1,0 +1,53 @@
+// Partial encryption of record streams (SVII-E).
+//
+// "Clients can also use partial encryption along with fragmentation, that
+// involves partitioning data and encrypting a portion of it."
+//
+// Given a record schema, a set of sensitive columns and a client-held key,
+// the codec encrypts exactly those fields in place (AES-128-CTR, one
+// keystream per record derived from the record index, so random access by
+// row stays O(1)). Non-sensitive fields remain plaintext and minable by
+// authorized analytics; the sensitive fields are ciphertext to every
+// provider. Layout (record boundaries, sizes) is unchanged, so the
+// distributor's chunking and the RecordCodec are oblivious to it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/aes.hpp"
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace cshield::core {
+
+class PartialEncryptor {
+ public:
+  /// `schema` is the record's column list; `sensitive` names the columns to
+  /// encrypt. Throws if a sensitive column is not in the schema.
+  PartialEncryptor(std::vector<std::string> schema,
+                   std::vector<std::string> sensitive,
+                   const crypto::AesKey& key);
+
+  /// Encrypts the sensitive fields of every whole record in `data`
+  /// (length must be a multiple of the record size). Self-inverse
+  /// (CTR mode), so the same call decrypts.
+  [[nodiscard]] Result<Bytes> apply(BytesView data,
+                                    std::uint64_t base_record = 0) const;
+
+  [[nodiscard]] std::size_t record_size() const {
+    return schema_.size() * sizeof(double);
+  }
+
+  [[nodiscard]] const std::vector<std::size_t>& sensitive_columns() const {
+    return sensitive_cols_;
+  }
+
+ private:
+  std::vector<std::string> schema_;
+  std::vector<std::size_t> sensitive_cols_;  ///< sorted column indices
+  crypto::AesKey key_;
+};
+
+}  // namespace cshield::core

@@ -1,0 +1,99 @@
+// Stripe placement policy (SIV-A).
+//
+// Rules, in order:
+//   1. Eligibility: "A chunk is given to a provider having equal or higher
+//      privacy level compared to the privacy level of the chunk."
+//   2. Cost preference: "in case of equal privacy level, the one with a
+//      lower cost level is given preference."
+//   3. Randomization: the paper's distribute() hands chunks out "in a
+//      random way" -- within a cost tier the order is shuffled so chunk
+//      placement is not predictable, and successive stripes land on
+//      different provider subsets.
+//   4. Distinctness: RAID needs every shard of a stripe on a different
+//      provider (each provider is "a separate disk").
+//
+// Rules 2 and 3 pull in opposite directions: strict cost preference
+// concentrates narrow stripes on the cheapest trusted providers, which is
+// exactly the data concentration the architecture exists to avoid. The
+// policy therefore has two modes -- kCostAware (the paper's Table I rule,
+// default) and kUniformSpread (privacy-first: uniform random over the whole
+// eligible set). bench_chunk_size ablates the difference.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "storage/provider_registry.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cshield::core {
+
+enum class PlacementMode {
+  kCostAware,      ///< eligible -> cheapest cost tier first (SIV-A rule)
+  kUniformSpread,  ///< eligible -> uniform random (maximum dispersion)
+  kRoundRobin,     ///< eligible -> strict rotation ("distributes his data
+                   ///  equally among 3 providers", SVII-A)
+};
+
+class PlacementPolicy {
+ public:
+  explicit PlacementPolicy(std::uint64_t seed = 0x97ACE,
+                           PlacementMode mode = PlacementMode::kCostAware)
+      : rng_(seed), mode_(mode) {}
+
+  /// Picks `stripe_width` distinct providers for a chunk at `pl`.
+  /// kResourceExhausted when fewer eligible providers exist than shards --
+  /// the deployment is too small for the requested assurance.
+  [[nodiscard]] Result<std::vector<ProviderIndex>> choose(
+      const storage::ProviderRegistry& registry, PrivacyLevel pl,
+      std::size_t stripe_width) {
+    CS_REQUIRE(stripe_width > 0, "choose: zero stripe width");
+    std::vector<ProviderIndex> eligible = registry.eligible_for(pl);
+    if (eligible.size() < stripe_width) {
+      return Status::ResourceExhausted(
+          "only " + std::to_string(eligible.size()) +
+          " providers trusted for " + std::string(privacy_level_name(pl)) +
+          ", stripe needs " + std::to_string(stripe_width));
+    }
+    if (mode_ == PlacementMode::kUniformSpread) {
+      rng_.shuffle(eligible);
+      eligible.resize(stripe_width);
+      return eligible;
+    }
+    if (mode_ == PlacementMode::kRoundRobin) {
+      std::vector<ProviderIndex> chosen;
+      chosen.reserve(stripe_width);
+      for (std::size_t s = 0; s < stripe_width; ++s) {
+        chosen.push_back(eligible[(round_robin_ + s) % eligible.size()]);
+      }
+      round_robin_ = (round_robin_ + stripe_width) % eligible.size();
+      return chosen;
+    }
+    // Group by cost level, cheapest first; shuffle within each tier.
+    std::vector<std::vector<ProviderIndex>> tiers(kNumCostLevels);
+    for (ProviderIndex p : eligible) {
+      tiers[static_cast<std::size_t>(
+               level_index(registry.at(p).descriptor().cost_level))]
+          .push_back(p);
+    }
+    std::vector<ProviderIndex> chosen;
+    chosen.reserve(stripe_width);
+    for (auto& tier : tiers) {
+      rng_.shuffle(tier);
+      for (ProviderIndex p : tier) {
+        if (chosen.size() == stripe_width) break;
+        chosen.push_back(p);
+      }
+      if (chosen.size() == stripe_width) break;
+    }
+    return chosen;
+  }
+
+ private:
+  Rng rng_;
+  PlacementMode mode_;
+  std::size_t round_robin_ = 0;
+};
+
+}  // namespace cshield::core

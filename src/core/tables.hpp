@@ -1,0 +1,283 @@
+// The Cloud Data Distributor's three metadata tables (Tables I-III).
+//
+// The paper's distributor "maintains three types of tables describing the
+// providers, the clients and the chunks". MetadataStore is that state, kept
+// behind one mutex so several distributor front-ends (the Fig. 2
+// multi-distributor extension) can share it. One generalization: because we
+// implement the RAID placement the paper prescribes, a chunk's single
+// "CP index" column becomes a stripe -- a list of (provider, virtual id)
+// shard locations; a 1-shard stripe reproduces the paper's table exactly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/sha256.hpp"
+#include "raid/raid.hpp"
+#include "util/status.hpp"
+
+namespace cshield::core {
+
+/// Where one shard of a chunk's stripe lives.
+struct ShardLocation {
+  ProviderIndex provider = kNoProvider;
+  VirtualId virtual_id = 0;
+};
+
+/// One row of the Chunk Table (Table III), RAID-generalized.
+struct ChunkEntry {
+  PrivacyLevel privacy_level = PrivacyLevel::kPublic;
+  raid::StripeLayout layout;
+  std::vector<ShardLocation> stripe;      ///< CP column, one per shard
+  std::vector<ShardLocation> snapshot;    ///< SP column: pre-modification state
+  std::vector<std::uint32_t> misleading;  ///< M column: chaff byte positions
+  std::size_t padded_size = 0;   ///< payload length incl. misleading bytes
+  std::vector<crypto::Digest> shard_digests;  ///< integrity per shard
+  bool has_snapshot = false;
+  std::size_t snapshot_padded_size = 0;
+  std::vector<std::uint32_t> snapshot_misleading;
+  std::vector<crypto::Digest> snapshot_digests;
+  bool deleted = false;  ///< tombstone; indices stay stable after removal
+};
+
+/// Chunk coordinate within a client's namespace.
+struct ChunkRef {
+  std::string filename;
+  std::uint64_t serial = 0;
+  PrivacyLevel privacy_level = PrivacyLevel::kPublic;
+  std::size_t chunk_index = 0;  ///< index into the chunk table
+};
+
+/// One row of the Client Table (Table II).
+struct ClientEntry {
+  std::string name;
+  std::vector<std::pair<std::string, PrivacyLevel>> passwords;
+  std::vector<ChunkRef> chunks;
+
+  [[nodiscard]] std::size_t chunk_count() const { return chunks.size(); }
+};
+
+/// One row of the Cloud Provider Table (Table I). The registry owns the
+/// live provider objects; this row mirrors the paper's bookkeeping view
+/// (name/PL/CL come from the registry descriptor at registration).
+struct ProviderEntry {
+  std::string name;
+  PrivacyLevel privacy_level = PrivacyLevel::kPublic;
+  CostLevel cost_level = CostLevel::kCheapest;
+  std::vector<VirtualId> virtual_ids;  ///< chunks (shards) placed here
+
+  [[nodiscard]] std::size_t count() const { return virtual_ids.size(); }
+};
+
+/// Thread-safe store of the three tables. All distributor front-ends
+/// sharing a store see a consistent namespace.
+class MetadataStore {
+ public:
+  // --- Cloud Provider Table ------------------------------------------
+
+  /// Registers provider bookkeeping rows 0..n-1 (must mirror the registry).
+  void register_provider(std::string name, PrivacyLevel pl, CostLevel cl) {
+    std::lock_guard<std::mutex> lock(mu_);
+    providers_.push_back(ProviderEntry{std::move(name), pl, cl, {}});
+  }
+
+  void record_placement(ProviderIndex p, VirtualId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    CS_REQUIRE(p < providers_.size(), "record_placement: bad provider index");
+    providers_[p].virtual_ids.push_back(id);
+  }
+
+  void record_removal(ProviderIndex p, VirtualId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    CS_REQUIRE(p < providers_.size(), "record_removal: bad provider index");
+    auto& ids = providers_[p].virtual_ids;
+    for (auto it = ids.begin(); it != ids.end(); ++it) {
+      if (*it == id) {
+        ids.erase(it);
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<ProviderEntry> provider_table() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return providers_;
+  }
+
+  // --- Client Table ---------------------------------------------------
+
+  Status register_client(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (clients_.count(name) != 0) {
+      return Status::AlreadyExists("client " + name);
+    }
+    clients_[name].name = name;
+    return Status::Ok();
+  }
+
+  Status add_password(const std::string& client, const std::string& password,
+                      PrivacyLevel pl) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = clients_.find(client);
+    if (it == clients_.end()) return Status::NotFound("client " + client);
+    for (const auto& [pw, _] : it->second.passwords) {
+      if (pw == password) {
+        return Status::AlreadyExists("password already registered");
+      }
+    }
+    it->second.passwords.emplace_back(password, pl);
+    return Status::Ok();
+  }
+
+  /// Validates a password and returns its privilege level (SV access check
+  /// happens at the chunk-PL comparison in the distributor).
+  [[nodiscard]] Result<PrivacyLevel> authenticate(
+      const std::string& client, const std::string& password) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = clients_.find(client);
+    if (it == clients_.end()) return Status::NotFound("client " + client);
+    for (const auto& [pw, pl] : it->second.passwords) {
+      if (pw == password) return pl;
+    }
+    return Status::PermissionDenied("bad password for client " + client);
+  }
+
+  [[nodiscard]] Result<ClientEntry> client_entry(
+      const std::string& client) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = clients_.find(client);
+    if (it == clients_.end()) return Status::NotFound("client " + client);
+    return it->second;
+  }
+
+  // --- Chunk Table ------------------------------------------------------
+
+  /// Appends a chunk entry and links it into the client's file map.
+  /// Returns the chunk-table index.
+  [[nodiscard]] Result<std::size_t> add_chunk(const std::string& client,
+                                              const std::string& filename,
+                                              std::uint64_t serial,
+                                              ChunkEntry entry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = clients_.find(client);
+    if (it == clients_.end()) return Status::NotFound("client " + client);
+    chunks_.push_back(std::move(entry));
+    const std::size_t idx = chunks_.size() - 1;
+    it->second.chunks.push_back(
+        ChunkRef{filename, serial, chunks_.back().privacy_level, idx});
+    return idx;
+  }
+
+  [[nodiscard]] Result<ChunkEntry> chunk_entry(std::size_t index) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index >= chunks_.size()) {
+      return Status::NotFound("chunk index " + std::to_string(index));
+    }
+    return chunks_[index];
+  }
+
+  Status update_chunk(std::size_t index, ChunkEntry entry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index >= chunks_.size()) {
+      return Status::NotFound("chunk index " + std::to_string(index));
+    }
+    chunks_[index] = std::move(entry);
+    return Status::Ok();
+  }
+
+  /// Finds the chunk refs of a client file, serial-ordered. Empty result =
+  /// file unknown.
+  [[nodiscard]] std::vector<ChunkRef> file_chunks(
+      const std::string& client, const std::string& filename) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ChunkRef> out;
+    auto it = clients_.find(client);
+    if (it == clients_.end()) return out;
+    for (const auto& ref : it->second.chunks) {
+      if (ref.filename == filename) out.push_back(ref);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ChunkRef& a, const ChunkRef& b) {
+                return a.serial < b.serial;
+              });
+    return out;
+  }
+
+  [[nodiscard]] std::optional<ChunkRef> find_chunk(
+      const std::string& client, const std::string& filename,
+      std::uint64_t serial) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = clients_.find(client);
+    if (it == clients_.end()) return std::nullopt;
+    for (const auto& ref : it->second.chunks) {
+      if (ref.filename == filename && ref.serial == serial) return ref;
+    }
+    return std::nullopt;
+  }
+
+  /// Unlinks a chunk ref from the client (the chunk-table row stays as a
+  /// tombstone; indices must remain stable).
+  Status unlink_chunk(const std::string& client, const std::string& filename,
+                      std::uint64_t serial) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = clients_.find(client);
+    if (it == clients_.end()) return Status::NotFound("client " + client);
+    auto& refs = it->second.chunks;
+    for (auto rit = refs.begin(); rit != refs.end(); ++rit) {
+      if (rit->filename == filename && rit->serial == serial) {
+        refs.erase(rit);
+        return Status::Ok();
+      }
+    }
+    return Status::NotFound("chunk " + filename + "#" +
+                            std::to_string(serial));
+  }
+
+  [[nodiscard]] std::size_t total_chunks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return chunks_.size();
+  }
+
+  // --- snapshot / restore (durability; see core/metadata_io.hpp) -------
+
+  [[nodiscard]] std::vector<ClientEntry> client_table() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ClientEntry> out;
+    out.reserve(clients_.size());
+    for (const auto& [name, entry] : clients_) out.push_back(entry);
+    return out;
+  }
+
+  [[nodiscard]] std::vector<ChunkEntry> chunk_table() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return chunks_;
+  }
+
+  /// Replaces the entire table state (only valid on a freshly constructed
+  /// store, i.e. during deserialization).
+  void restore(std::vector<ProviderEntry> providers,
+               std::vector<ClientEntry> clients,
+               std::vector<ChunkEntry> chunks) {
+    std::lock_guard<std::mutex> lock(mu_);
+    CS_REQUIRE(providers_.empty() && clients_.empty() && chunks_.empty(),
+               "MetadataStore::restore on a non-empty store");
+    providers_ = std::move(providers);
+    for (auto& c : clients) clients_[c.name] = std::move(c);
+    chunks_ = std::move(chunks);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ProviderEntry> providers_;
+  std::map<std::string, ClientEntry> clients_;
+  std::vector<ChunkEntry> chunks_;
+};
+
+}  // namespace cshield::core

@@ -1,0 +1,204 @@
+#include "crypto/aes.hpp"
+
+#include <cstring>
+
+namespace cshield::crypto {
+namespace {
+
+// --- AES field arithmetic (polynomial 0x11B; distinct from gf256.hpp's
+// storage field 0x11D) -------------------------------------------------------
+
+constexpr std::uint8_t aes_mul(std::uint8_t a, std::uint8_t b) {
+  unsigned acc = 0;
+  unsigned aa = a;
+  unsigned bb = b;
+  while (bb != 0) {
+    if (bb & 1U) acc ^= aa;
+    aa <<= 1;
+    if (aa & 0x100U) aa ^= 0x11B;
+    bb >>= 1;
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+constexpr std::uint8_t aes_inv(std::uint8_t a) {
+  if (a == 0) return 0;
+  // a^254 = a^-1 in GF(2^8); exponentiation by squaring keeps this constexpr.
+  std::uint8_t result = 1;
+  std::uint8_t base = a;
+  unsigned e = 254;
+  while (e != 0) {
+    if (e & 1U) result = aes_mul(result, base);
+    base = aes_mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+struct SBoxes {
+  std::array<std::uint8_t, 256> fwd{};
+  std::array<std::uint8_t, 256> inv{};
+};
+
+constexpr SBoxes build_sboxes() {
+  SBoxes s{};
+  for (unsigned x = 0; x < 256; ++x) {
+    const std::uint8_t q = aes_inv(static_cast<std::uint8_t>(x));
+    // FIPS-197 affine transform.
+    const std::uint8_t y = static_cast<std::uint8_t>(
+        q ^ static_cast<std::uint8_t>((q << 1) | (q >> 7)) ^
+        static_cast<std::uint8_t>((q << 2) | (q >> 6)) ^
+        static_cast<std::uint8_t>((q << 3) | (q >> 5)) ^
+        static_cast<std::uint8_t>((q << 4) | (q >> 4)) ^ 0x63);
+    s.fwd[x] = y;
+    s.inv[y] = static_cast<std::uint8_t>(x);
+  }
+  return s;
+}
+
+constexpr SBoxes kSBox = build_sboxes();
+
+constexpr std::array<std::uint8_t, 10> kRcon = {0x01, 0x02, 0x04, 0x08, 0x10,
+                                                0x20, 0x40, 0x80, 0x1B, 0x36};
+
+void sub_bytes(AesBlock& s) {
+  for (auto& b : s) b = kSBox.fwd[b];
+}
+
+void inv_sub_bytes(AesBlock& s) {
+  for (auto& b : s) b = kSBox.inv[b];
+}
+
+// State layout: column-major as in FIPS-197 -- s[r + 4c] is row r, column c.
+void shift_rows(AesBlock& s) {
+  AesBlock t = s;
+  for (int r = 1; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      s[static_cast<std::size_t>(r + 4 * c)] =
+          t[static_cast<std::size_t>(r + 4 * ((c + r) % 4))];
+    }
+  }
+}
+
+void inv_shift_rows(AesBlock& s) {
+  AesBlock t = s;
+  for (int r = 1; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      s[static_cast<std::size_t>(r + 4 * ((c + r) % 4))] =
+          t[static_cast<std::size_t>(r + 4 * c)];
+    }
+  }
+}
+
+void mix_columns(AesBlock& s) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s.data() + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(aes_mul(a0, 2) ^ aes_mul(a1, 3) ^ a2 ^ a3);
+    col[1] = static_cast<std::uint8_t>(a0 ^ aes_mul(a1, 2) ^ aes_mul(a2, 3) ^ a3);
+    col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ aes_mul(a2, 2) ^ aes_mul(a3, 3));
+    col[3] = static_cast<std::uint8_t>(aes_mul(a0, 3) ^ a1 ^ a2 ^ aes_mul(a3, 2));
+  }
+}
+
+void inv_mix_columns(AesBlock& s) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s.data() + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(aes_mul(a0, 14) ^ aes_mul(a1, 11) ^
+                                       aes_mul(a2, 13) ^ aes_mul(a3, 9));
+    col[1] = static_cast<std::uint8_t>(aes_mul(a0, 9) ^ aes_mul(a1, 14) ^
+                                       aes_mul(a2, 11) ^ aes_mul(a3, 13));
+    col[2] = static_cast<std::uint8_t>(aes_mul(a0, 13) ^ aes_mul(a1, 9) ^
+                                       aes_mul(a2, 14) ^ aes_mul(a3, 11));
+    col[3] = static_cast<std::uint8_t>(aes_mul(a0, 11) ^ aes_mul(a1, 13) ^
+                                       aes_mul(a2, 9) ^ aes_mul(a3, 14));
+  }
+}
+
+}  // namespace
+
+Aes128::Aes128(const AesKey& key) {
+  std::memcpy(round_keys_.data(), key.data(), 16);
+  for (int i = 4; i < 44; ++i) {
+    std::array<std::uint8_t, 4> temp{};
+    std::memcpy(temp.data(), round_keys_.data() + 4 * (i - 1), 4);
+    if (i % 4 == 0) {
+      // RotWord + SubWord + Rcon.
+      const std::uint8_t t0 = temp[0];
+      temp[0] = static_cast<std::uint8_t>(kSBox.fwd[temp[1]] ^
+                                          kRcon[static_cast<std::size_t>(i / 4 - 1)]);
+      temp[1] = kSBox.fwd[temp[2]];
+      temp[2] = kSBox.fwd[temp[3]];
+      temp[3] = kSBox.fwd[t0];
+    }
+    for (int b = 0; b < 4; ++b) {
+      round_keys_[static_cast<std::size_t>(4 * i + b)] = static_cast<std::uint8_t>(
+          round_keys_[static_cast<std::size_t>(4 * (i - 4) + b)] ^
+          temp[static_cast<std::size_t>(b)]);
+    }
+  }
+}
+
+void Aes128::encrypt_block(AesBlock& block) const {
+  auto add_round_key = [&](int round) {
+    for (int i = 0; i < 16; ++i) {
+      block[static_cast<std::size_t>(i)] ^=
+          round_keys_[static_cast<std::size_t>(16 * round + i)];
+    }
+  };
+  add_round_key(0);
+  for (int round = 1; round < 10; ++round) {
+    sub_bytes(block);
+    shift_rows(block);
+    mix_columns(block);
+    add_round_key(round);
+  }
+  sub_bytes(block);
+  shift_rows(block);
+  add_round_key(10);
+}
+
+void Aes128::decrypt_block(AesBlock& block) const {
+  auto add_round_key = [&](int round) {
+    for (int i = 0; i < 16; ++i) {
+      block[static_cast<std::size_t>(i)] ^=
+          round_keys_[static_cast<std::size_t>(16 * round + i)];
+    }
+  };
+  add_round_key(10);
+  for (int round = 9; round > 0; --round) {
+    inv_shift_rows(block);
+    inv_sub_bytes(block);
+    add_round_key(round);
+    inv_mix_columns(block);
+  }
+  inv_shift_rows(block);
+  inv_sub_bytes(block);
+  add_round_key(0);
+}
+
+Bytes aes128_ctr(const AesKey& key, std::uint64_t nonce, BytesView data) {
+  const Aes128 cipher(key);
+  Bytes out(data.begin(), data.end());
+  AesBlock counter{};
+  for (int i = 0; i < 8; ++i) {
+    counter[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+  }
+  std::uint64_t block_index = 0;
+  for (std::size_t offset = 0; offset < out.size(); offset += 16) {
+    AesBlock keystream = counter;
+    for (int i = 0; i < 8; ++i) {
+      keystream[static_cast<std::size_t>(8 + i)] =
+          static_cast<std::uint8_t>(block_index >> (56 - 8 * i));
+    }
+    cipher.encrypt_block(keystream);
+    const std::size_t n = std::min<std::size_t>(16, out.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) out[offset + i] ^= keystream[i];
+    ++block_index;
+  }
+  return out;
+}
+
+}  // namespace cshield::crypto

@@ -1,0 +1,42 @@
+// AES-128 block cipher and CTR-mode stream (FIPS 197 / SP 800-38A).
+//
+// This is the "encrypt everything at the client" baseline the paper argues
+// against in SVII-E: it exists so bench_encryption_vs_fragmentation can put a
+// real cipher's cost on the scale, not a strawman. Portable table-free
+// byte-oriented implementation; correctness is pinned to the FIPS-197 and
+// SP 800-38A test vectors in tests/crypto_test.cpp. (Not hardened against
+// timing side channels -- it encrypts synthetic benchmark data only.)
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace cshield::crypto {
+
+using AesKey = std::array<std::uint8_t, 16>;
+using AesBlock = std::array<std::uint8_t, 16>;
+
+/// AES-128 with a precomputed key schedule.
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key);
+
+  /// Encrypts one 16-byte block in place.
+  void encrypt_block(AesBlock& block) const;
+
+  /// Decrypts one 16-byte block in place.
+  void decrypt_block(AesBlock& block) const;
+
+ private:
+  std::array<std::uint8_t, 176> round_keys_{};  // 11 round keys x 16 bytes
+};
+
+/// CTR mode: encryption and decryption are the same operation.
+/// `nonce` occupies the first 8 bytes of the counter block; the remaining 8
+/// form a big-endian block counter starting at 0.
+[[nodiscard]] Bytes aes128_ctr(const AesKey& key, std::uint64_t nonce,
+                               BytesView data);
+
+}  // namespace cshield::crypto

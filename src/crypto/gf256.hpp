@@ -1,0 +1,102 @@
+// GF(2^8) arithmetic for the RAID-6 Reed-Solomon code.
+//
+// The field is defined by the reduction polynomial x^8+x^4+x^3+x^2+1 (0x11D),
+// the conventional choice for storage erasure codes (it has 0x02 as a
+// primitive element, so RAID-6's Q parity can use powers of the generator).
+// Note this is deliberately NOT the AES polynomial 0x11B; AES carries its own
+// field arithmetic in aes.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/status.hpp"
+
+namespace cshield::gf256 {
+
+inline constexpr unsigned kPoly = 0x11D;  ///< reduction polynomial
+
+/// Carry-less multiply-and-reduce; reference implementation used to build the
+/// log/antilog tables and in tests as the ground truth.
+[[nodiscard]] constexpr std::uint8_t mul_slow(std::uint8_t a, std::uint8_t b) {
+  unsigned acc = 0;
+  unsigned aa = a;
+  unsigned bb = b;
+  while (bb != 0) {
+    if (bb & 1U) acc ^= aa;
+    aa <<= 1;
+    if (aa & 0x100U) aa ^= kPoly;
+    bb >>= 1;
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+namespace detail {
+
+struct Tables {
+  // exp_ doubled to 512 entries so mul() can skip the mod-255 reduction.
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint8_t, 256> log{};
+};
+
+[[nodiscard]] constexpr Tables build_tables() {
+  Tables t{};
+  std::uint8_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = x;
+    t.log[x] = static_cast<std::uint8_t>(i);
+    x = mul_slow(x, 2);  // 0x02 generates the multiplicative group mod 0x11D
+  }
+  for (int i = 255; i < 512; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = t.exp[static_cast<std::size_t>(i - 255)];
+  }
+  return t;
+}
+
+inline constexpr Tables kTables = build_tables();
+
+}  // namespace detail
+
+/// Field addition = XOR (also subtraction).
+[[nodiscard]] constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+  return a ^ b;
+}
+
+/// Table-driven multiply.
+[[nodiscard]] constexpr std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return detail::kTables.exp[static_cast<std::size_t>(detail::kTables.log[a]) +
+                             detail::kTables.log[b]];
+}
+
+/// g^n for the generator g = 0x02 (n taken mod 255).
+[[nodiscard]] constexpr std::uint8_t exp(unsigned n) {
+  return detail::kTables.exp[n % 255];
+}
+
+/// Discrete log base 0x02; precondition a != 0.
+[[nodiscard]] inline std::uint8_t log(std::uint8_t a) {
+  CS_REQUIRE(a != 0, "gf256::log(0) undefined");
+  return detail::kTables.log[a];
+}
+
+/// Multiplicative inverse; precondition a != 0.
+[[nodiscard]] inline std::uint8_t inv(std::uint8_t a) {
+  CS_REQUIRE(a != 0, "gf256::inv(0) undefined");
+  return detail::kTables.exp[255 - detail::kTables.log[a]];
+}
+
+/// a / b; precondition b != 0.
+[[nodiscard]] inline std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  CS_REQUIRE(b != 0, "gf256::div by zero");
+  if (a == 0) return 0;
+  return detail::kTables.exp[255 + detail::kTables.log[a] -
+                             detail::kTables.log[b]];
+}
+
+/// dst[i] ^= coeff * src[i] -- the bulk Reed-Solomon kernel. Lengths must
+/// match; the caller (raid layer) guarantees equal stripe-block sizes.
+void mul_add(std::uint8_t coeff, const std::uint8_t* src, std::uint8_t* dst,
+             std::size_t n);
+
+}  // namespace cshield::gf256

@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used for chunk integrity digests: the distributor stores a digest per chunk
+// so silent corruption at a provider is detected on read (the paper's threat
+// model includes providers an attacker has compromised). Verified against the
+// FIPS test vectors in tests/crypto_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace cshield::crypto {
+
+/// 32-byte SHA-256 digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental hasher; also see the one-shot sha256() below.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  [[nodiscard]] Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// One-shot digest.
+[[nodiscard]] Digest sha256(BytesView data);
+
+/// Hex rendering for logs/tests.
+[[nodiscard]] std::string digest_hex(const Digest& d);
+
+}  // namespace cshield::crypto

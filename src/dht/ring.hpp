@@ -1,0 +1,123 @@
+// Consistent-hash ring for the client-side distributor variant (SIV-C).
+//
+// The paper proposes eliminating the third-party Cloud Data Distributor by
+// letting clients map <filename, chunk serial> pairs to providers with a
+// "CAN or CHORD like" hash table built from a downloadable provider list.
+// This is that structure: a CHORD-style identifier circle where each
+// provider owns the arc preceding its virtual nodes. Virtual nodes smooth
+// the load split; lookups are O(log n) binary searches on the sorted ring.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "util/hash.hpp"
+#include "util/status.hpp"
+
+namespace cshield::dht {
+
+/// One ring entry: a virtual node belonging to a provider.
+struct RingNode {
+  std::uint64_t position;  ///< point on the 2^64 identifier circle
+  ProviderIndex provider;
+};
+
+class HashRing {
+ public:
+  /// `virtual_nodes` ring points are created per provider join.
+  explicit HashRing(std::size_t virtual_nodes = 64)
+      : virtual_nodes_(virtual_nodes) {
+    CS_REQUIRE(virtual_nodes_ > 0, "HashRing needs >= 1 virtual node");
+  }
+
+  /// Adds a provider under a stable name (ring positions derive from the
+  /// name so every client that downloads the same provider list builds the
+  /// identical ring -- the property SIV-C relies on).
+  void add_provider(ProviderIndex provider, std::string_view name) {
+    for (std::size_t v = 0; v < virtual_nodes_; ++v) {
+      const std::uint64_t pos =
+          mix64(hash_combine(fnv1a64(name), v + 1));
+      nodes_.push_back(RingNode{pos, provider});
+    }
+    std::sort(nodes_.begin(), nodes_.end(),
+              [](const RingNode& a, const RingNode& b) {
+                return a.position < b.position ||
+                       (a.position == b.position && a.provider < b.provider);
+              });
+  }
+
+  /// Removes every virtual node of a provider (provider leaves the market).
+  void remove_provider(ProviderIndex provider) {
+    nodes_.erase(std::remove_if(nodes_.begin(), nodes_.end(),
+                                [provider](const RingNode& n) {
+                                  return n.provider == provider;
+                                }),
+                 nodes_.end());
+  }
+
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Successor lookup: the provider owning `key`'s arc.
+  [[nodiscard]] ProviderIndex lookup(std::uint64_t key) const {
+    CS_REQUIRE(!nodes_.empty(), "lookup on empty ring");
+    auto it = std::lower_bound(
+        nodes_.begin(), nodes_.end(), key,
+        [](const RingNode& n, std::uint64_t k) { return n.position < k; });
+    if (it == nodes_.end()) it = nodes_.begin();  // wrap around the circle
+    return it->provider;
+  }
+
+  /// The first `count` *distinct* providers clockwise from the key -- the
+  /// replica/stripe set for a chunk.
+  [[nodiscard]] std::vector<ProviderIndex> lookup_many(std::uint64_t key,
+                                                       std::size_t count) const {
+    CS_REQUIRE(!nodes_.empty(), "lookup_many on empty ring");
+    std::vector<ProviderIndex> out;
+    auto it = std::lower_bound(
+        nodes_.begin(), nodes_.end(), key,
+        [](const RingNode& n, std::uint64_t k) { return n.position < k; });
+    for (std::size_t step = 0; step < nodes_.size() && out.size() < count;
+         ++step) {
+      if (it == nodes_.end()) it = nodes_.begin();
+      if (std::find(out.begin(), out.end(), it->provider) == out.end()) {
+        out.push_back(it->provider);
+      }
+      ++it;
+    }
+    return out;
+  }
+
+  /// Hash for a <filename, serial> chunk coordinate (SIV-C's map key).
+  [[nodiscard]] static std::uint64_t chunk_key(std::string_view filename,
+                                               std::uint64_t serial) {
+    return mix64(hash_combine(fnv1a64(filename), serial));
+  }
+
+  /// Fraction of the keyspace owned per provider (load-balance metric).
+  [[nodiscard]] std::map<ProviderIndex, double> ownership() const {
+    std::map<ProviderIndex, double> share;
+    if (nodes_.empty()) return share;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const RingNode& cur = nodes_[i];
+      const std::uint64_t prev =
+          i == 0 ? nodes_.back().position : nodes_[i - 1].position;
+      // Arc length from predecessor to this node (wrapping).
+      const std::uint64_t arc = cur.position - prev;  // mod 2^64 wrap is free
+      share[cur.provider] +=
+          static_cast<double>(arc) / 18446744073709551615.0;
+    }
+    return share;
+  }
+
+ private:
+  std::size_t virtual_nodes_;
+  std::vector<RingNode> nodes_;
+};
+
+}  // namespace cshield::dht

@@ -1,0 +1,169 @@
+#include "mining/apriori.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+namespace cshield::mining {
+namespace {
+
+/// True when `needle` (sorted) is a subset of `haystack` (sorted).
+bool is_subset(const std::vector<std::uint32_t>& needle,
+               const std::vector<std::uint32_t>& haystack) {
+  return std::includes(haystack.begin(), haystack.end(), needle.begin(),
+                       needle.end());
+}
+
+std::size_t count_support(const std::vector<Transaction>& txns,
+                          const std::vector<std::uint32_t>& itemset) {
+  std::size_t count = 0;
+  for (const auto& t : txns) {
+    if (is_subset(itemset, t)) ++count;
+  }
+  return count;
+}
+
+std::string itemset_key(const std::vector<std::uint32_t>& items) {
+  std::ostringstream ss;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) ss << ',';
+    ss << items[i];
+  }
+  return ss.str();
+}
+
+/// Joins two sorted (k)-itemsets sharing a (k-1)-prefix into a (k+1)-set.
+bool try_join(const std::vector<std::uint32_t>& a,
+              const std::vector<std::uint32_t>& b,
+              std::vector<std::uint32_t>& out) {
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  if (a.back() >= b.back()) return false;
+  out = a;
+  out.push_back(b.back());
+  return true;
+}
+
+}  // namespace
+
+std::string AssociationRule::key() const {
+  return itemset_key(lhs) + "=>" + itemset_key(rhs);
+}
+
+Result<AprioriResult> apriori(const std::vector<Transaction>& transactions,
+                              const AprioriOptions& opts) {
+  if (transactions.empty()) {
+    return Status::InvalidArgument("apriori: empty transaction database");
+  }
+  CS_REQUIRE(opts.min_support > 0.0 && opts.min_support <= 1.0,
+             "apriori: min_support outside (0,1]");
+  const double n = static_cast<double>(transactions.size());
+  const std::size_t min_count = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(opts.min_support * n)));
+
+  AprioriResult result;
+
+  // L1: frequent single items.
+  std::map<std::uint32_t, std::size_t> item_counts;
+  for (const auto& t : transactions) {
+    for (std::uint32_t item : t) ++item_counts[item];
+  }
+  std::vector<std::vector<std::uint32_t>> level;
+  for (const auto& [item, count] : item_counts) {
+    if (count >= min_count) {
+      level.push_back({item});
+      result.itemsets.push_back(
+          {{item}, count, static_cast<double>(count) / n});
+    }
+  }
+
+  // Levelwise expansion with the Apriori pruning property.
+  std::unordered_set<std::string> frequent_keys;
+  for (const auto& fs : result.itemsets) {
+    frequent_keys.insert(itemset_key(fs.items));
+  }
+  for (std::size_t k = 2;
+       k <= opts.max_itemset_size && level.size() >= 2; ++k) {
+    std::vector<std::vector<std::uint32_t>> next;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      for (std::size_t j = i + 1; j < level.size(); ++j) {
+        std::vector<std::uint32_t> candidate;
+        if (!try_join(level[i], level[j], candidate)) continue;
+        // Prune: every (k-1)-subset must be frequent.
+        bool all_frequent = true;
+        for (std::size_t drop = 0; drop < candidate.size() && all_frequent;
+             ++drop) {
+          std::vector<std::uint32_t> sub;
+          sub.reserve(candidate.size() - 1);
+          for (std::size_t m = 0; m < candidate.size(); ++m) {
+            if (m != drop) sub.push_back(candidate[m]);
+          }
+          all_frequent = frequent_keys.count(itemset_key(sub)) != 0;
+        }
+        if (!all_frequent) continue;
+        const std::size_t count = count_support(transactions, candidate);
+        if (count >= min_count) {
+          result.itemsets.push_back(
+              {candidate, count, static_cast<double>(count) / n});
+          frequent_keys.insert(itemset_key(candidate));
+          next.push_back(std::move(candidate));
+        }
+      }
+    }
+    level = std::move(next);
+  }
+
+  // Rule generation: for each frequent set of size >= 2, try every
+  // non-empty proper subset as the antecedent.
+  std::map<std::string, double> support_by_key;
+  for (const auto& fs : result.itemsets) {
+    support_by_key[itemset_key(fs.items)] = fs.support;
+  }
+  for (const auto& fs : result.itemsets) {
+    const std::size_t sz = fs.items.size();
+    if (sz < 2) continue;
+    const std::uint32_t subsets = (1U << sz) - 1;
+    for (std::uint32_t mask = 1; mask < subsets; ++mask) {
+      AssociationRule rule;
+      for (std::size_t i = 0; i < sz; ++i) {
+        if (mask & (1U << i)) {
+          rule.lhs.push_back(fs.items[i]);
+        } else {
+          rule.rhs.push_back(fs.items[i]);
+        }
+      }
+      const double lhs_support = support_by_key.at(itemset_key(rule.lhs));
+      rule.support = fs.support;
+      rule.confidence = lhs_support > 0.0 ? fs.support / lhs_support : 0.0;
+      if (rule.confidence < opts.min_confidence) continue;
+      const double rhs_support = support_by_key.at(itemset_key(rule.rhs));
+      rule.lift = rhs_support > 0.0 ? rule.confidence / rhs_support : 0.0;
+      result.rules.push_back(std::move(rule));
+    }
+  }
+  return result;
+}
+
+RuleSetComparison compare_rules(const std::vector<AssociationRule>& reference,
+                                const std::vector<AssociationRule>& mined) {
+  RuleSetComparison cmp;
+  cmp.reference_rules = reference.size();
+  cmp.mined_rules = mined.size();
+  std::unordered_set<std::string> ref_keys;
+  for (const auto& r : reference) ref_keys.insert(r.key());
+  for (const auto& m : mined) {
+    if (ref_keys.count(m.key()) != 0) ++cmp.matched;
+  }
+  cmp.recall = reference.empty()
+                   ? 1.0
+                   : static_cast<double>(cmp.matched) /
+                         static_cast<double>(reference.size());
+  cmp.precision = mined.empty() ? 0.0
+                                : static_cast<double>(cmp.matched) /
+                                      static_cast<double>(mined.size());
+  return cmp;
+}
+
+}  // namespace cshield::mining

@@ -1,0 +1,71 @@
+// Apriori frequent-itemset and association-rule mining.
+//
+// SII-B: "association rule mining can be used to discover association
+// relationships among large number of business transaction records". The
+// attack harness mines rules from transaction chunks; E5 measures how rule
+// recall collapses as each provider sees fewer transactions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace cshield::mining {
+
+/// One transaction = sorted set of item ids.
+using Transaction = std::vector<std::uint32_t>;
+
+/// A frequent itemset with its support count.
+struct FrequentItemset {
+  std::vector<std::uint32_t> items;  ///< sorted
+  std::size_t support_count = 0;
+  double support = 0.0;  ///< fraction of transactions containing the set
+};
+
+/// Association rule lhs => rhs.
+struct AssociationRule {
+  std::vector<std::uint32_t> lhs;  ///< sorted antecedent
+  std::vector<std::uint32_t> rhs;  ///< sorted consequent
+  double support = 0.0;
+  double confidence = 0.0;
+  double lift = 0.0;
+
+  /// Canonical text form "a,b=>c" used for set comparison in metrics.
+  [[nodiscard]] std::string key() const;
+};
+
+struct AprioriOptions {
+  double min_support = 0.1;     ///< fraction of transactions
+  double min_confidence = 0.6;
+  std::size_t max_itemset_size = 4;
+};
+
+struct AprioriResult {
+  std::vector<FrequentItemset> itemsets;
+  std::vector<AssociationRule> rules;
+};
+
+/// Mines frequent itemsets (levelwise Apriori) and confidence-filtered rules.
+/// Fails with kInvalidArgument on an empty transaction database.
+[[nodiscard]] Result<AprioriResult> apriori(
+    const std::vector<Transaction>& transactions, const AprioriOptions& opts);
+
+/// Rule-set recall/precision of `mined` against `reference`, keyed by
+/// canonical rule text. Returns {recall, precision}.
+struct RuleSetComparison {
+  double recall = 0.0;
+  double precision = 0.0;
+  std::size_t reference_rules = 0;
+  std::size_t mined_rules = 0;
+  std::size_t matched = 0;
+};
+
+[[nodiscard]] RuleSetComparison compare_rules(
+    const std::vector<AssociationRule>& reference,
+    const std::vector<AssociationRule>& mined);
+
+}  // namespace cshield::mining

@@ -1,0 +1,165 @@
+// Tabular dataset abstraction used by every mining algorithm.
+//
+// A Dataset is a named-column matrix of doubles (row = observation). The
+// attack harness reconstructs Datasets from whatever chunks an adversary
+// obtained; the mining algorithms then run identically on full or
+// fragmentary data, which is exactly the comparison the paper's SVII/SVIII
+// make.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace cshield::mining {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> column_names)
+      : columns_(std::move(column_names)) {}
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return columns_.size(); }
+  [[nodiscard]] bool empty() const { return rows_.empty(); }
+
+  [[nodiscard]] const std::vector<std::string>& column_names() const {
+    return columns_;
+  }
+
+  /// Index of a named column; throws if absent.
+  [[nodiscard]] std::size_t column_index(std::string_view name) const {
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i] == name) return i;
+    }
+    throw std::invalid_argument("Dataset: no column named " +
+                                std::string(name));
+  }
+
+  void add_row(std::vector<double> row) {
+    CS_REQUIRE(row.size() == columns_.size(), "Dataset row arity mismatch");
+    rows_.push_back(std::move(row));
+  }
+
+  [[nodiscard]] const std::vector<double>& row(std::size_t i) const {
+    CS_REQUIRE(i < rows_.size(), "Dataset row index out of range");
+    return rows_[i];
+  }
+
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    CS_REQUIRE(r < rows_.size() && c < columns_.size(),
+               "Dataset cell out of range");
+    return rows_[r][c];
+  }
+
+  /// Extracts one column as a vector.
+  [[nodiscard]] std::vector<double> column(std::size_t c) const {
+    CS_REQUIRE(c < columns_.size(), "Dataset column out of range");
+    std::vector<double> out;
+    out.reserve(rows_.size());
+    for (const auto& r : rows_) out.push_back(r[c]);
+    return out;
+  }
+
+  /// Dataset with only the rows in [begin, end) -- a contiguous fragment,
+  /// which is what row-order chunking hands each provider.
+  [[nodiscard]] Dataset slice_rows(std::size_t begin, std::size_t end) const {
+    CS_REQUIRE(begin <= end && end <= rows_.size(), "slice_rows bad range");
+    Dataset out(columns_);
+    for (std::size_t i = begin; i < end; ++i) out.add_row(rows_[i]);
+    return out;
+  }
+
+  /// Dataset with the selected row indices (arbitrary subset).
+  [[nodiscard]] Dataset select_rows(const std::vector<std::size_t>& idx) const {
+    Dataset out(columns_);
+    for (std::size_t i : idx) {
+      CS_REQUIRE(i < rows_.size(), "select_rows index out of range");
+      out.add_row(rows_[i]);
+    }
+    return out;
+  }
+
+  /// Dataset restricted to the named columns (feature selection).
+  [[nodiscard]] Dataset select_columns(
+      const std::vector<std::string>& names) const {
+    std::vector<std::size_t> idx;
+    idx.reserve(names.size());
+    for (const auto& n : names) idx.push_back(column_index(n));
+    Dataset out(names);
+    for (const auto& r : rows_) {
+      std::vector<double> row;
+      row.reserve(idx.size());
+      for (std::size_t c : idx) row.push_back(r[c]);
+      out.add_row(std::move(row));
+    }
+    return out;
+  }
+
+  /// Appends all rows of `other` (columns must match by name and order).
+  void append(const Dataset& other) {
+    CS_REQUIRE(other.columns_ == columns_, "Dataset append: schema mismatch");
+    rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
+  }
+
+  /// Splits into `parts` near-equal contiguous fragments (round-robin
+  /// remainder to the front), mirroring the paper's "distributes his data
+  /// equally among 3 providers" example.
+  [[nodiscard]] std::vector<Dataset> split_contiguous(std::size_t parts) const {
+    CS_REQUIRE(parts > 0, "split_contiguous needs parts > 0");
+    std::vector<Dataset> out;
+    out.reserve(parts);
+    const std::size_t base = rows_.size() / parts;
+    const std::size_t extra = rows_.size() % parts;
+    std::size_t begin = 0;
+    for (std::size_t p = 0; p < parts; ++p) {
+      const std::size_t len = base + (p < extra ? 1 : 0);
+      out.push_back(slice_rows(begin, begin + len));
+      begin += len;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Z-score standardization per column (constant columns become all-zero).
+/// Clustering attacks standardize features so no single unit dominates the
+/// Euclidean metric.
+[[nodiscard]] inline Dataset standardize(const Dataset& data) {
+  Dataset out(data.column_names());
+  if (data.empty()) return out;
+  const std::size_t p = data.num_cols();
+  std::vector<double> mean(p, 0.0);
+  std::vector<double> sd(p, 0.0);
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    for (std::size_t c = 0; c < p; ++c) mean[c] += data.at(r, c);
+  }
+  for (auto& m : mean) m /= static_cast<double>(data.num_rows());
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    for (std::size_t c = 0; c < p; ++c) {
+      const double d = data.at(r, c) - mean[c];
+      sd[c] += d * d;
+    }
+  }
+  for (auto& s : sd) {
+    s = data.num_rows() > 1
+            ? std::sqrt(s / static_cast<double>(data.num_rows() - 1))
+            : 0.0;
+  }
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    std::vector<double> row(p);
+    for (std::size_t c = 0; c < p; ++c) {
+      row[c] = sd[c] > 0.0 ? (data.at(r, c) - mean[c]) / sd[c] : 0.0;
+    }
+    out.add_row(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace cshield::mining

@@ -1,0 +1,182 @@
+#include "mining/decision_tree.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace cshield::mining {
+namespace {
+
+/// Gini impurity of a label histogram.
+double gini(const std::map<int, std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const auto& [label, count] : counts) {
+    (void)label;
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+int majority(const std::map<int, std::size_t>& counts) {
+  int best_label = 0;
+  std::size_t best_count = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > best_count) {
+      best_count = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace
+
+Result<DecisionTree> DecisionTree::fit(const Dataset& data,
+                                       const std::string& label_column,
+                                       const DecisionTreeOptions& options) {
+  if (data.empty()) {
+    return Status::InvalidArgument("decision_tree: empty training set");
+  }
+  DecisionTree tree;
+  tree.label_col_ = data.column_index(label_column);
+  for (std::size_t c = 0; c < data.num_cols(); ++c) {
+    if (c != tree.label_col_) tree.feature_cols_.push_back(c);
+  }
+  if (tree.feature_cols_.empty()) {
+    return Status::InvalidArgument("decision_tree: no feature columns");
+  }
+  std::map<int, std::size_t> classes;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    ++classes[static_cast<int>(data.at(r, tree.label_col_))];
+  }
+  if (classes.size() < 2) {
+    return Status::InvalidArgument(
+        "decision_tree: training data covers a single class");
+  }
+  std::vector<std::size_t> all_rows(data.num_rows());
+  for (std::size_t r = 0; r < data.num_rows(); ++r) all_rows[r] = r;
+  tree.build(data, std::move(all_rows), tree.label_col_, 0, options);
+  return tree;
+}
+
+int DecisionTree::build(const Dataset& data, std::vector<std::size_t> rows,
+                        std::size_t label_col, std::size_t depth,
+                        const DecisionTreeOptions& options) {
+  depth_ = std::max(depth_, depth);
+  std::map<int, std::size_t> counts;
+  for (std::size_t r : rows) {
+    ++counts[static_cast<int>(data.at(r, label_col))];
+  }
+  const double impurity = gini(counts, rows.size());
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.label = majority(counts);
+    nodes_.push_back(leaf);
+    return static_cast<int>(nodes_.size() - 1);
+  };
+  if (depth >= options.max_depth || rows.size() < options.min_samples_split ||
+      impurity == 0.0) {
+    return make_leaf();
+  }
+
+  // Exhaustive best split: for each feature, sort rows and scan midpoints.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_score = impurity;
+  for (std::size_t f : feature_cols_) {
+    std::vector<std::size_t> sorted = rows;
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) {
+                return data.at(a, f) < data.at(b, f);
+              });
+    std::map<int, std::size_t> left_counts;
+    std::map<int, std::size_t> right_counts = counts;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const int label = static_cast<int>(data.at(sorted[i], label_col));
+      ++left_counts[label];
+      if (--right_counts[label] == 0) right_counts.erase(label);
+      const double v = data.at(sorted[i], f);
+      const double next = data.at(sorted[i + 1], f);
+      if (v == next) continue;  // no boundary between equal values
+      const std::size_t nl = i + 1;
+      const std::size_t nr = sorted.size() - nl;
+      if (nl < options.min_samples_leaf || nr < options.min_samples_leaf) {
+        continue;
+      }
+      const double score =
+          (static_cast<double>(nl) * gini(left_counts, nl) +
+           static_cast<double>(nr) * gini(right_counts, nr)) /
+          static_cast<double>(sorted.size());
+      if (score < best_score - 1e-12) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = (v + next) / 2.0;
+      }
+    }
+  }
+  if (best_feature < 0) return make_leaf();
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (std::size_t r : rows) {
+    if (data.at(r, static_cast<std::size_t>(best_feature)) <= best_threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  // Reserve this node's slot before recursing so child indices are stable.
+  nodes_.emplace_back();
+  const int index = static_cast<int>(nodes_.size() - 1);
+  const int left = build(data, std::move(left_rows), label_col, depth + 1,
+                         options);
+  const int right = build(data, std::move(right_rows), label_col, depth + 1,
+                          options);
+  Node& node = nodes_[static_cast<std::size_t>(index)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return index;
+}
+
+int DecisionTree::predict(const std::vector<double>& features) const {
+  CS_REQUIRE(features.size() == feature_cols_.size(),
+             "decision_tree predict: feature arity mismatch");
+  // Map the dense feature vector back to original column positions.
+  std::size_t node = 0;
+  for (;;) {
+    const Node& n = nodes_[node];
+    if (n.is_leaf()) return n.label;
+    // n.feature is an original column index; find its dense slot.
+    std::size_t slot = 0;
+    for (std::size_t i = 0; i < feature_cols_.size(); ++i) {
+      if (feature_cols_[i] == static_cast<std::size_t>(n.feature)) {
+        slot = i;
+        break;
+      }
+    }
+    node = static_cast<std::size_t>(features[slot] <= n.threshold ? n.left
+                                                                  : n.right);
+  }
+}
+
+double DecisionTree::accuracy(const Dataset& data,
+                              const std::string& label_column) const {
+  if (data.empty()) return 0.0;
+  const std::size_t label_col = data.column_index(label_column);
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    std::vector<double> features;
+    features.reserve(feature_cols_.size());
+    for (std::size_t f : feature_cols_) features.push_back(data.at(r, f));
+    if (predict(features) == static_cast<int>(data.at(r, label_col))) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.num_rows());
+}
+
+}  // namespace cshield::mining

@@ -1,0 +1,64 @@
+// CART-style decision tree classifier (Gini impurity, axis-aligned splits).
+//
+// SII-B: "companies dealing with financial, educational, health or legal
+// issues of people are prominent targets" -- a classifier over leaked
+// records predicts exactly the "likelihood of an individual getting a
+// terminal illness" class of information the paper worries about. The
+// attack harness trains a tree on whatever an adversary reconstructed and
+// scores it on held-out truth.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mining/dataset.hpp"
+#include "util/status.hpp"
+
+namespace cshield::mining {
+
+struct DecisionTreeOptions {
+  std::size_t max_depth = 8;
+  std::size_t min_samples_split = 4;
+  std::size_t min_samples_leaf = 2;
+};
+
+class DecisionTree {
+ public:
+  /// Trains on `data`; `label_column` values are truncated to ints as class
+  /// ids. Fails on an empty set or a single class.
+  [[nodiscard]] static Result<DecisionTree> fit(
+      const Dataset& data, const std::string& label_column,
+      const DecisionTreeOptions& options = {});
+
+  [[nodiscard]] int predict(const std::vector<double>& features) const;
+
+  /// Fraction of `data` rows classified correctly.
+  [[nodiscard]] double accuracy(const Dataset& data,
+                                const std::string& label_column) const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+
+ private:
+  struct Node {
+    // Internal: feature/threshold + children. Leaf: label, children = -1.
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    int label = 0;
+    [[nodiscard]] bool is_leaf() const { return left < 0; }
+  };
+
+  int build(const Dataset& data, std::vector<std::size_t> rows,
+            std::size_t label_col, std::size_t depth,
+            const DecisionTreeOptions& options);
+
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> feature_cols_;
+  std::size_t label_col_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace cshield::mining

@@ -1,0 +1,205 @@
+#include "mining/hierarchical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <iomanip>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+namespace cshield::mining {
+
+DistanceMatrix euclidean_distances(const Dataset& data) {
+  const std::size_t n = data.num_rows();
+  DistanceMatrix d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& ri = data.row(i);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto& rj = data.row(j);
+      double s = 0.0;
+      for (std::size_t c = 0; c < ri.size(); ++c) {
+        const double diff = ri[c] - rj[c];
+        s += diff * diff;
+      }
+      d.set(i, j, std::sqrt(s));
+    }
+  }
+  return d;
+}
+
+Dendrogram agglomerate(const DistanceMatrix& dist, Linkage linkage) {
+  const std::size_t n = dist.size();
+  CS_REQUIRE(n >= 1, "agglomerate: empty input");
+
+  // Working copy of pairwise distances between *active* clusters. Cluster
+  // slots reuse the matrix rows; `id[slot]` maps a slot to its dendrogram
+  // cluster id, `size[slot]` its leaf count, `active[slot]` liveness.
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) d[i][j] = dist.at(i, j);
+  }
+  std::vector<std::size_t> id(n);
+  std::iota(id.begin(), id.end(), 0);
+  std::vector<std::size_t> size(n, 1);
+  std::vector<bool> active(n, true);
+
+  std::vector<Merge> merges;
+  merges.reserve(n > 0 ? n - 1 : 0);
+
+  for (std::size_t step = 0; step + 1 < n; ++step) {
+    // Closest active pair.
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0;
+    std::size_t bj = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (d[i][j] < best) {
+          best = d[i][j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+
+    Merge m;
+    m.a = std::min(id[bi], id[bj]);
+    m.b = std::max(id[bi], id[bj]);
+    m.distance = best;
+    m.size = size[bi] + size[bj];
+    merges.push_back(m);
+
+    // Lance-Williams update into slot bi; slot bj dies.
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == bi || k == bj) continue;
+      double nd = 0.0;
+      switch (linkage) {
+        case Linkage::kSingle:
+          nd = std::min(d[bi][k], d[bj][k]);
+          break;
+        case Linkage::kComplete:
+          nd = std::max(d[bi][k], d[bj][k]);
+          break;
+        case Linkage::kAverage: {
+          const double wi = static_cast<double>(size[bi]);
+          const double wj = static_cast<double>(size[bj]);
+          nd = (wi * d[bi][k] + wj * d[bj][k]) / (wi + wj);
+          break;
+        }
+      }
+      d[bi][k] = nd;
+      d[k][bi] = nd;
+    }
+    id[bi] = n + step;
+    size[bi] = m.size;
+    active[bj] = false;
+  }
+  return Dendrogram(n, std::move(merges));
+}
+
+Dendrogram cluster_rows(const Dataset& data, Linkage linkage) {
+  return agglomerate(euclidean_distances(data), linkage);
+}
+
+std::vector<int> Dendrogram::cut(std::size_t k) const {
+  CS_REQUIRE(k >= 1 && k <= num_leaves_, "cut: k outside 1..num_leaves");
+  // Union-find over the first (n - k) merges.
+  std::vector<std::size_t> parent(num_leaves_ + merges_.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  const std::size_t merges_to_apply = num_leaves_ - k;
+  for (std::size_t i = 0; i < merges_to_apply; ++i) {
+    const std::size_t new_id = num_leaves_ + i;
+    parent[find(merges_[i].a)] = new_id;
+    parent[find(merges_[i].b)] = new_id;
+  }
+  std::vector<int> labels(num_leaves_, -1);
+  std::vector<int> remap(num_leaves_ + merges_.size(), -1);
+  int next = 0;
+  for (std::size_t leaf = 0; leaf < num_leaves_; ++leaf) {
+    const std::size_t root = find(leaf);
+    if (remap[root] < 0) remap[root] = next++;
+    labels[leaf] = remap[root];
+  }
+  return labels;
+}
+
+DistanceMatrix Dendrogram::cophenetic() const {
+  DistanceMatrix out(num_leaves_);
+  // Track the leaf membership of every cluster id as merges happen.
+  std::vector<std::vector<std::size_t>> members(num_leaves_ + merges_.size());
+  for (std::size_t leaf = 0; leaf < num_leaves_; ++leaf) {
+    members[leaf] = {leaf};
+  }
+  for (std::size_t i = 0; i < merges_.size(); ++i) {
+    const Merge& m = merges_[i];
+    for (std::size_t x : members[m.a]) {
+      for (std::size_t y : members[m.b]) {
+        out.set(x, y, m.distance);
+      }
+    }
+    auto& dst = members[num_leaves_ + i];
+    dst = std::move(members[m.a]);
+    dst.insert(dst.end(), members[m.b].begin(), members[m.b].end());
+    members[m.a].clear();
+    members[m.b].clear();
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dendrogram::leaf_order() const {
+  if (merges_.empty()) {
+    std::vector<std::size_t> order(num_leaves_);
+    std::iota(order.begin(), order.end(), 0);
+    return order;
+  }
+  std::vector<std::size_t> order;
+  order.reserve(num_leaves_);
+  // Iterative DFS from the final cluster; left child first.
+  std::vector<std::size_t> stack{num_leaves_ + merges_.size() - 1};
+  while (!stack.empty()) {
+    const std::size_t node = stack.back();
+    stack.pop_back();
+    if (node < num_leaves_) {
+      order.push_back(node);
+    } else {
+      const Merge& m = merges_[node - num_leaves_];
+      stack.push_back(m.b);  // pushed first so `a` pops (renders) first
+      stack.push_back(m.a);
+    }
+  }
+  return order;
+}
+
+std::string Dendrogram::to_text(
+    const std::vector<std::string>& leaf_names) const {
+  auto name_of = [&](std::size_t leaf) {
+    return leaf < leaf_names.size() ? leaf_names[leaf]
+                                    : std::to_string(leaf + 1);
+  };
+  std::ostringstream ss;
+  ss << "leaf order: ";
+  const auto order = leaf_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i > 0) ss << ' ';
+    ss << name_of(order[i]);
+  }
+  ss << "\nmerges (cluster-a, cluster-b, height, size):\n" << std::fixed
+     << std::setprecision(4);
+  for (std::size_t i = 0; i < merges_.size(); ++i) {
+    const Merge& m = merges_[i];
+    ss << "  #" << (num_leaves_ + i) << " = (" << m.a << ", " << m.b << ", "
+       << m.distance << ", " << m.size << ")\n";
+  }
+  return ss.str();
+}
+
+}  // namespace cshield::mining

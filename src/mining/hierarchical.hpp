@@ -1,0 +1,115 @@
+// Agglomerative hierarchical clustering with dendrogram output.
+//
+// Reproduces the paper's Figures 4-6: "dendrogram plot of the hierarchical
+// binary cluster tree of 30 users based on GPS" (MATLAB linkage). The
+// algorithm merges the closest pair of clusters until one remains, using a
+// Lance-Williams distance update for single/complete/average linkage. The
+// result exposes the merge sequence (the dendrogram), flat cuts, the
+// cophenetic matrix used to compare two trees quantitatively, and the leaf
+// ordering a dendrogram plot would display.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mining/dataset.hpp"
+#include "util/status.hpp"
+
+namespace cshield::mining {
+
+enum class Linkage { kSingle, kComplete, kAverage };
+
+[[nodiscard]] constexpr std::string_view linkage_name(Linkage l) {
+  switch (l) {
+    case Linkage::kSingle: return "single";
+    case Linkage::kComplete: return "complete";
+    case Linkage::kAverage: return "average";
+  }
+  return "invalid";
+}
+
+/// One merge step: clusters `a` and `b` joined at height `distance`.
+/// Cluster ids: 0..n-1 are leaves; the i-th merge creates id n+i.
+struct Merge {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double distance = 0.0;
+  std::size_t size = 0;  ///< leaves under the new cluster
+};
+
+/// Symmetric pairwise-distance matrix (only i<j stored logically; full
+/// storage for simplicity).
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(std::size_t n) : n_(n), d_(n * n, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const {
+    CS_REQUIRE(i < n_ && j < n_, "DistanceMatrix index out of range");
+    return d_[i * n_ + j];
+  }
+  void set(std::size_t i, std::size_t j, double v) {
+    CS_REQUIRE(i < n_ && j < n_, "DistanceMatrix index out of range");
+    d_[i * n_ + j] = v;
+    d_[j * n_ + i] = v;
+  }
+
+  /// Flattened upper triangle (i<j) in row order -- the vector form used by
+  /// cophenetic correlation.
+  [[nodiscard]] std::vector<double> condensed() const {
+    std::vector<double> out;
+    out.reserve(n_ * (n_ - 1) / 2);
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = i + 1; j < n_; ++j) out.push_back(at(i, j));
+    }
+    return out;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> d_;
+};
+
+/// Euclidean distances between all row pairs of a dataset.
+[[nodiscard]] DistanceMatrix euclidean_distances(const Dataset& data);
+
+/// The fitted tree.
+class Dendrogram {
+ public:
+  Dendrogram(std::size_t num_leaves, std::vector<Merge> merges)
+      : num_leaves_(num_leaves), merges_(std::move(merges)) {}
+
+  [[nodiscard]] std::size_t num_leaves() const { return num_leaves_; }
+  [[nodiscard]] const std::vector<Merge>& merges() const { return merges_; }
+
+  /// Flat clustering with exactly k clusters (stop k-1 merges early).
+  /// Labels are 0..k-1, renumbered by first appearance.
+  [[nodiscard]] std::vector<int> cut(std::size_t k) const;
+
+  /// Cophenetic distance matrix: entry (i,j) is the merge height at which
+  /// leaves i and j first share a cluster.
+  [[nodiscard]] DistanceMatrix cophenetic() const;
+
+  /// Left-to-right leaf order of the dendrogram plot (recursive traversal,
+  /// matching how MATLAB/scipy lay out Figures 4-6's x axes).
+  [[nodiscard]] std::vector<std::size_t> leaf_order() const;
+
+  /// Compact text rendering: leaf order line plus per-merge heights -- the
+  /// textual stand-in for the paper's dendrogram figures.
+  [[nodiscard]] std::string to_text(
+      const std::vector<std::string>& leaf_names = {}) const;
+
+ private:
+  std::size_t num_leaves_;
+  std::vector<Merge> merges_;
+};
+
+/// Runs agglomerative clustering over a distance matrix.
+[[nodiscard]] Dendrogram agglomerate(const DistanceMatrix& dist,
+                                     Linkage linkage);
+
+/// Convenience: Euclidean distances over dataset rows, then agglomerate.
+[[nodiscard]] Dendrogram cluster_rows(const Dataset& data, Linkage linkage);
+
+}  // namespace cshield::mining

@@ -1,0 +1,128 @@
+#include "mining/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace cshield::mining {
+namespace {
+
+double sq_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<KMeansResult> kmeans(const Dataset& data, std::size_t k,
+                            std::size_t max_iterations, std::uint64_t seed) {
+  const std::size_t n = data.num_rows();
+  const std::size_t dims = data.num_cols();
+  if (k == 0) return Status::InvalidArgument("kmeans: k must be >= 1");
+  if (n < k) {
+    return Status::InvalidArgument("kmeans: " + std::to_string(n) +
+                                   " rows cannot form " + std::to_string(k) +
+                                   " clusters");
+  }
+
+  Rng rng(seed);
+  KMeansResult result;
+  result.centroids.reserve(k);
+
+  // k-means++ seeding: first centroid uniform, the rest proportional to the
+  // squared distance from the nearest chosen centroid.
+  result.centroids.push_back(data.row(rng.below(n)));
+  std::vector<double> min_sq(n, std::numeric_limits<double>::infinity());
+  while (result.centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_sq[i] = std::min(min_sq[i],
+                           sq_distance(data.row(i), result.centroids.back()));
+      total += min_sq[i];
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.uniform() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= min_sq[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.below(n);  // all points identical; any seed works
+    }
+    result.centroids.push_back(data.row(chosen));
+  }
+
+  result.labels.assign(n, -1);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // Assignment step.
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = sq_distance(data.row(i), result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (result.labels[i] != best) {
+        result.labels[i] = best;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+    // Update step; empty clusters re-seed at the farthest point to avoid
+    // collapsing k.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& row = data.row(i);
+      auto& s = sums[static_cast<std::size_t>(result.labels[i])];
+      for (std::size_t c = 0; c < dims; ++c) s[c] += row[c];
+      ++counts[static_cast<std::size_t>(result.labels[i])];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        std::size_t farthest = 0;
+        double best_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = sq_distance(
+              data.row(i),
+              result.centroids[static_cast<std::size_t>(result.labels[i])]);
+          if (d > best_d) {
+            best_d = d;
+            farthest = i;
+          }
+        }
+        result.centroids[c] = data.row(farthest);
+        continue;
+      }
+      for (std::size_t dcol = 0; dcol < dims; ++dcol) {
+        result.centroids[c][dcol] =
+            sums[c][dcol] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.inertia += sq_distance(
+        data.row(i),
+        result.centroids[static_cast<std::size_t>(result.labels[i])]);
+  }
+  return result;
+}
+
+}  // namespace cshield::mining

@@ -1,0 +1,33 @@
+// Lloyd's k-means with k-means++ seeding.
+//
+// SII-B names clustering as a canonical mining attack ("clustering
+// algorithms can be used to categorize people or entities and are suitable
+// for finding behavioral patterns"); the attack harness uses k-means as a
+// second clustering attack alongside the hierarchical one, and E5 measures
+// how its quality (ARI vs. ground truth) decays as chunks shrink.
+#pragma once
+
+#include <vector>
+
+#include "mining/dataset.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cshield::mining {
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  ///< k centroids
+  std::vector<int> labels;                     ///< per-row assignment
+  double inertia = 0.0;  ///< sum of squared distances to assigned centroid
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Clusters the dataset's rows into k groups. Requires k >= 1 and
+/// num_rows >= k (kInvalidArgument otherwise -- the "too little data at this
+/// provider" mining-failure case).
+[[nodiscard]] Result<KMeansResult> kmeans(const Dataset& data, std::size_t k,
+                                          std::size_t max_iterations = 100,
+                                          std::uint64_t seed = 0x5EED);
+
+}  // namespace cshield::mining

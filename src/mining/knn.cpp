@@ -1,0 +1,119 @@
+#include "mining/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace cshield::mining {
+
+Result<KnnClassifier> KnnClassifier::fit(const Dataset& data,
+                                         const std::string& label_column,
+                                         std::size_t k) {
+  if (data.empty()) {
+    return Status::InvalidArgument("knn: empty training set");
+  }
+  if (k == 0) {
+    return Status::InvalidArgument("knn: k must be >= 1");
+  }
+  KnnClassifier model;
+  model.k_ = std::min(k, data.num_rows());
+  const std::size_t label_col = data.column_index(label_column);
+  for (std::size_t c = 0; c < data.num_cols(); ++c) {
+    if (c != label_col) model.feature_cols_.push_back(c);
+  }
+  if (model.feature_cols_.empty()) {
+    return Status::InvalidArgument("knn: no feature columns");
+  }
+
+  const std::size_t p = model.feature_cols_.size();
+  model.mean_.assign(p, 0.0);
+  model.stddev_.assign(p, 0.0);
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    for (std::size_t f = 0; f < p; ++f) {
+      model.mean_[f] += data.at(r, model.feature_cols_[f]);
+    }
+  }
+  for (auto& m : model.mean_) m /= static_cast<double>(data.num_rows());
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    for (std::size_t f = 0; f < p; ++f) {
+      const double d = data.at(r, model.feature_cols_[f]) - model.mean_[f];
+      model.stddev_[f] += d * d;
+    }
+  }
+  for (auto& s : model.stddev_) {
+    s = data.num_rows() > 1
+            ? std::sqrt(s / static_cast<double>(data.num_rows() - 1))
+            : 0.0;
+    if (s == 0.0) s = 1.0;  // constant feature: leave centred values at 0
+  }
+
+  model.train_features_.reserve(data.num_rows());
+  model.train_labels_.reserve(data.num_rows());
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    std::vector<double> raw;
+    raw.reserve(p);
+    for (std::size_t f : model.feature_cols_) raw.push_back(data.at(r, f));
+    model.train_features_.push_back(model.standardize_point(raw));
+    model.train_labels_.push_back(static_cast<int>(data.at(r, label_col)));
+  }
+  return model;
+}
+
+std::vector<double> KnnClassifier::standardize_point(
+    const std::vector<double>& features) const {
+  std::vector<double> out(features.size());
+  for (std::size_t f = 0; f < features.size(); ++f) {
+    out[f] = (features[f] - mean_[f]) / stddev_[f];
+  }
+  return out;
+}
+
+int KnnClassifier::predict(const std::vector<double>& features) const {
+  CS_REQUIRE(features.size() == feature_cols_.size(),
+             "knn predict: feature arity mismatch");
+  const std::vector<double> q = standardize_point(features);
+  // Partial sort of (distance, index) pairs.
+  std::vector<std::pair<double, std::size_t>> dist;
+  dist.reserve(train_features_.size());
+  for (std::size_t i = 0; i < train_features_.size(); ++i) {
+    double d = 0.0;
+    for (std::size_t f = 0; f < q.size(); ++f) {
+      const double diff = q[f] - train_features_[i][f];
+      d += diff * diff;
+    }
+    dist.emplace_back(d, i);
+  }
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k_),
+                    dist.end());
+  std::map<int, std::size_t> votes;
+  for (std::size_t i = 0; i < k_; ++i) {
+    ++votes[train_labels_[dist[i].second]];
+  }
+  int best_label = train_labels_[dist[0].second];  // tie-break: nearest
+  std::size_t best_votes = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best_votes = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+double KnnClassifier::accuracy(const Dataset& data,
+                               const std::string& label_column) const {
+  if (data.empty()) return 0.0;
+  const std::size_t label_col = data.column_index(label_column);
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    std::vector<double> features;
+    features.reserve(feature_cols_.size());
+    for (std::size_t f : feature_cols_) features.push_back(data.at(r, f));
+    if (predict(features) == static_cast<int>(data.at(r, label_col))) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.num_rows());
+}
+
+}  // namespace cshield::mining

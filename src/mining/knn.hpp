@@ -1,0 +1,41 @@
+// k-nearest-neighbour classifier (brute force, Euclidean on z-scored
+// features). The third prediction attack in the harness -- memorizes the
+// leaked records outright, so its accuracy tracks the adversary's coverage
+// more directly than the parametric models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mining/dataset.hpp"
+#include "util/status.hpp"
+
+namespace cshield::mining {
+
+class KnnClassifier {
+ public:
+  /// Stores (standardized) training rows. Fails on an empty set or k = 0;
+  /// k is clamped to the training-set size.
+  [[nodiscard]] static Result<KnnClassifier> fit(
+      const Dataset& data, const std::string& label_column, std::size_t k = 5);
+
+  [[nodiscard]] int predict(const std::vector<double>& features) const;
+
+  [[nodiscard]] double accuracy(const Dataset& data,
+                                const std::string& label_column) const;
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_ = 5;
+  std::vector<std::size_t> feature_cols_;
+  std::vector<std::vector<double>> train_features_;  ///< standardized
+  std::vector<int> train_labels_;
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+
+  [[nodiscard]] std::vector<double> standardize_point(
+      const std::vector<double>& features) const;
+};
+
+}  // namespace cshield::mining

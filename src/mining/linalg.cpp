@@ -1,0 +1,55 @@
+#include "mining/linalg.hpp"
+
+#include <cmath>
+
+namespace cshield::mining {
+
+Result<std::vector<double>> solve(Matrix a, std::vector<double> b) {
+  CS_REQUIRE(a.rows() == a.cols(), "solve: matrix must be square");
+  CS_REQUIRE(b.size() == a.rows(), "solve: rhs dimension mismatch");
+  const std::size_t n = a.rows();
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: largest magnitude in this column at or below the
+    // diagonal.
+    std::size_t pivot = col;
+    double best = std::abs(a.at(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a.at(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-10) {
+      return Status::InvalidArgument(
+          "solve: singular system (insufficient or collinear observations)");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a.at(col, c), a.at(pivot, c));
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a.at(r, col) / a.at(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) {
+        a.at(r, c) -= f * a.at(col, c);
+      }
+      b[r] -= f * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) {
+      s -= a.at(ri, c) * x[c];
+    }
+    x[ri] = s / a.at(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace cshield::mining

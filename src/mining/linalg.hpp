@@ -1,0 +1,73 @@
+// Minimal dense linear algebra for the mining layer: just enough to solve
+// the normal equations behind multiple linear regression (the paper's
+// "multivariate analysis (linear multiple regression using MATLAB)").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace cshield::mining {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    CS_REQUIRE(r < rows_ && c < cols_, "Matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    CS_REQUIRE(r < rows_ && c < cols_, "Matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// this^T * this (Gram matrix), the left side of the normal equations.
+  [[nodiscard]] Matrix gram() const {
+    Matrix g(cols_, cols_);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      for (std::size_t j = i; j < cols_; ++j) {
+        double s = 0.0;
+        for (std::size_t r = 0; r < rows_; ++r) {
+          s += at(r, i) * at(r, j);
+        }
+        g.at(i, j) = s;
+        g.at(j, i) = s;
+      }
+    }
+    return g;
+  }
+
+  /// this^T * v.
+  [[nodiscard]] std::vector<double> transpose_times(
+      const std::vector<double>& v) const {
+    CS_REQUIRE(v.size() == rows_, "transpose_times: dimension mismatch");
+    std::vector<double> out(cols_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        out[c] += at(r, c) * v[r];
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Returns kInvalidArgument when A is (numerically) singular -- for the
+/// attacker this is the "too few observations to fit" case.
+[[nodiscard]] Result<std::vector<double>> solve(Matrix a,
+                                                std::vector<double> b);
+
+}  // namespace cshield::mining

@@ -1,0 +1,137 @@
+#include "mining/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <tuple>
+
+#include "util/stats.hpp"
+
+namespace cshield::mining {
+namespace {
+
+/// Contingency table between two labelings.
+std::map<std::pair<int, int>, std::size_t> contingency(
+    const std::vector<int>& a, const std::vector<int>& b) {
+  std::map<std::pair<int, int>, std::size_t> table;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ++table[{a[i], b[i]}];
+  }
+  return table;
+}
+
+double choose2(double n) { return n * (n - 1.0) / 2.0; }
+
+/// Average ranks with tie handling.
+std::vector<double> ranks(const std::vector<double>& v) {
+  std::vector<std::size_t> order(v.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return v[i] < v[j]; });
+  std::vector<double> r(v.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) r[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+double adjusted_rand_index(const std::vector<int>& a,
+                           const std::vector<int>& b) {
+  CS_REQUIRE(a.size() == b.size(), "ARI: length mismatch");
+  const double n = static_cast<double>(a.size());
+  if (a.size() < 2) return 1.0;
+
+  std::map<int, std::size_t> sizes_a;
+  std::map<int, std::size_t> sizes_b;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ++sizes_a[a[i]];
+    ++sizes_b[b[i]];
+  }
+  double sum_pairs = 0.0;
+  for (const auto& [key, count] : contingency(a, b)) {
+    (void)key;
+    sum_pairs += choose2(static_cast<double>(count));
+  }
+  double sum_a = 0.0;
+  for (const auto& [_, c] : sizes_a) sum_a += choose2(static_cast<double>(c));
+  double sum_b = 0.0;
+  for (const auto& [_, c] : sizes_b) sum_b += choose2(static_cast<double>(c));
+  const double expected = sum_a * sum_b / choose2(n);
+  const double max_index = 0.5 * (sum_a + sum_b);
+  const double denom = max_index - expected;
+  if (denom == 0.0) return 1.0;  // both partitions trivial and identical
+  return (sum_pairs - expected) / denom;
+}
+
+double rand_index(const std::vector<int>& a, const std::vector<int>& b) {
+  CS_REQUIRE(a.size() == b.size(), "rand_index: length mismatch");
+  if (a.size() < 2) return 1.0;
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      const bool same_a = a[i] == a[j];
+      const bool same_b = b[i] == b[j];
+      agree += (same_a == same_b) ? 1 : 0;
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+double membership_churn(const std::vector<int>& a, const std::vector<int>& b) {
+  CS_REQUIRE(a.size() == b.size(), "membership_churn: length mismatch");
+  if (a.empty()) return 0.0;
+  // Greedy maximum-overlap matching from clusters of `a` to clusters of `b`.
+  auto table = contingency(a, b);
+  std::vector<std::tuple<std::size_t, int, int>> cells;
+  cells.reserve(table.size());
+  for (const auto& [key, count] : table) {
+    cells.emplace_back(count, key.first, key.second);
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const auto& x, const auto& y) { return x > y; });
+  std::map<int, int> mapping;  // a-label -> b-label
+  std::set<int> used_b;
+  for (const auto& [count, la, lb] : cells) {
+    (void)count;
+    if (mapping.count(la) == 0 && used_b.count(lb) == 0) {
+      mapping[la] = lb;
+      used_b.insert(lb);
+    }
+  }
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto it = mapping.find(a[i]);
+    if (it == mapping.end() || it->second != b[i]) ++moved;
+  }
+  return static_cast<double>(moved) / static_cast<double>(a.size());
+}
+
+double cophenetic_correlation(const Dendrogram& a, const Dendrogram& b) {
+  CS_REQUIRE(a.num_leaves() == b.num_leaves(),
+             "cophenetic_correlation: leaf count mismatch");
+  return pearson(a.cophenetic().condensed(), b.cophenetic().condensed());
+}
+
+double bakers_gamma(const Dendrogram& a, const Dendrogram& b) {
+  CS_REQUIRE(a.num_leaves() == b.num_leaves(),
+             "bakers_gamma: leaf count mismatch");
+  return spearman(a.cophenetic().condensed(), b.cophenetic().condensed());
+}
+
+double spearman(const std::vector<double>& x, const std::vector<double>& y) {
+  CS_REQUIRE(x.size() == y.size(), "spearman: length mismatch");
+  if (x.size() < 2) return 0.0;
+  return pearson(ranks(x), ranks(y));
+}
+
+}  // namespace cshield::mining

@@ -1,0 +1,46 @@
+// Comparison metrics quantifying what fragmentation does to mining output.
+//
+// The paper shows Figures 4-6 side by side and says "many entities have
+// moved from their original cluster to other clusters"; these metrics turn
+// that visual claim into numbers: adjusted Rand index and membership churn
+// for flat clusterings, cophenetic correlation and Baker's gamma for
+// dendrograms.
+#pragma once
+
+#include <vector>
+
+#include "mining/hierarchical.hpp"
+#include "util/status.hpp"
+
+namespace cshield::mining {
+
+/// Adjusted Rand index between two flat clusterings of the same items.
+/// 1 = identical partitions, ~0 = chance agreement.
+[[nodiscard]] double adjusted_rand_index(const std::vector<int>& a,
+                                         const std::vector<int>& b);
+
+/// Unadjusted Rand index (fraction of concordant pairs).
+[[nodiscard]] double rand_index(const std::vector<int>& a,
+                                const std::vector<int>& b);
+
+/// Fraction of items whose cluster changed, after optimally matching
+/// cluster labels between the two partitions (greedy maximum-overlap
+/// matching). This is the paper's "entities moved" number.
+[[nodiscard]] double membership_churn(const std::vector<int>& a,
+                                      const std::vector<int>& b);
+
+/// Cophenetic correlation between two dendrograms over the same leaves:
+/// Pearson correlation of the condensed cophenetic matrices.
+[[nodiscard]] double cophenetic_correlation(const Dendrogram& a,
+                                            const Dendrogram& b);
+
+/// Baker's gamma: Spearman rank correlation of the two cophenetic vectors
+/// (robust to monotone height rescaling between trees).
+[[nodiscard]] double bakers_gamma(const Dendrogram& a, const Dendrogram& b);
+
+/// Spearman rank correlation of two equal-length series (average ranks for
+/// ties).
+[[nodiscard]] double spearman(const std::vector<double>& x,
+                              const std::vector<double>& y);
+
+}  // namespace cshield::mining

@@ -1,0 +1,106 @@
+#include "mining/naive_bayes.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace cshield::mining {
+
+Result<NaiveBayes> NaiveBayes::fit(const Dataset& data,
+                                   const std::string& label_column) {
+  if (data.empty()) {
+    return Status::InvalidArgument("naive_bayes: empty training set");
+  }
+  const std::size_t label_col = data.column_index(label_column);
+
+  NaiveBayes model;
+  for (std::size_t c = 0; c < data.num_cols(); ++c) {
+    if (c != label_col) model.feature_cols_.push_back(c);
+  }
+  const std::size_t p = model.feature_cols_.size();
+  if (p == 0) {
+    return Status::InvalidArgument("naive_bayes: no feature columns");
+  }
+
+  std::map<int, std::vector<std::size_t>> rows_by_class;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    rows_by_class[static_cast<int>(data.at(r, label_col))].push_back(r);
+  }
+  if (rows_by_class.size() < 2) {
+    return Status::InvalidArgument(
+        "naive_bayes: training data covers a single class");
+  }
+
+  const double n = static_cast<double>(data.num_rows());
+  for (const auto& [label, rows] : rows_by_class) {
+    if (rows.size() < 2) {
+      return Status::InvalidArgument(
+          "naive_bayes: class " + std::to_string(label) +
+          " has fewer than 2 observations");
+    }
+    ClassStats cs;
+    cs.label = label;
+    cs.log_prior = std::log(static_cast<double>(rows.size()) / n);
+    cs.mean.assign(p, 0.0);
+    cs.variance.assign(p, 0.0);
+    for (std::size_t r : rows) {
+      for (std::size_t f = 0; f < p; ++f) {
+        cs.mean[f] += data.at(r, model.feature_cols_[f]);
+      }
+    }
+    for (std::size_t f = 0; f < p; ++f) {
+      cs.mean[f] /= static_cast<double>(rows.size());
+    }
+    for (std::size_t r : rows) {
+      for (std::size_t f = 0; f < p; ++f) {
+        const double d = data.at(r, model.feature_cols_[f]) - cs.mean[f];
+        cs.variance[f] += d * d;
+      }
+    }
+    for (std::size_t f = 0; f < p; ++f) {
+      cs.variance[f] =
+          std::max(cs.variance[f] / static_cast<double>(rows.size() - 1),
+                   1e-9);
+    }
+    model.classes_.push_back(std::move(cs));
+  }
+  return model;
+}
+
+int NaiveBayes::predict(const std::vector<double>& features) const {
+  CS_REQUIRE(features.size() == feature_cols_.size(),
+             "naive_bayes predict: feature arity mismatch");
+  double best_score = -std::numeric_limits<double>::infinity();
+  int best_label = classes_.front().label;
+  for (const auto& cs : classes_) {
+    double score = cs.log_prior;
+    for (std::size_t f = 0; f < features.size(); ++f) {
+      const double d = features[f] - cs.mean[f];
+      score += -0.5 * (std::log(2.0 * M_PI * cs.variance[f]) +
+                       d * d / cs.variance[f]);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_label = cs.label;
+    }
+  }
+  return best_label;
+}
+
+double NaiveBayes::accuracy(const Dataset& data,
+                            const std::string& label_column) const {
+  if (data.empty()) return 0.0;
+  const std::size_t label_col = data.column_index(label_column);
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    std::vector<double> features;
+    features.reserve(feature_cols_.size());
+    for (std::size_t f : feature_cols_) features.push_back(data.at(r, f));
+    if (predict(features) == static_cast<int>(data.at(r, label_col))) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.num_rows());
+}
+
+}  // namespace cshield::mining

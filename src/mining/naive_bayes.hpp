@@ -1,0 +1,44 @@
+// Gaussian naive Bayes classifier.
+//
+// The paper's SVII-A mentions prediction algorithms "may reveal misleading
+// results as they lack numbers of observations" once data is fragmented.
+// Naive Bayes is the prediction attack in the harness: train on whatever an
+// adversary reconstructed, test on held-out truth, watch accuracy fall.
+#pragma once
+
+#include <vector>
+
+#include "mining/dataset.hpp"
+#include "util/status.hpp"
+
+namespace cshield::mining {
+
+class NaiveBayes {
+ public:
+  /// Trains on `data`: features are all columns except `label_column`,
+  /// whose values are truncated to integers as class ids. Fails when any
+  /// class has fewer than 2 observations (degenerate variance).
+  [[nodiscard]] static Result<NaiveBayes> fit(const Dataset& data,
+                                              const std::string& label_column);
+
+  /// Predicts the class id for a feature vector.
+  [[nodiscard]] int predict(const std::vector<double>& features) const;
+
+  /// Fraction of rows of `data` classified correctly.
+  [[nodiscard]] double accuracy(const Dataset& data,
+                                const std::string& label_column) const;
+
+  [[nodiscard]] std::size_t num_classes() const { return classes_.size(); }
+
+ private:
+  struct ClassStats {
+    int label = 0;
+    double log_prior = 0.0;
+    std::vector<double> mean;
+    std::vector<double> variance;  ///< floored to avoid zero-variance spikes
+  };
+  std::vector<ClassStats> classes_;
+  std::vector<std::size_t> feature_cols_;
+};
+
+}  // namespace cshield::mining

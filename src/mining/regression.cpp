@@ -1,0 +1,100 @@
+#include "mining/regression.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "mining/linalg.hpp"
+#include "util/stats.hpp"
+
+namespace cshield::mining {
+
+std::string LinearModel::equation(
+    const std::vector<std::string>& feature_names) const {
+  CS_REQUIRE(feature_names.size() == coefficients.size(),
+             "equation: name arity mismatch");
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(2) << "(";
+  for (std::size_t i = 0; i < coefficients.size(); ++i) {
+    if (i > 0) ss << " + ";
+    ss << coefficients[i] << "*" << feature_names[i];
+  }
+  ss << ") + " << std::setprecision(0) << intercept;
+  return ss.str();
+}
+
+Result<LinearModel> fit_linear(const Dataset& data,
+                               const std::vector<std::string>& features,
+                               const std::string& target) {
+  CS_REQUIRE(!features.empty(), "fit_linear: no features");
+  const std::size_t n = data.num_rows();
+  const std::size_t p = features.size();
+  if (n < p + 1) {
+    return Status::InvalidArgument(
+        "fit_linear: " + std::to_string(n) + " observations cannot fit " +
+        std::to_string(p + 1) + " parameters");
+  }
+
+  // Design matrix with a leading 1s column for the intercept.
+  Matrix x(n, p + 1);
+  std::vector<std::size_t> feature_cols;
+  feature_cols.reserve(p);
+  for (const auto& f : features) feature_cols.push_back(data.column_index(f));
+  const std::size_t target_col = data.column_index(target);
+
+  std::vector<double> y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    x.at(r, 0) = 1.0;
+    for (std::size_t c = 0; c < p; ++c) {
+      x.at(r, c + 1) = data.at(r, feature_cols[c]);
+    }
+    y[r] = data.at(r, target_col);
+  }
+
+  Result<std::vector<double>> beta = solve(x.gram(), x.transpose_times(y));
+  if (!beta.ok()) return beta.status();
+  for (double b : beta.value()) {
+    if (!std::isfinite(b)) {
+      return Status::InvalidArgument(
+          "fit_linear: non-finite solution (corrupted observations)");
+    }
+  }
+
+  LinearModel model;
+  model.intercept = beta.value()[0];
+  model.coefficients.assign(beta.value().begin() + 1, beta.value().end());
+  model.observations = n;
+
+  // Goodness of fit.
+  const double y_mean = mean_of(y);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<double> xr(p);
+    for (std::size_t c = 0; c < p; ++c) xr[c] = x.at(r, c + 1);
+    const double e = y[r] - model.predict(xr);
+    ss_res += e * e;
+    ss_tot += (y[r] - y_mean) * (y[r] - y_mean);
+  }
+  model.rmse = std::sqrt(ss_res / static_cast<double>(n));
+  model.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return model;
+}
+
+double coefficient_error(const LinearModel& reference,
+                         const LinearModel& estimate) {
+  CS_REQUIRE(reference.coefficients.size() == estimate.coefficients.size(),
+             "coefficient_error: arity mismatch");
+  double diff2 = 0.0;
+  double ref2 = reference.intercept * reference.intercept;
+  const double di = reference.intercept - estimate.intercept;
+  diff2 += di * di;
+  for (std::size_t i = 0; i < reference.coefficients.size(); ++i) {
+    const double d = reference.coefficients[i] - estimate.coefficients[i];
+    diff2 += d * d;
+    ref2 += reference.coefficients[i] * reference.coefficients[i];
+  }
+  return ref2 > 0.0 ? std::sqrt(diff2 / ref2) : std::sqrt(diff2);
+}
+
+}  // namespace cshield::mining

@@ -1,0 +1,54 @@
+// Multiple linear regression via the normal equations.
+//
+// This is the paper's flagship attack (SVII-A): a malicious provider
+// employee runs "multivariate analysis (linear multiple regression using
+// MATLAB)" on the Hercules bidding history and recovers the bid formula
+// `1.4*Materials + 1.5*Production + 3.1*Maintenance + 5436`. With the table
+// split across three providers, each fragment yields a different, misleading
+// equation. LinearModel reproduces both sides of that comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mining/dataset.hpp"
+#include "util/status.hpp"
+
+namespace cshield::mining {
+
+/// A fitted model y = intercept + sum_i coefficients[i] * x_i.
+struct LinearModel {
+  std::vector<double> coefficients;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  double rmse = 0.0;
+  std::size_t observations = 0;
+
+  [[nodiscard]] double predict(const std::vector<double>& x) const {
+    CS_REQUIRE(x.size() == coefficients.size(),
+               "predict: feature arity mismatch");
+    double y = intercept;
+    for (std::size_t i = 0; i < x.size(); ++i) y += coefficients[i] * x[i];
+    return y;
+  }
+
+  /// Human-readable equation, e.g. "(1.400*Materials + ... ) + 5436.0".
+  [[nodiscard]] std::string equation(
+      const std::vector<std::string>& feature_names) const;
+};
+
+/// Fits y (named `target`) on the named feature columns. Fails with
+/// kInvalidArgument when the system is singular -- fewer observations than
+/// parameters, or perfectly collinear features -- which is precisely the
+/// "mining failure" outcome fragmentation aims to force.
+[[nodiscard]] Result<LinearModel> fit_linear(
+    const Dataset& data, const std::vector<std::string>& features,
+    const std::string& target);
+
+/// L2 distance between two coefficient vectors (plus intercept), normalized
+/// by the reference norm -- the "how wrong is the attacker's equation"
+/// metric used by E1/E5 benches.
+[[nodiscard]] double coefficient_error(const LinearModel& reference,
+                                       const LinearModel& estimate);
+
+}  // namespace cshield::mining

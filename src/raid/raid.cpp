@@ -1,0 +1,332 @@
+#include "raid/raid.hpp"
+
+#include <algorithm>
+
+#include "crypto/gf256.hpp"
+
+namespace cshield::raid {
+namespace {
+
+/// Splits data into k zero-padded shards of equal size.
+std::vector<Bytes> split_data(BytesView data, std::size_t k) {
+  const std::size_t shard_size = (data.size() + k - 1) / k;
+  std::vector<Bytes> shards(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    Bytes shard(shard_size, 0);
+    const std::size_t begin = i * shard_size;
+    if (begin < data.size()) {
+      const std::size_t n = std::min(shard_size, data.size() - begin);
+      std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(begin), n,
+                  shard.begin());
+    }
+    shards[i] = std::move(shard);
+  }
+  return shards;
+}
+
+/// Concatenates data shards and trims to the original length.
+Bytes join_data(const std::vector<Bytes>& data_shards,
+                std::size_t original_size) {
+  Bytes out;
+  out.reserve(original_size);
+  for (const auto& s : data_shards) {
+    append(out, s);
+    if (out.size() >= original_size) break;
+  }
+  out.resize(original_size);
+  return out;
+}
+
+/// XOR parity over the given shards.
+Bytes xor_parity(const std::vector<Bytes>& shards) {
+  CS_REQUIRE(!shards.empty(), "xor_parity over empty shard set");
+  Bytes p(shards[0].size(), 0);
+  for (const auto& s : shards) xor_into(p, s);
+  return p;
+}
+
+/// RAID-6 Q parity: Q = sum over i of g^i * d_i with g = 0x02.
+Bytes q_parity(const std::vector<Bytes>& data_shards) {
+  CS_REQUIRE(!data_shards.empty(), "q_parity over empty shard set");
+  Bytes q(data_shards[0].size(), 0);
+  for (std::size_t i = 0; i < data_shards.size(); ++i) {
+    gf256::mul_add(gf256::exp(static_cast<unsigned>(i)),
+                   data_shards[i].data(), q.data(), q.size());
+  }
+  return q;
+}
+
+std::size_t count_missing(const std::vector<std::optional<Bytes>>& shards,
+                          std::size_t begin, std::size_t end) {
+  std::size_t missing = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!shards[i].has_value()) ++missing;
+  }
+  return missing;
+}
+
+Result<Bytes> decode_raid6(const StripeLayout& layout,
+                           const std::vector<std::optional<Bytes>>& shards,
+                           std::size_t original_size) {
+  const std::size_t k = layout.data_shards;
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!shards[i].has_value()) missing.push_back(i);
+  }
+  const bool have_p = shards[k].has_value();
+  const bool have_q = shards[k + 1].has_value();
+
+  // Shard size from any survivor.
+  std::size_t shard_size = 0;
+  for (const auto& s : shards) {
+    if (s.has_value()) {
+      shard_size = s->size();
+      break;
+    }
+  }
+
+  std::vector<Bytes> data(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (shards[i].has_value()) data[i] = *shards[i];
+  }
+
+  if (missing.empty()) {
+    return join_data(data, original_size);
+  }
+  if (missing.size() == 1) {
+    const std::size_t x = missing[0];
+    if (have_p) {
+      // d_x = P xor (sum of surviving data shards).
+      Bytes dx = *shards[k];
+      for (std::size_t i = 0; i < k; ++i) {
+        if (i != x) xor_into(dx, data[i]);
+      }
+      data[x] = std::move(dx);
+      return join_data(data, original_size);
+    }
+    if (have_q) {
+      // d_x = (Q xor sum g^i d_i) / g^x.
+      Bytes acc = *shards[k + 1];
+      Bytes partial(shard_size, 0);
+      for (std::size_t i = 0; i < k; ++i) {
+        if (i != x) {
+          gf256::mul_add(gf256::exp(static_cast<unsigned>(i)), data[i].data(),
+                         partial.data(), partial.size());
+        }
+      }
+      xor_into(acc, partial);
+      const std::uint8_t gx_inv = gf256::inv(gf256::exp(static_cast<unsigned>(x)));
+      Bytes dx(shard_size, 0);
+      gf256::mul_add(gx_inv, acc.data(), dx.data(), dx.size());
+      data[x] = std::move(dx);
+      return join_data(data, original_size);
+    }
+    return Status::ResourceExhausted(
+        "raid6: one data shard and both parities lost");
+  }
+  if (missing.size() == 2 && have_p && have_q) {
+    const std::size_t x = missing[0];
+    const std::size_t y = missing[1];
+    // A = d_x xor d_y, B = g^x d_x xor g^y d_y.
+    Bytes a = *shards[k];
+    Bytes b = *shards[k + 1];
+    Bytes partial_q(shard_size, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (i != x && i != y) {
+        xor_into(a, data[i]);
+        gf256::mul_add(gf256::exp(static_cast<unsigned>(i)), data[i].data(),
+                       partial_q.data(), partial_q.size());
+      }
+    }
+    xor_into(b, partial_q);
+    const std::uint8_t gx = gf256::exp(static_cast<unsigned>(x));
+    const std::uint8_t gy = gf256::exp(static_cast<unsigned>(y));
+    const std::uint8_t denom_inv = gf256::inv(gf256::add(gx, gy));
+    // d_y = (B xor g^x * A) / (g^x xor g^y); d_x = A xor d_y.
+    Bytes dy(shard_size, 0);
+    gf256::mul_add(gx, a.data(), dy.data(), dy.size());
+    xor_into(dy, b);  // dy now holds B xor g^x*A
+    Bytes dy_final(shard_size, 0);
+    gf256::mul_add(denom_inv, dy.data(), dy_final.data(), dy_final.size());
+    Bytes dx = a;
+    xor_into(dx, dy_final);
+    data[x] = std::move(dx);
+    data[y] = std::move(dy_final);
+    return join_data(data, original_size);
+  }
+  return Status::ResourceExhausted("raid6: more erasures than tolerated (" +
+                                   std::to_string(missing.size()) +
+                                   " data shards missing, P " +
+                                   (have_p ? "ok" : "lost") + ", Q " +
+                                   (have_q ? "ok" : "lost") + ")");
+}
+
+}  // namespace
+
+StripeLayout StripeLayout::make(RaidLevel level, std::size_t k,
+                                std::size_t redundancy) {
+  StripeLayout layout;
+  layout.level = level;
+  switch (level) {
+    case RaidLevel::kNone:
+      layout.data_shards = 1;
+      layout.parity_shards = 0;
+      break;
+    case RaidLevel::kRaid0:
+      CS_REQUIRE(k >= 1, "raid0 needs k >= 1");
+      layout.data_shards = k;
+      layout.parity_shards = 0;
+      break;
+    case RaidLevel::kRaid1:
+      CS_REQUIRE(redundancy >= 1, "raid1 needs at least one extra copy");
+      layout.data_shards = 1;
+      layout.parity_shards = redundancy;
+      break;
+    case RaidLevel::kRaid5:
+      CS_REQUIRE(k >= 2, "raid5 needs k >= 2");
+      layout.data_shards = k;
+      layout.parity_shards = 1;
+      break;
+    case RaidLevel::kRaid6:
+      CS_REQUIRE(k >= 2, "raid6 needs k >= 2");
+      CS_REQUIRE(k <= 255, "raid6 supports at most 255 data shards");
+      layout.data_shards = k;
+      layout.parity_shards = 2;
+      break;
+  }
+  return layout;
+}
+
+EncodedStripe encode(const StripeLayout& layout, BytesView data) {
+  EncodedStripe out;
+  out.original_size = data.size();
+  switch (layout.level) {
+    case RaidLevel::kNone: {
+      out.shards.emplace_back(data.begin(), data.end());
+      break;
+    }
+    case RaidLevel::kRaid0: {
+      out.shards = split_data(data, layout.data_shards);
+      break;
+    }
+    case RaidLevel::kRaid1: {
+      for (std::size_t i = 0; i < layout.total_shards(); ++i) {
+        out.shards.emplace_back(data.begin(), data.end());
+      }
+      break;
+    }
+    case RaidLevel::kRaid5: {
+      out.shards = split_data(data, layout.data_shards);
+      out.shards.push_back(xor_parity(out.shards));
+      break;
+    }
+    case RaidLevel::kRaid6: {
+      out.shards = split_data(data, layout.data_shards);
+      Bytes p = xor_parity(out.shards);
+      Bytes q = q_parity(out.shards);
+      out.shards.push_back(std::move(p));
+      out.shards.push_back(std::move(q));
+      break;
+    }
+  }
+  return out;
+}
+
+Result<Bytes> decode(const StripeLayout& layout,
+                     const std::vector<std::optional<Bytes>>& shards,
+                     std::size_t original_size) {
+  CS_REQUIRE(shards.size() == layout.total_shards(),
+             "decode: shard vector arity mismatch");
+  switch (layout.level) {
+    case RaidLevel::kNone: {
+      if (!shards[0].has_value()) {
+        return Status::ResourceExhausted("single copy lost");
+      }
+      Bytes out = *shards[0];
+      out.resize(original_size);
+      return out;
+    }
+    case RaidLevel::kRaid0: {
+      if (count_missing(shards, 0, layout.data_shards) > 0) {
+        return Status::ResourceExhausted("raid0 tolerates no erasures");
+      }
+      std::vector<Bytes> data;
+      data.reserve(layout.data_shards);
+      for (std::size_t i = 0; i < layout.data_shards; ++i) {
+        data.push_back(*shards[i]);
+      }
+      return join_data(data, original_size);
+    }
+    case RaidLevel::kRaid1: {
+      for (const auto& s : shards) {
+        if (s.has_value()) {
+          Bytes out = *s;
+          out.resize(original_size);
+          return out;
+        }
+      }
+      return Status::ResourceExhausted("raid1: all replicas lost");
+    }
+    case RaidLevel::kRaid5: {
+      const std::size_t k = layout.data_shards;
+      const std::size_t data_missing = count_missing(shards, 0, k);
+      if (data_missing == 0) {
+        std::vector<Bytes> data;
+        data.reserve(k);
+        for (std::size_t i = 0; i < k; ++i) data.push_back(*shards[i]);
+        return join_data(data, original_size);
+      }
+      if (data_missing == 1 && shards[k].has_value()) {
+        std::vector<Bytes> data(k);
+        std::size_t x = 0;
+        Bytes dx = *shards[k];
+        for (std::size_t i = 0; i < k; ++i) {
+          if (shards[i].has_value()) {
+            data[i] = *shards[i];
+            xor_into(dx, data[i]);
+          } else {
+            x = i;
+          }
+        }
+        data[x] = std::move(dx);
+        return join_data(data, original_size);
+      }
+      return Status::ResourceExhausted("raid5: more erasures than tolerated");
+    }
+    case RaidLevel::kRaid6:
+      return decode_raid6(layout, shards, original_size);
+  }
+  return Status::Internal("decode: invalid raid level");
+}
+
+Result<Bytes> reconstruct_shard(const StripeLayout& layout,
+                                const std::vector<std::optional<Bytes>>& shards,
+                                std::size_t target) {
+  CS_REQUIRE(shards.size() == layout.total_shards(),
+             "reconstruct_shard: shard vector arity mismatch");
+  CS_REQUIRE(target < shards.size(), "reconstruct_shard: target out of range");
+  // Shard size from any survivor; the padded payload length is
+  // shard_size * k, so decoding at that length preserves padding bytes and
+  // re-encoding reproduces every shard bit-exactly.
+  std::size_t shard_size = 0;
+  bool found = false;
+  for (const auto& s : shards) {
+    if (s.has_value()) {
+      shard_size = s->size();
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return Status::ResourceExhausted("reconstruct_shard: no survivors");
+  }
+  const std::size_t padded =
+      layout.level == RaidLevel::kRaid1 ? shard_size
+                                        : shard_size * layout.data_shards;
+  Result<Bytes> payload = decode(layout, shards, padded);
+  if (!payload.ok()) return payload.status();
+  EncodedStripe re = encode(layout, payload.value());
+  return std::move(re.shards[target]);
+}
+
+}  // namespace cshield::raid

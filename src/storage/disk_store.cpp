@@ -1,0 +1,115 @@
+#include "storage/disk_store.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace cshield::storage {
+namespace fs = std::filesystem;
+
+DiskStore::DiskStore(fs::path root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  CS_REQUIRE(!ec, "DiskStore: cannot create root directory " +
+                      root_.string() + ": " + ec.message());
+}
+
+fs::path DiskStore::path_of(VirtualId id) const {
+  std::ostringstream name;
+  name << std::hex << std::setw(16) << std::setfill('0') << id << ".obj";
+  return root_ / name.str();
+}
+
+Status DiskStore::put(VirtualId id, BytesView data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Write-then-rename for atomicity against concurrent readers.
+  const fs::path final_path = path_of(id);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("DiskStore: cannot open " + tmp_path.string());
+    }
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) {
+      return Status::Internal("DiskStore: short write to " +
+                              tmp_path.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::Internal("DiskStore: rename failed: " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> DiskStore::get(VirtualId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ifstream in(path_of(id), std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) {
+    return Status::Corrupted("short read for object " + std::to_string(id));
+  }
+  return data;
+}
+
+Status DiskStore::remove(VirtualId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  if (!fs::remove(path_of(id), ec) || ec) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+bool DiskStore::contains(VirtualId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  return fs::exists(path_of(id), ec) && !ec;
+}
+
+std::size_t DiskStore::object_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t count = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (entry.path().extension() == ".obj") ++count;
+  }
+  return count;
+}
+
+std::size_t DiskStore::bytes_stored() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t bytes = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (entry.path().extension() == ".obj") {
+      bytes += static_cast<std::size_t>(entry.file_size());
+    }
+  }
+  return bytes;
+}
+
+std::vector<VirtualId> DiskStore::list_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<VirtualId> ids;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (entry.path().extension() != ".obj") continue;
+    const std::string stem = entry.path().stem().string();
+    ids.push_back(std::strtoull(stem.c_str(), nullptr, 16));
+  }
+  return ids;
+}
+
+}  // namespace cshield::storage

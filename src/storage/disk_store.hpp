@@ -1,0 +1,39 @@
+// File-backed ObjectStore: one file per object under a root directory,
+// named by the zero-padded hex virtual id. Gives the simulated providers a
+// durable variant (and demonstrates the ObjectStore interface is not tied
+// to memory). Thread-safe; the filesystem is the source of truth, so two
+// DiskStore instances over the same directory see each other's objects --
+// which is how a restarted provider process recovers its inventory.
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+#include <string>
+
+#include "storage/object_store.hpp"
+
+namespace cshield::storage {
+
+class DiskStore final : public ObjectStore {
+ public:
+  /// Creates (if needed) and opens `root` as the object directory.
+  explicit DiskStore(std::filesystem::path root);
+
+  Status put(VirtualId id, BytesView data) override;
+  [[nodiscard]] Result<Bytes> get(VirtualId id) const override;
+  Status remove(VirtualId id) override;
+  [[nodiscard]] bool contains(VirtualId id) const override;
+  [[nodiscard]] std::size_t object_count() const override;
+  [[nodiscard]] std::size_t bytes_stored() const override;
+  [[nodiscard]] std::vector<VirtualId> list_ids() const override;
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+ private:
+  [[nodiscard]] std::filesystem::path path_of(VirtualId id) const;
+
+  std::filesystem::path root_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace cshield::storage

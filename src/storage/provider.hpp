@@ -1,0 +1,206 @@
+// Simulated cloud storage provider.
+//
+// Stands in for a real S3/Azure/GAE endpoint (see DESIGN.md substitution
+// table). Each provider has a reputation (privacy level), a cost level and a
+// $/GB-month price, a latency/bandwidth model that yields *simulated* service
+// times, and fault knobs covering the paper's SIII-A worries: temporary
+// outage, going out of business (data loss), and silent corruption.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/types.hpp"
+#include "storage/object_store.hpp"
+#include "util/random.hpp"
+#include "util/sim_clock.hpp"
+
+namespace cshield::storage {
+
+/// Static description of a provider (one row of Table I, minus the chunk
+/// list which the distributor owns).
+struct ProviderDescriptor {
+  std::string name;
+  PrivacyLevel privacy_level = PrivacyLevel::kPublic;
+  CostLevel cost_level = CostLevel::kCheapest;
+  double price_per_gb_month = 0.02;  ///< USD, used by the cost accounting
+};
+
+/// Latency model: service_time = base + bytes/bandwidth + Exp(jitter) noise.
+/// Defaults approximate a same-region object store (5 ms RTT, 100 MB/s).
+struct LatencyModel {
+  SimDuration base_latency{std::chrono::microseconds(5000)};
+  double bandwidth_bytes_per_sec = 100.0 * 1024 * 1024;
+  SimDuration jitter_mean{std::chrono::microseconds(500)};
+
+  [[nodiscard]] SimDuration service_time(std::size_t bytes, Rng& rng) const {
+    const double transfer_sec =
+        bandwidth_bytes_per_sec > 0.0
+            ? static_cast<double>(bytes) / bandwidth_bytes_per_sec
+            : 0.0;
+    const double jitter_sec =
+        jitter_mean.count() > 0
+            ? rng.exponential(1e9 / static_cast<double>(jitter_mean.count()))
+            : 0.0;
+    return base_latency +
+           SimDuration(static_cast<std::int64_t>((transfer_sec + jitter_sec) * 1e9));
+  }
+};
+
+/// Mutable fault-injection state.
+struct FaultConfig {
+  bool online = true;             ///< false = outage window (kUnavailable)
+  double request_failure_prob = 0.0;  ///< transient per-request failures
+};
+
+/// Per-provider traffic counters (monotonic, thread-safe).
+struct ProviderCounters {
+  std::atomic<std::uint64_t> puts{0};
+  std::atomic<std::uint64_t> gets{0};
+  std::atomic<std::uint64_t> removes{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> failures{0};
+};
+
+/// A simulated cloud provider: descriptor + object store + latency model +
+/// fault knobs. Thread-safe; many distributor worker threads hit one
+/// provider concurrently.
+class SimCloudProvider {
+ public:
+  SimCloudProvider(ProviderDescriptor descriptor, LatencyModel latency,
+                   std::uint64_t seed)
+      : descriptor_(std::move(descriptor)),
+        latency_(latency),
+        rng_(seed) {}
+
+  explicit SimCloudProvider(ProviderDescriptor descriptor)
+      : SimCloudProvider(std::move(descriptor), LatencyModel{}, 0x9D0FEED) {}
+
+  [[nodiscard]] const ProviderDescriptor& descriptor() const {
+    return descriptor_;
+  }
+
+  /// Re-rates the provider's trust tier (administrative operation, driven
+  /// by the reputation tracker when observed reliability changes -- SIV-A:
+  /// "privacy level of a provider indicates its reliability").
+  void set_privacy_level(PrivacyLevel pl) { descriptor_.privacy_level = pl; }
+
+  /// Stores an object. `service_time`, when non-null, receives the modeled
+  /// request duration (valid for both success and failure).
+  Status put(VirtualId id, BytesView data,
+             SimDuration* service_time = nullptr) {
+    const SimDuration t = model_time(data.size());
+    if (service_time != nullptr) *service_time = t;
+    CS_RETURN_IF_ERROR(check_faults());
+    counters_.puts.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_in.fetch_add(data.size(), std::memory_order_relaxed);
+    return store_.put(id, data);
+  }
+
+  [[nodiscard]] Result<Bytes> get(VirtualId id,
+                                  SimDuration* service_time = nullptr) {
+    Status fault = check_faults();
+    if (!fault.ok()) {
+      if (service_time != nullptr) *service_time = model_time(0);
+      return fault;
+    }
+    Result<Bytes> r = store_.get(id);
+    const std::size_t n = r.ok() ? r.value().size() : 0;
+    if (service_time != nullptr) *service_time = model_time(n);
+    if (r.ok()) {
+      counters_.gets.fetch_add(1, std::memory_order_relaxed);
+      counters_.bytes_out.fetch_add(n, std::memory_order_relaxed);
+    }
+    return r;
+  }
+
+  Status remove(VirtualId id, SimDuration* service_time = nullptr) {
+    if (service_time != nullptr) *service_time = model_time(0);
+    CS_RETURN_IF_ERROR(check_faults());
+    counters_.removes.fetch_add(1, std::memory_order_relaxed);
+    return store_.remove(id);
+  }
+
+  [[nodiscard]] bool contains(VirtualId id) const { return store_.contains(id); }
+  [[nodiscard]] std::size_t object_count() const { return store_.object_count(); }
+  [[nodiscard]] std::size_t bytes_stored() const { return store_.bytes_stored(); }
+  [[nodiscard]] std::vector<VirtualId> list_ids() const { return store_.list_ids(); }
+
+  /// Monthly storage cost at the provider's price.
+  [[nodiscard]] double monthly_cost_usd() const {
+    return static_cast<double>(store_.bytes_stored()) / (1024.0 * 1024.0 * 1024.0) *
+           descriptor_.price_per_gb_month;
+  }
+
+  [[nodiscard]] const ProviderCounters& counters() const { return counters_; }
+
+  // --- fault injection -------------------------------------------------
+
+  /// Starts/ends an outage window (requests return kUnavailable while down).
+  void set_online(bool online) {
+    std::lock_guard<std::mutex> lock(mu_);
+    faults_.online = online;
+  }
+
+  [[nodiscard]] bool online() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return faults_.online;
+  }
+
+  /// Transient failure probability for each request.
+  void set_request_failure_prob(double p) {
+    std::lock_guard<std::mutex> lock(mu_);
+    faults_.request_failure_prob = p;
+  }
+
+  /// Provider exits the market: all stored data is gone and it stays down.
+  void go_out_of_business() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      faults_.online = false;
+    }
+    store_.wipe();
+  }
+
+  /// Silently corrupts one stored byte (attack/integrity experiments).
+  Status corrupt_object(VirtualId id, std::size_t offset) {
+    return store_.flip_byte(id, offset);
+  }
+
+  /// Direct access for the attack harness: a compromised provider exposes
+  /// its whole object map to the adversary.
+  [[nodiscard]] const MemoryStore& raw_store() const { return store_; }
+
+ private:
+  Status check_faults() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!faults_.online) {
+      counters_.failures.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(descriptor_.name + " is offline");
+    }
+    if (faults_.request_failure_prob > 0.0 &&
+        rng_.chance(faults_.request_failure_prob)) {
+      counters_.failures.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(descriptor_.name + " transient failure");
+    }
+    return Status::Ok();
+  }
+
+  SimDuration model_time(std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return latency_.service_time(bytes, rng_);
+  }
+
+  ProviderDescriptor descriptor_;
+  LatencyModel latency_;
+  MemoryStore store_;
+  ProviderCounters counters_;
+  mutable std::mutex mu_;
+  FaultConfig faults_;
+  Rng rng_;
+};
+
+}  // namespace cshield::storage

@@ -1,0 +1,106 @@
+// Registry of simulated cloud providers.
+//
+// The distributor's Cloud Provider Table references providers by index; the
+// registry owns the provider objects and answers the placement policy's
+// eligibility queries (providers whose privacy level is >= a chunk's level,
+// SIV-A). Providers are append-only: indices stay stable for the lifetime of
+// the registry, matching the paper's table-index scheme.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "storage/provider.hpp"
+
+namespace cshield::storage {
+
+class ProviderRegistry {
+ public:
+  /// Adds a provider with an explicit latency model and RNG seed; returns
+  /// its stable index.
+  ProviderIndex add(ProviderDescriptor descriptor, LatencyModel latency,
+                    std::uint64_t seed) {
+    providers_.push_back(std::make_unique<SimCloudProvider>(
+        std::move(descriptor), latency, seed));
+    return providers_.size() - 1;
+  }
+
+  ProviderIndex add(ProviderDescriptor descriptor) {
+    return add(std::move(descriptor), LatencyModel{},
+               0xC10D0000ULL + providers_.size());
+  }
+
+  [[nodiscard]] std::size_t size() const { return providers_.size(); }
+
+  [[nodiscard]] SimCloudProvider& at(ProviderIndex i) {
+    CS_REQUIRE(i < providers_.size(), "provider index out of range");
+    return *providers_[i];
+  }
+
+  [[nodiscard]] const SimCloudProvider& at(ProviderIndex i) const {
+    CS_REQUIRE(i < providers_.size(), "provider index out of range");
+    return *providers_[i];
+  }
+
+  /// Finds a provider by name; kNoProvider if absent.
+  [[nodiscard]] ProviderIndex find(std::string_view name) const {
+    for (ProviderIndex i = 0; i < providers_.size(); ++i) {
+      if (providers_[i]->descriptor().name == name) return i;
+    }
+    return kNoProvider;
+  }
+
+  /// Indices of providers trusted for chunks at level `pl` (provider PL >=
+  /// chunk PL). Offline providers are still *eligible* -- availability is the
+  /// RAID layer's problem, trust is a static property.
+  [[nodiscard]] std::vector<ProviderIndex> eligible_for(PrivacyLevel pl) const {
+    std::vector<ProviderIndex> out;
+    for (ProviderIndex i = 0; i < providers_.size(); ++i) {
+      if (privileged_for(providers_[i]->descriptor().privacy_level, pl)) {
+        out.push_back(i);
+      }
+    }
+    return out;
+  }
+
+  /// Total monthly storage cost across all providers.
+  [[nodiscard]] double total_monthly_cost_usd() const {
+    double total = 0.0;
+    for (const auto& p : providers_) total += p->monthly_cost_usd();
+    return total;
+  }
+
+ private:
+  std::vector<std::unique_ptr<SimCloudProvider>> providers_;
+};
+
+/// Builds a registry of `n` providers with a deterministic spread of privacy
+/// and cost levels (used by examples, tests and benches). Providers cycle
+/// through PL3..PL0 so every level has at least one provider when n >= 4,
+/// and cheaper providers appear at every trust tier when n >= 8.
+[[nodiscard]] inline ProviderRegistry make_default_registry(std::size_t n) {
+  CS_REQUIRE(n > 0, "registry needs at least one provider");
+  static constexpr const char* kNames[] = {
+      "Adobe", "AWS", "Google", "Microsoft", "Sky", "Sea",
+      "Earth", "Titans", "Spartans", "Yagamis", "Olympus", "Asgard",
+      "Avalon", "Eden", "Arcadia", "Lemuria"};
+  ProviderRegistry registry;
+  for (std::size_t i = 0; i < n; ++i) {
+    ProviderDescriptor d;
+    d.name = i < std::size(kNames)
+                 ? kNames[i]
+                 : "Provider" + std::to_string(i);
+    // Trust tier cycles 3,3,2,2,1,1,0,0,... ; cost follows trust with a
+    // cheaper alternative every other provider.
+    const int tier = 3 - static_cast<int>((i / 2) % 4);
+    d.privacy_level = privacy_level_from_int(tier);
+    const int cost = (i % 2 == 0) ? tier : std::max(0, tier - 1);
+    d.cost_level = static_cast<CostLevel>(cost);
+    d.price_per_gb_month = 0.01 + 0.015 * cost;
+    registry.add(std::move(d), LatencyModel{}, 0xFEED0000ULL + i);
+  }
+  return registry;
+}
+
+}  // namespace cshield::storage

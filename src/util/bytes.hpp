@@ -1,0 +1,97 @@
+// Byte-buffer primitives shared by every CloudShield module.
+//
+// Chunks, stripes and stored objects are all opaque byte strings; this header
+// fixes one representation (`Bytes`) plus the small helpers (slicing,
+// concatenation, pattern fill, hex rendering) that the storage, RAID and core
+// layers need. Keeping it header-only avoids a dependency cycle at the very
+// bottom of the stack.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cshield {
+
+/// Owning byte buffer. All payloads (files, chunks, parity blocks) use this.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over a byte buffer.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Non-owning mutable view over a byte buffer.
+using MutBytesView = std::span<std::uint8_t>;
+
+/// Builds a Bytes buffer from a string literal / std::string payload.
+[[nodiscard]] inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interprets a byte buffer as text (useful in tests and examples).
+[[nodiscard]] inline std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Returns buffer[offset, offset+len), clamped to the buffer end.
+[[nodiscard]] inline Bytes slice(BytesView b, std::size_t offset,
+                                 std::size_t len) {
+  if (offset >= b.size()) return {};
+  const std::size_t end = std::min(b.size(), offset + len);
+  return Bytes(b.begin() + static_cast<std::ptrdiff_t>(offset),
+               b.begin() + static_cast<std::ptrdiff_t>(end));
+}
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Constant-free equality that works across Bytes/span mixes.
+[[nodiscard]] inline bool equal(BytesView a, BytesView b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+/// Renders a buffer as lowercase hex (diagnostics, ids in logs).
+[[nodiscard]] inline std::string to_hex(BytesView b) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t v : b) {
+    out.push_back(kDigits[v >> 4]);
+    out.push_back(kDigits[v & 0xF]);
+  }
+  return out;
+}
+
+/// Parses lowercase/uppercase hex back into bytes; returns empty on bad input
+/// of odd length or non-hex characters.
+[[nodiscard]] inline Bytes from_hex(std::string_view hex) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  if (hex.size() % 2 != 0) return {};
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return {};
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+/// XORs `src` into `dst` element-wise; buffers must be the same length.
+/// This is the RAID-5 parity primitive.
+inline void xor_into(MutBytesView dst, BytesView src) {
+  const std::size_t n = std::min(dst.size(), src.size());
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace cshield

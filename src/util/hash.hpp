@@ -1,0 +1,45 @@
+// Non-cryptographic hashing used for table lookups, the DHT ring, and
+// deterministic derivation of virtual-id streams. Integrity digests use
+// crypto/sha256 instead -- never these.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace cshield {
+
+/// FNV-1a 64-bit over raw bytes.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(const char* data,
+                                              std::size_t size) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<std::uint8_t>(data[i]);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) {
+  return fnv1a64(s.data(), s.size());
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a64(BytesView b) {
+  return fnv1a64(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Strong 64-bit avalanche mix (SplitMix64 finalizer).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// boost-style hash combine with a 64-bit constant.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t v) {
+  return seed ^ (mix64(v) + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace cshield

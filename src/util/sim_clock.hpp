@@ -1,0 +1,69 @@
+// Simulated time base for the storage layer's latency/cost model.
+//
+// Benchmarks need two notions of time: real wall-clock time for the code we
+// actually execute (chunking, parity math, table updates) and *modeled* time
+// for network transfers to cloud providers we only simulate. SimClock carries
+// the modeled component: providers report how long a request would have
+// taken, and callers advance a clock rather than sleeping, so a 64 MB
+// "upload" costs microseconds of CPU but reports realistic seconds.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace cshield {
+
+/// Nanosecond-resolution simulated duration.
+using SimDuration = std::chrono::nanoseconds;
+
+/// Monotonic simulated clock; thread-safe advance for parallel transfers.
+class SimClock {
+ public:
+  [[nodiscard]] SimDuration now() const {
+    return SimDuration(ns_.load(std::memory_order_relaxed));
+  }
+
+  /// Advances the clock by d and returns the new time.
+  SimDuration advance(SimDuration d) {
+    return SimDuration(ns_.fetch_add(d.count(), std::memory_order_relaxed) +
+                       d.count());
+  }
+
+  /// Moves the clock forward to at least `t` (parallel transfer joins: the
+  /// stripe completes when its slowest member does).
+  void advance_to(SimDuration t) {
+    std::int64_t cur = ns_.load(std::memory_order_relaxed);
+    while (cur < t.count() &&
+           !ns_.compare_exchange_weak(cur, t.count(),
+                                      std::memory_order_relaxed)) {
+    }
+  }
+
+  void reset() { ns_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> ns_{0};
+};
+
+/// Wall-clock stopwatch for the executed portion of an operation.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  [[nodiscard]] std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cshield

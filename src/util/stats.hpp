@@ -1,0 +1,79 @@
+// Summary statistics for benchmark output and mining metrics.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace cshield {
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile over a copy of the samples (q in [0,1], linear interpolation).
+[[nodiscard]] inline double percentile(std::vector<double> samples, double q) {
+  CS_REQUIRE(!samples.empty(), "percentile of empty sample set");
+  CS_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q outside [0,1]");
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+[[nodiscard]] inline double mean_of(const std::vector<double>& v) {
+  RunningStats s;
+  for (double x : v) s.add(x);
+  return s.count() == 0 ? 0.0 : s.mean();
+}
+
+/// Pearson correlation of two equal-length series; 0 when degenerate.
+[[nodiscard]] inline double pearson(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  CS_REQUIRE(a.size() == b.size(), "pearson: length mismatch");
+  if (a.size() < 2) return 0.0;
+  const double ma = mean_of(a);
+  const double mb = mean_of(b);
+  double num = 0.0;
+  double da = 0.0;
+  double db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  const double den = std::sqrt(da * db);
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+}  // namespace cshield

@@ -1,0 +1,154 @@
+// Status / Result error-handling vocabulary for CloudShield.
+//
+// The distributor talks to simulated cloud providers that can be offline,
+// reject a request, or return corrupted data -- those are expected outcomes,
+// not programming errors, so the public API reports them through
+// Status/Result rather than exceptions. Exceptions remain reserved for
+// precondition violations (see CS_REQUIRE in this header).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace cshield {
+
+/// Canonical error categories across the storage/core/attack layers.
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,         ///< object/chunk/file/client does not exist
+  kPermissionDenied, ///< password privilege below chunk privacy level
+  kUnavailable,      ///< provider offline / outage window
+  kCorrupted,        ///< integrity digest mismatch
+  kInvalidArgument,  ///< malformed request (empty filename, bad PL, ...)
+  kAlreadyExists,    ///< duplicate client/file registration
+  kResourceExhausted,///< no eligible provider / capacity exceeded
+  kInternal,         ///< invariant violation surfaced as data
+};
+
+/// Human-readable tag for an ErrorCode (stable, used in test expectations).
+[[nodiscard]] constexpr std::string_view error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kCorrupted: return "CORRUPTED";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// Lightweight status: an ErrorCode plus an optional context message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status NotFound(std::string m) { return {ErrorCode::kNotFound, std::move(m)}; }
+  static Status PermissionDenied(std::string m) { return {ErrorCode::kPermissionDenied, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {ErrorCode::kUnavailable, std::move(m)}; }
+  static Status Corrupted(std::string m) { return {ErrorCode::kCorrupted, std::move(m)}; }
+  static Status InvalidArgument(std::string m) { return {ErrorCode::kInvalidArgument, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {ErrorCode::kAlreadyExists, std::move(m)}; }
+  static Status ResourceExhausted(std::string m) { return {ErrorCode::kResourceExhausted, std::move(m)}; }
+  static Status Internal(std::string m) { return {ErrorCode::kInternal, std::move(m)}; }
+
+  [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out{error_code_name(code_)};
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: either a value or a Status (never both). A minimal
+/// std::expected stand-in that keeps call sites readable:
+///
+///   Result<Bytes> r = provider.get(id);
+///   if (!r.ok()) return r.status();
+///   use(r.value());
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {      // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(data_).ok()) {
+      throw std::logic_error("Result constructed from OK status without value");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+
+  [[nodiscard]] const Status& status() const {
+    static const Status kOk = Status::Ok();
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  [[nodiscard]] T& value() & {
+    require_ok();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    require_ok();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(data_));
+  }
+
+  /// Returns the value or `fallback` when the result holds an error.
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  void require_ok() const {
+    if (!ok()) {
+      throw std::logic_error("Result::value() on error: " +
+                             std::get<Status>(data_).to_string());
+    }
+  }
+  std::variant<T, Status> data_;
+};
+
+/// Precondition check: violations are programming errors and throw.
+#define CS_REQUIRE(cond, msg)                                   \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      throw std::invalid_argument(std::string("precondition " #cond \
+                                              " failed: ") + (msg)); \
+    }                                                           \
+  } while (0)
+
+/// Early-return helper for Status-returning functions.
+#define CS_RETURN_IF_ERROR(expr)                \
+  do {                                          \
+    ::cshield::Status cs_status_ = (expr);      \
+    if (!cs_status_.ok()) return cs_status_;    \
+  } while (0)
+
+}  // namespace cshield

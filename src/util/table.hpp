@@ -1,0 +1,115 @@
+// Aligned-column text tables for bench/example output, plus CSV export.
+//
+// Every bench binary reproduces a table or figure from the paper; this gives
+// them one consistent way to print "the same rows the paper reports".
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace cshield {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Adds a row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells) {
+    CS_REQUIRE(cells.size() == headers_.size(), "TextTable row arity mismatch");
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Convenience: accepts streamable values of mixed types.
+  template <typename... Ts>
+  void add(const Ts&... vals) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(Ts));
+    (cells.push_back(render(vals)), ...);
+    add_row(std::move(cells));
+  }
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Pretty-prints with column alignment and a header rule.
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      os << "| ";
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(width[c])) << row[c]
+           << " | ";
+      }
+      os << '\n';
+    };
+    print_row(headers_);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << "|";
+    }
+    os << '\n';
+    for (const auto& row : rows_) print_row(row);
+  }
+
+  /// Emits RFC-4180-ish CSV (quotes cells containing separators).
+  void print_csv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c) os << ',';
+        const bool needs_quote =
+            row[c].find_first_of(",\"\n") != std::string::npos;
+        if (needs_quote) {
+          os << '"';
+          for (char ch : row[c]) {
+            if (ch == '"') os << '"';
+            os << ch;
+          }
+          os << '"';
+        } else {
+          os << row[c];
+        }
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+  }
+
+  /// Formats a double with fixed precision (the common bench cell type).
+  [[nodiscard]] static std::string fmt(double v, int precision = 3) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] static std::string render(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream ss;
+      ss << v;
+      return ss.str();
+    }
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cshield

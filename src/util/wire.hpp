@@ -1,0 +1,121 @@
+// Little-endian binary wire format helpers shared by the record codec and
+// the metadata-table serializer. Writer appends primitives to a Bytes
+// buffer; Reader consumes them with explicit underflow signalling (returns
+// false rather than throwing -- truncated input is data, not a bug).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace cshield::wire {
+
+class Writer {
+ public:
+  explicit Writer(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void f64(double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(d));
+    u64(bits);
+  }
+
+  /// Length-prefixed string.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    append(out_, BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                           s.size()));
+  }
+
+  /// Length-prefixed raw bytes.
+  void bytes(BytesView b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    append(out_, b);
+  }
+
+ private:
+  Bytes& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(BytesView b) : b_(b) {}
+
+  [[nodiscard]] bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > b_.size()) return false;
+    v = b_[pos_++];
+    return true;
+  }
+
+  [[nodiscard]] bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > b_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(b_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  [[nodiscard]] bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > b_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(b_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  [[nodiscard]] bool f64(double& d) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&d, &bits, sizeof(d));
+    return true;
+  }
+
+  [[nodiscard]] bool str(std::string& s) {
+    std::uint32_t len = 0;
+    if (!u32(len)) return false;
+    if (pos_ + len > b_.size()) return false;
+    s.assign(reinterpret_cast<const char*>(b_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  [[nodiscard]] bool bytes(Bytes& out) {
+    std::uint32_t len = 0;
+    if (!u32(len)) return false;
+    if (pos_ + len > b_.size()) return false;
+    out.assign(b_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               b_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return b_.size() - pos_; }
+
+ private:
+  BytesView b_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cshield::wire

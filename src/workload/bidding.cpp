@@ -1,0 +1,64 @@
+#include "workload/bidding.hpp"
+
+#include <algorithm>
+
+namespace cshield::workload {
+
+const std::vector<std::string>& bidding_columns() {
+  static const std::vector<std::string> kColumns = {
+      "Year", "Company", "Materials", "Production", "Maintenance", "Bid"};
+  return kColumns;
+}
+
+const std::vector<std::string>& bidding_features() {
+  static const std::vector<std::string> kFeatures = {"Materials", "Production",
+                                                     "Maintenance"};
+  return kFeatures;
+}
+
+mining::Dataset hercules_table() {
+  // Table IV, verbatim. Company: Greece = 0, Rome = 1.
+  mining::Dataset d(bidding_columns());
+  d.add_row({2001, 0, 1300, 600, 3200, 18111});
+  d.add_row({2002, 1, 1400, 600, 3300, 18627});
+  d.add_row({2002, 0, 1900, 800, 3200, 19337});
+  d.add_row({2004, 1, 1700, 900, 3500, 20078});
+  d.add_row({2005, 0, 1700, 700, 3100, 18383});
+  d.add_row({2006, 1, 1800, 800, 3300, 19600});
+  d.add_row({2009, 0, 1500, 1000, 3600, 20320});
+  d.add_row({2010, 1, 1700, 900, 3700, 20667});
+  d.add_row({2010, 0, 1800, 700, 3500, 19937});
+  d.add_row({2011, 1, 2100, 800, 3700, 21135});
+  d.add_row({2011, 0, 1900, 1100, 3600, 20945});
+  d.add_row({2011, 1, 2000, 1000, 3700, 21199});
+  return d;
+}
+
+mining::Dataset BiddingGenerator::generate(std::size_t rows,
+                                           double noise_stddev) {
+  mining::Dataset d(bidding_columns());
+  double materials = 1300.0;
+  double production = 600.0;
+  double maintenance = 3200.0;
+  int year = 2001;
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Mild upward drift with noise, clamped to plausible tender ranges.
+    materials = std::clamp(materials + rng_.normal(15.0, 120.0), 800.0, 4000.0);
+    production = std::clamp(production + rng_.normal(10.0, 80.0), 300.0, 2500.0);
+    maintenance =
+        std::clamp(maintenance + rng_.normal(12.0, 100.0), 2000.0, 6000.0);
+    const double company = rng_.chance(0.5) ? 1.0 : 0.0;
+    const double bid = truth_.coefficients[0] * materials +
+                       truth_.coefficients[1] * production +
+                       truth_.coefficients[2] * maintenance +
+                       truth_.intercept +
+                       (noise_stddev > 0.0 ? rng_.normal(0.0, noise_stddev)
+                                           : 0.0);
+    d.add_row({static_cast<double>(year), company, materials, production,
+               maintenance, bid});
+    if (rng_.chance(0.6)) ++year;
+  }
+  return d;
+}
+
+}  // namespace cshield::workload

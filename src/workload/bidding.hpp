@@ -1,0 +1,59 @@
+// The Hercules bidding-history workload (Table IV and SVII-A).
+//
+// Two forms:
+//  * hercules_table(): the paper's exact 12-row table, so
+//    bench_table4_regression reproduces the published equations verbatim;
+//  * BiddingGenerator: a scalable synthetic version drawn from the same
+//    ground-truth formula bid = 1.4*Materials + 1.5*Production +
+//    3.1*Maintenance + 5436 (+ noise), for sweeps over row counts and
+//    provider counts.
+//
+// Columns: Year, Company (0 = Greece, 1 = Rome), Materials, Production,
+// Maintenance, Bid.
+#pragma once
+
+#include <vector>
+
+#include "mining/dataset.hpp"
+#include "mining/regression.hpp"
+#include "util/random.hpp"
+
+namespace cshield::workload {
+
+/// Column names shared by both forms.
+[[nodiscard]] const std::vector<std::string>& bidding_columns();
+
+/// Feature names used when fitting the bid model.
+[[nodiscard]] const std::vector<std::string>& bidding_features();
+
+/// The exact 12 rows of Table IV.
+[[nodiscard]] mining::Dataset hercules_table();
+
+/// Ground truth the synthetic generator plants (and Table IV approximates):
+/// coefficients for {Materials, Production, Maintenance} plus intercept.
+struct BiddingGroundTruth {
+  std::vector<double> coefficients{1.4, 1.5, 3.1};
+  double intercept = 5436.0;
+};
+
+class BiddingGenerator {
+ public:
+  explicit BiddingGenerator(std::uint64_t seed = 0xB1DD1E)
+      : rng_(seed) {}
+
+  /// Generates `rows` bidding records. Cost inputs follow mild year-on-year
+  /// drift like the paper's table; noise_stddev perturbs the planted bid
+  /// formula (0 = exact).
+  [[nodiscard]] mining::Dataset generate(std::size_t rows,
+                                         double noise_stddev = 120.0);
+
+  [[nodiscard]] const BiddingGroundTruth& ground_truth() const {
+    return truth_;
+  }
+
+ private:
+  Rng rng_;
+  BiddingGroundTruth truth_;
+};
+
+}  // namespace cshield::workload

@@ -1,0 +1,175 @@
+#include "workload/gps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <utility>
+
+namespace cshield::workload {
+namespace {
+
+/// Dhaka-area neighbourhood centres (lat, lon) used as community anchors.
+constexpr double kCommunityCentres[][2] = {
+    {23.7104, 90.4074},  // Old Dhaka
+    {23.7925, 90.4078},  // Gulshan
+    {23.7561, 90.3872},  // Dhanmondi
+    {23.8759, 90.3795},  // Uttara
+    {23.7298, 90.4277},  // Motijheel
+    {23.8151, 90.4255},  // Badda
+};
+constexpr std::size_t kNumCentres = std::size(kCommunityCentres);
+
+struct UserProfile {
+  int community = 0;
+  double home_lat = 0.0, home_lon = 0.0;
+  double work_lat = 0.0, work_lon = 0.0;
+};
+
+}  // namespace
+
+GpsTraces generate_gps(const GpsConfig& config) {
+  CS_REQUIRE(config.num_users > 0, "generate_gps: num_users must be > 0");
+  CS_REQUIRE(config.num_communities > 0 &&
+                 config.num_communities <= kNumCentres,
+             "generate_gps: unsupported community count");
+  Rng rng(config.seed);
+
+  // Assign users round-robin to communities; home near the community
+  // centre, work in the central business district area for everyone (so
+  // day-time positions discriminate less than night-time ones).
+  std::vector<UserProfile> users(config.num_users);
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    UserProfile& p = users[u];
+    p.community = static_cast<int>(u % config.num_communities);
+    const auto& centre = kCommunityCentres[static_cast<std::size_t>(p.community)];
+    p.home_lat = centre[0] + rng.normal(0.0, 0.006);
+    p.home_lon = centre[1] + rng.normal(0.0, 0.006);
+    p.work_lat = 23.7298 + rng.normal(0.0, 0.010);  // Motijheel CBD
+    p.work_lon = 90.4277 + rng.normal(0.0, 0.010);
+  }
+
+  GpsTraces traces;
+  traces.observations =
+      mining::Dataset({"user", "day", "hour", "lat", "lon"});
+  traces.community_of_user.reserve(config.num_users);
+  for (const auto& p : users) traces.community_of_user.push_back(p.community);
+
+  // ~12 observations/day -> observations_per_user spans ~250 days. Rows are
+  // emitted TIME-MAJOR (day, then user, then slot): an LBS backend appends
+  // fixes as they arrive across its whole user base, so a contiguous chunk
+  // of the stored file is a time window over every user -- the shape of the
+  // paper's 500-observation fragments.
+  constexpr std::size_t kObsPerDay = 12;
+  const std::size_t days =
+      (config.observations_per_user + kObsPerDay - 1) / kObsPerDay;
+
+  // Per-user excursion state: while away, off-hours life moves to a
+  // temporary anchor elsewhere in the city for a geometric number of days.
+  struct Excursion {
+    int days_left = 0;
+    double lat = 0.0;
+    double lon = 0.0;
+  };
+  std::vector<Excursion> exc(config.num_users);
+
+  for (std::size_t day = 0; day < days; ++day) {
+    for (std::size_t u = 0; u < config.num_users; ++u) {
+      const UserProfile& p = users[u];
+      Excursion& e = exc[u];
+      if (e.days_left > 0) {
+        --e.days_left;
+      } else if (config.excursion_start_prob > 0.0 &&
+                 rng.chance(config.excursion_start_prob)) {
+        e.days_left = 1 + static_cast<int>(
+                              rng.exponential(1.0 / config.excursion_mean_days));
+        e.lat = rng.uniform(23.69, 23.90);
+        e.lon = rng.uniform(90.33, 90.46);
+      }
+      const bool away = e.days_left > 0;
+      const double base_lat = away ? e.lat : p.home_lat;
+      const double base_lon = away ? e.lon : p.home_lon;
+      const std::size_t slots = std::min(
+          kObsPerDay, config.observations_per_user - day * kObsPerDay);
+      for (std::size_t slot = 0; slot < slots; ++slot) {
+        const double hour = 2.0 * static_cast<double>(slot);
+        double lat = 0.0;
+        double lon = 0.0;
+        if (rng.chance(config.errand_prob)) {
+          // Heavy-tailed errand anywhere in greater Dhaka.
+          lat = rng.uniform(23.69, 23.90);
+          lon = rng.uniform(90.33, 90.46);
+        } else if (!away && hour >= 9.0 && hour < 18.0 && rng.chance(0.85)) {
+          lat = p.work_lat + rng.normal(0.0, config.anchor_noise_deg);
+          lon = p.work_lon + rng.normal(0.0, config.anchor_noise_deg);
+        } else {
+          lat = base_lat + rng.normal(0.0, config.anchor_noise_deg);
+          lon = base_lon + rng.normal(0.0, config.anchor_noise_deg);
+        }
+        traces.observations.add_row({static_cast<double>(u),
+                                     static_cast<double>(day), hour, lat,
+                                     lon});
+      }
+    }
+  }
+  return traces;
+}
+
+namespace {
+
+double median_of(std::vector<double>& v) {
+  CS_REQUIRE(!v.empty(), "median of empty vector");
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  return v[mid];
+}
+
+}  // namespace
+
+mining::Dataset gps_user_features(const mining::Dataset& observations,
+                                  std::size_t num_users) {
+  const std::size_t user_col = observations.column_index("user");
+  const std::size_t hour_col = observations.column_index("hour");
+  const std::size_t lat_col = observations.column_index("lat");
+  const std::size_t lon_col = observations.column_index("lon");
+
+  struct Acc {
+    std::vector<double> night_lats, night_lons;
+    std::vector<double> lats, lons;
+  };
+  std::vector<Acc> acc(num_users);
+
+  for (std::size_t r = 0; r < observations.num_rows(); ++r) {
+    const auto uid = static_cast<std::size_t>(observations.at(r, user_col));
+    if (uid >= num_users) continue;
+    const double hour = observations.at(r, hour_col);
+    const double lat = observations.at(r, lat_col);
+    const double lon = observations.at(r, lon_col);
+    Acc& a = acc[uid];
+    a.lats.push_back(lat);
+    a.lons.push_back(lon);
+    if (hour < 7.0 || hour >= 21.0) {
+      a.night_lats.push_back(lat);
+      a.night_lons.push_back(lon);
+    }
+  }
+
+  mining::Dataset features({"home_lat", "home_lon"});
+  for (std::size_t u = 0; u < num_users; ++u) {
+    Acc& a = acc[u];
+    if (a.lats.empty()) {
+      features.add_row({0, 0});
+      continue;
+    }
+    // Home estimate: coordinate-wise median of off-hours fixes (fall back
+    // to all fixes when the fragment has no night observations).
+    const double home_lat =
+        median_of(a.night_lats.empty() ? a.lats : a.night_lats);
+    const double home_lon =
+        median_of(a.night_lons.empty() ? a.lons : a.night_lons);
+    features.add_row({home_lat, home_lon});
+  }
+  return features;
+}
+
+}  // namespace cshield::workload

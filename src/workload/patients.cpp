@@ -1,0 +1,46 @@
+#include "workload/patients.hpp"
+
+#include <algorithm>
+
+namespace cshield::workload {
+
+const std::vector<std::string>& patient_columns() {
+  static const std::vector<std::string> kColumns = {
+      "age", "bmi", "systolic_bp", "glucose", "cholesterol", "risk"};
+  return kColumns;
+}
+
+mining::Dataset generate_patients(const PatientConfig& config) {
+  Rng rng(config.seed);
+  mining::Dataset d(patient_columns());
+  for (std::size_t i = 0; i < config.num_patients; ++i) {
+    const double age = std::clamp(rng.normal(52.0, 16.0), 18.0, 95.0);
+    const double bmi = std::clamp(rng.normal(26.5, 4.5), 15.0, 50.0);
+    const double bp = std::clamp(
+        rng.normal(112.0 + 0.35 * age, 12.0), 85.0, 220.0);
+    const double glucose = std::clamp(
+        rng.normal(88.0 + 0.8 * std::max(0.0, bmi - 25.0), 14.0), 60.0,
+        320.0);
+    const double chol = std::clamp(
+        rng.normal(165.0 + 0.6 * age + 1.2 * std::max(0.0, bmi - 25.0), 25.0),
+        100.0, 400.0);
+
+    // Latent risk score: the "pattern" a mining attack extracts.
+    const double score = 0.028 * (age - 50.0) + 0.060 * (bmi - 26.0) +
+                         0.018 * (bp - 125.0) + 0.016 * (glucose - 95.0) +
+                         0.006 * (chol - 190.0) + rng.normal(0.0, 0.35);
+    double risk = 0.0;
+    if (score > 0.9) {
+      risk = 2.0;
+    } else if (score > 0.0) {
+      risk = 1.0;
+    }
+    if (rng.chance(config.label_noise)) {
+      risk = static_cast<double>(rng.below(3));
+    }
+    d.add_row({age, bmi, bp, glucose, chol, risk});
+  }
+  return d;
+}
+
+}  // namespace cshield::workload

@@ -1,0 +1,36 @@
+// Synthetic health-record workload.
+//
+// SII-A motivates the system with "companies dealing with financial,
+// educational, health or legal issues of people" and information like "the
+// likelihood of an individual getting a terminal illness". This generator
+// produces patient records with clinical features and a planted risk-class
+// structure, so the classification attacks (naive Bayes, decision tree,
+// k-NN) have a ground truth to recover -- and lose, once the table is
+// fragmented.
+//
+// Columns: {age, bmi, systolic_bp, glucose, cholesterol, risk} with risk in
+// {0 = low, 1 = elevated, 2 = high} generated from a latent score over the
+// clinical features plus noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mining/dataset.hpp"
+#include "util/random.hpp"
+
+namespace cshield::workload {
+
+struct PatientConfig {
+  std::size_t num_patients = 2000;
+  double label_noise = 0.05;  ///< fraction of randomly re-labelled records
+  std::uint64_t seed = 0x9A71E7;
+};
+
+[[nodiscard]] const std::vector<std::string>& patient_columns();
+
+/// Generates the record table; the "risk" column is the classification
+/// target.
+[[nodiscard]] mining::Dataset generate_patients(const PatientConfig& config);
+
+}  // namespace cshield::workload

@@ -1,0 +1,170 @@
+#include "workload/records.hpp"
+
+#include <cstdint>
+
+namespace cshield::workload {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xC5D47A5E;
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_double(Bytes& out, double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(d));
+  put_u64(out, bits);
+}
+
+/// Cursor-based reader returning false on underflow.
+class Reader {
+ public:
+  explicit Reader(BytesView b) : b_(b) {}
+
+  bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > b_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(b_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > b_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(b_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool real(double& d) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&d, &bits, sizeof(d));
+    return true;
+  }
+
+  bool str(std::string& s) {
+    std::uint32_t len = 0;
+    if (!u32(len)) return false;
+    if (pos_ + len > b_.size()) return false;
+    s.assign(reinterpret_cast<const char*>(b_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return b_.size() - pos_; }
+
+ private:
+  BytesView b_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Bytes RecordCodec::encode(const mining::Dataset& data) const {
+  CS_REQUIRE(data.num_cols() == columns_.size(),
+             "RecordCodec::encode schema arity mismatch");
+  Bytes out;
+  out.reserve(data.num_rows() * record_size());
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      put_double(out, data.at(r, c));
+    }
+  }
+  return out;
+}
+
+Result<mining::Dataset> RecordCodec::decode(BytesView bytes) const {
+  if (bytes.size() % record_size() != 0) {
+    return Status::InvalidArgument(
+        "RecordCodec::decode: buffer is not a whole number of records (" +
+        std::to_string(bytes.size()) + " bytes, record=" +
+        std::to_string(record_size()) + ")");
+  }
+  return decode_prefix(bytes);
+}
+
+mining::Dataset RecordCodec::decode_prefix(BytesView bytes) const {
+  mining::Dataset out(columns_);
+  Reader reader(bytes);
+  const std::size_t rows = bytes.size() / record_size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<double> row(columns_.size());
+    for (auto& cell : row) {
+      const bool ok = reader.real(cell);
+      CS_REQUIRE(ok, "decode_prefix underflow on whole record");
+    }
+    out.add_row(std::move(row));
+  }
+  return out;
+}
+
+Bytes serialize_dataset(const mining::Dataset& data) {
+  Bytes out;
+  put_u32(out, kMagic);
+  put_u32(out, static_cast<std::uint32_t>(data.num_cols()));
+  for (const auto& name : data.column_names()) {
+    put_u32(out, static_cast<std::uint32_t>(name.size()));
+    append(out, BytesView(reinterpret_cast<const std::uint8_t*>(name.data()),
+                          name.size()));
+  }
+  put_u64(out, data.num_rows());
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    for (std::size_t c = 0; c < data.num_cols(); ++c) {
+      put_double(out, data.at(r, c));
+    }
+  }
+  return out;
+}
+
+Result<mining::Dataset> deserialize_dataset(BytesView bytes) {
+  Reader reader(bytes);
+  std::uint32_t magic = 0;
+  if (!reader.u32(magic) || magic != kMagic) {
+    return Status::InvalidArgument("deserialize_dataset: bad magic");
+  }
+  std::uint32_t ncols = 0;
+  if (!reader.u32(ncols) || ncols == 0 ||
+      static_cast<std::size_t>(ncols) > reader.remaining()) {
+    return Status::InvalidArgument("deserialize_dataset: bad column count");
+  }
+  std::vector<std::string> names(ncols);
+  for (auto& n : names) {
+    if (!reader.str(n)) {
+      return Status::InvalidArgument("deserialize_dataset: truncated names");
+    }
+  }
+  std::uint64_t nrows = 0;
+  if (!reader.u64(nrows)) {
+    return Status::InvalidArgument("deserialize_dataset: truncated row count");
+  }
+  mining::Dataset out(std::move(names));
+  for (std::uint64_t r = 0; r < nrows; ++r) {
+    std::vector<double> row(ncols);
+    for (auto& cell : row) {
+      if (!reader.real(cell)) {
+        return Status::InvalidArgument("deserialize_dataset: truncated rows");
+      }
+    }
+    out.add_row(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace cshield::workload

@@ -1,0 +1,74 @@
+#include "workload/transactions.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cshield::workload {
+
+TransactionWorkload generate_transactions(const TransactionConfig& config) {
+  CS_REQUIRE(config.num_items >= config.num_bundles * config.bundle_size,
+             "generate_transactions: catalogue too small for bundles");
+  Rng rng(config.seed);
+
+  TransactionWorkload out;
+  // Disjoint planted bundles from the front of the catalogue, so they are
+  // easy to identify in tests and rule keys.
+  out.planted_bundles.reserve(config.num_bundles);
+  std::uint32_t next_item = 0;
+  for (std::size_t b = 0; b < config.num_bundles; ++b) {
+    std::vector<std::uint32_t> bundle;
+    for (std::size_t i = 0; i < config.bundle_size; ++i) {
+      bundle.push_back(next_item++);
+    }
+    out.planted_bundles.push_back(std::move(bundle));
+  }
+
+  out.transactions.reserve(config.num_transactions);
+  for (std::size_t t = 0; t < config.num_transactions; ++t) {
+    std::set<std::uint32_t> items;
+    if (rng.chance(config.bundle_prob)) {
+      const auto& bundle =
+          out.planted_bundles[rng.below(out.planted_bundles.size())];
+      items.insert(bundle.begin(), bundle.end());
+    }
+    const std::size_t noise =
+        1 + rng.below(std::max<std::size_t>(1, config.noise_items_mean * 2));
+    for (std::size_t i = 0; i < noise; ++i) {
+      items.insert(static_cast<std::uint32_t>(rng.below(config.num_items)));
+    }
+    out.transactions.emplace_back(items.begin(), items.end());
+  }
+  return out;
+}
+
+mining::Dataset transactions_to_dataset(
+    const std::vector<mining::Transaction>& transactions) {
+  mining::Dataset d({"txn", "item"});
+  for (std::size_t t = 0; t < transactions.size(); ++t) {
+    for (std::uint32_t item : transactions[t]) {
+      d.add_row({static_cast<double>(t), static_cast<double>(item)});
+    }
+  }
+  return d;
+}
+
+std::vector<mining::Transaction> dataset_to_transactions(
+    const mining::Dataset& data) {
+  const std::size_t txn_col = data.column_index("txn");
+  const std::size_t item_col = data.column_index("item");
+  std::map<std::uint64_t, std::set<std::uint32_t>> grouped;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    grouped[static_cast<std::uint64_t>(data.at(r, txn_col))].insert(
+        static_cast<std::uint32_t>(data.at(r, item_col)));
+  }
+  std::vector<mining::Transaction> out;
+  out.reserve(grouped.size());
+  for (const auto& [txn, items] : grouped) {
+    (void)txn;
+    out.emplace_back(items.begin(), items.end());
+  }
+  return out;
+}
+
+}  // namespace cshield::workload

@@ -1,0 +1,49 @@
+// Market-basket transaction workload for the association-rule attack.
+//
+// SII-B cites association rule mining over "large number of business
+// transaction records" as a privacy threat. This generator plants a set of
+// ground-truth item bundles (co-purchase patterns); transactions draw one
+// or more bundles plus noise items. With the full database, Apriori
+// recovers the planted rules; with one provider's fragment, support counts
+// starve and recall collapses -- the E5 measurement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mining/apriori.hpp"
+#include "mining/dataset.hpp"
+#include "util/random.hpp"
+
+namespace cshield::workload {
+
+struct TransactionConfig {
+  std::size_t num_transactions = 2000;
+  std::uint32_t num_items = 60;       ///< catalogue size
+  std::size_t num_bundles = 6;        ///< planted co-purchase patterns
+  std::size_t bundle_size = 3;        ///< items per pattern
+  double bundle_prob = 0.30;          ///< chance a transaction uses a bundle
+  std::size_t noise_items_mean = 3;   ///< random filler items
+  std::uint64_t seed = 0xBA5CE7;
+};
+
+struct TransactionWorkload {
+  std::vector<mining::Transaction> transactions;
+  std::vector<std::vector<std::uint32_t>> planted_bundles;  ///< sorted item sets
+};
+
+[[nodiscard]] TransactionWorkload generate_transactions(
+    const TransactionConfig& config);
+
+/// Encodes transactions as a Dataset for distribution through the system:
+/// columns {txn, item}, one row per (transaction, item) pair. Row order is
+/// transaction-major so contiguous chunks hold whole leading transactions.
+[[nodiscard]] mining::Dataset transactions_to_dataset(
+    const std::vector<mining::Transaction>& transactions);
+
+/// Inverse of transactions_to_dataset (tolerates missing transactions --
+/// the fragment case; partially-present transactions keep the items seen).
+[[nodiscard]] std::vector<mining::Transaction> dataset_to_transactions(
+    const mining::Dataset& data);
+
+}  // namespace cshield::workload

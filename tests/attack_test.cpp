@@ -1,0 +1,309 @@
+// Tests for the adversary models and attack harness: insider/outsider
+// views, row reconstruction from captured shards, and the three attack
+// drivers (regression, clustering, association rules) -- including the
+// paper's central claim that fragmentation degrades each attack.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "attack/adversary.hpp"
+#include "attack/harness.hpp"
+#include "core/distributor.hpp"
+#include "storage/provider_registry.hpp"
+#include "workload/bidding.hpp"
+#include "workload/gps.hpp"
+#include "workload/patients.hpp"
+#include "workload/transactions.hpp"
+
+namespace cshield::attack {
+namespace {
+
+using core::CloudDataDistributor;
+using core::DistributorConfig;
+using core::PutOptions;
+
+/// Uploads the Hercules table as record-aligned plaintext chunks with no
+/// parity (the paper's plain "split rows across providers" scenario) and
+/// returns the configured distributor.
+struct BiddingWorld {
+  storage::ProviderRegistry registry = storage::make_default_registry(12);
+  DistributorConfig config;
+  std::unique_ptr<CloudDataDistributor> cdd;
+  workload::RecordCodec codec{workload::bidding_columns()};
+  mining::Dataset table = workload::hercules_table();
+
+  explicit BiddingWorld(PrivacyLevel pl = PrivacyLevel::kModerate,
+                        std::size_t rows_per_chunk = 4) {
+    config.default_raid = raid::RaidLevel::kNone;  // plaintext single copies
+    config.placement = core::PlacementMode::kUniformSpread;
+    // Chunk size = rows_per_chunk records at every level.
+    for (auto& s : config.chunk_sizes.size_bytes) {
+      s = rows_per_chunk * codec.record_size();
+    }
+    cdd = std::make_unique<CloudDataDistributor>(registry, config);
+    EXPECT_TRUE(cdd->register_client("Hercules").ok());
+    EXPECT_TRUE(cdd->add_password("Hercules", "12th-labour", pl).ok());
+    PutOptions opts;
+    opts.privacy_level = pl;
+    opts.record_align = codec.record_size();
+    EXPECT_TRUE(cdd->put_file("Hercules", "12th-labour", "bids.tbl",
+                              codec.encode(table), opts)
+                    .ok());
+  }
+};
+
+TEST(AdversaryTest, InsiderSeesOnlyOneProvidersObjects) {
+  BiddingWorld world;
+  std::size_t total = 0;
+  for (ProviderIndex p = 0; p < world.registry.size(); ++p) {
+    const AdversaryView view = insider(world.registry, p);
+    EXPECT_EQ(view.objects.size(), world.registry.at(p).object_count());
+    total += view.objects.size();
+  }
+  EXPECT_EQ(total, 3u);  // 12 rows / 4 rows-per-chunk = 3 chunks
+}
+
+TEST(AdversaryTest, OutsiderPoolsMultipleProviders) {
+  BiddingWorld world;
+  std::vector<ProviderIndex> all;
+  for (ProviderIndex p = 0; p < world.registry.size(); ++p) all.push_back(p);
+  const AdversaryView view = compromise(world.registry, all);
+  EXPECT_EQ(view.objects.size(), 3u);
+  EXPECT_GT(view.total_bytes, 0u);
+}
+
+TEST(AdversaryTest, ReconstructsWholeRowsFromChunks) {
+  BiddingWorld world;
+  std::vector<ProviderIndex> all;
+  for (ProviderIndex p = 0; p < world.registry.size(); ++p) all.push_back(p);
+  const mining::Dataset rows =
+      reconstruct_rows(compromise(world.registry, all), world.codec);
+  EXPECT_EQ(rows.num_rows(), 12u);
+  // Row multiset matches the original (order may differ across chunks).
+  double bid_sum = 0.0;
+  for (std::size_t r = 0; r < rows.num_rows(); ++r) {
+    bid_sum += rows.at(r, rows.column_index("Bid"));
+  }
+  double expected = 0.0;
+  for (std::size_t r = 0; r < world.table.num_rows(); ++r) {
+    expected += world.table.at(r, world.table.column_index("Bid"));
+  }
+  EXPECT_DOUBLE_EQ(bid_sum, expected);
+}
+
+TEST(AdversaryTest, CoverageMetric) {
+  mining::Dataset d({"x"});
+  d.add_row({1});
+  d.add_row({2});
+  EXPECT_DOUBLE_EQ(coverage(d, 8), 0.25);
+  EXPECT_DOUBLE_EQ(coverage(d, 0), 0.0);
+  EXPECT_DOUBLE_EQ(coverage(d, 1), 1.0);  // capped
+}
+
+TEST(RegressionAttackTest, FullPoolRecoversEquationFragmentMisleads) {
+  BiddingWorld world;
+  Result<mining::LinearModel> reference = mining::fit_linear(
+      world.table, workload::bidding_features(), "Bid");
+  ASSERT_TRUE(reference.ok());
+
+  // Outsider with every provider: equation matches the full-data one.
+  std::vector<ProviderIndex> all;
+  for (ProviderIndex p = 0; p < world.registry.size(); ++p) all.push_back(p);
+  const mining::Dataset full_rows =
+      reconstruct_rows(compromise(world.registry, all), world.codec);
+  const RegressionAttackResult full_attack = regression_attack(
+      full_rows, workload::bidding_features(), "Bid", reference.value(),
+      world.table);
+  ASSERT_TRUE(full_attack.mining_succeeded);
+  EXPECT_LT(full_attack.coefficient_error, 1e-6);
+
+  // Insider at each provider holding data: 4 rows -> misleading equation.
+  bool any_insider = false;
+  for (ProviderIndex p = 0; p < world.registry.size(); ++p) {
+    if (world.registry.at(p).object_count() == 0) continue;
+    const mining::Dataset frag_rows =
+        reconstruct_rows(insider(world.registry, p), world.codec);
+    const RegressionAttackResult frag = regression_attack(
+        frag_rows, workload::bidding_features(), "Bid", reference.value(),
+        world.table);
+    any_insider = true;
+    if (frag.mining_succeeded) {
+      EXPECT_GT(frag.coefficient_error, full_attack.coefficient_error);
+      EXPECT_GT(frag.prediction_rmse, full_attack.prediction_rmse);
+    }
+  }
+  EXPECT_TRUE(any_insider);
+}
+
+TEST(RegressionAttackTest, TinyChunksForceMiningFailure) {
+  // 1 row per chunk: an insider sees single rows; a regression with 4
+  // parameters cannot be fit from any one provider's holdings unless it
+  // received >= 4 chunks.
+  BiddingWorld world(PrivacyLevel::kModerate, /*rows_per_chunk=*/1);
+  Result<mining::LinearModel> reference = mining::fit_linear(
+      world.table, workload::bidding_features(), "Bid");
+  ASSERT_TRUE(reference.ok());
+  std::size_t failures = 0;
+  std::size_t holders = 0;
+  for (ProviderIndex p = 0; p < world.registry.size(); ++p) {
+    if (world.registry.at(p).object_count() == 0) continue;
+    ++holders;
+    const mining::Dataset rows =
+        reconstruct_rows(insider(world.registry, p), world.codec);
+    const RegressionAttackResult r = regression_attack(
+        rows, workload::bidding_features(), "Bid", reference.value(),
+        world.table);
+    if (!r.mining_succeeded) ++failures;
+  }
+  EXPECT_GT(holders, 1u);
+  EXPECT_GT(failures, 0u) << "some provider should hold too little to mine";
+}
+
+TEST(ClusteringAttackTest, FragmentationChurnsClusters) {
+  workload::GpsConfig cfg;  // 30 users, 3000 obs each
+  const workload::GpsTraces traces = workload::generate_gps(cfg);
+  const mining::Dataset full_features =
+      workload::gps_user_features(traces.observations, cfg.num_users);
+  const mining::Dendrogram reference = mining::cluster_rows(
+      mining::standardize(full_features), mining::Linkage::kAverage);
+
+  // Full data: the attack reproduces the reference tree exactly.
+  const ClusteringAttackResult full =
+      clustering_attack(full_features, reference, 4);
+  ASSERT_TRUE(full.mining_succeeded);
+  EXPECT_NEAR(full.ari_vs_reference, 1.0, 1e-9);
+  EXPECT_NEAR(full.cophenetic_corr, 1.0, 1e-9);
+
+  // A 500-observation-per-user fragment (the paper's Figs. 5-6 setting):
+  // entities move between clusters.
+  std::vector<std::size_t> frag_rows;
+  const std::size_t obs_col = 0;  // "user"
+  (void)obs_col;
+  // Take the first 500 observations of each user (time-window fragment).
+  std::vector<std::size_t> idx;
+  std::vector<std::size_t> per_user(cfg.num_users, 0);
+  const std::size_t user_col = traces.observations.column_index("user");
+  for (std::size_t r = 0; r < traces.observations.num_rows(); ++r) {
+    const auto u =
+        static_cast<std::size_t>(traces.observations.at(r, user_col));
+    if (per_user[u] < 500) {
+      idx.push_back(r);
+      ++per_user[u];
+    }
+  }
+  const mining::Dataset frag_features = workload::gps_user_features(
+      traces.observations.select_rows(idx), cfg.num_users);
+  const ClusteringAttackResult frag =
+      clustering_attack(frag_features, reference, 4);
+  ASSERT_TRUE(frag.mining_succeeded);
+  EXPECT_LT(frag.ari_vs_reference, full.ari_vs_reference);
+  EXPECT_GT(frag.churn_vs_reference, 0.0)
+      << "entities should move clusters, as in Figs. 5-6";
+  EXPECT_LT(frag.cophenetic_corr, 1.0);
+}
+
+TEST(ClusteringAttackTest, WrongEntityCountFailsCleanly) {
+  const mining::Dendrogram reference =
+      mining::cluster_rows(workload::gps_user_features(
+                               workload::generate_gps({}).observations, 30),
+                           mining::Linkage::kAverage);
+  mining::Dataset wrong({"a"});
+  wrong.add_row({1});
+  const ClusteringAttackResult r = clustering_attack(wrong, reference, 3);
+  EXPECT_FALSE(r.mining_succeeded);
+}
+
+TEST(RuleAttackTest, FragmentReducesRecall) {
+  workload::TransactionConfig cfg;
+  cfg.num_transactions = 3000;
+  const workload::TransactionWorkload w = workload::generate_transactions(cfg);
+  mining::AprioriOptions opts;
+  opts.min_support = 0.02;
+  opts.min_confidence = 0.5;
+  Result<mining::AprioriResult> reference = mining::apriori(w.transactions, opts);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_FALSE(reference.value().rules.empty());
+
+  // Full access reproduces the reference rule set.
+  const RuleAttackResult full =
+      rule_attack(w.transactions, reference.value().rules, opts);
+  ASSERT_TRUE(full.mining_succeeded);
+  EXPECT_DOUBLE_EQ(full.comparison.recall, 1.0);
+
+  // A 1% fragment starves support counts: spurious itemsets clear the
+  // (now tiny) absolute support bar, so the attacker's rule set is
+  // polluted -- precision collapses well below the full-data attack.
+  std::vector<mining::Transaction> frag(
+      w.transactions.begin(), w.transactions.begin() + 30);
+  const RuleAttackResult partial =
+      rule_attack(frag, reference.value().rules, opts);
+  ASSERT_TRUE(partial.mining_succeeded);
+  EXPECT_DOUBLE_EQ(full.comparison.precision, 1.0);
+  EXPECT_LT(partial.comparison.precision, full.comparison.precision);
+}
+
+TEST(RuleAttackTest, EmptyViewFailsMining) {
+  const RuleAttackResult r = rule_attack({}, {}, mining::AprioriOptions{});
+  EXPECT_FALSE(r.mining_succeeded);
+}
+
+// --- classification attack (SII-A "terminal illness" threat) ---------------------
+
+class ClassificationAttack : public ::testing::TestWithParam<Classifier> {};
+
+TEST_P(ClassificationAttack, FullDataBeatsStarvedFragment) {
+  workload::PatientConfig cfg;
+  cfg.num_patients = 2400;
+  const mining::Dataset all = workload::generate_patients(cfg);
+  const mining::Dataset train = all.slice_rows(0, 2000);
+  const mining::Dataset test = all.slice_rows(2000, 2400);
+
+  const ClassificationAttackResult full =
+      classification_attack(train, test, "risk", GetParam());
+  ASSERT_TRUE(full.mining_succeeded) << classifier_name(GetParam());
+  EXPECT_GT(full.test_accuracy, 0.6) << classifier_name(GetParam());
+
+  // A 20-row fragment: much worse (or outright failed) prediction.
+  const ClassificationAttackResult tiny =
+      classification_attack(train.slice_rows(0, 20), test, "risk",
+                            GetParam());
+  if (tiny.mining_succeeded) {
+    EXPECT_LT(tiny.test_accuracy, full.test_accuracy)
+        << classifier_name(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClassifiers, ClassificationAttack,
+                         ::testing::Values(Classifier::kNaiveBayes,
+                                           Classifier::kDecisionTree,
+                                           Classifier::kKnn),
+                         [](const auto& info) {
+                           std::string name(classifier_name(info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ClassificationAttackTest, EmptyViewFails) {
+  const mining::Dataset empty(workload::patient_columns());
+  const ClassificationAttackResult r = classification_attack(
+      empty, empty, "risk", Classifier::kDecisionTree);
+  EXPECT_FALSE(r.mining_succeeded);
+}
+
+TEST(SanitizeTest, DropsPoisonedRows) {
+  mining::Dataset d({"a", "b"});
+  d.add_row({1.0, 2.0});
+  d.add_row({std::numeric_limits<double>::quiet_NaN(), 1.0});
+  d.add_row({3.0, std::numeric_limits<double>::infinity()});
+  d.add_row({1e15, 0.0});
+  d.add_row({4.0, 5.0});
+  const mining::Dataset clean = sanitize_rows(d);
+  ASSERT_EQ(clean.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(clean.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(clean.at(1, 1), 5.0);
+}
+
+}  // namespace
+}  // namespace cshield::attack

@@ -1,0 +1,930 @@
+// Tests for the core library: chunker, misleading codec, metadata tables,
+// placement policy, the CloudDataDistributor end-to-end (upload, access
+// control, retrieval, snapshots, removal, outage recovery, repair), the
+// multi-distributor group and the client-side DHT distributor.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/chunker.hpp"
+#include "core/client_side.hpp"
+#include "core/distributor.hpp"
+#include "core/misleading.hpp"
+#include "core/multi_distributor.hpp"
+#include "core/partial_encryption.hpp"
+#include "core/placement.hpp"
+#include "core/reputation.hpp"
+#include "core/tables.hpp"
+#include "storage/provider_registry.hpp"
+
+namespace cshield::core {
+namespace {
+
+Bytes payload_of(std::size_t n, std::uint64_t seed = 99) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  return out;
+}
+
+// --- chunker ------------------------------------------------------------------
+
+TEST(ChunkerTest, HigherPrivacyMeansSmallerChunks) {
+  const ChunkSizePolicy policy;
+  EXPECT_GT(policy.chunk_size(PrivacyLevel::kPublic),
+            policy.chunk_size(PrivacyLevel::kLow));
+  EXPECT_GT(policy.chunk_size(PrivacyLevel::kLow),
+            policy.chunk_size(PrivacyLevel::kModerate));
+  EXPECT_GT(policy.chunk_size(PrivacyLevel::kModerate),
+            policy.chunk_size(PrivacyLevel::kHigh));
+}
+
+TEST(ChunkerTest, SplitJoinRoundTrip) {
+  const ChunkSizePolicy policy;
+  for (std::size_t n : {0u, 1u, 1023u, 1024u, 1025u, 70000u}) {
+    const Bytes data = payload_of(n, n);
+    for (int pl = 0; pl < kNumPrivacyLevels; ++pl) {
+      const auto chunks =
+          split_file(data, privacy_level_from_int(pl), policy);
+      EXPECT_TRUE(equal(join_chunks(chunks), data))
+          << "n=" << n << " pl=" << pl;
+    }
+  }
+}
+
+TEST(ChunkerTest, ChunkCountMatchesSchedule) {
+  const ChunkSizePolicy policy;
+  const Bytes data = payload_of(10 * 1024);
+  EXPECT_EQ(split_file(data, PrivacyLevel::kPublic, policy).size(), 1u);
+  EXPECT_EQ(split_file(data, PrivacyLevel::kHigh, policy).size(), 10u);
+}
+
+TEST(ChunkerTest, SerialsAreSequential) {
+  const ChunkSizePolicy policy;
+  const auto chunks =
+      split_file(payload_of(5000), PrivacyLevel::kHigh, policy);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].serial, i);
+  }
+}
+
+TEST(ChunkerTest, RecordAlignmentNeverSplitsRecords) {
+  const ChunkSizePolicy policy;
+  const std::size_t record = 48;  // 6 doubles
+  const Bytes data = payload_of(record * 100);
+  const auto chunks =
+      split_file(data, PrivacyLevel::kHigh, policy, record);
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.data.size() % record, 0u) << "chunk " << c.serial;
+  }
+  EXPECT_TRUE(equal(join_chunks(chunks), data));
+}
+
+TEST(ChunkerTest, RecordLargerThanChunkStillWorks) {
+  const ChunkSizePolicy policy;
+  const std::size_t record = 3000;  // larger than the PL3 chunk of 1024
+  const Bytes data = payload_of(record * 4);
+  const auto chunks = split_file(data, PrivacyLevel::kHigh, policy, record);
+  EXPECT_EQ(chunks.size(), 4u);
+  for (const auto& c : chunks) EXPECT_EQ(c.data.size(), record);
+}
+
+TEST(ChunkerTest, EmptyFileYieldsOneEmptyChunk) {
+  const auto chunks = split_file({}, PrivacyLevel::kLow, ChunkSizePolicy{});
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_TRUE(chunks[0].data.empty());
+}
+
+TEST(ChunkerTest, OutOfOrderJoinThrows) {
+  std::vector<RawChunk> chunks;
+  chunks.push_back({1, to_bytes("b")});
+  chunks.push_back({0, to_bytes("a")});
+  EXPECT_THROW((void)join_chunks(chunks), std::invalid_argument);
+}
+
+// --- misleading codec ------------------------------------------------------------
+
+TEST(MisleadingTest, InjectStripRoundTrip) {
+  Rng rng(1);
+  for (double fraction : {0.0, 0.05, 0.25, 0.5, 1.0}) {
+    for (std::size_t n : {1u, 10u, 1000u}) {
+      const Bytes data = payload_of(n, n + 7);
+      const auto enc = MisleadingCodec::inject(data, fraction, rng);
+      EXPECT_TRUE(equal(MisleadingCodec::strip(enc.data, enc.positions), data))
+          << "fraction=" << fraction << " n=" << n;
+    }
+  }
+}
+
+TEST(MisleadingTest, ChaffCountMatchesFraction) {
+  Rng rng(2);
+  const Bytes data = payload_of(1000);
+  const auto enc = MisleadingCodec::inject(data, 0.25, rng);
+  EXPECT_EQ(enc.positions.size(), 250u);
+  EXPECT_EQ(enc.data.size(), 1250u);
+}
+
+TEST(MisleadingTest, ZeroFractionIsIdentity) {
+  Rng rng(3);
+  const Bytes data = payload_of(100);
+  const auto enc = MisleadingCodec::inject(data, 0.0, rng);
+  EXPECT_TRUE(equal(enc.data, data));
+  EXPECT_TRUE(enc.positions.empty());
+}
+
+TEST(MisleadingTest, PositionsAreSortedAndUnique) {
+  Rng rng(4);
+  const auto enc = MisleadingCodec::inject(payload_of(500), 0.3, rng);
+  for (std::size_t i = 1; i < enc.positions.size(); ++i) {
+    EXPECT_LT(enc.positions[i - 1], enc.positions[i]);
+  }
+  for (std::uint32_t p : enc.positions) {
+    EXPECT_LT(p, enc.data.size());
+  }
+}
+
+TEST(MisleadingTest, EmptyPayloadStaysEmpty) {
+  Rng rng(5);
+  const auto enc = MisleadingCodec::inject({}, 0.5, rng);
+  EXPECT_TRUE(enc.data.empty());
+  EXPECT_TRUE(enc.positions.empty());
+}
+
+TEST(MisleadingTest, ChaffedBufferDiffersFromRawConcatenation) {
+  Rng rng(6);
+  const Bytes data = payload_of(400);
+  const auto enc = MisleadingCodec::inject(data, 0.2, rng);
+  EXPECT_NE(enc.data.size(), data.size());
+  EXPECT_FALSE(equal(enc.data, data));
+}
+
+// --- metadata tables -------------------------------------------------------------
+
+TEST(MetadataTest, ClientRegistrationAndAuth) {
+  MetadataStore meta;
+  ASSERT_TRUE(meta.register_client("Bob").ok());
+  EXPECT_EQ(meta.register_client("Bob").code(), ErrorCode::kAlreadyExists);
+  ASSERT_TRUE(meta.add_password("Bob", "x9pr", PrivacyLevel::kLow).ok());
+  ASSERT_TRUE(meta.add_password("Bob", "Ty7e", PrivacyLevel::kHigh).ok());
+  EXPECT_EQ(meta.add_password("Bob", "x9pr", PrivacyLevel::kHigh).code(),
+            ErrorCode::kAlreadyExists);
+
+  Result<PrivacyLevel> pl = meta.authenticate("Bob", "x9pr");
+  ASSERT_TRUE(pl.ok());
+  EXPECT_EQ(pl.value(), PrivacyLevel::kLow);
+  EXPECT_EQ(meta.authenticate("Bob", "wrong").status().code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(meta.authenticate("Eve", "x9pr").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(MetadataTest, ChunkLinkage) {
+  MetadataStore meta;
+  ASSERT_TRUE(meta.register_client("CL1").ok());
+  ChunkEntry e;
+  e.privacy_level = PrivacyLevel::kModerate;
+  Result<std::size_t> idx0 = meta.add_chunk("CL1", "cf11", 0, e);
+  Result<std::size_t> idx1 = meta.add_chunk("CL1", "cf11", 1, e);
+  ASSERT_TRUE(idx0.ok() && idx1.ok());
+  const auto refs = meta.file_chunks("CL1", "cf11");
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0].serial, 0u);
+  EXPECT_EQ(refs[1].serial, 1u);
+  EXPECT_TRUE(meta.find_chunk("CL1", "cf11", 1).has_value());
+  EXPECT_FALSE(meta.find_chunk("CL1", "cf11", 2).has_value());
+  ASSERT_TRUE(meta.unlink_chunk("CL1", "cf11", 0).ok());
+  EXPECT_EQ(meta.file_chunks("CL1", "cf11").size(), 1u);
+  EXPECT_EQ(meta.total_chunks(), 2u);  // table rows are stable tombstones
+}
+
+TEST(MetadataTest, ProviderPlacementBookkeeping) {
+  MetadataStore meta;
+  meta.register_provider("CP1", PrivacyLevel::kHigh, CostLevel::kPremium);
+  meta.record_placement(0, 41367);
+  meta.record_placement(0, 57643);
+  meta.record_removal(0, 41367);
+  const auto table = meta.provider_table();
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table[0].count(), 1u);
+  EXPECT_EQ(table[0].virtual_ids[0], 57643u);
+}
+
+// --- placement policy ------------------------------------------------------------
+
+TEST(PlacementTest, RespectsTrustEligibility) {
+  storage::ProviderRegistry reg = storage::make_default_registry(8);
+  PlacementPolicy policy(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    Result<std::vector<ProviderIndex>> chosen =
+        policy.choose(reg, PrivacyLevel::kHigh, 2);
+    ASSERT_TRUE(chosen.ok());
+    for (ProviderIndex p : chosen.value()) {
+      EXPECT_EQ(level_index(reg.at(p).descriptor().privacy_level), 3);
+    }
+  }
+}
+
+TEST(PlacementTest, ProvidersAreDistinct) {
+  storage::ProviderRegistry reg = storage::make_default_registry(8);
+  PlacementPolicy policy(2);
+  Result<std::vector<ProviderIndex>> chosen =
+      policy.choose(reg, PrivacyLevel::kPublic, 6);
+  ASSERT_TRUE(chosen.ok());
+  std::set<ProviderIndex> unique(chosen.value().begin(),
+                                 chosen.value().end());
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(PlacementTest, PrefersCheaperProviders) {
+  storage::ProviderRegistry reg;
+  storage::ProviderDescriptor cheap;
+  cheap.name = "Cheap";
+  cheap.privacy_level = PrivacyLevel::kHigh;
+  cheap.cost_level = CostLevel::kCheapest;
+  storage::ProviderDescriptor pricey;
+  pricey.name = "Pricey";
+  pricey.privacy_level = PrivacyLevel::kHigh;
+  pricey.cost_level = CostLevel::kPremium;
+  reg.add(std::move(pricey));
+  reg.add(std::move(cheap));
+  PlacementPolicy policy(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Result<std::vector<ProviderIndex>> chosen =
+        policy.choose(reg, PrivacyLevel::kHigh, 1);
+    ASSERT_TRUE(chosen.ok());
+    EXPECT_EQ(reg.at(chosen.value()[0]).descriptor().name, "Cheap");
+  }
+}
+
+TEST(PlacementTest, FailsWhenTooFewTrustedProviders) {
+  storage::ProviderRegistry reg = storage::make_default_registry(4);
+  PlacementPolicy policy(4);
+  // Only 2 of 4 default providers are PL3.
+  EXPECT_EQ(policy.choose(reg, PrivacyLevel::kHigh, 3).status().code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST(PlacementTest, RandomizesWithinCostTier) {
+  storage::ProviderRegistry reg = storage::make_default_registry(16);
+  PlacementPolicy policy(5);
+  std::set<ProviderIndex> first_picks;
+  for (int trial = 0; trial < 40; ++trial) {
+    Result<std::vector<ProviderIndex>> chosen =
+        policy.choose(reg, PrivacyLevel::kPublic, 1);
+    ASSERT_TRUE(chosen.ok());
+    first_picks.insert(chosen.value()[0]);
+  }
+  EXPECT_GT(first_picks.size(), 1u) << "placement should be randomized";
+}
+
+// --- distributor end-to-end --------------------------------------------------------
+
+struct DistFixture {
+  storage::ProviderRegistry registry = storage::make_default_registry(12);
+  DistributorConfig config;
+  std::unique_ptr<CloudDataDistributor> cdd;
+
+  explicit DistFixture(raid::RaidLevel level = raid::RaidLevel::kRaid5,
+                       double misleading = 0.0) {
+    config.default_raid = level;
+    config.stripe_data_shards = 3;
+    config.misleading_fraction = misleading;
+    config.worker_threads = 4;
+    cdd = std::make_unique<CloudDataDistributor>(registry, config);
+    EXPECT_TRUE(cdd->register_client("Bob").ok());
+    EXPECT_TRUE(cdd->add_password("Bob", "aB1c", PrivacyLevel::kPublic).ok());
+    EXPECT_TRUE(cdd->add_password("Bob", "x9pr", PrivacyLevel::kLow).ok());
+    EXPECT_TRUE(cdd->add_password("Bob", "6S4r", PrivacyLevel::kModerate).ok());
+    EXPECT_TRUE(cdd->add_password("Bob", "Ty7e", PrivacyLevel::kHigh).ok());
+  }
+};
+
+TEST(DistributorTest, PutGetRoundTripAllLevels) {
+  DistFixture f;
+  for (int pl = 0; pl < kNumPrivacyLevels; ++pl) {
+    const Bytes data = payload_of(20000 + static_cast<std::size_t>(pl));
+    PutOptions opts;
+    opts.privacy_level = privacy_level_from_int(pl);
+    const std::string name = "file_pl" + std::to_string(pl);
+    ASSERT_TRUE(
+        f.cdd->put_file("Bob", "Ty7e", name, data, opts).ok());
+    Result<Bytes> back = f.cdd->get_file("Bob", "Ty7e", name);
+    ASSERT_TRUE(back.ok()) << back.status().to_string();
+    EXPECT_TRUE(equal(back.value(), data));
+  }
+}
+
+TEST(DistributorTest, ReportCountsChunksAndShards) {
+  DistFixture f;
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;  // 1 KiB chunks
+  OpReport report;
+  const Bytes data = payload_of(4096);
+  ASSERT_TRUE(f.cdd->put_file("Bob", "Ty7e", "r.bin", data, opts, &report).ok());
+  EXPECT_EQ(report.chunks, 4u);
+  EXPECT_EQ(report.shards, 4u * 4u);  // raid5 k=3 -> 4 shards per chunk
+  EXPECT_EQ(report.bytes_logical, 4096u);
+  EXPECT_GT(report.bytes_stored, 4096u);  // parity overhead
+  EXPECT_GT(report.sim_time_parallel.count(), 0);
+  EXPECT_GE(report.sim_time_serial.count(),
+            report.sim_time_parallel.count());
+}
+
+TEST(DistributorTest, AccessControlMatrix) {
+  DistFixture f;
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kModerate;
+  ASSERT_TRUE(f.cdd->put_file("Bob", "6S4r", "secret.db",
+                              payload_of(3000), opts).ok());
+  // SV: privilege >= chunk PL passes; below is denied.
+  EXPECT_TRUE(f.cdd->get_file("Bob", "Ty7e", "secret.db").ok());
+  EXPECT_TRUE(f.cdd->get_file("Bob", "6S4r", "secret.db").ok());
+  EXPECT_EQ(f.cdd->get_file("Bob", "x9pr", "secret.db").status().code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(f.cdd->get_file("Bob", "aB1c", "secret.db").status().code(),
+            ErrorCode::kPermissionDenied);
+  // Bad password / unknown client.
+  EXPECT_EQ(f.cdd->get_file("Bob", "nope", "secret.db").status().code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(f.cdd->get_file("Eve", "Ty7e", "secret.db").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(DistributorTest, UploadRequiresPrivilege) {
+  DistFixture f;
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;
+  EXPECT_EQ(f.cdd->put_file("Bob", "x9pr", "f.bin", payload_of(10), opts)
+                .code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST(DistributorTest, DuplicateFilenameRejected) {
+  DistFixture f;
+  PutOptions opts;
+  ASSERT_TRUE(f.cdd->put_file("Bob", "Ty7e", "dup", payload_of(10), opts).ok());
+  EXPECT_EQ(f.cdd->put_file("Bob", "Ty7e", "dup", payload_of(10), opts).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(DistributorTest, GetChunkBySerial) {
+  DistFixture f;
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;  // 1 KiB chunks
+  const Bytes data = payload_of(2500);
+  ASSERT_TRUE(f.cdd->put_file("Bob", "Ty7e", "c.bin", data, opts).ok());
+  Result<Bytes> c0 = f.cdd->get_chunk("Bob", "Ty7e", "c.bin", 0);
+  Result<Bytes> c2 = f.cdd->get_chunk("Bob", "Ty7e", "c.bin", 2);
+  ASSERT_TRUE(c0.ok() && c2.ok());
+  EXPECT_TRUE(equal(c0.value(), slice(data, 0, 1024)));
+  EXPECT_TRUE(equal(c2.value(), slice(data, 2048, 1024)));
+  EXPECT_EQ(f.cdd->get_chunk("Bob", "Ty7e", "c.bin", 9).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(DistributorTest, MisleadingBytesAreTransparentToClients) {
+  DistFixture f(raid::RaidLevel::kRaid5, /*misleading=*/0.3);
+  const Bytes data = payload_of(5000);
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kModerate;
+  OpReport report;
+  ASSERT_TRUE(
+      f.cdd->put_file("Bob", "Ty7e", "chaffed", data, opts, &report).ok());
+  EXPECT_GT(report.bytes_stored, data.size() * 5 / 4);  // chaff + parity
+  Result<Bytes> back = f.cdd->get_file("Bob", "Ty7e", "chaffed");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(equal(back.value(), data));
+}
+
+TEST(DistributorTest, Raid5SurvivesSingleProviderOutage) {
+  DistFixture f(raid::RaidLevel::kRaid5);
+  const Bytes data = payload_of(30000);
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kPublic;
+  ASSERT_TRUE(f.cdd->put_file("Bob", "Ty7e", "hot", data, opts).ok());
+  f.registry.at(0).set_online(false);
+  Result<Bytes> back = f.cdd->get_file("Bob", "Ty7e", "hot");
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_TRUE(equal(back.value(), data));
+}
+
+TEST(DistributorTest, Raid6SurvivesDoubleProviderOutage) {
+  DistFixture f(raid::RaidLevel::kRaid6);
+  const Bytes data = payload_of(30000);
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kPublic;
+  opts.raid = raid::RaidLevel::kRaid6;  // "higher assurance" path
+  ASSERT_TRUE(f.cdd->put_file("Bob", "Ty7e", "hot6", data, opts).ok());
+  f.registry.at(0).set_online(false);
+  f.registry.at(1).set_online(false);
+  Result<Bytes> back = f.cdd->get_file("Bob", "Ty7e", "hot6");
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_TRUE(equal(back.value(), data));
+}
+
+TEST(DistributorTest, CorruptionIsDetectedAndRecovered) {
+  DistFixture f(raid::RaidLevel::kRaid5);
+  const Bytes data = payload_of(8000);
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kPublic;
+  ASSERT_TRUE(f.cdd->put_file("Bob", "Ty7e", "tampered", data, opts).ok());
+  // Corrupt one stored shard at every provider that has objects (only one
+  // shard per stripe lands per provider, so RAID-5 still decodes).
+  bool corrupted = false;
+  for (ProviderIndex p = 0; p < f.registry.size() && !corrupted; ++p) {
+    for (VirtualId id : f.registry.at(p).list_ids()) {
+      ASSERT_TRUE(f.registry.at(p).corrupt_object(id, 0).ok());
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  Result<Bytes> back = f.cdd->get_file("Bob", "Ty7e", "tampered");
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_TRUE(equal(back.value(), data));
+}
+
+TEST(DistributorTest, UpdateChunkKeepsSnapshot) {
+  DistFixture f;
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;
+  const Bytes v1 = payload_of(900, 1);
+  ASSERT_TRUE(f.cdd->put_file("Bob", "Ty7e", "doc", v1, opts).ok());
+  EXPECT_EQ(f.cdd->get_chunk_snapshot("Bob", "Ty7e", "doc", 0).status().code(),
+            ErrorCode::kNotFound);
+
+  const Bytes v2 = payload_of(800, 2);
+  ASSERT_TRUE(f.cdd->update_chunk("Bob", "Ty7e", "doc", 0, v2).ok());
+  Result<Bytes> now = f.cdd->get_chunk("Bob", "Ty7e", "doc", 0);
+  Result<Bytes> snap = f.cdd->get_chunk_snapshot("Bob", "Ty7e", "doc", 0);
+  ASSERT_TRUE(now.ok() && snap.ok());
+  EXPECT_TRUE(equal(now.value(), v2));
+  EXPECT_TRUE(equal(snap.value(), v1));
+
+  // Second update: snapshot rolls forward to v2.
+  const Bytes v3 = payload_of(850, 3);
+  ASSERT_TRUE(f.cdd->update_chunk("Bob", "Ty7e", "doc", 0, v3).ok());
+  EXPECT_TRUE(equal(f.cdd->get_chunk("Bob", "Ty7e", "doc", 0).value(), v3));
+  EXPECT_TRUE(
+      equal(f.cdd->get_chunk_snapshot("Bob", "Ty7e", "doc", 0).value(), v2));
+}
+
+TEST(DistributorTest, RemoveFileDeletesAllShards) {
+  DistFixture f;
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kModerate;
+  ASSERT_TRUE(
+      f.cdd->put_file("Bob", "Ty7e", "gone", payload_of(9000), opts).ok());
+  std::size_t stored = 0;
+  for (ProviderIndex p = 0; p < f.registry.size(); ++p) {
+    stored += f.registry.at(p).object_count();
+  }
+  EXPECT_GT(stored, 0u);
+  ASSERT_TRUE(f.cdd->remove_file("Bob", "Ty7e", "gone").ok());
+  stored = 0;
+  for (ProviderIndex p = 0; p < f.registry.size(); ++p) {
+    stored += f.registry.at(p).object_count();
+  }
+  EXPECT_EQ(stored, 0u);
+  EXPECT_EQ(f.cdd->get_file("Bob", "Ty7e", "gone").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(DistributorTest, RepairRestoresLostShards) {
+  DistFixture f(raid::RaidLevel::kRaid5);
+  const Bytes data = payload_of(20000);
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kPublic;
+  ASSERT_TRUE(f.cdd->put_file("Bob", "Ty7e", "durable", data, opts).ok());
+
+  // A provider goes out of business: its shards are gone for good.
+  ProviderIndex victim = kNoProvider;
+  for (ProviderIndex p = 0; p < f.registry.size(); ++p) {
+    if (f.registry.at(p).object_count() > 0) {
+      victim = p;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kNoProvider);
+  f.registry.at(victim).go_out_of_business();
+
+  Result<std::size_t> repaired = f.cdd->repair();
+  ASSERT_TRUE(repaired.ok()) << repaired.status().to_string();
+  EXPECT_GT(repaired.value(), 0u);
+
+  // Now a SECOND provider can fail and the file still reads (full
+  // redundancy was restored).
+  ProviderIndex second = kNoProvider;
+  for (ProviderIndex p = 0; p < f.registry.size(); ++p) {
+    if (p != victim && f.registry.at(p).object_count() > 0) {
+      second = p;
+      break;
+    }
+  }
+  ASSERT_NE(second, kNoProvider);
+  f.registry.at(second).set_online(false);
+  Result<Bytes> back = f.cdd->get_file("Bob", "Ty7e", "durable");
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_TRUE(equal(back.value(), data));
+
+  // Idempotence: nothing left to repair once the second provider returns.
+  f.registry.at(second).set_online(true);
+  Result<std::size_t> again = f.cdd->repair();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), 0u);
+}
+
+TEST(DistributorTest, VirtualIdsConcealClientIdentity) {
+  DistFixture f;
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kModerate;
+  const Bytes data = payload_of(5000);
+  ASSERT_TRUE(f.cdd->put_file("Bob", "Ty7e", "veiled.doc", data, opts).ok());
+  // Providers see only 64-bit ids; ids must not embed the client name or
+  // filename bytes, and must all be distinct.
+  std::set<VirtualId> all_ids;
+  for (ProviderIndex p = 0; p < f.registry.size(); ++p) {
+    for (VirtualId id : f.registry.at(p).list_ids()) {
+      EXPECT_TRUE(all_ids.insert(id).second) << "duplicate virtual id";
+    }
+  }
+  EXPECT_GT(all_ids.size(), 0u);
+}
+
+TEST(DistributorTest, ProviderTableMirrorsPlacement) {
+  DistFixture f;
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kPublic;
+  ASSERT_TRUE(
+      f.cdd->put_file("Bob", "Ty7e", "ledger", payload_of(70000), opts).ok());
+  const auto table = f.cdd->metadata().provider_table();
+  ASSERT_EQ(table.size(), f.registry.size());
+  for (ProviderIndex p = 0; p < f.registry.size(); ++p) {
+    EXPECT_EQ(table[p].count(), f.registry.at(p).object_count())
+        << "provider " << table[p].name;
+  }
+}
+
+TEST(DistributorTest, HighSensitivityOnlyOnTrustedProviders) {
+  DistFixture f;
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;
+  ASSERT_TRUE(
+      f.cdd->put_file("Bob", "Ty7e", "top", payload_of(4000), opts).ok());
+  for (ProviderIndex p = 0; p < f.registry.size(); ++p) {
+    if (f.registry.at(p).object_count() > 0) {
+      EXPECT_EQ(level_index(f.registry.at(p).descriptor().privacy_level), 3)
+          << "PL3 chunk landed on untrusted provider "
+          << f.registry.at(p).descriptor().name;
+    }
+  }
+}
+
+TEST(DistributorTest, ListFilesFiltersByPrivilege) {
+  DistFixture f;
+  PutOptions low;
+  low.privacy_level = PrivacyLevel::kLow;
+  PutOptions high;
+  high.privacy_level = PrivacyLevel::kHigh;
+  ASSERT_TRUE(f.cdd->put_file("Bob", "Ty7e", "memo.txt", payload_of(20000),
+                              low).ok());
+  ASSERT_TRUE(f.cdd->put_file("Bob", "Ty7e", "vault.key", payload_of(2000),
+                              high).ok());
+
+  // High-privilege password sees both; low-privilege password cannot even
+  // learn the sensitive file's name.
+  Result<std::vector<CloudDataDistributor::FileInfo>> all =
+      f.cdd->list_files("Bob", "Ty7e");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 2u);
+  Result<std::vector<CloudDataDistributor::FileInfo>> some =
+      f.cdd->list_files("Bob", "x9pr");
+  ASSERT_TRUE(some.ok());
+  ASSERT_EQ(some.value().size(), 1u);
+  EXPECT_EQ(some.value()[0].filename, "memo.txt");
+  EXPECT_EQ(some.value()[0].privacy_level, PrivacyLevel::kLow);
+  EXPECT_GT(some.value()[0].chunks, 0u);
+  // Bad credentials are rejected before any listing.
+  EXPECT_FALSE(f.cdd->list_files("Bob", "nope").ok());
+  EXPECT_FALSE(f.cdd->list_files("Eve", "Ty7e").ok());
+}
+
+TEST(DistributorTest, EmptyFileRoundTrips) {
+  DistFixture f;
+  PutOptions opts;
+  ASSERT_TRUE(f.cdd->put_file("Bob", "Ty7e", "empty", {}, opts).ok());
+  Result<Bytes> back = f.cdd->get_file("Bob", "Ty7e", "empty");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+// --- multi-distributor (Fig. 2) ------------------------------------------------------
+
+TEST(DistributorGroupTest, SecondariesSeePrimaryUploads) {
+  storage::ProviderRegistry reg = storage::make_default_registry(12);
+  DistributorConfig config;
+  config.stripe_data_shards = 3;
+  DistributorGroup group(reg, config, 3);
+  ASSERT_TRUE(group.register_client("Roy").ok());
+  ASSERT_TRUE(group.add_password("Roy", "eV2t", PrivacyLevel::kHigh).ok());
+  const Bytes data = payload_of(12000);
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kModerate;
+  ASSERT_TRUE(group.put_file("Roy", "eV2t", "shared", data, opts).ok());
+  // Every front-end can serve the read -- they share one namespace.
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    Result<Bytes> back = group.at(i).get_file("Roy", "eV2t", "shared");
+    ASSERT_TRUE(back.ok()) << "distributor " << i;
+    EXPECT_TRUE(equal(back.value(), data));
+  }
+}
+
+TEST(DistributorGroupTest, PrimaryIsStablePerClient) {
+  storage::ProviderRegistry reg = storage::make_default_registry(8);
+  DistributorGroup group(reg, DistributorConfig{}, 4);
+  auto& p1 = group.primary_for("Alice");
+  auto& p2 = group.primary_for("Alice");
+  EXPECT_EQ(&p1, &p2);
+}
+
+TEST(DistributorGroupTest, RoundRobinReadsRotate) {
+  storage::ProviderRegistry reg = storage::make_default_registry(8);
+  DistributorGroup group(reg, DistributorConfig{}, 3);
+  std::set<CloudDataDistributor*> seen;
+  for (int i = 0; i < 3; ++i) seen.insert(&group.any());
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+// --- client-side DHT distributor (SIV-C) ----------------------------------------------
+
+TEST(ClientSideTest, PutGetRemoveFlow) {
+  storage::ProviderRegistry reg = storage::make_default_registry(12);
+  ClientSideConfig cfg;
+  cfg.replicas = 2;
+  ClientSideDistributor client(reg, cfg);
+  const Bytes data = payload_of(50000);
+  ASSERT_TRUE(client.put_file("report.pdf", data, PrivacyLevel::kLow).ok());
+  Result<Bytes> back = client.get_file("report.pdf");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(equal(back.value(), data));
+  ASSERT_TRUE(client.remove_file("report.pdf").ok());
+  EXPECT_EQ(client.get_file("report.pdf").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(ClientSideTest, ReplicationSurvivesOneProviderLoss) {
+  storage::ProviderRegistry reg = storage::make_default_registry(12);
+  ClientSideConfig cfg;
+  cfg.replicas = 2;
+  ClientSideDistributor client(reg, cfg);
+  const Bytes data = payload_of(20000);
+  ASSERT_TRUE(client.put_file("ha.bin", data, PrivacyLevel::kPublic).ok());
+  // Kill one provider holding objects.
+  for (ProviderIndex p = 0; p < reg.size(); ++p) {
+    if (reg.at(p).object_count() > 0) {
+      reg.at(p).set_online(false);
+      break;
+    }
+  }
+  Result<Bytes> back = client.get_file("ha.bin");
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_TRUE(equal(back.value(), data));
+}
+
+TEST(ClientSideTest, HighPlacementRespectsTrust) {
+  storage::ProviderRegistry reg = storage::make_default_registry(12);
+  ClientSideDistributor client(reg, ClientSideConfig{});
+  ASSERT_TRUE(
+      client.put_file("vault", payload_of(6000), PrivacyLevel::kHigh).ok());
+  for (ProviderIndex p = 0; p < reg.size(); ++p) {
+    if (reg.at(p).object_count() > 0) {
+      EXPECT_EQ(level_index(reg.at(p).descriptor().privacy_level), 3);
+    }
+  }
+}
+
+TEST(ClientSideTest, LocalTableMemoryIsTracked) {
+  storage::ProviderRegistry reg = storage::make_default_registry(8);
+  ClientSideDistributor client(reg, ClientSideConfig{});
+  EXPECT_EQ(client.local_table_bytes(), 0u);
+  ASSERT_TRUE(
+      client.put_file("m.bin", payload_of(50000), PrivacyLevel::kLow).ok());
+  EXPECT_GT(client.local_table_bytes(), 0u);
+}
+
+TEST(ClientSideTest, DuplicateFilenameRejected) {
+  storage::ProviderRegistry reg = storage::make_default_registry(8);
+  ClientSideDistributor client(reg, ClientSideConfig{});
+  ASSERT_TRUE(
+      client.put_file("d", payload_of(10), PrivacyLevel::kPublic).ok());
+  EXPECT_EQ(client.put_file("d", payload_of(10), PrivacyLevel::kPublic).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(ClientSideTest, GetChunkBySerial) {
+  storage::ProviderRegistry reg = storage::make_default_registry(8);
+  ClientSideConfig cfg;
+  ClientSideDistributor client(reg, cfg);
+  const Bytes data = payload_of(3000);
+  ASSERT_TRUE(client.put_file("c", data, PrivacyLevel::kHigh).ok());
+  Result<Bytes> c1 = client.get_chunk("c", 1);
+  ASSERT_TRUE(c1.ok());
+  EXPECT_TRUE(equal(c1.value(), slice(data, 1024, 1024)));
+}
+
+// --- makespan model --------------------------------------------------------------------
+
+TEST(MakespanTest, SerialEqualsSumParallelEqualsMax) {
+  std::vector<SimDuration> times{SimDuration(100), SimDuration(200),
+                                 SimDuration(300)};
+  EXPECT_EQ(parallel_makespan(times, 1).count(), 600);
+  EXPECT_EQ(parallel_makespan(times, 3).count(), 300);
+  EXPECT_EQ(parallel_makespan(times, 100).count(), 300);
+}
+
+TEST(MakespanTest, GreedySchedulingPacks) {
+  // Channels: {100}, {60, 50} -> makespan 110.
+  std::vector<SimDuration> times{SimDuration(100), SimDuration(60),
+                                 SimDuration(50)};
+  EXPECT_EQ(parallel_makespan(times, 2).count(), 110);
+}
+
+TEST(MakespanTest, EmptyIsZero) {
+  EXPECT_EQ(parallel_makespan({}, 4).count(), 0);
+}
+
+// --- partial encryption (SVII-E) ------------------------------------------------------
+
+crypto::AesKey test_key() {
+  return {9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 11, 12, 13, 14, 15, 16};
+}
+
+TEST(PartialEncryptionTest, SelfInverse) {
+  PartialEncryptor enc({"a", "b", "c"}, {"b"}, test_key());
+  Bytes data = payload_of(enc.record_size() * 10, 1);
+  Result<Bytes> ct = enc.apply(data);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_FALSE(equal(ct.value(), data));
+  Result<Bytes> pt = enc.apply(ct.value());
+  ASSERT_TRUE(pt.ok());
+  EXPECT_TRUE(equal(pt.value(), data));
+}
+
+TEST(PartialEncryptionTest, OnlySensitiveFieldsChange) {
+  PartialEncryptor enc({"a", "b", "c"}, {"b"}, test_key());
+  const std::size_t rec = enc.record_size();
+  const Bytes data = payload_of(rec * 5, 2);
+  const Bytes ct = enc.apply(data).value();
+  for (std::size_t r = 0; r < 5; ++r) {
+    // Column a (bytes 0..7) and c (16..23) untouched; b (8..15) encrypted.
+    for (std::size_t b = 0; b < 8; ++b) {
+      EXPECT_EQ(ct[r * rec + b], data[r * rec + b]);
+      EXPECT_EQ(ct[r * rec + 16 + b], data[r * rec + 16 + b]);
+    }
+    bool b_changed = false;
+    for (std::size_t b = 8; b < 16; ++b) {
+      b_changed |= ct[r * rec + b] != data[r * rec + b];
+    }
+    EXPECT_TRUE(b_changed) << "record " << r;
+  }
+}
+
+TEST(PartialEncryptionTest, RecordsEncryptIndependently) {
+  // Decrypting a suffix with the right base_record index works: random
+  // access by row, the property the paper's query-overhead argument needs.
+  PartialEncryptor enc({"a", "b"}, {"a", "b"}, test_key());
+  const std::size_t rec = enc.record_size();
+  const Bytes data = payload_of(rec * 8, 3);
+  const Bytes ct = enc.apply(data).value();
+  const Bytes tail_ct = slice(ct, rec * 5, rec * 3);
+  Result<Bytes> tail_pt = enc.apply(tail_ct, /*base_record=*/5);
+  ASSERT_TRUE(tail_pt.ok());
+  EXPECT_TRUE(equal(tail_pt.value(), BytesView(data.data() + rec * 5,
+                                               rec * 3)));
+}
+
+TEST(PartialEncryptionTest, RejectsPartialRecords) {
+  PartialEncryptor enc({"a"}, {"a"}, test_key());
+  EXPECT_FALSE(enc.apply(Bytes(enc.record_size() + 1, 0)).ok());
+}
+
+TEST(PartialEncryptionTest, UnknownColumnThrows) {
+  EXPECT_THROW(PartialEncryptor({"a"}, {"zz"}, test_key()),
+               std::invalid_argument);
+}
+
+TEST(PartialEncryptionTest, NoSensitiveColumnsIsIdentity) {
+  PartialEncryptor enc({"a", "b"}, {}, test_key());
+  const Bytes data = payload_of(enc.record_size() * 3, 4);
+  EXPECT_TRUE(equal(enc.apply(data).value(), data));
+}
+
+// --- reputation (SIV-A reliability) ---------------------------------------------------
+
+TEST(ReputationTest, StartsTrusted) {
+  ReputationTracker tracker(4);
+  for (ProviderIndex p = 0; p < 4; ++p) {
+    EXPECT_EQ(tracker.tier(p), PrivacyLevel::kHigh);
+  }
+}
+
+TEST(ReputationTest, FailuresDemoteSuccessesRestore) {
+  ReputationTracker tracker(2);
+  // Hammer provider 0 with failures until it loses PL3 trust.
+  int failures = 0;
+  while (tracker.tier(0) == PrivacyLevel::kHigh && failures < 1000) {
+    tracker.record(0, false);
+    ++failures;
+  }
+  EXPECT_GT(failures, 0);
+  EXPECT_LT(failures, 100);
+  EXPECT_LT(level_index(tracker.tier(0)), 3);
+  EXPECT_EQ(tracker.tier(1), PrivacyLevel::kHigh);  // untouched peer
+  // A long run of successes restores trust.
+  for (int i = 0; i < 500; ++i) tracker.record(0, true);
+  EXPECT_EQ(tracker.tier(0), PrivacyLevel::kHigh);
+}
+
+TEST(ReputationTest, ScoreIsBoundedEwma) {
+  ReputationTracker tracker(1);
+  for (int i = 0; i < 100; ++i) tracker.record(0, false);
+  EXPECT_GE(tracker.score(0), 0.0);
+  EXPECT_LT(tracker.score(0), 0.05);
+  for (int i = 0; i < 1000; ++i) tracker.record(0, true);
+  EXPECT_LE(tracker.score(0), 1.0);
+  EXPECT_GT(tracker.score(0), 0.95);
+}
+
+TEST(ReputationTest, DemotionSpeedMatchesConfig) {
+  ReputationTracker tracker(1);
+  const int expected = tracker.failures_to_demote_from_high();
+  ReputationTracker fresh(1, ReputationConfig{1.0, 0.05, {0.5, 0.75, 0.9}});
+  int n = 0;
+  while (fresh.tier(0) == PrivacyLevel::kHigh && n < 1000) {
+    fresh.record(0, false);
+    ++n;
+  }
+  EXPECT_EQ(n, expected);
+}
+
+// --- rebalance (trust-driven migration) ------------------------------------------------
+
+TEST(RebalanceTest, MigratesShardsOffDemotedProvider) {
+  DistFixture f;
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;
+  const Bytes data = payload_of(6000);
+  ASSERT_TRUE(f.cdd->put_file("Bob", "Ty7e", "crown", data, opts).ok());
+
+  // Find a provider holding PL3 shards and demote it to PL1 (reputation
+  // collapse).
+  ProviderIndex demoted = kNoProvider;
+  for (ProviderIndex p = 0; p < f.registry.size(); ++p) {
+    if (f.registry.at(p).object_count() > 0) {
+      demoted = p;
+      break;
+    }
+  }
+  ASSERT_NE(demoted, kNoProvider);
+  // Another PL3 provider must be free to take the shards: promote one of
+  // the lower-tier providers to PL3 first (re-rating goes both ways).
+  ProviderIndex promoted = kNoProvider;
+  for (ProviderIndex p = 0; p < f.registry.size(); ++p) {
+    if (level_index(f.registry.at(p).descriptor().privacy_level) < 3) {
+      promoted = p;
+      f.registry.at(p).set_privacy_level(PrivacyLevel::kHigh);
+      break;
+    }
+  }
+  ASSERT_NE(promoted, kNoProvider);
+  f.registry.at(demoted).set_privacy_level(PrivacyLevel::kLow);
+
+  Result<std::size_t> moved = f.cdd->rebalance();
+  ASSERT_TRUE(moved.ok()) << moved.status().to_string();
+  EXPECT_GT(moved.value(), 0u);
+  EXPECT_EQ(f.registry.at(demoted).object_count(), 0u)
+      << "demoted provider must hold no sensitive shards";
+
+  Result<Bytes> back = f.cdd->get_file("Bob", "Ty7e", "crown");
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_TRUE(equal(back.value(), data));
+
+  // Idempotent once trust is consistent.
+  Result<std::size_t> again = f.cdd->rebalance();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), 0u);
+}
+
+TEST(RebalanceTest, NoopWhenAllProvidersTrusted) {
+  DistFixture f;
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kModerate;
+  ASSERT_TRUE(
+      f.cdd->put_file("Bob", "Ty7e", "calm", payload_of(3000), opts).ok());
+  Result<std::size_t> moved = f.cdd->rebalance();
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.value(), 0u);
+}
+
+}  // namespace
+}  // namespace cshield::core

@@ -1,0 +1,116 @@
+// Tests for the CHORD-style consistent-hash ring (client-side distributor,
+// SIV-C): determinism across clients, lookup monotonicity under churn, and
+// load balance with virtual nodes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dht/ring.hpp"
+
+namespace cshield::dht {
+namespace {
+
+HashRing ring_of(std::initializer_list<const char*> names,
+                 std::size_t vnodes = 64) {
+  HashRing ring(vnodes);
+  ProviderIndex idx = 0;
+  for (const char* n : names) ring.add_provider(idx++, n);
+  return ring;
+}
+
+TEST(HashRingTest, EmptyRingRejectsLookup) {
+  HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW((void)ring.lookup(1), std::invalid_argument);
+}
+
+TEST(HashRingTest, SingleProviderOwnsEverything) {
+  HashRing ring = ring_of({"Solo"});
+  for (std::uint64_t k = 0; k < 1000; k += 13) {
+    EXPECT_EQ(ring.lookup(k * 0x9E3779B97F4A7C15ULL), 0u);
+  }
+}
+
+TEST(HashRingTest, DeterministicAcrossIndependentBuilds) {
+  // Two clients building the ring from the same downloadable provider list
+  // must agree on every mapping -- the property SIV-C relies on.
+  HashRing a = ring_of({"Adobe", "AWS", "Google", "Microsoft"});
+  HashRing b = ring_of({"Adobe", "AWS", "Google", "Microsoft"});
+  for (std::uint64_t serial = 0; serial < 500; ++serial) {
+    const auto key = HashRing::chunk_key("shared_file.dat", serial);
+    EXPECT_EQ(a.lookup(key), b.lookup(key));
+  }
+}
+
+TEST(HashRingTest, LookupManyReturnsDistinctProviders) {
+  HashRing ring = ring_of({"A", "B", "C", "D", "E"});
+  for (std::uint64_t serial = 0; serial < 200; ++serial) {
+    const auto replicas =
+        ring.lookup_many(HashRing::chunk_key("f", serial), 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    std::set<ProviderIndex> unique(replicas.begin(), replicas.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(HashRingTest, LookupManyCapsAtProviderCount) {
+  HashRing ring = ring_of({"A", "B"});
+  EXPECT_EQ(ring.lookup_many(123, 10).size(), 2u);
+}
+
+TEST(HashRingTest, FirstOfLookupManyIsLookup) {
+  HashRing ring = ring_of({"A", "B", "C", "D"});
+  for (std::uint64_t k = 1; k < 100; ++k) {
+    const auto key = HashRing::chunk_key("g", k);
+    EXPECT_EQ(ring.lookup_many(key, 2).front(), ring.lookup(key));
+  }
+}
+
+TEST(HashRingTest, RemovalOnlyMovesKeysOfRemovedProvider) {
+  HashRing ring = ring_of({"A", "B", "C", "D"});
+  std::map<std::uint64_t, ProviderIndex> before;
+  for (std::uint64_t s = 0; s < 1000; ++s) {
+    const auto key = HashRing::chunk_key("h", s);
+    before[key] = ring.lookup(key);
+  }
+  ring.remove_provider(2);  // "C" leaves
+  for (const auto& [key, owner] : before) {
+    const ProviderIndex now = ring.lookup(key);
+    if (owner != 2) {
+      EXPECT_EQ(now, owner) << "stable key moved";
+    } else {
+      EXPECT_NE(now, 2u);
+    }
+  }
+}
+
+TEST(HashRingTest, OwnershipIsRoughlyBalanced) {
+  HashRing ring = ring_of({"A", "B", "C", "D", "E"}, 128);
+  const auto share = ring.ownership();
+  ASSERT_EQ(share.size(), 5u);
+  double total = 0.0;
+  for (const auto& [p, frac] : share) {
+    EXPECT_GT(frac, 0.08);  // ideal 0.20; 128 vnodes keep it within ~2x
+    EXPECT_LT(frac, 0.40);
+    total += frac;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(HashRingTest, ChunkKeySeparatesFilesAndSerials) {
+  EXPECT_NE(HashRing::chunk_key("a", 0), HashRing::chunk_key("a", 1));
+  EXPECT_NE(HashRing::chunk_key("a", 0), HashRing::chunk_key("b", 0));
+}
+
+TEST(HashRingTest, NodeCountTracksVirtualNodes) {
+  HashRing ring(32);
+  ring.add_provider(0, "X");
+  ring.add_provider(1, "Y");
+  EXPECT_EQ(ring.node_count(), 64u);
+  ring.remove_provider(0);
+  EXPECT_EQ(ring.node_count(), 32u);
+}
+
+}  // namespace
+}  // namespace cshield::dht

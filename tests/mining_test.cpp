@@ -1,0 +1,623 @@
+// Tests for the mining toolbox: dataset ops, linear algebra, regression,
+// hierarchical clustering + dendrograms, k-means, Apriori, naive Bayes, and
+// the partition/tree comparison metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/stats.hpp"
+
+#include "mining/apriori.hpp"
+#include "mining/dataset.hpp"
+#include "mining/hierarchical.hpp"
+#include "mining/kmeans.hpp"
+#include "mining/linalg.hpp"
+#include "mining/metrics.hpp"
+#include "mining/decision_tree.hpp"
+#include "mining/knn.hpp"
+#include "mining/naive_bayes.hpp"
+#include "mining/regression.hpp"
+#include "util/random.hpp"
+
+namespace cshield::mining {
+namespace {
+
+// --- Dataset ------------------------------------------------------------------
+
+Dataset small_xy() {
+  Dataset d({"x", "y"});
+  d.add_row({1, 10});
+  d.add_row({2, 20});
+  d.add_row({3, 30});
+  d.add_row({4, 40});
+  return d;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  const Dataset d = small_xy();
+  EXPECT_EQ(d.num_rows(), 4u);
+  EXPECT_EQ(d.num_cols(), 2u);
+  EXPECT_EQ(d.column_index("y"), 1u);
+  EXPECT_DOUBLE_EQ(d.at(2, 1), 30.0);
+  EXPECT_THROW((void)d.column_index("nope"), std::invalid_argument);
+}
+
+TEST(DatasetTest, RowArityEnforced) {
+  Dataset d({"a", "b"});
+  EXPECT_THROW(d.add_row({1.0}), std::invalid_argument);
+}
+
+TEST(DatasetTest, SliceAndSelect) {
+  const Dataset d = small_xy();
+  const Dataset s = d.slice_rows(1, 3);
+  EXPECT_EQ(s.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 2.0);
+  const Dataset p = d.select_rows({3, 0});
+  EXPECT_DOUBLE_EQ(p.at(0, 1), 40.0);
+  EXPECT_DOUBLE_EQ(p.at(1, 1), 10.0);
+  const Dataset c = d.select_columns({"y"});
+  EXPECT_EQ(c.num_cols(), 1u);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 20.0);
+}
+
+TEST(DatasetTest, SplitContiguousPartitionsEvenly) {
+  Dataset d({"v"});
+  for (int i = 0; i < 10; ++i) d.add_row({static_cast<double>(i)});
+  const auto parts = d.split_contiguous(3);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].num_rows(), 4u);  // remainder goes to the front
+  EXPECT_EQ(parts[1].num_rows(), 3u);
+  EXPECT_EQ(parts[2].num_rows(), 3u);
+  // Concatenation restores the original.
+  Dataset joined(d.column_names());
+  for (const auto& p : parts) joined.append(p);
+  for (std::size_t r = 0; r < d.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(joined.at(r, 0), d.at(r, 0));
+  }
+}
+
+TEST(DatasetTest, StandardizeZeroMeanUnitVariance) {
+  Rng rng(1);
+  Dataset d({"a", "b"});
+  for (int i = 0; i < 200; ++i) {
+    d.add_row({rng.normal(50.0, 5.0), rng.normal(-3.0, 0.1)});
+  }
+  const Dataset z = standardize(d);
+  for (std::size_t c = 0; c < 2; ++c) {
+    RunningStats s;
+    for (std::size_t r = 0; r < z.num_rows(); ++r) s.add(z.at(r, c));
+    EXPECT_NEAR(s.mean(), 0.0, 1e-9);
+    EXPECT_NEAR(s.stddev(), 1.0, 1e-9);
+  }
+}
+
+TEST(DatasetTest, StandardizeConstantColumnIsZero) {
+  Dataset d({"c"});
+  d.add_row({7});
+  d.add_row({7});
+  const Dataset z = standardize(d);
+  EXPECT_DOUBLE_EQ(z.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(z.at(1, 0), 0.0);
+}
+
+// --- linalg ----------------------------------------------------------------------
+
+TEST(LinalgTest, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;  a.at(1, 1) = 3;
+  Result<std::vector<double>> x = solve(a, {5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 3.0, 1e-12);
+}
+
+TEST(LinalgTest, SingularSystemFails) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;  a.at(1, 1) = 4;
+  EXPECT_EQ(solve(a, {1, 2}).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(LinalgTest, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 0;  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;  a.at(1, 1) = 0;
+  Result<std::vector<double>> x = solve(a, {3, 4});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 4.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 3.0, 1e-12);
+}
+
+TEST(LinalgTest, GramIsSymmetric) {
+  Matrix m(3, 2);
+  m.at(0, 0) = 1; m.at(0, 1) = 2;
+  m.at(1, 0) = 3; m.at(1, 1) = 4;
+  m.at(2, 0) = 5; m.at(2, 1) = 6;
+  const Matrix g = m.gram();
+  EXPECT_DOUBLE_EQ(g.at(0, 1), g.at(1, 0));
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 35.0);  // 1+9+25
+}
+
+// --- regression -------------------------------------------------------------------
+
+TEST(RegressionTest, RecoversPlantedCoefficientsExactly) {
+  Rng rng(2);
+  Dataset d({"x1", "x2", "y"});
+  for (int i = 0; i < 50; ++i) {
+    const double x1 = rng.uniform(0, 10);
+    const double x2 = rng.uniform(-5, 5);
+    d.add_row({x1, x2, 3.0 * x1 - 2.0 * x2 + 7.0});
+  }
+  Result<LinearModel> m = fit_linear(d, {"x1", "x2"}, "y");
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m.value().coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(m.value().coefficients[1], -2.0, 1e-9);
+  EXPECT_NEAR(m.value().intercept, 7.0, 1e-9);
+  EXPECT_NEAR(m.value().r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(m.value().rmse, 0.0, 1e-9);
+}
+
+TEST(RegressionTest, NoisyFitIsApproximate) {
+  Rng rng(3);
+  Dataset d({"x", "y"});
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(0, 100);
+    d.add_row({x, 1.5 * x + 10.0 + rng.normal(0, 2.0)});
+  }
+  Result<LinearModel> m = fit_linear(d, {"x"}, "y");
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m.value().coefficients[0], 1.5, 0.01);
+  EXPECT_NEAR(m.value().intercept, 10.0, 0.6);
+  EXPECT_GT(m.value().r_squared, 0.99);
+}
+
+TEST(RegressionTest, TooFewObservationsFail) {
+  Dataset d({"x1", "x2", "y"});
+  d.add_row({1, 2, 3});
+  d.add_row({4, 5, 6});
+  EXPECT_EQ(fit_linear(d, {"x1", "x2"}, "y").status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(RegressionTest, CollinearFeaturesFail) {
+  Dataset d({"x1", "x2", "y"});
+  for (int i = 0; i < 20; ++i) {
+    const double x = i;
+    d.add_row({x, 2 * x, 3 * x});  // x2 = 2*x1 exactly
+  }
+  EXPECT_FALSE(fit_linear(d, {"x1", "x2"}, "y").ok());
+}
+
+TEST(RegressionTest, PredictAndEquation) {
+  LinearModel m;
+  m.coefficients = {2.0, -1.0};
+  m.intercept = 5.0;
+  EXPECT_DOUBLE_EQ(m.predict({3.0, 4.0}), 7.0);
+  const std::string eq = m.equation({"a", "b"});
+  EXPECT_NE(eq.find("2.00*a"), std::string::npos);
+  EXPECT_NE(eq.find("-1.00*b"), std::string::npos);
+}
+
+TEST(RegressionTest, CoefficientErrorIsRelative) {
+  LinearModel ref;
+  ref.coefficients = {3.0, 4.0};
+  ref.intercept = 0.0;
+  LinearModel same = ref;
+  EXPECT_DOUBLE_EQ(coefficient_error(ref, same), 0.0);
+  LinearModel off = ref;
+  off.coefficients = {3.0, 9.0};  // off by 5 on a norm-5 reference
+  EXPECT_NEAR(coefficient_error(ref, off), 1.0, 1e-12);
+}
+
+// --- hierarchical clustering -------------------------------------------------------
+
+/// Two tight groups far apart: {0,1,2} near origin, {3,4,5} near (10,10).
+Dataset two_blobs() {
+  Dataset d({"x", "y"});
+  d.add_row({0.0, 0.0});
+  d.add_row({0.1, 0.0});
+  d.add_row({0.0, 0.1});
+  d.add_row({10.0, 10.0});
+  d.add_row({10.1, 10.0});
+  d.add_row({10.0, 10.1});
+  return d;
+}
+
+TEST(HierarchicalTest, MergesProduceFullTree) {
+  const Dendrogram tree = cluster_rows(two_blobs(), Linkage::kAverage);
+  EXPECT_EQ(tree.num_leaves(), 6u);
+  EXPECT_EQ(tree.merges().size(), 5u);
+  // Heights are non-decreasing for average linkage on metric data.
+  for (std::size_t i = 1; i < tree.merges().size(); ++i) {
+    EXPECT_GE(tree.merges()[i].distance + 1e-12,
+              tree.merges()[i - 1].distance);
+  }
+  EXPECT_EQ(tree.merges().back().size, 6u);
+}
+
+TEST(HierarchicalTest, CutTwoRecoversBlobs) {
+  const Dendrogram tree = cluster_rows(two_blobs(), Linkage::kAverage);
+  const std::vector<int> labels = tree.cut(2);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_EQ(labels[4], labels[5]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+TEST(HierarchicalTest, CutExtremes) {
+  const Dendrogram tree = cluster_rows(two_blobs(), Linkage::kSingle);
+  const auto one = tree.cut(1);
+  for (int l : one) EXPECT_EQ(l, 0);
+  const auto all = tree.cut(6);
+  std::set<int> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), 6u);
+  EXPECT_THROW((void)tree.cut(0), std::invalid_argument);
+  EXPECT_THROW((void)tree.cut(7), std::invalid_argument);
+}
+
+TEST(HierarchicalTest, CopheneticSeparatesBlobs) {
+  const Dendrogram tree = cluster_rows(two_blobs(), Linkage::kAverage);
+  const DistanceMatrix coph = tree.cophenetic();
+  // Within-blob cophenetic distances are far below cross-blob ones.
+  EXPECT_LT(coph.at(0, 1), 1.0);
+  EXPECT_GT(coph.at(0, 3), 10.0);
+}
+
+TEST(HierarchicalTest, LeafOrderIsAPermutation) {
+  const Dendrogram tree = cluster_rows(two_blobs(), Linkage::kComplete);
+  const auto order = tree.leaf_order();
+  std::set<std::size_t> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), 6u);
+  // Blob members are contiguous in the dendrogram layout.
+  std::vector<std::size_t> pos(6);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  const auto [min03, max03] = std::minmax({pos[0], pos[1], pos[2]});
+  EXPECT_EQ(max03 - min03, 2u);
+}
+
+TEST(HierarchicalTest, LinkagesAgreeOnWellSeparatedData) {
+  for (auto linkage : {Linkage::kSingle, Linkage::kComplete,
+                       Linkage::kAverage}) {
+    const auto labels = cluster_rows(two_blobs(), linkage).cut(2);
+    EXPECT_EQ(adjusted_rand_index(labels, {0, 0, 0, 1, 1, 1}), 1.0)
+        << linkage_name(linkage);
+  }
+}
+
+TEST(HierarchicalTest, SingleLeafTree) {
+  Dataset d({"x"});
+  d.add_row({1.0});
+  const Dendrogram tree = cluster_rows(d, Linkage::kAverage);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_TRUE(tree.merges().empty());
+  EXPECT_EQ(tree.cut(1), std::vector<int>{0});
+}
+
+TEST(HierarchicalTest, ToTextListsLeavesAndMerges) {
+  const Dendrogram tree = cluster_rows(two_blobs(), Linkage::kAverage);
+  const std::string text = tree.to_text();
+  EXPECT_NE(text.find("leaf order:"), std::string::npos);
+  EXPECT_NE(text.find("merges"), std::string::npos);
+}
+
+// --- kmeans -------------------------------------------------------------------------
+
+TEST(KMeansTest, SeparatesBlobs) {
+  Result<KMeansResult> r = kmeans(two_blobs(), 2);
+  ASSERT_TRUE(r.ok());
+  const auto& labels = r.value().labels;
+  EXPECT_EQ(adjusted_rand_index(labels, {0, 0, 0, 1, 1, 1}), 1.0);
+  EXPECT_TRUE(r.value().converged);
+  EXPECT_LT(r.value().inertia, 0.1);
+}
+
+TEST(KMeansTest, KLargerThanRowsFails) {
+  EXPECT_FALSE(kmeans(two_blobs(), 7).ok());
+  EXPECT_FALSE(kmeans(two_blobs(), 0).ok());
+}
+
+TEST(KMeansTest, KEqualsRowsGivesZeroInertia) {
+  Result<KMeansResult> r = kmeans(two_blobs(), 6);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  const auto a = kmeans(two_blobs(), 2, 100, 42);
+  const auto b = kmeans(two_blobs(), 2, 100, 42);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().labels, b.value().labels);
+}
+
+// --- apriori -----------------------------------------------------------------------
+
+std::vector<Transaction> basket_db() {
+  // {1,2} co-occur in 4/6; item 3 rides along with 1 in 3/6.
+  return {{1, 2}, {1, 2, 3}, {1, 2, 3}, {1, 3}, {1, 2}, {2, 4}};
+}
+
+TEST(AprioriTest, FindsFrequentItemsets) {
+  AprioriOptions opts;
+  opts.min_support = 0.5;
+  opts.min_confidence = 0.7;
+  Result<AprioriResult> r = apriori(basket_db(), opts);
+  ASSERT_TRUE(r.ok());
+  bool found_12 = false;
+  for (const auto& fs : r.value().itemsets) {
+    if (fs.items == std::vector<std::uint32_t>{1, 2}) {
+      found_12 = true;
+      EXPECT_EQ(fs.support_count, 4u);
+      EXPECT_NEAR(fs.support, 4.0 / 6.0, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found_12);
+}
+
+bool rhs_is(const AssociationRule& rule, std::uint32_t item) {
+  return rule.rhs.size() == 1 && rule.rhs[0] == item;
+}
+
+TEST(AprioriTest, RuleConfidenceAndLift) {
+  AprioriOptions opts;
+  opts.min_support = 0.5;
+  opts.min_confidence = 0.75;
+  Result<AprioriResult> r = apriori(basket_db(), opts);
+  ASSERT_TRUE(r.ok());
+  bool found = false;
+  for (const auto& rule : r.value().rules) {
+    if (rule.lhs == std::vector<std::uint32_t>{2} &&
+        rhs_is(rule, 1)) {
+      found = true;
+      EXPECT_NEAR(rule.confidence, 4.0 / 5.0, 1e-12);  // P(1|2)
+      EXPECT_NEAR(rule.lift, (4.0 / 5.0) / (5.0 / 6.0), 1e-12);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AprioriTest, EmptyDatabaseFails) {
+  EXPECT_FALSE(apriori({}, AprioriOptions{}).ok());
+}
+
+TEST(AprioriTest, HighSupportPrunesEverything) {
+  AprioriOptions opts;
+  opts.min_support = 0.99;
+  Result<AprioriResult> r = apriori(basket_db(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().rules.empty());
+}
+
+TEST(AprioriTest, CompareRulesScoresOverlap) {
+  AssociationRule a;
+  a.lhs = {1};
+  a.rhs = {2};
+  AssociationRule b;
+  b.lhs = {3};
+  b.rhs = {4};
+  const auto cmp = compare_rules({a, b}, {a});
+  EXPECT_DOUBLE_EQ(cmp.recall, 0.5);
+  EXPECT_DOUBLE_EQ(cmp.precision, 1.0);
+  EXPECT_EQ(cmp.matched, 1u);
+}
+
+TEST(AprioriTest, RuleKeyIsCanonical) {
+  AssociationRule r;
+  r.lhs = {1, 5};
+  r.rhs = {9};
+  EXPECT_EQ(r.key(), "1,5=>9");
+}
+
+// --- naive bayes ---------------------------------------------------------------------
+
+TEST(NaiveBayesTest, SeparatesGaussianClasses) {
+  Rng rng(7);
+  Dataset train({"f1", "f2", "label"});
+  Dataset test({"f1", "f2", "label"});
+  for (int i = 0; i < 400; ++i) {
+    Dataset& dst = (i % 4 == 0) ? test : train;
+    if (i % 2 == 0) {
+      dst.add_row({rng.normal(0, 1), rng.normal(0, 1), 0});
+    } else {
+      dst.add_row({rng.normal(6, 1), rng.normal(6, 1), 1});
+    }
+  }
+  Result<NaiveBayes> model = NaiveBayes::fit(train, "label");
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().num_classes(), 2u);
+  EXPECT_GT(model.value().accuracy(test, "label"), 0.95);
+}
+
+TEST(NaiveBayesTest, SingleClassFails) {
+  Dataset d({"f", "label"});
+  d.add_row({1, 0});
+  d.add_row({2, 0});
+  EXPECT_FALSE(NaiveBayes::fit(d, "label").ok());
+}
+
+TEST(NaiveBayesTest, TinyClassFails) {
+  Dataset d({"f", "label"});
+  d.add_row({1, 0});
+  d.add_row({2, 0});
+  d.add_row({9, 1});  // class 1 has a single observation
+  EXPECT_FALSE(NaiveBayes::fit(d, "label").ok());
+}
+
+// --- metrics ----------------------------------------------------------------------
+
+TEST(MetricsTest, AriIdentityAndChance) {
+  const std::vector<int> a{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, a), 1.0);
+  // Relabeled partition is still identical.
+  const std::vector<int> relabeled{5, 5, 9, 9, 7, 7};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, relabeled), 1.0);
+}
+
+TEST(MetricsTest, AriDisagreementIsLow) {
+  const std::vector<int> a{0, 0, 0, 1, 1, 1};
+  const std::vector<int> b{0, 1, 0, 1, 0, 1};
+  EXPECT_LT(adjusted_rand_index(a, b), 0.1);
+}
+
+TEST(MetricsTest, RandIndexBounds) {
+  const std::vector<int> a{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(rand_index(a, a), 1.0);
+  const std::vector<int> b{0, 1, 0, 1};
+  EXPECT_LT(rand_index(a, b), 0.5);
+}
+
+TEST(MetricsTest, ChurnZeroForRelabeledPartition) {
+  const std::vector<int> a{0, 0, 1, 1, 2};
+  const std::vector<int> b{7, 7, 3, 3, 1};
+  EXPECT_DOUBLE_EQ(membership_churn(a, b), 0.0);
+}
+
+TEST(MetricsTest, ChurnCountsMovers) {
+  const std::vector<int> a{0, 0, 0, 1, 1, 1};
+  const std::vector<int> b{0, 0, 1, 1, 1, 1};  // item 2 moved
+  EXPECT_NEAR(membership_churn(a, b), 1.0 / 6.0, 1e-12);
+}
+
+TEST(MetricsTest, SpearmanMonotoneInvariance) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{1, 4, 9, 16, 25};  // monotone transform
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  const std::vector<double> z{25, 16, 9, 4, 1};
+  EXPECT_NEAR(spearman(x, z), -1.0, 1e-12);
+}
+
+TEST(MetricsTest, CopheneticCorrelationSelfIsOne) {
+  const Dendrogram tree = cluster_rows(two_blobs(), Linkage::kAverage);
+  EXPECT_NEAR(cophenetic_correlation(tree, tree), 1.0, 1e-12);
+  EXPECT_NEAR(bakers_gamma(tree, tree), 1.0, 1e-12);
+}
+
+// --- decision tree ----------------------------------------------------------------
+
+Dataset quadrant_data(Rng& rng, int n) {
+  // Class = quadrant sign pattern: needs two splits, separable by a tree.
+  Dataset d({"x", "y", "label"});
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(-4, 4);
+    const double y = rng.uniform(-4, 4);
+    const double label = (x > 0 ? 1.0 : 0.0) + (y > 0 ? 2.0 : 0.0);
+    d.add_row({x, y, label});
+  }
+  return d;
+}
+
+TEST(DecisionTreeTest, LearnsAxisAlignedClasses) {
+  Rng rng(31);
+  const Dataset train = quadrant_data(rng, 600);
+  const Dataset test = quadrant_data(rng, 200);
+  Result<DecisionTree> tree = DecisionTree::fit(train, "label");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(tree.value().accuracy(test, "label"), 0.92);
+  EXPECT_GT(tree.value().node_count(), 3u);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  Rng rng(32);
+  const Dataset train = quadrant_data(rng, 400);
+  DecisionTreeOptions opts;
+  opts.max_depth = 1;
+  Result<DecisionTree> stump = DecisionTree::fit(train, "label", opts);
+  ASSERT_TRUE(stump.ok());
+  EXPECT_LE(stump.value().depth(), 1u);
+  // A depth-1 stump cannot separate 4 quadrant classes.
+  EXPECT_LT(stump.value().accuracy(train, "label"), 0.7);
+}
+
+TEST(DecisionTreeTest, SingleClassFails) {
+  Dataset d({"x", "label"});
+  d.add_row({1, 0});
+  d.add_row({2, 0});
+  EXPECT_FALSE(DecisionTree::fit(d, "label").ok());
+  EXPECT_FALSE(DecisionTree::fit(Dataset({"x", "label"}), "label").ok());
+}
+
+TEST(DecisionTreeTest, PureTrainingAccuracyOnSeparableData) {
+  Rng rng(33);
+  const Dataset train = quadrant_data(rng, 300);
+  DecisionTreeOptions opts;
+  opts.max_depth = 16;
+  opts.min_samples_split = 2;
+  opts.min_samples_leaf = 1;
+  Result<DecisionTree> tree = DecisionTree::fit(train, "label", opts);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(tree.value().accuracy(train, "label"), 0.995);
+}
+
+// --- knn ----------------------------------------------------------------------------
+
+TEST(KnnTest, ClassifiesBlobData) {
+  Rng rng(34);
+  Dataset train({"x", "y", "label"});
+  Dataset test({"x", "y", "label"});
+  for (int i = 0; i < 400; ++i) {
+    Dataset& dst = (i % 4 == 0) ? test : train;
+    if (i % 2 == 0) {
+      dst.add_row({rng.normal(0, 1), rng.normal(0, 1), 0});
+    } else {
+      dst.add_row({rng.normal(5, 1), rng.normal(5, 1), 1});
+    }
+  }
+  Result<KnnClassifier> model = KnnClassifier::fit(train, "label", 5);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model.value().accuracy(test, "label"), 0.95);
+}
+
+TEST(KnnTest, StandardizationMakesScalesIrrelevant) {
+  // Same structure, but one feature is scaled by 1e6; without z-scoring it
+  // would dominate the metric.
+  Rng rng(35);
+  Dataset train({"small", "huge", "label"});
+  for (int i = 0; i < 200; ++i) {
+    const int label = i % 2;
+    train.add_row({rng.normal(label * 3.0, 0.5),
+                   rng.normal(1e6, 1e5),  // pure noise at huge scale
+                   static_cast<double>(label)});
+  }
+  Result<KnnClassifier> model = KnnClassifier::fit(train, "label", 7);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model.value().accuracy(train, "label"), 0.9);
+}
+
+TEST(KnnTest, KOneMemorizesTrainingSet) {
+  Rng rng(36);
+  const Dataset train = quadrant_data(rng, 100);
+  Result<KnnClassifier> model = KnnClassifier::fit(train, "label", 1);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model.value().accuracy(train, "label"), 1.0);
+}
+
+TEST(KnnTest, InvalidArgumentsFail) {
+  Dataset d({"x", "label"});
+  d.add_row({1, 0});
+  EXPECT_FALSE(KnnClassifier::fit(d, "label", 0).ok());
+  EXPECT_FALSE(KnnClassifier::fit(Dataset({"x", "label"}), "label", 3).ok());
+}
+
+TEST(KnnTest, KClampedToTrainingSize) {
+  Dataset d({"x", "label"});
+  d.add_row({0, 0});
+  d.add_row({1, 1});
+  Result<KnnClassifier> model = KnnClassifier::fit(d, "label", 50);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().k(), 2u);
+}
+
+TEST(MetricsTest, CopheneticDetectsScrambledTree) {
+  // Same points, but one tree built on scrambled labels: comparing a blob
+  // structure against itself with permuted leaves drops correlation.
+  const Dataset d = two_blobs();
+  const Dendrogram a = cluster_rows(d, Linkage::kAverage);
+  const Dataset scrambled = d.select_rows({0, 3, 1, 4, 2, 5});
+  const Dendrogram b = cluster_rows(scrambled, Linkage::kAverage);
+  EXPECT_LT(cophenetic_correlation(a, b), 0.5);
+}
+
+}  // namespace
+}  // namespace cshield::mining

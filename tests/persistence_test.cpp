@@ -1,0 +1,254 @@
+// Durability tests: the disk-backed object store, metadata-table
+// serialization, and a full distributor restart (new process = new
+// CloudDataDistributor instance) against surviving providers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <unistd.h>
+
+#include "core/distributor.hpp"
+#include "core/metadata_io.hpp"
+#include "storage/disk_store.hpp"
+#include "storage/provider_registry.hpp"
+
+namespace cshield {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    static std::atomic<int> counter{0};
+    path_ = fs::temp_directory_path() /
+            ("cshield_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1)));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+Bytes payload_of(std::size_t n, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  return out;
+}
+
+// --- DiskStore ----------------------------------------------------------------
+
+TEST(DiskStoreTest, PutGetRemoveRoundTrip) {
+  TempDir dir;
+  storage::DiskStore store(dir.path());
+  const Bytes data = payload_of(5000);
+  ASSERT_TRUE(store.put(0xABCD, data).ok());
+  Result<Bytes> back = store.get(0xABCD);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(equal(back.value(), data));
+  EXPECT_TRUE(store.contains(0xABCD));
+  EXPECT_EQ(store.object_count(), 1u);
+  EXPECT_EQ(store.bytes_stored(), 5000u);
+  ASSERT_TRUE(store.remove(0xABCD).ok());
+  EXPECT_FALSE(store.contains(0xABCD));
+  EXPECT_EQ(store.remove(0xABCD).code(), ErrorCode::kNotFound);
+}
+
+TEST(DiskStoreTest, GetMissingIsNotFound) {
+  TempDir dir;
+  storage::DiskStore store(dir.path());
+  EXPECT_EQ(store.get(1).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(DiskStoreTest, OverwriteReplacesContent) {
+  TempDir dir;
+  storage::DiskStore store(dir.path());
+  ASSERT_TRUE(store.put(7, to_bytes("old content")).ok());
+  ASSERT_TRUE(store.put(7, to_bytes("new")).ok());
+  EXPECT_EQ(to_string(store.get(7).value()), "new");
+  EXPECT_EQ(store.object_count(), 1u);
+}
+
+TEST(DiskStoreTest, SurvivesReopen) {
+  TempDir dir;
+  const Bytes data = payload_of(1234);
+  {
+    storage::DiskStore store(dir.path());
+    ASSERT_TRUE(store.put(42, data).ok());
+    ASSERT_TRUE(store.put(43, to_bytes("x")).ok());
+  }
+  storage::DiskStore reopened(dir.path());
+  EXPECT_EQ(reopened.object_count(), 2u);
+  EXPECT_TRUE(equal(reopened.get(42).value(), data));
+  auto ids = reopened.list_ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<VirtualId>{42, 43}));
+}
+
+TEST(DiskStoreTest, EmptyObjectRoundTrips) {
+  TempDir dir;
+  storage::DiskStore store(dir.path());
+  ASSERT_TRUE(store.put(9, {}).ok());
+  Result<Bytes> back = store.get(9);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(DiskStoreTest, LargeIdsMapToDistinctFiles) {
+  TempDir dir;
+  storage::DiskStore store(dir.path());
+  const VirtualId a = 0xFFFFFFFFFFFFFFFEull;
+  const VirtualId b = 0xFFFFFFFFFFFFFFFFull;
+  ASSERT_TRUE(store.put(a, to_bytes("a")).ok());
+  ASSERT_TRUE(store.put(b, to_bytes("b")).ok());
+  EXPECT_EQ(to_string(store.get(a).value()), "a");
+  EXPECT_EQ(to_string(store.get(b).value()), "b");
+}
+
+// --- metadata serialization ------------------------------------------------------
+
+void populate_store(core::MetadataStore& meta) {
+  meta.register_provider("Adobe", PrivacyLevel::kHigh, CostLevel::kPremium);
+  meta.register_provider("Sea", PrivacyLevel::kLow, CostLevel::kCheap);
+  meta.record_placement(0, 41367);
+  meta.record_placement(1, 10986);
+  (void)meta.register_client("Bob");
+  (void)meta.add_password("Bob", "x9pr", PrivacyLevel::kLow);
+  (void)meta.add_password("Bob", "Ty7e", PrivacyLevel::kHigh);
+  core::ChunkEntry entry;
+  entry.privacy_level = PrivacyLevel::kModerate;
+  entry.layout = raid::StripeLayout::make(raid::RaidLevel::kRaid5, 3);
+  entry.stripe = {{0, 41367}, {1, 10986}, {0, 222}, {1, 333}};
+  entry.misleading = {12, 32, 57};
+  entry.padded_size = 4096;
+  entry.shard_digests.assign(4, crypto::sha256(to_bytes("shard")));
+  entry.has_snapshot = true;
+  entry.snapshot = {{1, 900}, {0, 901}, {1, 902}, {0, 903}};
+  entry.snapshot_padded_size = 4000;
+  entry.snapshot_misleading = {7};
+  entry.snapshot_digests.assign(4, crypto::sha256(to_bytes("snap")));
+  (void)meta.add_chunk("Bob", "file1", 0, entry);
+  core::ChunkEntry tomb;
+  tomb.deleted = true;
+  (void)meta.add_chunk("Bob", "file2", 0, tomb);
+  (void)meta.unlink_chunk("Bob", "file2", 0);
+}
+
+TEST(MetadataIoTest, RoundTripPreservesEverything) {
+  core::MetadataStore original;
+  populate_store(original);
+  const Bytes image = core::serialize_metadata(original);
+  Result<std::shared_ptr<core::MetadataStore>> restored =
+      core::deserialize_metadata(image);
+  ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+  const core::MetadataStore& copy = *restored.value();
+
+  // Providers.
+  const auto orig_providers = original.provider_table();
+  const auto copy_providers = copy.provider_table();
+  ASSERT_EQ(copy_providers.size(), orig_providers.size());
+  for (std::size_t i = 0; i < orig_providers.size(); ++i) {
+    EXPECT_EQ(copy_providers[i].name, orig_providers[i].name);
+    EXPECT_EQ(copy_providers[i].privacy_level,
+              orig_providers[i].privacy_level);
+    EXPECT_EQ(copy_providers[i].virtual_ids, orig_providers[i].virtual_ids);
+  }
+  // Clients + auth survive.
+  Result<PrivacyLevel> auth = copy.authenticate("Bob", "Ty7e");
+  ASSERT_TRUE(auth.ok());
+  EXPECT_EQ(auth.value(), PrivacyLevel::kHigh);
+  EXPECT_FALSE(copy.authenticate("Bob", "wrong").ok());
+  // Chunk linkage + full entry fields.
+  const auto ref = copy.find_chunk("Bob", "file1", 0);
+  ASSERT_TRUE(ref.has_value());
+  Result<core::ChunkEntry> entry = copy.chunk_entry(ref->chunk_index);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry.value().stripe.size(), 4u);
+  EXPECT_EQ(entry.value().stripe[1].virtual_id, 10986u);
+  EXPECT_EQ(entry.value().misleading, (std::vector<std::uint32_t>{12, 32, 57}));
+  EXPECT_EQ(entry.value().padded_size, 4096u);
+  EXPECT_TRUE(entry.value().has_snapshot);
+  EXPECT_EQ(entry.value().snapshot_padded_size, 4000u);
+  EXPECT_EQ(entry.value().shard_digests[0],
+            crypto::sha256(to_bytes("shard")));
+  // Tombstone preserved (indices stay stable).
+  Result<core::ChunkEntry> tomb = copy.chunk_entry(1);
+  ASSERT_TRUE(tomb.ok());
+  EXPECT_TRUE(tomb.value().deleted);
+}
+
+TEST(MetadataIoTest, RejectsGarbageAndTruncation) {
+  EXPECT_FALSE(core::deserialize_metadata(to_bytes("nonsense")).ok());
+  EXPECT_FALSE(core::deserialize_metadata({}).ok());
+  core::MetadataStore store;
+  populate_store(store);
+  Bytes image = core::serialize_metadata(store);
+  for (std::size_t cut : {std::size_t{4}, std::size_t{16}, image.size() / 2,
+                          image.size() - 1}) {
+    Bytes truncated(image.begin(),
+                    image.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(core::deserialize_metadata(truncated).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(MetadataIoTest, EmptyStoreRoundTrips) {
+  core::MetadataStore empty;
+  Result<std::shared_ptr<core::MetadataStore>> restored =
+      core::deserialize_metadata(core::serialize_metadata(empty));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value()->total_chunks(), 0u);
+  EXPECT_TRUE(restored.value()->provider_table().empty());
+}
+
+// --- distributor restart -----------------------------------------------------------
+
+TEST(DistributorRestartTest, NewDistributorServesOldFilesFromImage) {
+  storage::ProviderRegistry registry = storage::make_default_registry(12);
+  core::DistributorConfig config;
+  config.stripe_data_shards = 3;
+  config.misleading_fraction = 0.1;
+
+  const Bytes data = payload_of(20000, 77);
+  Bytes image;
+  {
+    core::CloudDataDistributor cdd(registry, config);
+    ASSERT_TRUE(cdd.register_client("Bob").ok());
+    ASSERT_TRUE(cdd.add_password("Bob", "pw", PrivacyLevel::kHigh).ok());
+    core::PutOptions opts;
+    opts.privacy_level = PrivacyLevel::kModerate;
+    ASSERT_TRUE(cdd.put_file("Bob", "pw", "persisted", data, opts).ok());
+    image = core::serialize_metadata(cdd.metadata());
+    // The first distributor instance is destroyed here -- a "crash".
+  }
+
+  Result<std::shared_ptr<core::MetadataStore>> restored =
+      core::deserialize_metadata(image);
+  ASSERT_TRUE(restored.ok());
+  core::DistributorConfig config2 = config;
+  config2.seed = 0xD1FFE12E47;  // different instance identity
+  core::CloudDataDistributor revived(registry, config2, restored.value());
+
+  Result<Bytes> back = revived.get_file("Bob", "pw", "persisted");
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_TRUE(equal(back.value(), data));
+
+  // The revived distributor can keep writing without id collisions.
+  core::PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kLow;
+  ASSERT_TRUE(
+      revived.put_file("Bob", "pw", "fresh", payload_of(5000, 78), opts).ok());
+  EXPECT_TRUE(revived.get_file("Bob", "pw", "fresh").ok());
+  // And remove the pre-crash file cleanly.
+  ASSERT_TRUE(revived.remove_file("Bob", "pw", "persisted").ok());
+}
+
+}  // namespace
+}  // namespace cshield

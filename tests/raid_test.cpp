@@ -1,0 +1,254 @@
+// Tests for the RAID/erasure-coding layer. The heart is a parameterized
+// sweep proving decode() recovers the payload for EVERY erasure pattern each
+// level claims to tolerate, and refuses (rather than mis-decodes) beyond.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <tuple>
+
+#include "raid/raid.hpp"
+#include "util/random.hpp"
+
+namespace cshield::raid {
+namespace {
+
+Bytes random_payload(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  return out;
+}
+
+std::vector<std::optional<Bytes>> to_optional(
+    const std::vector<Bytes>& shards) {
+  return {shards.begin(), shards.end()};
+}
+
+// --- StripeLayout -------------------------------------------------------------
+
+TEST(StripeLayoutTest, MakeDerivesParityCounts) {
+  EXPECT_EQ(StripeLayout::make(RaidLevel::kNone, 1).total_shards(), 1u);
+  EXPECT_EQ(StripeLayout::make(RaidLevel::kRaid0, 4).total_shards(), 4u);
+  EXPECT_EQ(StripeLayout::make(RaidLevel::kRaid1, 1, 2).total_shards(), 3u);
+  EXPECT_EQ(StripeLayout::make(RaidLevel::kRaid5, 4).total_shards(), 5u);
+  EXPECT_EQ(StripeLayout::make(RaidLevel::kRaid6, 4).total_shards(), 6u);
+}
+
+TEST(StripeLayoutTest, FaultToleranceByLevel) {
+  EXPECT_EQ(StripeLayout::make(RaidLevel::kNone, 1).fault_tolerance(), 0u);
+  EXPECT_EQ(StripeLayout::make(RaidLevel::kRaid0, 3).fault_tolerance(), 0u);
+  EXPECT_EQ(StripeLayout::make(RaidLevel::kRaid1, 1, 2).fault_tolerance(), 2u);
+  EXPECT_EQ(StripeLayout::make(RaidLevel::kRaid5, 3).fault_tolerance(), 1u);
+  EXPECT_EQ(StripeLayout::make(RaidLevel::kRaid6, 3).fault_tolerance(), 2u);
+}
+
+TEST(StripeLayoutTest, OverheadFactors) {
+  EXPECT_DOUBLE_EQ(StripeLayout::make(RaidLevel::kNone, 1).overhead_factor(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(StripeLayout::make(RaidLevel::kRaid1, 1, 1).overhead_factor(),
+                   2.0);
+  EXPECT_DOUBLE_EQ(StripeLayout::make(RaidLevel::kRaid5, 4).overhead_factor(),
+                   1.25);
+  EXPECT_DOUBLE_EQ(StripeLayout::make(RaidLevel::kRaid6, 4).overhead_factor(),
+                   1.5);
+}
+
+TEST(StripeLayoutTest, InvalidShapesThrow) {
+  EXPECT_THROW((void)StripeLayout::make(RaidLevel::kRaid5, 1), std::invalid_argument);
+  EXPECT_THROW((void)StripeLayout::make(RaidLevel::kRaid1, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)StripeLayout::make(RaidLevel::kRaid6, 300),
+               std::invalid_argument);
+}
+
+// --- encode shape ---------------------------------------------------------------
+
+TEST(EncodeTest, ShardsAreEqualLength) {
+  const Bytes payload = random_payload(1001, 1);  // deliberately not divisible
+  for (auto level : {RaidLevel::kRaid0, RaidLevel::kRaid5, RaidLevel::kRaid6}) {
+    const StripeLayout layout = StripeLayout::make(level, 4);
+    const EncodedStripe stripe = encode(layout, payload);
+    ASSERT_EQ(stripe.shards.size(), layout.total_shards());
+    for (const auto& s : stripe.shards) {
+      EXPECT_EQ(s.size(), stripe.shards[0].size());
+    }
+    EXPECT_EQ(stripe.original_size, payload.size());
+    EXPECT_GE(stripe.shards[0].size() * layout.data_shards, payload.size());
+  }
+}
+
+TEST(EncodeTest, Raid1ShardsAreFullCopies) {
+  const Bytes payload = random_payload(100, 2);
+  const EncodedStripe stripe =
+      encode(StripeLayout::make(RaidLevel::kRaid1, 1, 2), payload);
+  ASSERT_EQ(stripe.shards.size(), 3u);
+  for (const auto& s : stripe.shards) EXPECT_TRUE(equal(s, payload));
+}
+
+TEST(EncodeTest, Raid5ParityIsXorOfData) {
+  const Bytes payload = random_payload(64, 3);
+  const StripeLayout layout = StripeLayout::make(RaidLevel::kRaid5, 4);
+  const EncodedStripe stripe = encode(layout, payload);
+  Bytes x(stripe.shards[0].size(), 0);
+  for (std::size_t i = 0; i < 4; ++i) xor_into(x, stripe.shards[i]);
+  EXPECT_TRUE(equal(x, stripe.shards[4]));
+}
+
+TEST(EncodeTest, EmptyPayloadProducesEmptyShards) {
+  const StripeLayout layout = StripeLayout::make(RaidLevel::kRaid5, 3);
+  const EncodedStripe stripe = encode(layout, {});
+  EXPECT_EQ(stripe.original_size, 0u);
+  Result<Bytes> r = decode(layout, to_optional(stripe.shards), 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+// --- parameterized erasure sweeps -----------------------------------------------
+//
+// For each (level, k, payload size) we hit every single- and double-erasure
+// pattern and check exact recovery within tolerance / clean failure beyond.
+
+struct ErasureCase {
+  RaidLevel level;
+  std::size_t k;          // data shards (or replicas-1 for raid1)
+  std::size_t payload;    // bytes
+};
+
+class ErasureSweep : public ::testing::TestWithParam<ErasureCase> {};
+
+TEST_P(ErasureSweep, RecoversWithinToleranceFailsBeyond) {
+  const auto& p = GetParam();
+  const StripeLayout layout =
+      p.level == RaidLevel::kRaid1
+          ? StripeLayout::make(p.level, 1, p.k)
+          : StripeLayout::make(p.level, p.k);
+  const Bytes payload = random_payload(p.payload, 0xE1A5 + p.payload);
+  const EncodedStripe stripe = encode(layout, payload);
+  const std::size_t n = layout.total_shards();
+  const std::size_t tolerance = layout.fault_tolerance();
+
+  // No erasures: always decodes.
+  {
+    Result<Bytes> r = decode(layout, to_optional(stripe.shards),
+                             stripe.original_size);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(equal(r.value(), payload));
+  }
+  // Every single erasure.
+  for (std::size_t e = 0; e < n; ++e) {
+    auto shards = to_optional(stripe.shards);
+    shards[e].reset();
+    Result<Bytes> r = decode(layout, shards, stripe.original_size);
+    if (tolerance >= 1) {
+      ASSERT_TRUE(r.ok()) << "erasure " << e;
+      EXPECT_TRUE(equal(r.value(), payload)) << "erasure " << e;
+    } else if (layout.level == RaidLevel::kRaid0 ||
+               layout.level == RaidLevel::kNone) {
+      EXPECT_FALSE(r.ok()) << "erasure " << e;
+    }
+  }
+  // Every double erasure.
+  for (std::size_t e1 = 0; e1 < n; ++e1) {
+    for (std::size_t e2 = e1 + 1; e2 < n; ++e2) {
+      auto shards = to_optional(stripe.shards);
+      shards[e1].reset();
+      shards[e2].reset();
+      Result<Bytes> r = decode(layout, shards, stripe.original_size);
+      if (tolerance >= 2) {
+        ASSERT_TRUE(r.ok()) << "erasures " << e1 << "," << e2;
+        EXPECT_TRUE(equal(r.value(), payload))
+            << "erasures " << e1 << "," << e2;
+      } else if (layout.level == RaidLevel::kRaid5) {
+        EXPECT_FALSE(r.ok()) << "erasures " << e1 << "," << e2;
+      }
+    }
+  }
+  // One more erasure than tolerated: must fail cleanly (never mis-decode).
+  if (tolerance + 1 <= n) {
+    auto shards = to_optional(stripe.shards);
+    for (std::size_t e = 0; e <= tolerance; ++e) shards[e].reset();
+    Result<Bytes> r = decode(layout, shards, stripe.original_size);
+    if (layout.level != RaidLevel::kRaid1 || tolerance + 1 == n) {
+      EXPECT_FALSE(r.ok());
+      EXPECT_EQ(r.status().code(), ErrorCode::kResourceExhausted);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLevels, ErasureSweep,
+    ::testing::Values(
+        ErasureCase{RaidLevel::kNone, 1, 100},
+        ErasureCase{RaidLevel::kRaid0, 3, 1000},
+        ErasureCase{RaidLevel::kRaid0, 5, 17},
+        ErasureCase{RaidLevel::kRaid1, 1, 256},
+        ErasureCase{RaidLevel::kRaid1, 2, 999},
+        ErasureCase{RaidLevel::kRaid5, 2, 64},
+        ErasureCase{RaidLevel::kRaid5, 3, 1000},
+        ErasureCase{RaidLevel::kRaid5, 4, 1},
+        ErasureCase{RaidLevel::kRaid5, 7, 4096},
+        ErasureCase{RaidLevel::kRaid6, 2, 100},
+        ErasureCase{RaidLevel::kRaid6, 3, 1023},
+        ErasureCase{RaidLevel::kRaid6, 4, 4097},
+        ErasureCase{RaidLevel::kRaid6, 8, 257},
+        ErasureCase{RaidLevel::kRaid6, 16, 1024}),
+    [](const ::testing::TestParamInfo<ErasureCase>& info) {
+      return std::string(raid_level_name(info.param.level)) + "_k" +
+             std::to_string(info.param.k) + "_n" +
+             std::to_string(info.param.payload);
+    });
+
+// --- reconstruct_shard -----------------------------------------------------------
+
+TEST(ReconstructTest, RebuildsEveryShardOfRaid6) {
+  const StripeLayout layout = StripeLayout::make(RaidLevel::kRaid6, 5);
+  const Bytes payload = random_payload(2048, 10);
+  const EncodedStripe stripe = encode(layout, payload);
+  for (std::size_t target = 0; target < layout.total_shards(); ++target) {
+    auto shards = to_optional(stripe.shards);
+    shards[target].reset();
+    Result<Bytes> r = reconstruct_shard(layout, shards, target);
+    ASSERT_TRUE(r.ok()) << "target " << target;
+    EXPECT_TRUE(equal(r.value(), stripe.shards[target])) << "target " << target;
+  }
+}
+
+TEST(ReconstructTest, RebuildsUnderDoubleErasureRaid6) {
+  const StripeLayout layout = StripeLayout::make(RaidLevel::kRaid6, 4);
+  const Bytes payload = random_payload(777, 11);
+  const EncodedStripe stripe = encode(layout, payload);
+  auto shards = to_optional(stripe.shards);
+  shards[1].reset();
+  shards[3].reset();
+  Result<Bytes> r = reconstruct_shard(layout, shards, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(equal(r.value(), stripe.shards[1]));
+}
+
+TEST(ReconstructTest, FailsWhenNothingSurvives) {
+  const StripeLayout layout = StripeLayout::make(RaidLevel::kRaid5, 2);
+  std::vector<std::optional<Bytes>> shards(3);
+  EXPECT_FALSE(reconstruct_shard(layout, shards, 0).ok());
+}
+
+TEST(ReconstructTest, Raid1RebuildsReplica) {
+  const StripeLayout layout = StripeLayout::make(RaidLevel::kRaid1, 1, 2);
+  const Bytes payload = random_payload(300, 12);
+  const EncodedStripe stripe = encode(layout, payload);
+  auto shards = to_optional(stripe.shards);
+  shards[0].reset();
+  Result<Bytes> r = reconstruct_shard(layout, shards, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(equal(r.value(), payload));
+}
+
+// --- arity misuse -----------------------------------------------------------------
+
+TEST(DecodeTest, WrongShardArityThrows) {
+  const StripeLayout layout = StripeLayout::make(RaidLevel::kRaid5, 3);
+  std::vector<std::optional<Bytes>> shards(2);
+  EXPECT_THROW((void)decode(layout, shards, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cshield::raid

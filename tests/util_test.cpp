@@ -1,0 +1,393 @@
+// Tests for the util foundation layer: bytes, Status/Result, Rng, hashing,
+// ThreadPool, stats, TextTable, SimClock.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "util/bytes.hpp"
+#include "util/hash.hpp"
+#include "util/random.hpp"
+#include "util/sim_clock.hpp"
+#include "util/stats.hpp"
+#include "util/status.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cshield {
+namespace {
+
+// --- bytes -----------------------------------------------------------------
+
+TEST(BytesTest, RoundTripString) {
+  const Bytes b = to_bytes("hello cloud");
+  EXPECT_EQ(to_string(b), "hello cloud");
+  EXPECT_EQ(b.size(), 11u);
+}
+
+TEST(BytesTest, SliceWithinBounds) {
+  const Bytes b = to_bytes("abcdefgh");
+  EXPECT_EQ(to_string(slice(b, 2, 3)), "cde");
+}
+
+TEST(BytesTest, SliceClampsAtEnd) {
+  const Bytes b = to_bytes("abcdefgh");
+  EXPECT_EQ(to_string(slice(b, 6, 100)), "gh");
+}
+
+TEST(BytesTest, SlicePastEndIsEmpty) {
+  const Bytes b = to_bytes("abc");
+  EXPECT_TRUE(slice(b, 5, 2).empty());
+}
+
+TEST(BytesTest, AppendConcatenates) {
+  Bytes a = to_bytes("foo");
+  append(a, to_bytes("bar"));
+  EXPECT_EQ(to_string(a), "foobar");
+}
+
+TEST(BytesTest, EqualComparesContent) {
+  EXPECT_TRUE(equal(to_bytes("xy"), to_bytes("xy")));
+  EXPECT_FALSE(equal(to_bytes("xy"), to_bytes("xz")));
+  EXPECT_FALSE(equal(to_bytes("xy"), to_bytes("xyz")));
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  const Bytes b = {0x00, 0x0F, 0xAB, 0xFF};
+  EXPECT_EQ(to_hex(b), "000fabff");
+  EXPECT_TRUE(equal(from_hex("000fabff"), b));
+  EXPECT_TRUE(equal(from_hex("000FABFF"), b));
+}
+
+TEST(BytesTest, FromHexRejectsBadInput) {
+  EXPECT_TRUE(from_hex("abc").empty());   // odd length
+  EXPECT_TRUE(from_hex("zz").empty());    // non-hex
+}
+
+TEST(BytesTest, XorIntoIsSelfInverse) {
+  Bytes a = to_bytes("secret01");
+  const Bytes key = to_bytes("keykeyke");
+  Bytes x = a;
+  xor_into(x, key);
+  EXPECT_FALSE(equal(x, a));
+  xor_into(x, key);
+  EXPECT_TRUE(equal(x, a));
+}
+
+// --- status / result ---------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status s = Status::NotFound("chunk 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: chunk 7");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(error_code_name(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Unavailable("down");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOnErrorThrows) {
+  Result<int> r = Status::NotFound("x");
+  EXPECT_THROW((void)r.value(), std::logic_error);
+}
+
+TEST(ResultTest, OkStatusWithoutValueThrows) {
+  EXPECT_THROW((Result<int>(Status::Ok())), std::logic_error);
+}
+
+TEST(RequireTest, ThrowsOnViolation) {
+  EXPECT_THROW(CS_REQUIRE(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(CS_REQUIRE(true, "fine"));
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(9);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.02);
+}
+
+TEST(RngTest, ChanceProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(42);
+  Rng b(42);
+  Rng fa = a.fork(1);
+  Rng fb = b.fork(1);
+  EXPECT_EQ(fa.next(), fb.next());
+  Rng fc = b.fork(2);
+  EXPECT_NE(fa.next(), fc.next());
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+// --- hash ----------------------------------------------------------------------
+
+TEST(HashTest, Fnv1aKnownValue) {
+  // FNV-1a 64 of empty string is the offset basis.
+  EXPECT_EQ(fnv1a64(std::string_view{}), 0xCBF29CE484222325ULL);
+}
+
+TEST(HashTest, Fnv1aDistinguishesStrings) {
+  EXPECT_NE(fnv1a64("file1"), fnv1a64("file2"));
+}
+
+TEST(HashTest, Mix64Avalanches) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total = 0;
+  for (std::uint64_t i = 1; i <= 64; ++i) {
+    total += __builtin_popcountll(mix64(i) ^ mix64(i ^ 1ULL));
+  }
+  EXPECT_GT(total / 64, 20);
+  EXPECT_LT(total / 64, 44);
+}
+
+TEST(HashTest, HashCombineOrderMatters) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+// --- thread pool -----------------------------------------------------------------
+
+TEST(ThreadPoolTest, SubmitReturnsResult) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 7 * 6; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SizeReportsWorkers) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+// --- stats ----------------------------------------------------------------------
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> z{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonDegenerateIsZero) {
+  std::vector<double> x{1, 1, 1};
+  std::vector<double> y{2, 3, 4};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+// --- table ---------------------------------------------------------------------
+
+TEST(TableTest, PrintsAlignedColumns) {
+  TextTable t({"name", "count"});
+  t.add("alpha", 12);
+  t.add("b", 3);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("count"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, CsvQuotesSpecialCells) {
+  TextTable t({"a", "b"});
+  t.add("x,y", "plain");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(TableTest, RowArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TableTest, FmtFixesPrecision) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+}
+
+// --- sim clock -------------------------------------------------------------------
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  clock.advance(SimDuration(100));
+  clock.advance(SimDuration(50));
+  EXPECT_EQ(clock.now().count(), 150);
+}
+
+TEST(SimClockTest, AdvanceToNeverMovesBackwards) {
+  SimClock clock;
+  clock.advance(SimDuration(200));
+  clock.advance_to(SimDuration(100));
+  EXPECT_EQ(clock.now().count(), 200);
+  clock.advance_to(SimDuration(500));
+  EXPECT_EQ(clock.now().count(), 500);
+}
+
+TEST(SimClockTest, ResetZeroes) {
+  SimClock clock;
+  clock.advance(SimDuration(42));
+  clock.reset();
+  EXPECT_EQ(clock.now().count(), 0);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) sink += i;
+  // Keep the loop alive without deprecated volatile compound assignment.
+  asm volatile("" : : "g"(&sink) : "memory");
+  EXPECT_GE(sw.elapsed_seconds(), 0.0);
+  EXPECT_GE(sw.elapsed_ns(), 0);
+}
+
+}  // namespace
+}  // namespace cshield

@@ -1,0 +1,342 @@
+// Tests for the synthetic workloads and the record codec, including the
+// check that the exact Table IV data reproduces the paper's full-data
+// regression equation (1.4, 1.5, 3.1) + 5436.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "mining/hierarchical.hpp"
+#include "mining/metrics.hpp"
+#include "mining/regression.hpp"
+#include "workload/bidding.hpp"
+#include "mining/naive_bayes.hpp"
+#include "workload/gps.hpp"
+#include "workload/patients.hpp"
+#include "workload/records.hpp"
+#include "workload/transactions.hpp"
+
+namespace cshield::workload {
+namespace {
+
+// --- RecordCodec -----------------------------------------------------------------
+
+TEST(RecordCodecTest, EncodeDecodeRoundTrip) {
+  RecordCodec codec({"a", "b", "c"});
+  mining::Dataset d({"a", "b", "c"});
+  d.add_row({1.5, -2.25, 1e9});
+  d.add_row({0.0, 3.14159, -0.001});
+  const Bytes bytes = codec.encode(d);
+  EXPECT_EQ(bytes.size(), 2 * codec.record_size());
+  Result<mining::Dataset> back = codec.decode(bytes);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().num_rows(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(back.value().at(r, c), d.at(r, c));
+    }
+  }
+}
+
+TEST(RecordCodecTest, DecodeRejectsPartialRecord) {
+  RecordCodec codec({"a", "b"});
+  Bytes bytes(codec.record_size() + 3, 0);
+  EXPECT_EQ(codec.decode(bytes).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(RecordCodecTest, DecodePrefixDropsTail) {
+  RecordCodec codec({"a"});
+  mining::Dataset d({"a"});
+  d.add_row({42.0});
+  d.add_row({43.0});
+  Bytes bytes = codec.encode(d);
+  bytes.resize(bytes.size() - 1);  // truncate into the second record
+  const mining::Dataset back = codec.decode_prefix(bytes);
+  ASSERT_EQ(back.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(back.at(0, 0), 42.0);
+}
+
+TEST(RecordCodecTest, RecordSizeIsColumnsTimesDouble) {
+  EXPECT_EQ(RecordCodec({"x", "y", "z", "w"}).record_size(), 32u);
+}
+
+TEST(SerializeDatasetTest, SelfDescribingRoundTrip) {
+  mining::Dataset d({"alpha", "beta"});
+  d.add_row({1, 2});
+  d.add_row({3, 4});
+  Result<mining::Dataset> back = deserialize_dataset(serialize_dataset(d));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().column_names(), d.column_names());
+  EXPECT_EQ(back.value().num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(back.value().at(1, 1), 4.0);
+}
+
+TEST(SerializeDatasetTest, RejectsGarbage) {
+  EXPECT_FALSE(deserialize_dataset(to_bytes("not a dataset")).ok());
+  EXPECT_FALSE(deserialize_dataset({}).ok());
+}
+
+TEST(SerializeDatasetTest, RejectsTruncation) {
+  mining::Dataset d({"a"});
+  for (int i = 0; i < 10; ++i) d.add_row({1.0 * i});
+  Bytes bytes = serialize_dataset(d);
+  bytes.resize(bytes.size() - 4);
+  EXPECT_FALSE(deserialize_dataset(bytes).ok());
+}
+
+// --- bidding (Table IV) -----------------------------------------------------------
+
+TEST(BiddingTest, TableIVHasTwelveRows) {
+  const mining::Dataset d = hercules_table();
+  EXPECT_EQ(d.num_rows(), 12u);
+  EXPECT_EQ(d.column_names(), bidding_columns());
+  // Spot-check first and last rows against the paper.
+  EXPECT_DOUBLE_EQ(d.at(0, d.column_index("Bid")), 18111.0);
+  EXPECT_DOUBLE_EQ(d.at(11, d.column_index("Bid")), 21199.0);
+  EXPECT_DOUBLE_EQ(d.at(6, d.column_index("Production")), 1000.0);
+}
+
+TEST(BiddingTest, FullTableRecoversPaperEquation) {
+  // SVII-A: mining the whole table gives "near (1.4*Materials +
+  // 1.5*Production + 3.1*Maintenance) + 5436".
+  Result<mining::LinearModel> m =
+      mining::fit_linear(hercules_table(), bidding_features(), "Bid");
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m.value().coefficients[0], 1.4, 0.15);
+  EXPECT_NEAR(m.value().coefficients[1], 1.5, 0.15);
+  EXPECT_NEAR(m.value().coefficients[2], 3.1, 0.15);
+  EXPECT_NEAR(m.value().intercept, 5436.0, 450.0);
+  EXPECT_GT(m.value().r_squared, 0.99);
+}
+
+TEST(BiddingTest, FragmentsYieldMisleadingEquations) {
+  // SVII-A: each 4-row fragment leads to a different, misleading equation.
+  const auto parts = hercules_table().split_contiguous(3);
+  Result<mining::LinearModel> full =
+      mining::fit_linear(hercules_table(), bidding_features(), "Bid");
+  ASSERT_TRUE(full.ok());
+  for (const auto& part : parts) {
+    ASSERT_EQ(part.num_rows(), 4u);
+    Result<mining::LinearModel> frag =
+        mining::fit_linear(part, bidding_features(), "Bid");
+    ASSERT_TRUE(frag.ok());  // 4 rows can fit 4 parameters -- barely
+    EXPECT_GT(mining::coefficient_error(full.value(), frag.value()), 0.01);
+  }
+}
+
+TEST(BiddingTest, GeneratorPlantsGroundTruth) {
+  BiddingGenerator gen(1);
+  const mining::Dataset d = gen.generate(4000, /*noise_stddev=*/50.0);
+  EXPECT_EQ(d.num_rows(), 4000u);
+  Result<mining::LinearModel> m =
+      mining::fit_linear(d, bidding_features(), "Bid");
+  ASSERT_TRUE(m.ok());
+  const auto& truth = gen.ground_truth();
+  EXPECT_NEAR(m.value().coefficients[0], truth.coefficients[0], 0.05);
+  EXPECT_NEAR(m.value().coefficients[1], truth.coefficients[1], 0.05);
+  EXPECT_NEAR(m.value().coefficients[2], truth.coefficients[2], 0.05);
+  EXPECT_NEAR(m.value().intercept, truth.intercept, 200.0);
+}
+
+TEST(BiddingTest, NoiselessGeneratorIsExact) {
+  BiddingGenerator gen(2);
+  const mining::Dataset d = gen.generate(100, 0.0);
+  Result<mining::LinearModel> m =
+      mining::fit_linear(d, bidding_features(), "Bid");
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m.value().rmse, 0.0, 1e-6);
+}
+
+// --- GPS --------------------------------------------------------------------------
+
+TEST(GpsTest, GeneratesRequestedShape) {
+  GpsConfig cfg;
+  cfg.num_users = 10;
+  cfg.observations_per_user = 100;
+  const GpsTraces traces = generate_gps(cfg);
+  EXPECT_EQ(traces.observations.num_rows(), 1000u);
+  EXPECT_EQ(traces.community_of_user.size(), 10u);
+  // All observations within greater Dhaka.
+  const std::size_t lat = traces.observations.column_index("lat");
+  const std::size_t lon = traces.observations.column_index("lon");
+  for (std::size_t r = 0; r < traces.observations.num_rows(); ++r) {
+    EXPECT_GT(traces.observations.at(r, lat), 23.5);
+    EXPECT_LT(traces.observations.at(r, lat), 24.1);
+    EXPECT_GT(traces.observations.at(r, lon), 90.2);
+    EXPECT_LT(traces.observations.at(r, lon), 90.6);
+  }
+}
+
+TEST(GpsTest, ObservationsAreChronologicalPerUser) {
+  GpsConfig cfg;
+  cfg.num_users = 3;
+  cfg.observations_per_user = 60;
+  const GpsTraces traces = generate_gps(cfg);
+  const std::size_t user_col = traces.observations.column_index("user");
+  const std::size_t day_col = traces.observations.column_index("day");
+  double last_user = -1;
+  double last_day = -1;
+  for (std::size_t r = 0; r < traces.observations.num_rows(); ++r) {
+    const double u = traces.observations.at(r, user_col);
+    const double d = traces.observations.at(r, day_col);
+    if (u == last_user) {
+      EXPECT_GE(d, last_day);
+    }
+    last_user = u;
+    last_day = d;
+  }
+}
+
+TEST(GpsTest, FullDataClusteringRecoversCommunities) {
+  GpsConfig cfg;  // 30 users, 3000 obs, 4 communities
+  const GpsTraces traces = generate_gps(cfg);
+  const mining::Dataset features =
+      gps_user_features(traces.observations, cfg.num_users);
+  ASSERT_EQ(features.num_rows(), 30u);
+  const auto labels =
+      mining::cluster_rows(mining::standardize(features),
+                           mining::Linkage::kAverage)
+          .cut(cfg.num_communities);
+  const double ari =
+      mining::adjusted_rand_index(labels, traces.community_of_user);
+  EXPECT_GT(ari, 0.8) << "full-data clustering should recover neighbourhoods";
+}
+
+TEST(GpsTest, FeaturesHandleMissingUsers) {
+  GpsConfig cfg;
+  cfg.num_users = 5;
+  cfg.observations_per_user = 50;
+  const GpsTraces traces = generate_gps(cfg);
+  // Keep only users 0..2: the adversary never saw users 3 and 4.
+  std::vector<std::size_t> idx;
+  const std::size_t user_col = traces.observations.column_index("user");
+  for (std::size_t r = 0; r < traces.observations.num_rows(); ++r) {
+    if (traces.observations.at(r, user_col) < 3.0) idx.push_back(r);
+  }
+  const mining::Dataset subset = traces.observations.select_rows(idx);
+  const mining::Dataset features = gps_user_features(subset, 5);
+  ASSERT_EQ(features.num_rows(), 5u);
+  EXPECT_DOUBLE_EQ(features.at(4, 0), 0.0);  // unseen user = all zero
+  EXPECT_GT(features.at(0, 0), 23.0);
+}
+
+TEST(GpsTest, DeterministicForSeed) {
+  GpsConfig cfg;
+  cfg.num_users = 4;
+  cfg.observations_per_user = 20;
+  const GpsTraces a = generate_gps(cfg);
+  const GpsTraces b = generate_gps(cfg);
+  EXPECT_DOUBLE_EQ(a.observations.at(10, 3), b.observations.at(10, 3));
+}
+
+// --- transactions -------------------------------------------------------------------
+
+TEST(TransactionsTest, GeneratesPlantedBundles) {
+  TransactionConfig cfg;
+  const TransactionWorkload w = generate_transactions(cfg);
+  EXPECT_EQ(w.transactions.size(), cfg.num_transactions);
+  EXPECT_EQ(w.planted_bundles.size(), cfg.num_bundles);
+  // Each bundle should be fully contained in a healthy fraction of txns.
+  for (const auto& bundle : w.planted_bundles) {
+    std::size_t hits = 0;
+    for (const auto& t : w.transactions) {
+      if (std::includes(t.begin(), t.end(), bundle.begin(), bundle.end())) {
+        ++hits;
+      }
+    }
+    EXPECT_GT(static_cast<double>(hits) / cfg.num_transactions, 0.02);
+  }
+}
+
+TEST(TransactionsTest, TransactionsAreSortedSets) {
+  const TransactionWorkload w = generate_transactions(TransactionConfig{});
+  for (const auto& t : w.transactions) {
+    EXPECT_FALSE(t.empty());
+    EXPECT_TRUE(std::is_sorted(t.begin(), t.end()));
+    std::set<std::uint32_t> unique(t.begin(), t.end());
+    EXPECT_EQ(unique.size(), t.size());
+  }
+}
+
+TEST(TransactionsTest, DatasetRoundTrip) {
+  TransactionConfig cfg;
+  cfg.num_transactions = 50;
+  const TransactionWorkload w = generate_transactions(cfg);
+  const mining::Dataset d = transactions_to_dataset(w.transactions);
+  const auto back = dataset_to_transactions(d);
+  ASSERT_EQ(back.size(), w.transactions.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i], w.transactions[i]);
+  }
+}
+
+// --- patients ---------------------------------------------------------------------
+
+TEST(PatientsTest, GeneratesPlausibleClinicalRanges) {
+  PatientConfig cfg;
+  cfg.num_patients = 500;
+  const mining::Dataset d = generate_patients(cfg);
+  EXPECT_EQ(d.num_rows(), 500u);
+  const std::size_t age = d.column_index("age");
+  const std::size_t risk = d.column_index("risk");
+  for (std::size_t r = 0; r < d.num_rows(); ++r) {
+    EXPECT_GE(d.at(r, age), 18.0);
+    EXPECT_LE(d.at(r, age), 95.0);
+    EXPECT_GE(d.at(r, risk), 0.0);
+    EXPECT_LE(d.at(r, risk), 2.0);
+  }
+}
+
+TEST(PatientsTest, AllRiskClassesPresent) {
+  const mining::Dataset d = generate_patients(PatientConfig{});
+  std::set<int> classes;
+  const std::size_t risk = d.column_index("risk");
+  for (std::size_t r = 0; r < d.num_rows(); ++r) {
+    classes.insert(static_cast<int>(d.at(r, risk)));
+  }
+  EXPECT_EQ(classes.size(), 3u);
+}
+
+TEST(PatientsTest, RiskIsLearnable) {
+  // The planted structure must be recoverable by a classifier, else the
+  // classification attack has nothing to lose under fragmentation.
+  PatientConfig cfg;
+  cfg.num_patients = 2400;
+  const mining::Dataset all = generate_patients(cfg);
+  Result<mining::NaiveBayes> model =
+      mining::NaiveBayes::fit(all.slice_rows(0, 2000), "risk");
+  ASSERT_TRUE(model.ok());
+  const double acc = model.value().accuracy(all.slice_rows(2000, 2400), "risk");
+  EXPECT_GT(acc, 0.6);  // 3 classes, chance ~0.33 at best
+}
+
+TEST(PatientsTest, DeterministicForSeed) {
+  const mining::Dataset a = generate_patients(PatientConfig{});
+  const mining::Dataset b = generate_patients(PatientConfig{});
+  EXPECT_DOUBLE_EQ(a.at(100, 2), b.at(100, 2));
+}
+
+TEST(TransactionsTest, FullDataAprioriRecoversBundleRules) {
+  TransactionConfig cfg;
+  cfg.num_transactions = 3000;
+  const TransactionWorkload w = generate_transactions(cfg);
+  mining::AprioriOptions opts;
+  opts.min_support = 0.02;
+  opts.min_confidence = 0.5;
+  Result<mining::AprioriResult> r = mining::apriori(w.transactions, opts);
+  ASSERT_TRUE(r.ok());
+  // Every planted bundle should surface as a frequent itemset.
+  std::size_t found = 0;
+  for (const auto& bundle : w.planted_bundles) {
+    for (const auto& fs : r.value().itemsets) {
+      if (fs.items == bundle) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(found, w.planted_bundles.size());
+}
+
+}  // namespace
+}  // namespace cshield::workload
