@@ -1,0 +1,313 @@
+// Throughput + latency benchmark for the pipelined stripe engine.
+//
+// Two parts:
+//   1. Gate: a 64-chunk file put and get at 8 worker threads, pipelined
+//      engine vs. the serial per-stripe baseline (DistributorConfig::
+//      pipelined = false). The pipelined engine must win by >= 3x wall
+//      clock; the process exits non-zero otherwise so CI catches
+//      regressions.
+//   2. Matrix: N client threads x M files x C chunks driven through
+//      put/get/update/remove, reporting ops/sec, p50/p99 wall latency and
+//      the modeled sim_time_parallel.
+//
+// Results are written as JSON (default ./BENCH_throughput.json, argv[1]
+// overrides) so future PRs have a perf trajectory to diff against.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/chunker.hpp"
+#include "core/distributor.hpp"
+#include "storage/provider_registry.hpp"
+#include "util/sim_clock.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace cshield;
+using core::CloudDataDistributor;
+using core::DistributorConfig;
+using core::OpReport;
+using core::PutOptions;
+
+Bytes make_payload(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed * 2654435761u + 17);
+  Bytes data(n);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  return data;
+}
+
+DistributorConfig bench_config(bool pipelined) {
+  DistributorConfig config;
+  config.default_raid = raid::RaidLevel::kRaid5;
+  config.stripe_data_shards = 3;
+  config.misleading_fraction = 0.2;
+  config.worker_threads = 8;
+  config.pipelined = pipelined;
+  return config;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+// --- gate: 64-chunk file, pipelined vs serial ------------------------------
+//
+// The gate runs against providers in realtime mode (requests block for
+// their modeled service time, ~3 ms base latency): shard RPCs are
+// latency-bound in any real deployment, and that is exactly the regime the
+// chunk-level pipeline targets. The serial baseline pays one round-trip
+// barrier per stripe; the pipelined engine keeps every chunk's stripe in
+// flight at once.
+
+constexpr double kGateBaseLatencyMs = 3.0;
+
+storage::ProviderRegistry make_realtime_registry(std::size_t n) {
+  storage::ProviderRegistry registry;
+  for (std::size_t i = 0; i < n; ++i) {
+    storage::ProviderDescriptor d;
+    d.name = "rt" + std::to_string(i);
+    d.privacy_level = PrivacyLevel::kHigh;
+    d.cost_level = CostLevel::kCheapest;
+    storage::LatencyModel latency;
+    latency.base_latency = SimDuration(std::chrono::microseconds(
+        static_cast<std::int64_t>(kGateBaseLatencyMs * 1000.0)));
+    registry.add(std::move(d), latency, 0xBE9C0000ULL + i);
+    registry.at(i).set_realtime_scale(1.0);
+  }
+  return registry;
+}
+
+struct GateResult {
+  double serial_s = 0.0;
+  double pipelined_s = 0.0;
+  [[nodiscard]] double speedup() const { return serial_s / pipelined_s; }
+};
+
+double time_put_64(bool pipelined, int reps, const Bytes& data) {
+  storage::ProviderRegistry registry = make_realtime_registry(12);
+  CloudDataDistributor cdd(registry, bench_config(pipelined));
+  CS_REQUIRE(cdd.register_client("bench").ok(), "register");
+  CS_REQUIRE(cdd.add_password("bench", "pw", PrivacyLevel::kHigh).ok(), "pw");
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;  // 1 KiB chunks -> 64 chunks
+  std::vector<double> samples;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch w;
+    Status st = cdd.put_file("bench", "pw", "gate_put_" + std::to_string(r),
+                             data, opts);
+    samples.push_back(w.elapsed_seconds());
+    CS_REQUIRE(st.ok(), st.to_string());
+  }
+  return median(samples);
+}
+
+double time_get_64(bool pipelined, int reps, const Bytes& data) {
+  storage::ProviderRegistry registry = make_realtime_registry(12);
+  CloudDataDistributor cdd(registry, bench_config(pipelined));
+  CS_REQUIRE(cdd.register_client("bench").ok(), "register");
+  CS_REQUIRE(cdd.add_password("bench", "pw", PrivacyLevel::kHigh).ok(), "pw");
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;
+  CS_REQUIRE(cdd.put_file("bench", "pw", "gate_get", data, opts).ok(), "put");
+  std::vector<double> samples;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch w;
+    Result<Bytes> back = cdd.get_file("bench", "pw", "gate_get");
+    samples.push_back(w.elapsed_seconds());
+    CS_REQUIRE(back.ok(), back.status().to_string());
+    CS_REQUIRE(back.value().size() == data.size(), "short read");
+  }
+  return median(samples);
+}
+
+// --- matrix: N clients x M files x C chunks --------------------------------
+
+struct OpSeries {
+  std::vector<double> wall_s;          // per-op wall latency
+  std::vector<double> sim_parallel_ms; // per-op modeled makespan
+  double phase_wall_s = 0.0;           // whole phase, all threads
+
+  [[nodiscard]] double ops_per_sec() const {
+    return phase_wall_s > 0.0
+               ? static_cast<double>(wall_s.size()) / phase_wall_s
+               : 0.0;
+  }
+};
+
+struct MatrixRow {
+  std::size_t clients = 0;
+  std::size_t files_per_client = 0;
+  std::size_t chunks = 0;
+  OpSeries put, get, update, remove;
+};
+
+MatrixRow run_matrix(std::size_t clients, std::size_t files_per_client,
+                     std::size_t chunks) {
+  storage::ProviderRegistry registry = storage::make_default_registry(12);
+  CloudDataDistributor cdd(registry, bench_config(true));
+  const std::size_t chunk_bytes =
+      core::ChunkSizePolicy{}.chunk_size(PrivacyLevel::kPublic);
+  for (std::size_t c = 0; c < clients; ++c) {
+    const std::string name = "client" + std::to_string(c);
+    CS_REQUIRE(cdd.register_client(name).ok(), "register");
+    CS_REQUIRE(cdd.add_password(name, "pw", PrivacyLevel::kHigh).ok(), "pw");
+  }
+
+  MatrixRow row;
+  row.clients = clients;
+  row.files_per_client = files_per_client;
+  row.chunks = chunks;
+  std::mutex merge_mu;
+
+  // One phase = every client thread performing `op` on all of its files.
+  auto run_phase = [&](OpSeries& series, auto op) {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    Stopwatch phase;
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        OpSeries local;
+        for (std::size_t m = 0; m < files_per_client; ++m) {
+          OpReport report;
+          Stopwatch w;
+          op(c, m, &report);
+          local.wall_s.push_back(w.elapsed_seconds());
+          local.sim_parallel_ms.push_back(
+              static_cast<double>(report.sim_time_parallel.count()) / 1e6);
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        series.wall_s.insert(series.wall_s.end(), local.wall_s.begin(),
+                             local.wall_s.end());
+        series.sim_parallel_ms.insert(series.sim_parallel_ms.end(),
+                                      local.sim_parallel_ms.begin(),
+                                      local.sim_parallel_ms.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+    series.phase_wall_s = phase.elapsed_seconds();
+  };
+
+  auto client_of = [](std::size_t c) { return "client" + std::to_string(c); };
+  auto file_of = [](std::size_t m) { return "file" + std::to_string(m); };
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kPublic;
+
+  run_phase(row.put, [&](std::size_t c, std::size_t m, OpReport* report) {
+    const Bytes data = make_payload(chunk_bytes * chunks, c * 100 + m);
+    Status st = cdd.put_file(client_of(c), "pw", file_of(m), data, opts,
+                             report);
+    CS_REQUIRE(st.ok(), st.to_string());
+  });
+  run_phase(row.get, [&](std::size_t c, std::size_t m, OpReport* report) {
+    Result<Bytes> back = cdd.get_file(client_of(c), "pw", file_of(m), report);
+    CS_REQUIRE(back.ok(), back.status().to_string());
+  });
+  run_phase(row.update, [&](std::size_t c, std::size_t m, OpReport* report) {
+    const Bytes data = make_payload(chunk_bytes, c * 7919 + m + 1);
+    Status st = cdd.update_chunk(client_of(c), "pw", file_of(m), 0, data,
+                                 report);
+    CS_REQUIRE(st.ok(), st.to_string());
+  });
+  run_phase(row.remove, [&](std::size_t c, std::size_t m, OpReport* report) {
+    (void)report;
+    Status st = cdd.remove_file(client_of(c), "pw", file_of(m));
+    CS_REQUIRE(st.ok(), st.to_string());
+  });
+  return row;
+}
+
+// --- JSON emission ----------------------------------------------------------
+
+void emit_series(std::ostream& os, const char* name, const OpSeries& s,
+                 bool last) {
+  os << "      \"" << name << "\": {"
+     << "\"ops_per_sec\": " << s.ops_per_sec()
+     << ", \"p50_ms\": " << percentile(s.wall_s, 0.5) * 1e3
+     << ", \"p99_ms\": " << percentile(s.wall_s, 0.99) * 1e3
+     << ", \"sim_parallel_ms_mean\": " << mean_of(s.sim_parallel_ms) << "}"
+     << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_throughput.json");
+
+  const std::size_t gate_chunk_bytes =
+      core::ChunkSizePolicy{}.chunk_size(PrivacyLevel::kHigh);
+  const Bytes gate_data = make_payload(gate_chunk_bytes * 64, 42);
+
+  std::cout << "=== gate: 64-chunk file (" << gate_data.size() / 1024
+            << " KiB, PL3, RAID-5 k=3, chaff 0.2, 8 workers, realtime "
+            << kGateBaseLatencyMs << " ms base latency) ===\n";
+  GateResult put_gate;
+  put_gate.serial_s = time_put_64(false, 5, gate_data);
+  put_gate.pipelined_s = time_put_64(true, 5, gate_data);
+  GateResult get_gate;
+  get_gate.serial_s = time_get_64(false, 5, gate_data);
+  get_gate.pipelined_s = time_get_64(true, 5, gate_data);
+  std::cout << "put: serial " << put_gate.serial_s * 1e3 << " ms, pipelined "
+            << put_gate.pipelined_s * 1e3 << " ms -> " << put_gate.speedup()
+            << "x\n";
+  std::cout << "get: serial " << get_gate.serial_s * 1e3 << " ms, pipelined "
+            << get_gate.pipelined_s * 1e3 << " ms -> " << get_gate.speedup()
+            << "x\n";
+  const bool gate_ok = put_gate.speedup() >= 3.0 && get_gate.speedup() >= 3.0;
+  std::cout << "gate (target >= 3x): " << (gate_ok ? "PASS" : "FAIL") << "\n";
+
+  std::cout << "\n=== matrix: clients x files x chunks (pipelined, "
+               "8 workers) ===\n";
+  std::vector<MatrixRow> rows;
+  for (std::size_t chunks : {4u, 16u, 64u}) {
+    rows.push_back(run_matrix(/*clients=*/8, /*files_per_client=*/4, chunks));
+    const MatrixRow& r = rows.back();
+    std::cout << "C=" << chunks << ": put " << r.put.ops_per_sec()
+              << " ops/s (p99 " << percentile(r.put.wall_s, 0.99) * 1e3
+              << " ms), get " << r.get.ops_per_sec() << " ops/s, update "
+              << r.update.ops_per_sec() << " ops/s, remove "
+              << r.remove.ops_per_sec() << " ops/s\n";
+  }
+
+  std::ofstream out(out_path);
+  CS_REQUIRE(out.good(), "cannot open " + out_path);
+  out << "{\n  \"bench\": \"throughput\",\n"
+      << "  \"config\": {\"raid\": \"raid5\", \"data_shards\": 3, "
+         "\"misleading_fraction\": 0.2, \"worker_threads\": 8, "
+         "\"gate_chunk_bytes\": "
+      << gate_chunk_bytes << ", \"gate_latency_ms\": " << kGateBaseLatencyMs
+      << ", \"gate_realtime\": true, \"matrix_chunk_bytes\": "
+      << core::ChunkSizePolicy{}.chunk_size(PrivacyLevel::kPublic) << "},\n"
+      << "  \"gate\": {\n"
+      << "    \"put_64chunk\": {\"serial_s\": " << put_gate.serial_s
+      << ", \"pipelined_s\": " << put_gate.pipelined_s
+      << ", \"speedup\": " << put_gate.speedup() << "},\n"
+      << "    \"get_64chunk\": {\"serial_s\": " << get_gate.serial_s
+      << ", \"pipelined_s\": " << get_gate.pipelined_s
+      << ", \"speedup\": " << get_gate.speedup() << "},\n"
+      << "    \"target_speedup\": 3.0, \"pass\": "
+      << (gate_ok ? "true" : "false") << "\n  },\n"
+      << "  \"matrix\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const MatrixRow& r = rows[i];
+    out << "    {\"clients\": " << r.clients
+        << ", \"files_per_client\": " << r.files_per_client
+        << ", \"chunks\": " << r.chunks << ",\n";
+    emit_series(out, "put", r.put, false);
+    emit_series(out, "get", r.get, false);
+    emit_series(out, "update", r.update, false);
+    emit_series(out, "remove", r.remove, true);
+    out << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.close();
+  std::cout << "\nwrote " << out_path << "\n";
+  return gate_ok ? 0 : 1;
+}

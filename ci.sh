@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verification + sanitizer passes + throughput gate.
+#
+#   ./ci.sh          # everything below
+#   ./ci.sh fast     # tier-1 build + ctest only
+#
+# Stages:
+#   1. tier-1: default build, full ctest suite (the ROADMAP acceptance bar)
+#   2. asan:   -DCSHIELD_SANITIZE=address, full ctest suite
+#   3. tsan:   -DCSHIELD_SANITIZE=thread, concurrency_test (the shared-
+#              MetadataStore / two-front-end interleaving harness)
+#   4. bench:  bench_throughput writes BENCH_throughput.json at the repo
+#              root and exits non-zero unless the pipelined engine beats the
+#              serial baseline by >= 3x on 64-chunk put AND get.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== [1/4] tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${jobs}"
+(cd build && ctest --output-on-failure -j "${jobs}")
+
+if [[ "${1:-}" == "fast" ]]; then
+  echo "fast mode: skipping sanitizer and bench stages"
+  exit 0
+fi
+
+echo "== [2/4] address sanitizer: build + ctest =="
+cmake -B build-asan -S . -DCSHIELD_SANITIZE=address >/dev/null
+cmake --build build-asan -j "${jobs}"
+(cd build-asan && ctest --output-on-failure -j "${jobs}")
+
+echo "== [3/4] thread sanitizer: concurrency_test =="
+cmake -B build-tsan -S . -DCSHIELD_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${jobs}" --target concurrency_test
+./build-tsan/tests/concurrency_test
+
+echo "== [4/4] throughput gate: bench_throughput =="
+./build/bench/bench_throughput BENCH_throughput.json
+
+echo "== ci.sh: all stages passed =="

@@ -49,6 +49,8 @@ CloudDataDistributor::CloudDataDistributor(
                          : std::make_shared<MetadataStore>()),
       placement_(config_.seed ^ 0x91ACE, config_.placement),
       pool_(config_.worker_threads),
+      io_pool_(config_.io_threads != 0 ? config_.io_threads
+                                       : 4 * config_.worker_threads),
       chaff_rng_(config_.seed ^ 0xC4AFF),
       id_key_(mix64(config_.seed ^ 0x1DFEED)) {
   // Mirror registry rows into the Cloud Provider Table (idempotent when a
@@ -108,30 +110,44 @@ CloudDataDistributor::write_stripe(BytesView payload,
   StripeWriteResult result;
   result.locations.resize(encoded.shards.size());
   result.digests.resize(encoded.shards.size());
+  for (std::size_t s = 0; s < encoded.shards.size(); ++s) {
+    result.locations[s] = ShardLocation{targets[s], next_virtual_id()};
+    result.bytes_stored += encoded.shards[s].size();
+  }
 
   struct ShardOutcome {
     Status status = Status::Ok();
+    crypto::Digest digest{};
     SimDuration time{0};
   };
+  // Digest computation lives inside the upload task, so with Exec::kPool it
+  // runs off the caller thread.
+  auto upload = [this](ProviderIndex provider, VirtualId id, Bytes shard) {
+    ShardOutcome outcome;
+    outcome.digest = crypto::sha256(shard);
+    outcome.status = registry_.at(provider).put(id, shard, &outcome.time);
+    return outcome;
+  };
+
+  std::vector<ShardOutcome> outcomes(encoded.shards.size());
   std::vector<std::future<ShardOutcome>> futures;
   futures.reserve(encoded.shards.size());
   for (std::size_t s = 0; s < encoded.shards.size(); ++s) {
-    const VirtualId id = next_virtual_id();
-    result.locations[s] = ShardLocation{targets[s], id};
-    result.digests[s] = crypto::sha256(encoded.shards[s]);
-    result.bytes_stored += encoded.shards[s].size();
-    futures.push_back(pool_.submit(
-        [this, id, provider = targets[s], shard = std::move(encoded.shards[s])] {
-          ShardOutcome outcome;
-          outcome.status = registry_.at(provider).put(id, shard, &outcome.time);
-          return outcome;
-        }));
+    futures.push_back(io_pool_.submit(upload, targets[s],
+                                      result.locations[s].virtual_id,
+                                      std::move(encoded.shards[s])));
   }
-  Status first_error = Status::Ok();
   for (std::size_t s = 0; s < futures.size(); ++s) {
-    ShardOutcome outcome = futures[s].get();
-    times.push_back(outcome.time);
-    if (!outcome.status.ok() && first_error.ok()) first_error = outcome.status;
+    outcomes[s] = futures[s].get();
+  }
+
+  Status first_error = Status::Ok();
+  for (std::size_t s = 0; s < outcomes.size(); ++s) {
+    times.push_back(outcomes[s].time);
+    result.digests[s] = outcomes[s].digest;
+    if (!outcomes[s].status.ok() && first_error.ok()) {
+      first_error = outcomes[s].status;
+    }
   }
   if (!first_error.ok()) {
     // Best-effort rollback of the shards that did land.
@@ -149,34 +165,55 @@ CloudDataDistributor::write_stripe(BytesView payload,
 Result<Bytes> CloudDataDistributor::read_stripe(
     const raid::StripeLayout& layout, const std::vector<ShardLocation>& stripe,
     const std::vector<crypto::Digest>& digests, std::size_t padded_size,
-    std::vector<SimDuration>& times) {
+    std::vector<SimDuration>& times, ReadMode mode) {
   CS_REQUIRE(stripe.size() == layout.total_shards(),
              "read_stripe: stripe arity mismatch");
+  // A shard that is unreachable OR fails its integrity digest counts as an
+  // erasure; the RAID decode below recovers through it if it can.
+  auto fetch = [this](const ShardLocation& loc, const crypto::Digest& digest,
+                      SimDuration& time) -> std::optional<Bytes> {
+    Result<Bytes> r = registry_.at(loc.provider).get(loc.virtual_id, &time);
+    if (r.ok() && crypto::sha256(r.value()) == digest) {
+      return std::move(r).value();
+    }
+    return std::nullopt;
+  };
   struct ShardFetch {
     std::optional<Bytes> data;
     SimDuration time{0};
   };
-  std::vector<std::future<ShardFetch>> futures;
-  futures.reserve(stripe.size());
-  for (std::size_t s = 0; s < stripe.size(); ++s) {
-    futures.push_back(pool_.submit([this, loc = stripe[s],
-                                    digest = digests[s]] {
-      ShardFetch fetch;
-      Result<Bytes> r = registry_.at(loc.provider).get(loc.virtual_id,
-                                                       &fetch.time);
-      // A shard that is unreachable OR fails its integrity digest counts as
-      // an erasure; the RAID decode below recovers through it if it can.
-      if (r.ok() && crypto::sha256(r.value()) == digest) {
-        fetch.data = std::move(r).value();
-      }
-      return fetch;
-    }));
-  }
   std::vector<std::optional<Bytes>> shards(stripe.size());
-  for (std::size_t s = 0; s < futures.size(); ++s) {
-    ShardFetch fetch = futures[s].get();
-    times.push_back(fetch.time);
-    shards[s] = std::move(fetch.data);
+  // Fetches shard indices [lo, hi) concurrently through the I/O pool.
+  auto fetch_range = [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::future<ShardFetch>> futures;
+    futures.reserve(hi - lo);
+    for (std::size_t s = lo; s < hi; ++s) {
+      futures.push_back(io_pool_.submit([&fetch, loc = stripe[s],
+                                         digest = digests[s]] {
+        ShardFetch f;
+        f.data = fetch(loc, digest, f.time);
+        return f;
+      }));
+    }
+    bool all_present = true;
+    for (std::size_t s = lo; s < hi; ++s) {
+      ShardFetch f = futures[s - lo].get();
+      times.push_back(f.time);
+      if (!f.data.has_value()) all_present = false;
+      shards[s] = std::move(f.data);
+    }
+    return all_present;
+  };
+
+  if (mode == ReadMode::kEager || layout.parity_shards == 0) {
+    (void)fetch_range(0, stripe.size());
+  } else {
+    // Lazy-parity: a clean stripe decodes from the data shards alone --
+    // encode() lays shards out data-first -- so parity is fetched (and
+    // hashed) only when a data shard is missing or corrupt.
+    if (!fetch_range(0, layout.data_shards)) {
+      (void)fetch_range(layout.data_shards, stripe.size());
+    }
   }
   return raid::decode(layout, shards, padded_size);
 }
@@ -200,9 +237,9 @@ Status CloudDataDistributor::put_file(const std::string& client,
   Result<PrivacyLevel> auth = authorize(client, password,
                                         options.privacy_level);
   if (!auth.ok()) return auth.status();
-  if (!metadata_->file_chunks(client, filename).empty()) {
-    return Status::AlreadyExists("file " + filename + " for client " + client);
-  }
+  // Atomic duplicate check: reserving the name up front means two
+  // concurrent uploads of the same file cannot both pass it.
+  CS_RETURN_IF_ERROR(metadata_->claim_file(client, filename));
 
   const raid::RaidLevel level = options.raid.value_or(config_.default_raid);
   const raid::StripeLayout layout =
@@ -213,7 +250,6 @@ Status CloudDataDistributor::put_file(const std::string& client,
       options.misleading_fraction.value_or(config_.misleading_fraction);
 
   Stopwatch wall;
-  std::vector<SimDuration> times;
   std::vector<RawChunk> chunks = split_file(data, options.privacy_level,
                                             config_.chunk_sizes,
                                             options.record_align);
@@ -221,36 +257,106 @@ Status CloudDataDistributor::put_file(const std::string& client,
   local.chunks = chunks.size();
   local.bytes_logical = data.size();
 
-  for (const RawChunk& chunk : chunks) {
-    MisleadingCodec::Encoded chaffed;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      chaffed = MisleadingCodec::inject(chunk.data, chaff, chaff_rng_);
-    }
+  // One pipeline stage per chunk: chaff -> place -> encode/digest ->
+  // upload. `stripe` duplicates entry.stripe so rollback still knows the
+  // shard locations after the entry moves into the metadata commit.
+  struct ChunkOutcome {
+    Status status = Status::Ok();
+    ChunkEntry entry;
+    std::vector<ShardLocation> stripe;
+    std::size_t bytes_stored = 0;
+    std::vector<SimDuration> times;
+  };
+  std::vector<ChunkOutcome> outcomes(chunks.size());
+  auto build = [&](std::size_t i) {
+    ChunkOutcome& out = outcomes[i];
+    // Only the seed draw and placement need the shared RNG/policy lock;
+    // the chaff injection itself runs unlocked on the chunk's own stream.
+    std::uint64_t chaff_seed = 0;
     Result<std::vector<ProviderIndex>> targets = [&] {
       std::lock_guard<std::mutex> lock(mu_);
+      chaff_seed = chaff_rng_.next();
       return placement_.choose(registry_, options.privacy_level,
                                layout.total_shards());
     }();
-    if (!targets.ok()) return targets.status();
-
+    Rng chunk_rng(chaff_seed);
+    MisleadingCodec::Encoded chaffed =
+        MisleadingCodec::inject(chunks[i].data, chaff, chunk_rng);
+    if (!targets.ok()) {
+      out.status = targets.status();
+      return;
+    }
     Result<StripeWriteResult> written =
-        write_stripe(chaffed.data, layout, targets.value(), times);
-    if (!written.ok()) return written.status();
+        write_stripe(chaffed.data, layout, targets.value(), out.times);
+    if (!written.ok()) {
+      out.status = written.status();
+      return;
+    }
+    out.entry.privacy_level = options.privacy_level;
+    out.entry.layout = layout;
+    out.entry.stripe = std::move(written.value().locations);
+    out.entry.misleading = std::move(chaffed.positions);
+    out.entry.padded_size = chaffed.data.size();
+    out.entry.shard_digests = std::move(written.value().digests);
+    out.stripe = out.entry.stripe;
+    out.bytes_stored = written.value().bytes_stored;
+  };
 
-    ChunkEntry entry;
-    entry.privacy_level = options.privacy_level;
-    entry.layout = layout;
-    entry.stripe = std::move(written.value().locations);
-    entry.misleading = std::move(chaffed.positions);
-    entry.padded_size = chaffed.data.size();
-    entry.shard_digests = std::move(written.value().digests);
-    local.bytes_stored += written.value().bytes_stored;
+  if (config_.pipelined && chunks.size() > 1) {
+    // Fan every chunk's stripe out as independent pool work -- an N-chunk
+    // file issues all its shard uploads concurrently instead of N
+    // sequential per-stripe barriers.
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks.size());
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      futures.push_back(pool_.submit([&build, i] { build(i); }));
+    }
+    for (auto& f : futures) f.get();
+  } else {
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      build(i);
+      if (!outcomes[i].status.ok()) break;
+    }
+  }
+
+  // A failed chunk must not orphan its siblings: drop every stripe this
+  // call wrote, then free the filename claim.
+  auto rollback = [&](const Status& error) {
+    for (const ChunkOutcome& out : outcomes) {
+      if (!out.stripe.empty()) drop_stripe(out.stripe, nullptr);
+    }
+    metadata_->release_file(client, filename);
+    return error;
+  };
+  for (const ChunkOutcome& out : outcomes) {
+    if (!out.status.ok()) return rollback(out.status);
+  }
+
+  // Commit the refs in serial order. The claim makes interference from
+  // other writers impossible, so a failure here is exceptional -- but it
+  // still unwinds to zero shards and zero refs.
+  std::vector<std::size_t> committed;
+  committed.reserve(chunks.size());
+  std::vector<SimDuration> times;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    ChunkOutcome& out = outcomes[i];
+    Result<std::size_t> idx = metadata_->add_chunk(
+        client, filename, chunks[i].serial, std::move(out.entry));
+    if (!idx.ok()) {
+      for (std::size_t j = 0; j < committed.size(); ++j) {
+        ChunkEntry tombstone;
+        tombstone.privacy_level = options.privacy_level;
+        tombstone.layout = layout;
+        tombstone.deleted = true;
+        (void)metadata_->update_chunk(committed[j], std::move(tombstone));
+        (void)metadata_->unlink_chunk(client, filename, chunks[j].serial);
+      }
+      return rollback(idx.status());
+    }
+    committed.push_back(idx.value());
+    local.bytes_stored += out.bytes_stored;
     local.shards += layout.total_shards();
-
-    Result<std::size_t> idx =
-        metadata_->add_chunk(client, filename, chunk.serial, std::move(entry));
-    if (!idx.ok()) return idx.status();
+    times.insert(times.end(), out.times.begin(), out.times.end());
   }
 
   local.sim_time_parallel = parallel_makespan(times, config_.worker_threads);
@@ -314,29 +420,70 @@ Result<Bytes> CloudDataDistributor::get_file(const std::string& client,
   Result<PrivacyLevel> auth =
       authorize(client, password, refs.front().privacy_level);
   if (!auth.ok()) return auth.status();
-
-  Stopwatch wall;
-  std::vector<SimDuration> times;
-  OpReport local;
-  Bytes out;
   for (const ChunkRef& ref : refs) {
     if (!privileged_for(auth.value(), ref.privacy_level)) {
       return Status::PermissionDenied("chunk " + std::to_string(ref.serial) +
                                       " above password privilege");
     }
-    Result<ChunkEntry> entry = metadata_->chunk_entry(ref.chunk_index);
-    if (!entry.ok()) return entry.status();
+  }
+
+  Stopwatch wall;
+  struct ChunkRead {
+    Status status = Status::Ok();
+    Bytes plain;
+    std::size_t padded_size = 0;
+    std::size_t shards = 0;
+    std::vector<SimDuration> times;
+  };
+  std::vector<ChunkRead> reads(refs.size());
+  auto read_one = [&](std::size_t i, ReadMode mode) {
+    ChunkRead& out = reads[i];
+    Result<ChunkEntry> entry = metadata_->chunk_entry(refs[i].chunk_index);
+    if (!entry.ok()) {
+      out.status = entry.status();
+      return;
+    }
     Result<Bytes> padded =
         read_stripe(entry.value().layout, entry.value().stripe,
                     entry.value().shard_digests, entry.value().padded_size,
-                    times);
-    if (!padded.ok()) return padded.status();
-    Bytes plain =
-        MisleadingCodec::strip(padded.value(), entry.value().misleading);
-    local.bytes_stored += entry.value().padded_size;
-    local.shards += entry.value().stripe.size();
+                    out.times, mode);
+    if (!padded.ok()) {
+      out.status = padded.status();
+      return;
+    }
+    out.plain = MisleadingCodec::strip(padded.value(),
+                                       entry.value().misleading);
+    out.padded_size = entry.value().padded_size;
+    out.shards = entry.value().stripe.size();
+  };
+
+  if (config_.pipelined && refs.size() > 1) {
+    // All chunk stripes in flight at once; reassembly below restores
+    // serial order.
+    std::vector<std::future<void>> futures;
+    futures.reserve(refs.size());
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      futures.push_back(
+          pool_.submit([&read_one, i] { read_one(i, ReadMode::kLazyParity); }));
+    }
+    for (auto& f : futures) f.get();
+  } else {
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      read_one(i, ReadMode::kEager);
+      if (!reads[i].status.ok()) break;
+    }
+  }
+
+  OpReport local;
+  std::vector<SimDuration> times;
+  Bytes out;
+  for (ChunkRead& r : reads) {
+    if (!r.status.ok()) return r.status;
+    local.bytes_stored += r.padded_size;
+    local.shards += r.shards;
     ++local.chunks;
-    append(out, plain);
+    append(out, r.plain);
+    times.insert(times.end(), r.times.begin(), r.times.end());
   }
   local.bytes_logical = out.size();
   local.sim_time_parallel = parallel_makespan(times, config_.worker_threads);
@@ -351,22 +498,12 @@ CloudDataDistributor::list_files(const std::string& client,
                                  const std::string& password) {
   Result<PrivacyLevel> auth = metadata_->authenticate(client, password);
   if (!auth.ok()) return auth.status();
-  Result<ClientEntry> entry = metadata_->client_entry(client);
-  if (!entry.ok()) return entry.status();
+  // The store's filename index does the per-file aggregation (and the
+  // privilege filtering) without scanning every ref per file.
   std::vector<FileInfo> files;
-  for (const ChunkRef& ref : entry.value().chunks) {
-    if (!privileged_for(auth.value(), ref.privacy_level)) continue;
-    bool found = false;
-    for (auto& f : files) {
-      if (f.filename == ref.filename) {
-        ++f.chunks;
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
-      files.push_back(FileInfo{ref.filename, ref.privacy_level, 1});
-    }
+  for (FileSummary& f : metadata_->list_files(client, auth.value())) {
+    files.push_back(
+        FileInfo{std::move(f.filename), f.privacy_level, f.chunks});
   }
   return files;
 }
@@ -516,8 +653,52 @@ Status CloudDataDistributor::remove_file(const std::string& client,
     if (!auth.ok()) return auth.status();
     return Status::NotFound("file " + filename + " for client " + client);
   }
+  // Authorize once against the file's highest chunk PL instead of
+  // re-authenticating the password for every chunk.
+  PrivacyLevel required = refs.front().privacy_level;
   for (const ChunkRef& ref : refs) {
-    CS_RETURN_IF_ERROR(remove_chunk(client, password, filename, ref.serial));
+    if (level_index(ref.privacy_level) > level_index(required)) {
+      required = ref.privacy_level;
+    }
+  }
+  Result<PrivacyLevel> auth = authorize(client, password, required);
+  if (!auth.ok()) return auth.status();
+
+  std::vector<Result<ChunkEntry>> entries;
+  entries.reserve(refs.size());
+  for (const ChunkRef& ref : refs) {
+    entries.push_back(metadata_->chunk_entry(ref.chunk_index));
+  }
+  for (const auto& e : entries) {
+    if (!e.ok()) return e.status();
+  }
+
+  // Drop all stripes through the pool, then retire the refs serially.
+  auto drop_one = [&](std::size_t i) {
+    const ChunkEntry& e = entries[i].value();
+    drop_stripe(e.stripe, nullptr);
+    if (e.has_snapshot) drop_stripe(e.snapshot, nullptr);
+  };
+  if (config_.pipelined && refs.size() > 1) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(refs.size());
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      futures.push_back(pool_.submit([&drop_one, i] { drop_one(i); }));
+    }
+    for (auto& f : futures) f.get();
+  } else {
+    for (std::size_t i = 0; i < refs.size(); ++i) drop_one(i);
+  }
+
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    ChunkEntry tombstone = std::move(entries[i]).value();
+    tombstone.deleted = true;
+    tombstone.stripe.clear();
+    tombstone.snapshot.clear();
+    CS_RETURN_IF_ERROR(metadata_->update_chunk(refs[i].chunk_index,
+                                               std::move(tombstone)));
+    CS_RETURN_IF_ERROR(metadata_->unlink_chunk(client, filename,
+                                               refs[i].serial));
   }
   return Status::Ok();
 }
@@ -534,17 +715,26 @@ Result<std::size_t> CloudDataDistributor::repair() {
     auto repair_stripe = [&](std::vector<ShardLocation>& stripe,
                              const std::vector<crypto::Digest>& digests)
         -> Result<std::size_t> {
-      // Probe every shard.
+      // Probe every shard through the pool (repair runs on a caller
+      // thread, so blocking on the futures is safe).
+      std::vector<std::future<std::optional<Bytes>>> probes;
+      probes.reserve(stripe.size());
+      for (std::size_t s = 0; s < stripe.size(); ++s) {
+        probes.push_back(pool_.submit(
+            [this, loc = stripe[s],
+             digest = digests[s]]() -> std::optional<Bytes> {
+              Result<Bytes> r = registry_.at(loc.provider).get(loc.virtual_id);
+              if (r.ok() && crypto::sha256(r.value()) == digest) {
+                return std::move(r).value();
+              }
+              return std::nullopt;
+            }));
+      }
       std::vector<std::optional<Bytes>> shards(stripe.size());
       std::vector<std::size_t> broken;
       for (std::size_t s = 0; s < stripe.size(); ++s) {
-        Result<Bytes> r = registry_.at(stripe[s].provider)
-                              .get(stripe[s].virtual_id);
-        if (r.ok() && crypto::sha256(r.value()) == digests[s]) {
-          shards[s] = std::move(r).value();
-        } else {
-          broken.push_back(s);
-        }
+        shards[s] = probes[s].get();
+        if (!shards[s].has_value()) broken.push_back(s);
       }
       if (broken.empty()) return std::size_t{0};
       std::size_t fixed = 0;
@@ -622,14 +812,24 @@ Result<std::size_t> CloudDataDistributor::rebalance() {
         Result<Bytes> shard =
             registry_.at(stripe[s].provider).get(stripe[s].virtual_id);
         if (!shard.ok()) {
-          // Unreachable demoted provider: fall back to RAID reconstruction.
+          // Unreachable demoted provider: fall back to RAID
+          // reconstruction, probing the survivors through the pool.
           std::vector<std::optional<Bytes>> shards(stripe.size());
+          std::vector<std::pair<std::size_t,
+                                std::future<std::optional<Bytes>>>> probes;
+          probes.reserve(stripe.size());
           for (std::size_t t = 0; t < stripe.size(); ++t) {
             if (t == s) continue;
-            Result<Bytes> other =
-                registry_.at(stripe[t].provider).get(stripe[t].virtual_id);
-            if (other.ok()) shards[t] = std::move(other).value();
+            probes.emplace_back(
+                t, pool_.submit(
+                       [this, loc = stripe[t]]() -> std::optional<Bytes> {
+                         Result<Bytes> other =
+                             registry_.at(loc.provider).get(loc.virtual_id);
+                         if (other.ok()) return std::move(other).value();
+                         return std::nullopt;
+                       }));
           }
+          for (auto& [t, fut] : probes) shards[t] = fut.get();
           shard = raid::reconstruct_shard(entry.layout, shards, s);
           if (!shard.ok()) return shard.status();
         }

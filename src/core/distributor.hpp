@@ -23,7 +23,9 @@
 // Fig. 2 multi-distributor architecture (see multi_distributor.hpp).
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,7 +47,17 @@ struct DistributorConfig {
   std::size_t replication = 1;         ///< extra copies when RAID-1 is chosen
   double misleading_fraction = 0.0;    ///< default chaff ratio
   PlacementMode placement = PlacementMode::kCostAware;
-  std::size_t worker_threads = 8;      ///< parallel provider channels
+  std::size_t worker_threads = 8;      ///< chunk-level compute channels
+  /// Shard RPC channels. Shard I/O is latency-bound, not CPU-bound, so the
+  /// I/O pool is wider than the compute pool (real object-store clients do
+  /// the same). 0 = 4 x worker_threads.
+  std::size_t io_threads = 0;
+  /// Chunk-level pipelining for file-granularity ops: put_file/get_file fan
+  /// every chunk's stripe out to the pool as independent work instead of
+  /// walking chunks serially with a barrier per stripe. false reproduces the
+  /// serial per-stripe loop (the pre-pipeline baseline; kept for A/B
+  /// benchmarking -- see bench_throughput).
+  bool pipelined = true;
   std::uint64_t seed = 0xC10D0D15;
 };
 
@@ -168,6 +180,14 @@ class CloudDataDistributor {
     std::size_t bytes_stored = 0;
   };
 
+  /// Stripe read strategy. kEager fetches every shard of the stripe
+  /// concurrently (lowest latency for a single chunk). kLazyParity first
+  /// fetches only the data shards -- encode() lays shards out data-first --
+  /// and touches parity solely when a data shard is missing or corrupt;
+  /// the pipelined get_file uses it to cut per-stripe work by the parity
+  /// fraction.
+  enum class ReadMode { kEager, kLazyParity };
+
   /// Authenticates and checks privilege against `required`.
   Result<PrivacyLevel> authorize(const std::string& client,
                                  const std::string& password,
@@ -175,20 +195,26 @@ class CloudDataDistributor {
 
   VirtualId next_virtual_id();
 
-  /// Encodes `payload` under `layout` and uploads shards to `targets`,
-  /// appending per-request service times to `times`.
+  /// Encodes `payload` under `layout` and uploads shards to `targets` via
+  /// the I/O pool, appending per-request service times to `times`.
+  /// Per-shard SHA-256 digests are computed inside the upload tasks, off
+  /// the caller thread. Safe to call from pool_ tasks: shard work runs on
+  /// io_pool_, whose tasks never submit further work, so blocking on them
+  /// cannot deadlock the compute pool.
   Result<StripeWriteResult> write_stripe(BytesView payload,
                                          const raid::StripeLayout& layout,
                                          const std::vector<ProviderIndex>& targets,
                                          std::vector<SimDuration>& times);
 
   /// Fetches + digest-verifies + RAID-decodes one stripe into its padded
-  /// payload (chaff still present).
+  /// payload (chaff still present). Shard fetches run on io_pool_ (same
+  /// deadlock-freedom argument as write_stripe).
   Result<Bytes> read_stripe(const raid::StripeLayout& layout,
                             const std::vector<ShardLocation>& stripe,
                             const std::vector<crypto::Digest>& digests,
                             std::size_t padded_size,
-                            std::vector<SimDuration>& times);
+                            std::vector<SimDuration>& times,
+                            ReadMode mode = ReadMode::kEager);
 
   /// Deletes stripe shards at providers and updates the provider table.
   void drop_stripe(const std::vector<ShardLocation>& stripe,
@@ -198,7 +224,8 @@ class CloudDataDistributor {
   DistributorConfig config_;
   std::shared_ptr<MetadataStore> metadata_;
   PlacementPolicy placement_;
-  ThreadPool pool_;
+  ThreadPool pool_;     ///< chunk-level pipeline stages
+  ThreadPool io_pool_;  ///< shard-level provider RPCs (leaf tasks only)
   Rng chaff_rng_;
   std::atomic<std::uint64_t> id_counter_{1};
   std::uint64_t id_key_;

@@ -2,20 +2,33 @@
 //
 // The paper's distributor "maintains three types of tables describing the
 // providers, the clients and the chunks". MetadataStore is that state, kept
-// behind one mutex so several distributor front-ends (the Fig. 2
-// multi-distributor extension) can share it. One generalization: because we
-// implement the RAID placement the paper prescribes, a chunk's single
-// "CP index" column becomes a stripe -- a list of (provider, virtual id)
-// shard locations; a 1-shard stripe reproduces the paper's table exactly.
+// behind one reader/writer lock so several distributor front-ends (the
+// Fig. 2 multi-distributor extension) can share it. One generalization:
+// because we implement the RAID placement the paper prescribes, a chunk's
+// single "CP index" column becomes a stripe -- a list of
+// (provider, virtual id) shard locations; a 1-shard stripe reproduces the
+// paper's table exactly.
+//
+// Internally the store is indexed so lookups scale with namespace size:
+//   - per client, a filename -> (serial -> ChunkRef) map backs find_chunk /
+//     file_chunks / list_files in O(log n) instead of a linear ref scan;
+//   - per provider, an unordered_set<VirtualId> makes record_placement /
+//     record_removal O(1) instead of an O(shards) vector erase.
+// The public row structs (ProviderEntry, ClientEntry) keep their flat
+// vector shape -- they are materialized on demand -- so the metadata_io
+// wire format is unchanged; provider id vectors materialize sorted so
+// serialization stays deterministic.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <map>
 #include <mutex>
-#include <utility>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -76,55 +89,61 @@ struct ProviderEntry {
   [[nodiscard]] std::size_t count() const { return virtual_ids.size(); }
 };
 
+/// Per-file inventory row derived from the filename index (the data behind
+/// the distributor's list_files, already privilege-filtered).
+struct FileSummary {
+  std::string filename;
+  PrivacyLevel privacy_level = PrivacyLevel::kPublic;
+  std::size_t chunks = 0;
+};
+
 /// Thread-safe store of the three tables. All distributor front-ends
-/// sharing a store see a consistent namespace.
+/// sharing a store see a consistent namespace. Read-mostly accessors take a
+/// shared lock so concurrent lookups from many front-ends do not serialize.
 class MetadataStore {
  public:
   // --- Cloud Provider Table ------------------------------------------
 
   /// Registers provider bookkeeping rows 0..n-1 (must mirror the registry).
   void register_provider(std::string name, PrivacyLevel pl, CostLevel cl) {
-    std::lock_guard<std::mutex> lock(mu_);
-    providers_.push_back(ProviderEntry{std::move(name), pl, cl, {}});
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    providers_.push_back(ProviderState{std::move(name), pl, cl, {}});
   }
 
   void record_placement(ProviderIndex p, VirtualId id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     CS_REQUIRE(p < providers_.size(), "record_placement: bad provider index");
-    providers_[p].virtual_ids.push_back(id);
+    providers_[p].virtual_ids.insert(id);
   }
 
   void record_removal(ProviderIndex p, VirtualId id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     CS_REQUIRE(p < providers_.size(), "record_removal: bad provider index");
-    auto& ids = providers_[p].virtual_ids;
-    for (auto it = ids.begin(); it != ids.end(); ++it) {
-      if (*it == id) {
-        ids.erase(it);
-        return;
-      }
-    }
+    providers_[p].virtual_ids.erase(id);
   }
 
   [[nodiscard]] std::vector<ProviderEntry> provider_table() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return providers_;
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::vector<ProviderEntry> out;
+    out.reserve(providers_.size());
+    for (const auto& p : providers_) out.push_back(materialize(p));
+    return out;
   }
 
   // --- Client Table ---------------------------------------------------
 
   Status register_client(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     if (clients_.count(name) != 0) {
       return Status::AlreadyExists("client " + name);
     }
-    clients_[name].name = name;
+    clients_[name];
     return Status::Ok();
   }
 
   Status add_password(const std::string& client, const std::string& password,
                       PrivacyLevel pl) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     auto it = clients_.find(client);
     if (it == clients_.end()) return Status::NotFound("client " + client);
     for (const auto& [pw, _] : it->second.passwords) {
@@ -140,7 +159,7 @@ class MetadataStore {
   /// happens at the chunk-PL comparison in the distributor).
   [[nodiscard]] Result<PrivacyLevel> authenticate(
       const std::string& client, const std::string& password) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = clients_.find(client);
     if (it == clients_.end()) return Status::NotFound("client " + client);
     for (const auto& [pw, pl] : it->second.passwords) {
@@ -151,32 +170,67 @@ class MetadataStore {
 
   [[nodiscard]] Result<ClientEntry> client_entry(
       const std::string& client) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = clients_.find(client);
     if (it == clients_.end()) return Status::NotFound("client " + client);
-    return it->second;
+    return materialize(it->first, it->second);
   }
 
   // --- Chunk Table ------------------------------------------------------
 
-  /// Appends a chunk entry and links it into the client's file map.
-  /// Returns the chunk-table index.
+  /// Reserves `filename` in the client's namespace so two concurrent
+  /// put_file calls cannot both pass the duplicate check. A claim holds no
+  /// chunks; readers see the file as nonexistent until add_chunk commits
+  /// refs under it. kAlreadyExists when the name is taken (claimed or
+  /// populated).
+  Status claim_file(const std::string& client, const std::string& filename) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = clients_.find(client);
+    if (it == clients_.end()) return Status::NotFound("client " + client);
+    auto [_, inserted] = it->second.files.try_emplace(filename);
+    if (!inserted) {
+      return Status::AlreadyExists("file " + filename + " for client " +
+                                   client);
+    }
+    return Status::Ok();
+  }
+
+  /// Drops a claim that never received chunks (put_file rollback). A file
+  /// that holds chunk refs is left untouched.
+  void release_file(const std::string& client, const std::string& filename) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = clients_.find(client);
+    if (it == clients_.end()) return;
+    auto fit = it->second.files.find(filename);
+    if (fit != it->second.files.end() && fit->second.empty()) {
+      it->second.files.erase(fit);
+    }
+  }
+
+  /// Appends a chunk entry and links it into the client's file index.
+  /// Returns the chunk-table index. kAlreadyExists when the (filename,
+  /// serial) slot is already linked.
   [[nodiscard]] Result<std::size_t> add_chunk(const std::string& client,
                                               const std::string& filename,
                                               std::uint64_t serial,
                                               ChunkEntry entry) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     auto it = clients_.find(client);
     if (it == clients_.end()) return Status::NotFound("client " + client);
+    auto& serials = it->second.files[filename];
+    if (serials.count(serial) != 0) {
+      return Status::AlreadyExists("chunk " + filename + "#" +
+                                   std::to_string(serial));
+    }
+    const PrivacyLevel pl = entry.privacy_level;
     chunks_.push_back(std::move(entry));
     const std::size_t idx = chunks_.size() - 1;
-    it->second.chunks.push_back(
-        ChunkRef{filename, serial, chunks_.back().privacy_level, idx});
+    serials.emplace(serial, ChunkRef{filename, serial, pl, idx});
     return idx;
   }
 
   [[nodiscard]] Result<ChunkEntry> chunk_entry(std::size_t index) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     if (index >= chunks_.size()) {
       return Status::NotFound("chunk index " + std::to_string(index));
     }
@@ -184,7 +238,7 @@ class MetadataStore {
   }
 
   Status update_chunk(std::size_t index, ChunkEntry entry) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     if (index >= chunks_.size()) {
       return Status::NotFound("chunk index " + std::to_string(index));
     }
@@ -193,90 +247,157 @@ class MetadataStore {
   }
 
   /// Finds the chunk refs of a client file, serial-ordered. Empty result =
-  /// file unknown.
+  /// file unknown (or only claimed, never committed).
   [[nodiscard]] std::vector<ChunkRef> file_chunks(
       const std::string& client, const std::string& filename) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     std::vector<ChunkRef> out;
     auto it = clients_.find(client);
     if (it == clients_.end()) return out;
-    for (const auto& ref : it->second.chunks) {
-      if (ref.filename == filename) out.push_back(ref);
-    }
-    std::sort(out.begin(), out.end(),
-              [](const ChunkRef& a, const ChunkRef& b) {
-                return a.serial < b.serial;
-              });
+    auto fit = it->second.files.find(filename);
+    if (fit == it->second.files.end()) return out;
+    out.reserve(fit->second.size());
+    for (const auto& [_, ref] : fit->second) out.push_back(ref);
     return out;
   }
 
   [[nodiscard]] std::optional<ChunkRef> find_chunk(
       const std::string& client, const std::string& filename,
       std::uint64_t serial) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = clients_.find(client);
     if (it == clients_.end()) return std::nullopt;
-    for (const auto& ref : it->second.chunks) {
-      if (ref.filename == filename && ref.serial == serial) return ref;
+    auto fit = it->second.files.find(filename);
+    if (fit == it->second.files.end()) return std::nullopt;
+    auto sit = fit->second.find(serial);
+    if (sit == fit->second.end()) return std::nullopt;
+    return sit->second;
+  }
+
+  /// Per-file inventory visible to a password at `privilege`: only chunks
+  /// whose PL the privilege can read are counted, and a file none of whose
+  /// chunks are readable is omitted entirely (a low-privilege password
+  /// cannot even learn the names of more sensitive files).
+  [[nodiscard]] std::vector<FileSummary> list_files(
+      const std::string& client, PrivacyLevel privilege) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::vector<FileSummary> out;
+    auto it = clients_.find(client);
+    if (it == clients_.end()) return out;
+    for (const auto& [filename, serials] : it->second.files) {
+      FileSummary info{filename, PrivacyLevel::kPublic, 0};
+      for (const auto& [_, ref] : serials) {
+        if (!privileged_for(privilege, ref.privacy_level)) continue;
+        if (info.chunks == 0) info.privacy_level = ref.privacy_level;
+        ++info.chunks;
+      }
+      if (info.chunks > 0) out.push_back(std::move(info));
     }
-    return std::nullopt;
+    return out;
   }
 
   /// Unlinks a chunk ref from the client (the chunk-table row stays as a
-  /// tombstone; indices must remain stable).
+  /// tombstone; indices must remain stable). Unlinking a file's last chunk
+  /// frees the filename for reuse.
   Status unlink_chunk(const std::string& client, const std::string& filename,
                       std::uint64_t serial) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     auto it = clients_.find(client);
     if (it == clients_.end()) return Status::NotFound("client " + client);
-    auto& refs = it->second.chunks;
-    for (auto rit = refs.begin(); rit != refs.end(); ++rit) {
-      if (rit->filename == filename && rit->serial == serial) {
-        refs.erase(rit);
-        return Status::Ok();
-      }
+    auto fit = it->second.files.find(filename);
+    if (fit == it->second.files.end() || fit->second.erase(serial) == 0) {
+      return Status::NotFound("chunk " + filename + "#" +
+                              std::to_string(serial));
     }
-    return Status::NotFound("chunk " + filename + "#" +
-                            std::to_string(serial));
+    if (fit->second.empty()) it->second.files.erase(fit);
+    return Status::Ok();
   }
 
   [[nodiscard]] std::size_t total_chunks() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return chunks_.size();
   }
 
   // --- snapshot / restore (durability; see core/metadata_io.hpp) -------
 
   [[nodiscard]] std::vector<ClientEntry> client_table() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     std::vector<ClientEntry> out;
     out.reserve(clients_.size());
-    for (const auto& [name, entry] : clients_) out.push_back(entry);
+    for (const auto& [name, state] : clients_) {
+      out.push_back(materialize(name, state));
+    }
     return out;
   }
 
   [[nodiscard]] std::vector<ChunkEntry> chunk_table() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return chunks_;
   }
 
   /// Replaces the entire table state (only valid on a freshly constructed
-  /// store, i.e. during deserialization).
+  /// store, i.e. during deserialization). Rebuilds the indices from the
+  /// flat wire rows.
   void restore(std::vector<ProviderEntry> providers,
                std::vector<ClientEntry> clients,
                std::vector<ChunkEntry> chunks) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     CS_REQUIRE(providers_.empty() && clients_.empty() && chunks_.empty(),
                "MetadataStore::restore on a non-empty store");
-    providers_ = std::move(providers);
-    for (auto& c : clients) clients_[c.name] = std::move(c);
+    providers_.reserve(providers.size());
+    for (auto& p : providers) {
+      ProviderState state{std::move(p.name), p.privacy_level, p.cost_level,
+                          {}};
+      state.virtual_ids.insert(p.virtual_ids.begin(), p.virtual_ids.end());
+      providers_.push_back(std::move(state));
+    }
+    for (auto& c : clients) {
+      ClientState& state = clients_[c.name];
+      state.passwords = std::move(c.passwords);
+      for (auto& ref : c.chunks) {
+        auto& serials = state.files[ref.filename];
+        serials.emplace(ref.serial, std::move(ref));
+      }
+    }
     chunks_ = std::move(chunks);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<ProviderEntry> providers_;
-  std::map<std::string, ClientEntry> clients_;
+  /// Provider row with the id set as the O(1) membership index; the wire
+  /// vector is materialized (sorted, so serialization is deterministic).
+  struct ProviderState {
+    std::string name;
+    PrivacyLevel privacy_level = PrivacyLevel::kPublic;
+    CostLevel cost_level = CostLevel::kCheapest;
+    std::unordered_set<VirtualId> virtual_ids;
+  };
+
+  /// Client row with the filename -> (serial -> ref) index replacing the
+  /// wire format's flat ref vector.
+  struct ClientState {
+    std::vector<std::pair<std::string, PrivacyLevel>> passwords;
+    std::map<std::string, std::map<std::uint64_t, ChunkRef>> files;
+  };
+
+  [[nodiscard]] static ProviderEntry materialize(const ProviderState& p) {
+    ProviderEntry out{p.name, p.privacy_level, p.cost_level, {}};
+    out.virtual_ids.assign(p.virtual_ids.begin(), p.virtual_ids.end());
+    std::sort(out.virtual_ids.begin(), out.virtual_ids.end());
+    return out;
+  }
+
+  [[nodiscard]] static ClientEntry materialize(const std::string& name,
+                                               const ClientState& c) {
+    ClientEntry out{name, c.passwords, {}};
+    for (const auto& [_, serials] : c.files) {
+      for (const auto& [__, ref] : serials) out.chunks.push_back(ref);
+    }
+    return out;
+  }
+
+  mutable std::shared_mutex mu_;
+  std::vector<ProviderState> providers_;
+  std::map<std::string, ClientState> clients_;
   std::vector<ChunkEntry> chunks_;
 };
 

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/types.hpp"
 #include "storage/object_store.hpp"
@@ -88,11 +90,20 @@ class SimCloudProvider {
   /// "privacy level of a provider indicates its reliability").
   void set_privacy_level(PrivacyLevel pl) { descriptor_.privacy_level = pl; }
 
+  /// Realtime mode: requests actually block for `scale` x their modeled
+  /// service time (0 = pure modeling, the default). Lets wall-clock
+  /// benchmarks observe request overlap -- the distributor's pipelining only
+  /// shows up in wall time when latency is real.
+  void set_realtime_scale(double scale) {
+    realtime_scale_.store(scale, std::memory_order_relaxed);
+  }
+
   /// Stores an object. `service_time`, when non-null, receives the modeled
   /// request duration (valid for both success and failure).
   Status put(VirtualId id, BytesView data,
              SimDuration* service_time = nullptr) {
     const SimDuration t = model_time(data.size());
+    maybe_sleep(t);
     if (service_time != nullptr) *service_time = t;
     CS_RETURN_IF_ERROR(check_faults());
     counters_.puts.fetch_add(1, std::memory_order_relaxed);
@@ -109,7 +120,9 @@ class SimCloudProvider {
     }
     Result<Bytes> r = store_.get(id);
     const std::size_t n = r.ok() ? r.value().size() : 0;
-    if (service_time != nullptr) *service_time = model_time(n);
+    const SimDuration t = model_time(n);
+    maybe_sleep(t);
+    if (service_time != nullptr) *service_time = t;
     if (r.ok()) {
       counters_.gets.fetch_add(1, std::memory_order_relaxed);
       counters_.bytes_out.fetch_add(n, std::memory_order_relaxed);
@@ -118,7 +131,9 @@ class SimCloudProvider {
   }
 
   Status remove(VirtualId id, SimDuration* service_time = nullptr) {
-    if (service_time != nullptr) *service_time = model_time(0);
+    const SimDuration t = model_time(0);
+    maybe_sleep(t);
+    if (service_time != nullptr) *service_time = t;
     CS_RETURN_IF_ERROR(check_faults());
     counters_.removes.fetch_add(1, std::memory_order_relaxed);
     return store_.remove(id);
@@ -194,6 +209,14 @@ class SimCloudProvider {
     return latency_.service_time(bytes, rng_);
   }
 
+  // Sleeps outside mu_ so concurrent requests to one provider overlap.
+  void maybe_sleep(SimDuration t) const {
+    const double scale = realtime_scale_.load(std::memory_order_relaxed);
+    if (scale <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::nanoseconds(
+        static_cast<std::int64_t>(static_cast<double>(t.count()) * scale)));
+  }
+
   ProviderDescriptor descriptor_;
   LatencyModel latency_;
   MemoryStore store_;
@@ -201,6 +224,7 @@ class SimCloudProvider {
   mutable std::mutex mu_;
   FaultConfig faults_;
   Rng rng_;
+  std::atomic<double> realtime_scale_{0.0};
 };
 
 }  // namespace cshield::storage

@@ -490,6 +490,82 @@ TEST(DistributorTest, RemoveFileDeletesAllShards) {
             ErrorCode::kNotFound);
 }
 
+TEST(DistributorTest, PartialPutFailureRollsBackAllStripes) {
+  for (bool pipelined : {true, false}) {
+    storage::ProviderRegistry registry;
+    for (int i = 0; i < 5; ++i) {
+      storage::ProviderDescriptor d;
+      d.name = "P" + std::to_string(i);
+      d.privacy_level = PrivacyLevel::kHigh;
+      d.cost_level = CostLevel::kCheapest;
+      registry.add(std::move(d));
+    }
+    DistributorConfig config;
+    config.stripe_data_shards = 3;
+    config.pipelined = pipelined;
+    CloudDataDistributor cdd(registry, config);
+    ASSERT_TRUE(cdd.register_client("Bob").ok());
+    ASSERT_TRUE(cdd.add_password("Bob", "Ty7e", PrivacyLevel::kHigh).ok());
+
+    // One of the five eligible providers is down. Eligibility is trust, not
+    // availability, so placement keeps selecting it: across 64 chunks some
+    // stripes land fully and some fail mid-file.
+    registry.at(4).set_online(false);
+    PutOptions opts;
+    opts.privacy_level = PrivacyLevel::kHigh;  // 1 KiB chunks -> 64 chunks
+    const Bytes data = payload_of(64 * 1024, pipelined ? 11 : 12);
+    EXPECT_FALSE(cdd.put_file("Bob", "Ty7e", "wedge", data, opts).ok())
+        << "pipelined=" << pipelined;
+
+    // No orphans: every shard of every stripe written before the failure
+    // must have been dropped again.
+    for (ProviderIndex p = 0; p < registry.size(); ++p) {
+      EXPECT_EQ(registry.at(p).object_count(), 0u)
+          << "pipelined=" << pipelined << " provider " << p;
+    }
+    for (const auto& row : cdd.metadata().provider_table()) {
+      EXPECT_EQ(row.count(), 0u) << row.name;
+    }
+    EXPECT_TRUE(cdd.metadata().file_chunks("Bob", "wedge").empty());
+
+    // The filename claim was released with the rollback: a retry once the
+    // provider recovers succeeds and round-trips.
+    registry.at(4).set_online(true);
+    ASSERT_TRUE(cdd.put_file("Bob", "Ty7e", "wedge", data, opts).ok());
+    Result<Bytes> back = cdd.get_file("Bob", "Ty7e", "wedge");
+    ASSERT_TRUE(back.ok()) << back.status().to_string();
+    EXPECT_TRUE(equal(back.value(), data));
+  }
+}
+
+TEST(DistributorTest, SerialModeMatchesPipelined) {
+  // pipelined=false is the A/B baseline for bench_throughput; it must stay
+  // behaviorally identical to the pipelined engine.
+  for (bool pipelined : {true, false}) {
+    storage::ProviderRegistry registry = storage::make_default_registry(12);
+    DistributorConfig config;
+    config.stripe_data_shards = 3;
+    config.misleading_fraction = 0.2;
+    config.pipelined = pipelined;
+    CloudDataDistributor cdd(registry, config);
+    ASSERT_TRUE(cdd.register_client("Bob").ok());
+    ASSERT_TRUE(cdd.add_password("Bob", "Ty7e", PrivacyLevel::kHigh).ok());
+    const Bytes data = payload_of(50000, 77);
+    PutOptions opts;
+    opts.privacy_level = PrivacyLevel::kModerate;
+    ASSERT_TRUE(cdd.put_file("Bob", "Ty7e", "ab.bin", data, opts).ok());
+    Result<Bytes> back = cdd.get_file("Bob", "Ty7e", "ab.bin");
+    ASSERT_TRUE(back.ok()) << back.status().to_string();
+    EXPECT_TRUE(equal(back.value(), data)) << "pipelined=" << pipelined;
+    ASSERT_TRUE(cdd.remove_file("Bob", "Ty7e", "ab.bin").ok());
+    std::size_t stored = 0;
+    for (ProviderIndex p = 0; p < registry.size(); ++p) {
+      stored += registry.at(p).object_count();
+    }
+    EXPECT_EQ(stored, 0u) << "pipelined=" << pipelined;
+  }
+}
+
 TEST(DistributorTest, RepairRestoresLostShards) {
   DistFixture f(raid::RaidLevel::kRaid5);
   const Bytes data = payload_of(20000);
