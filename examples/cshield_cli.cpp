@@ -14,6 +14,14 @@
 //   cshield_cli <root> ls
 //   cshield_cli <root> ls-files <client> <password>
 //   cshield_cli <root> repair
+//   cshield_cli <root> stats
+//
+// Any command also accepts --stats, which prints the telemetry collected
+// during this invocation (metrics dump + slowest spans) after the command
+// finishes. The bare `stats` subcommand reports on startup/load only --
+// the CLI is one process per command, so cross-invocation history lives in
+// the data itself, not the telemetry ring.
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -131,13 +139,56 @@ int usage() {
   std::cerr << "usage: cshield_cli <root> "
                "init [n] | adduser <c> <pw> <pl> | put <c> <pw> <name> "
                "<file> <pl> | get <c> <pw> <name> <file> | rm <c> <pw> "
-               "<name> | ls | ls-files <c> <pw> | repair\n";
+               "<name> | ls | ls-files <c> <pw> | repair | stats "
+               "[--stats after any command]\n";
   return 2;
+}
+
+/// Removes a `--stats` flag from argv (anywhere after the command) so the
+/// positional parsing below stays untouched.
+bool strip_stats_flag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--stats") {
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Prometheus metrics dump plus the top-N slowest spans by executed wall
+/// time, with provider indices resolved back to names.
+void print_stats(CliWorld& world, std::size_t top_n = 10) {
+  const std::shared_ptr<obs::Telemetry>& tel = world.cdd->telemetry();
+  std::cout << "--- metrics ---\n" << tel->metrics().to_prometheus();
+  std::vector<obs::SpanRecord> spans = tel->tracer().snapshot();
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const obs::SpanRecord& a, const obs::SpanRecord& b) {
+                     return a.wall_ns > b.wall_ns;
+                   });
+  if (spans.size() > top_n) spans.resize(top_n);
+  std::cout << "--- " << spans.size() << " slowest spans (wall time) ---\n";
+  TextTable t({"span", "client", "file", "chunk", "provider", "kind",
+               "wall_us", "sim_us", "outcome"});
+  for (const obs::SpanRecord& s : spans) {
+    t.add(s.name, s.client.empty() ? "-" : s.client,
+          s.file.empty() ? "-" : s.file,
+          s.chunk == obs::kNoChunk ? std::string("-")
+                                   : std::to_string(s.chunk),
+          s.provider == kNoProvider
+              ? std::string("-")
+              : world.registry.at(s.provider).descriptor().name,
+          std::string(obs::shard_kind_name(s.shard_kind)), s.wall_ns / 1000,
+          s.sim_ns / 1000, std::string(error_code_name(s.outcome)));
+  }
+  t.print(std::cout);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool want_stats = strip_stats_flag(argc, argv);
   if (argc < 3) return usage();
   const fs::path root = argv[1];
   const std::string cmd = argv[2];
@@ -152,6 +203,16 @@ int main(int argc, char** argv) {
       return 0;
     }
     CliWorld world(root);
+    // Every command below funnels through `done` so --stats can report on
+    // whatever the command just did.
+    auto done = [&](int rc) {
+      if (want_stats) print_stats(world);
+      return rc;
+    };
+    if (cmd == "stats") {
+      print_stats(world);
+      return 0;
+    }
     if (cmd == "adduser" && argc == 6) {
       const std::string client = argv[3];
       (void)world.cdd->register_client(client);  // idempotent enough
@@ -159,7 +220,7 @@ int main(int argc, char** argv) {
           client, argv[4], privacy_level_from_int(std::stoi(argv[5])));
       std::cout << st.to_string() << "\n";
       world.sync();
-      return st.ok() ? 0 : 1;
+      return done(st.ok() ? 0 : 1);
     }
     if (cmd == "put" && argc == 8) {
       core::PutOptions opts;
@@ -171,37 +232,37 @@ int main(int argc, char** argv) {
                 << report.shards << " shards, " << report.bytes_stored
                 << " B stored)\n";
       world.sync();
-      return st.ok() ? 0 : 1;
+      return done(st.ok() ? 0 : 1);
     }
     if (cmd == "get" && argc == 7) {
       Result<Bytes> data = world.cdd->get_file(argv[3], argv[4], argv[5]);
       if (!data.ok()) {
         std::cout << data.status().to_string() << "\n";
-        return 1;
+        return done(1);
       }
       write_file(argv[6], data.value());
       std::cout << "OK (" << data.value().size() << " B)\n";
-      return 0;
+      return done(0);
     }
     if (cmd == "rm" && argc == 6) {
       Status st = world.cdd->remove_file(argv[3], argv[4], argv[5]);
       std::cout << st.to_string() << "\n";
       world.sync();
-      return st.ok() ? 0 : 1;
+      return done(st.ok() ? 0 : 1);
     }
     if (cmd == "ls-files" && argc == 5) {
       Result<std::vector<core::CloudDataDistributor::FileInfo>> files =
           world.cdd->list_files(argv[3], argv[4]);
       if (!files.ok()) {
         std::cout << files.status().to_string() << "\n";
-        return 1;
+        return done(1);
       }
       TextTable t({"file", "PL", "chunks"});
       for (const auto& f : files.value()) {
         t.add(f.filename, level_index(f.privacy_level), f.chunks);
       }
       t.print(std::cout);
-      return 0;
+      return done(0);
     }
     if (cmd == "ls") {
       TextTable t({"Cloud Provider", "PL", "CL", "Count", "Bytes"});
@@ -218,11 +279,11 @@ int main(int argc, char** argv) {
       Result<std::size_t> repaired = world.cdd->repair();
       if (!repaired.ok()) {
         std::cout << repaired.status().to_string() << "\n";
-        return 1;
+        return done(1);
       }
       std::cout << "repaired " << repaired.value() << " shards\n";
       world.sync();
-      return 0;
+      return done(0);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -40,11 +40,116 @@ SimDuration parallel_makespan(std::vector<SimDuration> times,
   return SimDuration{makespan};
 }
 
+namespace {
+
+/// Accumulates one client-visible operation's footprint and, at finish,
+/// emits BOTH the op's root trace span and its OpReport from the same
+/// numbers -- deriving the report from the root span's accumulator is what
+/// keeps the two from ever disagreeing. Construct it after authentication
+/// (auth failures are counted separately, not traced as pipeline ops) and
+/// route every subsequent return through finish().
+class OpScope {
+ public:
+  OpScope(obs::Telemetry* tel, const char* name, std::string_view client,
+          std::string_view file)
+      : tel_(tel != nullptr && tel->enabled() ? tel : nullptr), name_(name) {
+    if (tel_ == nullptr) return;
+    obs::Tracer& tr = tel_->tracer();
+    rec_.op_id = tr.next_id();
+    rec_.span_id = tr.next_id();
+    rec_.name = name_;
+    rec_.client = client;
+    rec_.file = file;
+    rec_.start_ns = tr.now_ns();
+    tel_->metrics().gauge("cdd.inflight_ops").add(1);
+  }
+
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  ~OpScope() {
+    // Belt-and-braces: a return path that skipped finish() still closes the
+    // gauge and records the span, marked as an internal error.
+    if (!finished_) (void)finish(Status::Internal(name_ + " left open"),
+                                 nullptr, 1);
+  }
+
+  [[nodiscard]] bool armed() const { return tel_ != nullptr; }
+
+  /// Linkage for child spans (chunk stages, shard RPCs).
+  [[nodiscard]] obs::SpanCtx ctx() const {
+    return armed() ? obs::SpanCtx{rec_.op_id, rec_.span_id} : obs::SpanCtx{};
+  }
+
+  // Accumulators. Written by the op body -- either on the caller thread or
+  // from pool tasks that are joined before finish() reads them.
+  std::size_t chunks = 0;
+  std::size_t shards = 0;
+  std::size_t bytes_logical = 0;
+  std::size_t bytes_stored = 0;
+  std::size_t parity_reads = 0;
+  bool rolled_back = false;
+  std::uint64_t chunk_serial = obs::kNoChunk;  ///< for chunk-granularity ops
+  std::vector<SimDuration> times;  ///< every provider request's service time
+
+  /// Fills `report` (always -- error paths now report their footprint too,
+  /// which is how rolled_back becomes observable), records the root span
+  /// and per-op metrics, and passes `status` through.
+  Status finish(Status status, OpReport* report, std::size_t channels) {
+    finished_ = true;
+    SimDuration serial{0};
+    for (const SimDuration& t : times) serial += t;
+    const SimDuration par = parallel_makespan(times, channels);
+    const double wall = wall_.elapsed_seconds();
+    if (report != nullptr) {
+      report->chunks = chunks;
+      report->shards = shards;
+      report->bytes_logical = bytes_logical;
+      report->bytes_stored = bytes_stored;
+      report->parity_reads = parity_reads;
+      report->rolled_back = rolled_back;
+      report->sim_time_parallel = par;
+      report->sim_time_serial = serial;
+      report->wall_seconds = wall;
+    }
+    if (tel_ != nullptr) {
+      obs::MetricsRegistry& m = tel_->metrics();
+      const std::string prefix = "cdd." + name_;
+      m.counter(prefix + (status.ok() ? "_total" : "_errors")).inc();
+      m.histogram(prefix + "_wall_ns").observe(wall * 1e9);
+      m.histogram(prefix + "_sim_ns").observe(static_cast<double>(par.count()));
+      if (rolled_back) m.counter("cdd.rollbacks").inc();
+      m.gauge("cdd.inflight_ops").add(-1);
+      rec_.wall_ns = static_cast<std::int64_t>(wall * 1e9);
+      rec_.sim_ns = serial.count();  // children sum to this by construction
+      rec_.bytes = bytes_logical;
+      rec_.chunk = chunk_serial;
+      rec_.outcome = status.code();
+      tel_->tracer().record(std::move(rec_));
+      tel_ = nullptr;
+    }
+    return status;
+  }
+
+ private:
+  obs::Telemetry* tel_;
+  std::string name_;
+  obs::SpanRecord rec_;
+  Stopwatch wall_;
+  bool finished_ = false;
+};
+
+}  // namespace
+
 CloudDataDistributor::CloudDataDistributor(
     storage::ProviderRegistry& registry, DistributorConfig config,
     std::shared_ptr<MetadataStore> metadata)
     : registry_(registry),
       config_(std::move(config)),
+      telemetry_(config_.telemetry
+                     ? (config_.telemetry_sink ? config_.telemetry_sink
+                                               : obs::Telemetry::global())
+                     : std::make_shared<obs::Telemetry>(false)),
       metadata_(metadata ? std::move(metadata)
                          : std::make_shared<MetadataStore>()),
       placement_(config_.seed ^ 0x91ACE, config_.placement),
@@ -53,6 +158,10 @@ CloudDataDistributor::CloudDataDistributor(
                                        : 4 * config_.worker_threads),
       chaff_rng_(config_.seed ^ 0xC4AFF),
       id_key_(mix64(config_.seed ^ 0x1DFEED)) {
+  if (config_.telemetry) {
+    registry_.attach_telemetry(telemetry_);
+    placement_.set_metrics(&telemetry_->metrics());
+  }
   // Mirror registry rows into the Cloud Provider Table (idempotent when a
   // shared, already-populated store is handed in).
   const std::size_t known = metadata_->provider_table().size();
@@ -78,8 +187,16 @@ Result<PrivacyLevel> CloudDataDistributor::authorize(
     const std::string& client, const std::string& password,
     PrivacyLevel required) const {
   Result<PrivacyLevel> granted = metadata_->authenticate(client, password);
-  if (!granted.ok()) return granted;
+  if (!granted.ok()) {
+    if (telemetry_->enabled()) {
+      telemetry_->metrics().counter("cdd.auth_failures").inc();
+    }
+    return granted;
+  }
   if (!privileged_for(granted.value(), required)) {
+    if (telemetry_->enabled()) {
+      telemetry_->metrics().counter("cdd.auth_failures").inc();
+    }
     return Status::PermissionDenied(
         "password privilege " +
         std::string(privacy_level_name(granted.value())) +
@@ -102,7 +219,8 @@ Result<CloudDataDistributor::StripeWriteResult>
 CloudDataDistributor::write_stripe(BytesView payload,
                                    const raid::StripeLayout& layout,
                                    const std::vector<ProviderIndex>& targets,
-                                   std::vector<SimDuration>& times) {
+                                   std::vector<SimDuration>& times,
+                                   const obs::SpanCtx& span) {
   raid::EncodedStripe encoded = raid::encode(layout, payload);
   CS_REQUIRE(targets.size() == encoded.shards.size(),
              "write_stripe: target/shard arity mismatch");
@@ -121,11 +239,26 @@ CloudDataDistributor::write_stripe(BytesView payload,
     SimDuration time{0};
   };
   // Digest computation lives inside the upload task, so with Exec::kPool it
-  // runs off the caller thread.
-  auto upload = [this](ProviderIndex provider, VirtualId id, Bytes shard) {
+  // runs off the caller thread. `span` outlives the futures: write_stripe
+  // blocks on them below.
+  auto upload = [this, &span](ProviderIndex provider, VirtualId id,
+                              Bytes shard, obs::ShardKind kind) {
     ShardOutcome outcome;
+    obs::SpanRecord proto;
+    proto.op_id = span.op_id;
+    proto.parent_id = span.parent;
+    proto.name = "shard_put";
+    proto.provider = provider;
+    proto.shard_kind = kind;
+    proto.bytes = shard.size();
+    obs::ScopedSpan sp(span.armed() ? telemetry_.get() : nullptr,
+                       std::move(proto));
     outcome.digest = crypto::sha256(shard);
     outcome.status = registry_.at(provider).put(id, shard, &outcome.time);
+    if (sp.armed()) {
+      sp.rec().sim_ns = outcome.time.count();
+      sp.rec().outcome = outcome.status.code();
+    }
     return outcome;
   };
 
@@ -133,9 +266,12 @@ CloudDataDistributor::write_stripe(BytesView payload,
   std::vector<std::future<ShardOutcome>> futures;
   futures.reserve(encoded.shards.size());
   for (std::size_t s = 0; s < encoded.shards.size(); ++s) {
+    const obs::ShardKind kind = s < layout.data_shards
+                                    ? obs::ShardKind::kData
+                                    : obs::ShardKind::kParity;
     futures.push_back(io_pool_.submit(upload, targets[s],
                                       result.locations[s].virtual_id,
-                                      std::move(encoded.shards[s])));
+                                      std::move(encoded.shards[s]), kind));
   }
   for (std::size_t s = 0; s < futures.size(); ++s) {
     outcomes[s] = futures[s].get();
@@ -165,33 +301,48 @@ CloudDataDistributor::write_stripe(BytesView payload,
 Result<Bytes> CloudDataDistributor::read_stripe(
     const raid::StripeLayout& layout, const std::vector<ShardLocation>& stripe,
     const std::vector<crypto::Digest>& digests, std::size_t padded_size,
-    std::vector<SimDuration>& times, ReadMode mode) {
+    std::vector<SimDuration>& times, ReadMode mode, const obs::SpanCtx& span,
+    StripeReadStats* stats) {
   CS_REQUIRE(stripe.size() == layout.total_shards(),
              "read_stripe: stripe arity mismatch");
-  // A shard that is unreachable OR fails its integrity digest counts as an
-  // erasure; the RAID decode below recovers through it if it can.
-  auto fetch = [this](const ShardLocation& loc, const crypto::Digest& digest,
-                      SimDuration& time) -> std::optional<Bytes> {
-    Result<Bytes> r = registry_.at(loc.provider).get(loc.virtual_id, &time);
-    if (r.ok() && crypto::sha256(r.value()) == digest) {
-      return std::move(r).value();
-    }
-    return std::nullopt;
-  };
   struct ShardFetch {
     std::optional<Bytes> data;
     SimDuration time{0};
   };
   std::vector<std::optional<Bytes>> shards(stripe.size());
-  // Fetches shard indices [lo, hi) concurrently through the I/O pool.
+  // Fetches shard indices [lo, hi) concurrently through the I/O pool. A
+  // shard that is unreachable OR fails its integrity digest counts as an
+  // erasure; the RAID decode below recovers through it if it can. `span`
+  // outlives the tasks: fetch_range blocks on the futures.
   auto fetch_range = [&](std::size_t lo, std::size_t hi) {
     std::vector<std::future<ShardFetch>> futures;
     futures.reserve(hi - lo);
     for (std::size_t s = lo; s < hi; ++s) {
-      futures.push_back(io_pool_.submit([&fetch, loc = stripe[s],
+      const obs::ShardKind kind = s < layout.data_shards
+                                      ? obs::ShardKind::kData
+                                      : obs::ShardKind::kParity;
+      futures.push_back(io_pool_.submit([this, &span, kind, loc = stripe[s],
                                          digest = digests[s]] {
         ShardFetch f;
-        f.data = fetch(loc, digest, f.time);
+        obs::SpanRecord proto;
+        proto.op_id = span.op_id;
+        proto.parent_id = span.parent;
+        proto.name = "shard_get";
+        proto.provider = loc.provider;
+        proto.shard_kind = kind;
+        obs::ScopedSpan sp(span.armed() ? telemetry_.get() : nullptr,
+                           std::move(proto));
+        Result<Bytes> r = registry_.at(loc.provider).get(loc.virtual_id,
+                                                         &f.time);
+        const bool intact = r.ok() && crypto::sha256(r.value()) == digest;
+        if (sp.armed()) {
+          sp.rec().sim_ns = f.time.count();
+          sp.rec().bytes = r.ok() ? r.value().size() : 0;
+          sp.rec().outcome = intact ? ErrorCode::kOk
+                                    : (r.ok() ? ErrorCode::kCorrupted
+                                              : r.status().code());
+        }
+        if (intact) f.data = std::move(r).value();
         return f;
       }));
     }
@@ -205,15 +356,34 @@ Result<Bytes> CloudDataDistributor::read_stripe(
     return all_present;
   };
 
+  std::size_t parity_fetched = 0;
+  bool data_degraded = false;
   if (mode == ReadMode::kEager || layout.parity_shards == 0) {
     (void)fetch_range(0, stripe.size());
+    parity_fetched = stripe.size() - layout.data_shards;
+    for (std::size_t s = 0; s < layout.data_shards; ++s) {
+      if (!shards[s].has_value()) data_degraded = true;
+    }
   } else {
     // Lazy-parity: a clean stripe decodes from the data shards alone --
     // encode() lays shards out data-first -- so parity is fetched (and
     // hashed) only when a data shard is missing or corrupt.
     if (!fetch_range(0, layout.data_shards)) {
+      data_degraded = true;
       (void)fetch_range(layout.data_shards, stripe.size());
+      parity_fetched = stripe.size() - layout.data_shards;
     }
+  }
+  if (telemetry_->enabled()) {
+    obs::MetricsRegistry& m = telemetry_->metrics();
+    if (data_degraded) m.counter("cdd.parity_fallbacks").inc();
+    if (parity_fetched != 0) {
+      m.counter("cdd.parity_shard_reads").inc(parity_fetched);
+    }
+  }
+  if (stats != nullptr) {
+    stats->parity_reads = parity_fetched;
+    stats->fallback = data_degraded;
   }
   return raid::decode(layout, shards, padded_size);
 }
@@ -249,13 +419,12 @@ Status CloudDataDistributor::put_file(const std::string& client,
   const double chaff =
       options.misleading_fraction.value_or(config_.misleading_fraction);
 
-  Stopwatch wall;
+  OpScope op(telemetry_.get(), "put_file", client, filename);
   std::vector<RawChunk> chunks = split_file(data, options.privacy_level,
                                             config_.chunk_sizes,
                                             options.record_align);
-  OpReport local;
-  local.chunks = chunks.size();
-  local.bytes_logical = data.size();
+  op.chunks = chunks.size();
+  op.bytes_logical = data.size();
 
   // One pipeline stage per chunk: chaff -> place -> encode/digest ->
   // upload. `stripe` duplicates entry.stripe so rollback still knows the
@@ -270,6 +439,14 @@ Status CloudDataDistributor::put_file(const std::string& client,
   std::vector<ChunkOutcome> outcomes(chunks.size());
   auto build = [&](std::size_t i) {
     ChunkOutcome& out = outcomes[i];
+    obs::SpanRecord proto;
+    proto.op_id = op.ctx().op_id;
+    proto.parent_id = op.ctx().parent;
+    proto.name = "chunk_put";
+    proto.chunk = chunks[i].serial;
+    proto.bytes = chunks[i].data.size();
+    obs::ScopedSpan chunk_span(op.armed() ? telemetry_.get() : nullptr,
+                               std::move(proto));
     // Only the seed draw and placement need the shared RNG/policy lock;
     // the chaff injection itself runs unlocked on the chunk's own stream.
     std::uint64_t chaff_seed = 0;
@@ -282,14 +459,24 @@ Status CloudDataDistributor::put_file(const std::string& client,
     Rng chunk_rng(chaff_seed);
     MisleadingCodec::Encoded chaffed =
         MisleadingCodec::inject(chunks[i].data, chaff, chunk_rng);
+    auto close_span = [&] {
+      if (!chunk_span.armed()) return;
+      SimDuration chunk_sim{0};
+      for (const SimDuration& t : out.times) chunk_sim += t;
+      chunk_span.rec().sim_ns = chunk_sim.count();
+      chunk_span.rec().outcome = out.status.code();
+    };
     if (!targets.ok()) {
       out.status = targets.status();
+      close_span();
       return;
     }
     Result<StripeWriteResult> written =
-        write_stripe(chaffed.data, layout, targets.value(), out.times);
+        write_stripe(chaffed.data, layout, targets.value(), out.times,
+                     chunk_span.ctx());
     if (!written.ok()) {
       out.status = written.status();
+      close_span();
       return;
     }
     out.entry.privacy_level = options.privacy_level;
@@ -300,6 +487,7 @@ Status CloudDataDistributor::put_file(const std::string& client,
     out.entry.shard_digests = std::move(written.value().digests);
     out.stripe = out.entry.stripe;
     out.bytes_stored = written.value().bytes_stored;
+    close_span();
   };
 
   if (config_.pipelined && chunks.size() > 1) {
@@ -322,14 +510,21 @@ Status CloudDataDistributor::put_file(const std::string& client,
   // A failed chunk must not orphan its siblings: drop every stripe this
   // call wrote, then free the filename claim.
   auto rollback = [&](const Status& error) {
+    op.rolled_back = true;
     for (const ChunkOutcome& out : outcomes) {
-      if (!out.stripe.empty()) drop_stripe(out.stripe, nullptr);
+      if (!out.stripe.empty()) drop_stripe(out.stripe, &op.times);
     }
     metadata_->release_file(client, filename);
     return error;
   };
+  for (ChunkOutcome& out : outcomes) {
+    op.times.insert(op.times.end(), out.times.begin(), out.times.end());
+    out.times.clear();  // moved into the op accumulator exactly once
+  }
   for (const ChunkOutcome& out : outcomes) {
-    if (!out.status.ok()) return rollback(out.status);
+    if (!out.status.ok()) {
+      return op.finish(rollback(out.status), report, config_.worker_threads);
+    }
   }
 
   // Commit the refs in serial order. The claim makes interference from
@@ -337,7 +532,6 @@ Status CloudDataDistributor::put_file(const std::string& client,
   // still unwinds to zero shards and zero refs.
   std::vector<std::size_t> committed;
   committed.reserve(chunks.size());
-  std::vector<SimDuration> times;
   for (std::size_t i = 0; i < chunks.size(); ++i) {
     ChunkOutcome& out = outcomes[i];
     Result<std::size_t> idx = metadata_->add_chunk(
@@ -351,19 +545,13 @@ Status CloudDataDistributor::put_file(const std::string& client,
         (void)metadata_->update_chunk(committed[j], std::move(tombstone));
         (void)metadata_->unlink_chunk(client, filename, chunks[j].serial);
       }
-      return rollback(idx.status());
+      return op.finish(rollback(idx.status()), report, config_.worker_threads);
     }
     committed.push_back(idx.value());
-    local.bytes_stored += out.bytes_stored;
-    local.shards += layout.total_shards();
-    times.insert(times.end(), out.times.begin(), out.times.end());
+    op.bytes_stored += out.bytes_stored;
+    op.shards += layout.total_shards();
   }
-
-  local.sim_time_parallel = parallel_makespan(times, config_.worker_threads);
-  for (const auto& t : times) local.sim_time_serial += t;
-  local.wall_seconds = wall.elapsed_seconds();
-  if (report != nullptr) *report = local;
-  return Status::Ok();
+  return op.finish(Status::Ok(), report, config_.worker_threads);
 }
 
 Result<Bytes> CloudDataDistributor::get_chunk(const std::string& client,
@@ -385,25 +573,24 @@ Result<Bytes> CloudDataDistributor::get_chunk(const std::string& client,
   Result<ChunkEntry> entry = metadata_->chunk_entry(ref->chunk_index);
   if (!entry.ok()) return entry.status();
 
-  Stopwatch wall;
-  std::vector<SimDuration> times;
+  OpScope op(telemetry_.get(), "get_chunk", client, filename);
+  op.chunk_serial = serial;
+  StripeReadStats rstats;
   Result<Bytes> padded =
       read_stripe(entry.value().layout, entry.value().stripe,
                   entry.value().shard_digests, entry.value().padded_size,
-                  times);
-  if (!padded.ok()) return padded.status();
+                  op.times, ReadMode::kEager, op.ctx(), &rstats);
+  op.parity_reads = rstats.parity_reads;
+  op.chunks = 1;
+  op.shards = entry.value().stripe.size();
+  op.bytes_stored = entry.value().padded_size;
+  if (!padded.ok()) {
+    return op.finish(padded.status(), report, config_.worker_threads);
+  }
   Bytes plain = MisleadingCodec::strip(padded.value(),
                                        entry.value().misleading);
-  if (report != nullptr) {
-    report->chunks = 1;
-    report->shards = entry.value().stripe.size();
-    report->bytes_logical = plain.size();
-    report->bytes_stored = entry.value().padded_size;
-    report->sim_time_parallel =
-        parallel_makespan(times, config_.worker_threads);
-    for (const auto& t : times) report->sim_time_serial += t;
-    report->wall_seconds = wall.elapsed_seconds();
-  }
+  op.bytes_logical = plain.size();
+  (void)op.finish(Status::Ok(), report, config_.worker_threads);
   return plain;
 }
 
@@ -427,34 +614,53 @@ Result<Bytes> CloudDataDistributor::get_file(const std::string& client,
     }
   }
 
-  Stopwatch wall;
+  OpScope op(telemetry_.get(), "get_file", client, filename);
   struct ChunkRead {
     Status status = Status::Ok();
     Bytes plain;
     std::size_t padded_size = 0;
     std::size_t shards = 0;
     std::vector<SimDuration> times;
+    StripeReadStats rstats;
   };
   std::vector<ChunkRead> reads(refs.size());
   auto read_one = [&](std::size_t i, ReadMode mode) {
     ChunkRead& out = reads[i];
+    obs::SpanRecord proto;
+    proto.op_id = op.ctx().op_id;
+    proto.parent_id = op.ctx().parent;
+    proto.name = "chunk_get";
+    proto.chunk = refs[i].serial;
+    obs::ScopedSpan chunk_span(op.armed() ? telemetry_.get() : nullptr,
+                               std::move(proto));
+    auto close_span = [&] {
+      if (!chunk_span.armed()) return;
+      SimDuration chunk_sim{0};
+      for (const SimDuration& t : out.times) chunk_sim += t;
+      chunk_span.rec().sim_ns = chunk_sim.count();
+      chunk_span.rec().bytes = out.plain.size();
+      chunk_span.rec().outcome = out.status.code();
+    };
     Result<ChunkEntry> entry = metadata_->chunk_entry(refs[i].chunk_index);
     if (!entry.ok()) {
       out.status = entry.status();
+      close_span();
       return;
     }
     Result<Bytes> padded =
         read_stripe(entry.value().layout, entry.value().stripe,
                     entry.value().shard_digests, entry.value().padded_size,
-                    out.times, mode);
+                    out.times, mode, chunk_span.ctx(), &out.rstats);
     if (!padded.ok()) {
       out.status = padded.status();
+      close_span();
       return;
     }
     out.plain = MisleadingCodec::strip(padded.value(),
                                        entry.value().misleading);
     out.padded_size = entry.value().padded_size;
     out.shards = entry.value().stripe.size();
+    close_span();
   };
 
   if (config_.pipelined && refs.size() > 1) {
@@ -474,22 +680,25 @@ Result<Bytes> CloudDataDistributor::get_file(const std::string& client,
     }
   }
 
-  OpReport local;
-  std::vector<SimDuration> times;
   Bytes out;
+  Status first_error = Status::Ok();
   for (ChunkRead& r : reads) {
-    if (!r.status.ok()) return r.status;
-    local.bytes_stored += r.padded_size;
-    local.shards += r.shards;
-    ++local.chunks;
+    op.times.insert(op.times.end(), r.times.begin(), r.times.end());
+    op.parity_reads += r.rstats.parity_reads;
+    if (!r.status.ok()) {
+      if (first_error.ok()) first_error = r.status;
+      continue;
+    }
+    op.bytes_stored += r.padded_size;
+    op.shards += r.shards;
+    ++op.chunks;
     append(out, r.plain);
-    times.insert(times.end(), r.times.begin(), r.times.end());
   }
-  local.bytes_logical = out.size();
-  local.sim_time_parallel = parallel_makespan(times, config_.worker_threads);
-  for (const auto& t : times) local.sim_time_serial += t;
-  local.wall_seconds = wall.elapsed_seconds();
-  if (report != nullptr) *report = local;
+  if (!first_error.ok()) {
+    return op.finish(first_error, report, config_.worker_threads);
+  }
+  op.bytes_logical = out.size();
+  (void)op.finish(Status::Ok(), report, config_.worker_threads);
   return out;
 }
 
@@ -525,14 +734,21 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
   if (!entry_r.ok()) return entry_r.status();
   ChunkEntry entry = std::move(entry_r).value();
 
-  Stopwatch wall;
-  std::vector<SimDuration> times;
+  OpScope op(telemetry_.get(), "update_chunk", client, filename);
+  op.chunk_serial = serial;
+  std::vector<SimDuration>& times = op.times;
+  auto fail = [&](const Status& st) {
+    return op.finish(st, report, config_.worker_threads);
+  };
 
   // 1. Read the current padded payload (pre-state, chaff included).
+  StripeReadStats rstats;
   Result<Bytes> pre_state = read_stripe(entry.layout, entry.stripe,
                                         entry.shard_digests,
-                                        entry.padded_size, times);
-  if (!pre_state.ok()) return pre_state.status();
+                                        entry.padded_size, times,
+                                        ReadMode::kEager, op.ctx(), &rstats);
+  op.parity_reads = rstats.parity_reads;
+  if (!pre_state.ok()) return fail(pre_state.status());
 
   // 2. Move the pre-state to a snapshot stripe: "snapshot provider stores
   //    the pre-state and cloud provider stores the post-state of a chunk
@@ -543,10 +759,10 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
     return placement_.choose(registry_, entry.privacy_level,
                              entry.layout.total_shards());
   }();
-  if (!snap_targets.ok()) return snap_targets.status();
+  if (!snap_targets.ok()) return fail(snap_targets.status());
   Result<StripeWriteResult> snap = write_stripe(
-      pre_state.value(), entry.layout, snap_targets.value(), times);
-  if (!snap.ok()) return snap.status();
+      pre_state.value(), entry.layout, snap_targets.value(), times, op.ctx());
+  if (!snap.ok()) return fail(snap.status());
 
   // 3. Chaff and write the post-state under fresh virtual ids, then retire
   //    the old stripe.
@@ -561,10 +777,11 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
     return placement_.choose(registry_, entry.privacy_level,
                              entry.layout.total_shards());
   }();
-  if (!new_targets.ok()) return new_targets.status();
+  if (!new_targets.ok()) return fail(new_targets.status());
   Result<StripeWriteResult> written =
-      write_stripe(chaffed.data, entry.layout, new_targets.value(), times);
-  if (!written.ok()) return written.status();
+      write_stripe(chaffed.data, entry.layout, new_targets.value(), times,
+                   op.ctx());
+  if (!written.ok()) return fail(written.status());
   drop_stripe(entry.stripe, &times);
 
   ChunkEntry updated = entry;
@@ -577,20 +794,15 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
   updated.shard_digests = std::move(written.value().digests);
   updated.misleading = std::move(chaffed.positions);
   updated.padded_size = chaffed.data.size();
-  CS_RETURN_IF_ERROR(metadata_->update_chunk(ref->chunk_index,
-                                             std::move(updated)));
+  Status committed = metadata_->update_chunk(ref->chunk_index,
+                                             std::move(updated));
+  if (!committed.ok()) return fail(committed);
 
-  if (report != nullptr) {
-    report->chunks = 1;
-    report->shards = entry.layout.total_shards() * 2;
-    report->bytes_logical = new_data.size();
-    report->bytes_stored = chaffed.data.size();
-    report->sim_time_parallel =
-        parallel_makespan(times, config_.worker_threads);
-    for (const auto& t : times) report->sim_time_serial += t;
-    report->wall_seconds = wall.elapsed_seconds();
-  }
-  return Status::Ok();
+  op.chunks = 1;
+  op.shards = entry.layout.total_shards() * 2;
+  op.bytes_logical = new_data.size();
+  op.bytes_stored = chaffed.data.size();
+  return op.finish(Status::Ok(), report, config_.worker_threads);
 }
 
 Result<Bytes> CloudDataDistributor::get_chunk_snapshot(
@@ -632,16 +844,25 @@ Status CloudDataDistributor::remove_chunk(const std::string& client,
   Result<ChunkEntry> entry = metadata_->chunk_entry(ref->chunk_index);
   if (!entry.ok()) return entry.status();
 
-  drop_stripe(entry.value().stripe, nullptr);
-  if (entry.value().has_snapshot) drop_stripe(entry.value().snapshot, nullptr);
+  OpScope op(telemetry_.get(), "remove_chunk", client, filename);
+  op.chunk_serial = serial;
+  op.chunks = 1;
+  op.shards = entry.value().stripe.size() + entry.value().snapshot.size();
+  drop_stripe(entry.value().stripe, &op.times);
+  if (entry.value().has_snapshot) {
+    drop_stripe(entry.value().snapshot, &op.times);
+  }
 
   ChunkEntry tombstone = entry.value();
   tombstone.deleted = true;
   tombstone.stripe.clear();
   tombstone.snapshot.clear();
-  CS_RETURN_IF_ERROR(metadata_->update_chunk(ref->chunk_index,
-                                             std::move(tombstone)));
-  return metadata_->unlink_chunk(client, filename, serial);
+  Status updated = metadata_->update_chunk(ref->chunk_index,
+                                           std::move(tombstone));
+  if (!updated.ok()) return op.finish(updated, nullptr,
+                                      config_.worker_threads);
+  return op.finish(metadata_->unlink_chunk(client, filename, serial), nullptr,
+                   config_.worker_threads);
 }
 
 Status CloudDataDistributor::remove_file(const std::string& client,
@@ -673,11 +894,16 @@ Status CloudDataDistributor::remove_file(const std::string& client,
     if (!e.ok()) return e.status();
   }
 
-  // Drop all stripes through the pool, then retire the refs serially.
+  OpScope op(telemetry_.get(), "remove_file", client, filename);
+  op.chunks = refs.size();
+  // Drop all stripes through the pool, then retire the refs serially. Each
+  // task owns its slot in `drop_times`, so no lock is needed; the futures
+  // are joined before the slots merge into the op accumulator.
+  std::vector<std::vector<SimDuration>> drop_times(refs.size());
   auto drop_one = [&](std::size_t i) {
     const ChunkEntry& e = entries[i].value();
-    drop_stripe(e.stripe, nullptr);
-    if (e.has_snapshot) drop_stripe(e.snapshot, nullptr);
+    drop_stripe(e.stripe, &drop_times[i]);
+    if (e.has_snapshot) drop_stripe(e.snapshot, &drop_times[i]);
   };
   if (config_.pipelined && refs.size() > 1) {
     std::vector<std::future<void>> futures;
@@ -689,21 +915,34 @@ Status CloudDataDistributor::remove_file(const std::string& client,
   } else {
     for (std::size_t i = 0; i < refs.size(); ++i) drop_one(i);
   }
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    op.shards += drop_times[i].size();
+    op.times.insert(op.times.end(), drop_times[i].begin(),
+                    drop_times[i].end());
+  }
 
   for (std::size_t i = 0; i < refs.size(); ++i) {
     ChunkEntry tombstone = std::move(entries[i]).value();
     tombstone.deleted = true;
     tombstone.stripe.clear();
     tombstone.snapshot.clear();
-    CS_RETURN_IF_ERROR(metadata_->update_chunk(refs[i].chunk_index,
-                                               std::move(tombstone)));
-    CS_RETURN_IF_ERROR(metadata_->unlink_chunk(client, filename,
-                                               refs[i].serial));
+    Status updated = metadata_->update_chunk(refs[i].chunk_index,
+                                             std::move(tombstone));
+    if (!updated.ok()) return op.finish(updated, nullptr,
+                                        config_.worker_threads);
+    Status unlinked = metadata_->unlink_chunk(client, filename,
+                                              refs[i].serial);
+    if (!unlinked.ok()) return op.finish(unlinked, nullptr,
+                                         config_.worker_threads);
   }
-  return Status::Ok();
+  return op.finish(Status::Ok(), nullptr, config_.worker_threads);
 }
 
 Result<std::size_t> CloudDataDistributor::repair() {
+  OpScope op(telemetry_.get(), "repair", "", "");
+  auto fail = [&](const Status& st) {
+    return op.finish(st, nullptr, config_.worker_threads);
+  };
   std::size_t repaired = 0;
   const std::size_t n = metadata_->total_chunks();
   for (std::size_t idx = 0; idx < n; ++idx) {
@@ -773,23 +1012,33 @@ Result<std::size_t> CloudDataDistributor::repair() {
 
     Result<std::size_t> fixed = repair_stripe(entry.stripe,
                                               entry.shard_digests);
-    if (!fixed.ok()) return fixed.status();
+    if (!fixed.ok()) return fail(fixed.status());
     std::size_t total_fixed = fixed.value();
     if (entry.has_snapshot) {
       Result<std::size_t> snap_fixed =
           repair_stripe(entry.snapshot, entry.snapshot_digests);
-      if (!snap_fixed.ok()) return snap_fixed.status();
+      if (!snap_fixed.ok()) return fail(snap_fixed.status());
       total_fixed += snap_fixed.value();
     }
     if (total_fixed > 0) {
       repaired += total_fixed;
-      CS_RETURN_IF_ERROR(metadata_->update_chunk(idx, std::move(entry)));
+      Status updated = metadata_->update_chunk(idx, std::move(entry));
+      if (!updated.ok()) return fail(updated);
     }
   }
+  op.shards = repaired;
+  if (repaired != 0 && telemetry_->enabled()) {
+    telemetry_->metrics().counter("cdd.repaired_shards").inc(repaired);
+  }
+  (void)op.finish(Status::Ok(), nullptr, config_.worker_threads);
   return repaired;
 }
 
 Result<std::size_t> CloudDataDistributor::rebalance() {
+  OpScope op(telemetry_.get(), "rebalance", "", "");
+  auto fail = [&](const Status& st) {
+    return op.finish(st, nullptr, config_.worker_threads);
+  };
   std::size_t migrated = 0;
   const std::size_t n = metadata_->total_chunks();
   for (std::size_t idx = 0; idx < n; ++idx) {
@@ -863,18 +1112,24 @@ Result<std::size_t> CloudDataDistributor::rebalance() {
     };
 
     Result<std::size_t> moved = migrate_stripe(entry.stripe);
-    if (!moved.ok()) return moved.status();
+    if (!moved.ok()) return fail(moved.status());
     std::size_t total_moved = moved.value();
     if (entry.has_snapshot) {
       Result<std::size_t> snap_moved = migrate_stripe(entry.snapshot);
-      if (!snap_moved.ok()) return snap_moved.status();
+      if (!snap_moved.ok()) return fail(snap_moved.status());
       total_moved += snap_moved.value();
     }
     if (total_moved > 0) {
       migrated += total_moved;
-      CS_RETURN_IF_ERROR(metadata_->update_chunk(idx, std::move(entry)));
+      Status updated = metadata_->update_chunk(idx, std::move(entry));
+      if (!updated.ok()) return fail(updated);
     }
   }
+  op.shards = migrated;
+  if (migrated != 0 && telemetry_->enabled()) {
+    telemetry_->metrics().counter("cdd.migrated_shards").inc(migrated);
+  }
+  (void)op.finish(Status::Ok(), nullptr, config_.worker_threads);
   return migrated;
 }
 

@@ -33,6 +33,7 @@
 #include "core/chunker.hpp"
 #include "core/placement.hpp"
 #include "core/tables.hpp"
+#include "obs/telemetry.hpp"
 #include "raid/raid.hpp"
 #include "storage/provider_registry.hpp"
 #include "util/sim_clock.hpp"
@@ -58,6 +59,14 @@ struct DistributorConfig {
   /// serial per-stripe loop (the pre-pipeline baseline; kept for A/B
   /// benchmarking -- see bench_throughput).
   bool pipelined = true;
+  /// Runtime telemetry toggle. When true the distributor records per-op
+  /// trace spans and pipeline metrics into `telemetry_sink` (or, when that
+  /// is null, the process-global obs::Telemetry::global()), and wires the
+  /// provider registry + placement policy into the same sink. When false
+  /// the distributor carries a private disabled sink: every
+  /// instrumentation site reduces to one relaxed atomic load.
+  bool telemetry = true;
+  std::shared_ptr<obs::Telemetry> telemetry_sink;
   std::uint64_t seed = 0xC10D0D15;
 };
 
@@ -70,12 +79,16 @@ struct PutOptions {
   std::size_t record_align = 0;  ///< chunk sizes snap to this record width
 };
 
-/// Measured footprint of one operation.
+/// Measured footprint of one operation. Filled from the same accumulator
+/// that produces the op's root trace span (see OpScope in distributor.cpp),
+/// so the report and the span can never disagree.
 struct OpReport {
   std::size_t chunks = 0;
   std::size_t shards = 0;
   std::size_t bytes_logical = 0;  ///< client payload bytes
   std::size_t bytes_stored = 0;   ///< bytes at providers (chaff + parity)
+  std::size_t parity_reads = 0;   ///< parity shards actually fetched
+  bool rolled_back = false;       ///< op unwound already-written stripes
   SimDuration sim_time_parallel{0};  ///< modeled makespan over worker channels
   SimDuration sim_time_serial{0};    ///< modeled sum of all provider requests
   double wall_seconds = 0.0;         ///< executed CPU time (chunk/parity math)
@@ -173,6 +186,13 @@ class CloudDataDistributor {
   [[nodiscard]] storage::ProviderRegistry& registry() { return registry_; }
   [[nodiscard]] const DistributorConfig& config() const { return config_; }
 
+  /// The telemetry sink this distributor reports into. Never null; when
+  /// config().telemetry is false it is a private, permanently-disabled
+  /// instance.
+  [[nodiscard]] const std::shared_ptr<obs::Telemetry>& telemetry() const {
+    return telemetry_;
+  }
+
  private:
   struct StripeWriteResult {
     std::vector<ShardLocation> locations;
@@ -187,6 +207,13 @@ class CloudDataDistributor {
   /// the pipelined get_file uses it to cut per-stripe work by the parity
   /// fraction.
   enum class ReadMode { kEager, kLazyParity };
+
+  /// What a stripe read had to do beyond the happy path (feeds the
+  /// parity-fallback counters and OpReport::parity_reads).
+  struct StripeReadStats {
+    std::size_t parity_reads = 0;  ///< parity shards fetched
+    bool fallback = false;         ///< a data shard was missing/corrupt
+  };
 
   /// Authenticates and checks privilege against `required`.
   Result<PrivacyLevel> authorize(const std::string& client,
@@ -204,7 +231,8 @@ class CloudDataDistributor {
   Result<StripeWriteResult> write_stripe(BytesView payload,
                                          const raid::StripeLayout& layout,
                                          const std::vector<ProviderIndex>& targets,
-                                         std::vector<SimDuration>& times);
+                                         std::vector<SimDuration>& times,
+                                         const obs::SpanCtx& span = {});
 
   /// Fetches + digest-verifies + RAID-decodes one stripe into its padded
   /// payload (chaff still present). Shard fetches run on io_pool_ (same
@@ -214,7 +242,9 @@ class CloudDataDistributor {
                             const std::vector<crypto::Digest>& digests,
                             std::size_t padded_size,
                             std::vector<SimDuration>& times,
-                            ReadMode mode = ReadMode::kEager);
+                            ReadMode mode = ReadMode::kEager,
+                            const obs::SpanCtx& span = {},
+                            StripeReadStats* stats = nullptr);
 
   /// Deletes stripe shards at providers and updates the provider table.
   void drop_stripe(const std::vector<ShardLocation>& stripe,
@@ -222,6 +252,7 @@ class CloudDataDistributor {
 
   storage::ProviderRegistry& registry_;
   DistributorConfig config_;
+  std::shared_ptr<obs::Telemetry> telemetry_;
   std::shared_ptr<MetadataStore> metadata_;
   PlacementPolicy placement_;
   ThreadPool pool_;     ///< chunk-level pipeline stages

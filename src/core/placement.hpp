@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 #include "storage/provider_registry.hpp"
 #include "util/random.hpp"
 #include "util/status.hpp"
@@ -42,6 +43,26 @@ class PlacementPolicy {
                            PlacementMode mode = PlacementMode::kCostAware)
       : rng_(seed), mode_(mode) {}
 
+  /// Wires placement decisions into a metrics registry:
+  ///   placement.decisions       -- choose() calls that produced a stripe
+  ///   placement.pl_filtered     -- providers rejected by the PL trust rule,
+  ///                                summed over decisions (dispersion feed)
+  ///   placement.exhausted       -- stripes refused for lack of eligible
+  ///                                providers
+  /// nullptr detaches. The policy is already serialized by the distributor
+  /// lock; the counters themselves are atomic.
+  void set_metrics(obs::MetricsRegistry* m) {
+    if (m == nullptr) {
+      decisions_ = nullptr;
+      pl_filtered_ = nullptr;
+      exhausted_ = nullptr;
+      return;
+    }
+    decisions_ = &m->counter("placement.decisions");
+    pl_filtered_ = &m->counter("placement.pl_filtered");
+    exhausted_ = &m->counter("placement.exhausted");
+  }
+
   /// Picks `stripe_width` distinct providers for a chunk at `pl`.
   /// kResourceExhausted when fewer eligible providers exist than shards --
   /// the deployment is too small for the requested assurance.
@@ -50,12 +71,17 @@ class PlacementPolicy {
       std::size_t stripe_width) {
     CS_REQUIRE(stripe_width > 0, "choose: zero stripe width");
     std::vector<ProviderIndex> eligible = registry.eligible_for(pl);
+    if (pl_filtered_ != nullptr) {
+      pl_filtered_->inc(registry.size() - eligible.size());
+    }
     if (eligible.size() < stripe_width) {
+      if (exhausted_ != nullptr) exhausted_->inc();
       return Status::ResourceExhausted(
           "only " + std::to_string(eligible.size()) +
           " providers trusted for " + std::string(privacy_level_name(pl)) +
           ", stripe needs " + std::to_string(stripe_width));
     }
+    if (decisions_ != nullptr) decisions_->inc();  // all paths below succeed
     if (mode_ == PlacementMode::kUniformSpread) {
       rng_.shuffle(eligible);
       eligible.resize(stripe_width);
@@ -94,6 +120,9 @@ class PlacementPolicy {
   Rng rng_;
   PlacementMode mode_;
   std::size_t round_robin_ = 0;
+  obs::Counter* decisions_ = nullptr;
+  obs::Counter* pl_filtered_ = nullptr;
+  obs::Counter* exhausted_ = nullptr;
 };
 
 }  // namespace cshield::core

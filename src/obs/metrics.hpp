@@ -1,0 +1,350 @@
+// MetricsRegistry -- named counters, gauges and fixed-bucket histograms.
+//
+// The distributor pipeline (PR 1) fans one file's chunks across two thread
+// pools and a dozen simulated providers; this registry is the shared sink
+// every layer reports into: per-provider request counts and latency
+// histograms, placement decisions, RAID kernel timings, per-op rollback and
+// parity-fallback counters. Design constraints, in order:
+//
+//   1. Lock-cheap hot path. Counter::inc / Gauge::add / Histogram::observe
+//      are single relaxed atomic RMWs (histograms: two RMWs plus a CAS loop
+//      for sum/min/max). No mutex is taken per observation.
+//   2. Stable handles. counter()/gauge()/histogram() return references that
+//      stay valid for the registry's lifetime, so instrumentation sites
+//      look a metric up once and cache the pointer. The name map itself is
+//      guarded by a shared_mutex touched only on lookup.
+//   3. Snapshot-on-read. Readers copy a consistent-enough view (each value
+//      is individually atomic; cross-metric skew is acceptable for
+//      monitoring) and render it as Prometheus text or JSON without
+//      stalling writers.
+//
+// Naming scheme (DESIGN.md section 9): dot-separated lowercase paths,
+// `<subsystem>.<object>.<metric>[_<unit>]`, e.g. `provider.AWS.put_ns`,
+// `cdd.parity_fallbacks`, `raid.encode_ns`. Durations are nanoseconds.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace cshield::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous signed level (in-flight ops, queue depths).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram: ascending upper bounds plus an implicit +Inf
+/// overflow bucket. Percentiles are estimated by linear interpolation
+/// inside the owning bucket -- exact enough for latency monitoring when the
+/// buckets grow geometrically.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    CS_REQUIRE(!bounds_.empty(), "histogram needs at least one bound");
+    CS_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must ascend");
+    counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+  }
+
+  /// Geometric bounds covering [lo, hi] with the given growth factor.
+  /// The default spans 1 us .. ~67 s in x2 steps -- wide enough for both
+  /// modeled provider latencies (ms) and RAID kernel timings (us).
+  [[nodiscard]] static std::vector<double> exponential_bounds(
+      double lo = 1e3, double hi = 1e11, double factor = 2.0) {
+    CS_REQUIRE(lo > 0.0 && factor > 1.0 && hi > lo, "bad histogram bounds");
+    std::vector<double> b;
+    for (double x = lo; x <= hi; x *= factor) b.push_back(x);
+    return b;
+  }
+
+  void observe(double v) {
+    counts_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    add_double(sum_, v);
+    update_min(min_, v);
+    update_max(max_, v);
+  }
+
+  struct Snapshot {
+    std::vector<double> bounds;          ///< upper bounds, +Inf implicit
+    std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+
+    /// q in [0,1]; linear interpolation within the owning bucket, clamped
+    /// to the observed min/max so tails stay plausible.
+    [[nodiscard]] double percentile(double q) const {
+      CS_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q outside [0,1]");
+      if (count == 0) return 0.0;
+      const double rank = q * static_cast<double>(count);
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        cum += counts[i];
+        if (static_cast<double>(cum) >= rank && counts[i] > 0) {
+          const double lo = i == 0 ? std::min(min, bounds[0]) : bounds[i - 1];
+          const double hi = i < bounds.size() ? bounds[i] : max;
+          const double into =
+              1.0 - (static_cast<double>(cum) - rank) /
+                        static_cast<double>(counts[i]);
+          const double v = lo + (hi - lo) * into;
+          return std::clamp(v, min, max);
+        }
+      }
+      return max;
+    }
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    Snapshot s;
+    s.bounds = bounds_;
+    s.counts.resize(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    }
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.min = s.count ? min_.load(std::memory_order_relaxed) : 0.0;
+    s.max = s.count ? max_.load(std::memory_order_relaxed) : 0.0;
+    return s;
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  void reset() {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+    count_.store(0);
+    sum_.store(0.0);
+    min_.store(std::numeric_limits<double>::infinity());
+    max_.store(-std::numeric_limits<double>::infinity());
+  }
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(double v) const {
+    return static_cast<std::size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  }
+
+  static void add_double(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+  static void update_min(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void update_max(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Name -> metric map with stable addresses and shared-lock lookups.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name) {
+    return lookup(counters_, name, [] { return std::make_unique<Counter>(); });
+  }
+
+  [[nodiscard]] Gauge& gauge(std::string_view name) {
+    return lookup(gauges_, name, [] { return std::make_unique<Gauge>(); });
+  }
+
+  /// First registration fixes the bucket bounds; later callers get the
+  /// existing histogram regardless of the bounds they pass.
+  [[nodiscard]] Histogram& histogram(
+      std::string_view name, const std::vector<double>* bounds = nullptr) {
+    return lookup(histograms_, name, [bounds] {
+      return std::make_unique<Histogram>(
+          bounds != nullptr ? *bounds : Histogram::exponential_bounds());
+    });
+  }
+
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, Histogram::Snapshot> histograms;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    Snapshot s;
+    std::shared_lock lock(mu_);
+    for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+    for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+    for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+    return s;
+  }
+
+  /// Prometheus text exposition format. Dots in metric names become
+  /// underscores ('.' is not a legal Prometheus name character).
+  [[nodiscard]] std::string to_prometheus() const {
+    const Snapshot s = snapshot();
+    std::ostringstream os;
+    os.precision(10);
+    for (const auto& [name, v] : s.counters) {
+      const std::string n = sanitize(name);
+      os << "# TYPE " << n << " counter\n" << n << " " << v << "\n";
+    }
+    for (const auto& [name, v] : s.gauges) {
+      const std::string n = sanitize(name);
+      os << "# TYPE " << n << " gauge\n" << n << " " << v << "\n";
+    }
+    for (const auto& [name, h] : s.histograms) {
+      const std::string n = sanitize(name);
+      os << "# TYPE " << n << " histogram\n";
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+        cum += h.counts[i];
+        os << n << "_bucket{le=\"" << h.bounds[i] << "\"} " << cum << "\n";
+      }
+      os << n << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+         << n << "_sum " << h.sum << "\n"
+         << n << "_count " << h.count << "\n";
+    }
+    return os.str();
+  }
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const {
+    const Snapshot s = snapshot();
+    std::ostringstream os;
+    os.precision(10);
+    os << "{\"counters\":{";
+    emit_map(os, s.counters);
+    os << "},\"gauges\":{";
+    emit_map(os, s.gauges);
+    os << "},\"histograms\":{";
+    bool first = true;
+    for (const auto& [name, h] : s.histograms) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << name << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+         << ",\"min\":" << h.min << ",\"max\":" << h.max
+         << ",\"p50\":" << h.percentile(0.50)
+         << ",\"p95\":" << h.percentile(0.95)
+         << ",\"p99\":" << h.percentile(0.99) << ",\"buckets\":[";
+      for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        if (i) os << ",";
+        os << "[";
+        if (i < h.bounds.size()) {
+          os << h.bounds[i];
+        } else {
+          os << "null";
+        }
+        os << "," << h.counts[i] << "]";
+      }
+      os << "]}";
+    }
+    os << "}}";
+    return os.str();
+  }
+
+  /// Zeros every metric. Addresses (cached pointers) stay valid.
+  void reset() {
+    std::shared_lock lock(mu_);
+    for (const auto& [name, c] : counters_) c->reset();
+    for (const auto& [name, g] : gauges_) g->reset();
+    for (const auto& [name, h] : histograms_) h->reset();
+  }
+
+ private:
+  template <typename Map, typename Make>
+  [[nodiscard]] typename Map::mapped_type::element_type& lookup(
+      Map& map, std::string_view name, Make make) {
+    {
+      std::shared_lock lock(mu_);
+      auto it = map.find(name);
+      if (it != map.end()) return *it->second;
+    }
+    std::unique_lock lock(mu_);
+    auto it = map.find(name);
+    if (it == map.end()) {
+      it = map.emplace(std::string(name), make()).first;
+    }
+    return *it->second;
+  }
+
+  [[nodiscard]] static std::string sanitize(std::string_view name) {
+    std::string out(name);
+    for (char& c : out) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      if (!ok) c = '_';
+    }
+    return out;
+  }
+
+  template <typename M>
+  static void emit_map(std::ostringstream& os, const M& m) {
+    bool first = true;
+    for (const auto& [name, v] : m) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << name << "\":" << v;
+    }
+  }
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace cshield::obs

@@ -1,0 +1,117 @@
+// Telemetry -- the facade every instrumented layer talks to.
+//
+// One Telemetry object = one MetricsRegistry + one Tracer + an enabled
+// flag. The process-wide instance (Telemetry::global()) is what the
+// distributor, the provider registry and the RAID kernels report into by
+// default, so several distributor front-ends sharing one provider registry
+// also share one coherent metrics view (the Fig. 2 topology). Tests that
+// need isolation construct their own instance and hand it to the
+// distributor via DistributorConfig::telemetry_sink.
+//
+// Cost model:
+//   - disabled (runtime): every instrumentation site is gated on
+//     `enabled()`, a single relaxed atomic load; nothing is allocated,
+//     recorded or locked.
+//   - disabled (compile time): building with -DCSHIELD_NO_TELEMETRY makes
+//     enabled() a constant false, so the optimizer deletes the
+//     instrumentation entirely (the CMake option of the same name sets it).
+//   - enabled: counters/gauges are one atomic RMW; histograms a handful;
+//     spans take a short mutex at op/chunk/shard granularity.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cshield::obs {
+
+class Telemetry {
+ public:
+  explicit Telemetry(bool enabled = true,
+                     std::size_t span_capacity = Tracer::kDefaultCapacity)
+      : enabled_(enabled), tracer_(span_capacity) {}
+
+  [[nodiscard]] bool enabled() const {
+#ifdef CSHIELD_NO_TELEMETRY
+    return false;
+#else
+    return enabled_.load(std::memory_order_relaxed);
+#endif
+  }
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+
+  /// Zeros metrics and drops retained spans (test/bench isolation).
+  void reset() {
+    metrics_.reset();
+    tracer_.clear();
+  }
+
+  /// Process-wide instance, enabled by default (instrumentation is cheap;
+  /// turning it off is a benchmark-mode decision, not the default).
+  [[nodiscard]] static const std::shared_ptr<Telemetry>& global() {
+    static const std::shared_ptr<Telemetry> g = std::make_shared<Telemetry>();
+    return g;
+  }
+
+ private:
+  std::atomic<bool> enabled_;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+/// Parent linkage threaded through pipeline internals so shard-level spans
+/// attach to the chunk/op above them. A zero op_id means "not tracing".
+struct SpanCtx {
+  std::uint64_t op_id = 0;
+  std::uint64_t parent = 0;
+  [[nodiscard]] bool armed() const { return op_id != 0; }
+};
+
+/// RAII span: mints its id up front (so children can parent onto it),
+/// measures wall time, records on finish()/destruction. Inert when
+/// constructed against a disabled or null telemetry.
+class ScopedSpan {
+ public:
+  ScopedSpan(Telemetry* tel, SpanRecord proto)
+      : tel_(tel != nullptr && tel->enabled() ? tel : nullptr) {
+    if (tel_ == nullptr) return;
+    rec_ = std::move(proto);
+    if (rec_.span_id == 0) rec_.span_id = tel_->tracer().next_id();
+    rec_.start_ns = tel_->tracer().now_ns();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { finish(); }
+
+  [[nodiscard]] bool armed() const { return tel_ != nullptr; }
+  [[nodiscard]] std::uint64_t id() const { return armed() ? rec_.span_id : 0; }
+  [[nodiscard]] SpanCtx ctx() const {
+    return armed() ? SpanCtx{rec_.op_id, rec_.span_id} : SpanCtx{};
+  }
+
+  /// Mutable while open: set sim_ns, bytes, outcome before it records.
+  [[nodiscard]] SpanRecord& rec() { return rec_; }
+
+  void finish() {
+    if (tel_ == nullptr) return;
+    // One clock read; start_ns shares the tracer epoch, so the difference
+    // is this span's wall time without a separate stopwatch.
+    rec_.wall_ns = tel_->tracer().now_ns() - rec_.start_ns;
+    tel_->tracer().record(std::move(rec_));
+    tel_ = nullptr;
+  }
+
+ private:
+  Telemetry* tel_ = nullptr;
+  SpanRecord rec_;
+};
+
+}  // namespace cshield::obs

@@ -1,0 +1,186 @@
+// Tracer -- structured spans for distributor operations.
+//
+// Every client-visible operation (put_file, get_file, update_chunk, ...)
+// records a root span; the pipeline stages underneath it (per-chunk stripe
+// work, per-shard provider RPCs) record child spans that point back at the
+// root through `parent_id` and share its `op_id`. A span carries both
+// clocks the system runs on: `wall_ns` (executed CPU time, measured) and
+// `sim_ns` (modeled provider service time, accumulated), so a trace answers
+// "where did this put spend its time" in either domain.
+//
+// Spans land in a bounded ring buffer: recording is O(1), memory is fixed,
+// and a burst of traffic overwrites the oldest spans instead of growing.
+// The ring is mutex-guarded -- spans are recorded at op/chunk/shard
+// granularity (microseconds to milliseconds apart), not per byte, so a
+// mutex is far below the noise floor while keeping snapshot() trivially
+// consistent.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cshield::obs {
+
+/// Serial number meaning "no chunk attached to this span".
+inline constexpr std::uint64_t kNoChunk = ~std::uint64_t{0};
+
+/// Which role a shard span played in its stripe.
+enum class ShardKind : std::uint8_t { kNone = 0, kData = 1, kParity = 2 };
+
+[[nodiscard]] constexpr std::string_view shard_kind_name(ShardKind k) {
+  switch (k) {
+    case ShardKind::kNone: return "-";
+    case ShardKind::kData: return "data";
+    case ShardKind::kParity: return "parity";
+  }
+  return "?";
+}
+
+/// One recorded span. Child spans leave client/file empty -- they inherit
+/// identity from the root span with the same op_id.
+struct SpanRecord {
+  std::uint64_t op_id = 0;     ///< groups one client-visible operation
+  std::uint64_t span_id = 0;   ///< unique per span
+  std::uint64_t parent_id = 0; ///< 0 = root span
+  std::string name;            ///< "put_file", "chunk_put", "shard_get", ...
+  std::string client;
+  std::string file;
+  std::uint64_t chunk = kNoChunk;        ///< chunk serial, if any
+  ProviderIndex provider = kNoProvider;  ///< provider touched, if any
+  ShardKind shard_kind = ShardKind::kNone;
+  std::int64_t start_ns = 0;   ///< wall, relative to the tracer's epoch
+  std::int64_t wall_ns = 0;    ///< executed duration
+  std::int64_t sim_ns = 0;     ///< modeled provider service time
+  std::uint64_t bytes = 0;     ///< payload bytes the span moved
+  ErrorCode outcome = ErrorCode::kOk;
+};
+
+/// Handing-out of ids plus the bounded span ring.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Mints a fresh span/op id (never 0 -- 0 means "no parent").
+  [[nodiscard]] std::uint64_t next_id() {
+    return id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Wall nanoseconds since the tracer was created (span start stamps).
+  [[nodiscard]] std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  void record(SpanRecord rec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(rec));
+    } else {
+      ring_[total_ % capacity_] = std::move(rec);
+    }
+    ++total_;
+  }
+
+  /// Retained spans, oldest first.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SpanRecord> out;
+    out.reserve(ring_.size());
+    if (total_ <= capacity_) {
+      out = ring_;
+    } else {
+      const std::size_t head = total_ % capacity_;  // oldest retained
+      out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+                 ring_.end());
+      out.insert(out.end(), ring_.begin(),
+                 ring_.begin() + static_cast<std::ptrdiff_t>(head));
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Spans recorded over the tracer's lifetime (>= retained count).
+  [[nodiscard]] std::uint64_t recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.clear();
+    total_ = 0;
+  }
+
+  /// JSONL: one JSON object per line, oldest span first.
+  [[nodiscard]] std::string to_jsonl() const {
+    std::ostringstream os;
+    for (const SpanRecord& r : snapshot()) os << to_json(r) << "\n";
+    return os.str();
+  }
+
+  [[nodiscard]] static std::string to_json(const SpanRecord& r) {
+    std::ostringstream os;
+    os << "{\"op\":" << r.op_id << ",\"span\":" << r.span_id
+       << ",\"parent\":" << r.parent_id << ",\"name\":\"" << escape(r.name)
+       << "\"";
+    if (!r.client.empty()) os << ",\"client\":\"" << escape(r.client) << "\"";
+    if (!r.file.empty()) os << ",\"file\":\"" << escape(r.file) << "\"";
+    if (r.chunk != kNoChunk) os << ",\"chunk\":" << r.chunk;
+    if (r.provider != kNoProvider) os << ",\"provider\":" << r.provider;
+    if (r.shard_kind != ShardKind::kNone) {
+      os << ",\"shard\":\"" << shard_kind_name(r.shard_kind) << "\"";
+    }
+    os << ",\"start_ns\":" << r.start_ns << ",\"wall_ns\":" << r.wall_ns
+       << ",\"sim_ns\":" << r.sim_ns;
+    if (r.bytes != 0) os << ",\"bytes\":" << r.bytes;
+    os << ",\"outcome\":\"" << error_code_name(r.outcome) << "\"}";
+    return os.str();
+  }
+
+ private:
+  [[nodiscard]] static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> id_{1};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  std::uint64_t total_ = 0;  ///< spans ever recorded
+};
+
+}  // namespace cshield::obs

@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "common/types.hpp"
+#include "obs/telemetry.hpp"
 #include "storage/object_store.hpp"
 #include "util/random.hpp"
 #include "util/sim_clock.hpp"
@@ -98,6 +99,28 @@ class SimCloudProvider {
     realtime_scale_.store(scale, std::memory_order_relaxed);
   }
 
+  /// Wires this provider into a metrics registry: request/byte/error
+  /// counters plus modeled-latency histograms under
+  /// `provider.<name>.<metric>` -- the raw feed for health-based placement.
+  /// Attach before serving traffic (re-attaching to a *different* registry
+  /// mid-traffic is not synchronized; re-attaching the same one is a no-op).
+  void attach_telemetry(const std::shared_ptr<obs::Telemetry>& tel) {
+    if (tel == nullptr || tel.get() == tele_.owner) return;
+    obs::MetricsRegistry& m = tel->metrics();
+    const std::string prefix = "provider." + descriptor_.name + ".";
+    tele_.requests = &m.counter(prefix + "requests");
+    tele_.errors = &m.counter(prefix + "errors");
+    tele_.bytes_in = &m.counter(prefix + "bytes_in");
+    tele_.bytes_out = &m.counter(prefix + "bytes_out");
+    tele_.put_ns = &m.histogram(prefix + "put_ns");
+    tele_.get_ns = &m.histogram(prefix + "get_ns");
+    tele_.remove_ns = &m.histogram(prefix + "remove_ns");
+    tele_.owner = tel.get();
+    // Release pairs with the acquire in record(): a thread that observes
+    // armed sees every hook pointer above.
+    tele_armed_.store(true, std::memory_order_release);
+  }
+
   /// Stores an object. `service_time`, when non-null, receives the modeled
   /// request duration (valid for both success and failure).
   Status put(VirtualId id, BytesView data,
@@ -105,17 +128,25 @@ class SimCloudProvider {
     const SimDuration t = model_time(data.size());
     maybe_sleep(t);
     if (service_time != nullptr) *service_time = t;
-    CS_RETURN_IF_ERROR(check_faults());
+    Status fault = check_faults();
+    if (!fault.ok()) {
+      record(&Tele::put_ns, t, data.size(), 0, false);
+      return fault;
+    }
     counters_.puts.fetch_add(1, std::memory_order_relaxed);
     counters_.bytes_in.fetch_add(data.size(), std::memory_order_relaxed);
-    return store_.put(id, data);
+    Status st = store_.put(id, data);
+    record(&Tele::put_ns, t, data.size(), 0, st.ok());
+    return st;
   }
 
   [[nodiscard]] Result<Bytes> get(VirtualId id,
                                   SimDuration* service_time = nullptr) {
     Status fault = check_faults();
     if (!fault.ok()) {
-      if (service_time != nullptr) *service_time = model_time(0);
+      const SimDuration t = model_time(0);
+      if (service_time != nullptr) *service_time = t;
+      record(&Tele::get_ns, t, 0, 0, false);
       return fault;
     }
     Result<Bytes> r = store_.get(id);
@@ -127,6 +158,7 @@ class SimCloudProvider {
       counters_.gets.fetch_add(1, std::memory_order_relaxed);
       counters_.bytes_out.fetch_add(n, std::memory_order_relaxed);
     }
+    record(&Tele::get_ns, t, 0, n, r.ok());
     return r;
   }
 
@@ -134,9 +166,15 @@ class SimCloudProvider {
     const SimDuration t = model_time(0);
     maybe_sleep(t);
     if (service_time != nullptr) *service_time = t;
-    CS_RETURN_IF_ERROR(check_faults());
+    Status fault = check_faults();
+    if (!fault.ok()) {
+      record(&Tele::remove_ns, t, 0, 0, false);
+      return fault;
+    }
     counters_.removes.fetch_add(1, std::memory_order_relaxed);
-    return store_.remove(id);
+    Status st = store_.remove(id);
+    record(&Tele::remove_ns, t, 0, 0, st.ok());
+    return st;
   }
 
   [[nodiscard]] bool contains(VirtualId id) const { return store_.contains(id); }
@@ -209,6 +247,31 @@ class SimCloudProvider {
     return latency_.service_time(bytes, rng_);
   }
 
+  /// Per-provider telemetry hooks, cached once at attach so the request
+  /// path pays one acquire load + one enabled() check when disarmed.
+  struct Tele {
+    obs::Telemetry* owner = nullptr;  ///< identity only; lifetime is held
+                                      ///  by whoever attached us
+    obs::Counter* requests = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* bytes_in = nullptr;
+    obs::Counter* bytes_out = nullptr;
+    obs::Histogram* put_ns = nullptr;
+    obs::Histogram* get_ns = nullptr;
+    obs::Histogram* remove_ns = nullptr;
+  };
+
+  void record(obs::Histogram* Tele::*hist, SimDuration t, std::size_t in,
+              std::size_t out, bool ok) {
+    if (!tele_armed_.load(std::memory_order_acquire)) return;
+    if (!tele_.owner->enabled()) return;
+    tele_.requests->inc();
+    if (!ok) tele_.errors->inc();
+    if (in != 0) tele_.bytes_in->inc(in);
+    if (out != 0) tele_.bytes_out->inc(out);
+    (tele_.*hist)->observe(static_cast<double>(t.count()));
+  }
+
   // Sleeps outside mu_ so concurrent requests to one provider overlap.
   void maybe_sleep(SimDuration t) const {
     const double scale = realtime_scale_.load(std::memory_order_relaxed);
@@ -221,6 +284,8 @@ class SimCloudProvider {
   LatencyModel latency_;
   MemoryStore store_;
   ProviderCounters counters_;
+  Tele tele_;
+  std::atomic<bool> tele_armed_{false};
   mutable std::mutex mu_;
   FaultConfig faults_;
   Rng rng_;

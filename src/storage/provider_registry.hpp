@@ -23,6 +23,7 @@ class ProviderRegistry {
                     std::uint64_t seed) {
     providers_.push_back(std::make_unique<SimCloudProvider>(
         std::move(descriptor), latency, seed));
+    if (telemetry_ != nullptr) providers_.back()->attach_telemetry(telemetry_);
     return providers_.size() - 1;
   }
 
@@ -64,6 +65,16 @@ class ProviderRegistry {
     return out;
   }
 
+  /// Wires every current and future provider into `tel`'s metrics registry
+  /// (per-provider request counts, bytes, errors, latency histograms).
+  /// Called by the distributor when its telemetry is enabled; attaching the
+  /// same telemetry twice is a no-op, so several front-ends sharing one
+  /// registry converge on one coherent sink.
+  void attach_telemetry(const std::shared_ptr<obs::Telemetry>& tel) {
+    telemetry_ = tel;
+    for (const auto& p : providers_) p->attach_telemetry(tel);
+  }
+
   /// Total monthly storage cost across all providers.
   [[nodiscard]] double total_monthly_cost_usd() const {
     double total = 0.0;
@@ -73,6 +84,7 @@ class ProviderRegistry {
 
  private:
   std::vector<std::unique_ptr<SimCloudProvider>> providers_;
+  std::shared_ptr<obs::Telemetry> telemetry_;
 };
 
 /// Builds a registry of `n` providers with a deterministic spread of privacy

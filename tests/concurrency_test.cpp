@@ -14,6 +14,7 @@
 
 #include "core/distributor.hpp"
 #include "core/tables.hpp"
+#include "obs/telemetry.hpp"
 #include "storage/provider_registry.hpp"
 
 namespace cshield::core {
@@ -180,6 +181,72 @@ TEST(ConcurrencyTest, ParallelReadersShareOneFile) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+// Hammers one Telemetry sink from many writer threads (counters, gauges,
+// histograms, spans) while a reader thread continuously snapshots and
+// renders it. Verifies nothing is lost: counter totals, histogram counts
+// and the tracer's recorded() tally must all equal the work submitted.
+TEST(ConcurrencyTest, TelemetryHammerKeepsExactTotals) {
+  constexpr std::size_t kWriters = 8;
+  constexpr int kOpsPerWriter = 2000;
+  obs::Telemetry tel(true, /*span_capacity=*/256);
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)tel.metrics().snapshot();
+      (void)tel.metrics().to_prometheus();
+      (void)tel.metrics().to_json();
+      (void)tel.tracer().snapshot();
+      (void)tel.tracer().to_jsonl();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (std::size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&tel, t] {
+      // Shared metric plus a per-thread one: exercises both contended RMWs
+      // and the shared-lock name lookup from many threads at once.
+      obs::Counter& shared = tel.metrics().counter("hammer.shared_total");
+      obs::Counter& mine =
+          tel.metrics().counter("hammer.t" + std::to_string(t) + "_total");
+      obs::Histogram& lat = tel.metrics().histogram("hammer.lat_ns");
+      obs::Gauge& depth = tel.metrics().gauge("hammer.depth");
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        depth.add(1);
+        shared.inc();
+        mine.inc();
+        lat.observe(1e3 * static_cast<double>(i % 1000 + 1));
+        obs::SpanRecord proto;
+        proto.op_id = tel.tracer().next_id();
+        proto.name = "hammer";
+        obs::ScopedSpan span(&tel, std::move(proto));
+        span.rec().sim_ns = i;
+        depth.add(-1);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  constexpr std::uint64_t kTotal = kWriters * kOpsPerWriter;
+  const obs::MetricsRegistry::Snapshot s = tel.metrics().snapshot();
+  EXPECT_EQ(s.counters.at("hammer.shared_total"), kTotal);
+  for (std::size_t t = 0; t < kWriters; ++t) {
+    EXPECT_EQ(s.counters.at("hammer.t" + std::to_string(t) + "_total"),
+              static_cast<std::uint64_t>(kOpsPerWriter));
+  }
+  const auto& lat = s.histograms.at("hammer.lat_ns");
+  EXPECT_EQ(lat.count, kTotal);
+  std::uint64_t bucket_sum = 0;
+  for (std::uint64_t c : lat.counts) bucket_sum += c;
+  EXPECT_EQ(bucket_sum, kTotal);
+  EXPECT_EQ(s.gauges.at("hammer.depth"), 0);
+  EXPECT_EQ(tel.tracer().recorded(), kTotal);
+  EXPECT_EQ(tel.tracer().snapshot().size(), tel.tracer().capacity());
 }
 
 }  // namespace

@@ -309,6 +309,35 @@ TEST(StatsTest, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
 }
 
+TEST(StatsTest, PercentileInplaceMatchesCopyingVersion) {
+  Rng rng(0xBEEF);
+  std::vector<double> v(501);
+  for (double& x : v) x = static_cast<double>(rng.below(100000)) / 7.0;
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    std::vector<double> scratch = v;
+    EXPECT_DOUBLE_EQ(percentile_inplace(scratch, q), percentile(v, q)) << q;
+  }
+}
+
+TEST(StatsTest, PercentileInplaceRepeatedCallsStayCorrect) {
+  // nth_element reorders the span; order statistics are permutation-
+  // invariant, so asking again (even for other quantiles) must agree.
+  std::vector<double> v{9, 1, 8, 2, 7, 3, 6, 4, 5};
+  const double p50_first = percentile_inplace(v, 0.5);
+  const double p25 = percentile_inplace(v, 0.25);
+  const double p50_again = percentile_inplace(v, 0.5);
+  EXPECT_DOUBLE_EQ(p50_first, 5.0);
+  EXPECT_DOUBLE_EQ(p50_again, 5.0);
+  EXPECT_DOUBLE_EQ(p25, 3.0);
+}
+
+TEST(StatsTest, PercentileLeavesCallerVectorUntouched) {
+  const std::vector<double> v{4, 3, 2, 1};
+  const std::vector<double> before = v;
+  (void)percentile(v, 0.75);
+  EXPECT_EQ(v, before);
+}
+
 TEST(StatsTest, PearsonPerfectCorrelation) {
   std::vector<double> x{1, 2, 3, 4};
   std::vector<double> y{2, 4, 6, 8};
