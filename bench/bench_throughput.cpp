@@ -16,8 +16,14 @@
 //      disabled so its numbers stay comparable with the pre-telemetry
 //      baseline JSON.
 //
-// Results are written as JSON (default ./BENCH_throughput.json, argv[1]
-// overrides) so future PRs have a perf trajectory to diff against. The
+//   4. Fault smoke (gated): 5% seeded transient faults on every provider,
+//      4x 32-chunk put+get -- the request layer must absorb all of it with
+//      zero client-visible errors. `--fault-sweep` adds the availability-
+//      vs-fault-rate curve (EXPERIMENTS.md E14) to the JSON.
+//
+// Results are written as JSON (default ./BENCH_throughput.json, a bare
+// argument overrides the path) so future PRs have a perf trajectory to
+// diff against. The
 // matrix phase reports into a private telemetry sink whose per-provider
 // latency histograms land in the JSON under "telemetry".
 #include <algorithm>
@@ -28,6 +34,7 @@
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <tuple>
 #include <utility>
@@ -36,6 +43,7 @@
 #include "core/chunker.hpp"
 #include "core/distributor.hpp"
 #include "obs/telemetry.hpp"
+#include "storage/fault_plan.hpp"
 #include "storage/provider_registry.hpp"
 #include "util/sim_clock.hpp"
 #include "util/stats.hpp"
@@ -315,6 +323,82 @@ MatrixRow run_matrix(std::size_t clients, std::size_t files_per_client,
   return row;
 }
 
+// --- faults: availability vs injected transient fault rate -----------------
+//
+// Every request to every provider fails with probability `rate` (seeded
+// FaultPlan, so a rerun replays the same faults). The smoke row (5%) is
+// part of the exit gate: the request layer must absorb the noise with zero
+// client-visible errors. `--fault-sweep` adds the E14 curve.
+
+struct FaultRow {
+  double rate = 0.0;
+  std::size_t ops = 0;            ///< put+get operations attempted
+  std::size_t client_errors = 0;  ///< failed or wrong-bytes client ops
+  std::size_t retries = 0;
+  std::size_t hedges = 0;
+  std::size_t replaced_shards = 0;
+  std::uint64_t injected = 0;  ///< provider-side injected faults
+  std::uint64_t breaker_trips = 0;
+  [[nodiscard]] double availability() const {
+    return ops == 0 ? 1.0
+                    : 1.0 - static_cast<double>(client_errors) /
+                                static_cast<double>(ops);
+  }
+};
+
+FaultRow run_faults(double rate, std::uint64_t seed) {
+  auto sink = std::make_shared<obs::Telemetry>();
+  storage::ProviderRegistry registry = storage::make_default_registry(12);
+  if (rate > 0.0) {
+    registry.apply_fault_plan(std::make_shared<storage::FaultPlan>(
+        storage::FaultPlan::transient(seed, rate)));
+  }
+  CloudDataDistributor cdd(registry, bench_config(true, sink));
+  CS_REQUIRE(cdd.register_client("bench").ok(), "register");
+  CS_REQUIRE(cdd.add_password("bench", "pw", PrivacyLevel::kModerate).ok(),
+             "pw");
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kModerate;  // 4 KiB chunks
+
+  FaultRow row;
+  row.rate = rate;
+  for (int f = 0; f < 4; ++f) {
+    const Bytes data = make_payload(32 * 4096, seed * 131 + f);  // 32 chunks
+    const std::string name = "fault_" + std::to_string(f);
+    OpReport put_report;
+    const Status st = cdd.put_file("bench", "pw", name, data, opts,
+                                   &put_report);
+    ++row.ops;
+    row.retries += put_report.retries;
+    row.replaced_shards += put_report.replaced_shards;
+    if (!st.ok()) {
+      ++row.client_errors;
+      continue;
+    }
+    OpReport get_report;
+    Result<Bytes> back = cdd.get_file("bench", "pw", name, &get_report);
+    ++row.ops;
+    row.retries += get_report.retries;
+    row.hedges += get_report.hedges;
+    if (!back.ok() || !equal(back.value(), data)) ++row.client_errors;
+  }
+  for (ProviderIndex p = 0; p < registry.size(); ++p) {
+    row.injected += registry.at(p).counters().injected_failures.load();
+  }
+  row.breaker_trips = sink->metrics().counter("rt.breaker_trips").value();
+  return row;
+}
+
+void emit_fault_row(std::ostream& os, const FaultRow& r) {
+  os << "{\"rate\": " << r.rate << ", \"ops\": " << r.ops
+     << ", \"client_errors\": " << r.client_errors
+     << ", \"availability\": " << r.availability()
+     << ", \"retries\": " << r.retries << ", \"hedges\": " << r.hedges
+     << ", \"replaced_shards\": " << r.replaced_shards
+     << ", \"injected_failures\": " << r.injected
+     << ", \"breaker_trips\": " << r.breaker_trips << "}";
+}
+
 // --- JSON emission ----------------------------------------------------------
 
 void emit_series(std::ostream& os, const char* name, const OpSeries& s,
@@ -330,8 +414,15 @@ void emit_series(std::ostream& os, const char* name, const OpSeries& s,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path =
-      argc > 1 ? argv[1] : std::string("BENCH_throughput.json");
+  std::string out_path = "BENCH_throughput.json";
+  bool fault_sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--fault-sweep") {
+      fault_sweep = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
 
   const std::size_t gate_chunk_bytes =
       core::ChunkSizePolicy{}.chunk_size(PrivacyLevel::kHigh);
@@ -367,6 +458,27 @@ int main(int argc, char** argv) {
             << overhead.overhead_pct() << "% overhead (limit "
             << OverheadGate::kLimitPct << "%): "
             << (overhead.pass() ? "PASS" : "FAIL") << "\n";
+
+  std::cout << "\n=== fault smoke: 5% transient faults, 4x 32-chunk put+get "
+               "(pipelined, seeded) ===\n";
+  const FaultRow smoke = run_faults(0.05, 0xFA17);
+  const bool fault_ok = smoke.client_errors == 0 && smoke.injected > 0;
+  std::cout << "injected " << smoke.injected << " faults -> " << smoke.retries
+            << " retries, " << smoke.replaced_shards << " re-placed shards, "
+            << smoke.hedges << " hedges, " << smoke.client_errors
+            << " client errors: " << (fault_ok ? "PASS" : "FAIL") << "\n";
+  std::vector<FaultRow> fault_rows;
+  if (fault_sweep) {
+    std::cout << "\n=== fault sweep: availability vs rate (E14) ===\n";
+    for (double rate : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+      fault_rows.push_back(run_faults(rate, 0xFA17));
+      const FaultRow& r = fault_rows.back();
+      std::cout << "rate " << r.rate << ": availability "
+                << r.availability() << " (" << r.client_errors << "/"
+                << r.ops << " errors), retries " << r.retries
+                << ", breaker trips " << r.breaker_trips << "\n";
+    }
+  }
 
   std::cout << "\n=== matrix: clients x files x chunks (pipelined, "
                "8 workers) ===\n";
@@ -410,7 +522,20 @@ int main(int argc, char** argv) {
       << ", \"overhead_pct\": " << overhead.overhead_pct()
       << ", \"limit_pct\": " << OverheadGate::kLimitPct
       << ", \"pass\": " << (overhead.pass() ? "true" : "false") << "},\n"
-      << "  \"matrix\": [\n";
+      << "  \"fault_smoke\": ";
+  emit_fault_row(out, smoke);
+  out << ",\n  \"fault_smoke_pass\": " << (fault_ok ? "true" : "false")
+      << ",\n";
+  if (!fault_rows.empty()) {
+    out << "  \"fault_sweep\": [\n";
+    for (std::size_t i = 0; i < fault_rows.size(); ++i) {
+      out << "    ";
+      emit_fault_row(out, fault_rows[i]);
+      out << (i + 1 < fault_rows.size() ? ",\n" : "\n");
+    }
+    out << "  ],\n";
+  }
+  out << "  \"matrix\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const MatrixRow& r = rows[i];
     out << "    {\"clients\": " << r.clients
@@ -428,5 +553,5 @@ int main(int argc, char** argv) {
       << "\n}\n";
   out.close();
   std::cout << "\nwrote " << out_path << "\n";
-  return gate_ok && overhead.pass() ? 0 : 1;
+  return gate_ok && overhead.pass() && fault_ok ? 0 : 1;
 }

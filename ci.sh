@@ -10,13 +10,16 @@
 #              obs_test, so the telemetry layer runs under ASan here)
 #   3. tsan:   -DCSHIELD_SANITIZE=thread, concurrency_test (the shared-
 #              MetadataStore / two-front-end interleaving harness, telemetry
-#              on) + obs_test (metrics/tracer semantics under TSan)
+#              on) + obs_test (metrics/tracer semantics under TSan) +
+#              chaos_test (retry/hedge/breaker layer under injected faults)
 #   4. bench:  bench_throughput writes BENCH_throughput.json at the repo
 #              root and exits non-zero unless the pipelined engine beats the
 #              serial baseline by >= 3x on 64-chunk put AND get, AND the
 #              telemetry overhead gate holds (enabled vs disabled telemetry
 #              within 5% on the 64-chunk put+get pair; recorded under
-#              "overhead_gate" in the JSON).
+#              "overhead_gate" in the JSON), AND the fault smoke passes (5%
+#              seeded transient faults absorbed with zero client errors;
+#              recorded under "fault_smoke").
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -37,11 +40,13 @@ cmake -B build-asan -S . -DCSHIELD_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${jobs}"
 (cd build-asan && ctest --output-on-failure -j "${jobs}")
 
-echo "== [3/4] thread sanitizer: concurrency_test + obs_test =="
+echo "== [3/4] thread sanitizer: concurrency_test + obs_test + chaos_test =="
 cmake -B build-tsan -S . -DCSHIELD_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${jobs}" --target concurrency_test obs_test
+cmake --build build-tsan -j "${jobs}" --target concurrency_test obs_test \
+  chaos_test
 ./build-tsan/tests/concurrency_test
 ./build-tsan/tests/obs_test
+./build-tsan/tests/chaos_test
 
 echo "== [4/4] throughput gate: bench_throughput =="
 ./build/bench/bench_throughput BENCH_throughput.json

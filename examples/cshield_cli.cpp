@@ -26,12 +26,14 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "core/distributor.hpp"
 #include "core/metadata_io.hpp"
 #include "storage/disk_store.hpp"
+#include "storage/fault_plan.hpp"
 #include "storage/provider_registry.hpp"
 #include "util/table.hpp"
 
@@ -140,7 +142,8 @@ int usage() {
                "init [n] | adduser <c> <pw> <pl> | put <c> <pw> <name> "
                "<file> <pl> | get <c> <pw> <name> <file> | rm <c> <pw> "
                "<name> | ls | ls-files <c> <pw> | repair | stats "
-               "[--stats after any command]\n";
+               "[--stats] [--faults <p> [--fault-seed <s>]] after any "
+               "command\n";
   return 2;
 }
 
@@ -155,6 +158,20 @@ bool strip_stats_flag(int& argc, char** argv) {
     }
   }
   return false;
+}
+
+/// Removes a `--<name> <value>` pair from argv and returns the value (empty
+/// when the flag is absent), keeping positional parsing untouched.
+std::string strip_value_flag(int& argc, char** argv, std::string_view name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == name) {
+      std::string value = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return value;
+    }
+  }
+  return {};
 }
 
 /// Prometheus metrics dump plus the top-N slowest spans by executed wall
@@ -189,6 +206,20 @@ void print_stats(CliWorld& world, std::size_t top_n = 10) {
 
 int main(int argc, char** argv) {
   const bool want_stats = strip_stats_flag(argc, argv);
+  const std::string faults = strip_value_flag(argc, argv, "--faults");
+  const std::string fault_seed = strip_value_flag(argc, argv, "--fault-seed");
+  // `--faults <p>` injects seeded transient failures at rate p into every
+  // provider, exercising the retry/hedge/breaker path; the same
+  // `--fault-seed` replays the exact same failure pattern.
+  auto arm_faults = [&](CliWorld& world) {
+    if (faults.empty()) return;
+    storage::FaultPlan plan = storage::FaultPlan::transient(
+        fault_seed.empty() ? storage::FaultPlan{}.seed
+                           : std::stoull(fault_seed),
+        std::stod(faults));
+    world.registry.apply_fault_plan(
+        std::make_shared<storage::FaultPlan>(std::move(plan)));
+  };
   if (argc < 3) return usage();
   const fs::path root = argv[1];
   const std::string cmd = argv[2];
@@ -203,6 +234,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     CliWorld world(root);
+    arm_faults(world);
     // Every command below funnels through `done` so --stats can report on
     // whatever the command just did.
     auto done = [&](int rc) {

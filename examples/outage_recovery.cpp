@@ -90,8 +90,8 @@ int main() {
     const auto& prov = providers.at(p);
     std::cout << "  " << prov.descriptor().name << ": "
               << (prov.online() ? "online " : "OFFLINE") << "  objects="
-              << prov.object_count() << "  failures="
-              << prov.counters().failures.load() << "\n";
+              << prov.object_count() << "  injected_failures="
+              << prov.counters().injected_failures.load() << "\n";
   }
   return 0;
 }

@@ -88,6 +88,9 @@ class OpScope {
   std::size_t bytes_logical = 0;
   std::size_t bytes_stored = 0;
   std::size_t parity_reads = 0;
+  std::size_t retries = 0;
+  std::size_t hedges = 0;
+  std::size_t replaced_shards = 0;
   bool rolled_back = false;
   std::uint64_t chunk_serial = obs::kNoChunk;  ///< for chunk-granularity ops
   std::vector<SimDuration> times;  ///< every provider request's service time
@@ -107,6 +110,9 @@ class OpScope {
       report->bytes_logical = bytes_logical;
       report->bytes_stored = bytes_stored;
       report->parity_reads = parity_reads;
+      report->retries = retries;
+      report->hedges = hedges;
+      report->replaced_shards = replaced_shards;
       report->rolled_back = rolled_back;
       report->sim_time_parallel = par;
       report->sim_time_serial = serial;
@@ -152,6 +158,7 @@ CloudDataDistributor::CloudDataDistributor(
                      : std::make_shared<obs::Telemetry>(false)),
       metadata_(metadata ? std::move(metadata)
                          : std::make_shared<MetadataStore>()),
+      rt_(registry_, config_.retry, telemetry_.get(), config_.seed),
       placement_(config_.seed ^ 0x91ACE, config_.placement),
       pool_(config_.worker_threads),
       io_pool_(config_.io_threads != 0 ? config_.io_threads
@@ -219,6 +226,7 @@ Result<CloudDataDistributor::StripeWriteResult>
 CloudDataDistributor::write_stripe(BytesView payload,
                                    const raid::StripeLayout& layout,
                                    const std::vector<ProviderIndex>& targets,
+                                   PrivacyLevel pl,
                                    std::vector<SimDuration>& times,
                                    const obs::SpanCtx& span) {
   raid::EncodedStripe encoded = raid::encode(layout, payload);
@@ -237,27 +245,35 @@ CloudDataDistributor::write_stripe(BytesView payload,
     Status status = Status::Ok();
     crypto::Digest digest{};
     SimDuration time{0};
+    std::uint32_t retries = 0;
   };
   // Digest computation lives inside the upload task, so with Exec::kPool it
-  // runs off the caller thread. `span` outlives the futures: write_stripe
-  // blocks on them below.
-  auto upload = [this, &span](ProviderIndex provider, VirtualId id,
-                              Bytes shard, obs::ShardKind kind) {
+  // runs off the caller thread. Shard bytes stay in `encoded` (each task
+  // reads only its own index) so a failed shard can be re-placed below.
+  // `span` and `encoded` outlive the futures: write_stripe blocks on them.
+  auto upload = [this, &span, &encoded, &layout](std::size_t s,
+                                                 ProviderIndex provider,
+                                                 VirtualId id) {
     ShardOutcome outcome;
     obs::SpanRecord proto;
     proto.op_id = span.op_id;
     proto.parent_id = span.parent;
     proto.name = "shard_put";
     proto.provider = provider;
-    proto.shard_kind = kind;
-    proto.bytes = shard.size();
+    proto.shard_kind = s < layout.data_shards ? obs::ShardKind::kData
+                                              : obs::ShardKind::kParity;
+    proto.bytes = encoded.shards[s].size();
     obs::ScopedSpan sp(span.armed() ? telemetry_.get() : nullptr,
                        std::move(proto));
-    outcome.digest = crypto::sha256(shard);
-    outcome.status = registry_.at(provider).put(id, shard, &outcome.time);
+    outcome.digest = crypto::sha256(encoded.shards[s]);
+    RequestLayer::Outcome rpc = rt_.put(provider, id, encoded.shards[s]);
+    outcome.status = rpc.status;
+    outcome.time = rpc.time;
+    outcome.retries = rpc.retries;
     if (sp.armed()) {
-      sp.rec().sim_ns = outcome.time.count();
-      sp.rec().outcome = outcome.status.code();
+      sp.rec().sim_ns = rpc.time.count();
+      sp.rec().attempts = std::max<std::uint32_t>(rpc.attempts, 1);
+      sp.rec().outcome = rpc.status.code();
     }
     return outcome;
   };
@@ -266,12 +282,8 @@ CloudDataDistributor::write_stripe(BytesView payload,
   std::vector<std::future<ShardOutcome>> futures;
   futures.reserve(encoded.shards.size());
   for (std::size_t s = 0; s < encoded.shards.size(); ++s) {
-    const obs::ShardKind kind = s < layout.data_shards
-                                    ? obs::ShardKind::kData
-                                    : obs::ShardKind::kParity;
-    futures.push_back(io_pool_.submit(upload, targets[s],
-                                      result.locations[s].virtual_id,
-                                      std::move(encoded.shards[s]), kind));
+    futures.push_back(io_pool_.submit(upload, s, targets[s],
+                                      result.locations[s].virtual_id));
   }
   for (std::size_t s = 0; s < futures.size(); ++s) {
     outcomes[s] = futures[s].get();
@@ -281,14 +293,36 @@ CloudDataDistributor::write_stripe(BytesView payload,
   for (std::size_t s = 0; s < outcomes.size(); ++s) {
     times.push_back(outcomes[s].time);
     result.digests[s] = outcomes[s].digest;
-    if (!outcomes[s].status.ok() && first_error.ok()) {
-      first_error = outcomes[s].status;
+    result.retries += outcomes[s].retries;
+    if (outcomes[s].status.ok()) continue;
+    // Write quarantine: the target kept failing (its breaker has likely
+    // opened by now), so re-place this shard on a healthy trust-eligible
+    // provider outside the stripe rather than failing the whole write.
+    const ProviderIndex home =
+        replacement_target(pl, result.locations);
+    if (home != kNoProvider) {
+      const VirtualId fresh = next_virtual_id();
+      result.locations[s] = ShardLocation{home, fresh};
+      const ShardOutcome replaced = upload(s, home, fresh);
+      times.push_back(replaced.time);
+      result.retries += replaced.retries;
+      if (replaced.status.ok()) {
+        result.replaced += 1;
+        outcomes[s].status = Status::Ok();
+        if (telemetry_->enabled()) {
+          telemetry_->metrics().counter("cdd.replaced_shards").inc();
+        }
+        continue;
+      }
+      outcomes[s].status = replaced.status;
     }
+    if (first_error.ok()) first_error = outcomes[s].status;
   }
   if (!first_error.ok()) {
-    // Best-effort rollback of the shards that did land.
+    // Best-effort rollback of the shards that did land (with the request
+    // layer's retry budget, so a transient blip cannot orphan a shard).
     for (const auto& loc : result.locations) {
-      (void)registry_.at(loc.provider).remove(loc.virtual_id);
+      (void)rt_.remove(loc.provider, loc.virtual_id);
     }
     return first_error;
   }
@@ -296,6 +330,23 @@ CloudDataDistributor::write_stripe(BytesView payload,
     metadata_->record_placement(loc.provider, loc.virtual_id);
   }
   return result;
+}
+
+/// Picks a healthy trust-eligible provider not already in `stripe`, for the
+/// write-quarantine and repair paths. kNoProvider when none qualifies.
+/// Deterministic: first candidate in registry order.
+ProviderIndex CloudDataDistributor::replacement_target(
+    PrivacyLevel pl, const std::vector<ShardLocation>& stripe) const {
+  for (ProviderIndex cand : registry_.eligible_for(pl)) {
+    if (!registry_.at(cand).online()) continue;
+    if (registry_.quarantined(cand)) continue;
+    bool in_stripe = false;
+    for (const auto& loc : stripe) {
+      if (loc.provider == cand) in_stripe = true;
+    }
+    if (!in_stripe) return cand;
+  }
+  return kNoProvider;
 }
 
 Result<Bytes> CloudDataDistributor::read_stripe(
@@ -308,70 +359,122 @@ Result<Bytes> CloudDataDistributor::read_stripe(
   struct ShardFetch {
     std::optional<Bytes> data;
     SimDuration time{0};
+    std::uint32_t retries = 0;
   };
   std::vector<std::optional<Bytes>> shards(stripe.size());
-  // Fetches shard indices [lo, hi) concurrently through the I/O pool. A
-  // shard that is unreachable OR fails its integrity digest counts as an
-  // erasure; the RAID decode below recovers through it if it can. `span`
-  // outlives the tasks: fetch_range blocks on the futures.
-  auto fetch_range = [&](std::size_t lo, std::size_t hi) {
+  std::vector<SimDuration> fetch_time(stripe.size(), SimDuration{0});
+  std::size_t rpc_retries = 0;
+
+  // One shard fetch through the request layer (retries + breaker). A shard
+  // that is unreachable OR fails its integrity digest counts as an erasure;
+  // the RAID decode below recovers through it if it can.
+  auto fetch_one = [&](std::size_t s, std::size_t budget, const char* name) {
+    ShardFetch f;
+    obs::SpanRecord proto;
+    proto.op_id = span.op_id;
+    proto.parent_id = span.parent;
+    proto.name = name;
+    proto.provider = stripe[s].provider;
+    proto.shard_kind = s < layout.data_shards ? obs::ShardKind::kData
+                                              : obs::ShardKind::kParity;
+    obs::ScopedSpan sp(span.armed() ? telemetry_.get() : nullptr,
+                       std::move(proto));
+    RequestLayer::GetOutcome r =
+        rt_.get(stripe[s].provider, stripe[s].virtual_id, budget);
+    f.time = r.time;
+    f.retries = r.retries;
+    const bool intact =
+        r.data.has_value() && crypto::sha256(*r.data) == digests[s];
+    if (sp.armed()) {
+      sp.rec().sim_ns = r.time.count();
+      sp.rec().attempts = std::max<std::uint32_t>(r.attempts, 1);
+      sp.rec().bytes = r.data.has_value() ? r.data->size() : 0;
+      sp.rec().outcome = intact ? ErrorCode::kOk
+                                : (r.data.has_value() ? ErrorCode::kCorrupted
+                                                      : r.status.code());
+    }
+    if (intact) f.data = std::move(*r.data);
+    return f;
+  };
+  // Fetches `idxs` concurrently through the I/O pool. `span` outlives the
+  // tasks: fetch_set blocks on the futures.
+  auto fetch_set = [&](const std::vector<std::size_t>& idxs,
+                       std::size_t budget) {
     std::vector<std::future<ShardFetch>> futures;
-    futures.reserve(hi - lo);
-    for (std::size_t s = lo; s < hi; ++s) {
-      const obs::ShardKind kind = s < layout.data_shards
-                                      ? obs::ShardKind::kData
-                                      : obs::ShardKind::kParity;
-      futures.push_back(io_pool_.submit([this, &span, kind, loc = stripe[s],
-                                         digest = digests[s]] {
-        ShardFetch f;
-        obs::SpanRecord proto;
-        proto.op_id = span.op_id;
-        proto.parent_id = span.parent;
-        proto.name = "shard_get";
-        proto.provider = loc.provider;
-        proto.shard_kind = kind;
-        obs::ScopedSpan sp(span.armed() ? telemetry_.get() : nullptr,
-                           std::move(proto));
-        Result<Bytes> r = registry_.at(loc.provider).get(loc.virtual_id,
-                                                         &f.time);
-        const bool intact = r.ok() && crypto::sha256(r.value()) == digest;
-        if (sp.armed()) {
-          sp.rec().sim_ns = f.time.count();
-          sp.rec().bytes = r.ok() ? r.value().size() : 0;
-          sp.rec().outcome = intact ? ErrorCode::kOk
-                                    : (r.ok() ? ErrorCode::kCorrupted
-                                              : r.status().code());
-        }
-        if (intact) f.data = std::move(r).value();
-        return f;
-      }));
+    futures.reserve(idxs.size());
+    for (std::size_t s : idxs) {
+      futures.push_back(io_pool_.submit(
+          [&fetch_one, s, budget] { return fetch_one(s, budget, "shard_get"); }));
     }
     bool all_present = true;
-    for (std::size_t s = lo; s < hi; ++s) {
-      ShardFetch f = futures[s - lo].get();
+    for (std::size_t i = 0; i < idxs.size(); ++i) {
+      ShardFetch f = futures[i].get();
+      const std::size_t s = idxs[i];
       times.push_back(f.time);
+      fetch_time[s] = f.time;
+      rpc_retries += f.retries;
       if (!f.data.has_value()) all_present = false;
       shards[s] = std::move(f.data);
     }
     return all_present;
   };
 
+  std::vector<std::size_t> data_idx;
+  std::vector<std::size_t> parity_idx;
+  for (std::size_t s = 0; s < stripe.size(); ++s) {
+    (s < layout.data_shards ? data_idx : parity_idx).push_back(s);
+  }
+
+  const bool lazy = mode == ReadMode::kLazyParity && layout.parity_shards > 0;
   std::size_t parity_fetched = 0;
   bool data_degraded = false;
-  if (mode == ReadMode::kEager || layout.parity_shards == 0) {
-    (void)fetch_range(0, stripe.size());
-    parity_fetched = stripe.size() - layout.data_shards;
-    for (std::size_t s = 0; s < layout.data_shards; ++s) {
+  std::size_t hedges = 0;
+  if (!lazy) {
+    (void)fetch_set(data_idx, 0);
+    (void)fetch_set(parity_idx, 0);
+    parity_fetched = parity_idx.size();
+    for (std::size_t s : data_idx) {
       if (!shards[s].has_value()) data_degraded = true;
     }
   } else {
-    // Lazy-parity: a clean stripe decodes from the data shards alone --
-    // encode() lays shards out data-first -- so parity is fetched (and
-    // hashed) only when a data shard is missing or corrupt.
-    if (!fetch_range(0, layout.data_shards)) {
+    // Lazy-parity with a degraded-read budget: data shards get only
+    // `degraded_attempts` tries, because waiting out the full retry budget
+    // on a slow provider is pointless when parity can reconstruct. On a
+    // miss, escalate -- re-fetch the missing data shards at full budget
+    // alongside all parity, so one transient blip per shard never
+    // outnumbers the stripe's erasure tolerance.
+    if (!fetch_set(data_idx, config_.retry.degraded_attempts)) {
       data_degraded = true;
-      (void)fetch_range(layout.data_shards, stripe.size());
-      parity_fetched = stripe.size() - layout.data_shards;
+      std::vector<std::size_t> recover = parity_idx;
+      for (std::size_t s : data_idx) {
+        if (!shards[s].has_value()) recover.push_back(s);
+      }
+      (void)fetch_set(recover, 0);
+      parity_fetched = parity_idx.size();
+    } else {
+      // Hedged read: when the slowest data shard sits far above its
+      // provider's own latency percentile, race the parity path (a shard
+      // lives on exactly one provider, so "a second eligible provider"
+      // means the stripe's redundancy). The hedge models what a client
+      // racing both would pay; the decode uses the data shards either way.
+      std::size_t slowest = data_idx.front();
+      for (std::size_t s : data_idx) {
+        if (fetch_time[s] > fetch_time[slowest]) slowest = s;
+      }
+      if (rt_.should_hedge(stripe[slowest].provider, fetch_time[slowest])) {
+        const ShardFetch hedge =
+            fetch_one(parity_idx.front(), 0, "shard_hedge");
+        times.push_back(hedge.time);
+        rpc_retries += hedge.retries;
+        hedges = 1;
+        if (telemetry_->enabled()) {
+          obs::MetricsRegistry& m = telemetry_->metrics();
+          m.counter("cdd.hedged_reads").inc();
+          if (hedge.data.has_value() && hedge.time < fetch_time[slowest]) {
+            m.counter("cdd.hedge_wins").inc();
+          }
+        }
+      }
     }
   }
   if (telemetry_->enabled()) {
@@ -384,6 +487,8 @@ Result<Bytes> CloudDataDistributor::read_stripe(
   if (stats != nullptr) {
     stats->parity_reads = parity_fetched;
     stats->fallback = data_degraded;
+    stats->retries = rpc_retries;
+    stats->hedges = hedges;
   }
   return raid::decode(layout, shards, padded_size);
 }
@@ -391,9 +496,8 @@ Result<Bytes> CloudDataDistributor::read_stripe(
 void CloudDataDistributor::drop_stripe(const std::vector<ShardLocation>& stripe,
                                        std::vector<SimDuration>* times) {
   for (const auto& loc : stripe) {
-    SimDuration t{0};
-    (void)registry_.at(loc.provider).remove(loc.virtual_id, &t);
-    if (times != nullptr) times->push_back(t);
+    RequestLayer::Outcome rpc = rt_.remove(loc.provider, loc.virtual_id);
+    if (times != nullptr) times->push_back(rpc.time);
     metadata_->record_removal(loc.provider, loc.virtual_id);
   }
 }
@@ -434,6 +538,8 @@ Status CloudDataDistributor::put_file(const std::string& client,
     ChunkEntry entry;
     std::vector<ShardLocation> stripe;
     std::size_t bytes_stored = 0;
+    std::size_t retries = 0;
+    std::size_t replaced = 0;
     std::vector<SimDuration> times;
   };
   std::vector<ChunkOutcome> outcomes(chunks.size());
@@ -472,13 +578,15 @@ Status CloudDataDistributor::put_file(const std::string& client,
       return;
     }
     Result<StripeWriteResult> written =
-        write_stripe(chaffed.data, layout, targets.value(), out.times,
-                     chunk_span.ctx());
+        write_stripe(chaffed.data, layout, targets.value(),
+                     options.privacy_level, out.times, chunk_span.ctx());
     if (!written.ok()) {
       out.status = written.status();
       close_span();
       return;
     }
+    out.retries = written.value().retries;
+    out.replaced = written.value().replaced;
     out.entry.privacy_level = options.privacy_level;
     out.entry.layout = layout;
     out.entry.stripe = std::move(written.value().locations);
@@ -520,6 +628,8 @@ Status CloudDataDistributor::put_file(const std::string& client,
   for (ChunkOutcome& out : outcomes) {
     op.times.insert(op.times.end(), out.times.begin(), out.times.end());
     out.times.clear();  // moved into the op accumulator exactly once
+    op.retries += out.retries;
+    op.replaced_shards += out.replaced;
   }
   for (const ChunkOutcome& out : outcomes) {
     if (!out.status.ok()) {
@@ -581,6 +691,8 @@ Result<Bytes> CloudDataDistributor::get_chunk(const std::string& client,
                   entry.value().shard_digests, entry.value().padded_size,
                   op.times, ReadMode::kEager, op.ctx(), &rstats);
   op.parity_reads = rstats.parity_reads;
+  op.retries = rstats.retries;
+  op.hedges = rstats.hedges;
   op.chunks = 1;
   op.shards = entry.value().stripe.size();
   op.bytes_stored = entry.value().padded_size;
@@ -685,6 +797,8 @@ Result<Bytes> CloudDataDistributor::get_file(const std::string& client,
   for (ChunkRead& r : reads) {
     op.times.insert(op.times.end(), r.times.begin(), r.times.end());
     op.parity_reads += r.rstats.parity_reads;
+    op.retries += r.rstats.retries;
+    op.hedges += r.rstats.hedges;
     if (!r.status.ok()) {
       if (first_error.ok()) first_error = r.status;
       continue;
@@ -748,6 +862,8 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
                                         entry.padded_size, times,
                                         ReadMode::kEager, op.ctx(), &rstats);
   op.parity_reads = rstats.parity_reads;
+  op.retries = rstats.retries;
+  op.hedges = rstats.hedges;
   if (!pre_state.ok()) return fail(pre_state.status());
 
   // 2. Move the pre-state to a snapshot stripe: "snapshot provider stores
@@ -761,8 +877,11 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
   }();
   if (!snap_targets.ok()) return fail(snap_targets.status());
   Result<StripeWriteResult> snap = write_stripe(
-      pre_state.value(), entry.layout, snap_targets.value(), times, op.ctx());
+      pre_state.value(), entry.layout, snap_targets.value(),
+      entry.privacy_level, times, op.ctx());
   if (!snap.ok()) return fail(snap.status());
+  op.retries += snap.value().retries;
+  op.replaced_shards += snap.value().replaced;
 
   // 3. Chaff and write the post-state under fresh virtual ids, then retire
   //    the old stripe.
@@ -779,9 +898,11 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
   }();
   if (!new_targets.ok()) return fail(new_targets.status());
   Result<StripeWriteResult> written =
-      write_stripe(chaffed.data, entry.layout, new_targets.value(), times,
-                   op.ctx());
+      write_stripe(chaffed.data, entry.layout, new_targets.value(),
+                   entry.privacy_level, times, op.ctx());
   if (!written.ok()) return fail(written.status());
+  op.retries += written.value().retries;
+  op.replaced_shards += written.value().replaced;
   drop_stripe(entry.stripe, &times);
 
   ChunkEntry updated = entry;
@@ -955,16 +1076,21 @@ Result<std::size_t> CloudDataDistributor::repair() {
                              const std::vector<crypto::Digest>& digests)
         -> Result<std::size_t> {
       // Probe every shard through the pool (repair runs on a caller
-      // thread, so blocking on the futures is safe).
+      // thread, so blocking on the futures is safe). Probes take a single
+      // attempt through the request layer: a quarantined provider's open
+      // breaker rejects without I/O, so its shards read as broken and get
+      // re-homed -- this is how repair heals quarantined stripes.
       std::vector<std::future<std::optional<Bytes>>> probes;
       probes.reserve(stripe.size());
       for (std::size_t s = 0; s < stripe.size(); ++s) {
         probes.push_back(pool_.submit(
             [this, loc = stripe[s],
              digest = digests[s]]() -> std::optional<Bytes> {
-              Result<Bytes> r = registry_.at(loc.provider).get(loc.virtual_id);
-              if (r.ok() && crypto::sha256(r.value()) == digest) {
-                return std::move(r).value();
+              RequestLayer::GetOutcome r =
+                  rt_.get(loc.provider, loc.virtual_id, 1);
+              if (r.data.has_value() &&
+                  crypto::sha256(*r.data) == digest) {
+                return std::move(*r.data);
               }
               return std::nullopt;
             }));
@@ -981,26 +1107,16 @@ Result<std::size_t> CloudDataDistributor::repair() {
         Result<Bytes> shard =
             raid::reconstruct_shard(entry.layout, shards, s);
         if (!shard.ok()) return shard.status();
-        // New home: eligible, online, and not already a stripe member.
-        ProviderIndex home = kNoProvider;
-        for (ProviderIndex cand :
-             registry_.eligible_for(entry.privacy_level)) {
-          if (!registry_.at(cand).online()) continue;
-          bool in_stripe = false;
-          for (const auto& loc : stripe) {
-            if (loc.provider == cand) in_stripe = true;
-          }
-          if (!in_stripe) {
-            home = cand;
-            break;
-          }
-        }
+        // New home: eligible, online, healthy, not already a stripe member.
+        const ProviderIndex home =
+            replacement_target(entry.privacy_level, stripe);
         if (home == kNoProvider) {
           return Status::ResourceExhausted(
               "repair: no healthy provider outside the stripe");
         }
         const VirtualId id = next_virtual_id();
-        CS_RETURN_IF_ERROR(registry_.at(home).put(id, shard.value()));
+        RequestLayer::Outcome rpc = rt_.put(home, id, shard.value());
+        CS_RETURN_IF_ERROR(rpc.status);
         metadata_->record_removal(stripe[s].provider, stripe[s].virtual_id);
         metadata_->record_placement(home, id);
         stripe[s] = ShardLocation{home, id};
@@ -1082,27 +1198,17 @@ Result<std::size_t> CloudDataDistributor::rebalance() {
           shard = raid::reconstruct_shard(entry.layout, shards, s);
           if (!shard.ok()) return shard.status();
         }
-        ProviderIndex home = kNoProvider;
-        for (ProviderIndex cand :
-             registry_.eligible_for(entry.privacy_level)) {
-          if (!registry_.at(cand).online()) continue;
-          bool in_stripe = false;
-          for (const auto& loc : stripe) {
-            if (loc.provider == cand) in_stripe = true;
-          }
-          if (!in_stripe) {
-            home = cand;
-            break;
-          }
-        }
+        const ProviderIndex home =
+            replacement_target(entry.privacy_level, stripe);
         if (home == kNoProvider) {
           return Status::ResourceExhausted(
               "rebalance: no trusted provider available for " +
               std::string(privacy_level_name(entry.privacy_level)));
         }
         const VirtualId id = next_virtual_id();
-        CS_RETURN_IF_ERROR(registry_.at(home).put(id, shard.value()));
-        (void)registry_.at(stripe[s].provider).remove(stripe[s].virtual_id);
+        RequestLayer::Outcome rpc = rt_.put(home, id, shard.value());
+        CS_RETURN_IF_ERROR(rpc.status);
+        (void)rt_.remove(stripe[s].provider, stripe[s].virtual_id);
         metadata_->record_removal(stripe[s].provider, stripe[s].virtual_id);
         metadata_->record_placement(home, id);
         stripe[s] = ShardLocation{home, id};

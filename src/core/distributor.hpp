@@ -32,6 +32,7 @@
 
 #include "core/chunker.hpp"
 #include "core/placement.hpp"
+#include "core/request_layer.hpp"
 #include "core/tables.hpp"
 #include "obs/telemetry.hpp"
 #include "raid/raid.hpp"
@@ -67,6 +68,10 @@ struct DistributorConfig {
   /// instrumentation site reduces to one relaxed atomic load.
   bool telemetry = true;
   std::shared_ptr<obs::Telemetry> telemetry_sink;
+  /// Fault tolerance for every shard RPC: retry budget, backoff, deadline,
+  /// breaker gating and hedged reads (see core/request_layer.hpp).
+  /// `retry.enabled = false` reproduces the raw single-attempt behavior.
+  RetryPolicy retry;
   std::uint64_t seed = 0xC10D0D15;
 };
 
@@ -88,6 +93,9 @@ struct OpReport {
   std::size_t bytes_logical = 0;  ///< client payload bytes
   std::size_t bytes_stored = 0;   ///< bytes at providers (chaff + parity)
   std::size_t parity_reads = 0;   ///< parity shards actually fetched
+  std::size_t retries = 0;        ///< shard RPCs re-issued after kUnavailable
+  std::size_t hedges = 0;         ///< parity hedges raced against slow reads
+  std::size_t replaced_shards = 0;  ///< shards re-placed off failing providers
   bool rolled_back = false;       ///< op unwound already-written stripes
   SimDuration sim_time_parallel{0};  ///< modeled makespan over worker channels
   SimDuration sim_time_serial{0};    ///< modeled sum of all provider requests
@@ -198,6 +206,8 @@ class CloudDataDistributor {
     std::vector<ShardLocation> locations;
     std::vector<crypto::Digest> digests;
     std::size_t bytes_stored = 0;
+    std::size_t retries = 0;   ///< shard RPC retries across the stripe
+    std::size_t replaced = 0;  ///< shards re-placed off failing providers
   };
 
   /// Stripe read strategy. kEager fetches every shard of the stripe
@@ -211,7 +221,9 @@ class CloudDataDistributor {
   /// What a stripe read had to do beyond the happy path (feeds the
   /// parity-fallback counters and OpReport::parity_reads).
   struct StripeReadStats {
-    std::size_t parity_reads = 0;  ///< parity shards fetched
+    std::size_t parity_reads = 0;  ///< parity shards fetched for recovery
+    std::size_t retries = 0;       ///< shard RPC retries across the stripe
+    std::size_t hedges = 0;        ///< parity hedges raced vs slow shards
     bool fallback = false;         ///< a data shard was missing/corrupt
   };
 
@@ -228,9 +240,13 @@ class CloudDataDistributor {
   /// the caller thread. Safe to call from pool_ tasks: shard work runs on
   /// io_pool_, whose tasks never submit further work, so blocking on them
   /// cannot deadlock the compute pool.
+  /// `pl` is the chunk's privacy level -- needed so a shard whose provider
+  /// keeps failing can be re-placed on another *trust-eligible* provider
+  /// (the write-quarantine path) instead of failing the stripe.
   Result<StripeWriteResult> write_stripe(BytesView payload,
                                          const raid::StripeLayout& layout,
                                          const std::vector<ProviderIndex>& targets,
+                                         PrivacyLevel pl,
                                          std::vector<SimDuration>& times,
                                          const obs::SpanCtx& span = {});
 
@@ -250,10 +266,17 @@ class CloudDataDistributor {
   void drop_stripe(const std::vector<ShardLocation>& stripe,
                    std::vector<SimDuration>* times);
 
+  /// Healthy (online, not quarantined) trust-eligible provider outside
+  /// `stripe`; kNoProvider when none. Shared by write-quarantine re-placement
+  /// and repair/rebalance home selection.
+  [[nodiscard]] ProviderIndex replacement_target(
+      PrivacyLevel pl, const std::vector<ShardLocation>& stripe) const;
+
   storage::ProviderRegistry& registry_;
   DistributorConfig config_;
   std::shared_ptr<obs::Telemetry> telemetry_;
   std::shared_ptr<MetadataStore> metadata_;
+  RequestLayer rt_;  ///< retry/breaker/hedge wrapper for every shard RPC
   PlacementPolicy placement_;
   ThreadPool pool_;     ///< chunk-level pipeline stages
   ThreadPool io_pool_;  ///< shard-level provider RPCs (leaf tasks only)

@@ -56,11 +56,13 @@ class PlacementPolicy {
       decisions_ = nullptr;
       pl_filtered_ = nullptr;
       exhausted_ = nullptr;
+      quarantine_avoided_ = nullptr;
       return;
     }
     decisions_ = &m->counter("placement.decisions");
     pl_filtered_ = &m->counter("placement.pl_filtered");
     exhausted_ = &m->counter("placement.exhausted");
+    quarantine_avoided_ = &m->counter("placement.quarantine_avoided");
   }
 
   /// Picks `stripe_width` distinct providers for a chunk at `pl`.
@@ -73,6 +75,21 @@ class PlacementPolicy {
     std::vector<ProviderIndex> eligible = registry.eligible_for(pl);
     if (pl_filtered_ != nullptr) {
       pl_filtered_->inc(registry.size() - eligible.size());
+    }
+    // Health preference: a breaker-open (quarantined) provider is a bad
+    // home for new shards. Drop quarantined providers while enough healthy
+    // ones remain -- never below the stripe width, because trust
+    // eligibility is a hard rule and availability is RAID's backstop.
+    std::vector<ProviderIndex> healthy;
+    healthy.reserve(eligible.size());
+    for (ProviderIndex p : eligible) {
+      if (!registry.quarantined(p)) healthy.push_back(p);
+    }
+    if (healthy.size() >= stripe_width && healthy.size() < eligible.size()) {
+      if (quarantine_avoided_ != nullptr) {
+        quarantine_avoided_->inc(eligible.size() - healthy.size());
+      }
+      eligible = std::move(healthy);
     }
     if (eligible.size() < stripe_width) {
       if (exhausted_ != nullptr) exhausted_->inc();
@@ -123,6 +140,7 @@ class PlacementPolicy {
   obs::Counter* decisions_ = nullptr;
   obs::Counter* pl_filtered_ = nullptr;
   obs::Counter* exhausted_ = nullptr;
+  obs::Counter* quarantine_avoided_ = nullptr;
 };
 
 }  // namespace cshield::core

@@ -56,6 +56,7 @@ struct SpanRecord {
   std::uint64_t chunk = kNoChunk;        ///< chunk serial, if any
   ProviderIndex provider = kNoProvider;  ///< provider touched, if any
   ShardKind shard_kind = ShardKind::kNone;
+  std::uint32_t attempts = 1;  ///< provider RPCs issued (>1 = retried)
   std::int64_t start_ns = 0;   ///< wall, relative to the tracer's epoch
   std::int64_t wall_ns = 0;    ///< executed duration
   std::int64_t sim_ns = 0;     ///< modeled provider service time
@@ -144,6 +145,7 @@ class Tracer {
     if (r.shard_kind != ShardKind::kNone) {
       os << ",\"shard\":\"" << shard_kind_name(r.shard_kind) << "\"";
     }
+    if (r.attempts > 1) os << ",\"attempts\":" << r.attempts;
     os << ",\"start_ns\":" << r.start_ns << ",\"wall_ns\":" << r.wall_ns
        << ",\"sim_ns\":" << r.sim_ns;
     if (r.bytes != 0) os << ",\"bytes\":" << r.bytes;

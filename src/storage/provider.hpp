@@ -16,6 +16,7 @@
 
 #include "common/types.hpp"
 #include "obs/telemetry.hpp"
+#include "storage/fault_plan.hpp"
 #include "storage/object_store.hpp"
 #include "util/random.hpp"
 #include "util/sim_clock.hpp"
@@ -58,14 +59,20 @@ struct FaultConfig {
   double request_failure_prob = 0.0;  ///< transient per-request failures
 };
 
-/// Per-provider traffic counters (monotonic, thread-safe).
+/// Per-provider traffic counters (monotonic, thread-safe). Failures are
+/// split by origin: `injected_failures` counts requests the fault model
+/// (FaultConfig knobs or an installed FaultPlan) rejected; `io_errors`
+/// counts the object store itself failing a request it accepted (missing
+/// object, wiped store). Conflating the two hid real errors inside chaos
+/// noise.
 struct ProviderCounters {
   std::atomic<std::uint64_t> puts{0};
   std::atomic<std::uint64_t> gets{0};
   std::atomic<std::uint64_t> removes{0};
   std::atomic<std::uint64_t> bytes_in{0};
   std::atomic<std::uint64_t> bytes_out{0};
-  std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint64_t> injected_failures{0};
+  std::atomic<std::uint64_t> io_errors{0};
 };
 
 /// A simulated cloud provider: descriptor + object store + latency model +
@@ -110,6 +117,8 @@ class SimCloudProvider {
     const std::string prefix = "provider." + descriptor_.name + ".";
     tele_.requests = &m.counter(prefix + "requests");
     tele_.errors = &m.counter(prefix + "errors");
+    tele_.injected_failures = &m.counter(prefix + "injected_failures");
+    tele_.io_errors = &m.counter(prefix + "io_errors");
     tele_.bytes_in = &m.counter(prefix + "bytes_in");
     tele_.bytes_out = &m.counter(prefix + "bytes_out");
     tele_.put_ns = &m.histogram(prefix + "put_ns");
@@ -125,10 +134,11 @@ class SimCloudProvider {
   /// request duration (valid for both success and failure).
   Status put(VirtualId id, BytesView data,
              SimDuration* service_time = nullptr) {
-    const SimDuration t = model_time(data.size());
+    double slow = 1.0;
+    Status fault = check_faults(&slow);
+    const SimDuration t = scale_time(model_time(data.size()), slow);
     maybe_sleep(t);
     if (service_time != nullptr) *service_time = t;
-    Status fault = check_faults();
     if (!fault.ok()) {
       record(&Tele::put_ns, t, data.size(), 0, false);
       return fault;
@@ -136,43 +146,49 @@ class SimCloudProvider {
     counters_.puts.fetch_add(1, std::memory_order_relaxed);
     counters_.bytes_in.fetch_add(data.size(), std::memory_order_relaxed);
     Status st = store_.put(id, data);
+    if (!st.ok()) note_io_error();
     record(&Tele::put_ns, t, data.size(), 0, st.ok());
     return st;
   }
 
   [[nodiscard]] Result<Bytes> get(VirtualId id,
                                   SimDuration* service_time = nullptr) {
-    Status fault = check_faults();
+    double slow = 1.0;
+    Status fault = check_faults(&slow);
     if (!fault.ok()) {
-      const SimDuration t = model_time(0);
+      const SimDuration t = scale_time(model_time(0), slow);
       if (service_time != nullptr) *service_time = t;
       record(&Tele::get_ns, t, 0, 0, false);
       return fault;
     }
     Result<Bytes> r = store_.get(id);
     const std::size_t n = r.ok() ? r.value().size() : 0;
-    const SimDuration t = model_time(n);
+    const SimDuration t = scale_time(model_time(n), slow);
     maybe_sleep(t);
     if (service_time != nullptr) *service_time = t;
     if (r.ok()) {
       counters_.gets.fetch_add(1, std::memory_order_relaxed);
       counters_.bytes_out.fetch_add(n, std::memory_order_relaxed);
+    } else {
+      note_io_error();
     }
     record(&Tele::get_ns, t, 0, n, r.ok());
     return r;
   }
 
   Status remove(VirtualId id, SimDuration* service_time = nullptr) {
-    const SimDuration t = model_time(0);
+    double slow = 1.0;
+    Status fault = check_faults(&slow);
+    const SimDuration t = scale_time(model_time(0), slow);
     maybe_sleep(t);
     if (service_time != nullptr) *service_time = t;
-    Status fault = check_faults();
     if (!fault.ok()) {
       record(&Tele::remove_ns, t, 0, 0, false);
       return fault;
     }
     counters_.removes.fetch_add(1, std::memory_order_relaxed);
     Status st = store_.remove(id);
+    if (!st.ok()) note_io_error();
     record(&Tele::remove_ns, t, 0, 0, st.ok());
     return st;
   }
@@ -209,6 +225,26 @@ class SimCloudProvider {
     faults_.request_failure_prob = p;
   }
 
+  /// Installs a scripted fault schedule (see fault_plan.hpp); this provider
+  /// answers to `self` in the plan's episodes. Resets the request-sequence
+  /// counter so an identical request stream replays identical faults.
+  /// nullptr uninstalls. Composes with the legacy FaultConfig knobs (both
+  /// are consulted).
+  void install_fault_plan(std::shared_ptr<const FaultPlan> plan,
+                          ProviderIndex self) {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_ = std::move(plan);
+    plan_self_ = self;
+    plan_seq_ = 0;
+  }
+
+  /// Requests seen since the fault plan was installed (the plan's
+  /// sequence-space clock; advances on every request, faulted or not).
+  [[nodiscard]] std::uint64_t fault_requests() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return plan_seq_;
+  }
+
   /// Provider exits the market: all stored data is gone and it stays down.
   void go_out_of_business() {
     {
@@ -228,16 +264,29 @@ class SimCloudProvider {
   [[nodiscard]] const MemoryStore& raw_store() const { return store_; }
 
  private:
-  Status check_faults() {
+  /// One fault decision per request: legacy knobs first, then the scripted
+  /// plan. `slow` (never null) receives the plan's service-time multiplier
+  /// for this request, valid whether or not the request fails.
+  Status check_faults(double* slow) {
     std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t seq = plan_seq_++;
     if (!faults_.online) {
-      counters_.failures.fetch_add(1, std::memory_order_relaxed);
+      note_injected();
       return Status::Unavailable(descriptor_.name + " is offline");
     }
     if (faults_.request_failure_prob > 0.0 &&
         rng_.chance(faults_.request_failure_prob)) {
-      counters_.failures.fetch_add(1, std::memory_order_relaxed);
+      note_injected();
       return Status::Unavailable(descriptor_.name + " transient failure");
+    }
+    if (plan_ != nullptr) {
+      const FaultDecision d = plan_->decide(plan_self_, seq);
+      *slow = d.slow_factor;
+      if (d.fail) {
+        note_injected();
+        return Status::Unavailable(descriptor_.name + " fault injected (seq " +
+                                   std::to_string(seq) + ")");
+      }
     }
     return Status::Ok();
   }
@@ -247,6 +296,26 @@ class SimCloudProvider {
     return latency_.service_time(bytes, rng_);
   }
 
+  [[nodiscard]] static SimDuration scale_time(SimDuration t, double factor) {
+    if (factor == 1.0) return t;
+    return SimDuration(static_cast<std::int64_t>(
+        static_cast<double>(t.count()) * factor));
+  }
+
+  void note_injected() {
+    counters_.injected_failures.fetch_add(1, std::memory_order_relaxed);
+    if (tele_armed_.load(std::memory_order_acquire) && tele_.owner->enabled()) {
+      tele_.injected_failures->inc();
+    }
+  }
+
+  void note_io_error() {
+    counters_.io_errors.fetch_add(1, std::memory_order_relaxed);
+    if (tele_armed_.load(std::memory_order_acquire) && tele_.owner->enabled()) {
+      tele_.io_errors->inc();
+    }
+  }
+
   /// Per-provider telemetry hooks, cached once at attach so the request
   /// path pays one acquire load + one enabled() check when disarmed.
   struct Tele {
@@ -254,6 +323,8 @@ class SimCloudProvider {
                                       ///  by whoever attached us
     obs::Counter* requests = nullptr;
     obs::Counter* errors = nullptr;
+    obs::Counter* injected_failures = nullptr;
+    obs::Counter* io_errors = nullptr;
     obs::Counter* bytes_in = nullptr;
     obs::Counter* bytes_out = nullptr;
     obs::Histogram* put_ns = nullptr;
@@ -288,6 +359,9 @@ class SimCloudProvider {
   std::atomic<bool> tele_armed_{false};
   mutable std::mutex mu_;
   FaultConfig faults_;
+  std::shared_ptr<const FaultPlan> plan_;  ///< guarded by mu_
+  ProviderIndex plan_self_ = kNoProvider;
+  std::uint64_t plan_seq_ = 0;  ///< requests seen since plan install
   Rng rng_;
   std::atomic<double> realtime_scale_{0.0};
 };

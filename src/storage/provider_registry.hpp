@@ -8,12 +8,112 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
+#include "storage/fault_plan.hpp"
 #include "storage/provider.hpp"
 
 namespace cshield::storage {
+
+/// Per-provider circuit breaker: quarantines a persistently failing
+/// provider so callers fail fast instead of burning retry budget on it.
+///
+/// States: Closed (normal) -> Open after `failure_threshold` consecutive
+/// kUnavailable outcomes -> HalfOpen when a probe is admitted -> Closed on
+/// probe success, back to Open on probe failure. Half-open probes are
+/// *count*-based, not time-based: every `probe_after`-th rejected request
+/// is admitted as the probe, which keeps the breaker's whole trajectory a
+/// pure function of the request stream -- the property the deterministic
+/// chaos harness replays.
+///
+/// Breakers live in the registry (not in any one distributor) so several
+/// front-ends sharing a registry (the Fig. 2 topology) share one health
+/// view, and the placement policy can consult quarantine state directly.
+class CircuitBreaker {
+ public:
+  struct Config {
+    std::uint32_t failure_threshold = 4;  ///< consecutive failures to trip
+    std::uint32_t probe_after = 8;        ///< rejections per half-open probe
+  };
+
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+  enum class Decision : std::uint8_t { kProceed, kProbe, kReject };
+
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(Config config) : config_(config) {}
+
+  /// Gate for one request. kProbe means "you are the half-open trial";
+  /// report its outcome like any admitted request.
+  [[nodiscard]] Decision admit() {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (state_) {
+      case State::kClosed:
+        return Decision::kProceed;
+      case State::kHalfOpen:
+        return Decision::kReject;  // one probe in flight at a time
+      case State::kOpen:
+        if (++rejections_ >= config_.probe_after) {
+          rejections_ = 0;
+          state_ = State::kHalfOpen;
+          return Decision::kProbe;
+        }
+        return Decision::kReject;
+    }
+    return Decision::kProceed;
+  }
+
+  /// Reports success of an admitted request. Returns true when this closed
+  /// a previously tripped breaker (the heal event).
+  bool on_success() {
+    std::lock_guard<std::mutex> lock(mu_);
+    consecutive_failures_ = 0;
+    rejections_ = 0;
+    const bool healed = state_ != State::kClosed;
+    state_ = State::kClosed;
+    return healed;
+  }
+
+  /// Reports a kUnavailable outcome of an admitted request. Returns true
+  /// when this tripped the breaker open (the quarantine event); a failed
+  /// half-open probe re-opens without counting as a fresh trip.
+  bool on_failure() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::kHalfOpen) {
+      state_ = State::kOpen;
+      rejections_ = 0;
+      return false;
+    }
+    if (state_ == State::kOpen) return false;
+    if (++consecutive_failures_ >= config_.failure_threshold) {
+      consecutive_failures_ = 0;
+      rejections_ = 0;
+      state_ = State::kOpen;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] State state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = State::kClosed;
+    consecutive_failures_ = 0;
+    rejections_ = 0;
+  }
+
+ private:
+  Config config_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint64_t rejections_ = 0;
+};
 
 class ProviderRegistry {
  public:
@@ -23,7 +123,12 @@ class ProviderRegistry {
                     std::uint64_t seed) {
     providers_.push_back(std::make_unique<SimCloudProvider>(
         std::move(descriptor), latency, seed));
+    breakers_.push_back(std::make_unique<CircuitBreaker>(breaker_config_));
     if (telemetry_ != nullptr) providers_.back()->attach_telemetry(telemetry_);
+    if (fault_plan_ != nullptr) {
+      providers_.back()->install_fault_plan(fault_plan_,
+                                            providers_.size() - 1);
+    }
     return providers_.size() - 1;
   }
 
@@ -82,8 +187,45 @@ class ProviderRegistry {
     return total;
   }
 
+  // --- fault-tolerant request layer hooks -------------------------------
+
+  /// Installs a scripted fault schedule into every current provider and
+  /// resets all breakers, so a replay starts from a clean slate. nullptr
+  /// uninstalls. Future add()s inherit the plan.
+  void apply_fault_plan(std::shared_ptr<const FaultPlan> plan) {
+    fault_plan_ = std::move(plan);
+    for (ProviderIndex i = 0; i < providers_.size(); ++i) {
+      providers_[i]->install_fault_plan(fault_plan_, i);
+    }
+    for (const auto& b : breakers_) b->reset();
+  }
+
+  void clear_fault_plan() { apply_fault_plan(nullptr); }
+
+  /// Replaces every breaker with a fresh one under `config` (configure
+  /// before serving traffic; existing breaker state is discarded).
+  void set_breaker_config(CircuitBreaker::Config config) {
+    breaker_config_ = config;
+    for (auto& b : breakers_) b = std::make_unique<CircuitBreaker>(config);
+  }
+
+  [[nodiscard]] CircuitBreaker& breaker(ProviderIndex i) {
+    CS_REQUIRE(i < breakers_.size(), "breaker index out of range");
+    return *breakers_[i];
+  }
+
+  /// True while the provider's breaker is open: writes should prefer other
+  /// homes and repair should treat its shards as lost.
+  [[nodiscard]] bool quarantined(ProviderIndex i) const {
+    CS_REQUIRE(i < breakers_.size(), "breaker index out of range");
+    return breakers_[i]->state() == CircuitBreaker::State::kOpen;
+  }
+
  private:
   std::vector<std::unique_ptr<SimCloudProvider>> providers_;
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  CircuitBreaker::Config breaker_config_;
+  std::shared_ptr<const FaultPlan> fault_plan_;
   std::shared_ptr<obs::Telemetry> telemetry_;
 };
 

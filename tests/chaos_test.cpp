@@ -1,0 +1,496 @@
+// Chaos suite for the fault-tolerant request layer: FaultPlan decision
+// semantics, circuit-breaker state machine, scripted end-to-end scenarios
+// (flaky-recovers-mid-put, slow-triggers-hedge, breaker-opens-then-heals,
+// repair-heals-quarantine), and the acceptance property -- 5% transient
+// noise over a 256-chunk put/get with zero client-visible errors and
+// byte-for-byte replayable retry counts and trace spans.
+//
+// Every scenario runs the replay harness configuration: one worker thread,
+// one I/O thread, pipelined engine. The pools drain FIFO, so each
+// provider's request sequence -- the FaultPlan's clock -- is a pure
+// function of the workload, and two runs with the same plan seed produce
+// identical faults, retries, and span streams.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <regex>
+#include <string>
+
+#include "core/distributor.hpp"
+#include "obs/telemetry.hpp"
+#include "storage/fault_plan.hpp"
+#include "storage/provider_registry.hpp"
+
+namespace cshield {
+namespace {
+
+using core::CloudDataDistributor;
+using core::DistributorConfig;
+using core::OpReport;
+using core::PutOptions;
+using storage::CircuitBreaker;
+using storage::FaultEpisode;
+using storage::FaultKind;
+using storage::FaultPlan;
+
+Bytes payload_of(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  return out;
+}
+
+/// All-PL3 fleet with deterministic latency seeds so every scenario's
+/// modeled times replay exactly.
+storage::ProviderRegistry flat_registry(std::size_t n) {
+  storage::ProviderRegistry registry;
+  for (std::size_t i = 0; i < n; ++i) {
+    storage::ProviderDescriptor d;
+    d.name = "P" + std::to_string(i);
+    d.privacy_level = PrivacyLevel::kHigh;
+    d.cost_level = static_cast<CostLevel>(i % 4);
+    registry.add(std::move(d), storage::LatencyModel{}, 0xBEEF0000ULL + i);
+  }
+  return registry;
+}
+
+/// Deterministic-replay distributor config: single-threaded pools (FIFO
+/// request order), pipelined engine (exercises lazy-parity reads and
+/// hedging), private telemetry sink.
+DistributorConfig replay_config(std::shared_ptr<obs::Telemetry> sink) {
+  DistributorConfig config;
+  config.stripe_data_shards = 3;
+  config.worker_threads = 1;
+  config.io_threads = 1;
+  config.pipelined = true;
+  config.telemetry = true;
+  config.telemetry_sink = std::move(sink);
+  config.seed = 0xC405;
+  return config;
+}
+
+// --- FaultPlan decision semantics -------------------------------------------
+
+TEST(FaultPlanTest, DecisionsArePureFunctions) {
+  const FaultPlan plan = FaultPlan::transient(0x5EED, 0.3);
+  for (std::uint64_t seq = 0; seq < 200; ++seq) {
+    const storage::FaultDecision first = plan.decide(2, seq);
+    for (int again = 0; again < 3; ++again) {
+      EXPECT_EQ(plan.decide(2, seq).fail, first.fail) << seq;
+    }
+  }
+}
+
+TEST(FaultPlanTest, TransientRateTracksProbability) {
+  const FaultPlan plan = FaultPlan::transient(0xAB, 0.3);
+  int failed = 0;
+  constexpr int kTrials = 10000;
+  for (std::uint64_t seq = 0; seq < kTrials; ++seq) {
+    if (plan.decide(0, seq).fail) ++failed;
+  }
+  const double rate = static_cast<double>(failed) / kTrials;
+  EXPECT_NEAR(rate, 0.3, 0.03);
+}
+
+TEST(FaultPlanTest, SeedChangesTransientPattern) {
+  const FaultPlan a = FaultPlan::transient(1, 0.5);
+  const FaultPlan b = FaultPlan::transient(2, 0.5);
+  int differ = 0;
+  for (std::uint64_t seq = 0; seq < 1000; ++seq) {
+    if (a.decide(0, seq).fail != b.decide(0, seq).fail) ++differ;
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(FaultPlanTest, CrashWindowIsHalfOpen) {
+  FaultPlan plan;
+  FaultEpisode ep;
+  ep.provider = 1;
+  ep.kind = FaultKind::kCrash;
+  ep.begin = 5;
+  ep.end = 8;
+  plan.episodes.push_back(ep);
+  EXPECT_FALSE(plan.decide(1, 4).fail);
+  EXPECT_TRUE(plan.decide(1, 5).fail);
+  EXPECT_TRUE(plan.decide(1, 7).fail);
+  EXPECT_FALSE(plan.decide(1, 8).fail);
+  // Scoped to provider 1 only.
+  EXPECT_FALSE(plan.decide(0, 6).fail);
+}
+
+TEST(FaultPlanTest, FlakyBurstsFollowPeriod) {
+  FaultPlan plan;
+  FaultEpisode ep;
+  ep.kind = FaultKind::kFlaky;
+  ep.begin = 10;
+  ep.end = storage::kNoSeqEnd;
+  ep.period = 4;
+  ep.burst = 2;
+  plan.episodes.push_back(ep);
+  // First `burst` requests of every `period` cycle fail, aligned to begin.
+  for (std::uint64_t seq = 10; seq < 30; ++seq) {
+    EXPECT_EQ(plan.decide(0, seq).fail, (seq - 10) % 4 < 2) << seq;
+  }
+  EXPECT_FALSE(plan.decide(0, 9).fail);  // before the window
+}
+
+TEST(FaultPlanTest, OverlappingSlowEpisodesMultiply) {
+  FaultPlan plan;
+  FaultEpisode a;
+  a.kind = FaultKind::kSlow;
+  a.slow_factor = 2.0;
+  FaultEpisode b;
+  b.kind = FaultKind::kSlow;
+  b.slow_factor = 3.0;
+  plan.episodes = {a, b};
+  const storage::FaultDecision d = plan.decide(0, 0);
+  EXPECT_FALSE(d.fail);
+  EXPECT_DOUBLE_EQ(d.slow_factor, 6.0);
+}
+
+TEST(FaultPlanTest, ProviderReplaysIdenticalFaultsAfterReinstall) {
+  auto plan = std::make_shared<FaultPlan>(FaultPlan::transient(0xF00, 0.5));
+  storage::ProviderDescriptor d;
+  d.name = "replay";
+  storage::SimCloudProvider prov(std::move(d), storage::LatencyModel{}, 77);
+  auto pattern = [&] {
+    std::string out;
+    for (int i = 0; i < 100; ++i) {
+      out += prov.put(static_cast<VirtualId>(i + 1), Bytes{1, 2, 3}).ok()
+                 ? 'o'
+                 : 'x';
+    }
+    return out;
+  };
+  prov.install_fault_plan(plan, 0);
+  const std::string first = pattern();
+  EXPECT_NE(first.find('x'), std::string::npos);
+  EXPECT_NE(first.find('o'), std::string::npos);
+  // Reinstall resets the sequence clock: the same request stream replays
+  // the exact same fault pattern.
+  prov.install_fault_plan(plan, 0);
+  EXPECT_EQ(pattern(), first);
+}
+
+// --- circuit breaker state machine ------------------------------------------
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresOnly) {
+  CircuitBreaker b(CircuitBreaker::Config{3, 4});
+  EXPECT_FALSE(b.on_failure());
+  EXPECT_FALSE(b.on_failure());
+  b.on_success();  // breaks the streak
+  EXPECT_FALSE(b.on_failure());
+  EXPECT_FALSE(b.on_failure());
+  EXPECT_TRUE(b.on_failure());  // third consecutive: the trip event
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreakerTest, OpenRejectsUntilCountBasedProbe) {
+  CircuitBreaker b(CircuitBreaker::Config{1, 3});
+  EXPECT_TRUE(b.on_failure());
+  EXPECT_EQ(b.admit(), CircuitBreaker::Decision::kReject);
+  EXPECT_EQ(b.admit(), CircuitBreaker::Decision::kReject);
+  EXPECT_EQ(b.admit(), CircuitBreaker::Decision::kProbe);  // every 3rd
+  // While the probe is in flight the breaker stays half-open and admits
+  // nothing else.
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(b.admit(), CircuitBreaker::Decision::kReject);
+}
+
+TEST(CircuitBreakerTest, ProbeOutcomeHealsOrReopens) {
+  CircuitBreaker b(CircuitBreaker::Config{1, 2});
+  EXPECT_TRUE(b.on_failure());
+  (void)b.admit();
+  EXPECT_EQ(b.admit(), CircuitBreaker::Decision::kProbe);
+  // Failed probe re-opens without counting as a fresh trip.
+  EXPECT_FALSE(b.on_failure());
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  (void)b.admit();
+  EXPECT_EQ(b.admit(), CircuitBreaker::Decision::kProbe);
+  // Successful probe closes: the heal event.
+  EXPECT_TRUE(b.on_success());
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(b.admit(), CircuitBreaker::Decision::kProceed);
+}
+
+// --- scripted end-to-end scenarios ------------------------------------------
+
+TEST(ChaosScenarioTest, FlakyProvidersRecoverMidPut) {
+  auto sink = std::make_shared<obs::Telemetry>(true);
+  storage::ProviderRegistry registry = flat_registry(8);
+  // Every provider's first request fails, its second succeeds: one flaky
+  // burst that recovers mid-put.
+  auto plan = std::make_shared<FaultPlan>();
+  plan->seed = 0x5EED;
+  FaultEpisode ep;
+  ep.provider = storage::kEveryProvider;
+  ep.kind = FaultKind::kFlaky;
+  ep.begin = 0;
+  ep.end = 2;
+  ep.period = 2;
+  ep.burst = 1;
+  plan->episodes.push_back(ep);
+  registry.apply_fault_plan(plan);
+
+  CloudDataDistributor cdd(registry, replay_config(sink));
+  ASSERT_TRUE(cdd.register_client("C").ok());
+  ASSERT_TRUE(cdd.add_password("C", "pw", PrivacyLevel::kHigh).ok());
+  const Bytes data = payload_of(800, 42);  // one PL3 chunk -> one stripe
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;
+  OpReport report;
+  ASSERT_TRUE(cdd.put_file("C", "pw", "f", data, opts, &report).ok());
+
+  // RAID-5 over k=3: exactly 4 shards on 4 distinct fresh providers, each
+  // failing its first request -- exactly 4 retries, nothing re-placed.
+  EXPECT_EQ(report.retries, 4u);
+  EXPECT_EQ(report.replaced_shards, 0u);
+  EXPECT_FALSE(report.rolled_back);
+  EXPECT_EQ(sink->metrics().counter("rt.retries").value(), 4u);
+  EXPECT_EQ(sink->metrics().counter("rt.giveups").value(), 0u);
+  std::uint64_t injected = 0;
+  for (ProviderIndex p = 0; p < registry.size(); ++p) {
+    injected += registry.at(p).counters().injected_failures.load();
+  }
+  EXPECT_EQ(injected, 4u);
+
+  Result<Bytes> back = cdd.get_file("C", "pw", "f");
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_TRUE(equal(back.value(), data));
+}
+
+TEST(ChaosScenarioTest, SlowProviderTriggersHedgedRead) {
+  auto sink = std::make_shared<obs::Telemetry>(true);
+  storage::ProviderRegistry registry = flat_registry(8);
+  DistributorConfig config = replay_config(sink);
+  config.retry.hedge_min_samples = 4;  // arm hedging after a short warm-up
+  CloudDataDistributor cdd(registry, config);
+  ASSERT_TRUE(cdd.register_client("C").ok());
+  ASSERT_TRUE(cdd.add_password("C", "pw", PrivacyLevel::kHigh).ok());
+  const Bytes data = payload_of(3 * 1024, 7);  // 3 chunks -> pipelined reads
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;
+  ASSERT_TRUE(cdd.put_file("C", "pw", "f", data, opts).ok());
+
+  // Warm every provider's get_ns histogram with fault-free reads. The
+  // slow fetch itself lands in the histogram before the hedge decision
+  // reads it, so the fast history must be deep enough that one outlier
+  // cannot drag its own p95 up past the hedge threshold.
+  for (int i = 0; i < 24; ++i) {
+    Result<Bytes> warm = cdd.get_file("C", "pw", "f");
+    ASSERT_TRUE(warm.ok()) << warm.status().to_string();
+  }
+
+  // Find where chunk 0's first data shard lives and make that provider 8x
+  // slower than its own history.
+  const auto refs = cdd.metadata().file_chunks("C", "f");
+  ASSERT_FALSE(refs.empty());
+  Result<core::ChunkEntry> entry =
+      cdd.metadata().chunk_entry(refs.front().chunk_index);
+  ASSERT_TRUE(entry.ok());
+  const ProviderIndex laggard = entry.value().stripe.front().provider;
+  auto plan = std::make_shared<FaultPlan>();
+  FaultEpisode ep;
+  ep.provider = laggard;
+  ep.kind = FaultKind::kSlow;
+  ep.slow_factor = 8.0;
+  plan->episodes.push_back(ep);
+  registry.apply_fault_plan(plan);
+
+  OpReport report;
+  Result<Bytes> back = cdd.get_file("C", "pw", "f", &report);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_TRUE(equal(back.value(), data));
+  // Slowness is not failure: the read hedged, it did not retry or fall
+  // back to parity reconstruction.
+  EXPECT_GE(report.hedges, 1u);
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(sink->metrics().counter("cdd.hedged_reads").value(),
+            report.hedges);
+  EXPECT_EQ(sink->metrics().counter("cdd.parity_fallbacks").value(), 0u);
+}
+
+TEST(ChaosScenarioTest, BreakerOpensThenHalfOpenProbeHeals) {
+  auto sink = std::make_shared<obs::Telemetry>(true);
+  storage::ProviderRegistry registry = flat_registry(8);
+  registry.set_breaker_config(CircuitBreaker::Config{2, 4});
+  CloudDataDistributor cdd(registry, replay_config(sink));
+  ASSERT_TRUE(cdd.register_client("C").ok());
+  ASSERT_TRUE(cdd.add_password("C", "pw", PrivacyLevel::kHigh).ok());
+  const Bytes data = payload_of(800, 9);
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;
+  ASSERT_TRUE(cdd.put_file("C", "pw", "f", data, opts).ok());
+
+  const auto refs = cdd.metadata().file_chunks("C", "f");
+  ASSERT_FALSE(refs.empty());
+  Result<core::ChunkEntry> entry =
+      cdd.metadata().chunk_entry(refs.front().chunk_index);
+  ASSERT_TRUE(entry.ok());
+  const ProviderIndex victim = entry.value().stripe.front().provider;
+
+  // The victim crashes for its next 4 requests (sequence space), then
+  // recovers. Breaker: trip after 2 consecutive failures, probe every 4th
+  // rejection.
+  auto plan = std::make_shared<FaultPlan>();
+  FaultEpisode ep;
+  ep.provider = victim;
+  ep.kind = FaultKind::kCrash;
+  ep.begin = 0;
+  ep.end = 4;
+  plan->episodes.push_back(ep);
+  registry.apply_fault_plan(plan);  // also resets breaker state
+
+  // Every read succeeds throughout -- parity covers the quarantined shard
+  // -- and the breaker walks trip -> rejections -> failed probes ->
+  // successful probe -> closed, entirely driven by request counts.
+  int healed_at = -1;
+  for (int i = 0; i < 20; ++i) {
+    Result<Bytes> back = cdd.get_file("C", "pw", "f");
+    ASSERT_TRUE(back.ok()) << "read " << i << ": "
+                           << back.status().to_string();
+    EXPECT_TRUE(equal(back.value(), data));
+    if (sink->metrics().counter("rt.breaker_closes").value() == 1) {
+      healed_at = i;
+      break;
+    }
+  }
+  ASSERT_NE(healed_at, -1) << "breaker never healed";
+  EXPECT_EQ(sink->metrics().counter("rt.breaker_trips").value(), 1u);
+  EXPECT_EQ(sink->metrics().counter("rt.probes").value(), 3u);
+  EXPECT_EQ(sink->metrics().counter("rt.breaker_closes").value(), 1u);
+  EXPECT_GT(sink->metrics().counter("rt.fail_fast").value(), 0u);
+  EXPECT_EQ(sink->metrics().gauge("rt.open_breakers").value(), 0);
+  EXPECT_FALSE(registry.quarantined(victim));
+}
+
+TEST(ChaosScenarioTest, RepairHealsQuarantinedStripes) {
+  auto sink = std::make_shared<obs::Telemetry>(true);
+  storage::ProviderRegistry registry = flat_registry(8);
+  registry.set_breaker_config(CircuitBreaker::Config{2, 4});
+  CloudDataDistributor cdd(registry, replay_config(sink));
+  ASSERT_TRUE(cdd.register_client("C").ok());
+  ASSERT_TRUE(cdd.add_password("C", "pw", PrivacyLevel::kHigh).ok());
+  const Bytes data = payload_of(800, 11);
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;
+  ASSERT_TRUE(cdd.put_file("C", "pw", "f", data, opts).ok());
+
+  const auto refs = cdd.metadata().file_chunks("C", "f");
+  ASSERT_FALSE(refs.empty());
+  Result<core::ChunkEntry> entry =
+      cdd.metadata().chunk_entry(refs.front().chunk_index);
+  ASSERT_TRUE(entry.ok());
+  const ProviderIndex victim = entry.value().stripe.front().provider;
+
+  // Permanent crash. One degraded read trips the breaker (2 consecutive
+  // failures) -- the provider is quarantined.
+  auto plan = std::make_shared<FaultPlan>();
+  FaultEpisode ep;
+  ep.provider = victim;
+  ep.kind = FaultKind::kCrash;
+  plan->episodes.push_back(ep);
+  registry.apply_fault_plan(plan);
+  Result<Bytes> degraded = cdd.get_file("C", "pw", "f");
+  ASSERT_TRUE(degraded.ok()) << degraded.status().to_string();
+  EXPECT_TRUE(equal(degraded.value(), data));
+  ASSERT_TRUE(registry.quarantined(victim));
+
+  // Repair treats the quarantined provider's shards as lost (its open
+  // breaker fails the single-attempt probe fast), reconstructs them from
+  // the stripe, and re-homes them on healthy providers.
+  Result<std::size_t> repaired = cdd.repair();
+  ASSERT_TRUE(repaired.ok()) << repaired.status().to_string();
+  EXPECT_EQ(repaired.value(), 1u);
+  EXPECT_EQ(sink->metrics().counter("cdd.repaired_shards").value(), 1u);
+  Result<core::ChunkEntry> healed =
+      cdd.metadata().chunk_entry(refs.front().chunk_index);
+  ASSERT_TRUE(healed.ok());
+  for (const auto& loc : healed.value().stripe) {
+    EXPECT_NE(loc.provider, victim);
+  }
+  // Full redundancy is back even though the victim never recovers.
+  Result<Bytes> back = cdd.get_file("C", "pw", "f");
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_TRUE(equal(back.value(), data));
+}
+
+// --- acceptance: 5% noise, zero client errors, byte-for-byte replay ---------
+
+/// Everything the acceptance run must reproduce across replays. Spans are
+/// normalized by stripping the two wall-clock fields (start_ns, wall_ns);
+/// all modeled fields must match exactly.
+struct AcceptanceRun {
+  std::uint64_t rt_retries = 0;
+  std::size_t put_retries = 0;
+  std::size_t get_retries = 0;
+  std::size_t put_replaced = 0;
+  std::uint64_t injected = 0;
+  std::string spans;
+};
+
+std::string normalize_spans(const std::string& jsonl) {
+  static const std::regex kWallClock("\"(start_ns|wall_ns)\":-?[0-9]+,?");
+  return std::regex_replace(jsonl, kWallClock, "");
+}
+
+AcceptanceRun run_acceptance(std::uint64_t fault_seed) {
+  auto sink = std::make_shared<obs::Telemetry>(true);
+  storage::ProviderRegistry registry = storage::make_default_registry(12);
+  registry.apply_fault_plan(
+      std::make_shared<FaultPlan>(FaultPlan::transient(fault_seed, 0.05)));
+  CloudDataDistributor cdd(registry, replay_config(sink));
+  EXPECT_TRUE(cdd.register_client("C").ok());
+  EXPECT_TRUE(cdd.add_password("C", "pw", PrivacyLevel::kHigh).ok());
+
+  // 256 PL2 chunks (4 KiB each) under 5% transient noise: the layer must
+  // absorb every fault -- zero client-visible errors.
+  const Bytes data = payload_of(256 * 4096, 2026);
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kModerate;
+  OpReport put_report;
+  const Status put = cdd.put_file("C", "pw", "big", data, opts, &put_report);
+  EXPECT_TRUE(put.ok()) << put.to_string();
+  OpReport get_report;
+  Result<Bytes> back = cdd.get_file("C", "pw", "big", &get_report);
+  EXPECT_TRUE(back.ok()) << back.status().to_string();
+  if (back.ok()) EXPECT_TRUE(equal(back.value(), data));
+  EXPECT_EQ(sink->metrics().counter("cdd.put_file_errors").value(), 0u);
+  EXPECT_EQ(sink->metrics().counter("cdd.get_file_errors").value(), 0u);
+
+  AcceptanceRun run;
+  run.rt_retries = sink->metrics().counter("rt.retries").value();
+  run.put_retries = put_report.retries;
+  run.get_retries = get_report.retries;
+  run.put_replaced = put_report.replaced_shards;
+  for (ProviderIndex p = 0; p < registry.size(); ++p) {
+    run.injected += registry.at(p).counters().injected_failures.load();
+  }
+  run.spans = normalize_spans(sink->tracer().to_jsonl());
+  return run;
+}
+
+TEST(ChaosAcceptanceTest, TransientNoiseAbsorbedAndReplaysByteForByte) {
+  const AcceptanceRun first = run_acceptance(0xACCE97);
+  // The faults really happened and the layer really worked.
+  EXPECT_GT(first.injected, 0u);
+  EXPECT_GT(first.rt_retries, 0u);
+  EXPECT_GT(first.put_retries + first.get_retries, 0u);
+
+  // Same seed: identical retry counts and an identical span stream modulo
+  // wall-clock fields.
+  const AcceptanceRun replay = run_acceptance(0xACCE97);
+  EXPECT_EQ(replay.rt_retries, first.rt_retries);
+  EXPECT_EQ(replay.put_retries, first.put_retries);
+  EXPECT_EQ(replay.get_retries, first.get_retries);
+  EXPECT_EQ(replay.put_replaced, first.put_replaced);
+  EXPECT_EQ(replay.injected, first.injected);
+  EXPECT_EQ(replay.spans, first.spans);
+
+  // Different seed: a different fault pattern (the seed is live).
+  const AcceptanceRun other = run_acceptance(0x0DD5EED);
+  EXPECT_NE(other.spans, first.spans);
+}
+
+}  // namespace
+}  // namespace cshield

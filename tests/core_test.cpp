@@ -507,9 +507,12 @@ TEST(DistributorTest, PartialPutFailureRollsBackAllStripes) {
     ASSERT_TRUE(cdd.register_client("Bob").ok());
     ASSERT_TRUE(cdd.add_password("Bob", "Ty7e", PrivacyLevel::kHigh).ok());
 
-    // One of the five eligible providers is down. Eligibility is trust, not
-    // availability, so placement keeps selecting it: across 64 chunks some
-    // stripes land fully and some fail mid-file.
+    // Two of the five eligible providers are down. Eligibility is trust,
+    // not availability, so placement keeps selecting them -- and with only
+    // one provider outside each 4-wide stripe, the write-quarantine
+    // re-placement path cannot rescue a stripe that lost two shards (or
+    // whose only spare is the other dead provider): every stripe fails.
+    registry.at(3).set_online(false);
     registry.at(4).set_online(false);
     PutOptions opts;
     opts.privacy_level = PrivacyLevel::kHigh;  // 1 KiB chunks -> 64 chunks
@@ -529,8 +532,14 @@ TEST(DistributorTest, PartialPutFailureRollsBackAllStripes) {
     EXPECT_TRUE(cdd.metadata().file_chunks("Bob", "wedge").empty());
 
     // The filename claim was released with the rollback: a retry once the
-    // provider recovers succeeds and round-trips.
+    // providers recover succeeds and round-trips. The retries against the
+    // dead providers opened their breakers; recovery resets them (the
+    // operator's "provider is back" action -- organic half-open healing is
+    // chaos_test territory).
+    registry.at(3).set_online(true);
     registry.at(4).set_online(true);
+    registry.breaker(3).reset();
+    registry.breaker(4).reset();
     ASSERT_TRUE(cdd.put_file("Bob", "Ty7e", "wedge", data, opts).ok());
     Result<Bytes> back = cdd.get_file("Bob", "Ty7e", "wedge");
     ASSERT_TRUE(back.ok()) << back.status().to_string();
@@ -604,7 +613,11 @@ TEST(DistributorTest, RepairRestoresLostShards) {
   EXPECT_TRUE(equal(back.value(), data));
 
   // Idempotence: nothing left to repair once the second provider returns.
+  // The degraded read tripped its breaker; reset it with the recovery,
+  // otherwise repair (correctly) treats the quarantined provider's shards
+  // as broken and re-homes them.
   f.registry.at(second).set_online(true);
+  f.registry.breaker(second).reset();
   Result<std::size_t> again = f.cdd->repair();
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again.value(), 0u);

@@ -315,6 +315,34 @@ TEST(DistributorTelemetryTest, PerProviderHistogramsCoverEveryProviderUsed) {
   EXPECT_EQ(s.gauges.at("cdd.inflight_ops"), 0);
 }
 
+TEST(ProviderTelemetryTest, SplitsInjectedFailuresFromIoErrors) {
+  auto sink = std::make_shared<Telemetry>();
+  storage::ProviderDescriptor d;
+  d.name = "Split";
+  storage::SimCloudProvider prov(std::move(d), storage::LatencyModel{}, 5);
+  prov.attach_telemetry(sink);
+  ASSERT_TRUE(prov.put(1, Bytes{1, 2, 3}).ok());
+
+  // A fault-model failure is the environment misbehaving: it lands in
+  // injected_failures, never in io_errors.
+  prov.set_request_failure_prob(1.0);
+  EXPECT_FALSE(prov.get(1).ok());
+  EXPECT_EQ(prov.counters().injected_failures.load(), 1u);
+  EXPECT_EQ(prov.counters().io_errors.load(), 0u);
+
+  // A store miss is the provider's own I/O failing: io_errors only.
+  prov.set_request_failure_prob(0.0);
+  EXPECT_FALSE(prov.get(999).ok());
+  EXPECT_EQ(prov.counters().io_errors.load(), 1u);
+  EXPECT_EQ(prov.counters().injected_failures.load(), 1u);
+
+  // Both legs export under the provider's metric prefix.
+  const MetricsRegistry::Snapshot s = sink->metrics().snapshot();
+  EXPECT_EQ(s.counters.at("provider.Split.injected_failures"), 1u);
+  EXPECT_EQ(s.counters.at("provider.Split.io_errors"), 1u);
+  EXPECT_EQ(s.counters.at("provider.Split.errors"), 2u);
+}
+
 TEST(DistributorTelemetryTest, ChildSpansCoverRootSimTime) {
   ObsFixture f;
   const Bytes data = payload_of(64 * 1024);

@@ -4,12 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <tuple>
 
 #include "core/distributor.hpp"
 #include "core/metadata_io.hpp"
 #include "core/misleading.hpp"
+#include "storage/fault_plan.hpp"
 #include "storage/provider_registry.hpp"
 #include "workload/records.hpp"
 
@@ -130,6 +132,139 @@ std::vector<RoundTripCase> round_trip_cases() {
 INSTANTIATE_TEST_SUITE_P(Sweep, DistributorRoundTrip,
                          ::testing::ValuesIn(round_trip_cases()),
                          round_trip_name);
+
+// --- fault-episode sweep -------------------------------------------------------
+//
+// Every RAID level x every FaultPlan episode kind: the operation either
+// succeeds with byte-identical data or fails with a clean typed error --
+// never wrong bytes, never a partially-registered file. Bounded faults
+// (crash/slow/flaky on 2 of 8 providers) must be absorbed outright: the
+// request layer retries transients, re-places shards off crashed
+// providers, and rides out flaky bursts shorter than its attempt budget.
+
+struct FaultSweepCase {
+  raid::RaidLevel level;
+  const char* kind;
+};
+
+class DistributorFaultSweep : public ::testing::TestWithParam<FaultSweepCase> {
+};
+
+std::shared_ptr<storage::FaultPlan> fault_plan_for(const std::string& kind) {
+  auto plan = std::make_shared<storage::FaultPlan>();
+  plan->seed = 0xFA5EED;
+  if (kind == "crash_all") {
+    storage::FaultEpisode ep;
+    ep.kind = storage::FaultKind::kCrash;  // provider defaults to wildcard
+    plan->episodes.push_back(ep);
+    return plan;
+  }
+  for (ProviderIndex p = 0; p < 2; ++p) {  // providers 0 and 1 misbehave
+    storage::FaultEpisode ep;
+    ep.provider = p;
+    if (kind == "transient") {
+      ep.kind = storage::FaultKind::kTransient;
+      ep.probability = 0.5;
+    } else if (kind == "crash") {
+      ep.kind = storage::FaultKind::kCrash;
+    } else if (kind == "slow") {
+      ep.kind = storage::FaultKind::kSlow;
+      ep.slow_factor = 6.0;
+    } else {
+      ep.kind = storage::FaultKind::kFlaky;
+      ep.period = 4;
+      ep.burst = 2;  // 2 consecutive failures < the 4-attempt budget
+    }
+    plan->episodes.push_back(ep);
+  }
+  return plan;
+}
+
+TEST_P(DistributorFaultSweep, SucceedsOrFailsCleanNeverPartial) {
+  const FaultSweepCase& p = GetParam();
+  storage::ProviderRegistry registry;
+  for (int i = 0; i < 8; ++i) {
+    storage::ProviderDescriptor d;
+    d.name = "P" + std::to_string(i);
+    d.privacy_level = PrivacyLevel::kHigh;
+    d.cost_level = static_cast<CostLevel>(i % 4);
+    registry.add(std::move(d));
+  }
+  DistributorConfig config;
+  config.default_raid = p.level;
+  config.stripe_data_shards = 3;
+  config.replication = 2;
+  config.worker_threads = 1;  // deterministic request order per provider
+  config.io_threads = 1;
+  config.pipelined = true;
+  CloudDataDistributor cdd(registry, config);
+  ASSERT_TRUE(cdd.register_client("C").ok());
+  ASSERT_TRUE(cdd.add_password("C", "pw", PrivacyLevel::kHigh).ok());
+  registry.apply_fault_plan(fault_plan_for(p.kind));
+
+  const Bytes data = payload_of(9000, 0xF0 + static_cast<int>(p.level));
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;
+  const Status put = cdd.put_file("C", "pw", "f", data, opts);
+
+  if (!put.ok()) {
+    // A failed put must be a clean typed error with all-or-nothing
+    // metadata: no chunk refs, and reads say the file does not exist.
+    EXPECT_TRUE(put.code() == ErrorCode::kUnavailable ||
+                put.code() == ErrorCode::kResourceExhausted)
+        << put.to_string();
+    EXPECT_TRUE(cdd.metadata().file_chunks("C", "f").empty());
+    Result<Bytes> back = cdd.get_file("C", "pw", "f");
+    ASSERT_FALSE(back.ok());
+    EXPECT_EQ(back.status().code(), ErrorCode::kNotFound);
+    if (std::string(p.kind) == "crash_all") {
+      // Crashes fire before anything lands in the object store.
+      for (ProviderIndex i = 0; i < registry.size(); ++i) {
+        EXPECT_EQ(registry.at(i).object_count(), 0u);
+      }
+    }
+    return;
+  }
+  ASSERT_STRNE(p.kind, "crash_all") << "an all-provider crash cannot succeed";
+
+  Result<Bytes> back = cdd.get_file("C", "pw", "f");
+  if (back.ok()) {
+    EXPECT_TRUE(equal(back.value(), data));
+  } else {
+    EXPECT_TRUE(back.status().code() == ErrorCode::kUnavailable ||
+                back.status().code() == ErrorCode::kResourceExhausted ||
+                back.status().code() == ErrorCode::kCorrupted)
+        << back.status().to_string();
+  }
+  // Only unbounded random noise may fail at all; scripted crash/slow/flaky
+  // on 2 of 8 providers must be fully absorbed.
+  if (std::string(p.kind) != "transient") {
+    EXPECT_TRUE(put.ok());
+    EXPECT_TRUE(back.ok()) << back.status().to_string();
+  }
+}
+
+std::string fault_sweep_name(
+    const ::testing::TestParamInfo<FaultSweepCase>& info) {
+  return std::string(raid::raid_level_name(info.param.level)) + "_" +
+         info.param.kind;
+}
+
+std::vector<FaultSweepCase> fault_sweep_cases() {
+  std::vector<FaultSweepCase> cases;
+  for (auto level : {raid::RaidLevel::kRaid0, raid::RaidLevel::kRaid1,
+                     raid::RaidLevel::kRaid5, raid::RaidLevel::kRaid6}) {
+    for (const char* kind :
+         {"transient", "crash", "slow", "flaky", "crash_all"}) {
+      cases.push_back({level, kind});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Faults, DistributorFaultSweep,
+                         ::testing::ValuesIn(fault_sweep_cases()),
+                         fault_sweep_name);
 
 // --- concurrency stress --------------------------------------------------------
 
