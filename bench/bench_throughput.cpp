@@ -21,6 +21,13 @@
 //      zero client-visible errors. `--fault-sweep` adds the availability-
 //      vs-fault-rate curve (EXPERIMENTS.md E14) to the JSON.
 //
+//   5. Journal gate: the 64-chunk realtime put with the write-ahead journal
+//      (fsync per record) vs without. Journaling must cost <= 10% put wall
+//      clock; judged by the min-over-pairs ratio like the telemetry gate.
+//      `--recovery-sweep` adds the EXPERIMENTS.md E15 rows: metadata
+//      recovery time vs journal length, and scrub pass time/detection vs
+//      injected corruption rate.
+//
 // Results are written as JSON (default ./BENCH_throughput.json, a bare
 // argument overrides the path) so future PRs have a perf trajectory to
 // diff against. The
@@ -40,8 +47,14 @@
 #include <utility>
 #include <vector>
 
+#include <filesystem>
+
+#include <unistd.h>
+
 #include "core/chunker.hpp"
 #include "core/distributor.hpp"
+#include "core/journal.hpp"
+#include "core/scrubber.hpp"
 #include "obs/telemetry.hpp"
 #include "storage/fault_plan.hpp"
 #include "storage/provider_registry.hpp"
@@ -225,6 +238,186 @@ struct OverheadGate {
   }
   [[nodiscard]] bool pass() const { return overhead_pct() <= kLimitPct; }
 };
+
+// --- journal gate: WAL on vs off -------------------------------------------
+//
+// Same realtime regime as the speedup gate (shard RPCs block for their
+// modeled latency). The journal adds two fsynced appends per put (kBeginPut
+// + kCommitPut) on the critical path; the gate proves that stays under 10%
+// of put wall clock. A/B pairs with a fresh deployment per side; judged on
+// the min per-pair ratio (noise is one-sided, see OverheadGate).
+
+namespace fs = std::filesystem;
+
+/// Scratch directory for journal/checkpoint files, removed on destruction.
+struct BenchDir {
+  fs::path path;
+  BenchDir() {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           ("cshield_bench_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    fs::create_directories(path);
+  }
+  ~BenchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+double time_put_64_journal(bool journaled, const Bytes& data) {
+  BenchDir dir;
+  storage::ProviderRegistry registry = make_realtime_registry(12);
+  DistributorConfig config = bench_config(true);
+  if (journaled) {
+    Result<std::unique_ptr<core::Journal>> j =
+        core::Journal::open(dir.path / "bench.wal");
+    CS_REQUIRE(j.ok(), j.status().to_string());
+    config.journal = std::shared_ptr<core::Journal>(std::move(j.value()));
+    config.checkpoint_path = (dir.path / "bench.ckpt").string();
+  }
+  CloudDataDistributor cdd(registry, config);
+  CS_REQUIRE(cdd.register_client("bench").ok(), "register");
+  CS_REQUIRE(cdd.add_password("bench", "pw", PrivacyLevel::kHigh).ok(), "pw");
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;
+  constexpr int kPutsPerRep = 2;
+  Stopwatch w;
+  for (int r = 0; r < kPutsPerRep; ++r) {
+    Status st = cdd.put_file("bench", "pw", "jgate_" + std::to_string(r),
+                             data, opts);
+    CS_REQUIRE(st.ok(), st.to_string());
+  }
+  return w.elapsed_seconds();
+}
+
+struct JournalGate {
+  double baseline_s = 0.0;   ///< median without journal (reporting)
+  double journaled_s = 0.0;  ///< median with journal (reporting)
+  double min_ratio = 1.0;    ///< min over pairs of journaled_i / baseline_i
+  static constexpr double kLimitPct = 10.0;
+
+  void run(int reps, const Bytes& data) {
+    std::vector<double> off, on;
+    (void)time_put_64_journal(false, data);  // warm both variants
+    (void)time_put_64_journal(true, data);
+    for (int r = 0; r < reps; ++r) {
+      off.push_back(time_put_64_journal(false, data));
+      on.push_back(time_put_64_journal(true, data));
+    }
+    baseline_s = median(off);
+    journaled_s = median(on);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < off.size(); ++i) {
+      if (off[i] > 0.0) best = std::min(best, on[i] / off[i]);
+    }
+    if (std::isfinite(best)) min_ratio = best;
+  }
+  [[nodiscard]] double overhead_pct() const { return (min_ratio - 1.0) * 100.0; }
+  [[nodiscard]] bool pass() const { return overhead_pct() <= kLimitPct; }
+};
+
+// --- recovery sweep (E15) ---------------------------------------------------
+
+struct MttrRow {
+  std::size_t records = 0;  ///< journal records replayed
+  std::size_t chunks = 0;   ///< chunk rows in the recovered store
+  double recover_ms = 0.0;  ///< recover_metadata wall time
+};
+
+/// Metadata recovery time as a function of journal length: put 1-chunk
+/// files with no checkpointing, then time a cold checkpoint+journal replay.
+MttrRow run_mttr(std::size_t target_records) {
+  BenchDir dir;
+  const fs::path jpath = dir.path / "j.wal";
+  const fs::path cpath = dir.path / "ckpt.bin";
+  storage::ProviderRegistry registry = storage::make_default_registry(12);
+  DistributorConfig config = bench_config(true);
+  Result<std::unique_ptr<core::Journal>> j = core::Journal::open(jpath);
+  CS_REQUIRE(j.ok(), j.status().to_string());
+  config.journal = std::shared_ptr<core::Journal>(std::move(j.value()));
+  config.checkpoint_path = cpath.string();
+  CloudDataDistributor cdd(registry, config);
+  CS_REQUIRE(cdd.register_client("bench").ok(), "register");
+  CS_REQUIRE(cdd.add_password("bench", "pw", PrivacyLevel::kModerate).ok(),
+             "pw");
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kModerate;  // 4 KiB chunks
+  std::size_t f = 0;
+  while (config.journal->record_count() < target_records) {
+    const Bytes data = make_payload(4000, 0xE15 + f);  // one chunk per file
+    CS_REQUIRE(cdd.put_file("bench", "pw", "mttr_" + std::to_string(f++),
+                            data, opts)
+                   .ok(),
+               "put");
+  }
+  MttrRow row;
+  row.records = config.journal->record_count();
+  Stopwatch w;
+  Result<core::RecoveredState> rec = core::recover_metadata(cpath, jpath);
+  row.recover_ms = w.elapsed_seconds() * 1e3;
+  CS_REQUIRE(rec.ok(), rec.status().to_string());
+  row.chunks = rec.value().metadata->total_chunks();
+  return row;
+}
+
+struct ScrubRow {
+  double corruption_rate = 0.0;
+  std::size_t chunks = 0;
+  std::size_t corrupted = 0;
+  std::size_t detected = 0;
+  std::size_t repaired = 0;
+  double pass_ms = 0.0;  ///< one full scrub pass (detection latency bound)
+};
+
+/// Scrub detection latency and completeness vs injected corruption rate:
+/// flip one byte in one stripe shard of `rate` of all chunks, then time a
+/// full scrubber pass. Detection latency for any one corruption is bounded
+/// by the pass time; completeness must be 100%.
+ScrubRow run_scrub_row(double rate) {
+  BenchDir dir;
+  storage::ProviderRegistry registry = storage::make_default_registry(12);
+  DistributorConfig config = bench_config(true);
+  Result<std::unique_ptr<core::Journal>> j =
+      core::Journal::open(dir.path / "j.wal");
+  CS_REQUIRE(j.ok(), j.status().to_string());
+  config.journal = std::shared_ptr<core::Journal>(std::move(j.value()));
+  config.checkpoint_path = (dir.path / "ckpt.bin").string();
+  CloudDataDistributor cdd(registry, config);
+  CS_REQUIRE(cdd.register_client("bench").ok(), "register");
+  CS_REQUIRE(cdd.add_password("bench", "pw", PrivacyLevel::kModerate).ok(),
+             "pw");
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kModerate;
+  for (int f = 0; f < 4; ++f) {
+    const Bytes data = make_payload(16 * 4096, 0x5C4B + f);  // 16 chunks
+    CS_REQUIRE(cdd.put_file("bench", "pw", "scrub_" + std::to_string(f),
+                            data, opts)
+                   .ok(),
+               "put");
+  }
+  ScrubRow row;
+  row.corruption_rate = rate;
+  const auto table = cdd.metadata().chunk_table();
+  row.chunks = table.size();
+  const auto step = static_cast<std::size_t>(
+      rate > 0.0 ? std::max(1.0, 1.0 / rate) : table.size() + 1);
+  for (std::size_t i = 0; i < table.size(); i += step) {
+    if (table[i].deleted || table[i].stripe.empty()) continue;
+    const core::ShardLocation& loc = table[i].stripe[i % table[i].stripe.size()];
+    CS_REQUIRE(registry.at(loc.provider).corrupt_object(loc.virtual_id, 7).ok(),
+               "corrupt");
+    ++row.corrupted;
+  }
+  core::Scrubber scrubber(cdd);
+  Stopwatch w;
+  Result<std::size_t> repaired = scrubber.run_pass();
+  row.pass_ms = w.elapsed_seconds() * 1e3;
+  CS_REQUIRE(repaired.ok(), repaired.status().to_string());
+  row.detected = scrubber.progress().digest_mismatches;
+  row.repaired = scrubber.progress().shards_repaired;
+  return row;
+}
 
 // --- matrix: N clients x M files x C chunks --------------------------------
 
@@ -416,9 +609,12 @@ void emit_series(std::ostream& os, const char* name, const OpSeries& s,
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_throughput.json";
   bool fault_sweep = false;
+  bool recovery_sweep = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--fault-sweep") {
       fault_sweep = true;
+    } else if (std::string_view(argv[i]) == "--recovery-sweep") {
+      recovery_sweep = true;
     } else {
       out_path = argv[i];
     }
@@ -458,6 +654,35 @@ int main(int argc, char** argv) {
             << overhead.overhead_pct() << "% overhead (limit "
             << OverheadGate::kLimitPct << "%): "
             << (overhead.pass() ? "PASS" : "FAIL") << "\n";
+
+  std::cout << "\n=== journal gate: WAL on vs off (realtime 64-chunk puts, "
+               "fsync per record) ===\n";
+  JournalGate journal_gate;
+  journal_gate.run(5, gate_data);
+  std::cout << "no journal " << journal_gate.baseline_s * 1e3
+            << " ms, journaled " << journal_gate.journaled_s * 1e3
+            << " ms -> " << journal_gate.overhead_pct()
+            << "% overhead (limit " << JournalGate::kLimitPct
+            << "%): " << (journal_gate.pass() ? "PASS" : "FAIL") << "\n";
+
+  std::vector<MttrRow> mttr_rows;
+  std::vector<ScrubRow> scrub_rows;
+  if (recovery_sweep) {
+    std::cout << "\n=== recovery sweep (E15) ===\n";
+    for (std::size_t records : {8u, 32u, 128u, 512u}) {
+      mttr_rows.push_back(run_mttr(records));
+      const MttrRow& r = mttr_rows.back();
+      std::cout << "journal " << r.records << " records (" << r.chunks
+                << " chunks): recover " << r.recover_ms << " ms\n";
+    }
+    for (double rate : {0.05, 0.25, 1.0}) {
+      scrub_rows.push_back(run_scrub_row(rate));
+      const ScrubRow& r = scrub_rows.back();
+      std::cout << "corruption rate " << r.corruption_rate << ": "
+                << r.detected << "/" << r.corrupted << " detected, "
+                << r.repaired << " repaired, pass " << r.pass_ms << " ms\n";
+    }
+  }
 
   std::cout << "\n=== fault smoke: 5% transient faults, 4x 32-chunk put+get "
                "(pipelined, seeded) ===\n";
@@ -522,10 +747,36 @@ int main(int argc, char** argv) {
       << ", \"overhead_pct\": " << overhead.overhead_pct()
       << ", \"limit_pct\": " << OverheadGate::kLimitPct
       << ", \"pass\": " << (overhead.pass() ? "true" : "false") << "},\n"
+      << "  \"journal_gate\": {\"baseline_s\": " << journal_gate.baseline_s
+      << ", \"journaled_s\": " << journal_gate.journaled_s
+      << ", \"min_ratio\": " << journal_gate.min_ratio
+      << ", \"overhead_pct\": " << journal_gate.overhead_pct()
+      << ", \"limit_pct\": " << JournalGate::kLimitPct
+      << ", \"pass\": " << (journal_gate.pass() ? "true" : "false") << "},\n"
       << "  \"fault_smoke\": ";
   emit_fault_row(out, smoke);
   out << ",\n  \"fault_smoke_pass\": " << (fault_ok ? "true" : "false")
       << ",\n";
+  if (!mttr_rows.empty()) {
+    out << "  \"recovery_sweep\": {\n    \"mttr\": [\n";
+    for (std::size_t i = 0; i < mttr_rows.size(); ++i) {
+      const MttrRow& r = mttr_rows[i];
+      out << "      {\"records\": " << r.records << ", \"chunks\": "
+          << r.chunks << ", \"recover_ms\": " << r.recover_ms << "}"
+          << (i + 1 < mttr_rows.size() ? ",\n" : "\n");
+    }
+    out << "    ],\n    \"scrub\": [\n";
+    for (std::size_t i = 0; i < scrub_rows.size(); ++i) {
+      const ScrubRow& r = scrub_rows[i];
+      out << "      {\"corruption_rate\": " << r.corruption_rate
+          << ", \"chunks\": " << r.chunks << ", \"corrupted\": "
+          << r.corrupted << ", \"detected\": " << r.detected
+          << ", \"repaired\": " << r.repaired << ", \"pass_ms\": "
+          << r.pass_ms << "}"
+          << (i + 1 < scrub_rows.size() ? ",\n" : "\n");
+    }
+    out << "    ]\n  },\n";
+  }
   if (!fault_rows.empty()) {
     out << "  \"fault_sweep\": [\n";
     for (std::size_t i = 0; i < fault_rows.size(); ++i) {
@@ -553,5 +804,6 @@ int main(int argc, char** argv) {
       << "\n}\n";
   out.close();
   std::cout << "\nwrote " << out_path << "\n";
-  return gate_ok && overhead.pass() && fault_ok ? 0 : 1;
+  return gate_ok && overhead.pass() && journal_gate.pass() && fault_ok ? 0
+                                                                       : 1;
 }

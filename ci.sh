@@ -7,48 +7,138 @@
 # Stages:
 #   1. tier-1: default build, full ctest suite (the ROADMAP acceptance bar)
 #   2. asan:   -DCSHIELD_SANITIZE=address, full ctest suite (includes
-#              obs_test, so the telemetry layer runs under ASan here)
+#              obs_test and recovery_test, so the telemetry layer, the
+#              journal codec fuzz sweeps, and the crash-injection harness
+#              all run under ASan here)
 #   3. tsan:   -DCSHIELD_SANITIZE=thread, concurrency_test (the shared-
 #              MetadataStore / two-front-end interleaving harness, telemetry
 #              on) + obs_test (metrics/tracer semantics under TSan) +
 #              chaos_test (retry/hedge/breaker layer under injected faults)
-#   4. bench:  bench_throughput writes BENCH_throughput.json at the repo
+#              + recovery_test (journal append path + background scrubber
+#              thread against live traffic)
+#   4. crash-e2e: scripted end-to-end crash drill against cshield_cli on a
+#              disk-backed root: put files, kill the process mid-stripe via
+#              CSHIELD_CRASH_AFTER_APPENDS (it _exit(42)s inside a journal
+#              append, before the record hits disk), restart, `recover`,
+#              and verify every committed file reads back byte-identical,
+#              the in-flight put is aborted with its orphan shards GC'd,
+#              and a second `recover` is a no-op.
+#   5. bench:  bench_throughput writes BENCH_throughput.json at the repo
 #              root and exits non-zero unless the pipelined engine beats the
 #              serial baseline by >= 3x on 64-chunk put AND get, AND the
 #              telemetry overhead gate holds (enabled vs disabled telemetry
 #              within 5% on the 64-chunk put+get pair; recorded under
-#              "overhead_gate" in the JSON), AND the fault smoke passes (5%
-#              seeded transient faults absorbed with zero client errors;
-#              recorded under "fault_smoke").
+#              "overhead_gate" in the JSON), AND the journal gate holds
+#              (put throughput with the WAL enabled within 10% of the
+#              no-journal baseline; recorded under "journal_gate"), AND the
+#              fault smoke passes (5% seeded transient faults absorbed with
+#              zero client errors; recorded under "fault_smoke").
 set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/4] tier-1: build + ctest =="
+echo "== [1/5] tier-1: build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
 (cd build && ctest --output-on-failure -j "${jobs}")
 
 if [[ "${1:-}" == "fast" ]]; then
-  echo "fast mode: skipping sanitizer and bench stages"
+  echo "fast mode: skipping sanitizer, crash-e2e, and bench stages"
   exit 0
 fi
 
-echo "== [2/4] address sanitizer: build + ctest =="
+echo "== [2/5] address sanitizer: build + ctest =="
 cmake -B build-asan -S . -DCSHIELD_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${jobs}"
 (cd build-asan && ctest --output-on-failure -j "${jobs}")
 
-echo "== [3/4] thread sanitizer: concurrency_test + obs_test + chaos_test =="
+echo "== [3/5] thread sanitizer: concurrency_test + obs_test + chaos_test + recovery_test =="
 cmake -B build-tsan -S . -DCSHIELD_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${jobs}" --target concurrency_test obs_test \
-  chaos_test
+  chaos_test recovery_test
 ./build-tsan/tests/concurrency_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/chaos_test
+./build-tsan/tests/recovery_test
 
-echo "== [4/4] throughput gate: bench_throughput =="
+echo "== [4/5] crash e2e: put, kill mid-stripe, recover, verify =="
+cli=./build/examples/cshield_cli
+e2e="$(mktemp -d /tmp/cshield_e2e.XXXXXX)"
+trap 'rm -rf "${e2e}"' EXIT
+root="${e2e}/root"
+
+"${cli}" "${root}" init 12
+"${cli}" "${root}" adduser alice secret 2
+
+# Commit three files; each put journals kBeginPut + kCommitPut and the
+# write-through mirror makes every shard durable before put returns.
+for i in 1 2 3; do
+  head -c $((4000 * i)) /dev/urandom > "${e2e}/f${i}.bin"
+  "${cli}" "${root}" put alice secret "f${i}" "${e2e}/f${i}.bin" 2
+done
+
+# Kill the fourth put mid-stripe: the first append (kBeginPut) lands, the
+# process dies inside the second (kCommitPut) before it reaches disk. That
+# leaves an in-flight put whose shards are on-disk orphans.
+head -c 9000 /dev/urandom > "${e2e}/f4.bin"
+set +e
+CSHIELD_CRASH_AFTER_APPENDS=1 \
+  "${cli}" "${root}" put alice secret f4 "${e2e}/f4.bin" 2
+crash_rc=$?
+set -e
+if [[ "${crash_rc}" -ne 42 ]]; then
+  echo "crash e2e: expected injected crash exit 42, got ${crash_rc}" >&2
+  exit 1
+fi
+
+# Restart + reconcile: the torn journal replays, the in-flight put is
+# aborted, and its orphan shards are collected.
+recover_out="$("${cli}" "${root}" recover)"
+echo "${recover_out}"
+if ! grep -q "recover OK" <<< "${recover_out}"; then
+  echo "crash e2e: first recover failed" >&2
+  exit 1
+fi
+if grep -q "recover OK: 0 orphan" <<< "${recover_out}"; then
+  echo "crash e2e: expected orphan shards from the aborted put, found none" >&2
+  exit 1
+fi
+if ! grep -q "1 in-flight puts aborted" <<< "${recover_out}"; then
+  echo "crash e2e: expected exactly one aborted in-flight put" >&2
+  exit 1
+fi
+
+# A second recover must be a no-op: nothing left to abort or collect.
+recover_again="$("${cli}" "${root}" recover)"
+echo "${recover_again}"
+if ! grep -q "recover OK: 0 orphan shards removed, 0 stale ids dropped, 0 in-flight puts aborted, 0 shards repaired" \
+    <<< "${recover_again}"; then
+  echo "crash e2e: second recover was not idempotent" >&2
+  exit 1
+fi
+
+# Every committed file must read back byte-identical; the aborted one must
+# be gone entirely.
+for i in 1 2 3; do
+  "${cli}" "${root}" get alice secret "f${i}" "${e2e}/f${i}.out"
+  cmp "${e2e}/f${i}.bin" "${e2e}/f${i}.out"
+done
+if "${cli}" "${root}" get alice secret f4 "${e2e}/f4.out" 2>/dev/null; then
+  echo "crash e2e: aborted put f4 is unexpectedly readable" >&2
+  exit 1
+fi
+
+# Scrub the recovered deployment: a clean pass must find zero mismatches.
+scrub_out="$("${cli}" "${root}" scrub)"
+echo "${scrub_out}"
+if ! grep -q "0 digest mismatches" <<< "${scrub_out}"; then
+  echo "crash e2e: scrub found mismatches on a recovered deployment" >&2
+  exit 1
+fi
+echo "crash e2e: PASS"
+
+echo "== [5/5] throughput gate: bench_throughput =="
 ./build/bench/bench_throughput BENCH_throughput.json
 
 echo "== ci.sh: all stages passed =="

@@ -2,8 +2,13 @@
 // deployment, the artifact a downstream user would script against.
 //
 // State lives under a root directory: one DiskStore per simulated provider
-// plus the serialized metadata tables, so the "cloud" persists across
-// invocations.
+// (wired as a write-through mirror, so shards are durable the moment a put
+// returns), a metadata checkpoint image (`metadata.bin`), and a write-ahead
+// journal (`journal.wal`). Startup always goes through crash recovery:
+// checkpoint + journal replay, tolerating a torn journal tail from a crash
+// mid-append. Metadata is never rewritten wholesale on each command -- the
+// journal is the commit record, and `checkpoint` (or the automatic
+// every-64-records cut) folds it into metadata.bin.
 //
 // Usage:
 //   cshield_cli <root> init [providers]
@@ -14,24 +19,35 @@
 //   cshield_cli <root> ls
 //   cshield_cli <root> ls-files <client> <password>
 //   cshield_cli <root> repair
+//   cshield_cli <root> checkpoint
+//   cshield_cli <root> recover
+//   cshield_cli <root> scrub
 //   cshield_cli <root> stats
 //
-// Any command also accepts --stats, which prints the telemetry collected
-// during this invocation (metrics dump + slowest spans) after the command
-// finishes. The bare `stats` subcommand reports on startup/load only --
-// the CLI is one process per command, so cross-invocation history lives in
-// the data itself, not the telemetry ring.
+// Flags (any command): `--stats` prints this invocation's telemetry;
+// `--journal <path>` overrides the journal location; `--faults <p>`
+// [`--fault-seed <s>`] injects seeded transient provider failures.
+//
+// Crash injection (recovery e2e): setting CSHIELD_CRASH_AFTER_APPENDS=<k>
+// makes the process _exit(42) inside the journal's (k+1)-th append of this
+// invocation, before the record reaches disk -- e.g. k=1 on a `put` lets
+// kBeginPut land and kills the process at kCommitPut, leaving an in-flight
+// put whose shards are on-disk orphans for `recover` to collect.
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <set>
 #include <vector>
 
+#include <unistd.h>
+
 #include "core/distributor.hpp"
+#include "core/journal.hpp"
 #include "core/metadata_io.hpp"
+#include "core/scrubber.hpp"
 #include "storage/disk_store.hpp"
 #include "storage/fault_plan.hpp"
 #include "storage/provider_registry.hpp"
@@ -43,17 +59,22 @@ using namespace cshield;
 namespace fs = std::filesystem;
 
 /// A cloud provider whose object store is a directory: SimCloudProvider
-/// models faults/latency in-memory, so for the CLI we persist via DiskStore
-/// mirrors -- every provider object is written through to disk on put and
-/// loaded back on startup.
+/// models faults/latency in-memory with a DiskStore write-through mirror,
+/// so every acknowledged shard write is already durable. On startup the
+/// disk inventory is loaded back into the simulated provider (before the
+/// mirror attaches, to avoid rewriting every object on every run).
 struct CliWorld {
   fs::path root;
   storage::ProviderRegistry registry;
   std::vector<std::unique_ptr<storage::DiskStore>> disks;
   std::shared_ptr<core::MetadataStore> metadata;
+  std::shared_ptr<core::Journal> journal;
+  /// Puts the last crash caught between kBeginPut and kCommitPut.
+  std::vector<std::pair<std::string, std::string>> in_flight;
   std::unique_ptr<core::CloudDataDistributor> cdd;
 
-  explicit CliWorld(fs::path r, std::size_t providers = 0) : root(std::move(r)) {
+  CliWorld(fs::path r, const fs::path& journal_path, std::size_t providers = 0)
+      : root(std::move(r)) {
     // Provider count: from init argument, or from the directory layout.
     std::size_t n = providers;
     if (n == 0) {
@@ -70,23 +91,31 @@ struct CliWorld {
         Result<Bytes> obj = disks[p]->get(id);
         if (obj.ok()) (void)registry.at(p).put(id, obj.value());
       }
+      registry.at(p).set_mirror(disks[p].get());
     }
-    // Metadata image, if present.
+    // Crash recovery: checkpoint image + journal replay. This is the only
+    // metadata load path -- a clean shutdown is just a crash with an empty
+    // tail.
     const fs::path meta_path = root / "metadata.bin";
-    if (fs::exists(meta_path)) {
-      std::ifstream in(meta_path, std::ios::binary | std::ios::ate);
-      Bytes image(static_cast<std::size_t>(in.tellg()));
-      in.seekg(0);
-      in.read(reinterpret_cast<char*>(image.data()),
-              static_cast<std::streamsize>(image.size()));
-      Result<std::shared_ptr<core::MetadataStore>> restored =
-          core::deserialize_metadata(image);
-      CS_REQUIRE(restored.ok(), restored.status().to_string());
-      metadata = restored.value();
-    }
+    Result<core::RecoveredState> recovered =
+        core::recover_metadata(meta_path, journal_path);
+    CS_REQUIRE(recovered.ok(), "metadata recovery failed: " +
+                                   recovered.status().to_string());
+    metadata = recovered.value().metadata;
+    in_flight = recovered.value().in_flight;
+    // Re-open the journal for appends (truncates any torn tail away).
+    Result<std::unique_ptr<core::Journal>> j =
+        core::Journal::open(journal_path);
+    CS_REQUIRE(j.ok(), "cannot open journal: " + j.status().to_string());
+    journal = std::shared_ptr<core::Journal>(std::move(j.value()));
+    install_crash_hook();
+
     core::DistributorConfig config;
     config.stripe_data_shards = 3;
     config.misleading_fraction = 0.05;
+    config.journal = journal;
+    config.checkpoint_path = meta_path.string();
+    config.checkpoint_interval = 64;
     // Unique-ish per process so restart never reuses virtual ids.
     config.seed = 0xC11D ^ static_cast<std::uint64_t>(
                                std::chrono::steady_clock::now()
@@ -97,26 +126,17 @@ struct CliWorld {
     metadata = cdd->metadata_ptr();
   }
 
-  /// Persists metadata and mirrors every provider's objects to disk.
-  void sync() {
-    const Bytes image = core::serialize_metadata(*metadata);
-    std::ofstream out(root / "metadata.bin", std::ios::binary);
-    out.write(reinterpret_cast<const char*>(image.data()),
-              static_cast<std::streamsize>(image.size()));
-    for (std::size_t p = 0; p < registry.size(); ++p) {
-      // Mirror adds/removals.
-      std::set<VirtualId> live;
-      for (VirtualId id : registry.at(p).list_ids()) {
-        live.insert(id);
-        if (!disks[p]->contains(id)) {
-          Result<Bytes> obj = registry.at(p).get(id);
-          if (obj.ok()) (void)disks[p]->put(id, obj.value());
-        }
-      }
-      for (VirtualId id : disks[p]->list_ids()) {
-        if (live.count(id) == 0) (void)disks[p]->remove(id);
-      }
-    }
+  /// CSHIELD_CRASH_AFTER_APPENDS=<k>: allow k journal appends in this
+  /// process, then die inside the next one before its record hits disk.
+  void install_crash_hook() {
+    const char* env = std::getenv("CSHIELD_CRASH_AFTER_APPENDS");
+    if (env == nullptr) return;
+    const auto allowed = static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+    auto seen = std::make_shared<std::uint64_t>(0);
+    journal->test_hook_before_append = [seen,
+                                        allowed](const core::JournalRecord&) {
+      if (++*seen > allowed) ::_exit(42);
+    };
   }
 };
 
@@ -141,9 +161,10 @@ int usage() {
   std::cerr << "usage: cshield_cli <root> "
                "init [n] | adduser <c> <pw> <pl> | put <c> <pw> <name> "
                "<file> <pl> | get <c> <pw> <name> <file> | rm <c> <pw> "
-               "<name> | ls | ls-files <c> <pw> | repair | stats "
-               "[--stats] [--faults <p> [--fault-seed <s>]] after any "
-               "command\n";
+               "<name> | ls | ls-files <c> <pw> | repair | checkpoint | "
+               "recover | scrub | stats "
+               "[--stats] [--journal <path>] [--faults <p> "
+               "[--fault-seed <s>]] after any command\n";
   return 2;
 }
 
@@ -174,6 +195,18 @@ std::string strip_value_flag(int& argc, char** argv, std::string_view name) {
   return {};
 }
 
+void print_journal_stats(CliWorld& world) {
+  std::cout << "--- journal ---\n"
+            << "path:                " << world.journal->path().string()
+            << "\n"
+            << "records (uncheckpointed): " << world.journal->record_count()
+            << "\n"
+            << "bytes:               " << world.journal->bytes() << "\n"
+            << "checkpointed ops:    " << world.journal->last_checkpoint_ops()
+            << "\n"
+            << "in-flight puts:      " << world.in_flight.size() << "\n";
+}
+
 /// Prometheus metrics dump plus the top-N slowest spans by executed wall
 /// time, with provider indices resolved back to names.
 void print_stats(CliWorld& world, std::size_t top_n = 10) {
@@ -200,6 +233,7 @@ void print_stats(CliWorld& world, std::size_t top_n = 10) {
           s.sim_ns / 1000, std::string(error_code_name(s.outcome)));
   }
   t.print(std::cout);
+  print_journal_stats(world);
 }
 
 }  // namespace
@@ -208,6 +242,7 @@ int main(int argc, char** argv) {
   const bool want_stats = strip_stats_flag(argc, argv);
   const std::string faults = strip_value_flag(argc, argv, "--faults");
   const std::string fault_seed = strip_value_flag(argc, argv, "--fault-seed");
+  const std::string journal_flag = strip_value_flag(argc, argv, "--journal");
   // `--faults <p>` injects seeded transient failures at rate p into every
   // provider, exercising the retry/hedge/breaker path; the same
   // `--fault-seed` replays the exact same failure pattern.
@@ -223,17 +258,22 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const fs::path root = argv[1];
   const std::string cmd = argv[2];
+  const fs::path journal_path =
+      journal_flag.empty() ? root / "journal.wal" : fs::path(journal_flag);
   try {
     if (cmd == "init") {
       const std::size_t n = argc > 3 ? std::stoul(argv[3]) : 12;
       fs::create_directories(root);
-      CliWorld world(root, n);
-      world.sync();
+      CliWorld world(root, journal_path, n);
+      // Fold the provider registrations into a first checkpoint so a fresh
+      // deployment has both halves of the metadata pipeline on disk.
+      Status st = world.cdd->checkpoint();
+      CS_REQUIRE(st.ok(), st.to_string());
       std::cout << "initialized " << n << " providers under " << root
                 << "\n";
       return 0;
     }
-    CliWorld world(root);
+    CliWorld world(root, journal_path);
     arm_faults(world);
     // Every command below funnels through `done` so --stats can report on
     // whatever the command just did.
@@ -251,7 +291,6 @@ int main(int argc, char** argv) {
       Status st = world.cdd->add_password(
           client, argv[4], privacy_level_from_int(std::stoi(argv[5])));
       std::cout << st.to_string() << "\n";
-      world.sync();
       return done(st.ok() ? 0 : 1);
     }
     if (cmd == "put" && argc == 8) {
@@ -263,7 +302,6 @@ int main(int argc, char** argv) {
       std::cout << st.to_string() << " (" << report.chunks << " chunks, "
                 << report.shards << " shards, " << report.bytes_stored
                 << " B stored)\n";
-      world.sync();
       return done(st.ok() ? 0 : 1);
     }
     if (cmd == "get" && argc == 7) {
@@ -279,7 +317,6 @@ int main(int argc, char** argv) {
     if (cmd == "rm" && argc == 6) {
       Status st = world.cdd->remove_file(argv[3], argv[4], argv[5]);
       std::cout << st.to_string() << "\n";
-      world.sync();
       return done(st.ok() ? 0 : 1);
     }
     if (cmd == "ls-files" && argc == 5) {
@@ -314,7 +351,48 @@ int main(int argc, char** argv) {
         return done(1);
       }
       std::cout << "repaired " << repaired.value() << " shards\n";
-      world.sync();
+      return done(0);
+    }
+    if (cmd == "checkpoint") {
+      Status st = world.cdd->checkpoint();
+      if (!st.ok()) {
+        std::cout << st.to_string() << "\n";
+        return done(1);
+      }
+      std::cout << "checkpoint OK (" << world.journal->last_checkpoint_ops()
+                << " ops folded in total)\n";
+      return done(0);
+    }
+    if (cmd == "recover") {
+      // Startup already replayed checkpoint+journal; this reconciles the
+      // providers against the recovered tables: GC orphan shards, abort
+      // in-flight puts, re-run repair for degraded stripes.
+      Result<core::CloudDataDistributor::ReconcileReport> rep =
+          world.cdd->reconcile(world.in_flight);
+      if (!rep.ok()) {
+        std::cout << rep.status().to_string() << "\n";
+        return done(1);
+      }
+      std::cout << "recover OK: " << rep.value().orphans_removed
+                << " orphan shards removed, " << rep.value().stale_ids
+                << " stale ids dropped, " << rep.value().aborted_files
+                << " in-flight puts aborted, " << rep.value().repaired_shards
+                << " shards repaired\n";
+      return done(0);
+    }
+    if (cmd == "scrub") {
+      core::Scrubber scrubber(*world.cdd);
+      Result<std::size_t> repaired = scrubber.run_pass();
+      const core::Scrubber::Progress prog = scrubber.progress();
+      if (!repaired.ok()) {
+        std::cout << repaired.status().to_string() << " (scanned "
+                  << prog.chunks_scanned << " chunks)\n";
+        return done(1);
+      }
+      std::cout << "scrub OK: " << prog.chunks_scanned
+                << " chunks scanned, " << prog.digest_mismatches
+                << " digest mismatches, " << prog.shards_repaired
+                << " shards repaired\n";
       return done(0);
     }
   } catch (const std::exception& e) {

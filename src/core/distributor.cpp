@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <future>
 #include <queue>
+#include <unordered_set>
 
+#include "core/metadata_io.hpp"
 #include "core/misleading.hpp"
 #include "util/hash.hpp"
 
@@ -170,24 +172,74 @@ CloudDataDistributor::CloudDataDistributor(
     placement_.set_metrics(&telemetry_->metrics());
   }
   // Mirror registry rows into the Cloud Provider Table (idempotent when a
-  // shared, already-populated store is handed in).
+  // shared, already-populated store is handed in). Each new row is also
+  // journaled: replay onto an empty store must know the providers before
+  // any record_placement touches their id sets.
   const std::size_t known = metadata_->provider_table().size();
   for (ProviderIndex i = known; i < registry_.size(); ++i) {
     const auto& d = registry_.at(i).descriptor();
     metadata_->register_provider(d.name, d.privacy_level, d.cost_level);
+    if (config_.journal != nullptr) {
+      JournalRecord rec;
+      rec.op = JournalOp::kRegisterProvider;
+      rec.provider_index = i;
+      rec.client = d.name;
+      rec.level = static_cast<std::uint8_t>(d.privacy_level);
+      rec.cost = static_cast<std::uint8_t>(d.cost_level);
+      const Status journaled = journal_append(rec);
+      CS_REQUIRE(journaled.ok(),
+                 "journal unusable at startup: " + journaled.to_string());
+    }
   }
+}
+
+Status CloudDataDistributor::journal_append(const JournalRecord& rec) {
+  Journal* j = config_.journal.get();
+  if (j == nullptr) return Status::Ok();
+  CS_RETURN_IF_ERROR(j->append(rec));
+  if (config_.checkpoint_interval > 0 && !config_.checkpoint_path.empty() &&
+      j->record_count() >= config_.checkpoint_interval) {
+    return checkpoint();
+  }
+  return Status::Ok();
+}
+
+Status CloudDataDistributor::checkpoint() {
+  if (config_.journal == nullptr) {
+    return Status::InvalidArgument("checkpoint: no journal configured");
+  }
+  if (config_.checkpoint_path.empty()) {
+    return Status::InvalidArgument("checkpoint: no checkpoint path");
+  }
+  Status st = config_.journal->checkpoint(
+      [this] { return serialize_metadata(*metadata_); },
+      config_.checkpoint_path);
+  if (st.ok() && telemetry_->enabled()) {
+    telemetry_->metrics().counter("cdd.checkpoints").inc();
+  }
+  return st;
 }
 
 Status CloudDataDistributor::register_client(const std::string& name) {
   if (name.empty()) return Status::InvalidArgument("empty client name");
-  return metadata_->register_client(name);
+  CS_RETURN_IF_ERROR(metadata_->register_client(name));
+  JournalRecord rec;
+  rec.op = JournalOp::kRegisterClient;
+  rec.client = name;
+  return journal_append(rec);
 }
 
 Status CloudDataDistributor::add_password(const std::string& client,
                                           const std::string& password,
                                           PrivacyLevel pl) {
   if (password.empty()) return Status::InvalidArgument("empty password");
-  return metadata_->add_password(client, password, pl);
+  CS_RETURN_IF_ERROR(metadata_->add_password(client, password, pl));
+  JournalRecord rec;
+  rec.op = JournalOp::kAddPassword;
+  rec.client = client;
+  rec.filename = password;
+  rec.level = static_cast<std::uint8_t>(pl);
+  return journal_append(rec);
 }
 
 Result<PrivacyLevel> CloudDataDistributor::authorize(
@@ -514,6 +566,19 @@ Status CloudDataDistributor::put_file(const std::string& client,
   // Atomic duplicate check: reserving the name up front means two
   // concurrent uploads of the same file cannot both pass it.
   CS_RETURN_IF_ERROR(metadata_->claim_file(client, filename));
+  // Journal the intent before any shard leaves for a provider: recovery
+  // treats a Begin without a matching Commit/Abort as an in-flight put
+  // whose shards are orphans to sweep.
+  {
+    JournalRecord rec;
+    rec.op = JournalOp::kBeginPut;
+    rec.client = client;
+    rec.filename = filename;
+    if (Status st = journal_append(rec); !st.ok()) {
+      metadata_->release_file(client, filename);
+      return st;
+    }
+  }
 
   const raid::RaidLevel level = options.raid.value_or(config_.default_raid);
   const raid::StripeLayout layout =
@@ -623,6 +688,13 @@ Status CloudDataDistributor::put_file(const std::string& client,
       if (!out.stripe.empty()) drop_stripe(out.stripe, &op.times);
     }
     metadata_->release_file(client, filename);
+    // Best-effort: if the abort record cannot be written, recovery still
+    // aborts the put (Begin without Commit), just with more orphan work.
+    JournalRecord rec;
+    rec.op = JournalOp::kAbortPut;
+    rec.client = client;
+    rec.filename = filename;
+    (void)journal_append(rec);
     return error;
   };
   for (ChunkOutcome& out : outcomes) {
@@ -660,6 +732,27 @@ Status CloudDataDistributor::put_file(const std::string& client,
     committed.push_back(idx.value());
     op.bytes_stored += out.bytes_stored;
     op.shards += layout.total_shards();
+  }
+  // Durability commit point: journal every chunk row with its explicit
+  // table index. Only after this append may the client treat the file as
+  // stored -- so a journal failure is a put failure.
+  if (config_.journal != nullptr) {
+    JournalRecord rec;
+    rec.op = JournalOp::kCommitPut;
+    rec.client = client;
+    rec.filename = filename;
+    rec.chunks.reserve(committed.size());
+    for (std::size_t i = 0; i < committed.size(); ++i) {
+      Result<ChunkEntry> row = metadata_->chunk_entry(committed[i]);
+      if (!row.ok()) {
+        return op.finish(row.status(), report, config_.worker_threads);
+      }
+      rec.chunks.push_back(JournalChunk{chunks[i].serial, committed[i],
+                                        std::move(row).value()});
+    }
+    if (Status st = journal_append(rec); !st.ok()) {
+      return op.finish(st, report, config_.worker_threads);
+    }
   }
   return op.finish(Status::Ok(), report, config_.worker_threads);
 }
@@ -866,10 +959,13 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
   op.hedges = rstats.hedges;
   if (!pre_state.ok()) return fail(pre_state.status());
 
-  // 2. Move the pre-state to a snapshot stripe: "snapshot provider stores
-  //    the pre-state and cloud provider stores the post-state of a chunk
-  //    after each modification" (Table III). Any older snapshot is dropped.
-  if (entry.has_snapshot) drop_stripe(entry.snapshot, &times);
+  // 2. Write the pre-state to a NEW snapshot stripe: "snapshot provider
+  //    stores the pre-state and cloud provider stores the post-state of a
+  //    chunk after each modification" (Table III). The old snapshot and
+  //    old stripe are NOT touched until the new state has committed to the
+  //    journal -- a crash anywhere in between loses only fresh orphans,
+  //    never referenced shards. A failure past this point unwinds the
+  //    stripes this op wrote.
   Result<std::vector<ProviderIndex>> snap_targets = [&] {
     std::lock_guard<std::mutex> lock(mu_);
     return placement_.choose(registry_, entry.privacy_level,
@@ -882,9 +978,13 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
   if (!snap.ok()) return fail(snap.status());
   op.retries += snap.value().retries;
   op.replaced_shards += snap.value().replaced;
+  auto unwind = [&](const Status& st) {
+    op.rolled_back = true;
+    drop_stripe(snap.value().locations, &times);
+    return fail(st);
+  };
 
-  // 3. Chaff and write the post-state under fresh virtual ids, then retire
-  //    the old stripe.
+  // 3. Chaff and write the post-state under fresh virtual ids.
   MisleadingCodec::Encoded chaffed;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -896,28 +996,45 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
     return placement_.choose(registry_, entry.privacy_level,
                              entry.layout.total_shards());
   }();
-  if (!new_targets.ok()) return fail(new_targets.status());
+  if (!new_targets.ok()) return unwind(new_targets.status());
   Result<StripeWriteResult> written =
       write_stripe(chaffed.data, entry.layout, new_targets.value(),
                    entry.privacy_level, times, op.ctx());
-  if (!written.ok()) return fail(written.status());
+  if (!written.ok()) return unwind(written.status());
   op.retries += written.value().retries;
   op.replaced_shards += written.value().replaced;
-  drop_stripe(entry.stripe, &times);
 
+  // 4. Commit: metadata row, then journal. Only after the journal append
+  //    is it safe to delete the superseded stripes.
   ChunkEntry updated = entry;
-  updated.snapshot = std::move(snap.value().locations);
+  updated.snapshot = snap.value().locations;
   updated.snapshot_digests = std::move(snap.value().digests);
   updated.snapshot_misleading = entry.misleading;
   updated.snapshot_padded_size = entry.padded_size;
   updated.has_snapshot = true;
-  updated.stripe = std::move(written.value().locations);
+  updated.stripe = written.value().locations;
   updated.shard_digests = std::move(written.value().digests);
   updated.misleading = std::move(chaffed.positions);
   updated.padded_size = chaffed.data.size();
-  Status committed = metadata_->update_chunk(ref->chunk_index,
-                                             std::move(updated));
-  if (!committed.ok()) return fail(committed);
+  Status committed = metadata_->update_chunk(ref->chunk_index, updated);
+  if (!committed.ok()) {
+    drop_stripe(written.value().locations, &times);
+    return unwind(committed);
+  }
+  {
+    JournalRecord rec;
+    rec.op = JournalOp::kUpdateChunk;
+    rec.client = client;
+    rec.filename = filename;
+    rec.chunks.push_back(
+        JournalChunk{serial, ref->chunk_index, std::move(updated)});
+    if (Status st = journal_append(rec); !st.ok()) return fail(st);
+  }
+
+  // 5. Retire the old stripe and (if present) the old snapshot -- they are
+  //    unreferenced now, so a crash mid-drop leaves only orphans.
+  if (entry.has_snapshot) drop_stripe(entry.snapshot, &times);
+  drop_stripe(entry.stripe, &times);
 
   op.chunks = 1;
   op.shards = entry.layout.total_shards() * 2;
@@ -969,21 +1086,38 @@ Status CloudDataDistributor::remove_chunk(const std::string& client,
   op.chunk_serial = serial;
   op.chunks = 1;
   op.shards = entry.value().stripe.size() + entry.value().snapshot.size();
-  drop_stripe(entry.value().stripe, &op.times);
-  if (entry.value().has_snapshot) {
-    drop_stripe(entry.value().snapshot, &op.times);
-  }
 
+  // Commit the removal (tombstone + unlink + journal) before any provider-
+  // side delete: a crash mid-drop must leave orphans, not a live chunk row
+  // pointing at vanished shards.
   ChunkEntry tombstone = entry.value();
   tombstone.deleted = true;
   tombstone.stripe.clear();
   tombstone.snapshot.clear();
+  tombstone.has_snapshot = false;
   Status updated = metadata_->update_chunk(ref->chunk_index,
                                            std::move(tombstone));
   if (!updated.ok()) return op.finish(updated, nullptr,
                                       config_.worker_threads);
-  return op.finish(metadata_->unlink_chunk(client, filename, serial), nullptr,
-                   config_.worker_threads);
+  Status unlinked = metadata_->unlink_chunk(client, filename, serial);
+  if (!unlinked.ok()) return op.finish(unlinked, nullptr,
+                                       config_.worker_threads);
+  {
+    JournalRecord rec;
+    rec.op = JournalOp::kRemoveChunk;
+    rec.client = client;
+    rec.filename = filename;
+    rec.chunks.push_back(JournalChunk{serial, ref->chunk_index, {}});
+    if (Status st = journal_append(rec); !st.ok()) {
+      return op.finish(st, nullptr, config_.worker_threads);
+    }
+  }
+
+  drop_stripe(entry.value().stripe, &op.times);
+  if (entry.value().has_snapshot) {
+    drop_stripe(entry.value().snapshot, &op.times);
+  }
+  return op.finish(Status::Ok(), nullptr, config_.worker_threads);
 }
 
 Status CloudDataDistributor::remove_file(const std::string& client,
@@ -1017,9 +1151,43 @@ Status CloudDataDistributor::remove_file(const std::string& client,
 
   OpScope op(telemetry_.get(), "remove_file", client, filename);
   op.chunks = refs.size();
-  // Drop all stripes through the pool, then retire the refs serially. Each
-  // task owns its slot in `drop_times`, so no lock is needed; the futures
-  // are joined before the slots merge into the op accumulator.
+
+  // Commit the removal first -- tombstone + unlink every ref, then one
+  // journal record covering the whole file -- and only then delete at
+  // providers. A crash mid-drop leaves orphans for reconcile, never a
+  // referenced-but-deleted shard.
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    ChunkEntry tombstone = entries[i].value();
+    tombstone.deleted = true;
+    tombstone.stripe.clear();
+    tombstone.snapshot.clear();
+    tombstone.has_snapshot = false;
+    Status updated = metadata_->update_chunk(refs[i].chunk_index,
+                                             std::move(tombstone));
+    if (!updated.ok()) return op.finish(updated, nullptr,
+                                        config_.worker_threads);
+    Status unlinked = metadata_->unlink_chunk(client, filename,
+                                              refs[i].serial);
+    if (!unlinked.ok()) return op.finish(unlinked, nullptr,
+                                         config_.worker_threads);
+  }
+  {
+    JournalRecord rec;
+    rec.op = JournalOp::kRemoveFile;
+    rec.client = client;
+    rec.filename = filename;
+    rec.chunks.reserve(refs.size());
+    for (const ChunkRef& ref : refs) {
+      rec.chunks.push_back(JournalChunk{ref.serial, ref.chunk_index, {}});
+    }
+    if (Status st = journal_append(rec); !st.ok()) {
+      return op.finish(st, nullptr, config_.worker_threads);
+    }
+  }
+
+  // Drop all stripes through the pool. Each task owns its slot in
+  // `drop_times`, so no lock is needed; the futures are joined before the
+  // slots merge into the op accumulator.
   std::vector<std::vector<SimDuration>> drop_times(refs.size());
   auto drop_one = [&](std::size_t i) {
     const ChunkEntry& e = entries[i].value();
@@ -1041,106 +1209,113 @@ Status CloudDataDistributor::remove_file(const std::string& client,
     op.times.insert(op.times.end(), drop_times[i].begin(),
                     drop_times[i].end());
   }
-
-  for (std::size_t i = 0; i < refs.size(); ++i) {
-    ChunkEntry tombstone = std::move(entries[i]).value();
-    tombstone.deleted = true;
-    tombstone.stripe.clear();
-    tombstone.snapshot.clear();
-    Status updated = metadata_->update_chunk(refs[i].chunk_index,
-                                             std::move(tombstone));
-    if (!updated.ok()) return op.finish(updated, nullptr,
-                                        config_.worker_threads);
-    Status unlinked = metadata_->unlink_chunk(client, filename,
-                                              refs[i].serial);
-    if (!unlinked.ok()) return op.finish(unlinked, nullptr,
-                                         config_.worker_threads);
-  }
   return op.finish(Status::Ok(), nullptr, config_.worker_threads);
+}
+
+Result<CloudDataDistributor::StripeHealStats>
+CloudDataDistributor::heal_chunk(std::size_t index, bool note_scrub) {
+  StripeHealStats stats;
+  Result<ChunkEntry> entry_r = metadata_->chunk_entry(index);
+  if (!entry_r.ok()) return stats;  // row gone from under us: nothing to do
+  ChunkEntry entry = std::move(entry_r).value();
+  if (entry.deleted) return stats;
+
+  struct Probe {
+    std::optional<Bytes> data;  ///< set only when intact
+    bool corrupt = false;       ///< provider answered, digest failed
+  };
+  auto heal_stripe = [&](std::vector<ShardLocation>& stripe,
+                         const std::vector<crypto::Digest>& digests)
+      -> Result<std::size_t> {
+    // Probe every shard through the I/O pool (leaf tasks only, so both
+    // caller threads and the scrubber thread can block on the futures).
+    // Probes take a single attempt through the request layer: a
+    // quarantined provider's open breaker rejects without I/O, so its
+    // shards read as broken and get re-homed -- this is how repair heals
+    // quarantined stripes.
+    std::vector<std::future<Probe>> probes;
+    probes.reserve(stripe.size());
+    for (std::size_t s = 0; s < stripe.size(); ++s) {
+      probes.push_back(io_pool_.submit(
+          [this, loc = stripe[s], digest = digests[s]]() -> Probe {
+            Probe p;
+            RequestLayer::GetOutcome r =
+                rt_.get(loc.provider, loc.virtual_id, 1);
+            if (!r.data.has_value()) return p;
+            if (crypto::sha256(*r.data) == digest) {
+              p.data = std::move(*r.data);
+            } else {
+              p.corrupt = true;
+            }
+            return p;
+          }));
+    }
+    std::vector<std::optional<Bytes>> shards(stripe.size());
+    std::vector<std::size_t> broken;
+    for (std::size_t s = 0; s < stripe.size(); ++s) {
+      Probe p = probes[s].get();
+      if (p.corrupt) {
+        ++stats.mismatches;
+        if (note_scrub) registry_.at(stripe[s].provider).note_scrub_error();
+      }
+      shards[s] = std::move(p.data);
+      if (!shards[s].has_value()) broken.push_back(s);
+    }
+    if (broken.empty()) return std::size_t{0};
+    std::size_t fixed = 0;
+    for (std::size_t s : broken) {
+      Result<Bytes> shard =
+          raid::reconstruct_shard(entry.layout, shards, s);
+      if (!shard.ok()) return shard.status();
+      // New home: eligible, online, healthy, not already a stripe member.
+      const ProviderIndex home =
+          replacement_target(entry.privacy_level, stripe);
+      if (home == kNoProvider) {
+        return Status::ResourceExhausted(
+            "repair: no healthy provider outside the stripe");
+      }
+      const VirtualId id = next_virtual_id();
+      RequestLayer::Outcome rpc = rt_.put(home, id, shard.value());
+      CS_RETURN_IF_ERROR(rpc.status);
+      metadata_->record_removal(stripe[s].provider, stripe[s].virtual_id);
+      metadata_->record_placement(home, id);
+      stripe[s] = ShardLocation{home, id};
+      shards[s] = std::move(shard).value();
+      ++fixed;
+    }
+    return fixed;
+  };
+
+  Result<std::size_t> fixed = heal_stripe(entry.stripe, entry.shard_digests);
+  if (!fixed.ok()) return fixed.status();
+  stats.fixed = fixed.value();
+  if (entry.has_snapshot) {
+    Result<std::size_t> snap_fixed =
+        heal_stripe(entry.snapshot, entry.snapshot_digests);
+    if (!snap_fixed.ok()) return snap_fixed.status();
+    stats.fixed += snap_fixed.value();
+  }
+  if (stats.fixed > 0) {
+    Status updated = metadata_->update_chunk(index, entry);
+    if (!updated.ok()) return updated;
+    JournalRecord rec;
+    rec.op = JournalOp::kUpdateChunk;
+    rec.chunks.push_back(JournalChunk{0, index, std::move(entry)});
+    CS_RETURN_IF_ERROR(journal_append(rec));
+  }
+  return stats;
 }
 
 Result<std::size_t> CloudDataDistributor::repair() {
   OpScope op(telemetry_.get(), "repair", "", "");
-  auto fail = [&](const Status& st) {
-    return op.finish(st, nullptr, config_.worker_threads);
-  };
   std::size_t repaired = 0;
   const std::size_t n = metadata_->total_chunks();
   for (std::size_t idx = 0; idx < n; ++idx) {
-    Result<ChunkEntry> entry_r = metadata_->chunk_entry(idx);
-    if (!entry_r.ok()) continue;
-    ChunkEntry entry = std::move(entry_r).value();
-    if (entry.deleted) continue;
-
-    auto repair_stripe = [&](std::vector<ShardLocation>& stripe,
-                             const std::vector<crypto::Digest>& digests)
-        -> Result<std::size_t> {
-      // Probe every shard through the pool (repair runs on a caller
-      // thread, so blocking on the futures is safe). Probes take a single
-      // attempt through the request layer: a quarantined provider's open
-      // breaker rejects without I/O, so its shards read as broken and get
-      // re-homed -- this is how repair heals quarantined stripes.
-      std::vector<std::future<std::optional<Bytes>>> probes;
-      probes.reserve(stripe.size());
-      for (std::size_t s = 0; s < stripe.size(); ++s) {
-        probes.push_back(pool_.submit(
-            [this, loc = stripe[s],
-             digest = digests[s]]() -> std::optional<Bytes> {
-              RequestLayer::GetOutcome r =
-                  rt_.get(loc.provider, loc.virtual_id, 1);
-              if (r.data.has_value() &&
-                  crypto::sha256(*r.data) == digest) {
-                return std::move(*r.data);
-              }
-              return std::nullopt;
-            }));
-      }
-      std::vector<std::optional<Bytes>> shards(stripe.size());
-      std::vector<std::size_t> broken;
-      for (std::size_t s = 0; s < stripe.size(); ++s) {
-        shards[s] = probes[s].get();
-        if (!shards[s].has_value()) broken.push_back(s);
-      }
-      if (broken.empty()) return std::size_t{0};
-      std::size_t fixed = 0;
-      for (std::size_t s : broken) {
-        Result<Bytes> shard =
-            raid::reconstruct_shard(entry.layout, shards, s);
-        if (!shard.ok()) return shard.status();
-        // New home: eligible, online, healthy, not already a stripe member.
-        const ProviderIndex home =
-            replacement_target(entry.privacy_level, stripe);
-        if (home == kNoProvider) {
-          return Status::ResourceExhausted(
-              "repair: no healthy provider outside the stripe");
-        }
-        const VirtualId id = next_virtual_id();
-        RequestLayer::Outcome rpc = rt_.put(home, id, shard.value());
-        CS_RETURN_IF_ERROR(rpc.status);
-        metadata_->record_removal(stripe[s].provider, stripe[s].virtual_id);
-        metadata_->record_placement(home, id);
-        stripe[s] = ShardLocation{home, id};
-        shards[s] = std::move(shard).value();
-        ++fixed;
-      }
-      return fixed;
-    };
-
-    Result<std::size_t> fixed = repair_stripe(entry.stripe,
-                                              entry.shard_digests);
-    if (!fixed.ok()) return fail(fixed.status());
-    std::size_t total_fixed = fixed.value();
-    if (entry.has_snapshot) {
-      Result<std::size_t> snap_fixed =
-          repair_stripe(entry.snapshot, entry.snapshot_digests);
-      if (!snap_fixed.ok()) return fail(snap_fixed.status());
-      total_fixed += snap_fixed.value();
+    Result<StripeHealStats> healed = heal_chunk(idx, /*note_scrub=*/false);
+    if (!healed.ok()) {
+      return op.finish(healed.status(), nullptr, config_.worker_threads);
     }
-    if (total_fixed > 0) {
-      repaired += total_fixed;
-      Status updated = metadata_->update_chunk(idx, std::move(entry));
-      if (!updated.ok()) return fail(updated);
-    }
+    repaired += healed.value().fixed;
   }
   op.shards = repaired;
   if (repaired != 0 && telemetry_->enabled()) {
@@ -1148,6 +1323,100 @@ Result<std::size_t> CloudDataDistributor::repair() {
   }
   (void)op.finish(Status::Ok(), nullptr, config_.worker_threads);
   return repaired;
+}
+
+Result<std::size_t> CloudDataDistributor::scrub_chunk(
+    std::size_t index, std::size_t* digest_mismatches) {
+  Result<StripeHealStats> healed = heal_chunk(index, /*note_scrub=*/true);
+  if (!healed.ok()) return healed.status();
+  if (digest_mismatches != nullptr) {
+    *digest_mismatches = healed.value().mismatches;
+  }
+  return healed.value().fixed;
+}
+
+Result<CloudDataDistributor::ReconcileReport>
+CloudDataDistributor::reconcile(
+    const std::vector<std::pair<std::string, std::string>>& in_flight) {
+  OpScope op(telemetry_.get(), "reconcile", "", "");
+  ReconcileReport report;
+
+  // 1. The referenced set: every (provider, id) a live chunk row points at.
+  //    Everything else -- at a provider or in the provider table -- is a
+  //    crash leftover.
+  std::vector<std::unordered_set<VirtualId>> referenced(registry_.size());
+  const std::size_t n = metadata_->total_chunks();
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    Result<ChunkEntry> entry = metadata_->chunk_entry(idx);
+    if (!entry.ok()) continue;
+    for (const std::vector<ShardLocation>* locs :
+         {&entry.value().stripe, &entry.value().snapshot}) {
+      for (const ShardLocation& loc : *locs) {
+        if (loc.provider < referenced.size()) {
+          referenced[loc.provider].insert(loc.virtual_id);
+        }
+      }
+    }
+  }
+
+  // 2. Sweep provider-side objects no row references: shards of
+  //    uncommitted puts, or drops the crash interrupted after their
+  //    removal record committed.
+  for (ProviderIndex p = 0; p < registry_.size(); ++p) {
+    for (VirtualId id : registry_.at(p).list_ids()) {
+      if (referenced[p].count(id) != 0) continue;
+      RequestLayer::Outcome rpc = rt_.remove(p, id);
+      op.times.push_back(rpc.time);
+      metadata_->record_removal(p, id);
+      if (rpc.status.ok()) ++report.orphans_removed;
+    }
+  }
+
+  // 3. Provider-table ids with neither a referencing row nor an object
+  //    (placements of writes whose shards never survived the crash).
+  const auto provider_rows = metadata_->provider_table();
+  for (ProviderIndex p = 0; p < provider_rows.size(); ++p) {
+    for (VirtualId id : provider_rows[p].virtual_ids) {
+      if (p < referenced.size() && referenced[p].count(id) != 0) continue;
+      metadata_->record_removal(p, id);
+      ++report.stale_ids;
+    }
+  }
+
+  // 4. Abort the puts the crash caught mid-flight: their claims block the
+  //    filename forever otherwise. Shards they uploaded were swept above.
+  for (const auto& [client, filename] : in_flight) {
+    metadata_->release_file(client, filename);
+    JournalRecord rec;
+    rec.op = JournalOp::kAbortPut;
+    rec.client = client;
+    rec.filename = filename;
+    if (Status st = journal_append(rec); !st.ok()) {
+      return op.finish(st, nullptr, config_.worker_threads);
+    }
+    ++report.aborted_files;
+  }
+
+  // 5. Heal any stripe the crash degraded (e.g. an update that journaled
+  //    its commit but died before every superseded-stripe drop, or a
+  //    provider that lost writes).
+  Result<std::size_t> repaired = repair();
+  if (!repaired.ok()) {
+    return op.finish(repaired.status(), nullptr, config_.worker_threads);
+  }
+  report.repaired_shards = repaired.value();
+
+  if (telemetry_->enabled()) {
+    obs::MetricsRegistry& m = telemetry_->metrics();
+    if (report.orphans_removed != 0) {
+      m.counter("cdd.recovery_orphans_removed").inc(report.orphans_removed);
+    }
+    if (report.aborted_files != 0) {
+      m.counter("cdd.recovery_aborted_puts").inc(report.aborted_files);
+    }
+  }
+  (void)op.finish(Status::Ok(), nullptr, config_.worker_threads);
+  return report;
 }
 
 Result<std::size_t> CloudDataDistributor::rebalance() {
@@ -1163,6 +1432,10 @@ Result<std::size_t> CloudDataDistributor::rebalance() {
     ChunkEntry entry = std::move(entry_r).value();
     if (entry.deleted) continue;
 
+    // Shards to delete at the demoted provider -- deferred until the new
+    // locations have committed (metadata + journal), so a crash mid-
+    // migration leaves duplicates (orphans), never a hole.
+    std::vector<ShardLocation> retired;
     auto migrate_stripe = [&](std::vector<ShardLocation>& stripe)
         -> Result<std::size_t> {
       std::size_t moved = 0;
@@ -1208,7 +1481,7 @@ Result<std::size_t> CloudDataDistributor::rebalance() {
         const VirtualId id = next_virtual_id();
         RequestLayer::Outcome rpc = rt_.put(home, id, shard.value());
         CS_RETURN_IF_ERROR(rpc.status);
-        (void)rt_.remove(stripe[s].provider, stripe[s].virtual_id);
+        retired.push_back(stripe[s]);
         metadata_->record_removal(stripe[s].provider, stripe[s].virtual_id);
         metadata_->record_placement(home, id);
         stripe[s] = ShardLocation{home, id};
@@ -1227,8 +1500,15 @@ Result<std::size_t> CloudDataDistributor::rebalance() {
     }
     if (total_moved > 0) {
       migrated += total_moved;
-      Status updated = metadata_->update_chunk(idx, std::move(entry));
+      Status updated = metadata_->update_chunk(idx, entry);
       if (!updated.ok()) return fail(updated);
+      JournalRecord rec;
+      rec.op = JournalOp::kUpdateChunk;
+      rec.chunks.push_back(JournalChunk{0, idx, std::move(entry)});
+      if (Status st = journal_append(rec); !st.ok()) return fail(st);
+      for (const ShardLocation& old : retired) {
+        (void)rt_.remove(old.provider, old.virtual_id);
+      }
     }
   }
   op.shards = migrated;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/chunker.hpp"
+#include "core/journal.hpp"
 #include "core/placement.hpp"
 #include "core/request_layer.hpp"
 #include "core/tables.hpp"
@@ -72,6 +73,17 @@ struct DistributorConfig {
   /// breaker gating and hedged reads (see core/request_layer.hpp).
   /// `retry.enabled = false` reproduces the raw single-attempt behavior.
   RetryPolicy retry;
+  /// Write-ahead journal for metadata durability (see core/journal.hpp).
+  /// When set, every metadata mutation is journaled before the op returns
+  /// OK; null = in-memory-only metadata (the pre-journal behavior).
+  std::shared_ptr<Journal> journal;
+  /// Where checkpoint() writes the metadata snapshot. Required for
+  /// checkpointing; ignored when `journal` is null.
+  std::string checkpoint_path;
+  /// Auto-checkpoint once the journal holds this many records (0 = only
+  /// explicit checkpoint() calls). Bounds both journal growth and replay
+  /// time after a crash.
+  std::size_t checkpoint_interval = 0;
   std::uint64_t seed = 0xC10D0D15;
 };
 
@@ -189,6 +201,38 @@ class CloudDataDistributor {
   /// number of shards migrated.
   Result<std::size_t> rebalance();
 
+  // --- durability & crash recovery (see core/journal.hpp) ---------------
+
+  /// Folds the journal into an atomic metadata snapshot at
+  /// config().checkpoint_path. Requires a configured journal.
+  Status checkpoint();
+
+  /// What reconcile() had to clean up after a crash.
+  struct ReconcileReport {
+    std::size_t orphans_removed = 0;  ///< provider objects no chunk references
+    std::size_t stale_ids = 0;        ///< provider-table ids with no object
+    std::size_t aborted_files = 0;    ///< in-flight puts rolled back
+    std::size_t repaired_shards = 0;  ///< shards healed by the repair pass
+  };
+
+  /// Post-recovery reconciliation. Construct the distributor with
+  /// recover_metadata()'s store, then call this with its `in_flight` list:
+  /// sweeps provider objects no committed chunk references (shards of
+  /// uncommitted puts, drops a crash interrupted), clears stale provider-
+  /// table ids, aborts the in-flight puts, and runs a full repair pass for
+  /// stripes degraded by the crash.
+  Result<ReconcileReport> reconcile(
+      const std::vector<std::pair<std::string, std::string>>& in_flight);
+
+  /// Integrity-verifies one chunk: re-fetches every shard of its stripe
+  /// (and snapshot), checks SHA-256 digests, and routes any mismatch or
+  /// loss through the repair path. Returns shards repaired;
+  /// `digest_mismatches` (optional) receives the count of shards that
+  /// answered with corrupt bytes, and the holding providers are charged a
+  /// scrub error. The scrubber's per-chunk entry point (core/scrubber.hpp).
+  Result<std::size_t> scrub_chunk(std::size_t index,
+                                  std::size_t* digest_mismatches = nullptr);
+
   [[nodiscard]] const MetadataStore& metadata() const { return *metadata_; }
   [[nodiscard]] std::shared_ptr<MetadataStore> metadata_ptr() { return metadata_; }
   [[nodiscard]] storage::ProviderRegistry& registry() { return registry_; }
@@ -271,6 +315,23 @@ class CloudDataDistributor {
   /// and repair/rebalance home selection.
   [[nodiscard]] ProviderIndex replacement_target(
       PrivacyLevel pl, const std::vector<ShardLocation>& stripe) const;
+
+  /// What healing one chunk found and fixed.
+  struct StripeHealStats {
+    std::size_t fixed = 0;       ///< shards reconstructed and re-homed
+    std::size_t mismatches = 0;  ///< shards returned with a bad digest
+  };
+
+  /// Shared core of repair() and scrub_chunk(): probes every shard of the
+  /// chunk at `index` (stripe + snapshot) through the I/O pool, RAID-
+  /// reconstructs what is missing or corrupt, re-homes it, and commits the
+  /// new locations (metadata + journal). `note_scrub` charges providers
+  /// that served corrupt bytes with a scrub error.
+  Result<StripeHealStats> heal_chunk(std::size_t index, bool note_scrub);
+
+  /// Appends to the configured journal (no-op without one) and triggers the
+  /// auto-checkpoint when the interval is reached.
+  Status journal_append(const JournalRecord& rec);
 
   storage::ProviderRegistry& registry_;
   DistributorConfig config_;

@@ -1,0 +1,539 @@
+#include "core/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <set>
+
+#include "common/types.hpp"
+#include "core/metadata_io.hpp"
+#include "util/hash.hpp"
+#include "util/wire.hpp"
+
+namespace cshield::core {
+namespace {
+
+constexpr std::uint32_t kJournalMagic = 0xC5D17A6EU;
+constexpr std::uint32_t kJournalVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 4 + 8;
+constexpr std::size_t kFrameOverhead = 4 + 4;  // length + crc
+
+[[nodiscard]] std::uint32_t load_u32(BytesView image, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(image[off + i]) << (8 * i);
+  }
+  return v;
+}
+
+[[nodiscard]] Status errno_status(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Writes `data` fully at the current file offset.
+[[nodiscard]] Status write_all(int fd, BytesView data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("journal write");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+[[nodiscard]] Bytes encode_header(std::uint64_t checkpoint_ops) {
+  Bytes out;
+  wire::Writer w(out);
+  w.u32(kJournalMagic);
+  w.u32(kJournalVersion);
+  w.u64(checkpoint_ops);
+  return out;
+}
+
+/// fsyncs the directory containing `p` so a rename/creation inside it is
+/// durable (best-effort: some filesystems reject O_RDONLY dir fsync).
+void fsync_parent_dir(const std::filesystem::path& p) {
+  const std::filesystem::path dir =
+      p.has_parent_path() ? p.parent_path() : std::filesystem::path(".");
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    (void)::close(dfd);
+  }
+}
+
+[[nodiscard]] Result<Bytes> read_file_bytes(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return Status::Internal("cannot open " + p.string());
+  Bytes data{std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>()};
+  if (in.bad()) return Status::Internal("read failed for " + p.string());
+  return data;
+}
+
+}  // namespace
+
+Bytes encode_record(const JournalRecord& rec) {
+  Bytes out;
+  wire::Writer w(out);
+  w.u8(static_cast<std::uint8_t>(rec.op));
+  switch (rec.op) {
+    case JournalOp::kRegisterProvider:
+      w.u64(rec.provider_index);
+      w.str(rec.client);  // provider name
+      w.u8(rec.level);
+      w.u8(rec.cost);
+      break;
+    case JournalOp::kRegisterClient:
+      w.str(rec.client);
+      break;
+    case JournalOp::kAddPassword:
+      w.str(rec.client);
+      w.str(rec.filename);  // password
+      w.u8(rec.level);
+      break;
+    case JournalOp::kBeginPut:
+    case JournalOp::kAbortPut:
+      w.str(rec.client);
+      w.str(rec.filename);
+      break;
+    case JournalOp::kCommitPut:
+    case JournalOp::kUpdateChunk:
+      w.str(rec.client);
+      w.str(rec.filename);
+      w.u32(static_cast<std::uint32_t>(rec.chunks.size()));
+      for (const JournalChunk& c : rec.chunks) {
+        w.u64(c.serial);
+        w.u64(c.index);
+        write_chunk_entry(w, c.entry);
+      }
+      break;
+    case JournalOp::kRemoveChunk:
+    case JournalOp::kRemoveFile:
+      w.str(rec.client);
+      w.str(rec.filename);
+      w.u32(static_cast<std::uint32_t>(rec.chunks.size()));
+      for (const JournalChunk& c : rec.chunks) {
+        w.u64(c.serial);
+        w.u64(c.index);
+      }
+      break;
+  }
+  return out;
+}
+
+bool decode_record(BytesView payload, JournalRecord& rec) {
+  wire::Reader r(payload);
+  std::uint8_t op = 0;
+  if (!r.u8(op)) return false;
+  if (op < static_cast<std::uint8_t>(JournalOp::kRegisterProvider) ||
+      op > static_cast<std::uint8_t>(JournalOp::kRemoveFile)) {
+    return false;
+  }
+  rec.op = static_cast<JournalOp>(op);
+  switch (rec.op) {
+    case JournalOp::kRegisterProvider:
+      if (!r.u64(rec.provider_index) || !r.str(rec.client) ||
+          !r.u8(rec.level) || !r.u8(rec.cost)) {
+        return false;
+      }
+      if (rec.level >= kNumPrivacyLevels || rec.cost >= kNumCostLevels) {
+        return false;
+      }
+      break;
+    case JournalOp::kRegisterClient:
+      if (!r.str(rec.client)) return false;
+      break;
+    case JournalOp::kAddPassword:
+      if (!r.str(rec.client) || !r.str(rec.filename) || !r.u8(rec.level)) {
+        return false;
+      }
+      if (rec.level >= kNumPrivacyLevels) return false;
+      break;
+    case JournalOp::kBeginPut:
+    case JournalOp::kAbortPut:
+      if (!r.str(rec.client) || !r.str(rec.filename)) return false;
+      break;
+    case JournalOp::kCommitPut:
+    case JournalOp::kUpdateChunk: {
+      std::uint32_t n = 0;
+      if (!r.str(rec.client) || !r.str(rec.filename) || !r.u32(n) ||
+          static_cast<std::size_t>(n) > r.remaining()) {
+        return false;
+      }
+      rec.chunks.resize(n);
+      for (JournalChunk& c : rec.chunks) {
+        if (!r.u64(c.serial) || !r.u64(c.index) ||
+            !read_chunk_entry(r, c.entry)) {
+          return false;
+        }
+      }
+      break;
+    }
+    case JournalOp::kRemoveChunk:
+    case JournalOp::kRemoveFile: {
+      std::uint32_t n = 0;
+      if (!r.str(rec.client) || !r.str(rec.filename) || !r.u32(n) ||
+          static_cast<std::size_t>(n) > r.remaining()) {
+        return false;
+      }
+      rec.chunks.resize(n);
+      for (JournalChunk& c : rec.chunks) {
+        if (!r.u64(c.serial) || !r.u64(c.index)) return false;
+      }
+      break;
+    }
+  }
+  return r.remaining() == 0;
+}
+
+Result<JournalReplay> replay_journal_image(BytesView image) {
+  if (image.size() < kHeaderSize) {
+    return Status::InvalidArgument("journal: truncated header");
+  }
+  if (load_u32(image, 0) != kJournalMagic) {
+    return Status::InvalidArgument("journal: bad magic");
+  }
+  if (load_u32(image, 4) != kJournalVersion) {
+    return Status::InvalidArgument("journal: unsupported version");
+  }
+  JournalReplay out;
+  for (int i = 0; i < 8; ++i) {
+    out.checkpoint_ops |= static_cast<std::uint64_t>(image[8 + i]) << (8 * i);
+  }
+  out.valid_bytes = kHeaderSize;
+
+  std::size_t off = kHeaderSize;
+  while (off + kFrameOverhead <= image.size()) {
+    const std::uint32_t len = load_u32(image, off);
+    const std::uint32_t crc = load_u32(image, off + 4);
+    if (static_cast<std::size_t>(len) > image.size() - off - kFrameOverhead) {
+      break;  // torn tail: length runs past the file
+    }
+    const BytesView payload = image.subspan(off + kFrameOverhead, len);
+    if (crc32(payload) != crc) break;  // torn or corrupt frame
+    JournalRecord rec;
+    if (!decode_record(payload, rec)) break;
+    out.records.push_back(std::move(rec));
+    off += kFrameOverhead + len;
+    out.valid_bytes = off;
+  }
+  return out;
+}
+
+Journal::Journal(std::filesystem::path path, int fd, std::size_t records,
+                 std::uint64_t bytes, std::uint64_t checkpoint_ops)
+    : path_(std::move(path)),
+      fd_(fd),
+      records_(records),
+      bytes_(bytes),
+      checkpoint_ops_(checkpoint_ops) {}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Journal>> Journal::open(std::filesystem::path path) {
+  Bytes image;
+  if (std::filesystem::exists(path)) {
+    auto read = read_file_bytes(path);
+    CS_RETURN_IF_ERROR(read.status());
+    image = std::move(read).value();
+  }
+  // A file shorter than the header is a crash while creating a fresh
+  // journal -- it cannot hold records, so recreate it.
+  const bool fresh = image.size() < kHeaderSize;
+  std::size_t records = 0;
+  std::size_t valid = kHeaderSize;
+  std::uint64_t checkpoint_ops = 0;
+  if (!fresh) {
+    auto replay = replay_journal_image(image);
+    CS_RETURN_IF_ERROR(replay.status());
+    records = replay.value().records.size();
+    valid = replay.value().valid_bytes;
+    checkpoint_ops = replay.value().checkpoint_ops;
+  }
+
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return errno_status("journal open " + path.string());
+  if (fresh) {
+    if (::ftruncate(fd, 0) != 0) {
+      ::close(fd);
+      return errno_status("journal truncate");
+    }
+    const Bytes header = encode_header(0);
+    if (Status st = write_all(fd, header); !st.ok()) {
+      ::close(fd);
+      return st;
+    }
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      return errno_status("journal fsync");
+    }
+    fsync_parent_dir(path);
+  } else if (valid < image.size()) {
+    // Torn tail from a mid-append crash: cut it so the next append starts
+    // on a frame boundary.
+    if (::ftruncate(fd, static_cast<off_t>(valid)) != 0) {
+      ::close(fd);
+      return errno_status("journal truncate");
+    }
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      return errno_status("journal fsync");
+    }
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return errno_status("journal seek");
+  }
+  return std::unique_ptr<Journal>(
+      new Journal(std::move(path), fd, records, valid, checkpoint_ops));
+}
+
+Status Journal::append(const JournalRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (test_hook_before_append) test_hook_before_append(rec);
+  const Bytes payload = encode_record(rec);
+  Bytes frame;
+  wire::Writer w(frame);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(payload));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  CS_RETURN_IF_ERROR(write_all(fd_, frame));
+  if (::fsync(fd_) != 0) return errno_status("journal fsync");
+  bytes_ += frame.size();
+  ++records_;
+  ++total_appended_;
+  if (test_hook_after_append) test_hook_after_append(rec);
+  return Status::Ok();
+}
+
+Status Journal::checkpoint(const std::function<Bytes()>& snapshot,
+                           const std::filesystem::path& checkpoint_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Appends are blocked, so the snapshot covers exactly the records about
+  // to be truncated (ops journal *after* mutating the store, so anything
+  // already journaled is visible to the snapshot).
+  const Bytes image = snapshot();
+
+  const std::filesystem::path tmp = checkpoint_path.string() + ".tmp";
+  {
+    const int cfd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (cfd < 0) return errno_status("checkpoint open " + tmp.string());
+    Status st = write_all(cfd, image);
+    if (st.ok() && ::fsync(cfd) != 0) st = errno_status("checkpoint fsync");
+    ::close(cfd);
+    if (!st.ok()) {
+      std::error_code ignore;
+      std::filesystem::remove(tmp, ignore);
+      return st;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, checkpoint_path, ec);
+  if (ec) {
+    std::error_code ignore;
+    std::filesystem::remove(tmp, ignore);
+    return Status::Internal("checkpoint rename: " + ec.message());
+  }
+  fsync_parent_dir(checkpoint_path);
+
+  // The checkpoint is durable; fold the journaled records into it. A crash
+  // before the truncate lands just replays them onto the new checkpoint --
+  // apply_journal_record is idempotent for exactly this window.
+  checkpoint_ops_ += records_;
+  records_ = 0;
+  if (::ftruncate(fd_, static_cast<off_t>(kHeaderSize)) != 0) {
+    return errno_status("journal truncate");
+  }
+  const Bytes header = encode_header(checkpoint_ops_);
+  if (::lseek(fd_, 0, SEEK_SET) < 0) return errno_status("journal seek");
+  CS_RETURN_IF_ERROR(write_all(fd_, header));
+  if (::fsync(fd_) != 0) return errno_status("journal fsync");
+  if (::lseek(fd_, 0, SEEK_END) < 0) return errno_status("journal seek");
+  bytes_ = kHeaderSize;
+  return Status::Ok();
+}
+
+std::size_t Journal::record_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::uint64_t Journal::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::uint64_t Journal::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_appended_;
+}
+
+std::uint64_t Journal::last_checkpoint_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoint_ops_;
+}
+
+namespace {
+
+/// Re-derives the provider virtual-id bookkeeping for one chunk-row
+/// transition: locations leaving the row are removed, locations entering
+/// it are placed. Set-based insert/erase makes double application a no-op.
+void sync_placements(MetadataStore& store, const ChunkEntry* before,
+                     const ChunkEntry& after) {
+  const std::size_t providers = store.provider_count();
+  auto locations = [](const ChunkEntry& e) {
+    std::set<std::pair<ProviderIndex, VirtualId>> out;
+    for (const auto& s : e.stripe) out.emplace(s.provider, s.virtual_id);
+    for (const auto& s : e.snapshot) out.emplace(s.provider, s.virtual_id);
+    return out;
+  };
+  const auto now = locations(after);
+  if (before != nullptr) {
+    for (const auto& [p, id] : locations(*before)) {
+      if (now.count({p, id}) == 0 && p < providers) {
+        store.record_removal(p, id);
+      }
+    }
+  }
+  for (const auto& [p, id] : now) {
+    if (p < providers) store.record_placement(p, id);
+  }
+}
+
+/// Fetches the current row at `index`, if the table reaches that far.
+[[nodiscard]] std::optional<ChunkEntry> row_at(const MetadataStore& store,
+                                               std::size_t index) {
+  auto r = store.chunk_entry(index);
+  if (!r.ok()) return std::nullopt;
+  return std::move(r).value();
+}
+
+}  // namespace
+
+Status apply_journal_record(MetadataStore& store, const JournalRecord& rec) {
+  switch (rec.op) {
+    case JournalOp::kRegisterProvider: {
+      const std::size_t known = store.provider_count();
+      if (rec.provider_index < known) return Status::Ok();  // in checkpoint
+      if (rec.provider_index != known) {
+        return Status::Internal("journal: provider index gap at " +
+                                std::to_string(rec.provider_index));
+      }
+      store.register_provider(rec.client,
+                              static_cast<PrivacyLevel>(rec.level),
+                              static_cast<CostLevel>(rec.cost));
+      return Status::Ok();
+    }
+    case JournalOp::kRegisterClient: {
+      Status st = store.register_client(rec.client);
+      if (st.code() == ErrorCode::kAlreadyExists) return Status::Ok();
+      return st;
+    }
+    case JournalOp::kAddPassword: {
+      Status st = store.add_password(rec.client, rec.filename,
+                                     static_cast<PrivacyLevel>(rec.level));
+      if (st.code() == ErrorCode::kAlreadyExists) return Status::Ok();
+      return st;
+    }
+    case JournalOp::kBeginPut: {
+      Status st = store.claim_file(rec.client, rec.filename);
+      if (st.code() == ErrorCode::kAlreadyExists) return Status::Ok();
+      return st;
+    }
+    case JournalOp::kAbortPut:
+      store.release_file(rec.client, rec.filename);
+      return Status::Ok();
+    case JournalOp::kCommitPut: {
+      for (const JournalChunk& c : rec.chunks) {
+        const auto before = row_at(store, c.index);
+        CS_RETURN_IF_ERROR(store.put_chunk_at(rec.client, rec.filename,
+                                              c.serial, c.index, c.entry));
+        sync_placements(store, before ? &*before : nullptr, c.entry);
+      }
+      return Status::Ok();
+    }
+    case JournalOp::kUpdateChunk: {
+      for (const JournalChunk& c : rec.chunks) {
+        const auto before = row_at(store, c.index);
+        store.set_chunk(c.index, c.entry);
+        sync_placements(store, before ? &*before : nullptr, c.entry);
+      }
+      return Status::Ok();
+    }
+    case JournalOp::kRemoveChunk:
+    case JournalOp::kRemoveFile: {
+      for (const JournalChunk& c : rec.chunks) {
+        const auto before = row_at(store, c.index);
+        ChunkEntry tombstone;
+        if (before) tombstone = *before;
+        tombstone.deleted = true;
+        tombstone.stripe.clear();
+        tombstone.snapshot.clear();
+        tombstone.has_snapshot = false;
+        store.set_chunk(c.index, tombstone);
+        sync_placements(store, before ? &*before : nullptr, tombstone);
+        Status st = store.unlink_chunk(rec.client, rec.filename, c.serial);
+        if (!st.ok() && st.code() != ErrorCode::kNotFound) return st;
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("journal: unknown op");
+}
+
+Result<RecoveredState> recover_metadata(
+    const std::filesystem::path& checkpoint_path,
+    const std::filesystem::path& journal_path) {
+  RecoveredState out;
+  if (std::filesystem::exists(checkpoint_path)) {
+    auto image = read_file_bytes(checkpoint_path);
+    CS_RETURN_IF_ERROR(image.status());
+    auto restored = deserialize_metadata(image.value());
+    CS_RETURN_IF_ERROR(restored.status());
+    out.metadata = std::move(restored).value();
+  } else {
+    out.metadata = std::make_shared<MetadataStore>();
+  }
+
+  if (std::filesystem::exists(journal_path)) {
+    auto image = read_file_bytes(journal_path);
+    CS_RETURN_IF_ERROR(image.status());
+    // Shorter than a header = crash while creating the file: no records.
+    if (image.value().size() >= kHeaderSize) {
+      auto replay = replay_journal_image(image.value());
+      CS_RETURN_IF_ERROR(replay.status());
+      out.checkpoint_ops = replay.value().checkpoint_ops;
+      std::set<std::pair<std::string, std::string>> open_puts;
+      for (const JournalRecord& rec : replay.value().records) {
+        CS_RETURN_IF_ERROR(apply_journal_record(*out.metadata, rec));
+        switch (rec.op) {
+          case JournalOp::kBeginPut:
+            open_puts.emplace(rec.client, rec.filename);
+            break;
+          case JournalOp::kCommitPut:
+          case JournalOp::kAbortPut:
+            open_puts.erase({rec.client, rec.filename});
+            break;
+          default:
+            break;
+        }
+      }
+      out.replayed_records = replay.value().records.size();
+      out.in_flight.assign(open_puts.begin(), open_puts.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace cshield::core

@@ -1,0 +1,184 @@
+// Write-ahead journal for the Cloud Data Distributor's metadata tables.
+//
+// The three tables (SIV-A, Tables I-III) are the only unrecomputable state
+// in the system; metadata_io's one-shot snapshot loses every mutation since
+// the last explicit save. The journal closes that window GFS/Raft-style
+// (see PAPERS.md): every metadata mutation appends one CRC32-framed record
+// *before* the operation acknowledges to the client, and recovery replays
+// checkpoint + journal to rebuild the exact committed state.
+//
+// File layout:
+//   header : u32 magic | u32 version | u64 checkpoint_ops
+//   frames : (u32 payload_len | u32 crc32(payload) | payload)*
+//
+// `checkpoint_ops` counts the records folded into checkpoints so far, so a
+// restarted process can still report how much history the checkpoint
+// carries. A torn tail (crash mid-append) is data, not corruption: replay
+// stops at the first frame whose length runs past the file or whose CRC
+// fails, and Journal::open truncates the tail so the next append lands on
+// a clean boundary.
+//
+// Commit-point discipline (enforced by the distributor, verified by
+// tests/recovery_test.cpp):
+//   - kBeginPut is appended before any shard upload of a put;
+//   - commit records (kCommitPut/kUpdateChunk/kRemoveChunk/kRemoveFile) are
+//     appended after the in-memory metadata mutation but before any
+//     provider-side deletion of superseded stripes and before the client
+//     sees OK;
+// so a crash at *any* byte of the journal stream leaves either (a) the old
+// committed state plus unreferenced orphan shards, or (b) the new committed
+// state plus unreferenced orphan shards -- never a committed record whose
+// shards are gone. Reconciliation (CloudDataDistributor::reconcile) sweeps
+// the orphans.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/tables.hpp"
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace cshield::core {
+
+/// Metadata mutation kinds. Values are the on-disk tags -- append-only,
+/// never renumber.
+enum class JournalOp : std::uint8_t {
+  kRegisterProvider = 1,  ///< provider row mirrored from the registry
+  kRegisterClient = 2,
+  kAddPassword = 3,
+  kBeginPut = 4,    ///< intent: filename claimed, shard uploads may follow
+  kCommitPut = 5,   ///< all chunk rows of a put, with explicit indices
+  kAbortPut = 6,    ///< put rolled back; claim released
+  kUpdateChunk = 7, ///< chunk row overwritten (update/repair/rebalance)
+  kRemoveChunk = 8,
+  kRemoveFile = 9,
+};
+
+/// One chunk-table row carried by a commit/update/remove record. The index
+/// is explicit because concurrent ops interleave add_chunk arbitrarily --
+/// replay must land each row exactly where the original op committed it.
+struct JournalChunk {
+  std::uint64_t serial = 0;
+  std::uint64_t index = 0;
+  ChunkEntry entry;  ///< unused (empty) for remove records
+};
+
+/// One journal record. A flat union-of-fields struct: which fields are
+/// meaningful depends on `op` (see encode_record), unused ones stay empty.
+struct JournalRecord {
+  JournalOp op = JournalOp::kBeginPut;
+  std::string client;    ///< provider name for kRegisterProvider
+  std::string filename;  ///< password for kAddPassword
+  std::uint8_t level = 0;          ///< privacy level (provider / password)
+  std::uint8_t cost = 0;           ///< provider cost level
+  std::uint64_t provider_index = 0;  ///< kRegisterProvider: table index
+  std::vector<JournalChunk> chunks;  ///< commit / update / remove rows
+};
+
+/// Serializes one record payload (no frame). Chunk entries use the
+/// metadata_io wire layout, so journal and checkpoint agree byte-for-byte.
+[[nodiscard]] Bytes encode_record(const JournalRecord& rec);
+
+/// Parses one record payload; false on truncation or implausible fields.
+[[nodiscard]] bool decode_record(BytesView payload, JournalRecord& rec);
+
+/// Outcome of scanning a journal image.
+struct JournalReplay {
+  std::vector<JournalRecord> records;  ///< longest well-formed prefix
+  std::uint64_t checkpoint_ops = 0;    ///< header field
+  std::size_t valid_bytes = 0;  ///< bytes up to (excluding) the torn tail
+};
+
+/// Scans a full journal file image. A bad header is an error (the file is
+/// not a journal); a torn/corrupt tail is tolerated -- records stop there.
+[[nodiscard]] Result<JournalReplay> replay_journal_image(BytesView image);
+
+/// Append-only journal file handle. Thread-safe: appends serialize under
+/// one mutex and fsync before returning, so "append returned OK" means the
+/// record is durable. One Journal instance per file per process.
+class Journal {
+ public:
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Opens (creating if absent) the journal at `path`. An existing file is
+  /// scanned and any torn tail truncated away. Rejects files that are not
+  /// journals (bad magic / unknown version).
+  [[nodiscard]] static Result<std::unique_ptr<Journal>> open(
+      std::filesystem::path path);
+
+  /// Appends one framed record and fsyncs. The record is durable when this
+  /// returns OK.
+  Status append(const JournalRecord& rec);
+
+  /// Atomic checkpoint: calls `snapshot` (typically serialize_metadata),
+  /// writes the image to `checkpoint_path` via temp-file + fsync + rename
+  /// + directory fsync, then truncates the journal back to its header with
+  /// `checkpoint_ops` advanced by the records folded in. Appends are
+  /// blocked for the duration, so the snapshot and the truncation are one
+  /// cut: every truncated record is inside the checkpoint image.
+  Status checkpoint(const std::function<Bytes()>& snapshot,
+                    const std::filesystem::path& checkpoint_path);
+
+  /// Records currently in the journal (since the last checkpoint).
+  [[nodiscard]] std::size_t record_count() const;
+  /// Journal file size in bytes (header included).
+  [[nodiscard]] std::uint64_t bytes() const;
+  /// Records appended over this handle's lifetime (monotonic).
+  [[nodiscard]] std::uint64_t total_appended() const;
+  /// Cumulative records folded into checkpoints (persisted in the header).
+  [[nodiscard]] std::uint64_t last_checkpoint_ops() const;
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  /// Crash-injection seams for tests: called inside append(), under the
+  /// append mutex, immediately before / after the frame hits the disk.
+  /// Install before serving traffic; not synchronized against appends.
+  std::function<void(const JournalRecord&)> test_hook_before_append;
+  std::function<void(const JournalRecord&)> test_hook_after_append;
+
+ private:
+  Journal(std::filesystem::path path, int fd, std::size_t records,
+          std::uint64_t bytes, std::uint64_t checkpoint_ops);
+
+  mutable std::mutex mu_;
+  std::filesystem::path path_;
+  int fd_ = -1;
+  std::size_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t total_appended_ = 0;
+  std::uint64_t checkpoint_ops_ = 0;
+};
+
+/// Applies one replayed record to a store. Idempotent: a record present in
+/// both the checkpoint image and the journal (an op that raced the
+/// checkpoint cut) applies cleanly twice. Provider virtual-id bookkeeping
+/// is re-derived by diffing the old and new chunk rows.
+Status apply_journal_record(MetadataStore& store, const JournalRecord& rec);
+
+/// What crash recovery reconstructed.
+struct RecoveredState {
+  std::shared_ptr<MetadataStore> metadata;
+  /// Puts with a kBeginPut but no kCommitPut/kAbortPut: the crash caught
+  /// them mid-flight. Their claims must be released and their shards are
+  /// orphans (reconcile handles both).
+  std::vector<std::pair<std::string, std::string>> in_flight;
+  std::size_t replayed_records = 0;
+  std::uint64_t checkpoint_ops = 0;
+};
+
+/// Rebuilds the committed metadata state: checkpoint image (if any) plus
+/// the journal's well-formed record prefix (if any). Neither file existing
+/// yields an empty store -- a fresh deployment.
+[[nodiscard]] Result<RecoveredState> recover_metadata(
+    const std::filesystem::path& checkpoint_path,
+    const std::filesystem::path& journal_path);
+
+}  // namespace cshield::core

@@ -64,6 +64,58 @@ bool read_positions(wire::Reader& r, std::vector<std::uint32_t>& ps) {
 
 }  // namespace
 
+void write_chunk_entry(wire::Writer& w, const ChunkEntry& e) {
+  w.u8(static_cast<std::uint8_t>(e.privacy_level));
+  w.u8(static_cast<std::uint8_t>(e.layout.level));
+  w.u64(e.layout.data_shards);
+  w.u64(e.layout.parity_shards);
+  write_shards(w, e.stripe);
+  write_shards(w, e.snapshot);
+  write_positions(w, e.misleading);
+  w.u64(e.padded_size);
+  write_digests(w, e.shard_digests);
+  w.u8(e.has_snapshot ? 1 : 0);
+  w.u64(e.snapshot_padded_size);
+  write_positions(w, e.snapshot_misleading);
+  write_digests(w, e.snapshot_digests);
+  w.u8(e.deleted ? 1 : 0);
+}
+
+bool read_chunk_entry(wire::Reader& r, ChunkEntry& e) {
+  std::uint8_t pl = 0;
+  std::uint8_t level = 0;
+  std::uint64_t data_shards = 0;
+  std::uint64_t parity_shards = 0;
+  if (!r.u8(pl) || !r.u8(level) || !r.u64(data_shards) ||
+      !r.u64(parity_shards)) {
+    return false;
+  }
+  if (pl >= kNumPrivacyLevels ||
+      level > static_cast<std::uint8_t>(raid::RaidLevel::kRaid6)) {
+    return false;
+  }
+  e.privacy_level = static_cast<PrivacyLevel>(pl);
+  e.layout.level = static_cast<raid::RaidLevel>(level);
+  e.layout.data_shards = static_cast<std::size_t>(data_shards);
+  e.layout.parity_shards = static_cast<std::size_t>(parity_shards);
+  std::uint8_t has_snapshot = 0;
+  std::uint8_t deleted = 0;
+  std::uint64_t padded = 0;
+  std::uint64_t snap_padded = 0;
+  if (!read_shards(r, e.stripe) || !read_shards(r, e.snapshot) ||
+      !read_positions(r, e.misleading) || !r.u64(padded) ||
+      !read_digests(r, e.shard_digests) || !r.u8(has_snapshot) ||
+      !r.u64(snap_padded) || !read_positions(r, e.snapshot_misleading) ||
+      !read_digests(r, e.snapshot_digests) || !r.u8(deleted)) {
+    return false;
+  }
+  e.padded_size = static_cast<std::size_t>(padded);
+  e.snapshot_padded_size = static_cast<std::size_t>(snap_padded);
+  e.has_snapshot = has_snapshot != 0;
+  e.deleted = deleted != 0;
+  return true;
+}
+
 Bytes serialize_metadata(const MetadataStore& store) {
   Bytes out;
   wire::Writer w(out);
@@ -100,22 +152,7 @@ Bytes serialize_metadata(const MetadataStore& store) {
 
   const auto chunks = store.chunk_table();
   w.u32(static_cast<std::uint32_t>(chunks.size()));
-  for (const auto& e : chunks) {
-    w.u8(static_cast<std::uint8_t>(e.privacy_level));
-    w.u8(static_cast<std::uint8_t>(e.layout.level));
-    w.u64(e.layout.data_shards);
-    w.u64(e.layout.parity_shards);
-    write_shards(w, e.stripe);
-    write_shards(w, e.snapshot);
-    write_positions(w, e.misleading);
-    w.u64(e.padded_size);
-    write_digests(w, e.shard_digests);
-    w.u8(e.has_snapshot ? 1 : 0);
-    w.u64(e.snapshot_padded_size);
-    write_positions(w, e.snapshot_misleading);
-    write_digests(w, e.snapshot_digests);
-    w.u8(e.deleted ? 1 : 0);
-  }
+  for (const auto& e : chunks) write_chunk_entry(w, e);
   return out;
 }
 
@@ -198,37 +235,7 @@ Result<std::shared_ptr<MetadataStore>> deserialize_metadata(BytesView image) {
   if (!r.u32(n) || !plausible(n)) return truncated;
   chunks.resize(n);
   for (auto& e : chunks) {
-    std::uint8_t pl = 0;
-    std::uint8_t level = 0;
-    std::uint64_t data_shards = 0;
-    std::uint64_t parity_shards = 0;
-    if (!r.u8(pl) || !r.u8(level) || !r.u64(data_shards) ||
-        !r.u64(parity_shards)) {
-      return truncated;
-    }
-    if (pl >= kNumPrivacyLevels ||
-        level > static_cast<std::uint8_t>(raid::RaidLevel::kRaid6)) {
-      return Status::InvalidArgument("metadata image: bad chunk header");
-    }
-    e.privacy_level = static_cast<PrivacyLevel>(pl);
-    e.layout.level = static_cast<raid::RaidLevel>(level);
-    e.layout.data_shards = static_cast<std::size_t>(data_shards);
-    e.layout.parity_shards = static_cast<std::size_t>(parity_shards);
-    std::uint8_t has_snapshot = 0;
-    std::uint8_t deleted = 0;
-    std::uint64_t padded = 0;
-    std::uint64_t snap_padded = 0;
-    if (!read_shards(r, e.stripe) || !read_shards(r, e.snapshot) ||
-        !read_positions(r, e.misleading) || !r.u64(padded) ||
-        !read_digests(r, e.shard_digests) || !r.u8(has_snapshot) ||
-        !r.u64(snap_padded) || !read_positions(r, e.snapshot_misleading) ||
-        !read_digests(r, e.snapshot_digests) || !r.u8(deleted)) {
-      return truncated;
-    }
-    e.padded_size = static_cast<std::size_t>(padded);
-    e.snapshot_padded_size = static_cast<std::size_t>(snap_padded);
-    e.has_snapshot = has_snapshot != 0;
-    e.deleted = deleted != 0;
+    if (!read_chunk_entry(r, e)) return truncated;
   }
 
   auto store = std::make_shared<MetadataStore>();

@@ -13,6 +13,7 @@
 #include "core/tables.hpp"
 #include "util/bytes.hpp"
 #include "util/status.hpp"
+#include "util/wire.hpp"
 
 namespace cshield::core {
 
@@ -23,5 +24,14 @@ namespace cshield::core {
 /// bad magic, unknown versions and truncation.
 [[nodiscard]] Result<std::shared_ptr<MetadataStore>> deserialize_metadata(
     BytesView image);
+
+/// Writes one chunk-table row in the image's wire layout. Shared with the
+/// journal's commit/update records, so a replayed entry is byte-identical
+/// to a checkpointed one.
+void write_chunk_entry(wire::Writer& w, const ChunkEntry& entry);
+
+/// Reads one chunk-table row; false on truncation or an implausible field
+/// (bad privacy level, unknown RAID level, count past the buffer end).
+[[nodiscard]] bool read_chunk_entry(wire::Reader& r, ChunkEntry& entry);
 
 }  // namespace cshield::core

@@ -1,0 +1,188 @@
+// Background integrity scrubber.
+//
+// The paper's SIII-A worries include providers that silently corrupt or
+// lose data. Per-read digest checks only catch that *when a client reads*;
+// a shard can rot for months on a cold chunk and surprise the client after
+// redundancy has already eroded. The scrubber closes that gap: it walks
+// the chunk table continuously, re-fetches every shard (stripe and
+// snapshot), verifies the SHA-256 digests the tables record, and routes
+// anything missing or corrupt through the distributor's repair path --
+// so corruption is found and healed before a client read can observe it.
+//
+// Mechanics: each pass walks the chunk table by index, calling
+// CloudDataDistributor::scrub_chunk (shard probes fan out on the shard-I/O
+// pool; the scrubber thread itself only paces the walk). An optional
+// chunks-per-second throttle bounds the background I/O load. Providers
+// that served corrupt bytes are charged a `scrub_errors` counter, and each
+// pass emits scrub.* metrics plus a scrub_pass trace span through the
+// distributor's telemetry facade.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/distributor.hpp"
+#include "obs/telemetry.hpp"
+
+namespace cshield::core {
+
+class Scrubber {
+ public:
+  struct Config {
+    /// Scan-rate ceiling; 0 = unthrottled (scrub as fast as probes allow).
+    double chunks_per_sec = 0.0;
+    /// Pause between consecutive passes in background mode.
+    std::chrono::milliseconds pass_interval{100};
+  };
+
+  /// Cumulative scrub state (all passes since construction).
+  struct Progress {
+    std::uint64_t passes = 0;
+    std::uint64_t chunks_scanned = 0;
+    std::uint64_t shards_repaired = 0;
+    std::uint64_t digest_mismatches = 0;  ///< shards served with bad bytes
+    std::uint64_t scan_errors = 0;  ///< chunks whose heal failed outright
+    std::size_t cursor = 0;         ///< chunk index the scan is at
+    bool running = false;           ///< background thread active
+  };
+
+  /// `dist` must outlive the scrubber.
+  explicit Scrubber(CloudDataDistributor& dist) : dist_(dist) {}
+  Scrubber(CloudDataDistributor& dist, Config config)
+      : dist_(dist), config_(config) {}
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  ~Scrubber() { stop(); }
+
+  /// One full synchronous pass over the chunk table. Returns the shards
+  /// repaired, or the first heal error encountered (the pass still visits
+  /// every remaining chunk first -- one sick stripe must not shadow the
+  /// rest of the table).
+  Result<std::size_t> run_pass() {
+    obs::Telemetry* tel = dist_.telemetry().get();
+    obs::SpanRecord proto;
+    proto.name = "scrub_pass";
+    if (tel->enabled()) proto.op_id = tel->tracer().next_id();
+    obs::ScopedSpan span(tel, std::move(proto));
+
+    const std::size_t n = dist_.metadata().total_chunks();
+    std::size_t repaired = 0;
+    std::size_t mismatched = 0;
+    std::size_t scanned = 0;
+    Status first_error = Status::Ok();
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      if (stop_.load(std::memory_order_relaxed)) break;
+      cursor_.store(idx, std::memory_order_relaxed);
+      std::size_t mismatches = 0;
+      Result<std::size_t> fixed = dist_.scrub_chunk(idx, &mismatches);
+      ++scanned;
+      chunks_scanned_.fetch_add(1, std::memory_order_relaxed);
+      mismatches_.fetch_add(mismatches, std::memory_order_relaxed);
+      mismatched += mismatches;
+      if (fixed.ok()) {
+        repaired += fixed.value();
+        shards_repaired_.fetch_add(fixed.value(), std::memory_order_relaxed);
+      } else {
+        scan_errors_.fetch_add(1, std::memory_order_relaxed);
+        if (first_error.ok()) first_error = fixed.status();
+      }
+      throttle();
+    }
+    passes_.fetch_add(1, std::memory_order_relaxed);
+    if (tel->enabled()) {
+      obs::MetricsRegistry& m = tel->metrics();
+      m.counter("scrub.passes").inc();
+      if (scanned != 0) m.counter("scrub.chunks_scanned").inc(scanned);
+      if (repaired != 0) m.counter("scrub.shards_repaired").inc(repaired);
+      if (mismatched != 0) {
+        m.counter("scrub.digest_mismatches").inc(mismatched);
+      }
+      if (span.armed()) {
+        span.rec().chunk = scanned;
+        span.rec().outcome = first_error.code();
+      }
+    }
+    if (!first_error.ok()) return first_error;
+    return repaired;
+  }
+
+  /// Starts the background loop: repeated passes separated by
+  /// Config::pass_interval. No-op if already running.
+  void start() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (thread_.joinable()) return;
+    stop_.store(false, std::memory_order_relaxed);
+    running_.store(true, std::memory_order_relaxed);
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  /// Stops the background loop (mid-pass stops at the next chunk
+  /// boundary) and joins the thread. Safe to call when not running.
+  void stop() {
+    std::thread to_join;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_.store(true, std::memory_order_relaxed);
+      cv_.notify_all();
+      to_join = std::move(thread_);
+    }
+    if (to_join.joinable()) to_join.join();
+    running_.store(false, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Progress progress() const {
+    Progress p;
+    p.passes = passes_.load(std::memory_order_relaxed);
+    p.chunks_scanned = chunks_scanned_.load(std::memory_order_relaxed);
+    p.shards_repaired = shards_repaired_.load(std::memory_order_relaxed);
+    p.digest_mismatches = mismatches_.load(std::memory_order_relaxed);
+    p.scan_errors = scan_errors_.load(std::memory_order_relaxed);
+    p.cursor = cursor_.load(std::memory_order_relaxed);
+    p.running = running_.load(std::memory_order_relaxed);
+    return p;
+  }
+
+ private:
+  void loop() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      (void)run_pass();
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(lock, config_.pass_interval, [this] {
+            return stop_.load(std::memory_order_relaxed);
+          })) {
+        break;
+      }
+    }
+  }
+
+  /// Paces the scan to Config::chunks_per_sec; wakes early on stop().
+  void throttle() {
+    if (config_.chunks_per_sec <= 0.0) return;
+    const auto period = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::duration<double>(1.0 / config_.chunks_per_sec));
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, period,
+                 [this] { return stop_.load(std::memory_order_relaxed); });
+  }
+
+  CloudDataDistributor& dist_;
+  Config config_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> passes_{0};
+  std::atomic<std::uint64_t> chunks_scanned_{0};
+  std::atomic<std::uint64_t> shards_repaired_{0};
+  std::atomic<std::uint64_t> mismatches_{0};
+  std::atomic<std::uint64_t> scan_errors_{0};
+  std::atomic<std::size_t> cursor_{0};
+  mutable std::mutex mu_;  ///< guards thread_ and backs cv_
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+}  // namespace cshield::core

@@ -122,6 +122,11 @@ class MetadataStore {
     providers_[p].virtual_ids.erase(id);
   }
 
+  [[nodiscard]] std::size_t provider_count() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return providers_.size();
+  }
+
   [[nodiscard]] std::vector<ProviderEntry> provider_table() const {
     std::shared_lock<std::shared_mutex> lock(mu_);
     std::vector<ProviderEntry> out;
@@ -227,6 +232,44 @@ class MetadataStore {
     const std::size_t idx = chunks_.size() - 1;
     serials.emplace(serial, ChunkRef{filename, serial, pl, idx});
     return idx;
+  }
+
+  /// Journal-replay variant of add_chunk: places `entry` at an *explicit*
+  /// chunk-table index (the one the original op committed), growing the
+  /// table with deleted tombstones if needed, and links the client ref.
+  /// Idempotent: re-applying a record whose (filename, serial) slot already
+  /// points at `index` (the checkpoint raced the journal append) rewrites
+  /// the entry and succeeds; a slot bound to a *different* index is a real
+  /// conflict and fails.
+  Status put_chunk_at(const std::string& client, const std::string& filename,
+                      std::uint64_t serial, std::size_t index,
+                      ChunkEntry entry) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = clients_.find(client);
+    if (it == clients_.end()) return Status::NotFound("client " + client);
+    auto& serials = it->second.files[filename];
+    auto sit = serials.find(serial);
+    if (sit != serials.end() && sit->second.chunk_index != index) {
+      return Status::AlreadyExists(
+          "chunk " + filename + "#" + std::to_string(serial) +
+          " already bound to index " + std::to_string(sit->second.chunk_index));
+    }
+    const PrivacyLevel pl = entry.privacy_level;
+    grow_chunks(index);
+    chunks_[index] = std::move(entry);
+    if (sit == serials.end()) {
+      serials.emplace(serial, ChunkRef{filename, serial, pl, index});
+    }
+    return Status::Ok();
+  }
+
+  /// Journal-replay variant of update_chunk: overwrites the row at `index`,
+  /// growing the table with deleted tombstones when the checkpoint predates
+  /// the row. No ref linkage changes.
+  void set_chunk(std::size_t index, ChunkEntry entry) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    grow_chunks(index);
+    chunks_[index] = std::move(entry);
   }
 
   [[nodiscard]] Result<ChunkEntry> chunk_entry(std::size_t index) const {
@@ -363,6 +406,16 @@ class MetadataStore {
   }
 
  private:
+  /// Extends the chunk table through `index` with deleted tombstones
+  /// (callers hold mu_ exclusively).
+  void grow_chunks(std::size_t index) {
+    while (chunks_.size() <= index) {
+      ChunkEntry tombstone;
+      tombstone.deleted = true;
+      chunks_.push_back(std::move(tombstone));
+    }
+  }
+
   /// Provider row with the id set as the O(1) membership index; the wire
   /// vector is materialized (sorted, so serialization is deterministic).
   struct ProviderState {

@@ -1,7 +1,12 @@
 #include "storage/disk_store.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -22,28 +27,67 @@ fs::path DiskStore::path_of(VirtualId id) const {
   return root_ / name.str();
 }
 
+namespace {
+
+/// fsync the directory holding `child` so a fresh entry (from rename)
+/// survives a power loss. Best-effort: some filesystems refuse directory
+/// fds, and rename durability is then the mount's problem, not ours.
+void fsync_parent_dir(const fs::path& child) {
+  const fs::path dir = child.parent_path();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
 Status DiskStore::put(VirtualId id, BytesView data) {
   std::lock_guard<std::mutex> lock(mu_);
-  // Write-then-rename for atomicity against concurrent readers.
+  // Write-then-fsync-then-rename: readers never see a torn object, and
+  // once put() returns Ok the bytes survive a crash. ofstream cannot
+  // express fsync (close() drops errors on the floor too), so this goes
+  // through raw POSIX fds and surfaces every failure as a Status.
   const fs::path final_path = path_of(id);
   const fs::path tmp_path = final_path.string() + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::Internal("DiskStore: cannot open " + tmp_path.string());
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("DiskStore: cannot open " + tmp_path.string() +
+                            ": " + std::strerror(errno));
+  }
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return Status::Internal("DiskStore: write to " + tmp_path.string() +
+                              " failed: " + err);
     }
-    out.write(reinterpret_cast<const char*>(data.data()),
-              static_cast<std::streamsize>(data.size()));
-    if (!out) {
-      return Status::Internal("DiskStore: short write to " +
-                              tmp_path.string());
-    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return Status::Internal("DiskStore: fsync of " + tmp_path.string() +
+                            " failed: " + err);
+  }
+  if (::close(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::unlink(tmp_path.c_str());
+    return Status::Internal("DiskStore: close of " + tmp_path.string() +
+                            " failed: " + err);
   }
   std::error_code ec;
   fs::rename(tmp_path, final_path, ec);
   if (ec) {
+    ::unlink(tmp_path.c_str());
     return Status::Internal("DiskStore: rename failed: " + ec.message());
   }
+  fsync_parent_dir(final_path);
   return Status::Ok();
 }
 

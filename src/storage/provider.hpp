@@ -73,6 +73,10 @@ struct ProviderCounters {
   std::atomic<std::uint64_t> bytes_out{0};
   std::atomic<std::uint64_t> injected_failures{0};
   std::atomic<std::uint64_t> io_errors{0};
+  /// Shards of this provider the integrity scrubber found corrupt or
+  /// missing (distinct from io_errors: the provider *answered*, but with
+  /// bytes that fail their digest -- the paper's silent-corruption worry).
+  std::atomic<std::uint64_t> scrub_errors{0};
 };
 
 /// A simulated cloud provider: descriptor + object store + latency model +
@@ -119,6 +123,7 @@ class SimCloudProvider {
     tele_.errors = &m.counter(prefix + "errors");
     tele_.injected_failures = &m.counter(prefix + "injected_failures");
     tele_.io_errors = &m.counter(prefix + "io_errors");
+    tele_.scrub_errors = &m.counter(prefix + "scrub_errors");
     tele_.bytes_in = &m.counter(prefix + "bytes_in");
     tele_.bytes_out = &m.counter(prefix + "bytes_out");
     tele_.put_ns = &m.histogram(prefix + "put_ns");
@@ -146,6 +151,11 @@ class SimCloudProvider {
     counters_.puts.fetch_add(1, std::memory_order_relaxed);
     counters_.bytes_in.fetch_add(data.size(), std::memory_order_relaxed);
     Status st = store_.put(id, data);
+    if (st.ok() && mirror_ != nullptr) {
+      st = mirror_->put(id, data);
+      // Back out of memory on mirror failure: the two stores must agree.
+      if (!st.ok()) (void)store_.remove(id);
+    }
     if (!st.ok()) note_io_error();
     record(&Tele::put_ns, t, data.size(), 0, st.ok());
     return st;
@@ -188,6 +198,11 @@ class SimCloudProvider {
     }
     counters_.removes.fetch_add(1, std::memory_order_relaxed);
     Status st = store_.remove(id);
+    if (mirror_ != nullptr) {
+      const Status m = mirror_->remove(id);
+      // The mirror may legitimately lack the object (attached mid-life).
+      if (st.ok() && !m.ok() && m.code() != ErrorCode::kNotFound) st = m;
+    }
     if (!st.ok()) note_io_error();
     record(&Tele::remove_ns, t, 0, 0, st.ok());
     return st;
@@ -263,6 +278,24 @@ class SimCloudProvider {
   /// its whole object map to the adversary.
   [[nodiscard]] const MemoryStore& raw_store() const { return store_; }
 
+  /// Write-through mirror: after this call, every successful put/remove is
+  /// replayed into `mirror` (e.g. a DiskStore), so the provider's inventory
+  /// survives a process crash the instant the request returns OK. A mirror
+  /// failure fails the request (and backs the object out of memory) --
+  /// half-durable success would lie to the journal's commit records. Set
+  /// before serving traffic (not synchronized against in-flight requests);
+  /// `mirror` must outlive the provider. nullptr detaches.
+  void set_mirror(ObjectStore* mirror) { mirror_ = mirror; }
+
+  /// Charged by the integrity scrubber when a shard held here failed its
+  /// digest or vanished (see core/scrubber.hpp).
+  void note_scrub_error() {
+    counters_.scrub_errors.fetch_add(1, std::memory_order_relaxed);
+    if (tele_armed_.load(std::memory_order_acquire) && tele_.owner->enabled()) {
+      tele_.scrub_errors->inc();
+    }
+  }
+
  private:
   /// One fault decision per request: legacy knobs first, then the scripted
   /// plan. `slow` (never null) receives the plan's service-time multiplier
@@ -325,6 +358,7 @@ class SimCloudProvider {
     obs::Counter* errors = nullptr;
     obs::Counter* injected_failures = nullptr;
     obs::Counter* io_errors = nullptr;
+    obs::Counter* scrub_errors = nullptr;
     obs::Counter* bytes_in = nullptr;
     obs::Counter* bytes_out = nullptr;
     obs::Histogram* put_ns = nullptr;
@@ -354,6 +388,7 @@ class SimCloudProvider {
   ProviderDescriptor descriptor_;
   LatencyModel latency_;
   MemoryStore store_;
+  ObjectStore* mirror_ = nullptr;  ///< write-through target, see set_mirror
   ProviderCounters counters_;
   Tele tele_;
   std::atomic<bool> tele_armed_{false};

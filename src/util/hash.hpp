@@ -29,6 +29,27 @@ namespace cshield {
   return fnv1a64(reinterpret_cast<const char*>(b.data()), b.size());
 }
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) -- the frame
+/// checksum of the write-ahead journal. Bitwise (no table) because journal
+/// records are written once per metadata mutation, not per byte of payload
+/// traffic; correctness over a torn tail matters, throughput does not.
+/// Known vector: crc32("123456789") == 0xCBF43926.
+[[nodiscard]] constexpr std::uint32_t crc32(const std::uint8_t* data,
+                                            std::size_t size) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc ^= data[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
+[[nodiscard]] inline std::uint32_t crc32(BytesView b) {
+  return crc32(b.data(), b.size());
+}
+
 /// Strong 64-bit avalanche mix (SplitMix64 finalizer).
 [[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;

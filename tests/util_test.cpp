@@ -246,6 +246,27 @@ TEST(HashTest, HashCombineOrderMatters) {
             hash_combine(hash_combine(0, 2), 1));
 }
 
+TEST(HashTest, Crc32KnownVector) {
+  // The standard CRC-32 (reflected, poly 0xEDB88320) check value.
+  const std::string_view check = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(check.data()),
+                  check.size()),
+            0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(HashTest, Crc32DetectsSingleBitFlips) {
+  Bytes data = to_bytes("write-ahead journal frame payload");
+  const std::uint32_t clean = crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      data[i] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc32(data), clean) << "offset " << i << " bit " << bit;
+      data[i] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
 // --- thread pool -----------------------------------------------------------------
 
 TEST(ThreadPoolTest, SubmitReturnsResult) {
