@@ -50,7 +50,7 @@ void BM_RaidEncode(benchmark::State& state) {
   const Bytes data = payload_of(n);
   for (auto _ : state) {
     raid::EncodedStripe stripe = raid::encode(layout, data);
-    benchmark::DoNotOptimize(stripe.shards.data());
+    benchmark::DoNotOptimize(stripe.arena.data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
@@ -67,8 +67,7 @@ void BM_RaidDecodeWorstCase(benchmark::State& state) {
   const raid::StripeLayout layout = raid::StripeLayout::make(level, 4);
   const Bytes data = payload_of(1 << 20);
   const raid::EncodedStripe stripe = raid::encode(layout, data);
-  std::vector<std::optional<Bytes>> shards(stripe.shards.begin(),
-                                           stripe.shards.end());
+  std::vector<std::optional<Bytes>> shards = raid::shard_copies(stripe);
   for (std::size_t e = 0; e < layout.fault_tolerance(); ++e) shards[e].reset();
   for (auto _ : state) {
     Result<Bytes> r = raid::decode(layout, shards, stripe.original_size);

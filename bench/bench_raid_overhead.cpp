@@ -86,8 +86,7 @@ int main() {
       const double enc_mbs = kReps * static_cast<double>(payload.size()) /
                              (1024 * 1024) / sw.elapsed_seconds();
       // Worst-case decode: as many erasures as tolerated.
-      std::vector<std::optional<Bytes>> shards(stripe.shards.begin(),
-                                               stripe.shards.end());
+      std::vector<std::optional<Bytes>> shards = raid::shard_copies(stripe);
       for (std::size_t e = 0; e < layout.fault_tolerance() && e < shards.size();
            ++e) {
         shards[e].reset();

@@ -23,7 +23,13 @@
 #              and verify every committed file reads back byte-identical,
 #              the in-flight put is aborted with its orphan shards GC'd,
 #              and a second `recover` is a no-op.
-#   5. bench:  bench_throughput writes BENCH_throughput.json at the repo
+#   5. forced-scalar: -DCSHIELD_FORCE_SCALAR=ON + ASan build that compiles
+#              the SIMD kernel arms out entirely, then runs kernels_test,
+#              crypto_test, and raid_test so the portable scalar/SWAR data
+#              plane is exercised under a sanitizer. The TSan binaries from
+#              stage 3 are also re-run with the CSHIELD_FORCE_SCALAR=1 env
+#              override, covering the runtime (no-rebuild) dispatch path.
+#   6. bench:  bench_throughput writes BENCH_throughput.json at the repo
 #              root and exits non-zero unless the pipelined engine beats the
 #              serial baseline by >= 3x on 64-chunk put AND get, AND the
 #              telemetry overhead gate holds (enabled vs disabled telemetry
@@ -32,13 +38,17 @@
 #              (put throughput with the WAL enabled within 10% of the
 #              no-journal baseline; recorded under "journal_gate"), AND the
 #              fault smoke passes (5% seeded transient faults absorbed with
-#              zero client errors; recorded under "fault_smoke").
+#              zero client errors; recorded under "fault_smoke"). Then
+#              bench_kernels writes BENCH_kernels.json and exits non-zero
+#              unless (on SIMD hosts) the vectorized mul_add and xor arms
+#              are >= 4x the scalar byte loops and targeted shard rebuild
+#              is >= 2x the old decode+re-encode path.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/5] tier-1: build + ctest =="
+echo "== [1/6] tier-1: build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
 (cd build && ctest --output-on-failure -j "${jobs}")
@@ -48,12 +58,12 @@ if [[ "${1:-}" == "fast" ]]; then
   exit 0
 fi
 
-echo "== [2/5] address sanitizer: build + ctest =="
+echo "== [2/6] address sanitizer: build + ctest =="
 cmake -B build-asan -S . -DCSHIELD_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${jobs}"
 (cd build-asan && ctest --output-on-failure -j "${jobs}")
 
-echo "== [3/5] thread sanitizer: concurrency_test + obs_test + chaos_test + recovery_test =="
+echo "== [3/6] thread sanitizer: concurrency_test + obs_test + chaos_test + recovery_test =="
 cmake -B build-tsan -S . -DCSHIELD_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${jobs}" --target concurrency_test obs_test \
   chaos_test recovery_test
@@ -62,7 +72,7 @@ cmake --build build-tsan -j "${jobs}" --target concurrency_test obs_test \
 ./build-tsan/tests/chaos_test
 ./build-tsan/tests/recovery_test
 
-echo "== [4/5] crash e2e: put, kill mid-stripe, recover, verify =="
+echo "== [4/6] crash e2e: put, kill mid-stripe, recover, verify =="
 cli=./build/examples/cshield_cli
 e2e="$(mktemp -d /tmp/cshield_e2e.XXXXXX)"
 trap 'rm -rf "${e2e}"' EXIT
@@ -138,7 +148,21 @@ if ! grep -q "0 digest mismatches" <<< "${scrub_out}"; then
 fi
 echo "crash e2e: PASS"
 
-echo "== [5/5] throughput gate: bench_throughput =="
+echo "== [5/6] forced-scalar: ASan build without SIMD arms + env-override TSan rerun =="
+cmake -B build-scalar -S . -DCSHIELD_FORCE_SCALAR=ON \
+  -DCSHIELD_SANITIZE=address >/dev/null
+cmake --build build-scalar -j "${jobs}" --target kernels_test crypto_test \
+  raid_test
+./build-scalar/tests/kernels_test
+./build-scalar/tests/crypto_test
+./build-scalar/tests/raid_test
+# Same coverage through the runtime switch: the SIMD arms are compiled in
+# but the env override pins dispatch to the scalar byte loops.
+CSHIELD_FORCE_SCALAR=1 ./build-tsan/tests/concurrency_test
+CSHIELD_FORCE_SCALAR=1 ./build-tsan/tests/recovery_test
+
+echo "== [6/6] perf gates: bench_throughput + bench_kernels =="
 ./build/bench/bench_throughput BENCH_throughput.json
+./build/bench/bench_kernels BENCH_kernels.json
 
 echo "== ci.sh: all stages passed =="

@@ -282,15 +282,15 @@ CloudDataDistributor::write_stripe(BytesView payload,
                                    std::vector<SimDuration>& times,
                                    const obs::SpanCtx& span) {
   raid::EncodedStripe encoded = raid::encode(layout, payload);
-  CS_REQUIRE(targets.size() == encoded.shards.size(),
+  CS_REQUIRE(targets.size() == encoded.shard_count,
              "write_stripe: target/shard arity mismatch");
 
   StripeWriteResult result;
-  result.locations.resize(encoded.shards.size());
-  result.digests.resize(encoded.shards.size());
-  for (std::size_t s = 0; s < encoded.shards.size(); ++s) {
+  result.locations.resize(encoded.shard_count);
+  result.digests.resize(encoded.shard_count);
+  for (std::size_t s = 0; s < encoded.shard_count; ++s) {
     result.locations[s] = ShardLocation{targets[s], next_virtual_id()};
-    result.bytes_stored += encoded.shards[s].size();
+    result.bytes_stored += encoded.shard_size;
   }
 
   struct ShardOutcome {
@@ -300,8 +300,9 @@ CloudDataDistributor::write_stripe(BytesView payload,
     std::uint32_t retries = 0;
   };
   // Digest computation lives inside the upload task, so with Exec::kPool it
-  // runs off the caller thread. Shard bytes stay in `encoded` (each task
-  // reads only its own index) so a failed shard can be re-placed below.
+  // runs off the caller thread. Shard bytes stay in `encoded`'s arena (each
+  // task reads only its own zero-copy slice) so a failed shard can be
+  // re-placed below.
   // `span` and `encoded` outlive the futures: write_stripe blocks on them.
   auto upload = [this, &span, &encoded, &layout](std::size_t s,
                                                  ProviderIndex provider,
@@ -314,11 +315,11 @@ CloudDataDistributor::write_stripe(BytesView payload,
     proto.provider = provider;
     proto.shard_kind = s < layout.data_shards ? obs::ShardKind::kData
                                               : obs::ShardKind::kParity;
-    proto.bytes = encoded.shards[s].size();
+    proto.bytes = encoded.shard_size;
     obs::ScopedSpan sp(span.armed() ? telemetry_.get() : nullptr,
                        std::move(proto));
-    outcome.digest = crypto::sha256(encoded.shards[s]);
-    RequestLayer::Outcome rpc = rt_.put(provider, id, encoded.shards[s]);
+    outcome.digest = crypto::sha256(encoded.shard(s));
+    RequestLayer::Outcome rpc = rt_.put(provider, id, encoded.shard(s));
     outcome.status = rpc.status;
     outcome.time = rpc.time;
     outcome.retries = rpc.retries;
@@ -330,10 +331,10 @@ CloudDataDistributor::write_stripe(BytesView payload,
     return outcome;
   };
 
-  std::vector<ShardOutcome> outcomes(encoded.shards.size());
+  std::vector<ShardOutcome> outcomes(encoded.shard_count);
   std::vector<std::future<ShardOutcome>> futures;
-  futures.reserve(encoded.shards.size());
-  for (std::size_t s = 0; s < encoded.shards.size(); ++s) {
+  futures.reserve(encoded.shard_count);
+  for (std::size_t s = 0; s < encoded.shard_count; ++s) {
     futures.push_back(io_pool_.submit(upload, s, targets[s],
                                       result.locations[s].virtual_id));
   }

@@ -1,25 +1,14 @@
 #include "crypto/gf256.hpp"
 
+#include "crypto/gf256_kernels.hpp"
+
 namespace cshield::gf256 {
 
 void mul_add(std::uint8_t coeff, const std::uint8_t* src, std::uint8_t* dst,
              std::size_t n) {
-  if (coeff == 0) return;
-  if (coeff == 1) {
-    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
-    return;
-  }
-  // One row of the exp table addressed by log(coeff)+log(src[i]) -- hoists
-  // the coefficient log out of the loop.
-  const std::uint8_t lc = detail::kTables.log[coeff];
-  const auto& log_tab = detail::kTables.log;
-  const auto& exp_tab = detail::kTables.exp;
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint8_t s = src[i];
-    if (s != 0) {
-      dst[i] ^= exp_tab[static_cast<std::size_t>(lc) + log_tab[s]];
-    }
-  }
+  // Routed through the runtime-dispatched kernel layer (AVX2 / SSSE3 /
+  // SWAR / scalar, picked once at startup -- see gf256_kernels.hpp).
+  kernels::mul_add(coeff, src, dst, n);
 }
 
 }  // namespace cshield::gf256

@@ -74,6 +74,15 @@ inline constexpr Tables kTables = build_tables();
   return detail::kTables.exp[n % 255];
 }
 
+/// a * g for the generator g = 0x02: one shift plus a conditional fold of the
+/// reduction polynomial -- no table and no mod-255 division. Hot RAID-6 loops
+/// iterate the per-shard coefficient g^i with this instead of calling exp(i)
+/// per shard.
+[[nodiscard]] constexpr std::uint8_t mul_g(std::uint8_t a) {
+  return static_cast<std::uint8_t>((unsigned{a} << 1) ^
+                                   ((a & 0x80U) != 0 ? kPoly : 0U));
+}
+
 /// Discrete log base 0x02; precondition a != 0.
 [[nodiscard]] inline std::uint8_t log(std::uint8_t a) {
   CS_REQUIRE(a != 0, "gf256::log(0) undefined");

@@ -1,0 +1,331 @@
+#include "crypto/gf256_kernels.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstring>
+
+#include "crypto/gf256.hpp"
+#include "util/status.hpp"
+
+#if !defined(CSHIELD_FORCE_SCALAR) && (defined(__x86_64__) || defined(__i386__))
+#define CSHIELD_HAVE_X86_KERNELS 1
+#include <immintrin.h>
+#endif
+
+namespace cshield::gf256::kernels {
+namespace {
+
+// --- scalar reference arms -------------------------------------------------
+//
+// These are the ground truth the differential tests compare every other arm
+// against, and the baseline the bench gate measures speedups from, so they
+// must stay genuinely byte-at-a-time: GCC vectorizes simple loops at -O2
+// since GCC 12, which would silently turn the "scalar" baseline into SSE.
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define CSHIELD_NO_AUTOVEC __attribute__((optimize("no-tree-vectorize")))
+#else
+#define CSHIELD_NO_AUTOVEC
+#endif
+
+CSHIELD_NO_AUTOVEC
+void xor_scalar(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+#if defined(__clang__)
+#pragma clang loop vectorize(disable)
+#endif
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+CSHIELD_NO_AUTOVEC
+void mul_add_scalar(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+                    std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_scalar(dst, src, n);
+    return;
+  }
+  const std::uint8_t lc = detail::kTables.log[c];
+  const auto& log_tab = detail::kTables.log;
+  const auto& exp_tab = detail::kTables.exp;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) {
+      dst[i] ^= exp_tab[static_cast<std::size_t>(lc) + log_tab[s]];
+    }
+  }
+}
+
+// --- portable 64-bit SWAR arms ---------------------------------------------
+
+inline std::uint64_t load64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store64(std::uint8_t* p, std::uint64_t v) {
+  std::memcpy(p, &v, sizeof(v));
+}
+
+void xor_swar(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    store64(dst + i, load64(dst + i) ^ load64(src + i));
+    store64(dst + i + 8, load64(dst + i + 8) ^ load64(src + i + 8));
+    store64(dst + i + 16, load64(dst + i + 16) ^ load64(src + i + 16));
+    store64(dst + i + 24, load64(dst + i + 24) ^ load64(src + i + 24));
+  }
+  for (; i + 8 <= n; i += 8) {
+    store64(dst + i, load64(dst + i) ^ load64(src + i));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+/// Multiplies eight packed GF(256) lanes by `c` via double-and-add. Each
+/// doubling step is the 0x11D xtime applied lane-wise: shift left, then fold
+/// the carried-out high bits back as 0x1D (the low byte of the polynomial) --
+/// (hi >> 7) has lanes in {0,1}, so * 0x1D never carries across lanes.
+inline std::uint64_t mul_lanes_swar(std::uint64_t x, std::uint8_t c) {
+  std::uint64_t acc = 0;
+  while (c != 0) {
+    if (c & 1U) acc ^= x;
+    c >>= 1;
+    const std::uint64_t hi = x & 0x8080808080808080ULL;
+    x = ((x << 1) & 0xFEFEFEFEFEFEFEFEULL) ^ ((hi >> 7) * 0x1DULL);
+  }
+  return acc;
+}
+
+void mul_add_swar(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+                  std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_swar(dst, src, n);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store64(dst + i, load64(dst + i) ^ mul_lanes_swar(load64(src + i), c));
+  }
+  if (i < n) mul_add_scalar(c, src + i, dst + i, n - i);
+}
+
+// --- split-nibble product tables -------------------------------------------
+//
+// For every coefficient c, lo[i] = c*i and hi[i] = c*(i<<4); then
+// c*s = lo[s & 0xF] ^ hi[s >> 4]. PSHUFB evaluates 16 (SSSE3) or 2x16 (AVX2)
+// of those lookups per instruction. 256 coefficients x 32 bytes = 8 KiB of
+// constexpr tables.
+
+struct NibbleTables {
+  alignas(16) std::uint8_t lo[16];
+  alignas(16) std::uint8_t hi[16];
+};
+
+constexpr std::array<NibbleTables, 256> build_nibble_tables() {
+  std::array<NibbleTables, 256> t{};
+  for (unsigned c = 0; c < 256; ++c) {
+    for (unsigned i = 0; i < 16; ++i) {
+      t[c].lo[i] = mul_slow(static_cast<std::uint8_t>(c),
+                            static_cast<std::uint8_t>(i));
+      t[c].hi[i] = mul_slow(static_cast<std::uint8_t>(c),
+                            static_cast<std::uint8_t>(i << 4));
+    }
+  }
+  return t;
+}
+
+[[maybe_unused]] constexpr std::array<NibbleTables, 256> kNibble =
+    build_nibble_tables();
+
+#if defined(CSHIELD_HAVE_X86_KERNELS)
+
+// --- SSSE3 arms ------------------------------------------------------------
+
+__attribute__((target("ssse3"))) void xor_ssse3(std::uint8_t* dst,
+                                                const std::uint8_t* src,
+                                                std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, s));
+  }
+  if (i < n) xor_swar(dst + i, src + i, n - i);
+}
+
+__attribute__((target("ssse3"))) void mul_add_ssse3(std::uint8_t c,
+                                                    const std::uint8_t* src,
+                                                    std::uint8_t* dst,
+                                                    std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_ssse3(dst, src, n);
+    return;
+  }
+  const NibbleTables& t = kNibble[c];
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+    const __m128i ph =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(pl, ph)));
+  }
+  if (i < n) mul_add_swar(c, src + i, dst + i, n - i);
+}
+
+// --- AVX2 arms -------------------------------------------------------------
+
+__attribute__((target("avx2"))) void xor_avx2(std::uint8_t* dst,
+                                              const std::uint8_t* src,
+                                              std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i d0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    const __m256i s1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d0, s0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        _mm256_xor_si256(d1, s1));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, s));
+  }
+  if (i < n) xor_swar(dst + i, src + i, n - i);
+}
+
+__attribute__((target("avx2"))) void mul_add_avx2(std::uint8_t c,
+                                                  const std::uint8_t* src,
+                                                  std::uint8_t* dst,
+                                                  std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_avx2(dst, src, n);
+    return;
+  }
+  const NibbleTables& t = kNibble[c];
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i pl = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+    const __m256i ph = _mm256_shuffle_epi8(
+        hi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, _mm256_xor_si256(pl, ph)));
+  }
+  if (i < n) mul_add_ssse3(c, src + i, dst + i, n - i);
+}
+
+#endif  // CSHIELD_HAVE_X86_KERNELS
+
+// --- dispatch --------------------------------------------------------------
+
+std::atomic<Arm> g_active{[] {
+  return cpu::preferred_level();
+}()};
+
+std::atomic<std::uint64_t> g_xor_bytes{0};
+std::atomic<std::uint64_t> g_mul_bytes{0};
+
+}  // namespace
+
+bool arm_available(Arm arm) {
+  switch (arm) {
+    case Arm::kScalar:
+    case Arm::kSwar:
+      return true;
+    case Arm::kSsse3:
+      return cpu::hardware_level() >= Arm::kSsse3;
+    case Arm::kAvx2:
+      return cpu::hardware_level() >= Arm::kAvx2;
+  }
+  return false;
+}
+
+Arm active_arm() { return g_active.load(std::memory_order_relaxed); }
+
+Arm set_active_arm(Arm arm) {
+  CS_REQUIRE(arm_available(arm), "set_active_arm: arm not available");
+  return g_active.exchange(arm, std::memory_order_relaxed);
+}
+
+void xor_into_arm(Arm arm, std::uint8_t* dst, const std::uint8_t* src,
+                  std::size_t n) {
+  switch (arm) {
+    case Arm::kScalar: xor_scalar(dst, src, n); return;
+    case Arm::kSwar: xor_swar(dst, src, n); return;
+#if defined(CSHIELD_HAVE_X86_KERNELS)
+    case Arm::kSsse3: xor_ssse3(dst, src, n); return;
+    case Arm::kAvx2: xor_avx2(dst, src, n); return;
+#else
+    default: xor_swar(dst, src, n); return;
+#endif
+  }
+}
+
+void mul_add_arm(Arm arm, std::uint8_t c, const std::uint8_t* src,
+                 std::uint8_t* dst, std::size_t n) {
+  switch (arm) {
+    case Arm::kScalar: mul_add_scalar(c, src, dst, n); return;
+    case Arm::kSwar: mul_add_swar(c, src, dst, n); return;
+#if defined(CSHIELD_HAVE_X86_KERNELS)
+    case Arm::kSsse3: mul_add_ssse3(c, src, dst, n); return;
+    case Arm::kAvx2: mul_add_avx2(c, src, dst, n); return;
+#else
+    default: mul_add_swar(c, src, dst, n); return;
+#endif
+  }
+}
+
+void xor_into(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  g_xor_bytes.fetch_add(n, std::memory_order_relaxed);
+  xor_into_arm(active_arm(), dst, src, n);
+}
+
+void mul_add(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+             std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_into(dst, src, n);
+    return;
+  }
+  g_mul_bytes.fetch_add(n, std::memory_order_relaxed);
+  mul_add_arm(active_arm(), c, src, dst, n);
+}
+
+WorkStats work_stats() {
+  return {g_xor_bytes.load(std::memory_order_relaxed),
+          g_mul_bytes.load(std::memory_order_relaxed)};
+}
+
+void reset_work_stats() {
+  g_xor_bytes.store(0, std::memory_order_relaxed);
+  g_mul_bytes.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cshield::gf256::kernels

@@ -1,0 +1,89 @@
+// Runtime-dispatched bulk kernels for the erasure-code data plane.
+//
+// Two primitives carry every byte the RAID layer touches:
+//
+//   xor_into(dst, src, n)        dst[i] ^= src[i]            (P parity)
+//   mul_add(c, src, dst, n)      dst[i] ^= c * src[i]        (Q parity / RS)
+//
+// Each has four arms:
+//
+//   kScalar  byte-at-a-time reference (table lookup for mul_add). This is the
+//            ground-truth arm the differential tests compare against; it is
+//            deliberately kept un-vectorized.
+//   kSwar    portable 64-bit SWAR: word-wide XOR, and mul_add as
+//            double-and-add over eight byte lanes packed in a uint64_t.
+//            The fallback on non-x86 hosts.
+//   kSsse3   split-nibble PSHUFB: two 16-entry product tables (low/high
+//            nibble) per coefficient, 16 bytes per shuffle pair.
+//   kAvx2    the same technique at 32 bytes per iteration.
+//
+// The dispatcher binds the widest arm the CPU supports once at startup
+// (util/cpu.hpp; CSHIELD_FORCE_SCALAR env/CMake overrides it) and the public
+// entry points route through it. All arms are bit-identical by construction
+// and by test (tests/kernels_test.cpp sweeps every coefficient, tail length
+// and misalignment against gf256::mul_slow).
+//
+// The dispatched entry points also maintain relaxed per-process work
+// counters (bytes pushed through each primitive). They exist so tests can
+// prove algorithmic claims -- e.g. that a targeted parity rebuild performs
+// O(k * shard) kernel work instead of a full decode + re-encode -- and cost
+// two relaxed atomic adds per bulk call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cpu.hpp"
+
+namespace cshield::gf256::kernels {
+
+using Arm = cpu::SimdLevel;
+
+/// True when `arm` can execute on this host (scalar/swar always can; the
+/// SIMD arms need hardware support and a build that did not force them out).
+[[nodiscard]] bool arm_available(Arm arm);
+
+/// The arm the dispatched entry points currently route to. Defaults to
+/// cpu::preferred_level() resolved on first use.
+[[nodiscard]] Arm active_arm();
+
+/// Rebinds the dispatcher (test/bench hook; thread-safe, takes effect on the
+/// next call). Requires arm_available(arm). Returns the previous arm.
+Arm set_active_arm(Arm arm);
+
+// --- dispatched hot entry points -------------------------------------------
+
+/// dst[i] ^= src[i] for i in [0, n). Buffers may be arbitrarily aligned but
+/// must not overlap.
+void xor_into(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+
+/// dst[i] ^= c * src[i] over GF(2^8)/0x11D. c == 0 is a no-op; c == 1
+/// degrades to xor_into. Buffers may be arbitrarily aligned, no overlap.
+void mul_add(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+             std::size_t n);
+
+// --- per-arm entry points (tests and benches) ------------------------------
+//
+// Calling a SIMD arm on a host where arm_available() is false is undefined
+// (illegal instruction); callers must check first.
+
+void xor_into_arm(Arm arm, std::uint8_t* dst, const std::uint8_t* src,
+                  std::size_t n);
+void mul_add_arm(Arm arm, std::uint8_t c, const std::uint8_t* src,
+                 std::uint8_t* dst, std::size_t n);
+
+// --- work accounting -------------------------------------------------------
+
+struct WorkStats {
+  std::uint64_t xor_bytes = 0;  ///< bytes through dispatched xor_into
+  std::uint64_t mul_bytes = 0;  ///< bytes through dispatched mul_add (c >= 2)
+};
+
+/// Snapshot of the process-wide counters (relaxed reads).
+[[nodiscard]] WorkStats work_stats();
+
+/// Zeroes the counters (tests only; racing writers simply land in the next
+/// window).
+void reset_work_stats();
+
+}  // namespace cshield::gf256::kernels

@@ -1,61 +1,26 @@
 #include "raid/raid.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "crypto/gf256.hpp"
+#include "crypto/gf256_kernels.hpp"
 #include "obs/telemetry.hpp"
 #include "util/sim_clock.hpp"
 
 namespace cshield::raid {
 namespace {
 
-/// Splits data into k zero-padded shards of equal size.
-std::vector<Bytes> split_data(BytesView data, std::size_t k) {
-  const std::size_t shard_size = (data.size() + k - 1) / k;
-  std::vector<Bytes> shards(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    Bytes shard(shard_size, 0);
-    const std::size_t begin = i * shard_size;
-    if (begin < data.size()) {
-      const std::size_t n = std::min(shard_size, data.size() - begin);
-      std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(begin), n,
-                  shard.begin());
-    }
-    shards[i] = std::move(shard);
-  }
-  return shards;
-}
+namespace kern = gf256::kernels;
 
-/// Concatenates data shards and trims to the original length.
-Bytes join_data(const std::vector<Bytes>& data_shards,
-                std::size_t original_size) {
-  Bytes out;
-  out.reserve(original_size);
-  for (const auto& s : data_shards) {
-    append(out, s);
-    if (out.size() >= original_size) break;
-  }
-  out.resize(original_size);
-  return out;
-}
-
-/// XOR parity over the given shards.
-Bytes xor_parity(const std::vector<Bytes>& shards) {
-  CS_REQUIRE(!shards.empty(), "xor_parity over empty shard set");
-  Bytes p(shards[0].size(), 0);
-  for (const auto& s : shards) xor_into(p, s);
-  return p;
-}
-
-/// RAID-6 Q parity: Q = sum over i of g^i * d_i with g = 0x02.
-Bytes q_parity(const std::vector<Bytes>& data_shards) {
-  CS_REQUIRE(!data_shards.empty(), "q_parity over empty shard set");
-  Bytes q(data_shards[0].size(), 0);
-  for (std::size_t i = 0; i < data_shards.size(); ++i) {
-    gf256::mul_add(gf256::exp(static_cast<unsigned>(i)),
-                   data_shards[i].data(), q.data(), q.size());
-  }
-  return q;
+/// Copies shard content `s` into slot `i` of the decoded payload, trimming
+/// at the payload end (the last data shard carries the zero padding).
+void place_shard(Bytes& out, std::size_t i, std::size_t shard_size,
+                 const std::uint8_t* s) {
+  const std::size_t begin = i * shard_size;
+  if (begin >= out.size()) return;
+  const std::size_t n = std::min(shard_size, out.size() - begin);
+  if (n != 0) std::memcpy(out.data() + begin, s, n);
 }
 
 std::size_t count_missing(const std::vector<std::optional<Bytes>>& shards,
@@ -67,9 +32,34 @@ std::size_t count_missing(const std::vector<std::optional<Bytes>>& shards,
   return missing;
 }
 
+/// Shard width from any survivor; nullopt when everything is lost.
+std::optional<std::size_t> survivor_shard_size(
+    const std::vector<std::optional<Bytes>>& shards) {
+  for (const auto& s : shards) {
+    if (s.has_value()) return s->size();
+  }
+  return std::nullopt;
+}
+
+/// All present shards must be exactly `shard_size` wide; a short read is
+/// provider-side corruption, surfaced as a Status rather than decoded into
+/// garbage (the kernels index by shard_size, not per-shard lengths).
+Status check_shard_sizes(const std::vector<std::optional<Bytes>>& shards,
+                         std::size_t shard_size) {
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i].has_value() && shards[i]->size() != shard_size) {
+      return Status::Internal("raid: shard " + std::to_string(i) + " is " +
+                              std::to_string(shards[i]->size()) +
+                              " bytes, stripe width " +
+                              std::to_string(shard_size));
+    }
+  }
+  return Status::Ok();
+}
+
 Result<Bytes> decode_raid6(const StripeLayout& layout,
                            const std::vector<std::optional<Bytes>>& shards,
-                           std::size_t original_size) {
+                           std::size_t original_size, std::size_t shard_size) {
   const std::size_t k = layout.data_shards;
   std::vector<std::size_t> missing;
   for (std::size_t i = 0; i < k; ++i) {
@@ -78,50 +68,47 @@ Result<Bytes> decode_raid6(const StripeLayout& layout,
   const bool have_p = shards[k].has_value();
   const bool have_q = shards[k + 1].has_value();
 
-  // Shard size from any survivor.
-  std::size_t shard_size = 0;
-  for (const auto& s : shards) {
-    if (s.has_value()) {
-      shard_size = s->size();
-      break;
+  Bytes out(original_size);
+  auto place_survivors = [&](std::size_t skip_a, std::size_t skip_b) {
+    for (std::size_t i = 0; i < k; ++i) {
+      if (i == skip_a || i == skip_b) continue;
+      place_shard(out, i, shard_size, shards[i]->data());
     }
-  }
-
-  std::vector<Bytes> data(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    if (shards[i].has_value()) data[i] = *shards[i];
-  }
+  };
 
   if (missing.empty()) {
-    return join_data(data, original_size);
+    place_survivors(k, k);
+    return out;
   }
   if (missing.size() == 1) {
     const std::size_t x = missing[0];
+    place_survivors(x, x);
     if (have_p) {
       // d_x = P xor (sum of surviving data shards).
       Bytes dx = *shards[k];
       for (std::size_t i = 0; i < k; ++i) {
-        if (i != x) xor_into(dx, data[i]);
+        if (i != x) kern::xor_into(dx.data(), shards[i]->data(), shard_size);
       }
-      data[x] = std::move(dx);
-      return join_data(data, original_size);
+      place_shard(out, x, shard_size, dx.data());
+      return out;
     }
     if (have_q) {
-      // d_x = (Q xor sum g^i d_i) / g^x.
+      // d_x = (Q xor sum g^i d_i) / g^x; the per-shard coefficient g^i is
+      // iterated with one table-free mul_g step instead of exp(i) per shard.
       Bytes acc = *shards[k + 1];
-      Bytes partial(shard_size, 0);
+      std::uint8_t coeff = 1;
       for (std::size_t i = 0; i < k; ++i) {
         if (i != x) {
-          gf256::mul_add(gf256::exp(static_cast<unsigned>(i)), data[i].data(),
-                         partial.data(), partial.size());
+          kern::mul_add(coeff, shards[i]->data(), acc.data(), shard_size);
         }
+        coeff = gf256::mul_g(coeff);
       }
-      xor_into(acc, partial);
-      const std::uint8_t gx_inv = gf256::inv(gf256::exp(static_cast<unsigned>(x)));
+      const std::uint8_t gx_inv =
+          gf256::inv(gf256::exp(static_cast<unsigned>(x)));
       Bytes dx(shard_size, 0);
-      gf256::mul_add(gx_inv, acc.data(), dx.data(), dx.size());
-      data[x] = std::move(dx);
-      return join_data(data, original_size);
+      kern::mul_add(gx_inv, acc.data(), dx.data(), shard_size);
+      place_shard(out, x, shard_size, dx.data());
+      return out;
     }
     return Status::ResourceExhausted(
         "raid6: one data shard and both parities lost");
@@ -129,32 +116,31 @@ Result<Bytes> decode_raid6(const StripeLayout& layout,
   if (missing.size() == 2 && have_p && have_q) {
     const std::size_t x = missing[0];
     const std::size_t y = missing[1];
+    place_survivors(x, y);
     // A = d_x xor d_y, B = g^x d_x xor g^y d_y.
     Bytes a = *shards[k];
     Bytes b = *shards[k + 1];
-    Bytes partial_q(shard_size, 0);
+    std::uint8_t coeff = 1;
     for (std::size_t i = 0; i < k; ++i) {
       if (i != x && i != y) {
-        xor_into(a, data[i]);
-        gf256::mul_add(gf256::exp(static_cast<unsigned>(i)), data[i].data(),
-                       partial_q.data(), partial_q.size());
+        kern::xor_into(a.data(), shards[i]->data(), shard_size);
+        kern::mul_add(coeff, shards[i]->data(), b.data(), shard_size);
       }
+      coeff = gf256::mul_g(coeff);
     }
-    xor_into(b, partial_q);
     const std::uint8_t gx = gf256::exp(static_cast<unsigned>(x));
     const std::uint8_t gy = gf256::exp(static_cast<unsigned>(y));
     const std::uint8_t denom_inv = gf256::inv(gf256::add(gx, gy));
     // d_y = (B xor g^x * A) / (g^x xor g^y); d_x = A xor d_y.
+    Bytes tmp(shard_size, 0);
+    kern::mul_add(gx, a.data(), tmp.data(), shard_size);
+    kern::xor_into(tmp.data(), b.data(), shard_size);
     Bytes dy(shard_size, 0);
-    gf256::mul_add(gx, a.data(), dy.data(), dy.size());
-    xor_into(dy, b);  // dy now holds B xor g^x*A
-    Bytes dy_final(shard_size, 0);
-    gf256::mul_add(denom_inv, dy.data(), dy_final.data(), dy_final.size());
-    Bytes dx = a;
-    xor_into(dx, dy_final);
-    data[x] = std::move(dx);
-    data[y] = std::move(dy_final);
-    return join_data(data, original_size);
+    kern::mul_add(denom_inv, tmp.data(), dy.data(), shard_size);
+    kern::xor_into(a.data(), dy.data(), shard_size);  // a is now d_x
+    place_shard(out, x, shard_size, a.data());
+    place_shard(out, y, shard_size, dy.data());
+    return out;
   }
   return Status::ResourceExhausted("raid6: more erasures than tolerated (" +
                                    std::to_string(missing.size()) +
@@ -221,32 +207,52 @@ obs::Histogram& kernel_histogram(const char* name) {
 static EncodedStripe encode_impl(const StripeLayout& layout, BytesView data) {
   EncodedStripe out;
   out.original_size = data.size();
+  out.shard_count = layout.total_shards();
   switch (layout.level) {
     case RaidLevel::kNone: {
-      out.shards.emplace_back(data.begin(), data.end());
-      break;
-    }
-    case RaidLevel::kRaid0: {
-      out.shards = split_data(data, layout.data_shards);
+      out.shard_size = data.size();
+      out.arena.assign(data.begin(), data.end());
       break;
     }
     case RaidLevel::kRaid1: {
-      for (std::size_t i = 0; i < layout.total_shards(); ++i) {
-        out.shards.emplace_back(data.begin(), data.end());
+      out.shard_size = data.size();
+      out.arena.resize(out.shard_size * out.shard_count);
+      for (std::size_t i = 0; i < out.shard_count && !data.empty(); ++i) {
+        std::memcpy(out.arena.data() + i * out.shard_size, data.data(),
+                    data.size());
       }
       break;
     }
-    case RaidLevel::kRaid5: {
-      out.shards = split_data(data, layout.data_shards);
-      out.shards.push_back(xor_parity(out.shards));
-      break;
-    }
+    case RaidLevel::kRaid0:
+    case RaidLevel::kRaid5:
     case RaidLevel::kRaid6: {
-      out.shards = split_data(data, layout.data_shards);
-      Bytes p = xor_parity(out.shards);
-      Bytes q = q_parity(out.shards);
-      out.shards.push_back(std::move(p));
-      out.shards.push_back(std::move(q));
+      // Data shards are consecutive slices of the payload, so striping is a
+      // single bulk copy into the zeroed arena; parity is computed in place
+      // over the arena slices.
+      const std::size_t k = layout.data_shards;
+      out.shard_size = (data.size() + k - 1) / k;
+      out.arena.assign(out.shard_size * out.shard_count, 0);
+      if (!data.empty()) {
+        std::memcpy(out.arena.data(), data.data(), data.size());
+      }
+      if (layout.level != RaidLevel::kRaid0) {
+        std::uint8_t* p = out.arena.data() + k * out.shard_size;
+        for (std::size_t i = 0; i < k; ++i) {
+          kern::xor_into(p, out.arena.data() + i * out.shard_size,
+                         out.shard_size);
+        }
+      }
+      if (layout.level == RaidLevel::kRaid6) {
+        // Q = sum g^i d_i; the coefficient row is iterated with mul_g
+        // (one shift+fold) instead of a mod-255 exp() lookup per shard.
+        std::uint8_t* q = out.arena.data() + (k + 1) * out.shard_size;
+        std::uint8_t coeff = 1;
+        for (std::size_t i = 0; i < k; ++i) {
+          kern::mul_add(coeff, out.arena.data() + i * out.shard_size, q,
+                        out.shard_size);
+          coeff = gf256::mul_g(coeff);
+        }
+      }
       break;
     }
   }
@@ -258,6 +264,11 @@ static Result<Bytes> decode_impl(const StripeLayout& layout,
                                  std::size_t original_size) {
   CS_REQUIRE(shards.size() == layout.total_shards(),
              "decode: shard vector arity mismatch");
+  const std::optional<std::size_t> width = survivor_shard_size(shards);
+  if (width.has_value()) {
+    CS_RETURN_IF_ERROR(check_shard_sizes(shards, *width));
+  }
+  const std::size_t shard_size = width.value_or(0);
   switch (layout.level) {
     case RaidLevel::kNone: {
       if (!shards[0].has_value()) {
@@ -271,12 +282,11 @@ static Result<Bytes> decode_impl(const StripeLayout& layout,
       if (count_missing(shards, 0, layout.data_shards) > 0) {
         return Status::ResourceExhausted("raid0 tolerates no erasures");
       }
-      std::vector<Bytes> data;
-      data.reserve(layout.data_shards);
+      Bytes out(original_size);
       for (std::size_t i = 0; i < layout.data_shards; ++i) {
-        data.push_back(*shards[i]);
+        place_shard(out, i, shard_size, shards[i]->data());
       }
-      return join_data(data, original_size);
+      return out;
     }
     case RaidLevel::kRaid1: {
       for (const auto& s : shards) {
@@ -292,62 +302,199 @@ static Result<Bytes> decode_impl(const StripeLayout& layout,
       const std::size_t k = layout.data_shards;
       const std::size_t data_missing = count_missing(shards, 0, k);
       if (data_missing == 0) {
-        std::vector<Bytes> data;
-        data.reserve(k);
-        for (std::size_t i = 0; i < k; ++i) data.push_back(*shards[i]);
-        return join_data(data, original_size);
+        Bytes out(original_size);
+        for (std::size_t i = 0; i < k; ++i) {
+          place_shard(out, i, shard_size, shards[i]->data());
+        }
+        return out;
       }
       if (data_missing == 1 && shards[k].has_value()) {
-        std::vector<Bytes> data(k);
+        Bytes out(original_size);
         std::size_t x = 0;
         Bytes dx = *shards[k];
         for (std::size_t i = 0; i < k; ++i) {
           if (shards[i].has_value()) {
-            data[i] = *shards[i];
-            xor_into(dx, data[i]);
+            kern::xor_into(dx.data(), shards[i]->data(), shard_size);
+            place_shard(out, i, shard_size, shards[i]->data());
           } else {
             x = i;
           }
         }
-        data[x] = std::move(dx);
-        return join_data(data, original_size);
+        place_shard(out, x, shard_size, dx.data());
+        return out;
       }
       return Status::ResourceExhausted("raid5: more erasures than tolerated");
     }
     case RaidLevel::kRaid6:
-      return decode_raid6(layout, shards, original_size);
+      return decode_raid6(layout, shards, original_size, shard_size);
   }
   return Status::Internal("decode: invalid raid level");
 }
 
+// Targeted shard rebuild: recompute exactly the erased shard from the
+// survivors instead of decoding the whole stripe and re-encoding every
+// parity (the old path paid a full decode + full encode per repaired
+// shard). P comes from one XOR sweep of the surviving data, Q from one
+// mul_add sweep, and an erased data shard from the applicable single- or
+// double-erasure solve -- O(k * shard_size) kernel bytes, and never the
+// re-encode of the parity that was not asked for. Results are bit-identical
+// to the old path (raid_test sweeps every target under both dispatch arms).
 static Result<Bytes> reconstruct_shard_impl(
     const StripeLayout& layout, const std::vector<std::optional<Bytes>>& shards,
     std::size_t target) {
   CS_REQUIRE(shards.size() == layout.total_shards(),
              "reconstruct_shard: shard vector arity mismatch");
   CS_REQUIRE(target < shards.size(), "reconstruct_shard: target out of range");
-  // Shard size from any survivor; the padded payload length is
-  // shard_size * k, so decoding at that length preserves padding bytes and
-  // re-encoding reproduces every shard bit-exactly.
-  std::size_t shard_size = 0;
-  bool found = false;
-  for (const auto& s : shards) {
-    if (s.has_value()) {
-      shard_size = s->size();
-      found = true;
-      break;
-    }
-  }
-  if (!found) {
+  const std::optional<std::size_t> width = survivor_shard_size(shards);
+  if (!width.has_value()) {
     return Status::ResourceExhausted("reconstruct_shard: no survivors");
   }
-  const std::size_t padded =
-      layout.level == RaidLevel::kRaid1 ? shard_size
-                                        : shard_size * layout.data_shards;
-  Result<Bytes> payload = decode_impl(layout, shards, padded);
-  if (!payload.ok()) return payload.status();
-  EncodedStripe re = encode_impl(layout, payload.value());
-  return std::move(re.shards[target]);
+  const std::size_t shard_size = *width;
+  CS_RETURN_IF_ERROR(check_shard_sizes(shards, shard_size));
+  // The target still being present makes the rebuild a copy.
+  if (shards[target].has_value()) return *shards[target];
+
+  const std::size_t k = layout.data_shards;
+  switch (layout.level) {
+    case RaidLevel::kNone:
+    case RaidLevel::kRaid0:
+      return Status::ResourceExhausted(
+          std::string(raid_level_name(layout.level)) +
+          ": lost shard is unrecoverable (no redundancy)");
+    case RaidLevel::kRaid1: {
+      for (const auto& s : shards) {
+        if (s.has_value()) return *s;
+      }
+      return Status::ResourceExhausted("raid1: all replicas lost");
+    }
+    case RaidLevel::kRaid5: {
+      // Every shard (data or P) is the XOR of the other k survivors.
+      for (std::size_t i = 0; i <= k; ++i) {
+        if (i != target && !shards[i].has_value()) {
+          return Status::ResourceExhausted(
+              "raid5: more erasures than tolerated");
+        }
+      }
+      Bytes out(shard_size, 0);
+      for (std::size_t i = 0; i <= k; ++i) {
+        if (i != target) {
+          kern::xor_into(out.data(), shards[i]->data(), shard_size);
+        }
+      }
+      return out;
+    }
+    case RaidLevel::kRaid6:
+      break;  // handled below
+  }
+
+  // RAID-6. Gather the erased data indices besides a possible data target.
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (i != target && !shards[i].has_value()) missing.push_back(i);
+  }
+  const bool have_p = shards[k].has_value();
+  const bool have_q = shards[k + 1].has_value();
+
+  // Solves one erased data shard `x` from Q and the other data shards
+  // (which must all be present): d_x = (Q xor sum g^i d_i) / g^x.
+  auto solve_via_q = [&](std::size_t x) {
+    Bytes acc = *shards[k + 1];
+    std::uint8_t coeff = 1;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (i != x) kern::mul_add(coeff, shards[i]->data(), acc.data(), shard_size);
+      coeff = gf256::mul_g(coeff);
+    }
+    Bytes dx(shard_size, 0);
+    kern::mul_add(gf256::inv(gf256::exp(static_cast<unsigned>(x))), acc.data(),
+                  dx.data(), shard_size);
+    return dx;
+  };
+  // Solves one erased data shard `x` from P: d_x = P xor sum d_i.
+  auto solve_via_p = [&](std::size_t x) {
+    Bytes dx = *shards[k];
+    for (std::size_t i = 0; i < k; ++i) {
+      if (i != x) kern::xor_into(dx.data(), shards[i]->data(), shard_size);
+    }
+    return dx;
+  };
+  // XOR of the data row with one shard substituted (nullptr = none).
+  auto p_over_data = [&](std::size_t sub, const Bytes* dsub) {
+    Bytes p(shard_size, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::uint8_t* d = i == sub ? dsub->data() : shards[i]->data();
+      kern::xor_into(p.data(), d, shard_size);
+    }
+    return p;
+  };
+  // Q sweep of the data row with one shard substituted.
+  auto q_over_data = [&](std::size_t sub, const Bytes* dsub) {
+    Bytes q(shard_size, 0);
+    std::uint8_t coeff = 1;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::uint8_t* d = i == sub ? dsub->data() : shards[i]->data();
+      kern::mul_add(coeff, d, q.data(), shard_size);
+      coeff = gf256::mul_g(coeff);
+    }
+    return q;
+  };
+  const auto unrecoverable = [&] {
+    return Status::ResourceExhausted(
+        "raid6: more erasures than tolerated (" +
+        std::to_string(missing.size() + (target < k ? 1 : 0)) +
+        " data shards missing, P " + (have_p ? "ok" : "lost") + ", Q " +
+        (have_q ? "ok" : "lost") + ")");
+  };
+
+  if (target < k) {
+    if (missing.empty()) {
+      if (have_p) return solve_via_p(target);
+      if (have_q) return solve_via_q(target);
+      return unrecoverable();
+    }
+    if (missing.size() == 1 && have_p && have_q) {
+      // Double-erasure solve for (target, y):
+      //   A = P xor sum d_i = d_t xor d_y
+      //   B = Q xor sum g^i d_i = g^t d_t xor g^y d_y
+      //   d_y = (B xor g^t A) / (g^t xor g^y),  d_t = A xor d_y.
+      const std::size_t y = missing[0];
+      Bytes a = *shards[k];
+      Bytes b = *shards[k + 1];
+      std::uint8_t coeff = 1;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (i != target && i != y) {
+          kern::xor_into(a.data(), shards[i]->data(), shard_size);
+          kern::mul_add(coeff, shards[i]->data(), b.data(), shard_size);
+        }
+        coeff = gf256::mul_g(coeff);
+      }
+      const std::uint8_t gt = gf256::exp(static_cast<unsigned>(target));
+      const std::uint8_t gy = gf256::exp(static_cast<unsigned>(y));
+      Bytes tmp(shard_size, 0);
+      kern::mul_add(gt, a.data(), tmp.data(), shard_size);
+      kern::xor_into(tmp.data(), b.data(), shard_size);
+      Bytes dy(shard_size, 0);
+      kern::mul_add(gf256::inv(gf256::add(gt, gy)), tmp.data(), dy.data(),
+                    shard_size);
+      kern::xor_into(a.data(), dy.data(), shard_size);  // a is now d_target
+      return a;
+    }
+    return unrecoverable();
+  }
+  if (target == k) {  // P: XOR sweep over the data row.
+    if (missing.empty()) return p_over_data(k, nullptr);
+    if (missing.size() == 1 && have_q) {
+      const Bytes dm = solve_via_q(missing[0]);
+      return p_over_data(missing[0], &dm);
+    }
+    return unrecoverable();
+  }
+  // Q: single mul_add sweep over the data row.
+  if (missing.empty()) return q_over_data(k, nullptr);
+  if (missing.size() == 1 && have_p) {
+    const Bytes dm = solve_via_p(missing[0]);
+    return q_over_data(missing[0], &dm);
+  }
+  return unrecoverable();
 }
 
 // Public entry points: the erasure-code kernels run hot inside the

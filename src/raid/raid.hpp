@@ -76,11 +76,45 @@ struct StripeLayout {
   }
 };
 
-/// Result of encoding one payload.
+/// Result of encoding one payload. Shards live back-to-back in a single
+/// contiguous arena (`shard_count` slices of `shard_size` bytes); `shard(i)`
+/// hands out zero-copy views over it. Data shards occupy slices [0, k), the
+/// parity shards follow, so encoding a payload is one bulk copy into the
+/// arena plus in-place parity sweeps -- no per-shard allocations.
 struct EncodedStripe {
-  std::vector<Bytes> shards;   ///< total_shards() buffers of equal length
-  std::size_t original_size = 0;
+  Bytes arena;                    ///< shard_count * shard_size bytes
+  std::size_t shard_size = 0;     ///< bytes per shard
+  std::size_t shard_count = 0;    ///< == layout.total_shards()
+  std::size_t original_size = 0;  ///< pre-padding payload length
+
+  /// Read-only view of shard `i` (no copy).
+  [[nodiscard]] BytesView shard(std::size_t i) const {
+    return BytesView(arena.data() + i * shard_size, shard_size);
+  }
+
+  /// Mutable view of shard `i` (encode internals, tests).
+  [[nodiscard]] MutBytesView shard_mut(std::size_t i) {
+    return MutBytesView(arena.data() + i * shard_size, shard_size);
+  }
+
+  /// Owned copy of shard `i` (callers that must outlive the stripe).
+  [[nodiscard]] Bytes shard_copy(std::size_t i) const {
+    const BytesView v = shard(i);
+    return Bytes(v.begin(), v.end());
+  }
 };
+
+/// Copies every shard of an encoded stripe into the decode-side input format
+/// (nullopt marks an erasure). Tests and benches use this to build erasure
+/// patterns; the hot production paths hand the arena views around instead.
+[[nodiscard]] inline std::vector<std::optional<Bytes>> shard_copies(
+    const EncodedStripe& stripe) {
+  std::vector<std::optional<Bytes>> out(stripe.shard_count);
+  for (std::size_t i = 0; i < stripe.shard_count; ++i) {
+    out[i] = stripe.shard_copy(i);
+  }
+  return out;
+}
 
 /// Encodes `data` under the layout. Data is zero-padded to a multiple of
 /// data_shards; original_size records the true length for decode.

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <cstring>
 #include <span>
 #include <string>
 #include <string_view>
@@ -88,10 +89,24 @@ inline void append(Bytes& dst, BytesView src) {
 }
 
 /// XORs `src` into `dst` element-wise; buffers must be the same length.
-/// This is the RAID-5 parity primitive.
+/// Word-wide 64-bit SWAR (memcpy keeps it alignment- and strict-aliasing-
+/// safe); the RAID layer's hot parity paths use the runtime-dispatched SIMD
+/// kernels in crypto/gf256_kernels.hpp instead -- this is the portable
+/// utility everyone below the crypto layer can reach.
 inline void xor_into(MutBytesView dst, BytesView src) {
   const std::size_t n = std::min(dst.size(), src.size());
-  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+  std::uint8_t* d = dst.data();
+  const std::uint8_t* s = src.data();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, d + i, sizeof(a));
+    std::memcpy(&b, s + i, sizeof(b));
+    a ^= b;
+    std::memcpy(d + i, &a, sizeof(a));
+  }
+  for (; i < n; ++i) d[i] ^= s[i];
 }
 
 }  // namespace cshield

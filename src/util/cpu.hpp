@@ -1,0 +1,67 @@
+// CPU feature detection for the runtime-dispatched SIMD kernels.
+//
+// The erasure-code data plane (crypto/gf256_kernels) picks its widest usable
+// arm once per process: AVX2 when the host has it, SSSE3 below that, and a
+// portable 64-bit SWAR arm everywhere else. Detection is a one-time CPUID
+// probe; the result is cached in a function-local static so the hot paths
+// never re-query.
+//
+// Overrides, strongest first:
+//   * CMake -DCSHIELD_FORCE_SCALAR=ON compiles the SIMD arms out entirely
+//     (the macro CSHIELD_FORCE_SCALAR is defined; detect() reports kScalar).
+//   * Environment CSHIELD_FORCE_SCALAR=1 (any value other than "0"/"swar")
+//     forces the byte-at-a-time scalar arm at startup.
+//   * CSHIELD_FORCE_SCALAR=swar forces the portable word-wide arm, which is
+//     what non-x86 hosts get by default.
+#pragma once
+
+#include <cstdlib>
+#include <string_view>
+
+namespace cshield::cpu {
+
+/// Kernel arms, ordered weakest to widest.
+enum class SimdLevel { kScalar, kSwar, kSsse3, kAvx2 };
+
+[[nodiscard]] constexpr std::string_view simd_level_name(SimdLevel l) {
+  switch (l) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kSwar: return "swar64";
+    case SimdLevel::kSsse3: return "ssse3";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "invalid";
+}
+
+/// Raw hardware capability (ignores every override). On non-x86 builds the
+/// ceiling is the portable SWAR arm.
+[[nodiscard]] inline SimdLevel hardware_level() {
+#if defined(CSHIELD_FORCE_SCALAR)
+  return SimdLevel::kScalar;
+#elif defined(__x86_64__) || defined(__i386__)
+  static const SimdLevel level = [] {
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+    if (__builtin_cpu_supports("ssse3")) return SimdLevel::kSsse3;
+    return SimdLevel::kSwar;
+  }();
+  return level;
+#else
+  return SimdLevel::kSwar;
+#endif
+}
+
+/// Hardware level clamped by the CSHIELD_FORCE_SCALAR environment override.
+/// This is what the kernel dispatcher binds at startup.
+[[nodiscard]] inline SimdLevel preferred_level() {
+  static const SimdLevel level = [] {
+    const char* force = std::getenv("CSHIELD_FORCE_SCALAR");
+    if (force != nullptr && std::string_view(force) != "0") {
+      return std::string_view(force) == "swar" ? SimdLevel::kSwar
+                                               : SimdLevel::kScalar;
+    }
+    return hardware_level();
+  }();
+  return level;
+}
+
+}  // namespace cshield::cpu

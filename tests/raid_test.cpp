@@ -1,16 +1,22 @@
 // Tests for the RAID/erasure-coding layer. The heart is a parameterized
 // sweep proving decode() recovers the payload for EVERY erasure pattern each
 // level claims to tolerate, and refuses (rather than mis-decodes) beyond.
+// The sweep and the reconstruct tests also run under both kernel dispatch
+// arms (forced scalar vs the widest SIMD the host has) and require
+// bit-identical stripes from each.
 #include <gtest/gtest.h>
 
 #include <optional>
 #include <tuple>
 
+#include "crypto/gf256_kernels.hpp"
 #include "raid/raid.hpp"
 #include "util/random.hpp"
 
 namespace cshield::raid {
 namespace {
+
+namespace kern = gf256::kernels;
 
 Bytes random_payload(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);
@@ -19,10 +25,21 @@ Bytes random_payload(std::size_t n, std::uint64_t seed) {
   return out;
 }
 
-std::vector<std::optional<Bytes>> to_optional(
-    const std::vector<Bytes>& shards) {
-  return {shards.begin(), shards.end()};
+std::vector<std::optional<Bytes>> to_optional(const EncodedStripe& stripe) {
+  return shard_copies(stripe);
 }
+
+/// Restores the dispatch arm a test overrode, even on assertion exit.
+class ScopedArm {
+ public:
+  explicit ScopedArm(kern::Arm arm) : prev_(kern::set_active_arm(arm)) {}
+  ~ScopedArm() { kern::set_active_arm(prev_); }
+  ScopedArm(const ScopedArm&) = delete;
+  ScopedArm& operator=(const ScopedArm&) = delete;
+
+ private:
+  kern::Arm prev_;
+};
 
 // --- StripeLayout -------------------------------------------------------------
 
@@ -68,12 +85,13 @@ TEST(EncodeTest, ShardsAreEqualLength) {
   for (auto level : {RaidLevel::kRaid0, RaidLevel::kRaid5, RaidLevel::kRaid6}) {
     const StripeLayout layout = StripeLayout::make(level, 4);
     const EncodedStripe stripe = encode(layout, payload);
-    ASSERT_EQ(stripe.shards.size(), layout.total_shards());
-    for (const auto& s : stripe.shards) {
-      EXPECT_EQ(s.size(), stripe.shards[0].size());
+    ASSERT_EQ(stripe.shard_count, layout.total_shards());
+    EXPECT_EQ(stripe.arena.size(), stripe.shard_count * stripe.shard_size);
+    for (std::size_t i = 0; i < stripe.shard_count; ++i) {
+      EXPECT_EQ(stripe.shard(i).size(), stripe.shard_size);
     }
     EXPECT_EQ(stripe.original_size, payload.size());
-    EXPECT_GE(stripe.shards[0].size() * layout.data_shards, payload.size());
+    EXPECT_GE(stripe.shard_size * layout.data_shards, payload.size());
   }
 }
 
@@ -81,24 +99,26 @@ TEST(EncodeTest, Raid1ShardsAreFullCopies) {
   const Bytes payload = random_payload(100, 2);
   const EncodedStripe stripe =
       encode(StripeLayout::make(RaidLevel::kRaid1, 1, 2), payload);
-  ASSERT_EQ(stripe.shards.size(), 3u);
-  for (const auto& s : stripe.shards) EXPECT_TRUE(equal(s, payload));
+  ASSERT_EQ(stripe.shard_count, 3u);
+  for (std::size_t i = 0; i < stripe.shard_count; ++i) {
+    EXPECT_TRUE(equal(stripe.shard(i), payload));
+  }
 }
 
 TEST(EncodeTest, Raid5ParityIsXorOfData) {
   const Bytes payload = random_payload(64, 3);
   const StripeLayout layout = StripeLayout::make(RaidLevel::kRaid5, 4);
   const EncodedStripe stripe = encode(layout, payload);
-  Bytes x(stripe.shards[0].size(), 0);
-  for (std::size_t i = 0; i < 4; ++i) xor_into(x, stripe.shards[i]);
-  EXPECT_TRUE(equal(x, stripe.shards[4]));
+  Bytes x(stripe.shard_size, 0);
+  for (std::size_t i = 0; i < 4; ++i) xor_into(x, stripe.shard(i));
+  EXPECT_TRUE(equal(x, stripe.shard(4)));
 }
 
 TEST(EncodeTest, EmptyPayloadProducesEmptyShards) {
   const StripeLayout layout = StripeLayout::make(RaidLevel::kRaid5, 3);
   const EncodedStripe stripe = encode(layout, {});
   EXPECT_EQ(stripe.original_size, 0u);
-  Result<Bytes> r = decode(layout, to_optional(stripe.shards), 0);
+  Result<Bytes> r = decode(layout, to_optional(stripe), 0);
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r.value().empty());
 }
@@ -129,14 +149,14 @@ TEST_P(ErasureSweep, RecoversWithinToleranceFailsBeyond) {
 
   // No erasures: always decodes.
   {
-    Result<Bytes> r = decode(layout, to_optional(stripe.shards),
+    Result<Bytes> r = decode(layout, to_optional(stripe),
                              stripe.original_size);
     ASSERT_TRUE(r.ok());
     EXPECT_TRUE(equal(r.value(), payload));
   }
   // Every single erasure.
   for (std::size_t e = 0; e < n; ++e) {
-    auto shards = to_optional(stripe.shards);
+    auto shards = to_optional(stripe);
     shards[e].reset();
     Result<Bytes> r = decode(layout, shards, stripe.original_size);
     if (tolerance >= 1) {
@@ -150,7 +170,7 @@ TEST_P(ErasureSweep, RecoversWithinToleranceFailsBeyond) {
   // Every double erasure.
   for (std::size_t e1 = 0; e1 < n; ++e1) {
     for (std::size_t e2 = e1 + 1; e2 < n; ++e2) {
-      auto shards = to_optional(stripe.shards);
+      auto shards = to_optional(stripe);
       shards[e1].reset();
       shards[e2].reset();
       Result<Bytes> r = decode(layout, shards, stripe.original_size);
@@ -165,7 +185,7 @@ TEST_P(ErasureSweep, RecoversWithinToleranceFailsBeyond) {
   }
   // One more erasure than tolerated: must fail cleanly (never mis-decode).
   if (tolerance + 1 <= n) {
-    auto shards = to_optional(stripe.shards);
+    auto shards = to_optional(stripe);
     for (std::size_t e = 0; e <= tolerance; ++e) shards[e].reset();
     Result<Bytes> r = decode(layout, shards, stripe.original_size);
     if (layout.level != RaidLevel::kRaid1 || tolerance + 1 == n) {
@@ -205,11 +225,11 @@ TEST(ReconstructTest, RebuildsEveryShardOfRaid6) {
   const Bytes payload = random_payload(2048, 10);
   const EncodedStripe stripe = encode(layout, payload);
   for (std::size_t target = 0; target < layout.total_shards(); ++target) {
-    auto shards = to_optional(stripe.shards);
+    auto shards = to_optional(stripe);
     shards[target].reset();
     Result<Bytes> r = reconstruct_shard(layout, shards, target);
     ASSERT_TRUE(r.ok()) << "target " << target;
-    EXPECT_TRUE(equal(r.value(), stripe.shards[target])) << "target " << target;
+    EXPECT_TRUE(equal(r.value(), stripe.shard(target))) << "target " << target;
   }
 }
 
@@ -217,12 +237,12 @@ TEST(ReconstructTest, RebuildsUnderDoubleErasureRaid6) {
   const StripeLayout layout = StripeLayout::make(RaidLevel::kRaid6, 4);
   const Bytes payload = random_payload(777, 11);
   const EncodedStripe stripe = encode(layout, payload);
-  auto shards = to_optional(stripe.shards);
+  auto shards = to_optional(stripe);
   shards[1].reset();
   shards[3].reset();
   Result<Bytes> r = reconstruct_shard(layout, shards, 1);
   ASSERT_TRUE(r.ok());
-  EXPECT_TRUE(equal(r.value(), stripe.shards[1]));
+  EXPECT_TRUE(equal(r.value(), stripe.shard(1)));
 }
 
 TEST(ReconstructTest, FailsWhenNothingSurvives) {
@@ -235,11 +255,143 @@ TEST(ReconstructTest, Raid1RebuildsReplica) {
   const StripeLayout layout = StripeLayout::make(RaidLevel::kRaid1, 1, 2);
   const Bytes payload = random_payload(300, 12);
   const EncodedStripe stripe = encode(layout, payload);
-  auto shards = to_optional(stripe.shards);
+  auto shards = to_optional(stripe);
   shards[0].reset();
   Result<Bytes> r = reconstruct_shard(layout, shards, 0);
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(equal(r.value(), payload));
+}
+
+// --- dispatch arms -----------------------------------------------------------------
+//
+// The whole erasure pipeline must be bit-identical under the forced-scalar
+// arm and the widest SIMD arm the host has: same stripes out of encode, same
+// payloads out of decode, same rebuilt shards.
+
+TEST(DispatchArmTest, EncodeDecodeReconstructIdenticalAcrossArms) {
+  const kern::Arm best = cpu::preferred_level();
+  const std::vector<std::pair<RaidLevel, std::size_t>> shapes = {
+      {RaidLevel::kRaid5, 3}, {RaidLevel::kRaid6, 4}, {RaidLevel::kRaid6, 9}};
+  for (const auto& [level, k] : shapes) {
+    const StripeLayout layout = StripeLayout::make(level, k);
+    for (std::size_t n : {1ul, 63ul, 1000ul, 4097ul}) {
+      const Bytes payload = random_payload(n, 0xA7 + n + k);
+
+      EncodedStripe scalar_stripe;
+      Bytes scalar_decoded;
+      Bytes scalar_rebuilt;
+      {
+        ScopedArm arm(kern::Arm::kScalar);
+        scalar_stripe = encode(layout, payload);
+        auto shards = to_optional(scalar_stripe);
+        shards[0].reset();
+        Result<Bytes> d = decode(layout, shards, payload.size());
+        ASSERT_TRUE(d.ok());
+        scalar_decoded = std::move(d).value();
+        Result<Bytes> r = reconstruct_shard(layout, shards, 0);
+        ASSERT_TRUE(r.ok());
+        scalar_rebuilt = std::move(r).value();
+      }
+      {
+        ScopedArm arm(best);
+        const EncodedStripe simd_stripe = encode(layout, payload);
+        EXPECT_TRUE(equal(simd_stripe.arena, scalar_stripe.arena))
+            << raid_level_name(level) << " k=" << k << " n=" << n;
+        auto shards = to_optional(simd_stripe);
+        shards[0].reset();
+        Result<Bytes> d = decode(layout, shards, payload.size());
+        ASSERT_TRUE(d.ok());
+        EXPECT_TRUE(equal(d.value(), scalar_decoded));
+        EXPECT_TRUE(equal(d.value(), payload));
+        Result<Bytes> r = reconstruct_shard(layout, shards, 0);
+        ASSERT_TRUE(r.ok());
+        EXPECT_TRUE(equal(r.value(), scalar_rebuilt));
+      }
+    }
+  }
+}
+
+// --- targeted rebuild work accounting ----------------------------------------------
+//
+// reconstruct_shard must recompute only the asked-for shard: the old path
+// (full decode + full re-encode) always paid the Q sweep's mul_add work even
+// when rebuilding P or a data shard under RAID-5 semantics. The kernel work
+// counters make that observable: rebuilding P or a data shard via P must do
+// zero multiply bytes, and every rebuild stays within O(k * shard) bytes.
+
+TEST(ReconstructWorkTest, ParityPRebuildDoesNoFieldMultiplies) {
+  const std::size_t k = 8;
+  const std::size_t payload_size = 8 * 4096;
+  const StripeLayout layout = StripeLayout::make(RaidLevel::kRaid6, k);
+  const EncodedStripe stripe = encode(layout, random_payload(payload_size, 21));
+  auto shards = to_optional(stripe);
+  shards[k].reset();  // P erased
+  kern::reset_work_stats();
+  Result<Bytes> r = reconstruct_shard(layout, shards, k);
+  const kern::WorkStats w = kern::work_stats();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(equal(r.value(), stripe.shard(k)));
+  EXPECT_EQ(w.mul_bytes, 0u) << "P rebuild re-encoded Q";
+  EXPECT_EQ(w.xor_bytes, k * stripe.shard_size);
+}
+
+TEST(ReconstructWorkTest, DataRebuildViaPDoesNoFieldMultiplies) {
+  const std::size_t k = 8;
+  const StripeLayout layout = StripeLayout::make(RaidLevel::kRaid6, k);
+  const EncodedStripe stripe = encode(layout, random_payload(8 * 4096, 22));
+  auto shards = to_optional(stripe);
+  shards[2].reset();
+  kern::reset_work_stats();
+  Result<Bytes> r = reconstruct_shard(layout, shards, 2);
+  const kern::WorkStats w = kern::work_stats();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(equal(r.value(), stripe.shard(2)));
+  EXPECT_EQ(w.mul_bytes, 0u) << "data rebuild re-encoded Q";
+  // P is copied, then the k-1 surviving data shards are XORed into it.
+  EXPECT_EQ(w.xor_bytes, (k - 1) * stripe.shard_size);
+}
+
+TEST(ReconstructWorkTest, ParityQRebuildIsOneMulAddSweep) {
+  const std::size_t k = 8;
+  const StripeLayout layout = StripeLayout::make(RaidLevel::kRaid6, k);
+  const EncodedStripe stripe = encode(layout, random_payload(8 * 4096, 23));
+  auto shards = to_optional(stripe);
+  shards[k + 1].reset();  // Q erased
+  kern::reset_work_stats();
+  Result<Bytes> r = reconstruct_shard(layout, shards, k + 1);
+  const kern::WorkStats w = kern::work_stats();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(equal(r.value(), stripe.shard(k + 1)));
+  // The g^0 = 1 term routes through the XOR path; the rest are multiplies.
+  // Old path additionally paid the k-shard P XOR sweep.
+  EXPECT_EQ(w.mul_bytes, (k - 1) * stripe.shard_size);
+  EXPECT_LE(w.xor_bytes, stripe.shard_size);
+}
+
+TEST(ReconstructWorkTest, PresentTargetIsPureCopy) {
+  const StripeLayout layout = StripeLayout::make(RaidLevel::kRaid6, 4);
+  const EncodedStripe stripe = encode(layout, random_payload(4096, 24));
+  auto shards = to_optional(stripe);
+  shards[1].reset();  // unrelated erasure
+  kern::reset_work_stats();
+  Result<Bytes> r = reconstruct_shard(layout, shards, 3);
+  const kern::WorkStats w = kern::work_stats();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(equal(r.value(), stripe.shard(3)));
+  EXPECT_EQ(w.mul_bytes + w.xor_bytes, 0u);
+}
+
+// --- corrupt input ----------------------------------------------------------------
+
+TEST(DecodeTest, ShortShardIsAnErrorNotGarbage) {
+  const StripeLayout layout = StripeLayout::make(RaidLevel::kRaid6, 4);
+  const EncodedStripe stripe = encode(layout, random_payload(4096, 25));
+  auto shards = to_optional(stripe);
+  shards[2]->pop_back();  // provider returned a truncated shard
+  Result<Bytes> r = decode(layout, shards, stripe.original_size);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInternal);
+  EXPECT_FALSE(reconstruct_shard(layout, shards, 5).ok());
 }
 
 // --- arity misuse -----------------------------------------------------------------
