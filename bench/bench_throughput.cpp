@@ -317,6 +317,185 @@ struct JournalGate {
   [[nodiscard]] bool pass() const { return overhead_pct() <= kLimitPct; }
 };
 
+// --- small-op gate: per-op commit vs group commit vs batched RPC ------------
+//
+// The regime the PR 6 data path targets: many concurrent clients writing
+// small files (1-8 KiB -> one or two 4 KiB stripes each) against realtime
+// providers, with a WAL fsync on every metadata mutation. Per-op commit
+// serializes two fsyncs per put behind the journal mutex and pushes every
+// shard through its own round trip against a bounded I/O-channel pool; the
+// two amortizations attack exactly those costs:
+//   per_op            fsync per record, one RPC per shard (the baseline)
+//   group_commit      one fsync per <= 64 records (2 ms window)
+//   group_commit_batched  + shards coalesced into 16-shard put_many RPCs
+// Gate: batched throughput must be >= 3x per_op at 64 clients.
+
+enum class SmallOpsMode { kPerOp, kGroupCommit, kGroupCommitBatched };
+
+const char* smallops_mode_name(SmallOpsMode m) {
+  switch (m) {
+    case SmallOpsMode::kPerOp: return "per_op";
+    case SmallOpsMode::kGroupCommit: return "group_commit";
+    case SmallOpsMode::kGroupCommitBatched: return "group_commit_batched";
+  }
+  return "?";
+}
+
+struct SmallOpsCell {
+  std::string mode;
+  std::size_t clients = 0;
+  std::size_t puts = 0;             ///< ops per rep
+  double ops_per_sec = 0.0;         ///< median over reps
+  std::vector<double> wall_s;       ///< per-put latencies, pooled over reps
+  std::uint64_t group_commits = 0;  ///< journal flushes that carried > 1 record
+  std::uint64_t batch_rpcs = 0;     ///< provider batch requests (all reps)
+};
+
+SmallOpsCell run_smallops_cell(SmallOpsMode mode, std::size_t clients,
+                               int reps) {
+  // Long enough per rep that fsync-latency jitter on the host filesystem
+  // averages out of the per_op baseline; the gate compares medians of reps.
+  constexpr std::size_t kFilesPerClient = 16;
+  SmallOpsCell cell;
+  cell.mode = smallops_mode_name(mode);
+  cell.clients = clients;
+  cell.puts = clients * kFilesPerClient;
+  std::vector<double> rep_ops;
+  for (int rep = 0; rep < reps; ++rep) {
+    BenchDir dir;
+    storage::ProviderRegistry registry = make_realtime_registry(12);
+    DistributorConfig config = bench_config(true);
+    // Small-op regime: a worker channel per client (each blocks on shard
+    // latency, not CPU), but a bounded shard-RPC channel pool -- a real
+    // object-store client caps concurrent connections, and that cap is
+    // what per-shard RPCs saturate at 64 clients.
+    config.worker_threads = clients;
+    config.io_threads = 32;
+    config.misleading_fraction = 0.1;
+    Result<std::unique_ptr<core::Journal>> j =
+        core::Journal::open(dir.path / "smallops.wal");
+    CS_REQUIRE(j.ok(), j.status().to_string());
+    config.journal = std::shared_ptr<core::Journal>(std::move(j.value()));
+    config.checkpoint_path = (dir.path / "smallops.ckpt").string();
+    if (mode != SmallOpsMode::kPerOp) {
+      // Opportunistic grouping (interval 0): the leader flushes whatever
+      // queued behind the previous fsync, so batches form from backpressure
+      // without adding wait latency to lightly-loaded appends.
+      config.journal->set_group_commit(
+          core::GroupCommitConfig{64, std::chrono::microseconds(0)});
+    }
+    if (mode == SmallOpsMode::kGroupCommitBatched) {
+      config.rpc_batch_shards = 16;
+      config.rpc_batch_wait = std::chrono::microseconds(500);
+    }
+    CloudDataDistributor cdd(registry, config);
+    for (std::size_t c = 0; c < clients; ++c) {
+      const std::string name = "sc" + std::to_string(c);
+      CS_REQUIRE(cdd.register_client(name).ok(), "register");
+      CS_REQUIRE(cdd.add_password(name, "pw", PrivacyLevel::kHigh).ok(), "pw");
+    }
+    PutOptions opts;
+    opts.privacy_level = PrivacyLevel::kModerate;  // 4 KiB chunks
+
+    std::mutex merge_mu;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    Stopwatch phase;
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<double> local;
+        local.reserve(kFilesPerClient);
+        for (std::size_t m = 0; m < kFilesPerClient; ++m) {
+          // 1-8 KiB, client-skewed so every size lands in every rep.
+          const std::size_t bytes = 1024 * (1 + (c + m) % 8);
+          const Bytes data = make_payload(bytes, rep * 7919 + c * 131 + m);
+          Stopwatch w;
+          Status st = cdd.put_file("sc" + std::to_string(c), "pw",
+                                   "f" + std::to_string(m), data, opts);
+          local.push_back(w.elapsed_seconds());
+          CS_REQUIRE(st.ok(), st.to_string());
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        cell.wall_s.insert(cell.wall_s.end(), local.begin(), local.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double elapsed = phase.elapsed_seconds();
+    rep_ops.push_back(elapsed > 0.0
+                          ? static_cast<double>(cell.puts) / elapsed
+                          : 0.0);
+    cell.group_commits += config.journal->group_commits();
+    for (ProviderIndex p = 0; p < registry.size(); ++p) {
+      cell.batch_rpcs += registry.at(p).counters().batch_requests.load();
+    }
+  }
+  cell.ops_per_sec = median(rep_ops);
+  return cell;
+}
+
+struct SmallOpsGate {
+  std::vector<SmallOpsCell> cells;
+  double per_op_64 = 0.0;
+  double batched_64 = 0.0;
+  static constexpr double kTargetSpeedup = 3.0;
+
+  void run(int reps) {
+    for (SmallOpsMode mode :
+         {SmallOpsMode::kPerOp, SmallOpsMode::kGroupCommit,
+          SmallOpsMode::kGroupCommitBatched}) {
+      for (std::size_t clients : {8u, 16u, 64u}) {
+        cells.push_back(run_smallops_cell(mode, clients, reps));
+        const SmallOpsCell& c = cells.back();
+        std::cout << c.mode << " @ " << c.clients << " clients: "
+                  << c.ops_per_sec << " puts/s (p50 "
+                  << percentile(c.wall_s, 0.5) * 1e3 << " ms, p99 "
+                  << percentile(c.wall_s, 0.99) * 1e3 << " ms)\n";
+        if (c.clients == 64) {
+          if (mode == SmallOpsMode::kPerOp) per_op_64 = c.ops_per_sec;
+          if (mode == SmallOpsMode::kGroupCommitBatched) {
+            batched_64 = c.ops_per_sec;
+          }
+        }
+      }
+    }
+  }
+  [[nodiscard]] double speedup() const {
+    return per_op_64 > 0.0 ? batched_64 / per_op_64 : 0.0;
+  }
+  [[nodiscard]] bool pass() const { return speedup() >= kTargetSpeedup; }
+};
+
+void emit_smallops_json(const std::string& path, const SmallOpsGate& gate) {
+  std::ofstream out(path);
+  CS_REQUIRE(out.good(), "cannot open " + path);
+  out << "{\n  \"bench\": \"smallops\",\n"
+      << "  \"config\": {\"file_bytes\": \"1024..8192\", "
+         "\"files_per_client\": 16, \"chunk_bytes\": 4096, "
+         "\"data_shards\": 3, \"misleading_fraction\": 0.1, "
+         "\"io_threads\": 32, \"providers\": 12, \"realtime_latency_ms\": "
+      << kGateBaseLatencyMs
+      << ", \"journal\": \"fsync WAL\", \"group_commit\": "
+         "{\"batch_ops\": 64, \"batch_interval_us\": 0}, \"rpc_batch\": "
+         "{\"batch_shards\": 16, \"batch_wait_us\": 500}},\n"
+      << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < gate.cells.size(); ++i) {
+    const SmallOpsCell& c = gate.cells[i];
+    out << "    {\"mode\": \"" << c.mode << "\", \"clients\": " << c.clients
+        << ", \"puts\": " << c.puts
+        << ", \"ops_per_sec\": " << c.ops_per_sec
+        << ", \"p50_ms\": " << percentile(c.wall_s, 0.5) * 1e3
+        << ", \"p99_ms\": " << percentile(c.wall_s, 0.99) * 1e3
+        << ", \"group_commits\": " << c.group_commits
+        << ", \"batch_rpcs\": " << c.batch_rpcs << "}"
+        << (i + 1 < gate.cells.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n  \"gate\": {\"per_op_64_ops\": " << gate.per_op_64
+      << ", \"batched_64_ops\": " << gate.batched_64
+      << ", \"speedup\": " << gate.speedup()
+      << ", \"target_speedup\": " << SmallOpsGate::kTargetSpeedup
+      << ", \"pass\": " << (gate.pass() ? "true" : "false") << "}\n}\n";
+}
+
 // --- recovery sweep (E15) ---------------------------------------------------
 
 struct MttrRow {
@@ -608,6 +787,7 @@ void emit_series(std::ostream& os, const char* name, const OpSeries& s,
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_throughput.json";
+  std::string smallops_path = "BENCH_smallops.json";
   bool fault_sweep = false;
   bool recovery_sweep = false;
   for (int i = 1; i < argc; ++i) {
@@ -615,6 +795,8 @@ int main(int argc, char** argv) {
       fault_sweep = true;
     } else if (std::string_view(argv[i]) == "--recovery-sweep") {
       recovery_sweep = true;
+    } else if (std::string_view(argv[i]) == "--smallops-out" && i + 1 < argc) {
+      smallops_path = argv[++i];
     } else {
       out_path = argv[i];
     }
@@ -664,6 +846,18 @@ int main(int argc, char** argv) {
             << " ms -> " << journal_gate.overhead_pct()
             << "% overhead (limit " << JournalGate::kLimitPct
             << "%): " << (journal_gate.pass() ? "PASS" : "FAIL") << "\n";
+
+  std::cout << "\n=== small-op gate: 1-8 KiB puts, fsync WAL, per-op vs "
+               "group commit vs batched RPC ===\n";
+  SmallOpsGate smallops;
+  smallops.run(3);
+  std::cout << "64 clients: per-op " << smallops.per_op_64
+            << " puts/s, group-commit+batched-rpc " << smallops.batched_64
+            << " puts/s -> " << smallops.speedup() << "x (target >= "
+            << SmallOpsGate::kTargetSpeedup
+            << "x): " << (smallops.pass() ? "PASS" : "FAIL") << "\n";
+  emit_smallops_json(smallops_path, smallops);
+  std::cout << "wrote " << smallops_path << "\n";
 
   std::vector<MttrRow> mttr_rows;
   std::vector<ScrubRow> scrub_rows;
@@ -804,6 +998,8 @@ int main(int argc, char** argv) {
       << "\n}\n";
   out.close();
   std::cout << "\nwrote " << out_path << "\n";
-  return gate_ok && overhead.pass() && journal_gate.pass() && fault_ok ? 0
-                                                                       : 1;
+  return gate_ok && overhead.pass() && journal_gate.pass() &&
+                 smallops.pass() && fault_ok
+             ? 0
+             : 1;
 }

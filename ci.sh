@@ -15,14 +15,19 @@
 #              on) + obs_test (metrics/tracer semantics under TSan) +
 #              chaos_test (retry/hedge/breaker layer under injected faults)
 #              + recovery_test (journal append path + background scrubber
-#              thread against live traffic)
+#              thread against live traffic, including the group-commit
+#              multi-threaded append hammer and its crash-at-every-batch-
+#              boundary replay checks)
 #   4. crash-e2e: scripted end-to-end crash drill against cshield_cli on a
 #              disk-backed root: put files, kill the process mid-stripe via
 #              CSHIELD_CRASH_AFTER_APPENDS (it _exit(42)s inside a journal
 #              append, before the record hits disk), restart, `recover`,
 #              and verify every committed file reads back byte-identical,
 #              the in-flight put is aborted with its orphan shards GC'd,
-#              and a second `recover` is a no-op.
+#              and a second `recover` is a no-op. The drill runs twice:
+#              once with the default per-op commit and once with journal
+#              group commit enabled (--batch-ops 8 --batch-ms 2), so the
+#              crash/recover contract is proven identical under batching.
 #   5. forced-scalar: -DCSHIELD_FORCE_SCALAR=ON + ASan build that compiles
 #              the SIMD kernel arms out entirely, then runs kernels_test,
 #              crypto_test, and raid_test so the portable scalar/SWAR data
@@ -37,6 +42,10 @@
 #              "overhead_gate" in the JSON), AND the journal gate holds
 #              (put throughput with the WAL enabled within 10% of the
 #              no-journal baseline; recorded under "journal_gate"), AND the
+#              small-op gate holds (group commit + batched shard RPCs give
+#              >= 3x put ops/sec over per-op commit at 64 concurrent
+#              clients on 1-8 KiB files; full per-op/group-commit/batched
+#              curves land in BENCH_smallops.json), AND the
 #              fault smoke passes (5% seeded transient faults absorbed with
 #              zero client errors; recorded under "fault_smoke"). Then
 #              bench_kernels writes BENCH_kernels.json and exits non-zero
@@ -76,77 +85,96 @@ echo "== [4/6] crash e2e: put, kill mid-stripe, recover, verify =="
 cli=./build/examples/cshield_cli
 e2e="$(mktemp -d /tmp/cshield_e2e.XXXXXX)"
 trap 'rm -rf "${e2e}"' EXIT
-root="${e2e}/root"
 
-"${cli}" "${root}" init 12
-"${cli}" "${root}" adduser alice secret 2
+# crash_drill <label> [cli flags...]: the full drill against a fresh root.
+# Extra flags (e.g. --batch-ops/--batch-ms) apply to every cli invocation,
+# so the crash, the recovery replay, and the reads all run under the same
+# journal commit mode.
+crash_drill() {
+  local label="$1"; shift
+  local dir="${e2e}/${label}"
+  local root="${dir}/root"
+  mkdir -p "${dir}"
 
-# Commit three files; each put journals kBeginPut + kCommitPut and the
-# write-through mirror makes every shard durable before put returns.
-for i in 1 2 3; do
-  head -c $((4000 * i)) /dev/urandom > "${e2e}/f${i}.bin"
-  "${cli}" "${root}" put alice secret "f${i}" "${e2e}/f${i}.bin" 2
-done
+  "${cli}" "${root}" init 12 "$@"
+  "${cli}" "${root}" adduser alice secret 2 "$@"
 
-# Kill the fourth put mid-stripe: the first append (kBeginPut) lands, the
-# process dies inside the second (kCommitPut) before it reaches disk. That
-# leaves an in-flight put whose shards are on-disk orphans.
-head -c 9000 /dev/urandom > "${e2e}/f4.bin"
-set +e
-CSHIELD_CRASH_AFTER_APPENDS=1 \
-  "${cli}" "${root}" put alice secret f4 "${e2e}/f4.bin" 2
-crash_rc=$?
-set -e
-if [[ "${crash_rc}" -ne 42 ]]; then
-  echo "crash e2e: expected injected crash exit 42, got ${crash_rc}" >&2
-  exit 1
-fi
+  # Commit three files; each put journals kBeginPut + kCommitPut and the
+  # write-through mirror makes every shard durable before put returns.
+  local i
+  for i in 1 2 3; do
+    head -c $((4000 * i)) /dev/urandom > "${dir}/f${i}.bin"
+    "${cli}" "${root}" put alice secret "f${i}" "${dir}/f${i}.bin" 2 "$@"
+  done
 
-# Restart + reconcile: the torn journal replays, the in-flight put is
-# aborted, and its orphan shards are collected.
-recover_out="$("${cli}" "${root}" recover)"
-echo "${recover_out}"
-if ! grep -q "recover OK" <<< "${recover_out}"; then
-  echo "crash e2e: first recover failed" >&2
-  exit 1
-fi
-if grep -q "recover OK: 0 orphan" <<< "${recover_out}"; then
-  echo "crash e2e: expected orphan shards from the aborted put, found none" >&2
-  exit 1
-fi
-if ! grep -q "1 in-flight puts aborted" <<< "${recover_out}"; then
-  echo "crash e2e: expected exactly one aborted in-flight put" >&2
-  exit 1
-fi
+  # Kill the fourth put mid-stripe: the first append (kBeginPut) lands, the
+  # process dies inside the second (kCommitPut) before it reaches disk. That
+  # leaves an in-flight put whose shards are on-disk orphans.
+  head -c 9000 /dev/urandom > "${dir}/f4.bin"
+  set +e
+  CSHIELD_CRASH_AFTER_APPENDS=1 \
+    "${cli}" "${root}" put alice secret f4 "${dir}/f4.bin" 2 "$@"
+  local crash_rc=$?
+  set -e
+  if [[ "${crash_rc}" -ne 42 ]]; then
+    echo "crash e2e[${label}]: expected injected crash exit 42, got ${crash_rc}" >&2
+    exit 1
+  fi
 
-# A second recover must be a no-op: nothing left to abort or collect.
-recover_again="$("${cli}" "${root}" recover)"
-echo "${recover_again}"
-if ! grep -q "recover OK: 0 orphan shards removed, 0 stale ids dropped, 0 in-flight puts aborted, 0 shards repaired" \
-    <<< "${recover_again}"; then
-  echo "crash e2e: second recover was not idempotent" >&2
-  exit 1
-fi
+  # Restart + reconcile: the torn journal replays, the in-flight put is
+  # aborted, and its orphan shards are collected.
+  local recover_out
+  recover_out="$("${cli}" "${root}" recover "$@")"
+  echo "${recover_out}"
+  if ! grep -q "recover OK" <<< "${recover_out}"; then
+    echo "crash e2e[${label}]: first recover failed" >&2
+    exit 1
+  fi
+  if grep -q "recover OK: 0 orphan" <<< "${recover_out}"; then
+    echo "crash e2e[${label}]: expected orphan shards from the aborted put, found none" >&2
+    exit 1
+  fi
+  if ! grep -q "1 in-flight puts aborted" <<< "${recover_out}"; then
+    echo "crash e2e[${label}]: expected exactly one aborted in-flight put" >&2
+    exit 1
+  fi
 
-# Every committed file must read back byte-identical; the aborted one must
-# be gone entirely.
-for i in 1 2 3; do
-  "${cli}" "${root}" get alice secret "f${i}" "${e2e}/f${i}.out"
-  cmp "${e2e}/f${i}.bin" "${e2e}/f${i}.out"
-done
-if "${cli}" "${root}" get alice secret f4 "${e2e}/f4.out" 2>/dev/null; then
-  echo "crash e2e: aborted put f4 is unexpectedly readable" >&2
-  exit 1
-fi
+  # A second recover must be a no-op: nothing left to abort or collect.
+  local recover_again
+  recover_again="$("${cli}" "${root}" recover "$@")"
+  echo "${recover_again}"
+  if ! grep -q "recover OK: 0 orphan shards removed, 0 stale ids dropped, 0 in-flight puts aborted, 0 shards repaired" \
+      <<< "${recover_again}"; then
+    echo "crash e2e[${label}]: second recover was not idempotent" >&2
+    exit 1
+  fi
 
-# Scrub the recovered deployment: a clean pass must find zero mismatches.
-scrub_out="$("${cli}" "${root}" scrub)"
-echo "${scrub_out}"
-if ! grep -q "0 digest mismatches" <<< "${scrub_out}"; then
-  echo "crash e2e: scrub found mismatches on a recovered deployment" >&2
-  exit 1
-fi
-echo "crash e2e: PASS"
+  # Every committed file must read back byte-identical; the aborted one must
+  # be gone entirely.
+  for i in 1 2 3; do
+    "${cli}" "${root}" get alice secret "f${i}" "${dir}/f${i}.out" "$@"
+    cmp "${dir}/f${i}.bin" "${dir}/f${i}.out"
+  done
+  if "${cli}" "${root}" get alice secret f4 "${dir}/f4.out" "$@" 2>/dev/null; then
+    echo "crash e2e[${label}]: aborted put f4 is unexpectedly readable" >&2
+    exit 1
+  fi
+
+  # Scrub the recovered deployment: a clean pass must find zero mismatches.
+  local scrub_out
+  scrub_out="$("${cli}" "${root}" scrub "$@")"
+  echo "${scrub_out}"
+  if ! grep -q "0 digest mismatches" <<< "${scrub_out}"; then
+    echo "crash e2e[${label}]: scrub found mismatches on a recovered deployment" >&2
+    exit 1
+  fi
+  echo "crash e2e[${label}]: PASS"
+}
+
+# Same drill, both journal commit modes: the crash/recover contract must be
+# indistinguishable with group commit enabled.
+crash_drill per-op
+crash_drill group-commit --batch-ops 8 --batch-ms 2
 
 echo "== [5/6] forced-scalar: ASan build without SIMD arms + env-override TSan rerun =="
 cmake -B build-scalar -S . -DCSHIELD_FORCE_SCALAR=ON \

@@ -73,7 +73,8 @@ struct CliWorld {
   std::vector<std::pair<std::string, std::string>> in_flight;
   std::unique_ptr<core::CloudDataDistributor> cdd;
 
-  CliWorld(fs::path r, const fs::path& journal_path, std::size_t providers = 0)
+  CliWorld(fs::path r, const fs::path& journal_path, std::size_t providers = 0,
+           std::size_t batch_ops = 1, std::size_t batch_ms = 0)
       : root(std::move(r)) {
     // Provider count: from init argument, or from the directory layout.
     std::size_t n = providers;
@@ -108,6 +109,14 @@ struct CliWorld {
         core::Journal::open(journal_path);
     CS_REQUIRE(j.ok(), "cannot open journal: " + j.status().to_string());
     journal = std::shared_ptr<core::Journal>(std::move(j.value()));
+    // `--batch-ops/--batch-ms`: group-commit tuning. Installed before the
+    // distributor exists so every append (including the registrations the
+    // distributor journals at startup) goes through the configured path.
+    if (batch_ops > 1) {
+      journal->set_group_commit(core::GroupCommitConfig{
+          batch_ops, std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::milliseconds(batch_ms))});
+    }
     install_crash_hook();
 
     core::DistributorConfig config;
@@ -163,7 +172,8 @@ int usage() {
                "<file> <pl> | get <c> <pw> <name> <file> | rm <c> <pw> "
                "<name> | ls | ls-files <c> <pw> | repair | checkpoint | "
                "recover | scrub | stats "
-               "[--stats] [--journal <path>] [--faults <p> "
+               "[--stats] [--journal <path>] [--batch-ops <n> "
+               "[--batch-ms <t>]] [--faults <p> "
                "[--fault-seed <s>]] after any command\n";
   return 2;
 }
@@ -204,6 +214,9 @@ void print_journal_stats(CliWorld& world) {
             << "bytes:               " << world.journal->bytes() << "\n"
             << "checkpointed ops:    " << world.journal->last_checkpoint_ops()
             << "\n"
+            << "flushes:             " << world.journal->flushes() << "\n"
+            << "group commits:       " << world.journal->group_commits()
+            << "\n"
             << "in-flight puts:      " << world.in_flight.size() << "\n";
 }
 
@@ -243,6 +256,17 @@ int main(int argc, char** argv) {
   const std::string faults = strip_value_flag(argc, argv, "--faults");
   const std::string fault_seed = strip_value_flag(argc, argv, "--fault-seed");
   const std::string journal_flag = strip_value_flag(argc, argv, "--journal");
+  // `--batch-ops <n>` enables journal group commit (n records per fsync);
+  // `--batch-ms <t>` bounds how long a batch leader waits for the batch to
+  // fill. The CLI is single-threaded, so these exist to prove the crash
+  // drill's durability semantics hold with group commit enabled, not to
+  // make one process faster.
+  const std::string batch_ops_flag = strip_value_flag(argc, argv, "--batch-ops");
+  const std::string batch_ms_flag = strip_value_flag(argc, argv, "--batch-ms");
+  const std::size_t batch_ops =
+      batch_ops_flag.empty() ? 1 : std::stoul(batch_ops_flag);
+  const std::size_t batch_ms =
+      batch_ms_flag.empty() ? 0 : std::stoul(batch_ms_flag);
   // `--faults <p>` injects seeded transient failures at rate p into every
   // provider, exercising the retry/hedge/breaker path; the same
   // `--fault-seed` replays the exact same failure pattern.
@@ -264,7 +288,7 @@ int main(int argc, char** argv) {
     if (cmd == "init") {
       const std::size_t n = argc > 3 ? std::stoul(argv[3]) : 12;
       fs::create_directories(root);
-      CliWorld world(root, journal_path, n);
+      CliWorld world(root, journal_path, n, batch_ops, batch_ms);
       // Fold the provider registrations into a first checkpoint so a fresh
       // deployment has both halves of the metadata pipeline on disk.
       Status st = world.cdd->checkpoint();
@@ -273,7 +297,7 @@ int main(int argc, char** argv) {
                 << "\n";
       return 0;
     }
-    CliWorld world(root, journal_path);
+    CliWorld world(root, journal_path, 0, batch_ops, batch_ms);
     arm_faults(world);
     // Every command below funnels through `done` so --stats can report on
     // whatever the command just did.

@@ -170,6 +170,15 @@ CloudDataDistributor::CloudDataDistributor(
   if (config_.telemetry) {
     registry_.attach_telemetry(telemetry_);
     placement_.set_metrics(&telemetry_->metrics());
+    if (config_.journal != nullptr) {
+      config_.journal->attach_telemetry(telemetry_);
+    }
+  }
+  if (config_.rpc_batch_shards > 1) {
+    batcher_ = std::make_unique<ShardBatcher>(
+        rt_, registry_.size(),
+        ShardBatcher::Config{config_.rpc_batch_shards, config_.rpc_batch_wait},
+        telemetry_.get());
   }
   // Mirror registry rows into the Cloud Provider Table (idempotent when a
   // shared, already-populated store is handed in). Each new row is also
@@ -332,14 +341,38 @@ CloudDataDistributor::write_stripe(BytesView payload,
   };
 
   std::vector<ShardOutcome> outcomes(encoded.shard_count);
-  std::vector<std::future<ShardOutcome>> futures;
-  futures.reserve(encoded.shard_count);
-  for (std::size_t s = 0; s < encoded.shard_count; ++s) {
-    futures.push_back(io_pool_.submit(upload, s, targets[s],
-                                      result.locations[s].virtual_id));
-  }
-  for (std::size_t s = 0; s < futures.size(); ++s) {
-    outcomes[s] = futures[s].get();
+  if (batcher_ != nullptr) {
+    // Batched-RPC mode: every shard goes to the cross-op batcher, which
+    // coalesces it with shards of other in-flight stripes bound for the
+    // same provider. Placement makes the stripe's own targets distinct, so
+    // within this call each provider sees one shard -- the batching win is
+    // across concurrent operations. Digests are computed here on the
+    // caller thread (small-op path: the shards are small by construction).
+    // `encoded` outlives the futures: we block on them below.
+    std::vector<std::future<ShardBatcher::PutResult>> futures;
+    futures.reserve(encoded.shard_count);
+    for (std::size_t s = 0; s < encoded.shard_count; ++s) {
+      outcomes[s].digest = crypto::sha256(encoded.shard(s));
+      futures.push_back(batcher_->put(targets[s],
+                                      result.locations[s].virtual_id,
+                                      encoded.shard(s)));
+    }
+    for (std::size_t s = 0; s < futures.size(); ++s) {
+      ShardBatcher::PutResult r = futures[s].get();
+      outcomes[s].status = std::move(r.status);
+      outcomes[s].time = r.time;
+      outcomes[s].retries = r.retries;
+    }
+  } else {
+    std::vector<std::future<ShardOutcome>> futures;
+    futures.reserve(encoded.shard_count);
+    for (std::size_t s = 0; s < encoded.shard_count; ++s) {
+      futures.push_back(io_pool_.submit(upload, s, targets[s],
+                                        result.locations[s].virtual_id));
+    }
+    for (std::size_t s = 0; s < futures.size(); ++s) {
+      outcomes[s] = futures[s].get();
+    }
   }
 
   Status first_error = Status::Ok();
@@ -689,13 +722,21 @@ Status CloudDataDistributor::put_file(const std::string& client,
       if (!out.stripe.empty()) drop_stripe(out.stripe, &op.times);
     }
     metadata_->release_file(client, filename);
-    // Best-effort: if the abort record cannot be written, recovery still
-    // aborts the put (Begin without Commit), just with more orphan work.
+    // The abort record is best-effort BY DESIGN, not an ignored error: the
+    // put is already failing with `error`, and recovery aborts a Begin
+    // without Commit whether or not this record lands -- losing it only
+    // means more orphan work for reconcile(). It must not mask the
+    // original failure, so it is surfaced as a counter instead of a
+    // status.
     JournalRecord rec;
     rec.op = JournalOp::kAbortPut;
     rec.client = client;
     rec.filename = filename;
-    (void)journal_append(rec);
+    if (Status aborted = journal_append(rec); !aborted.ok()) {
+      if (telemetry_->enabled()) {
+        telemetry_->metrics().counter("cdd.abort_journal_errors").inc();
+      }
+    }
     return error;
   };
   for (ChunkOutcome& out : outcomes) {

@@ -34,6 +34,7 @@
 #include "core/journal.hpp"
 #include "core/placement.hpp"
 #include "core/request_layer.hpp"
+#include "core/shard_batcher.hpp"
 #include "core/tables.hpp"
 #include "obs/telemetry.hpp"
 #include "raid/raid.hpp"
@@ -73,6 +74,16 @@ struct DistributorConfig {
   /// breaker gating and hedged reads (see core/request_layer.hpp).
   /// `retry.enabled = false` reproduces the raw single-attempt behavior.
   RetryPolicy retry;
+  /// Cross-operation shard-RPC batching (see core/shard_batcher.hpp): when
+  /// > 1, the stripe writer routes every shard put through a per-provider
+  /// batcher that coalesces shards from concurrent operations into one
+  /// put_many RPC, closed at `rpc_batch_shards` shards or `rpc_batch_wait`
+  /// after a lane's first pending shard. 1 = per-shard RPCs (the
+  /// pre-batching behavior; default -- batching trades a bounded latency
+  /// wait for round-trip amortization, a good trade only under concurrent
+  /// small-op load).
+  std::size_t rpc_batch_shards = 1;
+  std::chrono::microseconds rpc_batch_wait{500};
   /// Write-ahead journal for metadata durability (see core/journal.hpp).
   /// When set, every metadata mutation is journaled before the op returns
   /// OK; null = in-memory-only metadata (the pre-journal behavior).
@@ -345,6 +356,10 @@ class CloudDataDistributor {
   std::atomic<std::uint64_t> id_counter_{1};
   std::uint64_t id_key_;
   mutable std::mutex mu_;  ///< guards placement_ and chaff_rng_
+  /// Cross-op shard-put coalescing; null when rpc_batch_shards <= 1.
+  /// Declared last: its flusher threads use rt_/telemetry_, so it must be
+  /// destroyed (drained and joined) before them.
+  std::unique_ptr<ShardBatcher> batcher_;
 };
 
 /// Models the makespan of `times` scheduled greedily onto `channels`

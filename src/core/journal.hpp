@@ -32,7 +32,10 @@
 // the orphans.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <functional>
 #include <memory>
@@ -42,6 +45,7 @@
 #include <vector>
 
 #include "core/tables.hpp"
+#include "obs/telemetry.hpp"
 #include "util/bytes.hpp"
 #include "util/status.hpp"
 
@@ -100,9 +104,31 @@ struct JournalReplay {
 /// not a journal); a torn/corrupt tail is tolerated -- records stop there.
 [[nodiscard]] Result<JournalReplay> replay_journal_image(BytesView image);
 
+/// Group-commit tuning (see Journal::set_group_commit). The defaults
+/// reproduce per-op commit: every append is its own batch with its own
+/// fsync, byte-identical on disk to the pre-group-commit format.
+struct GroupCommitConfig {
+  /// Max records folded into one write+fsync. 1 = per-op commit.
+  std::size_t batch_ops = 1;
+  /// How long a batch leader waits for the batch to fill before flushing
+  /// short. 0 = flush whatever is queued immediately (opportunistic
+  /// grouping only). Ignored when batch_ops == 1.
+  std::chrono::microseconds batch_interval{0};
+};
+
 /// Append-only journal file handle. Thread-safe: appends serialize under
 /// one mutex and fsync before returning, so "append returned OK" means the
-/// record is durable. One Journal instance per file per process.
+/// record is durable.
+///
+/// Group commit: concurrent appends enqueue their framed records and the
+/// front waiter becomes the batch leader -- it drains up to `batch_ops`
+/// records (waiting up to `batch_interval` for the batch to fill), writes
+/// them in queue order, fsyncs ONCE, then wakes every waiter in the batch.
+/// The durability contract is unchanged: append() returns only after the
+/// caller's own record is on disk (leaders and followers alike), and the
+/// on-disk frame stream is identical to per-op commit -- a batch is just
+/// several frames sharing one fsync. One Journal instance per file per
+/// process.
 class Journal {
  public:
   ~Journal();
@@ -115,9 +141,21 @@ class Journal {
   [[nodiscard]] static Result<std::unique_ptr<Journal>> open(
       std::filesystem::path path);
 
-  /// Appends one framed record and fsyncs. The record is durable when this
-  /// returns OK.
+  /// Appends one framed record. The record is durable when this returns
+  /// OK -- under group commit the fsync may be shared with other records
+  /// of the same batch, but it has happened before any of them return.
   Status append(const JournalRecord& rec);
+
+  /// Installs the group-commit tuning. Call before serving traffic (not
+  /// synchronized against in-flight appends). The default configuration
+  /// (batch_ops = 1) is exact per-op commit.
+  void set_group_commit(const GroupCommitConfig& cfg);
+
+  /// Wires flush instrumentation into `tel`: histograms
+  /// `journal.batch_size` / `journal.flush_ns` and counter
+  /// `journal.group_commits` (batches that folded > 1 record). Attach
+  /// before serving traffic; `tel` must outlive the journal.
+  void attach_telemetry(const std::shared_ptr<obs::Telemetry>& tel);
 
   /// Atomic checkpoint: calls `snapshot` (typically serialize_metadata),
   /// writes the image to `checkpoint_path` via temp-file + fsync + rename
@@ -136,25 +174,58 @@ class Journal {
   [[nodiscard]] std::uint64_t total_appended() const;
   /// Cumulative records folded into checkpoints (persisted in the header).
   [[nodiscard]] std::uint64_t last_checkpoint_ops() const;
+  /// Batches flushed (write + fsync cycles) over this handle's lifetime.
+  [[nodiscard]] std::uint64_t flushes() const;
+  /// Flushes that folded more than one record into a single fsync.
+  [[nodiscard]] std::uint64_t group_commits() const;
   [[nodiscard]] const std::filesystem::path& path() const { return path_; }
 
-  /// Crash-injection seams for tests: called inside append(), under the
-  /// append mutex, immediately before / after the frame hits the disk.
-  /// Install before serving traffic; not synchronized against appends.
+  /// Crash-injection seams for tests: the flush leader calls these for
+  /// every record of its batch, in commit order, immediately before the
+  /// record's frame is written / after the batch fsync made it durable.
+  /// They run on the leader's thread (which under group commit may not be
+  /// the appender's thread) with no journal lock held, but all journal I/O
+  /// is serialized around them -- so _exit() in the before-hook models a
+  /// crash where that record and everything after it are lost, and no
+  /// append for those records has returned. Install before serving
+  /// traffic; not synchronized against appends.
   std::function<void(const JournalRecord&)> test_hook_before_append;
   std::function<void(const JournalRecord&)> test_hook_after_append;
 
  private:
+  /// One queued append: its framed bytes plus the completion flag/status
+  /// the flush leader fills in. Lives on the appender's stack -- append()
+  /// does not return until done, so queue pointers stay valid.
+  struct Waiter {
+    const JournalRecord* rec = nullptr;
+    Bytes frame;
+    Status status;
+    bool done = false;
+  };
+
   Journal(std::filesystem::path path, int fd, std::size_t records,
           std::uint64_t bytes, std::uint64_t checkpoint_ops);
 
+  /// Leader body: drains up to batch_ops waiters from the queue front
+  /// (waiting batch_interval for the batch to fill), writes + fsyncs them
+  /// outside the lock, then completes every waiter. Called with `lk` held;
+  /// returns with it held.
+  void flush_batch(std::unique_lock<std::mutex>& lk);
+
   mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Waiter*> queue_;   ///< appends waiting for a flush
+  bool flushing_ = false;       ///< a leader is writing outside the lock
+  GroupCommitConfig gc_;
   std::filesystem::path path_;
   int fd_ = -1;
   std::size_t records_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t total_appended_ = 0;
   std::uint64_t checkpoint_ops_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t group_commits_ = 0;
+  std::shared_ptr<obs::Telemetry> telemetry_;  ///< null = no instrumentation
 };
 
 /// Applies one replayed record to a store. Idempotent: a record present in

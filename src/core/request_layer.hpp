@@ -26,8 +26,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <numeric>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/telemetry.hpp"
 #include "storage/provider_registry.hpp"
@@ -82,6 +85,19 @@ class RequestLayer {
   struct GetOutcome : Outcome {
     std::optional<Bytes> data;
   };
+  /// Outcome of one batched RPC. Per-item statuses align with the input
+  /// batch; attempts/retries count batch RPCs, not items.
+  struct BatchOutcome {
+    std::vector<Status> statuses;
+    SimDuration time{0};
+    std::uint32_t attempts = 0;
+    std::uint32_t retries = 0;
+    bool fail_fast = false;
+  };
+  struct BatchGetOutcome : BatchOutcome {
+    /// results[i] holds bytes iff statuses[i] is OK.
+    std::vector<std::optional<Bytes>> results;
+  };
 
   /// `attempt_budget` 0 = the policy's max_attempts.
   Outcome put(ProviderIndex p, VirtualId id, BytesView data,
@@ -108,6 +124,49 @@ class RequestLayer {
     return run(p, id, attempt_budget, [&](SimDuration* t) {
       return registry_.at(p).remove(id, t);
     });
+  }
+
+  /// Batched put with the same retry/breaker discipline as run(), accounted
+  /// per batch RPC: one breaker admit per attempt, one on_success /
+  /// on_failure per attempt, one backoff between attempts. Partial-failure
+  /// splitting: after each attempt only the items that came back
+  /// kUnavailable stay pending -- a retry re-sends just that subset, and a
+  /// definitive per-item answer (OK, kNotFound, kInternal...) is final.
+  BatchOutcome put_many(ProviderIndex p,
+                        const std::vector<storage::BatchPut>& batch) {
+    return run_batch(
+        p, batch.size(),
+        [&](const std::vector<std::size_t>& pending, SimDuration* t) {
+          std::vector<storage::BatchPut> subset;
+          subset.reserve(pending.size());
+          for (std::size_t i : pending) subset.push_back(batch[i]);
+          return registry_.at(p).put_many(subset, t);
+        },
+        batch.empty() ? VirtualId{0} : batch.front().id);
+  }
+
+  /// Batched get; see put_many for the retry/breaker semantics.
+  BatchGetOutcome get_many(ProviderIndex p,
+                           const std::vector<VirtualId>& ids) {
+    BatchGetOutcome out;
+    out.results.resize(ids.size());
+    static_cast<BatchOutcome&>(out) = run_batch(
+        p, ids.size(),
+        [&](const std::vector<std::size_t>& pending, SimDuration* t) {
+          std::vector<VirtualId> subset;
+          subset.reserve(pending.size());
+          for (std::size_t i : pending) subset.push_back(ids[i]);
+          std::vector<Result<Bytes>> got = registry_.at(p).get_many(subset, t);
+          std::vector<Status> statuses;
+          statuses.reserve(got.size());
+          for (std::size_t s = 0; s < got.size(); ++s) {
+            statuses.push_back(got[s].status());
+            if (got[s].ok()) out.results[pending[s]] = std::move(got[s]).value();
+          }
+          return statuses;
+        },
+        ids.empty() ? VirtualId{0} : ids.front());
+    return out;
   }
 
   /// Hedge advice for a completed data-shard read: true when `observed`
@@ -178,6 +237,88 @@ class RequestLayer {
         break;
       }
       const SimDuration pause = backoff(p, id, a);
+      if (out.time + pause > policy_.deadline) {
+        count("rt.deadline_exceeded");
+        break;
+      }
+      out.time += pause;
+      ++out.retries;
+      count("rt.retries");
+      if (telemetry_ != nullptr && telemetry_->enabled()) {
+        telemetry_->metrics().histogram("rt.backoff_ns")
+            .observe(static_cast<double>(pause.count()));
+      }
+    }
+    return out;
+  }
+
+  /// Batched analogue of run(). `attempt` receives the indices (into the
+  /// original batch) still pending and must return one Status per index,
+  /// in order. `backoff_key` seeds the deterministic jitter (the first
+  /// item's virtual id -- stable across retries of the same batch).
+  template <typename BatchAttemptFn>
+  BatchOutcome run_batch(ProviderIndex p, std::size_t n,
+                         BatchAttemptFn&& attempt, VirtualId backoff_key) {
+    BatchOutcome out;
+    out.statuses.assign(n, Status::Ok());
+    if (n == 0) return out;
+    const std::size_t budget =
+        policy_.enabled ? std::max<std::size_t>(1, policy_.max_attempts) : 1;
+    storage::CircuitBreaker& breaker = registry_.breaker(p);
+    std::vector<std::size_t> pending(n);
+    std::iota(pending.begin(), pending.end(), std::size_t{0});
+    for (std::size_t a = 1; a <= budget; ++a) {
+      const auto admitted = policy_.enabled
+                                ? breaker.admit()
+                                : storage::CircuitBreaker::Decision::kProceed;
+      if (admitted == storage::CircuitBreaker::Decision::kReject) {
+        const Status quarantined = Status::Unavailable(
+            registry_.at(p).descriptor().name + " quarantined (breaker open)");
+        for (std::size_t i : pending) out.statuses[i] = quarantined;
+        out.fail_fast = out.attempts == 0;
+        count("rt.fail_fast");
+        break;
+      }
+      if (admitted == storage::CircuitBreaker::Decision::kProbe) {
+        count("rt.probes");
+      }
+      ++out.attempts;
+      if (telemetry_ != nullptr && telemetry_->enabled()) {
+        telemetry_->metrics().counter("rt.batch_rpcs").inc();
+        telemetry_->metrics().histogram("rt.batch_size")
+            .observe(static_cast<double>(pending.size()));
+      }
+      SimDuration t{0};
+      const std::vector<Status> statuses = attempt(pending, &t);
+      out.time += t;
+      // Partial-failure split: only kUnavailable items remain pending; a
+      // definitive per-item answer is final (same rule as run()).
+      std::vector<std::size_t> still;
+      for (std::size_t s = 0; s < pending.size(); ++s) {
+        out.statuses[pending[s]] = statuses[s];
+        if (statuses[s].code() == ErrorCode::kUnavailable) {
+          still.push_back(pending[s]);
+        }
+      }
+      if (still.empty()) {
+        // The provider answered every remaining item -- it is healthy,
+        // whatever the erasure layer makes of the individual answers.
+        if (policy_.enabled && breaker.on_success()) {
+          count("rt.breaker_closes");
+          gauge_add("rt.open_breakers", -1);
+        }
+        break;
+      }
+      if (policy_.enabled && breaker.on_failure()) {
+        count("rt.breaker_trips");
+        gauge_add("rt.open_breakers", 1);
+      }
+      pending = std::move(still);
+      if (a == budget) {
+        count("rt.giveups");
+        break;
+      }
+      const SimDuration pause = backoff(p, backoff_key, a);
       if (out.time + pause > policy_.deadline) {
         count("rt.deadline_exceeded");
         break;

@@ -1,0 +1,187 @@
+// Cross-operation shard-RPC batcher.
+//
+// Placement puts every shard of a stripe on a DISTINCT provider (rule 4 in
+// core/placement.hpp), so for small files -- one stripe, a handful of
+// shards -- there is nothing to coalesce *within* an operation: each
+// provider receives exactly one shard. The round-trip amortization the
+// batched provider path offers therefore has to come from coalescing
+// *across* concurrent operations: under 64 small-file clients, each
+// provider sees a steady stream of single-shard puts from different
+// stripes, and this batcher folds them into put_many RPCs.
+//
+// One lane per provider: a queue, a condition variable, and a dedicated
+// flusher thread. Writers enqueue a shard and get a future; the flusher
+// closes a batch at `batch_shards` items or `max_wait` after the lane's
+// first pending item (whichever first -- the same close rule as the
+// journal's group commit), sends it through RequestLayer::put_many (per
+// batch breaker/retry accounting, per-shard partial-failure splitting),
+// and completes every future with its item's status.
+//
+// Shard bytes are NOT copied: the BytesView handed to put() must stay
+// valid until its future resolves. The distributor guarantees this --
+// write_stripe blocks on the futures while the encoded stripe arena is
+// alive.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/request_layer.hpp"
+#include "obs/telemetry.hpp"
+#include "util/status.hpp"
+
+namespace cshield::core {
+
+class ShardBatcher {
+ public:
+  struct Config {
+    /// Flush a lane once it holds this many shards.
+    std::size_t batch_shards = 16;
+    /// Flush an under-full lane this long after its first pending shard.
+    std::chrono::microseconds max_wait{500};
+  };
+
+  /// What one shard's enqueue resolved to.
+  struct PutResult {
+    Status status;
+    /// This shard's share of the batch RPC's modeled time (batch time
+    /// divided evenly -- the round trip was genuinely shared).
+    SimDuration time{0};
+    /// Batch RPC retries, attributed to the batch's first shard only so
+    /// per-op sums stay exact when shards of one batch report to
+    /// different operations.
+    std::uint32_t retries = 0;
+    /// Shards in the flushed batch (diagnostics).
+    std::uint32_t batch = 1;
+  };
+
+  /// `rt` must outlive the batcher; `providers` sizes the lane array.
+  /// `telemetry` may be null (no instrumentation).
+  ShardBatcher(RequestLayer& rt, std::size_t providers, Config cfg,
+               obs::Telemetry* telemetry)
+      : rt_(rt), cfg_(cfg), telemetry_(telemetry), lanes_(providers) {
+    if (cfg_.batch_shards == 0) cfg_.batch_shards = 1;
+    threads_.reserve(providers);
+    for (std::size_t p = 0; p < providers; ++p) {
+      threads_.emplace_back([this, p] { run_lane(p); });
+    }
+  }
+
+  ~ShardBatcher() {
+    for (Lane& lane : lanes_) {
+      std::lock_guard<std::mutex> lock(lane.mu);
+      lane.stop = true;
+      lane.cv.notify_all();
+    }
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ShardBatcher(const ShardBatcher&) = delete;
+  ShardBatcher& operator=(const ShardBatcher&) = delete;
+
+  /// Enqueues one shard put for provider `p`. `data` must stay valid until
+  /// the returned future resolves.
+  std::future<PutResult> put(ProviderIndex p, VirtualId id, BytesView data) {
+    CS_REQUIRE(p < lanes_.size(), "ShardBatcher: provider out of range");
+    Lane& lane = lanes_[p];
+    Pending item;
+    item.id = id;
+    item.data = data;
+    std::future<PutResult> result = item.promise.get_future();
+    {
+      std::lock_guard<std::mutex> lock(lane.mu);
+      if (lane.queue.empty()) {
+        lane.first_enqueue = std::chrono::steady_clock::now();
+      }
+      lane.queue.push_back(std::move(item));
+      lane.cv.notify_all();
+    }
+    return result;
+  }
+
+ private:
+  struct Pending {
+    VirtualId id = 0;
+    BytesView data;
+    std::promise<PutResult> promise;
+  };
+
+  struct Lane {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Pending> queue;
+    std::chrono::steady_clock::time_point first_enqueue;
+    bool stop = false;
+  };
+
+  void run_lane(std::size_t p) {
+    Lane& lane = lanes_[p];
+    std::unique_lock<std::mutex> lk(lane.mu);
+    for (;;) {
+      lane.cv.wait(lk, [&] { return lane.stop || !lane.queue.empty(); });
+      if (lane.queue.empty()) return;  // stop with nothing left to flush
+      // Close the batch at batch_shards or max_wait after the lane's first
+      // pending shard, whichever first. Shutdown flushes immediately --
+      // enqueued shards still complete.
+      const auto deadline = lane.first_enqueue + cfg_.max_wait;
+      while (!lane.stop && lane.queue.size() < cfg_.batch_shards) {
+        if (lane.cv.wait_until(lk, deadline) == std::cv_status::timeout) break;
+      }
+      std::vector<Pending> batch;
+      const std::size_t n = std::min(lane.queue.size(), cfg_.batch_shards);
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(lane.queue.front()));
+        lane.queue.pop_front();
+      }
+      if (!lane.queue.empty()) {
+        // Leftovers start the next batch's clock now, not at their
+        // original enqueue (their wait so far bought them nothing).
+        lane.first_enqueue = std::chrono::steady_clock::now();
+      }
+      lk.unlock();
+      flush(static_cast<ProviderIndex>(p), batch);
+      lk.lock();
+    }
+  }
+
+  void flush(ProviderIndex p, std::vector<Pending>& batch) {
+    std::vector<storage::BatchPut> items;
+    items.reserve(batch.size());
+    for (const Pending& item : batch) {
+      items.push_back(storage::BatchPut{item.id, item.data});
+    }
+    RequestLayer::BatchOutcome rpc = rt_.put_many(p, items);
+    if (telemetry_ != nullptr && telemetry_->enabled()) {
+      obs::MetricsRegistry& m = telemetry_->metrics();
+      m.counter("cdd.shard_batches").inc();
+      m.histogram("cdd.shard_batch_size")
+          .observe(static_cast<double>(batch.size()));
+      m.histogram("cdd.shard_batch_flush_ns")
+          .observe(static_cast<double>(rpc.time.count()));
+    }
+    const SimDuration share = rpc.time / static_cast<std::int64_t>(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      PutResult r;
+      r.status = rpc.statuses[i];
+      r.time = share;
+      r.retries = i == 0 ? rpc.retries : 0;
+      r.batch = static_cast<std::uint32_t>(batch.size());
+      batch[i].promise.set_value(std::move(r));
+    }
+  }
+
+  RequestLayer& rt_;
+  Config cfg_;
+  obs::Telemetry* telemetry_;
+  std::vector<Lane> lanes_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cshield::core

@@ -44,6 +44,26 @@ void fsync_parent_dir(const fs::path& child) {
 
 Status DiskStore::put(VirtualId id, BytesView data) {
   std::lock_guard<std::mutex> lock(mu_);
+  return put_locked(id, data, /*sync_dir=*/true);
+}
+
+std::vector<Status> DiskStore::put_many(const std::vector<BatchPut>& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Status> statuses;
+  statuses.reserve(batch.size());
+  bool any_ok = false;
+  for (const BatchPut& item : batch) {
+    statuses.push_back(put_locked(item.id, item.data, /*sync_dir=*/false));
+    any_ok = any_ok || statuses.back().ok();
+  }
+  // One directory fsync publishes every rename of the batch -- the batch
+  // amortization this store offers. Object contents were already fsynced
+  // individually above.
+  if (any_ok) fsync_parent_dir(path_of(batch.front().id));
+  return statuses;
+}
+
+Status DiskStore::put_locked(VirtualId id, BytesView data, bool sync_dir) {
   // Write-then-fsync-then-rename: readers never see a torn object, and
   // once put() returns Ok the bytes survive a crash. ofstream cannot
   // express fsync (close() drops errors on the floor too), so this goes
@@ -87,7 +107,7 @@ Status DiskStore::put(VirtualId id, BytesView data) {
     ::unlink(tmp_path.c_str());
     return Status::Internal("DiskStore: rename failed: " + ec.message());
   }
-  fsync_parent_dir(final_path);
+  if (sync_dir) fsync_parent_dir(final_path);
   return Status::Ok();
 }
 

@@ -21,6 +21,10 @@ class DiskStore final : public ObjectStore {
 
   Status put(VirtualId id, BytesView data) override;
   [[nodiscard]] Result<Bytes> get(VirtualId id) const override;
+  /// Batched put: each object still gets its own write+fsync+rename (so
+  /// items fail independently and readers never see torn objects), but the
+  /// directory fsync that publishes the renames is paid once per batch.
+  std::vector<Status> put_many(const std::vector<BatchPut>& batch) override;
   Status remove(VirtualId id) override;
   [[nodiscard]] bool contains(VirtualId id) const override;
   [[nodiscard]] std::size_t object_count() const override;
@@ -31,6 +35,10 @@ class DiskStore final : public ObjectStore {
 
  private:
   [[nodiscard]] std::filesystem::path path_of(VirtualId id) const;
+
+  /// Shared body of put()/put_many(): write + fsync + rename under mu_,
+  /// optionally followed by the parent-directory fsync.
+  Status put_locked(VirtualId id, BytesView data, bool sync_dir);
 
   std::filesystem::path root_;
   mutable std::mutex mu_;

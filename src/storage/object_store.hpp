@@ -17,6 +17,13 @@
 
 namespace cshield::storage {
 
+/// One object of a batched put. The view must stay valid for the duration
+/// of the put_many call (the batching layers hold the shard arenas alive).
+struct BatchPut {
+  VirtualId id = 0;
+  BytesView data;
+};
+
 class ObjectStore {
  public:
   virtual ~ObjectStore() = default;
@@ -29,6 +36,27 @@ class ObjectStore {
 
   /// Deletes the object; kNotFound if absent.
   virtual Status remove(VirtualId id) = 0;
+
+  /// Stores a batch; the returned statuses align with `batch` and items
+  /// fail independently. The default loops over put(), so every store
+  /// keeps working unmodified; stores with a cheaper bulk path (one lock
+  /// acquisition, one directory fsync) override it.
+  virtual std::vector<Status> put_many(const std::vector<BatchPut>& batch) {
+    std::vector<Status> statuses;
+    statuses.reserve(batch.size());
+    for (const BatchPut& item : batch) statuses.push_back(put(item.id, item.data));
+    return statuses;
+  }
+
+  /// Fetches a batch; results align with `ids` and items fail
+  /// independently. Default loops over get().
+  [[nodiscard]] virtual std::vector<Result<Bytes>> get_many(
+      const std::vector<VirtualId>& ids) const {
+    std::vector<Result<Bytes>> results;
+    results.reserve(ids.size());
+    for (VirtualId id : ids) results.push_back(get(id));
+    return results;
+  }
 
   [[nodiscard]] virtual bool contains(VirtualId id) const = 0;
   [[nodiscard]] virtual std::size_t object_count() const = 0;
@@ -62,6 +90,42 @@ class MemoryStore final : public ObjectStore {
       return Status::NotFound("object " + std::to_string(id));
     }
     return it->second;
+  }
+
+  /// Batched variants take the store lock once for the whole batch instead
+  /// of once per object -- the map operations are identical.
+  std::vector<Status> put_many(const std::vector<BatchPut>& batch) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Status> statuses;
+    statuses.reserve(batch.size());
+    for (const BatchPut& item : batch) {
+      auto it = objects_.find(item.id);
+      if (it != objects_.end()) {
+        bytes_ -= it->second.size();
+        it->second.assign(item.data.begin(), item.data.end());
+      } else {
+        objects_.emplace(item.id, Bytes(item.data.begin(), item.data.end()));
+      }
+      bytes_ += item.data.size();
+      statuses.push_back(Status::Ok());
+    }
+    return statuses;
+  }
+
+  [[nodiscard]] std::vector<Result<Bytes>> get_many(
+      const std::vector<VirtualId>& ids) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Result<Bytes>> results;
+    results.reserve(ids.size());
+    for (VirtualId id : ids) {
+      auto it = objects_.find(id);
+      if (it == objects_.end()) {
+        results.emplace_back(Status::NotFound("object " + std::to_string(id)));
+      } else {
+        results.emplace_back(it->second);
+      }
+    }
+    return results;
   }
 
   Status remove(VirtualId id) override {

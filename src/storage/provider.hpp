@@ -69,6 +69,9 @@ struct ProviderCounters {
   std::atomic<std::uint64_t> puts{0};
   std::atomic<std::uint64_t> gets{0};
   std::atomic<std::uint64_t> removes{0};
+  /// Batched RPCs served (each carries many objects but costs one round
+  /// trip; per-object traffic still lands in puts/gets/bytes_*).
+  std::atomic<std::uint64_t> batch_requests{0};
   std::atomic<std::uint64_t> bytes_in{0};
   std::atomic<std::uint64_t> bytes_out{0};
   std::atomic<std::uint64_t> injected_failures{0};
@@ -161,6 +164,61 @@ class SimCloudProvider {
     return st;
   }
 
+  /// Stores a batch of objects as ONE provider request: one fault decision
+  /// (a batch-level fault fails every item), one modeled service time
+  /// covering the whole payload, and one request-sequence tick -- batching
+  /// N shards costs one round trip, which is its entire point. A scripted
+  /// FaultPlan therefore sees the batch as a single request, so per-op and
+  /// batched request streams consume the sequence space differently (as
+  /// they would against a real endpoint). Item-level store/mirror failures
+  /// stay independent; the returned statuses align with `batch`.
+  std::vector<Status> put_many(const std::vector<BatchPut>& batch,
+                               SimDuration* service_time = nullptr) {
+    double slow = 1.0;
+    Status fault = check_faults(&slow);
+    std::size_t total_bytes = 0;
+    for (const BatchPut& item : batch) total_bytes += item.data.size();
+    const SimDuration t = scale_time(model_time(total_bytes), slow);
+    maybe_sleep(t);
+    if (service_time != nullptr) *service_time = t;
+    counters_.batch_requests.fetch_add(1, std::memory_order_relaxed);
+    if (!fault.ok()) {
+      record(&Tele::put_ns, t, total_bytes, 0, false);
+      return std::vector<Status>(batch.size(), fault);
+    }
+    // Accepted-request accounting, matching put(): every item the fault
+    // model admitted counts, store failures surface as io_errors below.
+    counters_.puts.fetch_add(batch.size(), std::memory_order_relaxed);
+    counters_.bytes_in.fetch_add(total_bytes, std::memory_order_relaxed);
+    std::vector<Status> statuses = store_.put_many(batch);
+    if (mirror_ != nullptr) {
+      // Mirror the surviving items through the mirror's own batched path
+      // (a DiskStore mirror then pays one directory fsync per batch), and
+      // back each mirror failure out of memory: the two stores must agree.
+      std::vector<BatchPut> survivors;
+      std::vector<std::size_t> survivor_index;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!statuses[i].ok()) continue;
+        survivors.push_back(batch[i]);
+        survivor_index.push_back(i);
+      }
+      const std::vector<Status> mirrored = mirror_->put_many(survivors);
+      for (std::size_t s = 0; s < mirrored.size(); ++s) {
+        if (mirrored[s].ok()) continue;
+        (void)store_.remove(survivors[s].id);
+        statuses[survivor_index[s]] = mirrored[s];
+      }
+    }
+    bool all_ok = true;
+    for (const Status& st : statuses) {
+      if (st.ok()) continue;
+      note_io_error();
+      all_ok = false;
+    }
+    record(&Tele::put_ns, t, total_bytes, 0, all_ok);
+    return statuses;
+  }
+
   [[nodiscard]] Result<Bytes> get(VirtualId id,
                                   SimDuration* service_time = nullptr) {
     double slow = 1.0;
@@ -184,6 +242,47 @@ class SimCloudProvider {
     }
     record(&Tele::get_ns, t, 0, n, r.ok());
     return r;
+  }
+
+  /// Batched fetch mirroring put_many: one fault decision, one modeled
+  /// round trip sized by the bytes actually returned, one sequence tick.
+  /// Results align with `ids`; misses fail individually with kNotFound.
+  [[nodiscard]] std::vector<Result<Bytes>> get_many(
+      const std::vector<VirtualId>& ids,
+      SimDuration* service_time = nullptr) {
+    double slow = 1.0;
+    Status fault = check_faults(&slow);
+    counters_.batch_requests.fetch_add(1, std::memory_order_relaxed);
+    if (!fault.ok()) {
+      const SimDuration t = scale_time(model_time(0), slow);
+      if (service_time != nullptr) *service_time = t;
+      record(&Tele::get_ns, t, 0, 0, false);
+      return std::vector<Result<Bytes>>(ids.size(), Result<Bytes>(fault));
+    }
+    std::vector<Result<Bytes>> results = store_.get_many(ids);
+    std::size_t total_bytes = 0;
+    bool all_ok = true;
+    for (const Result<Bytes>& r : results) {
+      if (r.ok()) {
+        total_bytes += r.value().size();
+      } else {
+        all_ok = false;
+      }
+    }
+    const SimDuration t = scale_time(model_time(total_bytes), slow);
+    maybe_sleep(t);
+    if (service_time != nullptr) *service_time = t;
+    for (const Result<Bytes>& r : results) {
+      if (r.ok()) {
+        counters_.gets.fetch_add(1, std::memory_order_relaxed);
+        counters_.bytes_out.fetch_add(r.value().size(),
+                                      std::memory_order_relaxed);
+      } else {
+        note_io_error();
+      }
+    }
+    record(&Tele::get_ns, t, 0, total_bytes, all_ok);
+    return results;
   }
 
   Status remove(VirtualId id, SimDuration* service_time = nullptr) {

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/distributor.hpp"
+#include "core/request_layer.hpp"
 #include "obs/telemetry.hpp"
 #include "storage/fault_plan.hpp"
 #include "storage/provider_registry.hpp"
@@ -211,6 +212,77 @@ TEST(CircuitBreakerTest, ProbeOutcomeHealsOrReopens) {
   EXPECT_TRUE(b.on_success());
   EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
   EXPECT_EQ(b.admit(), CircuitBreaker::Decision::kProceed);
+}
+
+// --- batched request layer ---------------------------------------------------
+
+TEST(RequestLayerBatchTest, BatchLevelFaultRetriesWholeBatchOnce) {
+  storage::ProviderRegistry registry = flat_registry(2);
+  auto plan = std::make_shared<FaultPlan>();
+  FaultEpisode ep;
+  ep.provider = 0;
+  ep.kind = FaultKind::kCrash;
+  ep.begin = 0;
+  ep.end = 1;  // exactly the first request fails
+  plan->episodes.push_back(ep);
+  registry.apply_fault_plan(plan);
+
+  core::RequestLayer rt(registry, core::RetryPolicy{}, nullptr, 0xBA7C);
+  const Bytes a = payload_of(100, 1);
+  const Bytes b = payload_of(200, 2);
+  const Bytes c = payload_of(300, 3);
+  const core::RequestLayer::BatchOutcome out =
+      rt.put_many(0, {{1, a}, {2, b}, {3, c}});
+  ASSERT_EQ(out.statuses.size(), 3u);
+  for (const Status& st : out.statuses) EXPECT_TRUE(st.ok());
+  // The batch-level fault failed the whole first RPC; one retry re-sent
+  // the batch -- two round trips total, never one per item.
+  EXPECT_EQ(out.attempts, 2u);
+  EXPECT_EQ(out.retries, 1u);
+  EXPECT_FALSE(out.fail_fast);
+  EXPECT_GT(out.time.count(), 0);
+  EXPECT_EQ(registry.at(0).fault_requests(), 2u);
+  EXPECT_EQ(registry.at(0).counters().puts.load(), 3u);
+}
+
+TEST(RequestLayerBatchTest, DefinitiveItemAnswersAreFinal) {
+  storage::ProviderRegistry registry = flat_registry(1);
+  core::RequestLayer rt(registry, core::RetryPolicy{}, nullptr, 0xD00D);
+  const Bytes a = payload_of(64, 9);
+  ASSERT_TRUE(rt.put_many(0, {{5, a}}).statuses[0].ok());
+  const core::RequestLayer::BatchGetOutcome got = rt.get_many(0, {5, 404});
+  // A per-item miss is a definitive answer, not a provider failure: the
+  // retry budget must not be burned re-asking for it.
+  EXPECT_EQ(got.attempts, 1u);
+  EXPECT_EQ(got.retries, 0u);
+  ASSERT_EQ(got.statuses.size(), 2u);
+  ASSERT_TRUE(got.statuses[0].ok());
+  ASSERT_TRUE(got.results[0].has_value());
+  EXPECT_TRUE(equal(*got.results[0], a));
+  EXPECT_EQ(got.statuses[1].code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(got.results[1].has_value());
+}
+
+TEST(RequestLayerBatchTest, OpenBreakerFailsBatchFast) {
+  storage::ProviderRegistry registry = flat_registry(1);
+  registry.set_breaker_config(storage::CircuitBreaker::Config{2, 8});
+  registry.at(0).set_online(false);
+  core::RetryPolicy policy;
+  policy.max_attempts = 2;
+  core::RequestLayer rt(registry, policy, nullptr, 0x0DD);
+  const Bytes a = payload_of(32, 5);
+  // Two failed batch RPCs trip the breaker...
+  const core::RequestLayer::BatchOutcome first = rt.put_many(0, {{1, a}});
+  EXPECT_EQ(first.attempts, 2u);
+  EXPECT_TRUE(registry.quarantined(0));
+  // ...and the next batch is rejected before any provider I/O.
+  const core::RequestLayer::BatchOutcome second = rt.put_many(0, {{2, a}});
+  EXPECT_TRUE(second.fail_fast);
+  EXPECT_EQ(second.attempts, 0u);
+  ASSERT_EQ(second.statuses.size(), 1u);
+  EXPECT_EQ(second.statuses[0].code(), ErrorCode::kUnavailable);
+  // Only the first call's two RPCs ever reached the provider.
+  EXPECT_EQ(registry.at(0).fault_requests(), 2u);
 }
 
 // --- scripted end-to-end scenarios ------------------------------------------

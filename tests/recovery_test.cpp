@@ -27,6 +27,8 @@
 #include "core/metadata_io.hpp"
 #include "core/scrubber.hpp"
 #include "storage/provider_registry.hpp"
+#include "util/hash.hpp"
+#include "util/wire.hpp"
 
 namespace cshield {
 namespace {
@@ -277,6 +279,191 @@ TEST(JournalFileTest, CheckpointFoldsRecordsAndPersistsOpCount) {
   ASSERT_TRUE(j.ok());
   EXPECT_EQ(j.value()->record_count(), 1u);
   EXPECT_EQ(j.value()->last_checkpoint_ops(), 4u);
+}
+
+// --- group commit -----------------------------------------------------------
+
+// The exact on-disk image the per-op journal has always produced: header
+// (magic | version | checkpoint ops) followed by one `len | crc | payload`
+// frame per record, in append order.
+Bytes expected_journal_image(const std::vector<JournalRecord>& recs) {
+  Bytes out;
+  {
+    wire::Writer w(out);
+    w.u32(0xC5D17A6EU);  // magic
+    w.u32(1);            // version
+    w.u64(0);            // checkpoint ops
+  }
+  for (const JournalRecord& rec : recs) {
+    const Bytes payload = core::encode_record(rec);
+    wire::Writer w(out);
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    w.u32(crc32(payload));
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+TEST(GroupCommitTest, BatchOpsOneIsByteIdenticalToPerOpFormat) {
+  std::vector<JournalRecord> recs;
+  recs.push_back(sample_commit_record());
+  for (int i = 0; i < 6; ++i) recs.push_back(begin_record("f" + std::to_string(i)));
+  const Bytes expected = expected_journal_image(recs);
+
+  // Default config (batch_ops = 1) must write the legacy per-op format --
+  // and fsync once per record, never grouping.
+  TempDir dir;
+  const fs::path per_op = dir.path() / "per_op.wal";
+  {
+    Result<std::unique_ptr<Journal>> j = Journal::open(per_op);
+    ASSERT_TRUE(j.ok());
+    for (const JournalRecord& rec : recs) {
+      ASSERT_TRUE(j.value()->append(rec).ok());
+    }
+    EXPECT_EQ(j.value()->flushes(), recs.size());
+    EXPECT_EQ(j.value()->group_commits(), 0u);
+  }
+  EXPECT_TRUE(equal(read_disk(per_op), expected));
+
+  // Group commit enabled changes fsync cadence only, never bytes: a
+  // single-threaded writer produces the identical image.
+  const fs::path grouped = dir.path() / "grouped.wal";
+  {
+    Result<std::unique_ptr<Journal>> j = Journal::open(grouped);
+    ASSERT_TRUE(j.ok());
+    j.value()->set_group_commit(
+        core::GroupCommitConfig{8, std::chrono::microseconds{0}});
+    for (const JournalRecord& rec : recs) {
+      ASSERT_TRUE(j.value()->append(rec).ok());
+    }
+  }
+  EXPECT_TRUE(equal(read_disk(grouped), expected));
+}
+
+TEST(GroupCommitTest, ConcurrentAppendsSurviveCrashAtEveryBatchBoundary) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 48;
+  TempDir dir;
+  const fs::path path = dir.path() / "j.wal";
+  Result<std::unique_ptr<Journal>> opened = Journal::open(path);
+  ASSERT_TRUE(opened.ok());
+  Journal& j = *opened.value();
+  j.set_group_commit(core::GroupCommitConfig{16, std::chrono::milliseconds{5}});
+
+  // The crash-injection seams must see every record exactly once each,
+  // regardless of how appends were grouped into flushes.
+  std::atomic<std::uint64_t> before_hook{0};
+  std::atomic<std::uint64_t> after_hook{0};
+  j.test_hook_before_append = [&](const JournalRecord&) { ++before_hook; };
+  j.test_hook_after_append = [&](const JournalRecord&) { ++after_hook; };
+
+  // Each thread records, after every returned append, the journal size at
+  // that moment: the durability contract says a crash leaving at least
+  // that prefix on disk must still contain the record.
+  struct Sample {
+    std::string filename;
+    std::uint64_t durable_bytes;
+  };
+  std::vector<std::vector<Sample>> samples(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      samples[t].reserve(kPerThread);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        JournalRecord rec;
+        rec.op = JournalOp::kBeginPut;
+        rec.client = "t" + std::to_string(t);
+        rec.filename = "r" + std::to_string(i);
+        ASSERT_TRUE(j.append(rec).ok());
+        samples[t].push_back(Sample{rec.filename, j.bytes()});
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  constexpr std::uint64_t kTotal = kThreads * kPerThread;
+  EXPECT_EQ(j.total_appended(), kTotal);
+  EXPECT_EQ(j.record_count(), kTotal);
+  EXPECT_EQ(before_hook.load(), kTotal);
+  EXPECT_EQ(after_hook.load(), kTotal);
+  // 8 contending writers against a 5 ms batch window: at least one flush
+  // must have carried more than one record.
+  EXPECT_GT(j.group_commits(), 0u);
+  EXPECT_LT(j.flushes(), kTotal);
+
+  // Simulate a crash at every batch boundary a thread observed: truncate
+  // the final image to the sampled size and replay. The record whose
+  // append had returned by then must be in the surviving prefix.
+  const Bytes full = read_disk(path);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    const std::string client = "t" + std::to_string(t);
+    for (const Sample& s : samples[t]) {
+      ASSERT_LE(s.durable_bytes, full.size());
+      Result<core::JournalReplay> replay = core::replay_journal_image(
+          BytesView(full.data(), static_cast<std::size_t>(s.durable_bytes)));
+      ASSERT_TRUE(replay.ok());
+      bool found = false;
+      for (const JournalRecord& rec : replay.value().records) {
+        if (rec.client == client && rec.filename == s.filename) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << client << "/" << s.filename << " missing from a "
+                         << s.durable_bytes << "-byte crash prefix";
+    }
+  }
+
+  // And a clean reopen replays everything.
+  Result<std::unique_ptr<Journal>> again = Journal::open(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value()->record_count(), kTotal);
+}
+
+TEST(GroupCommitTest, CheckpointQuiescesConcurrentBatches) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 60;
+  TempDir dir;
+  const fs::path jpath = dir.path() / "j.wal";
+  const fs::path cpath = dir.path() / "ckpt.bin";
+  Result<std::unique_ptr<Journal>> opened = Journal::open(jpath);
+  ASSERT_TRUE(opened.ok());
+  Journal& j = *opened.value();
+  j.set_group_commit(core::GroupCommitConfig{8, std::chrono::milliseconds{1}});
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        JournalRecord rec;
+        rec.op = JournalOp::kBeginPut;
+        rec.client = "t" + std::to_string(t);
+        rec.filename = "r" + std::to_string(i);
+        ASSERT_TRUE(j.append(rec).ok());
+      }
+    });
+  }
+  // Checkpoint while batches are in flight: each call must quiesce the
+  // commit queue, fold whatever has landed, and leave the counters exact.
+  const Bytes snapshot = payload_of(64, 3);
+  for (int c = 0; c < 5; ++c) {
+    ASSERT_TRUE(j.checkpoint([&] { return snapshot; }, cpath).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (std::thread& th : threads) th.join();
+
+  constexpr std::uint64_t kTotal = kThreads * kPerThread;
+  EXPECT_EQ(j.total_appended(), kTotal);
+  // Every append is either folded into the checkpoint or still journaled;
+  // none may be double-counted or lost across the truncations.
+  EXPECT_EQ(j.last_checkpoint_ops() + j.record_count(), kTotal);
+
+  Result<std::unique_ptr<Journal>> again = Journal::open(jpath);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value()->last_checkpoint_ops() + again.value()->record_count(),
+            kTotal);
 }
 
 TEST(RecoveryTest, FreshWorldRecoversEmpty) {

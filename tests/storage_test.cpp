@@ -72,6 +72,27 @@ TEST(MemoryStoreTest, FlipByteCorruptsInPlace) {
   EXPECT_EQ(store.flip_byte(2, 0).code(), ErrorCode::kNotFound);
 }
 
+TEST(MemoryStoreTest, BatchedPutAndGetMatchPerOpSemantics) {
+  MemoryStore store;
+  ASSERT_TRUE(store.put(2, to_bytes("stale")).ok());
+  // BatchPut holds views: the payloads must outlive the call.
+  const Bytes one = to_bytes("one");
+  const Bytes two = to_bytes("two");
+  const Bytes three = to_bytes("three");
+  const std::vector<BatchPut> batch = {{1, one}, {2, two}, {3, three}};
+  const std::vector<Status> statuses = store.put_many(batch);
+  ASSERT_EQ(statuses.size(), 3u);
+  for (const Status& st : statuses) EXPECT_TRUE(st.ok());
+  EXPECT_EQ(store.object_count(), 3u);
+  EXPECT_EQ(to_string(store.get(2).value()), "two");  // overwrite, like put()
+
+  const std::vector<Result<Bytes>> results = store.get_many({3, 99, 1});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(to_string(results[0].value()), "three");
+  EXPECT_EQ(results[1].status().code(), ErrorCode::kNotFound);  // item-level miss
+  EXPECT_EQ(to_string(results[2].value()), "one");
+}
+
 // --- LatencyModel -----------------------------------------------------------
 
 TEST(LatencyModelTest, ServiceTimeScalesWithBytes) {
@@ -167,6 +188,58 @@ TEST(ProviderTest, CountersTrackTraffic) {
   EXPECT_EQ(p.counters().gets.load(), 2u);
   EXPECT_EQ(p.counters().bytes_in.load(), 5u);
   EXPECT_EQ(p.counters().bytes_out.load(), 10u);
+}
+
+TEST(ProviderTest, BatchedPutCostsOneProviderRequest) {
+  SimCloudProvider p(test_descriptor());
+  const Bytes a = to_bytes("aaaa");
+  const Bytes b = to_bytes("bb");
+  const Bytes c = to_bytes("c");
+  SimDuration t{0};
+  const std::vector<Status> statuses =
+      p.put_many({{10, a}, {11, b}, {12, c}}, &t);
+  ASSERT_EQ(statuses.size(), 3u);
+  for (const Status& st : statuses) EXPECT_TRUE(st.ok());
+  EXPECT_GT(t.count(), 0);
+  // One round trip, one fault-sequence tick -- but per-object traffic still
+  // counts item by item, exactly as three put() calls would.
+  EXPECT_EQ(p.fault_requests(), 1u);
+  EXPECT_EQ(p.counters().batch_requests.load(), 1u);
+  EXPECT_EQ(p.counters().puts.load(), 3u);
+  EXPECT_EQ(p.counters().bytes_in.load(), 7u);
+
+  const std::vector<Result<Bytes>> results = p.get_many({10, 11, 12});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(to_string(results[0].value()), "aaaa");
+  EXPECT_EQ(to_string(results[1].value()), "bb");
+  EXPECT_EQ(to_string(results[2].value()), "c");
+  EXPECT_EQ(p.fault_requests(), 2u);
+  EXPECT_EQ(p.counters().batch_requests.load(), 2u);
+  EXPECT_EQ(p.counters().gets.load(), 3u);
+  EXPECT_EQ(p.counters().bytes_out.load(), 7u);
+}
+
+TEST(ProviderTest, BatchLevelFaultFailsEveryItem) {
+  SimCloudProvider p(test_descriptor());
+  const Bytes x = to_bytes("x");
+  ASSERT_TRUE(p.put(1, x).ok());
+  p.set_online(false);
+  const std::vector<Status> statuses = p.put_many({{2, x}, {3, x}});
+  ASSERT_EQ(statuses.size(), 2u);
+  for (const Status& st : statuses) {
+    EXPECT_EQ(st.code(), ErrorCode::kUnavailable);
+  }
+  // The whole batch was one rejected request: one injected failure, no
+  // accepted puts, nothing stored.
+  EXPECT_EQ(p.counters().injected_failures.load(), 1u);
+  EXPECT_EQ(p.counters().puts.load(), 1u);
+  EXPECT_FALSE(p.contains(2));
+
+  const std::vector<Result<Bytes>> results = p.get_many({1});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status().code(), ErrorCode::kUnavailable);
+  p.set_online(true);
+  EXPECT_TRUE(p.get_many({1})[0].ok());
 }
 
 TEST(ProviderTest, MonthlyCostTracksBytes) {
