@@ -55,6 +55,7 @@
 #include "core/distributor.hpp"
 #include "core/journal.hpp"
 #include "core/scrubber.hpp"
+#include "obs/exporter.hpp"
 #include "obs/telemetry.hpp"
 #include "storage/fault_plan.hpp"
 #include "storage/provider_registry.hpp"
@@ -179,6 +180,16 @@ double time_pair_64_once(bool telemetry, const Bytes& data) {
   std::shared_ptr<obs::Telemetry> sink =
       telemetry ? std::make_shared<obs::Telemetry>() : nullptr;
   CloudDataDistributor cdd(registry, bench_config(true, sink));
+  // The enabled side carries the FULL ops plane: the continuous sampler
+  // snapshots the registry every 100 ms while the pipeline runs, so the
+  // <=5% gate prices exporter ticks in, not just bare counters.
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (telemetry) {
+    obs::MetricsExporter::Config ec;
+    ec.interval = std::chrono::milliseconds(100);
+    exporter = std::make_unique<obs::MetricsExporter>(sink, ec);
+    exporter->start();
+  }
   CS_REQUIRE(cdd.register_client("bench").ok(), "register");
   CS_REQUIRE(cdd.add_password("bench", "pw", PrivacyLevel::kHigh).ok(), "pw");
   PutOptions opts;
@@ -190,7 +201,9 @@ double time_pair_64_once(bool telemetry, const Bytes& data) {
     Result<Bytes> back = cdd.get_file("bench", "pw", name);
     CS_REQUIRE(back.ok() && back.value().size() == data.size(), "get");
   }
-  return w.elapsed_seconds();
+  const double elapsed = w.elapsed_seconds();
+  if (exporter != nullptr) exporter->stop();  // join outside the timed window
+  return elapsed;
 }
 
 struct OverheadSamples {

@@ -17,7 +17,8 @@
 #              + recovery_test (journal append path + background scrubber
 #              thread against live traffic, including the group-commit
 #              multi-threaded append hammer and its crash-at-every-batch-
-#              boundary replay checks)
+#              boundary replay checks) + health_test (the exporter sampler
+#              thread and watchdog polling racing live metric writers)
 #   4. crash-e2e: scripted end-to-end crash drill against cshield_cli on a
 #              disk-backed root: put files, kill the process mid-stripe via
 #              CSHIELD_CRASH_AFTER_APPENDS (it _exit(42)s inside a journal
@@ -28,18 +29,26 @@
 #              once with the default per-op commit and once with journal
 #              group commit enabled (--batch-ops 8 --batch-ms 2), so the
 #              crash/recover contract is proven identical under batching.
-#   5. forced-scalar: -DCSHIELD_FORCE_SCALAR=ON + ASan build that compiles
+#   5. ops-plane e2e: cshield_cli with --export-file on a real workload;
+#              the JSONL sample stream must be non-empty and the final
+#              Prometheus exposition must pass promtool-style line
+#              validation (every line a `# TYPE` declaration or a
+#              `name{labels} value` sample) and carry the build-info and
+#              process gauges; `cshield_cli health` must report a healthy
+#              deployment (exit 0) with every SLO listed.
+#   6. forced-scalar: -DCSHIELD_FORCE_SCALAR=ON + ASan build that compiles
 #              the SIMD kernel arms out entirely, then runs kernels_test,
 #              crypto_test, and raid_test so the portable scalar/SWAR data
 #              plane is exercised under a sanitizer. The TSan binaries from
 #              stage 3 are also re-run with the CSHIELD_FORCE_SCALAR=1 env
 #              override, covering the runtime (no-rebuild) dispatch path.
-#   6. bench:  bench_throughput writes BENCH_throughput.json at the repo
+#   7. bench:  bench_throughput writes BENCH_throughput.json at the repo
 #              root and exits non-zero unless the pipelined engine beats the
 #              serial baseline by >= 3x on 64-chunk put AND get, AND the
 #              telemetry overhead gate holds (enabled vs disabled telemetry
-#              within 5% on the 64-chunk put+get pair; recorded under
-#              "overhead_gate" in the JSON), AND the journal gate holds
+#              within 5% on the 64-chunk put+get pair, with the metrics
+#              exporter sampling at 100 ms on the enabled side; recorded
+#              under "overhead_gate" in the JSON), AND the journal gate holds
 #              (put throughput with the WAL enabled within 10% of the
 #              no-journal baseline; recorded under "journal_gate"), AND the
 #              small-op gate holds (group commit + batched shard RPCs give
@@ -57,7 +66,7 @@ cd "$(dirname "$0")"
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/6] tier-1: build + ctest =="
+echo "== [1/7] tier-1: build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
 (cd build && ctest --output-on-failure -j "${jobs}")
@@ -67,21 +76,22 @@ if [[ "${1:-}" == "fast" ]]; then
   exit 0
 fi
 
-echo "== [2/6] address sanitizer: build + ctest =="
+echo "== [2/7] address sanitizer: build + ctest =="
 cmake -B build-asan -S . -DCSHIELD_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${jobs}"
 (cd build-asan && ctest --output-on-failure -j "${jobs}")
 
-echo "== [3/6] thread sanitizer: concurrency_test + obs_test + chaos_test + recovery_test =="
+echo "== [3/7] thread sanitizer: concurrency_test + obs_test + chaos_test + recovery_test + health_test =="
 cmake -B build-tsan -S . -DCSHIELD_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${jobs}" --target concurrency_test obs_test \
-  chaos_test recovery_test
+  chaos_test recovery_test health_test
 ./build-tsan/tests/concurrency_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/chaos_test
 ./build-tsan/tests/recovery_test
+./build-tsan/tests/health_test
 
-echo "== [4/6] crash e2e: put, kill mid-stripe, recover, verify =="
+echo "== [4/7] crash e2e: put, kill mid-stripe, recover, verify =="
 cli=./build/examples/cshield_cli
 e2e="$(mktemp -d /tmp/cshield_e2e.XXXXXX)"
 trap 'rm -rf "${e2e}"' EXIT
@@ -176,7 +186,71 @@ crash_drill() {
 crash_drill per-op
 crash_drill group-commit --batch-ops 8 --batch-ms 2
 
-echo "== [5/6] forced-scalar: ASan build without SIMD arms + env-override TSan rerun =="
+echo "== [5/7] ops plane e2e: --export-file stream + exposition validation + health =="
+ops="${e2e}/ops"
+ops_root="${ops}/root"
+mkdir -p "${ops}"
+"${cli}" "${ops_root}" init 12
+"${cli}" "${ops_root}" adduser alice secret 2
+head -c 60000 /dev/urandom > "${ops}/f1.bin"
+"${cli}" "${ops_root}" put alice secret f1 "${ops}/f1.bin" 2 \
+  --export-file "${ops}/put.jsonl"
+"${cli}" "${ops_root}" get alice secret f1 "${ops}/f1.out" \
+  --export-file "${ops}/get.jsonl"
+cmp "${ops}/f1.bin" "${ops}/f1.out"
+
+# Each command's JSONL stream: at least one sample line, each a single
+# JSON object stamped with t_ns.
+for stream in put get; do
+  if [[ "$(grep -c '^{"t_ns":' "${ops}/${stream}.jsonl")" -lt 1 ]]; then
+    echo "ops e2e: expected >= 1 JSONL sample in ${stream}.jsonl" >&2
+    exit 1
+  fi
+done
+
+# Promtool-style validation of each exposition: every non-empty line is a
+# `# TYPE name counter|gauge|histogram` declaration or a `name{labels}
+# value` sample, and the required series are present (the op counter the
+# command itself bumped, plus the build-info/process/watchdog series).
+validate_prom() {
+  local prom="$1"; shift
+  awk '
+    /^$/ { next }
+    /^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$/ { next }
+    /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?$/ { next }
+    { print "ops e2e: malformed exposition line: " $0; bad = 1 }
+    END { exit bad }
+  ' "${prom}"
+  local series
+  for series in cshield_build_info process_uptime_seconds \
+      watchdog_inflight_ops "$@"; do
+    if ! grep -q "^${series}" "${prom}"; then
+      echo "ops e2e: ${prom} is missing ${series}" >&2
+      exit 1
+    fi
+  done
+}
+validate_prom "${ops}/put.jsonl.prom" cdd_put_file_total
+validate_prom "${ops}/get.jsonl.prom" cdd_get_file_total
+
+# The health engine on a freshly exercised deployment: exit 0 (not
+# critical), every subsystem SLO present, overall healthy.
+health_out="$("${cli}" "${ops_root}" health)"
+echo "${health_out}"
+if ! grep -q "^overall: healthy" <<< "${health_out}"; then
+  echo "ops e2e: expected a healthy deployment" >&2
+  exit 1
+fi
+for slo in availability latency.put latency.get journal.flush \
+    scrub.integrity breakers batcher.queue; do
+  if ! grep -q "  ${slo}: " <<< "${health_out}"; then
+    echo "ops e2e: health report is missing SLO ${slo}" >&2
+    exit 1
+  fi
+done
+echo "ops e2e: PASS"
+
+echo "== [6/7] forced-scalar: ASan build without SIMD arms + env-override TSan rerun =="
 cmake -B build-scalar -S . -DCSHIELD_FORCE_SCALAR=ON \
   -DCSHIELD_SANITIZE=address >/dev/null
 cmake --build build-scalar -j "${jobs}" --target kernels_test crypto_test \
@@ -189,7 +263,7 @@ cmake --build build-scalar -j "${jobs}" --target kernels_test crypto_test \
 CSHIELD_FORCE_SCALAR=1 ./build-tsan/tests/concurrency_test
 CSHIELD_FORCE_SCALAR=1 ./build-tsan/tests/recovery_test
 
-echo "== [6/6] perf gates: bench_throughput + bench_kernels =="
+echo "== [7/7] perf gates: bench_throughput + bench_kernels =="
 ./build/bench/bench_throughput BENCH_throughput.json
 ./build/bench/bench_kernels BENCH_kernels.json
 

@@ -23,10 +23,15 @@
 //   cshield_cli <root> recover
 //   cshield_cli <root> scrub
 //   cshield_cli <root> stats
+//   cshield_cli <root> export          # Prometheus text exposition to stdout
+//   cshield_cli <root> health          # rolling SLO/health report
 //
 // Flags (any command): `--stats` prints this invocation's telemetry;
 // `--journal <path>` overrides the journal location; `--faults <p>`
-// [`--fault-seed <s>`] injects seeded transient provider failures.
+// [`--fault-seed <s>`] injects seeded transient provider failures;
+// `--export-file <path>` runs the continuous sampler (100 ms) for the
+// command's duration, streaming JSONL samples to <path> and writing the
+// final Prometheus exposition to <path>.prom on exit.
 //
 // Crash injection (recovery e2e): setting CSHIELD_CRASH_AFTER_APPENDS=<k>
 // makes the process _exit(42) inside the journal's (k+1)-th append of this
@@ -48,6 +53,9 @@
 #include "core/journal.hpp"
 #include "core/metadata_io.hpp"
 #include "core/scrubber.hpp"
+#include "obs/exporter.hpp"
+#include "obs/health.hpp"
+#include "obs/watchdog.hpp"
 #include "storage/disk_store.hpp"
 #include "storage/fault_plan.hpp"
 #include "storage/provider_registry.hpp"
@@ -71,6 +79,7 @@ struct CliWorld {
   std::shared_ptr<core::Journal> journal;
   /// Puts the last crash caught between kBeginPut and kCommitPut.
   std::vector<std::pair<std::string, std::string>> in_flight;
+  std::shared_ptr<obs::StallWatchdog> watchdog;
   std::unique_ptr<core::CloudDataDistributor> cdd;
 
   CliWorld(fs::path r, const fs::path& journal_path, std::size_t providers = 0,
@@ -123,6 +132,15 @@ struct CliWorld {
     config.stripe_data_shards = 3;
     config.misleading_fraction = 0.05;
     config.journal = journal;
+    // Stall watchdog: armed by every distributor op and request-layer RPC;
+    // a stall dumps its diagnostic next to the deployment's state. Polled
+    // by the exporter's sampler when --export-file is given.
+    obs::StallWatchdog::Config wd_config;
+    wd_config.dump_path = (root / "watchdog-dump.txt").string();
+    watchdog =
+        std::make_shared<obs::StallWatchdog>(obs::Telemetry::global(),
+                                             wd_config);
+    config.watchdog = watchdog;
     config.checkpoint_path = meta_path.string();
     config.checkpoint_interval = 64;
     // Unique-ish per process so restart never reuses virtual ids.
@@ -171,10 +189,11 @@ int usage() {
                "init [n] | adduser <c> <pw> <pl> | put <c> <pw> <name> "
                "<file> <pl> | get <c> <pw> <name> <file> | rm <c> <pw> "
                "<name> | ls | ls-files <c> <pw> | repair | checkpoint | "
-               "recover | scrub | stats "
+               "recover | scrub | stats | export | health "
                "[--stats] [--journal <path>] [--batch-ops <n> "
                "[--batch-ms <t>]] [--faults <p> "
-               "[--fault-seed <s>]] after any command\n";
+               "[--fault-seed <s>]] [--export-file <path>] after any "
+               "command\n";
   return 2;
 }
 
@@ -256,6 +275,7 @@ int main(int argc, char** argv) {
   const std::string faults = strip_value_flag(argc, argv, "--faults");
   const std::string fault_seed = strip_value_flag(argc, argv, "--fault-seed");
   const std::string journal_flag = strip_value_flag(argc, argv, "--journal");
+  const std::string export_file = strip_value_flag(argc, argv, "--export-file");
   // `--batch-ops <n>` enables journal group commit (n records per fsync);
   // `--batch-ms <t>` bounds how long a batch leader waits for the batch to
   // fill. The CLI is single-threaded, so these exist to prove the crash
@@ -299,15 +319,53 @@ int main(int argc, char** argv) {
     }
     CliWorld world(root, journal_path, 0, batch_ops, batch_ms);
     arm_faults(world);
-    // Every command below funnels through `done` so --stats can report on
-    // whatever the command just did.
+    // `--export-file`: the continuous sampler runs for the command's
+    // duration, streaming one JSONL sample every 100 ms (and polling the
+    // watchdog on the same tick).
+    std::unique_ptr<obs::MetricsExporter> exporter;
+    if (!export_file.empty()) {
+      obs::MetricsExporter::Config ec;
+      ec.jsonl_path = export_file;
+      ec.watchdog = world.watchdog.get();
+      exporter = std::make_unique<obs::MetricsExporter>(
+          world.cdd->telemetry(), ec);
+      exporter->start();
+    }
+    // Every command below funnels through `done` so --stats and
+    // --export-file can report on whatever the command just did.
     auto done = [&](int rc) {
+      if (exporter != nullptr) {
+        exporter->stop();
+        exporter->sample_now();  // final sample covers the command's tail
+        std::ofstream prom(export_file + ".prom", std::ios::trunc);
+        prom << exporter->to_prometheus();
+        std::cout << "exported " << exporter->total_samples()
+                  << " samples to " << export_file << " (+ .prom)\n";
+      }
       if (want_stats) print_stats(world);
       return rc;
     };
     if (cmd == "stats") {
       print_stats(world);
-      return 0;
+      return done(0);
+    }
+    if (cmd == "export") {
+      // One-shot scrape: build info + full registry exposition.
+      obs::MetricsExporter ex(world.cdd->telemetry());
+      ex.sample_now();
+      std::cout << ex.to_prometheus();
+      return done(0);
+    }
+    if (cmd == "health") {
+      // Two samples bracket whatever state recovery/startup left, then the
+      // engine folds providers + subsystem SLOs into one report.
+      obs::MetricsExporter ex(world.cdd->telemetry());
+      ex.sample_now();
+      ex.sample_now();
+      obs::HealthEngine engine(ex);
+      const obs::HealthReport report = engine.evaluate();
+      std::cout << report.to_string();
+      return done(report.overall == obs::HealthState::kCritical ? 1 : 0);
     }
     if (cmd == "adduser" && argc == 6) {
       const std::string client = argv[3];
@@ -366,7 +424,7 @@ int main(int argc, char** argv) {
               world.registry.at(p).bytes_stored());
       }
       t.print(std::cout);
-      return 0;
+      return done(0);
     }
     if (cmd == "repair") {
       Result<std::size_t> repaired = world.cdd->repair();

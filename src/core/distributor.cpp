@@ -52,10 +52,15 @@ namespace {
 /// route every subsequent return through finish().
 class OpScope {
  public:
+  /// `wd` (optional) registers the op in the stall watchdog's in-flight
+  /// table for its lifetime, carrying `deadline_ns` as the modeled bound
+  /// the stall detector scales (the request-layer deadline).
   OpScope(obs::Telemetry* tel, const char* name, std::string_view client,
-          std::string_view file)
+          std::string_view file, obs::StallWatchdog* wd = nullptr,
+          std::int64_t deadline_ns = 0)
       : tel_(tel != nullptr && tel->enabled() ? tel : nullptr), name_(name) {
     if (tel_ == nullptr) return;
+    armed_ = obs::StallWatchdog::Armed(wd, name_, deadline_ns);
     obs::Tracer& tr = tel_->tracer();
     rec_.op_id = tr.next_id();
     rec_.span_id = tr.next_id();
@@ -102,6 +107,7 @@ class OpScope {
   /// and per-op metrics, and passes `status` through.
   Status finish(Status status, OpReport* report, std::size_t channels) {
     finished_ = true;
+    armed_.release();  // the op is no longer in flight, whatever its status
     SimDuration serial{0};
     for (const SimDuration& t : times) serial += t;
     const SimDuration par = parallel_makespan(times, channels);
@@ -143,6 +149,7 @@ class OpScope {
   obs::Telemetry* tel_;
   std::string name_;
   obs::SpanRecord rec_;
+  obs::StallWatchdog::Armed armed_;
   Stopwatch wall_;
   bool finished_ = false;
 };
@@ -160,7 +167,8 @@ CloudDataDistributor::CloudDataDistributor(
                      : std::make_shared<obs::Telemetry>(false)),
       metadata_(metadata ? std::move(metadata)
                          : std::make_shared<MetadataStore>()),
-      rt_(registry_, config_.retry, telemetry_.get(), config_.seed),
+      rt_(registry_, config_.retry, telemetry_.get(), config_.seed,
+          config_.watchdog.get()),
       placement_(config_.seed ^ 0x91ACE, config_.placement),
       pool_(config_.worker_threads),
       io_pool_(config_.io_threads != 0 ? config_.io_threads
@@ -173,6 +181,30 @@ CloudDataDistributor::CloudDataDistributor(
     if (config_.journal != nullptr) {
       config_.journal->attach_telemetry(telemetry_);
     }
+  }
+  if (config_.watchdog != nullptr) {
+    if (config_.journal != nullptr) {
+      config_.journal->attach_watchdog(config_.watchdog.get());
+    }
+    // Breaker/quarantine states for the diagnostic dump: obs cannot depend
+    // on the storage layer, so the distributor injects the renderer.
+    storage::ProviderRegistry* reg = &registry_;
+    config_.watchdog->set_context_fn([reg] {
+      std::string out;
+      for (ProviderIndex i = 0; i < reg->size(); ++i) {
+        const char* state = "closed";
+        switch (reg->breaker(i).state()) {
+          case storage::CircuitBreaker::State::kOpen: state = "open"; break;
+          case storage::CircuitBreaker::State::kHalfOpen:
+            state = "half-open";
+            break;
+          case storage::CircuitBreaker::State::kClosed: break;
+        }
+        out += "breaker " + reg->at(i).descriptor().name + ": " + state +
+               (reg->quarantined(i) ? " (quarantined)\n" : "\n");
+      }
+      return out;
+    });
   }
   if (config_.rpc_batch_shards > 1) {
     batcher_ = std::make_unique<ShardBatcher>(
@@ -622,7 +654,8 @@ Status CloudDataDistributor::put_file(const std::string& client,
   const double chaff =
       options.misleading_fraction.value_or(config_.misleading_fraction);
 
-  OpScope op(telemetry_.get(), "put_file", client, filename);
+  OpScope op(telemetry_.get(), "put_file", client, filename,
+             config_.watchdog.get(), config_.retry.deadline.count());
   std::vector<RawChunk> chunks = split_file(data, options.privacy_level,
                                             config_.chunk_sizes,
                                             options.record_align);
@@ -818,7 +851,8 @@ Result<Bytes> CloudDataDistributor::get_chunk(const std::string& client,
   Result<ChunkEntry> entry = metadata_->chunk_entry(ref->chunk_index);
   if (!entry.ok()) return entry.status();
 
-  OpScope op(telemetry_.get(), "get_chunk", client, filename);
+  OpScope op(telemetry_.get(), "get_chunk", client, filename,
+             config_.watchdog.get(), config_.retry.deadline.count());
   op.chunk_serial = serial;
   StripeReadStats rstats;
   Result<Bytes> padded =
@@ -861,7 +895,8 @@ Result<Bytes> CloudDataDistributor::get_file(const std::string& client,
     }
   }
 
-  OpScope op(telemetry_.get(), "get_file", client, filename);
+  OpScope op(telemetry_.get(), "get_file", client, filename,
+             config_.watchdog.get(), config_.retry.deadline.count());
   struct ChunkRead {
     Status status = Status::Ok();
     Bytes plain;
@@ -983,7 +1018,8 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
   if (!entry_r.ok()) return entry_r.status();
   ChunkEntry entry = std::move(entry_r).value();
 
-  OpScope op(telemetry_.get(), "update_chunk", client, filename);
+  OpScope op(telemetry_.get(), "update_chunk", client, filename,
+             config_.watchdog.get(), config_.retry.deadline.count());
   op.chunk_serial = serial;
   std::vector<SimDuration>& times = op.times;
   auto fail = [&](const Status& st) {
@@ -1124,7 +1160,8 @@ Status CloudDataDistributor::remove_chunk(const std::string& client,
   Result<ChunkEntry> entry = metadata_->chunk_entry(ref->chunk_index);
   if (!entry.ok()) return entry.status();
 
-  OpScope op(telemetry_.get(), "remove_chunk", client, filename);
+  OpScope op(telemetry_.get(), "remove_chunk", client, filename,
+             config_.watchdog.get(), config_.retry.deadline.count());
   op.chunk_serial = serial;
   op.chunks = 1;
   op.shards = entry.value().stripe.size() + entry.value().snapshot.size();
@@ -1191,7 +1228,8 @@ Status CloudDataDistributor::remove_file(const std::string& client,
     if (!e.ok()) return e.status();
   }
 
-  OpScope op(telemetry_.get(), "remove_file", client, filename);
+  OpScope op(telemetry_.get(), "remove_file", client, filename,
+             config_.watchdog.get(), config_.retry.deadline.count());
   op.chunks = refs.size();
 
   // Commit the removal first -- tombstone + unlink every ref, then one
@@ -1349,7 +1387,8 @@ CloudDataDistributor::heal_chunk(std::size_t index, bool note_scrub) {
 }
 
 Result<std::size_t> CloudDataDistributor::repair() {
-  OpScope op(telemetry_.get(), "repair", "", "");
+  OpScope op(telemetry_.get(), "repair", "", "", config_.watchdog.get(),
+             config_.retry.deadline.count());
   std::size_t repaired = 0;
   const std::size_t n = metadata_->total_chunks();
   for (std::size_t idx = 0; idx < n; ++idx) {
@@ -1380,7 +1419,8 @@ Result<std::size_t> CloudDataDistributor::scrub_chunk(
 Result<CloudDataDistributor::ReconcileReport>
 CloudDataDistributor::reconcile(
     const std::vector<std::pair<std::string, std::string>>& in_flight) {
-  OpScope op(telemetry_.get(), "reconcile", "", "");
+  OpScope op(telemetry_.get(), "reconcile", "", "", config_.watchdog.get(),
+             config_.retry.deadline.count());
   ReconcileReport report;
 
   // 1. The referenced set: every (provider, id) a live chunk row points at.
@@ -1462,7 +1502,8 @@ CloudDataDistributor::reconcile(
 }
 
 Result<std::size_t> CloudDataDistributor::rebalance() {
-  OpScope op(telemetry_.get(), "rebalance", "", "");
+  OpScope op(telemetry_.get(), "rebalance", "", "", config_.watchdog.get(),
+             config_.retry.deadline.count());
   auto fail = [&](const Status& st) {
     return op.finish(st, nullptr, config_.worker_threads);
   };

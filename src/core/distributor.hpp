@@ -95,6 +95,12 @@ struct DistributorConfig {
   /// explicit checkpoint() calls). Bounds both journal growth and replay
   /// time after a crash.
   std::size_t checkpoint_interval = 0;
+  /// Stall watchdog (see obs/watchdog.hpp). When set, every client-visible
+  /// op and every request-layer RPC arms an in-flight entry carrying its
+  /// modeled deadline, and the journal's flush leader brackets its
+  /// write+fsync window; the watchdog's poll turns any of them exceeding
+  /// its threshold into a one-shot diagnostic dump. Null = off.
+  std::shared_ptr<obs::StallWatchdog> watchdog;
   std::uint64_t seed = 0xC10D0D15;
 };
 

@@ -11,6 +11,7 @@
 
 #include "common/types.hpp"
 #include "core/metadata_io.hpp"
+#include "obs/watchdog.hpp"
 #include "util/hash.hpp"
 #include "util/wire.hpp"
 
@@ -309,6 +310,11 @@ void Journal::attach_telemetry(const std::shared_ptr<obs::Telemetry>& tel) {
   telemetry_ = tel;
 }
 
+void Journal::attach_watchdog(obs::StallWatchdog* wd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  watchdog_ = wd;
+}
+
 Status Journal::append(const JournalRecord& rec) {
   // Frame encoding needs no journal state -- do it before taking the lock
   // so contending appenders only serialize on the queue and the disk.
@@ -351,8 +357,13 @@ void Journal::flush_batch(std::unique_lock<std::mutex>& lk) {
     batch.push_back(queue_.front());
     queue_.pop_front();
   }
+  // The watchdog pointer is read under the lock (attach_watchdog races are
+  // the caller's problem per its contract, but keep the read disciplined);
+  // the brackets themselves run outside it, around the real I/O.
+  obs::StallWatchdog* wd = watchdog_;
   lk.unlock();
 
+  if (wd != nullptr) wd->fsync_begin();
   const auto flush_start = std::chrono::steady_clock::now();
   Status st = Status::Ok();
   std::uint64_t batch_bytes = 0;
@@ -364,6 +375,7 @@ void Journal::flush_batch(std::unique_lock<std::mutex>& lk) {
   if (st.ok() && ::fsync(fd_) != 0) st = errno_status("journal fsync");
   const auto flush_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::steady_clock::now() - flush_start);
+  if (wd != nullptr) wd->fsync_end();
 
   lk.lock();
   if (st.ok()) {

@@ -49,6 +49,10 @@
 #include "util/bytes.hpp"
 #include "util/status.hpp"
 
+namespace cshield::obs {
+class StallWatchdog;
+}
+
 namespace cshield::core {
 
 /// Metadata mutation kinds. Values are the on-disk tags -- append-only,
@@ -157,6 +161,13 @@ class Journal {
   /// before serving traffic; `tel` must outlive the journal.
   void attach_telemetry(const std::shared_ptr<obs::Telemetry>& tel);
 
+  /// Lets the stall watchdog see the flush leader's write+fsync window
+  /// (fsync_begin/fsync_end brackets): an fsync stuck past the watchdog's
+  /// threshold -- a sick disk, a wedged filesystem -- fires its diagnostic.
+  /// Attach before serving traffic; `wd` must outlive the journal (null
+  /// detaches).
+  void attach_watchdog(obs::StallWatchdog* wd);
+
   /// Atomic checkpoint: calls `snapshot` (typically serialize_metadata),
   /// writes the image to `checkpoint_path` via temp-file + fsync + rename
   /// + directory fsync, then truncates the journal back to its header with
@@ -226,6 +237,7 @@ class Journal {
   std::uint64_t flushes_ = 0;
   std::uint64_t group_commits_ = 0;
   std::shared_ptr<obs::Telemetry> telemetry_;  ///< null = no instrumentation
+  obs::StallWatchdog* watchdog_ = nullptr;     ///< null = no stall brackets
 };
 
 /// Applies one replayed record to a store. Idempotent: a record present in

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "obs/telemetry.hpp"
+#include "obs/watchdog.hpp"
 #include "storage/provider_registry.hpp"
 #include "util/hash.hpp"
 #include "util/sim_clock.hpp"
@@ -68,11 +69,16 @@ struct RetryPolicy {
 
 class RequestLayer {
  public:
+  /// `watchdog` (optional) gets an armed in-flight entry per run()/
+  /// run_batch(), carrying the policy deadline as the modeled bound the
+  /// stall detector scales.
   RequestLayer(storage::ProviderRegistry& registry, const RetryPolicy& policy,
-               obs::Telemetry* telemetry, std::uint64_t seed)
+               obs::Telemetry* telemetry, std::uint64_t seed,
+               obs::StallWatchdog* watchdog = nullptr)
       : registry_(registry),
         policy_(policy),
         telemetry_(telemetry),
+        watchdog_(watchdog),
         seed_(mix64(seed ^ 0x5E7B9ULL)) {}
 
   struct Outcome {
@@ -192,6 +198,8 @@ class RequestLayer {
   Outcome run(ProviderIndex p, VirtualId id, std::size_t attempt_budget,
               AttemptFn&& attempt) {
     Outcome out;
+    obs::StallWatchdog::Armed armed(watchdog_, "shard_rpc",
+                                    policy_.deadline.count());
     const std::size_t budget =
         policy_.enabled
             ? std::max<std::size_t>(1, attempt_budget != 0
@@ -210,10 +218,12 @@ class RequestLayer {
             registry_.at(p).descriptor().name + " quarantined (breaker open)");
         out.fail_fast = out.attempts == 0;
         count("rt.fail_fast");
+        publish_breaker_state(p, breaker);
         break;
       }
       if (admitted == storage::CircuitBreaker::Decision::kProbe) {
         count("rt.probes");
+        publish_breaker_state(p, breaker);
       }
       ++out.attempts;
       SimDuration t{0};
@@ -226,12 +236,14 @@ class RequestLayer {
           count("rt.breaker_closes");
           gauge_add("rt.open_breakers", -1);
         }
+        if (policy_.enabled) publish_breaker_state(p, breaker);
         break;
       }
       if (policy_.enabled && breaker.on_failure()) {
         count("rt.breaker_trips");
         gauge_add("rt.open_breakers", 1);
       }
+      if (policy_.enabled) publish_breaker_state(p, breaker);
       if (a == budget) {
         count("rt.giveups");
         break;
@@ -262,6 +274,8 @@ class RequestLayer {
     BatchOutcome out;
     out.statuses.assign(n, Status::Ok());
     if (n == 0) return out;
+    obs::StallWatchdog::Armed armed(watchdog_, "shard_batch_rpc",
+                                    policy_.deadline.count());
     const std::size_t budget =
         policy_.enabled ? std::max<std::size_t>(1, policy_.max_attempts) : 1;
     storage::CircuitBreaker& breaker = registry_.breaker(p);
@@ -277,10 +291,12 @@ class RequestLayer {
         for (std::size_t i : pending) out.statuses[i] = quarantined;
         out.fail_fast = out.attempts == 0;
         count("rt.fail_fast");
+        publish_breaker_state(p, breaker);
         break;
       }
       if (admitted == storage::CircuitBreaker::Decision::kProbe) {
         count("rt.probes");
+        publish_breaker_state(p, breaker);
       }
       ++out.attempts;
       if (telemetry_ != nullptr && telemetry_->enabled()) {
@@ -307,12 +323,14 @@ class RequestLayer {
           count("rt.breaker_closes");
           gauge_add("rt.open_breakers", -1);
         }
+        if (policy_.enabled) publish_breaker_state(p, breaker);
         break;
       }
       if (policy_.enabled && breaker.on_failure()) {
         count("rt.breaker_trips");
         gauge_add("rt.open_breakers", 1);
       }
+      if (policy_.enabled) publish_breaker_state(p, breaker);
       pending = std::move(still);
       if (a == budget) {
         count("rt.giveups");
@@ -362,9 +380,29 @@ class RequestLayer {
     }
   }
 
+  /// Mirrors the breaker's current state into a sample-able gauge
+  /// (`provider.<name>.breaker_state`: 0 closed, 1 open, 2 half-open).
+  /// Refreshed after every breaker interaction so a scrape always sees the
+  /// post-RPC state; the health engine treats it as authoritative.
+  void publish_breaker_state(ProviderIndex p,
+                             storage::CircuitBreaker& breaker) {
+    if (telemetry_ == nullptr || !telemetry_->enabled()) return;
+    std::int64_t v = 0;
+    switch (breaker.state()) {
+      case storage::CircuitBreaker::State::kOpen: v = 1; break;
+      case storage::CircuitBreaker::State::kHalfOpen: v = 2; break;
+      case storage::CircuitBreaker::State::kClosed: v = 0; break;
+    }
+    telemetry_->metrics()
+        .gauge("provider." + registry_.at(p).descriptor().name +
+               ".breaker_state")
+        .set(v);
+  }
+
   storage::ProviderRegistry& registry_;
   RetryPolicy policy_;
   obs::Telemetry* telemetry_;
+  obs::StallWatchdog* watchdog_ = nullptr;
   std::uint64_t seed_;
 };
 

@@ -71,6 +71,11 @@ class Scrubber {
     obs::ScopedSpan span(tel, std::move(proto));
 
     const std::size_t n = dist_.metadata().total_chunks();
+    // `scrub.progress` (0..100) makes a long pass visible mid-flight; a
+    // scrape between passes reads 100 (the last pass completed).
+    obs::Gauge* progress_gauge =
+        tel->enabled() ? &tel->metrics().gauge("scrub.progress") : nullptr;
+    if (progress_gauge != nullptr) progress_gauge->set(0);
     std::size_t repaired = 0;
     std::size_t mismatched = 0;
     std::size_t scanned = 0;
@@ -91,7 +96,13 @@ class Scrubber {
         scan_errors_.fetch_add(1, std::memory_order_relaxed);
         if (first_error.ok()) first_error = fixed.status();
       }
+      if (progress_gauge != nullptr) {
+        progress_gauge->set(static_cast<std::int64_t>((idx + 1) * 100 / n));
+      }
       throttle();
+    }
+    if (progress_gauge != nullptr && !stop_.load(std::memory_order_relaxed)) {
+      progress_gauge->set(100);
     }
     passes_.fetch_add(1, std::memory_order_relaxed);
     if (tel->enabled()) {

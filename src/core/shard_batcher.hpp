@@ -67,6 +67,11 @@ class ShardBatcher {
                obs::Telemetry* telemetry)
       : rt_(rt), cfg_(cfg), telemetry_(telemetry), lanes_(providers) {
     if (cfg_.batch_shards == 0) cfg_.batch_shards = 1;
+    if (telemetry_ != nullptr) {
+      // Cached once: the queue-depth gauge is touched on every enqueue and
+      // every flush (the health engine's batcher-backlog SLO feed).
+      depth_gauge_ = &telemetry_->metrics().gauge("cdd.shard_batch_queue_depth");
+    }
     threads_.reserve(providers);
     for (std::size_t p = 0; p < providers; ++p) {
       threads_.emplace_back([this, p] { run_lane(p); });
@@ -101,6 +106,9 @@ class ShardBatcher {
       }
       lane.queue.push_back(std::move(item));
       lane.cv.notify_all();
+    }
+    if (depth_gauge_ != nullptr && telemetry_->enabled()) {
+      depth_gauge_->add(1);
     }
     return result;
   }
@@ -145,6 +153,9 @@ class ShardBatcher {
         // original enqueue (their wait so far bought them nothing).
         lane.first_enqueue = std::chrono::steady_clock::now();
       }
+      if (depth_gauge_ != nullptr && telemetry_->enabled()) {
+        depth_gauge_->add(-static_cast<std::int64_t>(n));
+      }
       lk.unlock();
       flush(static_cast<ProviderIndex>(p), batch);
       lk.lock();
@@ -180,6 +191,7 @@ class ShardBatcher {
   RequestLayer& rt_;
   Config cfg_;
   obs::Telemetry* telemetry_;
+  obs::Gauge* depth_gauge_ = nullptr;  ///< cdd.shard_batch_queue_depth
   std::vector<Lane> lanes_;
   std::vector<std::thread> threads_;
 };

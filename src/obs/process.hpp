@@ -1,0 +1,69 @@
+// Process-level gauges and build identity for the ops plane.
+//
+// The continuous exporter (obs/exporter.hpp) republishes these on every
+// sample tick so a scrape always carries: how long the process has been up,
+// which kernel arm the erasure data plane bound at startup (the single
+// biggest perf variable between hosts), and whether telemetry was even on
+// (a dashboard reading silence needs to know whether silence means "idle"
+// or "not instrumented").
+//
+// Gauges (registry values are integers):
+//   process.uptime_seconds     whole seconds since process start
+//   process.simd_level         SimdLevel the kernels dispatch on (0..3)
+//   process.hw_simd_level      raw hardware capability, override ignored
+//   process.telemetry_enabled  1 when the owning Telemetry is enabled
+//
+// Build identity with its string labels rides in Prometheus exposition as a
+// classic info metric (`cshield_build_info{...} 1`), emitted by
+// build_info_prometheus() -- the registry itself is label-free by design.
+#pragma once
+
+#include <chrono>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/cpu.hpp"
+
+namespace cshield::obs {
+
+/// Steady-clock instant the process (well: the first caller) started.
+/// Function-local static so every publisher shares one epoch.
+[[nodiscard]] inline std::chrono::steady_clock::time_point process_epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+[[nodiscard]] inline double process_uptime_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       process_epoch())
+      .count();
+}
+
+/// Writes the process gauges into `m`. Cheap (four relaxed stores after the
+/// first call interns the names); callers gate on their telemetry flag.
+inline void publish_process_gauges(MetricsRegistry& m, bool telemetry_on) {
+  m.gauge("process.uptime_seconds")
+      .set(static_cast<std::int64_t>(process_uptime_seconds()));
+  m.gauge("process.simd_level")
+      .set(static_cast<std::int64_t>(cpu::preferred_level()));
+  m.gauge("process.hw_simd_level")
+      .set(static_cast<std::int64_t>(cpu::hardware_level()));
+  m.gauge("process.telemetry_enabled").set(telemetry_on ? 1 : 0);
+}
+
+/// Prometheus info-metric line carrying the string-valued build facts:
+///   cshield_build_info{arch="avx2",kernel_arm="avx2",telemetry="on"} 1
+/// `arch` is raw hardware capability, `kernel_arm` what dispatch bound
+/// (they differ under the CSHIELD_FORCE_SCALAR override).
+[[nodiscard]] inline std::string build_info_prometheus(bool telemetry_on) {
+  std::ostringstream os;
+  os << "# TYPE cshield_build_info gauge\n"
+     << "cshield_build_info{arch=\""
+     << cpu::simd_level_name(cpu::hardware_level()) << "\",kernel_arm=\""
+     << cpu::simd_level_name(cpu::preferred_level()) << "\",telemetry=\""
+     << (telemetry_on ? "on" : "off") << "\"} 1\n";
+  return os.str();
+}
+
+}  // namespace cshield::obs

@@ -31,7 +31,13 @@ class Telemetry {
  public:
   explicit Telemetry(bool enabled = true,
                      std::size_t span_capacity = Tracer::kDefaultCapacity)
-      : enabled_(enabled), tracer_(span_capacity) {}
+      : enabled_(enabled), tracer_(span_capacity) {
+    // Mirror unexported-span overwrites into the registry so the loss is
+    // scrapeable. The counter is created lazily at the first drop -- an
+    // idle (or disabled) instance keeps a genuinely empty registry.
+    tracer_.set_drop_hook(
+        [this] { metrics_.counter("trace.dropped_spans").inc(); });
+  }
 
   [[nodiscard]] bool enabled() const {
 #ifdef CSHIELD_NO_TELEMETRY

@@ -14,6 +14,13 @@
 // granularity (microseconds to milliseconds apart), not per byte, so a
 // mutex is far below the noise floor while keeping snapshot() trivially
 // consistent.
+//
+// Overwrite accounting: consumers that actually export spans (the CLI
+// trace dump, the watchdog diagnostic) call mark_exported() afterwards;
+// when record() overwrites a span that no export ever consumed, the loss
+// is counted -- dropped_spans() here, and mirrored to a registry counter
+// (`trace.dropped_spans`) when a sink is attached. Read-only renderers
+// (to_jsonl in tests) deliberately do NOT advance the watermark.
 #pragma once
 
 #include <atomic>
@@ -24,6 +31,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <functional>
 
 #include "common/types.hpp"
 
@@ -90,6 +99,12 @@ class Tracer {
     if (ring_.size() < capacity_) {
       ring_.push_back(std::move(rec));
     } else {
+      // The slot being overwritten holds the span with sequence number
+      // total_ - capacity_; if no export consumed it, it is lost.
+      if (total_ - capacity_ >= exported_) {
+        ++dropped_;
+        if (drop_hook_) drop_hook_();
+      }
       ring_[total_ % capacity_] = std::move(rec);
     }
     ++total_;
@@ -120,10 +135,34 @@ class Tracer {
     return total_;
   }
 
+  /// Declares every span recorded so far exported: overwriting them later
+  /// is not a drop. Called by consumers that persisted a snapshot.
+  void mark_exported() {
+    std::lock_guard<std::mutex> lock(mu_);
+    exported_ = total_;
+  }
+
+  /// Spans overwritten before any export consumed them.
+  [[nodiscard]] std::uint64_t dropped_spans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+
+  /// Invoked once per dropped span, under the ring lock (the owning
+  /// Telemetry bumps its `trace.dropped_spans` counter here -- lazily, so a
+  /// quiet or disabled instance never even creates the metric). The hook
+  /// must not call back into this tracer.
+  void set_drop_hook(std::function<void()> hook) {
+    std::lock_guard<std::mutex> lock(mu_);
+    drop_hook_ = std::move(hook);
+  }
+
   void clear() {
     std::lock_guard<std::mutex> lock(mu_);
     ring_.clear();
     total_ = 0;
+    exported_ = 0;
+    dropped_ = 0;
   }
 
   /// JSONL: one JSON object per line, oldest span first.
@@ -167,7 +206,8 @@ class Tracer {
         default:
           if (static_cast<unsigned char>(c) < 0x20) {
             char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
             out += buf;
           } else {
             out += c;
@@ -182,7 +222,10 @@ class Tracer {
   std::atomic<std::uint64_t> id_{1};
   mutable std::mutex mu_;
   std::vector<SpanRecord> ring_;
-  std::uint64_t total_ = 0;  ///< spans ever recorded
+  std::uint64_t total_ = 0;     ///< spans ever recorded
+  std::uint64_t exported_ = 0;  ///< sequence watermark: spans [0, exported_) exported
+  std::uint64_t dropped_ = 0;   ///< overwritten while unexported
+  std::function<void()> drop_hook_;
 };
 
 }  // namespace cshield::obs

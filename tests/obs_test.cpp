@@ -202,6 +202,59 @@ TEST(TracerTest, JsonEscapesAndOmitsEmptyFields) {
   EXPECT_NE(json.find("\"outcome\":\"OK\""), std::string::npos);
 }
 
+TEST(TracerTest, CountsUnexportedOverwritesAsDrops) {
+  Tracer tr(4);
+  auto record_named = [&tr](const char* name) {
+    SpanRecord r;
+    r.span_id = tr.next_id();
+    r.name = name;
+    tr.record(std::move(r));
+  };
+  for (int i = 0; i < 4; ++i) record_named("fill");
+  EXPECT_EQ(tr.dropped_spans(), 0u);  // ring full but nothing overwritten
+  record_named("wrap1");
+  record_named("wrap2");
+  EXPECT_EQ(tr.dropped_spans(), 2u);  // two unexported spans lost
+
+  // Exported spans are fair game: overwriting them is not a drop.
+  tr.mark_exported();
+  for (int i = 0; i < 4; ++i) record_named("post-export");
+  EXPECT_EQ(tr.dropped_spans(), 2u);
+
+  tr.clear();
+  EXPECT_EQ(tr.dropped_spans(), 0u);
+  record_named("fresh");
+  EXPECT_EQ(tr.dropped_spans(), 0u);
+}
+
+TEST(TracerTest, DropHookMirrorsIntoRegistryCounter) {
+  Telemetry tel(true, /*span_capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    SpanRecord r;
+    r.span_id = tel.tracer().next_id();
+    r.name = "s";
+    tel.tracer().record(std::move(r));
+  }
+  EXPECT_EQ(tel.tracer().dropped_spans(), 3u);
+  EXPECT_EQ(tel.metrics().counter("trace.dropped_spans").value(), 3u);
+  // The counter is lazy: a quiet instance never interns it.
+  Telemetry quiet(true, 2);
+  EXPECT_TRUE(quiet.metrics().snapshot().counters.empty());
+}
+
+TEST(TracerTest, JsonEscapesControlAndHighBitBytes) {
+  SpanRecord r;
+  r.op_id = 1;
+  r.span_id = 2;
+  r.name = std::string("a\x01" "b\x7f" "\xc3\xa9");  // control, DEL, UTF-8 e-acute
+  const std::string json = Tracer::to_json(r);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  // High-bit bytes pass through verbatim (they are not C0 controls) -- the
+  // signed-char regression printed ￿ff.. garbage for them.
+  EXPECT_EQ(json.find("\\uffffff"), std::string::npos);
+  EXPECT_NE(json.find("\xc3\xa9"), std::string::npos);
+}
+
 TEST(ScopedSpanTest, ParentingLinksChildToRoot) {
   Telemetry tel(true);
   {
