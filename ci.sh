@@ -19,6 +19,9 @@
 #              multi-threaded append hammer and its crash-at-every-batch-
 #              boundary replay checks) + health_test (the exporter sampler
 #              thread and watchdog polling racing live metric writers)
+#              + fragmentation_test (the differential/property battery for
+#              the fast-fragmentation entangle/detangle kernels, including
+#              the arm-switching bit-identity sweep)
 #   4. crash-e2e: scripted end-to-end crash drill against cshield_cli on a
 #              disk-backed root: put files, kill the process mid-stripe via
 #              CSHIELD_CRASH_AFTER_APPENDS (it _exit(42)s inside a journal
@@ -29,6 +32,10 @@
 #              once with the default per-op commit and once with journal
 #              group commit enabled (--batch-ops 8 --batch-ms 2), so the
 #              crash/recover contract is proven identical under batching.
+#              A third pass round-trips a file stored with `put ...
+#              --protection fragmentation`, proving the key-less entangled
+#              protection mode survives a full process restart (metadata v2
+#              persistence of the mode + nonce) and reads back byte-identical.
 #   5. ops-plane e2e: cshield_cli with --export-file on a real workload;
 #              the JSONL sample stream must be non-empty and the final
 #              Prometheus exposition must pass promtool-style line
@@ -38,10 +45,11 @@
 #              deployment (exit 0) with every SLO listed.
 #   6. forced-scalar: -DCSHIELD_FORCE_SCALAR=ON + ASan build that compiles
 #              the SIMD kernel arms out entirely, then runs kernels_test,
-#              crypto_test, and raid_test so the portable scalar/SWAR data
-#              plane is exercised under a sanitizer. The TSan binaries from
-#              stage 3 are also re-run with the CSHIELD_FORCE_SCALAR=1 env
-#              override, covering the runtime (no-rebuild) dispatch path.
+#              crypto_test, fragmentation_test, and raid_test so the portable
+#              scalar/SWAR data plane is exercised under a sanitizer. The
+#              TSan binaries from stage 3 are also re-run with the
+#              CSHIELD_FORCE_SCALAR=1 env override, covering the runtime
+#              (no-rebuild) dispatch path.
 #   7. bench:  bench_throughput writes BENCH_throughput.json at the repo
 #              root and exits non-zero unless the pipelined engine beats the
 #              serial baseline by >= 3x on 64-chunk put AND get, AND the
@@ -60,7 +68,14 @@
 #              bench_kernels writes BENCH_kernels.json and exits non-zero
 #              unless (on SIMD hosts) the vectorized mul_add and xor arms
 #              are >= 4x the scalar byte loops and targeted shard rebuild
-#              is >= 2x the old decode+re-encode path.
+#              is >= 2x the old decode+re-encode path. Then
+#              bench_encryption_vs_fragmentation writes BENCH_frontier.json
+#              and exits non-zero unless the privacy/perf frontier gate
+#              holds: for at least one privacy level, fast-fragmentation
+#              sustains >= 2x partial-AES put AND get throughput under every
+#              measured kernel arm (scalar always; the active SIMD arm too
+#              when different) while giving a colluding k-of-n adversary no
+#              more plaintext coverage than partial-AES does.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -81,15 +96,16 @@ cmake -B build-asan -S . -DCSHIELD_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${jobs}"
 (cd build-asan && ctest --output-on-failure -j "${jobs}")
 
-echo "== [3/7] thread sanitizer: concurrency_test + obs_test + chaos_test + recovery_test + health_test =="
+echo "== [3/7] thread sanitizer: concurrency_test + obs_test + chaos_test + recovery_test + health_test + fragmentation_test =="
 cmake -B build-tsan -S . -DCSHIELD_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${jobs}" --target concurrency_test obs_test \
-  chaos_test recovery_test health_test
+  chaos_test recovery_test health_test fragmentation_test
 ./build-tsan/tests/concurrency_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/chaos_test
 ./build-tsan/tests/recovery_test
 ./build-tsan/tests/health_test
+./build-tsan/tests/fragmentation_test
 
 echo "== [4/7] crash e2e: put, kill mid-stripe, recover, verify =="
 cli=./build/examples/cshield_cli
@@ -186,6 +202,21 @@ crash_drill() {
 crash_drill per-op
 crash_drill group-commit --batch-ops 8 --batch-ms 2
 
+# Fast-fragmentation protection mode e2e: store a file with the key-less
+# entangled mode, then read it back from fresh processes. The mode and its
+# nonce must round-trip through the v2 metadata image across the restart.
+frag="${e2e}/frag"
+frag_root="${frag}/root"
+mkdir -p "${frag}"
+"${cli}" "${frag_root}" init 12
+"${cli}" "${frag_root}" adduser alice secret 3
+head -c 50000 /dev/urandom > "${frag}/f1.bin"
+"${cli}" "${frag_root}" put alice secret f1 "${frag}/f1.bin" 3 \
+  --protection fragmentation
+"${cli}" "${frag_root}" get alice secret f1 "${frag}/f1.out"
+cmp "${frag}/f1.bin" "${frag}/f1.out"
+echo "crash e2e[fragmentation round-trip]: PASS"
+
 echo "== [5/7] ops plane e2e: --export-file stream + exposition validation + health =="
 ops="${e2e}/ops"
 ops_root="${ops}/root"
@@ -254,17 +285,19 @@ echo "== [6/7] forced-scalar: ASan build without SIMD arms + env-override TSan r
 cmake -B build-scalar -S . -DCSHIELD_FORCE_SCALAR=ON \
   -DCSHIELD_SANITIZE=address >/dev/null
 cmake --build build-scalar -j "${jobs}" --target kernels_test crypto_test \
-  raid_test
+  fragmentation_test raid_test
 ./build-scalar/tests/kernels_test
 ./build-scalar/tests/crypto_test
+./build-scalar/tests/fragmentation_test
 ./build-scalar/tests/raid_test
 # Same coverage through the runtime switch: the SIMD arms are compiled in
 # but the env override pins dispatch to the scalar byte loops.
 CSHIELD_FORCE_SCALAR=1 ./build-tsan/tests/concurrency_test
 CSHIELD_FORCE_SCALAR=1 ./build-tsan/tests/recovery_test
 
-echo "== [7/7] perf gates: bench_throughput + bench_kernels =="
+echo "== [7/7] perf gates: bench_throughput + bench_kernels + frontier =="
 ./build/bench/bench_throughput BENCH_throughput.json
 ./build/bench/bench_kernels BENCH_kernels.json
+./build/bench/bench_encryption_vs_fragmentation BENCH_frontier.json
 
 echo "== ci.sh: all stages passed =="

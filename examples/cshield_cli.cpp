@@ -27,7 +27,10 @@
 //   cshield_cli <root> health          # rolling SLO/health report
 //
 // Flags (any command): `--stats` prints this invocation's telemetry;
-// `--journal <path>` overrides the journal location; `--faults <p>`
+// `--journal <path>` overrides the journal location;
+// `--protection <partial-aes|misleading|fragmentation>` (put only) selects
+// the per-chunk protection transform instead of the per-PL default;
+// `--faults <p>`
 // [`--fault-seed <s>`] injects seeded transient provider failures;
 // `--export-file <path>` runs the continuous sampler (100 ms) for the
 // command's duration, streaming JSONL samples to <path> and writing the
@@ -190,7 +193,9 @@ int usage() {
                "<file> <pl> | get <c> <pw> <name> <file> | rm <c> <pw> "
                "<name> | ls | ls-files <c> <pw> | repair | checkpoint | "
                "recover | scrub | stats | export | health "
-               "[--stats] [--journal <path>] [--batch-ops <n> "
+               "[--stats] [--journal <path>] "
+               "[--protection <partial-aes|misleading|fragmentation>] "
+               "[--batch-ops <n> "
                "[--batch-ms <t>]] [--faults <p> "
                "[--fault-seed <s>]] [--export-file <path>] after any "
                "command\n";
@@ -281,6 +286,8 @@ int main(int argc, char** argv) {
   // fill. The CLI is single-threaded, so these exist to prove the crash
   // drill's durability semantics hold with group commit enabled, not to
   // make one process faster.
+  const std::string protection_flag =
+      strip_value_flag(argc, argv, "--protection");
   const std::string batch_ops_flag = strip_value_flag(argc, argv, "--batch-ops");
   const std::string batch_ms_flag = strip_value_flag(argc, argv, "--batch-ms");
   const std::size_t batch_ops =
@@ -378,6 +385,18 @@ int main(int argc, char** argv) {
     if (cmd == "put" && argc == 8) {
       core::PutOptions opts;
       opts.privacy_level = privacy_level_from_int(std::stoi(argv[7]));
+      if (!protection_flag.empty()) {
+        if (protection_flag == "partial-aes") {
+          opts.protection = ProtectionMode::kPartialAes;
+        } else if (protection_flag == "misleading") {
+          opts.protection = ProtectionMode::kMisleadingBytes;
+        } else if (protection_flag == "fragmentation") {
+          opts.protection = ProtectionMode::kFragmentation;
+        } else {
+          std::cerr << "unknown --protection '" << protection_flag << "'\n";
+          return usage();
+        }
+      }
       core::OpReport report;
       Status st = world.cdd->put_file(argv[3], argv[4], argv[5],
                                       read_file(argv[6]), opts, &report);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/random.hpp"
+
 namespace cshield::attack {
 
 AdversaryView compromise(const storage::ProviderRegistry& registry,
@@ -57,6 +59,103 @@ double coverage(const mining::Dataset& reconstructed, std::size_t total_rows) {
   if (total_rows == 0) return 0.0;
   return std::min(1.0, static_cast<double>(reconstructed.num_rows()) /
                            static_cast<double>(total_rows));
+}
+
+namespace {
+
+// C(n, k) with saturation: anything above `cap` is reported as cap + 1,
+// which is all the caller needs to decide "enumerate or sample".
+std::size_t choose_capped(std::size_t n, std::size_t k, std::size_t cap) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::size_t c = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    // c * (n - i) / (i + 1) is always exact in this order.
+    if (c > (cap + 1) / (n - i) + 1) return cap + 1;
+    c = c * (n - i) / (i + 1);
+    if (c > cap) return cap + 1;
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::vector<ProviderIndex>> coalitions(std::size_t n_providers,
+                                                   std::size_t k,
+                                                   std::size_t max_sets,
+                                                   std::uint64_t seed) {
+  std::vector<std::vector<ProviderIndex>> out;
+  if (k == 0 || k > n_providers || max_sets == 0) return out;
+
+  const std::size_t total = choose_capped(n_providers, k, max_sets);
+  if (total <= max_sets) {
+    // Full lexicographic enumeration via the standard successor rule.
+    std::vector<std::size_t> idx(k);
+    for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+    while (true) {
+      std::vector<ProviderIndex> set(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        set[i] = static_cast<ProviderIndex>(idx[i]);
+      }
+      out.push_back(std::move(set));
+      // Advance: find the rightmost index that can still move up.
+      std::size_t i = k;
+      while (i > 0 && idx[i - 1] == n_providers - k + (i - 1)) --i;
+      if (i == 0) break;
+      ++idx[i - 1];
+      for (std::size_t j = i; j < k; ++j) idx[j] = idx[j - 1] + 1;
+    }
+    return out;
+  }
+
+  // Too many coalitions: draw `max_sets` distinct ones by Floyd-style
+  // rejection on a sorted-key encoding. Deterministic in (seed, n, k).
+  Rng rng(seed ^ (n_providers * 0x9E3779B97F4A7C15ULL) ^ k);
+  std::vector<std::vector<ProviderIndex>> seen;
+  while (out.size() < max_sets) {
+    // Partial Fisher-Yates: first k entries of a shuffled [0, n) prefix.
+    std::vector<ProviderIndex> pool(n_providers);
+    for (std::size_t i = 0; i < n_providers; ++i) {
+      pool[i] = static_cast<ProviderIndex>(i);
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(
+                                    rng.below(n_providers - i));
+      std::swap(pool[i], pool[j]);
+    }
+    std::vector<ProviderIndex> set(pool.begin(),
+                                   pool.begin() + static_cast<std::ptrdiff_t>(k));
+    std::sort(set.begin(), set.end());
+    if (std::find(seen.begin(), seen.end(), set) != seen.end()) continue;
+    seen.push_back(set);
+    out.push_back(std::move(set));
+  }
+  return out;
+}
+
+CollusionSweep collusion_sweep(const storage::ProviderRegistry& registry,
+                               const workload::RecordCodec& codec,
+                               std::size_t k, std::size_t total_rows,
+                               std::size_t max_sets, std::uint64_t seed) {
+  CollusionSweep sweep;
+  const auto sets = coalitions(registry.size(), k, max_sets, seed);
+  double sum = 0.0;
+  for (const auto& set : sets) {
+    const AdversaryView view = compromise(registry, set);
+    const mining::Dataset rows =
+        sanitize_rows(reconstruct_rows(view, codec));
+    const double cov = coverage(rows, total_rows);
+    sum += cov;
+    if (sweep.coalitions_tried == 0 || cov > sweep.worst_coverage) {
+      sweep.worst_coverage = cov;
+      sweep.worst_coalition = set;
+    }
+    ++sweep.coalitions_tried;
+  }
+  if (sweep.coalitions_tried > 0) {
+    sweep.mean_coverage = sum / static_cast<double>(sweep.coalitions_tried);
+  }
+  return sweep;
 }
 
 }  // namespace cshield::attack

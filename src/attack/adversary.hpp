@@ -61,4 +61,37 @@ struct AdversaryView {
 [[nodiscard]] mining::Dataset sanitize_rows(const mining::Dataset& rows,
                                             double abs_limit = 1e9);
 
+// --- colluding multi-provider adversary ------------------------------------
+//
+// The single-provider insider is the paper's baseline; the stronger model is
+// a COALITION: k of the n providers pool their views (colluding employees,
+// or one outsider compromising k accounts). compromise() already pools an
+// explicit provider set -- what the coalition model adds is the sweep over
+// every (or a sampled subset of) k-of-n coalitions, scoring the defender by
+// its WORST case.
+
+/// Every k-of-n provider coalition in lexicographic order -- or, when
+/// C(n, k) exceeds `max_sets`, a seeded uniform sample of `max_sets`
+/// distinct coalitions. k == 0 or k > n yields no coalitions.
+[[nodiscard]] std::vector<std::vector<ProviderIndex>> coalitions(
+    std::size_t n_providers, std::size_t k, std::size_t max_sets = 64,
+    std::uint64_t seed = 0xC011ABE);
+
+/// Defender's-worst-case summary of a coalition sweep.
+struct CollusionSweep {
+  std::size_t coalitions_tried = 0;
+  double worst_coverage = 0.0;  ///< max sanitized-row coverage over coalitions
+  double mean_coverage = 0.0;
+  std::vector<ProviderIndex> worst_coalition;  ///< the coalition attaining it
+};
+
+/// Runs reconstruct_rows + sanitize_rows for each k-of-n coalition (via
+/// coalitions()) and reports the best coalition from the attacker's point
+/// of view. `total_rows` is the victim table's true row count.
+[[nodiscard]] CollusionSweep collusion_sweep(
+    const storage::ProviderRegistry& registry,
+    const workload::RecordCodec& codec, std::size_t k,
+    std::size_t total_rows, std::size_t max_sets = 64,
+    std::uint64_t seed = 0xC011ABE);
+
 }  // namespace cshield::attack

@@ -50,6 +50,41 @@ inline constexpr int kNumPrivacyLevels = 4;
   return level_index(password_level) >= level_index(chunk_level);
 }
 
+/// How a chunk's payload is protected against mining at the providers
+/// beyond dispersal itself. Values are on-disk (Table III); append-only,
+/// never renumber. kPartialAes is 0 so pre-ProtectionMode metadata images
+/// (which carry no mode field) decode to it -- with zero encrypted bytes
+/// recorded, making the legacy read path a no-op.
+enum class ProtectionMode : std::uint8_t {
+  /// AES-128-CTR over a PL-dependent prefix of each chunk (the paper's
+  /// "encrypt a portion of it"); the legacy/default wire value.
+  kPartialAes = 0,
+  /// Misleading-bytes chaff only (SVII-D) -- the pre-PR-8 behavior.
+  kMisleadingBytes = 1,
+  /// Key-less fragment entanglement (Kapusta-Memmi fast fragmentation):
+  /// GF(256) mixing sweeps tie every data shard to every other, so no
+  /// k-1-of-k provider coalition can invert its view.
+  kFragmentation = 2,
+};
+
+inline constexpr int kNumProtectionModes = 3;
+
+[[nodiscard]] constexpr std::string_view protection_mode_name(
+    ProtectionMode m) {
+  switch (m) {
+    case ProtectionMode::kPartialAes: return "partial-aes";
+    case ProtectionMode::kMisleadingBytes: return "misleading";
+    case ProtectionMode::kFragmentation: return "fragmentation";
+  }
+  return "invalid";
+}
+
+[[nodiscard]] inline ProtectionMode protection_mode_from_int(int v) {
+  CS_REQUIRE(v >= 0 && v < kNumProtectionModes,
+             "protection mode outside 0..2");
+  return static_cast<ProtectionMode>(v);
+}
+
 /// Provider storage-cost tier, 0 (cheapest) .. 3 (most expensive). The
 /// distributor prefers the cheaper provider among equally-trusted ones.
 enum class CostLevel : std::uint8_t { kCheapest = 0, kCheap = 1, kPricey = 2, kPremium = 3 };

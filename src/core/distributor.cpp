@@ -7,6 +7,7 @@
 
 #include "core/metadata_io.hpp"
 #include "core/misleading.hpp"
+#include "crypto/fragmentation.hpp"
 #include "util/hash.hpp"
 
 namespace cshield::core {
@@ -18,6 +19,19 @@ double chaff_fraction_of(const ChunkEntry& entry) {
   return original == 0 ? 0.0
                        : static_cast<double>(entry.misleading.size()) /
                              static_cast<double>(original);
+}
+
+/// Quarters of each chunk the partial-AES mode encrypts, per privacy level:
+/// the paper's "partitioning data and encrypting a portion of it", scaled
+/// with sensitivity. PL0 is public -- nothing to hide.
+std::size_t aes_quarters_for(PrivacyLevel pl) {
+  switch (pl) {
+    case PrivacyLevel::kPublic: return 0;
+    case PrivacyLevel::kLow: return 1;
+    case PrivacyLevel::kModerate: return 2;
+    case PrivacyLevel::kHigh: return 4;
+  }
+  return 4;
 }
 
 }  // namespace
@@ -313,6 +327,56 @@ VirtualId CloudDataDistributor::next_virtual_id() {
     id = mix64(id_counter_.fetch_add(1, std::memory_order_relaxed) ^ id_key_);
   } while (id == 0);
   return id;
+}
+
+std::size_t CloudDataDistributor::apply_protection(
+    Bytes& padded, ProtectionMode mode, PrivacyLevel pl,
+    const raid::StripeLayout& layout, std::uint64_t nonce) const {
+  switch (mode) {
+    case ProtectionMode::kMisleadingBytes:
+      // Chaff was already injected upstream; the payload itself is stored
+      // as-is (the pre-ProtectionMode behavior).
+      return 0;
+    case ProtectionMode::kPartialAes: {
+      const std::size_t prefix =
+          (padded.size() * aes_quarters_for(pl) + 3) / 4;
+      if (prefix == 0) return 0;
+      const Bytes enc = crypto::aes128_ctr(config_.protection_key, nonce,
+                                           BytesView(padded.data(), prefix));
+      std::copy(enc.begin(), enc.end(), padded.begin());
+      return prefix;
+    }
+    case ProtectionMode::kFragmentation:
+      // Entangle across the data-shard fragments raid::encode will slice
+      // this payload into: each provider stores one full-rank mix of every
+      // fragment. Digests and parity are computed over the entangled bytes,
+      // so repair/scrub stay protection-agnostic.
+      crypto::fragmentation::entangle(padded, layout.data_shards, nonce);
+      return 0;
+  }
+  return 0;
+}
+
+void CloudDataDistributor::remove_protection(Bytes& padded,
+                                             ProtectionMode mode,
+                                             const raid::StripeLayout& layout,
+                                             std::uint64_t nonce,
+                                             std::size_t protect_bytes) const {
+  switch (mode) {
+    case ProtectionMode::kMisleadingBytes:
+      return;
+    case ProtectionMode::kPartialAes: {
+      const std::size_t prefix = std::min(protect_bytes, padded.size());
+      if (prefix == 0) return;  // v1 rows land here: nothing was encrypted
+      const Bytes dec = crypto::aes128_ctr(config_.protection_key, nonce,
+                                           BytesView(padded.data(), prefix));
+      std::copy(dec.begin(), dec.end(), padded.begin());
+      return;
+    }
+    case ProtectionMode::kFragmentation:
+      crypto::fragmentation::detangle(padded, layout.data_shards, nonce);
+      return;
+  }
 }
 
 Result<CloudDataDistributor::StripeWriteResult>
@@ -653,6 +717,9 @@ Status CloudDataDistributor::put_file(const std::string& client,
           : raid::StripeLayout::make(level, config_.stripe_data_shards);
   const double chaff =
       options.misleading_fraction.value_or(config_.misleading_fraction);
+  const ProtectionMode protection = options.protection.value_or(
+      config_.protection_by_pl[static_cast<std::size_t>(
+          level_index(options.privacy_level))]);
 
   OpScope op(telemetry_.get(), "put_file", client, filename,
              config_.watchdog.get(), config_.retry.deadline.count());
@@ -697,6 +764,13 @@ Status CloudDataDistributor::put_file(const std::string& client,
     Rng chunk_rng(chaff_seed);
     MisleadingCodec::Encoded chaffed =
         MisleadingCodec::inject(chunks[i].data, chaff, chunk_rng);
+    // Drawn for every mode, so the per-chunk RNG stream (chaff positions
+    // included) is byte-identical across protection modes -- the chaos
+    // suite's retry-invariance proof depends on it.
+    const std::uint64_t protect_nonce = chunk_rng.next();
+    const std::size_t protect_bytes = apply_protection(
+        chaffed.data, protection, options.privacy_level, layout,
+        protect_nonce);
     auto close_span = [&] {
       if (!chunk_span.armed()) return;
       SimDuration chunk_sim{0};
@@ -724,6 +798,9 @@ Status CloudDataDistributor::put_file(const std::string& client,
     out.entry.stripe = std::move(written.value().locations);
     out.entry.misleading = std::move(chaffed.positions);
     out.entry.padded_size = chaffed.data.size();
+    out.entry.protection = protection;
+    out.entry.protect_nonce = protect_nonce;
+    out.entry.protect_bytes = protect_bytes;
     out.entry.shard_digests = std::move(written.value().digests);
     out.stripe = out.entry.stripe;
     out.bytes_stored = written.value().bytes_stored;
@@ -868,6 +945,9 @@ Result<Bytes> CloudDataDistributor::get_chunk(const std::string& client,
   if (!padded.ok()) {
     return op.finish(padded.status(), report, config_.worker_threads);
   }
+  remove_protection(padded.value(), entry.value().protection,
+                    entry.value().layout, entry.value().protect_nonce,
+                    entry.value().protect_bytes);
   Bytes plain = MisleadingCodec::strip(padded.value(),
                                        entry.value().misleading);
   op.bytes_logical = plain.size();
@@ -938,6 +1018,9 @@ Result<Bytes> CloudDataDistributor::get_file(const std::string& client,
       close_span();
       return;
     }
+    remove_protection(padded.value(), entry.value().protection,
+                      entry.value().layout, entry.value().protect_nonce,
+                      entry.value().protect_bytes);
     out.plain = MisleadingCodec::strip(padded.value(),
                                        entry.value().misleading);
     out.padded_size = entry.value().padded_size;
@@ -1062,13 +1145,19 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
     return fail(st);
   };
 
-  // 3. Chaff and write the post-state under fresh virtual ids.
+  // 3. Chaff, re-protect (same mode as the original put, fresh nonce) and
+  //    write the post-state under fresh virtual ids.
   MisleadingCodec::Encoded chaffed;
+  std::uint64_t protect_nonce = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     chaffed = MisleadingCodec::inject(new_data, chaff_fraction_of(entry),
                                       chaff_rng_);
+    protect_nonce = chaff_rng_.next();
   }
+  const std::size_t protect_bytes =
+      apply_protection(chaffed.data, entry.protection, entry.privacy_level,
+                       entry.layout, protect_nonce);
   Result<std::vector<ProviderIndex>> new_targets = [&] {
     std::lock_guard<std::mutex> lock(mu_);
     return placement_.choose(registry_, entry.privacy_level,
@@ -1089,11 +1178,18 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
   updated.snapshot_digests = std::move(snap.value().digests);
   updated.snapshot_misleading = entry.misleading;
   updated.snapshot_padded_size = entry.padded_size;
+  // The snapshot stripe stores the pre-state exactly as it was protected;
+  // its original transform parameters move with it.
+  updated.snapshot_protection = entry.protection;
+  updated.snapshot_protect_nonce = entry.protect_nonce;
+  updated.snapshot_protect_bytes = entry.protect_bytes;
   updated.has_snapshot = true;
   updated.stripe = written.value().locations;
   updated.shard_digests = std::move(written.value().digests);
   updated.misleading = std::move(chaffed.positions);
   updated.padded_size = chaffed.data.size();
+  updated.protect_nonce = protect_nonce;
+  updated.protect_bytes = protect_bytes;
   Status committed = metadata_->update_chunk(ref->chunk_index, updated);
   if (!committed.ok()) {
     drop_stripe(written.value().locations, &times);
@@ -1142,6 +1238,10 @@ Result<Bytes> CloudDataDistributor::get_chunk_snapshot(
       entry.value().snapshot_digests, entry.value().snapshot_padded_size,
       times);
   if (!padded.ok()) return padded.status();
+  remove_protection(padded.value(), entry.value().snapshot_protection,
+                    entry.value().layout,
+                    entry.value().snapshot_protect_nonce,
+                    entry.value().snapshot_protect_bytes);
   return MisleadingCodec::strip(padded.value(),
                                 entry.value().snapshot_misleading);
 }

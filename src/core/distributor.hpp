@@ -23,6 +23,7 @@
 // Fig. 2 multi-distributor architecture (see multi_distributor.hpp).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "core/chunker.hpp"
+#include "crypto/aes.hpp"
 #include "core/journal.hpp"
 #include "core/placement.hpp"
 #include "core/request_layer.hpp"
@@ -50,6 +52,21 @@ struct DistributorConfig {
   std::size_t stripe_data_shards = 3;  ///< k data shards per stripe
   std::size_t replication = 1;         ///< extra copies when RAID-1 is chosen
   double misleading_fraction = 0.0;    ///< default chaff ratio
+  /// Default protection transform per privacy level (PutOptions::protection
+  /// overrides). kMisleadingBytes applies no payload transform beyond the
+  /// chaff governed by misleading_fraction -- the pre-ProtectionMode
+  /// behavior. kPartialAes encrypts a PL-dependent prefix of each chunk
+  /// with AES-128-CTR under `protection_key`; kFragmentation entangles the
+  /// chunk's data shards key-lessly (crypto/fragmentation.hpp).
+  std::array<ProtectionMode, kNumPrivacyLevels> protection_by_pl{
+      ProtectionMode::kMisleadingBytes, ProtectionMode::kMisleadingBytes,
+      ProtectionMode::kMisleadingBytes, ProtectionMode::kMisleadingBytes};
+  /// Key for the partial-AES mode. Stable across restarts by default so a
+  /// recovered distributor can still decrypt; a real deployment injects the
+  /// client's key here.
+  crypto::AesKey protection_key{0xC5, 0x1E, 0x1D, 0x00, 0x01, 0x02, 0x03,
+                                0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A,
+                                0x0B, 0x0C};
   PlacementMode placement = PlacementMode::kCostAware;
   std::size_t worker_threads = 8;      ///< chunk-level compute channels
   /// Shard RPC channels. Shard I/O is latency-bound, not CPU-bound, so the
@@ -110,6 +127,8 @@ struct PutOptions {
   PrivacyLevel privacy_level = PrivacyLevel::kModerate;
   std::optional<raid::RaidLevel> raid;  ///< e.g. kRaid6 for "higher assurance"
   std::optional<double> misleading_fraction;
+  /// Protection transform; default is the config's per-PL choice.
+  std::optional<ProtectionMode> protection;
   std::size_t record_align = 0;  ///< chunk sizes snap to this record width
 };
 
@@ -292,6 +311,22 @@ class CloudDataDistributor {
   Result<PrivacyLevel> authorize(const std::string& client,
                                  const std::string& password,
                                  PrivacyLevel required) const;
+
+  /// Applies the protection transform to a chaffed padded payload, in
+  /// place, before it is encoded/digested/uploaded. Returns the AES-
+  /// encrypted prefix length (0 for the other modes), which the chunk row
+  /// must record for the inverse.
+  std::size_t apply_protection(Bytes& padded, ProtectionMode mode,
+                               PrivacyLevel pl,
+                               const raid::StripeLayout& layout,
+                               std::uint64_t nonce) const;
+
+  /// Inverse of apply_protection on a decoded padded payload (runs before
+  /// the chaff strip). A v1 chunk row decodes to kPartialAes with
+  /// protect_bytes == 0, making this a no-op on pre-ProtectionMode blobs.
+  void remove_protection(Bytes& padded, ProtectionMode mode,
+                         const raid::StripeLayout& layout,
+                         std::uint64_t nonce, std::size_t protect_bytes) const;
 
   VirtualId next_virtual_id();
 

@@ -19,7 +19,11 @@ namespace cshield::core {
 namespace {
 
 constexpr std::uint32_t kJournalMagic = 0xC5D17A6EU;
-constexpr std::uint32_t kJournalVersion = 1;
+// v2 journals may carry protection-aware chunk rows (the rows themselves
+// are self-versioned -- see write_chunk_entry -- so v1 files, and v1 rows
+// inside them, replay unchanged).
+constexpr std::uint32_t kJournalVersion = 2;
+constexpr std::uint32_t kOldestReadableJournalVersion = 1;
 constexpr std::size_t kHeaderSize = 4 + 4 + 8;
 constexpr std::size_t kFrameOverhead = 4 + 4;  // length + crc
 
@@ -202,7 +206,8 @@ Result<JournalReplay> replay_journal_image(BytesView image) {
   if (load_u32(image, 0) != kJournalMagic) {
     return Status::InvalidArgument("journal: bad magic");
   }
-  if (load_u32(image, 4) != kJournalVersion) {
+  const std::uint32_t version = load_u32(image, 4);
+  if (version < kOldestReadableJournalVersion || version > kJournalVersion) {
     return Status::InvalidArgument("journal: unsupported version");
   }
   JournalReplay out;

@@ -6,7 +6,15 @@ namespace cshield::core {
 namespace {
 
 constexpr std::uint32_t kMagic = 0xC5D47AB1;
-constexpr std::uint32_t kVersion = 1;
+// v1: pre-ProtectionMode images. v2: chunk rows carry protection fields.
+// Images are written at kVersion; both versions deserialize.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kOldestReadableVersion = 1;
+
+// Leading marker of a protection-aware chunk row. A v1 row starts with its
+// privacy level (0..3), so any value outside that range is unambiguous; the
+// reader treats its absence as a v1 row with default protection.
+constexpr std::uint8_t kChunkEntryV2Tag = 0xF2;
 
 void write_shards(wire::Writer& w, const std::vector<ShardLocation>& shards) {
   w.u32(static_cast<std::uint32_t>(shards.size()));
@@ -65,6 +73,7 @@ bool read_positions(wire::Reader& r, std::vector<std::uint32_t>& ps) {
 }  // namespace
 
 void write_chunk_entry(wire::Writer& w, const ChunkEntry& e) {
+  w.u8(kChunkEntryV2Tag);
   w.u8(static_cast<std::uint8_t>(e.privacy_level));
   w.u8(static_cast<std::uint8_t>(e.layout.level));
   w.u64(e.layout.data_shards);
@@ -79,15 +88,23 @@ void write_chunk_entry(wire::Writer& w, const ChunkEntry& e) {
   write_positions(w, e.snapshot_misleading);
   write_digests(w, e.snapshot_digests);
   w.u8(e.deleted ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(e.protection));
+  w.u64(e.protect_nonce);
+  w.u64(e.protect_bytes);
+  w.u8(static_cast<std::uint8_t>(e.snapshot_protection));
+  w.u64(e.snapshot_protect_nonce);
+  w.u64(e.snapshot_protect_bytes);
 }
 
 bool read_chunk_entry(wire::Reader& r, ChunkEntry& e) {
   std::uint8_t pl = 0;
+  if (!r.u8(pl)) return false;
+  const bool v2 = pl == kChunkEntryV2Tag;
+  if (v2 && !r.u8(pl)) return false;
   std::uint8_t level = 0;
   std::uint64_t data_shards = 0;
   std::uint64_t parity_shards = 0;
-  if (!r.u8(pl) || !r.u8(level) || !r.u64(data_shards) ||
-      !r.u64(parity_shards)) {
+  if (!r.u8(level) || !r.u64(data_shards) || !r.u64(parity_shards)) {
     return false;
   }
   if (pl >= kNumPrivacyLevels ||
@@ -113,6 +130,36 @@ bool read_chunk_entry(wire::Reader& r, ChunkEntry& e) {
   e.snapshot_padded_size = static_cast<std::size_t>(snap_padded);
   e.has_snapshot = has_snapshot != 0;
   e.deleted = deleted != 0;
+  // A v1 row carries no protection fields: kPartialAes over zero bytes, the
+  // read-path no-op every pre-ProtectionMode blob was written under.
+  e.protection = ProtectionMode::kPartialAes;
+  e.protect_nonce = 0;
+  e.protect_bytes = 0;
+  e.snapshot_protection = ProtectionMode::kPartialAes;
+  e.snapshot_protect_nonce = 0;
+  e.snapshot_protect_bytes = 0;
+  if (!v2) return true;
+  std::uint8_t mode = 0;
+  std::uint8_t snap_mode = 0;
+  std::uint64_t protect_bytes = 0;
+  std::uint64_t snap_protect_bytes = 0;
+  if (!r.u8(mode) || !r.u64(e.protect_nonce) || !r.u64(protect_bytes) ||
+      !r.u8(snap_mode) || !r.u64(e.snapshot_protect_nonce) ||
+      !r.u64(snap_protect_bytes)) {
+    return false;
+  }
+  if (mode >= kNumProtectionModes || snap_mode >= kNumProtectionModes) {
+    return false;
+  }
+  // A protected prefix past its payload would walk the read path off the
+  // decoded buffer -- a flipped bit, not a legal row.
+  if (protect_bytes > padded || snap_protect_bytes > snap_padded) {
+    return false;
+  }
+  e.protection = static_cast<ProtectionMode>(mode);
+  e.protect_bytes = static_cast<std::size_t>(protect_bytes);
+  e.snapshot_protection = static_cast<ProtectionMode>(snap_mode);
+  e.snapshot_protect_bytes = static_cast<std::size_t>(snap_protect_bytes);
   return true;
 }
 
@@ -163,7 +210,8 @@ Result<std::shared_ptr<MetadataStore>> deserialize_metadata(BytesView image) {
   if (!r.u32(magic) || magic != kMagic) {
     return Status::InvalidArgument("metadata image: bad magic");
   }
-  if (!r.u32(version) || version != kVersion) {
+  if (!r.u32(version) || version < kOldestReadableVersion ||
+      version > kVersion) {
     return Status::InvalidArgument("metadata image: unsupported version");
   }
   const Status truncated =

@@ -27,11 +27,17 @@ namespace cshield::core {
 
 /// Writes one chunk-table row in the image's wire layout. Shared with the
 /// journal's commit/update records, so a replayed entry is byte-identical
-/// to a checkpointed one.
+/// to a checkpointed one. Rows are self-versioned: a marker byte (outside
+/// the privacy-level range a v1 row starts with) introduces the
+/// ProtectionMode fields, so v1 rows embedded in old images and old journal
+/// frames still decode -- with protection defaulting to kPartialAes over
+/// zero bytes, i.e. a read-path no-op.
 void write_chunk_entry(wire::Writer& w, const ChunkEntry& entry);
 
-/// Reads one chunk-table row; false on truncation or an implausible field
-/// (bad privacy level, unknown RAID level, count past the buffer end).
+/// Reads one chunk-table row (either generation); false on truncation or an
+/// implausible field (bad privacy level, unknown RAID level, unknown
+/// protection mode, protected prefix past the payload, count past the
+/// buffer end).
 [[nodiscard]] bool read_chunk_entry(wire::Reader& r, ChunkEntry& entry);
 
 }  // namespace cshield::core

@@ -53,10 +53,21 @@ struct ChunkEntry {
   std::vector<std::uint32_t> misleading;  ///< M column: chaff byte positions
   std::size_t padded_size = 0;   ///< payload length incl. misleading bytes
   std::vector<crypto::Digest> shard_digests;  ///< integrity per shard
+  /// Protection transform applied to the padded payload before encoding.
+  /// The kPartialAes/protect_bytes==0 defaults make pre-ProtectionMode
+  /// entries (metadata wire v1, no such fields) read back as a no-op.
+  ProtectionMode protection = ProtectionMode::kPartialAes;
+  std::uint64_t protect_nonce = 0;  ///< per-chunk CTR nonce / entangle nonce
+  std::size_t protect_bytes = 0;    ///< AES-encrypted prefix length (partial-AES)
   bool has_snapshot = false;
   std::size_t snapshot_padded_size = 0;
   std::vector<std::uint32_t> snapshot_misleading;
   std::vector<crypto::Digest> snapshot_digests;
+  /// Protection parameters of the snapshot stripe (the pre-update payload
+  /// is stored still-protected, under its original transform).
+  ProtectionMode snapshot_protection = ProtectionMode::kPartialAes;
+  std::uint64_t snapshot_protect_nonce = 0;
+  std::size_t snapshot_protect_bytes = 0;
   bool deleted = false;  ///< tombstone; indices stay stable after removal
 };
 

@@ -1,0 +1,107 @@
+#include "crypto/fragmentation.hpp"
+
+#include <algorithm>
+
+#include "crypto/gf256_kernels.hpp"
+#include "util/hash.hpp"
+
+namespace cshield::crypto::fragmentation {
+namespace {
+
+/// One fragment's [pointer, length) within the payload. Fragment i occupies
+/// [i*L, min((i+1)*L, n)) for L = ceil(n/k) -- raid::encode's shard slices.
+struct Frag {
+  std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+};
+
+[[nodiscard]] Frag frag_at(std::uint8_t* data, std::size_t n, std::size_t len,
+                           std::size_t i) {
+  const std::size_t begin = i * len;
+  if (begin >= n) return {};
+  return {data + begin, std::min(len, n - begin)};
+}
+
+/// XORs the SplitMix64-finalizer keystream expanded from `nonce` over the
+/// buffer, 8 bytes per mix64 call. Self-inverse. Byte j of block b is byte
+/// j of mix64(nonce ^ phi*(b+1)) in little-endian order -- a fixed formula
+/// so the pinned reference in tests/fragmentation_test.cpp can reproduce it
+/// byte-at-a-time.
+void whiten(std::uint8_t* data, std::size_t n, std::uint64_t nonce) {
+  constexpr std::uint64_t kPhi = 0x9E3779B97F4A7C15ULL;
+  std::size_t off = 0;
+  std::uint64_t block = 0;
+  while (off < n) {
+    const std::uint64_t ks = mix64(nonce ^ (kPhi * (block + 1)));
+    const std::size_t take = std::min<std::size_t>(8, n - off);
+    for (std::size_t j = 0; j < take; ++j) {
+      data[off + j] ^= static_cast<std::uint8_t>(ks >> (8 * j));
+    }
+    off += take;
+    ++block;
+  }
+}
+
+/// Nonzero coefficient in [1, 255] from a mixed index; `salt` separates the
+/// forward and backward schedules.
+[[nodiscard]] std::uint8_t coeff(std::size_t i, std::uint64_t salt) {
+  return static_cast<std::uint8_t>(1 + mix64(salt ^ i) % 255);
+}
+
+}  // namespace
+
+std::uint8_t forward_coeff(std::size_t i) { return coeff(i, 0xF0A4C1D5ULL); }
+
+std::uint8_t backward_coeff(std::size_t i) { return coeff(i, 0xB1E55EDULL); }
+
+void entangle(std::uint8_t* data, std::size_t n, std::size_t fragments,
+              std::uint64_t nonce) {
+  whiten(data, n, nonce);
+  const std::size_t k = std::max<std::size_t>(1, fragments);
+  if (k == 1 || n == 0) return;
+  const std::size_t len = (n + k - 1) / k;
+  for (std::size_t i = 1; i < k; ++i) {
+    const Frag dst = frag_at(data, n, len, i);
+    const Frag src = frag_at(data, n, len, i - 1);
+    const std::size_t m = std::min(dst.len, src.len);
+    if (m != 0) gf256::kernels::mul_add(forward_coeff(i), src.data, dst.data, m);
+  }
+  for (std::size_t i = k - 1; i-- > 0;) {
+    const Frag dst = frag_at(data, n, len, i);
+    const Frag src = frag_at(data, n, len, i + 1);
+    const std::size_t m = std::min(dst.len, src.len);
+    if (m != 0) {
+      gf256::kernels::mul_add(backward_coeff(i), src.data, dst.data, m);
+    }
+  }
+}
+
+void detangle(std::uint8_t* data, std::size_t n, std::size_t fragments,
+              std::uint64_t nonce) {
+  const std::size_t k = std::max<std::size_t>(1, fragments);
+  if (k > 1 && n != 0) {
+    const std::size_t len = (n + k - 1) / k;
+    // Undo the elementary row operations in exact reverse order: each reads
+    // a fragment the sweep did not modify after that step, so the XOR update
+    // cancels with the same operand bytes.
+    for (std::size_t i = 0; i + 1 < k; ++i) {
+      const Frag dst = frag_at(data, n, len, i);
+      const Frag src = frag_at(data, n, len, i + 1);
+      const std::size_t m = std::min(dst.len, src.len);
+      if (m != 0) {
+        gf256::kernels::mul_add(backward_coeff(i), src.data, dst.data, m);
+      }
+    }
+    for (std::size_t i = k - 1; i >= 1; --i) {
+      const Frag dst = frag_at(data, n, len, i);
+      const Frag src = frag_at(data, n, len, i - 1);
+      const std::size_t m = std::min(dst.len, src.len);
+      if (m != 0) {
+        gf256::kernels::mul_add(forward_coeff(i), src.data, dst.data, m);
+      }
+    }
+  }
+  whiten(data, n, nonce);
+}
+
+}  // namespace cshield::crypto::fragmentation

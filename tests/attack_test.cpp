@@ -292,6 +292,91 @@ TEST(ClassificationAttackTest, EmptyViewFails) {
   EXPECT_FALSE(r.mining_succeeded);
 }
 
+// --- colluding coalitions (PR 8) --------------------------------------------
+
+TEST(CoalitionTest, EnumeratesAllKOfNInLexOrder) {
+  const auto sets = coalitions(4, 2, /*max_sets=*/64);
+  ASSERT_EQ(sets.size(), 6u);  // C(4,2)
+  EXPECT_EQ(sets.front(), (std::vector<ProviderIndex>{0, 1}));
+  EXPECT_EQ(sets[1], (std::vector<ProviderIndex>{0, 2}));
+  EXPECT_EQ(sets.back(), (std::vector<ProviderIndex>{2, 3}));
+  // Every set is strictly increasing (sorted, distinct members).
+  for (const auto& s : sets) {
+    for (std::size_t i = 1; i < s.size(); ++i) EXPECT_LT(s[i - 1], s[i]);
+  }
+}
+
+TEST(CoalitionTest, DegenerateArgumentsYieldNothing) {
+  EXPECT_TRUE(coalitions(5, 0).empty());
+  EXPECT_TRUE(coalitions(5, 6).empty());
+  EXPECT_TRUE(coalitions(0, 1).empty());
+  EXPECT_TRUE(coalitions(5, 2, 0).empty());
+}
+
+TEST(CoalitionTest, FullSetAndSingletonsAreCoveredExactly) {
+  const auto all = coalitions(6, 6);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].size(), 6u);
+  const auto singles = coalitions(6, 1);
+  ASSERT_EQ(singles.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(singles[i], (std::vector<ProviderIndex>{
+                              static_cast<ProviderIndex>(i)}));
+  }
+}
+
+TEST(CoalitionTest, SamplingCapsAndIsDeterministicAndDistinct) {
+  // C(12,3) = 220 > 32: seeded sampling kicks in.
+  const auto a = coalitions(12, 3, 32, 0xABCD);
+  const auto b = coalitions(12, 3, 32, 0xABCD);
+  ASSERT_EQ(a.size(), 32u);
+  EXPECT_EQ(a, b);  // same seed, same sample
+  const auto c = coalitions(12, 3, 32, 0xDCBA);
+  EXPECT_NE(a, c);  // the seed is live
+  for (const auto& s : a) {
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_LT(s[0], s[1]);
+    EXPECT_LT(s[1], s[2]);
+    EXPECT_LT(s[2], 12u);
+  }
+  // Distinct coalitions only.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) EXPECT_NE(a[i], a[j]);
+  }
+}
+
+TEST(CollusionSweepTest, WorstCoalitionDominatesAndFindsUnprotectedData) {
+  workload::BiddingGenerator gen(0xC011);
+  const mining::Dataset table = gen.generate(256, 120.0);
+  const workload::RecordCodec codec{workload::bidding_columns()};
+  storage::ProviderRegistry registry = storage::make_default_registry(6);
+  core::DistributorConfig config;
+  config.default_raid = raid::RaidLevel::kNone;
+  config.placement = core::PlacementMode::kUniformSpread;
+  core::CloudDataDistributor cdd(registry, config);
+  ASSERT_TRUE(cdd.register_client("victim").ok());
+  ASSERT_TRUE(cdd.add_password("victim", "pw", PrivacyLevel::kPublic).ok());
+  core::PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kPublic;
+  opts.record_align = codec.record_size();
+  ASSERT_TRUE(
+      cdd.put_file("victim", "pw", "bids", codec.encode(table), opts).ok());
+
+  const CollusionSweep sweep =
+      collusion_sweep(registry, codec, 3, table.num_rows());
+  EXPECT_EQ(sweep.coalitions_tried, 20u);  // C(6,3)
+  EXPECT_EQ(sweep.worst_coalition.size(), 3u);
+  // Plaintext chunks spread over 6 providers: 3 colluders hold roughly half
+  // the table, and the worst coalition is at least the mean.
+  EXPECT_GT(sweep.worst_coverage, 0.25);
+  EXPECT_GE(sweep.worst_coverage, sweep.mean_coverage);
+  // A bigger coalition can only help the attacker.
+  const CollusionSweep all =
+      collusion_sweep(registry, codec, 6, table.num_rows());
+  EXPECT_EQ(all.coalitions_tried, 1u);
+  EXPECT_GE(all.worst_coverage, sweep.worst_coverage);
+}
+
 TEST(SanitizeTest, DropsPoisonedRows) {
   mining::Dataset d({"a", "b"});
   d.add_row({1.0, 2.0});

@@ -506,7 +506,8 @@ std::string normalize_spans(const std::string& jsonl) {
   return std::regex_replace(jsonl, kWallClock, "");
 }
 
-AcceptanceRun run_acceptance(std::uint64_t fault_seed) {
+AcceptanceRun run_acceptance(std::uint64_t fault_seed,
+                             std::optional<ProtectionMode> protection = {}) {
   auto sink = std::make_shared<obs::Telemetry>(true);
   storage::ProviderRegistry registry = storage::make_default_registry(12);
   registry.apply_fault_plan(
@@ -520,6 +521,7 @@ AcceptanceRun run_acceptance(std::uint64_t fault_seed) {
   const Bytes data = payload_of(256 * 4096, 2026);
   PutOptions opts;
   opts.privacy_level = PrivacyLevel::kModerate;
+  opts.protection = protection;
   OpReport put_report;
   const Status put = cdd.put_file("C", "pw", "big", data, opts, &put_report);
   EXPECT_TRUE(put.ok()) << put.to_string();
@@ -562,6 +564,102 @@ TEST(ChaosAcceptanceTest, TransientNoiseAbsorbedAndReplaysByteForByte) {
   // Different seed: a different fault pattern (the seed is live).
   const AcceptanceRun other = run_acceptance(0x0DD5EED);
   EXPECT_NE(other.spans, first.spans);
+}
+
+// --- protection-mode axis (PR 8) --------------------------------------------
+//
+// The protection transform is length-preserving and its nonce is drawn from
+// the chunk RNG in every mode, so the fault-plan clock -- provider request
+// sequences, latency draws, retry decisions -- is byte-identical whichever
+// transform a chunk carries. These tests pin that invariant: chaos behavior
+// must never depend on the protection mode.
+
+constexpr ProtectionMode kAllModes[] = {ProtectionMode::kPartialAes,
+                                        ProtectionMode::kMisleadingBytes,
+                                        ProtectionMode::kFragmentation};
+
+TEST(ChaosProtectionModeTest, TransientNoiseRetriesIdenticalAcrossModes) {
+  const AcceptanceRun baseline =
+      run_acceptance(0xACCE97, ProtectionMode::kPartialAes);
+  EXPECT_GT(baseline.injected, 0u);
+  for (ProtectionMode mode : kAllModes) {
+    const AcceptanceRun run = run_acceptance(0xACCE97, mode);
+    const char* name = protection_mode_name(mode).data();
+    EXPECT_EQ(run.rt_retries, baseline.rt_retries) << name;
+    EXPECT_EQ(run.put_retries, baseline.put_retries) << name;
+    EXPECT_EQ(run.get_retries, baseline.get_retries) << name;
+    EXPECT_EQ(run.put_replaced, baseline.put_replaced) << name;
+    EXPECT_EQ(run.injected, baseline.injected) << name;
+    // The whole modeled span stream replays byte-for-byte too: same shard
+    // sizes, same providers, same outcomes -- only payload bytes differ.
+    EXPECT_EQ(run.spans, baseline.spans) << name;
+  }
+}
+
+TEST(ChaosProtectionModeTest, FlakyAndCrashScenarioSurvivesEveryMode) {
+  // Scripted plan: every provider's first request fails (flaky burst that
+  // recovers), and provider 2 is crashed for a window covering the put.
+  // Fragmentation puts must ride it out exactly like partial-AES ones.
+  struct Outcome {
+    std::size_t retries = 0;
+    std::size_t replaced = 0;
+    std::uint64_t injected = 0;
+    bool round_trip = false;
+  };
+  auto run_mode = [&](ProtectionMode mode) {
+    auto sink = std::make_shared<obs::Telemetry>(true);
+    storage::ProviderRegistry registry = flat_registry(8);
+    auto plan = std::make_shared<FaultPlan>();
+    plan->seed = 0x5EED;
+    FaultEpisode flaky;
+    flaky.provider = storage::kEveryProvider;
+    flaky.kind = FaultKind::kFlaky;
+    flaky.begin = 0;
+    flaky.end = 2;
+    flaky.period = 2;
+    flaky.burst = 1;
+    plan->episodes.push_back(flaky);
+    FaultEpisode crash;
+    crash.provider = 2;
+    crash.kind = FaultKind::kCrash;
+    crash.begin = 0;
+    crash.end = 64;
+    plan->episodes.push_back(crash);
+    registry.apply_fault_plan(plan);
+
+    CloudDataDistributor cdd(registry, replay_config(sink));
+    EXPECT_TRUE(cdd.register_client("C").ok());
+    EXPECT_TRUE(cdd.add_password("C", "pw", PrivacyLevel::kHigh).ok());
+    const Bytes data = payload_of(800, 42);  // one PL3 chunk -> one stripe
+    PutOptions opts;
+    opts.privacy_level = PrivacyLevel::kHigh;
+    opts.protection = mode;
+    OpReport report;
+    Outcome out;
+    const Status put = cdd.put_file("C", "pw", "f", data, opts, &report);
+    EXPECT_TRUE(put.ok()) << put.to_string();
+    out.retries = report.retries;
+    out.replaced = report.replaced_shards;
+    for (ProviderIndex p = 0; p < registry.size(); ++p) {
+      out.injected += registry.at(p).counters().injected_failures.load();
+    }
+    Result<Bytes> back = cdd.get_file("C", "pw", "f");
+    EXPECT_TRUE(back.ok()) << back.status().to_string();
+    out.round_trip = back.ok() && equal(back.value(), data);
+    return out;
+  };
+
+  const Outcome baseline = run_mode(ProtectionMode::kPartialAes);
+  EXPECT_TRUE(baseline.round_trip);
+  EXPECT_GT(baseline.injected, 0u);
+  for (ProtectionMode mode : kAllModes) {
+    const Outcome out = run_mode(mode);
+    const char* name = protection_mode_name(mode).data();
+    EXPECT_TRUE(out.round_trip) << name;
+    EXPECT_EQ(out.retries, baseline.retries) << name;
+    EXPECT_EQ(out.replaced, baseline.replaced) << name;
+    EXPECT_EQ(out.injected, baseline.injected) << name;
+  }
 }
 
 }  // namespace

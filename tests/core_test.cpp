@@ -469,6 +469,95 @@ TEST(DistributorTest, UpdateChunkKeepsSnapshot) {
       equal(f.cdd->get_chunk_snapshot("Bob", "Ty7e", "doc", 0).value(), v2));
 }
 
+TEST(DistributorTest, EveryProtectionModeRoundTripsAllOps) {
+  // Put / get_file / get_chunk / update_chunk / snapshot under each
+  // protection transform, at every PL: the mode is sticky across updates
+  // and the snapshot keeps the pre-state's own transform parameters.
+  for (ProtectionMode mode :
+       {ProtectionMode::kPartialAes, ProtectionMode::kMisleadingBytes,
+        ProtectionMode::kFragmentation}) {
+    DistFixture f(raid::RaidLevel::kRaid5, 0.1);
+    for (int pl = 0; pl < kNumPrivacyLevels; ++pl) {
+      const std::string name = "p" + std::to_string(pl);
+      const Bytes v1 = payload_of(6000 + static_cast<std::size_t>(pl), 91);
+      PutOptions opts;
+      opts.privacy_level = privacy_level_from_int(pl);
+      opts.protection = mode;
+      ASSERT_TRUE(f.cdd->put_file("Bob", "Ty7e", name, v1, opts).ok());
+      Result<Bytes> back = f.cdd->get_file("Bob", "Ty7e", name);
+      ASSERT_TRUE(back.ok()) << back.status().to_string();
+      EXPECT_TRUE(equal(back.value(), v1))
+          << protection_mode_name(mode) << " pl=" << pl;
+    }
+    // Update + snapshot: pre-state (protected under the old nonce) must
+    // come back plaintext from the snapshot stripe.
+    const Bytes w1 = payload_of(900, 92);
+    const Bytes w2 = payload_of(800, 93);
+    PutOptions opts;
+    opts.privacy_level = PrivacyLevel::kHigh;
+    opts.protection = mode;
+    ASSERT_TRUE(f.cdd->put_file("Bob", "Ty7e", "doc", w1, opts).ok());
+    ASSERT_TRUE(f.cdd->update_chunk("Bob", "Ty7e", "doc", 0, w2).ok());
+    EXPECT_TRUE(equal(f.cdd->get_chunk("Bob", "Ty7e", "doc", 0).value(), w2));
+    EXPECT_TRUE(equal(
+        f.cdd->get_chunk_snapshot("Bob", "Ty7e", "doc", 0).value(), w1));
+  }
+}
+
+TEST(DistributorTest, FragmentationHidesPlaintextFromEveryProvider) {
+  // A recognizable ASCII motif must not appear in any stored object when
+  // the chunk is entangled -- each provider's shard is whitened + mixed.
+  DistFixture f;
+  Bytes data;
+  const std::string motif = "TOP-SECRET-BIDDING-RECORD-";
+  while (data.size() < 8000) append(data, to_bytes(motif));
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;
+  opts.protection = ProtectionMode::kFragmentation;
+  ASSERT_TRUE(f.cdd->put_file("Bob", "Ty7e", "secret", data, opts).ok());
+  const Bytes needle = to_bytes(motif);
+  for (ProviderIndex p = 0; p < f.registry.size(); ++p) {
+    for (VirtualId id : f.registry.at(p).list_ids()) {
+      const Bytes obj = f.registry.at(p).raw_store().get(id).value();
+      const auto it = std::search(obj.begin(), obj.end(), needle.begin(),
+                                  needle.end());
+      EXPECT_EQ(it, obj.end()) << "plaintext motif leaked to provider " << p;
+    }
+  }
+  // And the round trip still works.
+  EXPECT_TRUE(equal(f.cdd->get_file("Bob", "Ty7e", "secret").value(), data));
+}
+
+TEST(DistributorTest, ConfigProtectionByPlSelectsModePerLevel) {
+  // Per-PL defaults: PL0/PL1 keep misleading bytes, PL2/PL3 entangle. The
+  // recorded chunk entries carry the negotiated mode.
+  storage::ProviderRegistry registry = storage::make_default_registry(12);
+  DistributorConfig config;
+  config.stripe_data_shards = 3;
+  config.protection_by_pl = {
+      ProtectionMode::kMisleadingBytes, ProtectionMode::kMisleadingBytes,
+      ProtectionMode::kFragmentation, ProtectionMode::kFragmentation};
+  CloudDataDistributor cdd(registry, config);
+  ASSERT_TRUE(cdd.register_client("Bob").ok());
+  ASSERT_TRUE(cdd.add_password("Bob", "pw", PrivacyLevel::kHigh).ok());
+  for (int pl = 0; pl < kNumPrivacyLevels; ++pl) {
+    PutOptions opts;
+    opts.privacy_level = privacy_level_from_int(pl);
+    const std::string name = "f" + std::to_string(pl);
+    const Bytes data = payload_of(3000, static_cast<std::uint64_t>(pl) + 50);
+    ASSERT_TRUE(cdd.put_file("Bob", "pw", name, data, opts).ok());
+    const auto refs = cdd.metadata().file_chunks("Bob", name);
+    ASSERT_FALSE(refs.empty());
+    Result<core::ChunkEntry> entry =
+        cdd.metadata().chunk_entry(refs.front().chunk_index);
+    ASSERT_TRUE(entry.ok());
+    EXPECT_EQ(entry.value().protection, config.protection_by_pl[
+                                            static_cast<std::size_t>(pl)])
+        << "pl=" << pl;
+    EXPECT_TRUE(equal(cdd.get_file("Bob", "pw", name).value(), data));
+  }
+}
+
 TEST(DistributorTest, RemoveFileDeletesAllShards) {
   DistFixture f;
   PutOptions opts;

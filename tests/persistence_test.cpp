@@ -170,11 +170,17 @@ void populate_store(core::MetadataStore& meta) {
   entry.misleading = {12, 32, 57};
   entry.padded_size = 4096;
   entry.shard_digests.assign(4, crypto::sha256(to_bytes("shard")));
+  entry.protection = ProtectionMode::kFragmentation;
+  entry.protect_nonce = 0xF4A6E57A61EULL;
+  entry.protect_bytes = 4096;
   entry.has_snapshot = true;
   entry.snapshot = {{1, 900}, {0, 901}, {1, 902}, {0, 903}};
   entry.snapshot_padded_size = 4000;
   entry.snapshot_misleading = {7};
   entry.snapshot_digests.assign(4, crypto::sha256(to_bytes("snap")));
+  entry.snapshot_protection = ProtectionMode::kPartialAes;
+  entry.snapshot_protect_nonce = 0x5A45;
+  entry.snapshot_protect_bytes = 1000;
   (void)meta.add_chunk("Bob", "file1", 0, entry);
   core::ChunkEntry tomb;
   tomb.deleted = true;
@@ -219,6 +225,13 @@ TEST(MetadataIoTest, RoundTripPreservesEverything) {
   EXPECT_EQ(entry.value().snapshot_padded_size, 4000u);
   EXPECT_EQ(entry.value().shard_digests[0],
             crypto::sha256(to_bytes("shard")));
+  // Protection transform parameters (v2 wire fields) survive.
+  EXPECT_EQ(entry.value().protection, ProtectionMode::kFragmentation);
+  EXPECT_EQ(entry.value().protect_nonce, 0xF4A6E57A61EULL);
+  EXPECT_EQ(entry.value().protect_bytes, 4096u);
+  EXPECT_EQ(entry.value().snapshot_protection, ProtectionMode::kPartialAes);
+  EXPECT_EQ(entry.value().snapshot_protect_nonce, 0x5A45u);
+  EXPECT_EQ(entry.value().snapshot_protect_bytes, 1000u);
   // Tombstone preserved (indices stay stable).
   Result<core::ChunkEntry> tomb = copy.chunk_entry(1);
   ASSERT_TRUE(tomb.ok());
@@ -284,6 +297,119 @@ TEST(MetadataIoTest, FuzzSingleByteFlipNeverCrashes) {
   }
   // The magic alone guarantees some flips fail; some payload flips parse.
   EXPECT_LT(parsed, image.size());
+}
+
+// --- ProtectionMode wire-format compatibility (PR 8) ------------------------
+
+/// A chunk row exactly as PR <8 serialized it: no 0xF2 marker byte, no
+/// protection fields. Mirrors write_chunk_entry's v1 field order.
+Bytes v1_chunk_row() {
+  Bytes out;
+  wire::Writer w(out);
+  w.u8(2);  // privacy level (v1 rows lead with it; always <= 3)
+  w.u8(static_cast<std::uint8_t>(raid::RaidLevel::kRaid5));
+  w.u64(3);  // data shards
+  w.u64(1);  // parity shards
+  w.u32(2);  // stripe: 2 shard locations
+  w.u64(0);
+  w.u64(41367);
+  w.u64(1);
+  w.u64(10986);
+  w.u32(0);  // snapshot shards: none
+  w.u32(1);  // misleading positions
+  w.u32(12);
+  w.u64(4096);  // padded size
+  const crypto::Digest digest = crypto::sha256(to_bytes("shard"));
+  w.u32(1);  // one digest
+  w.bytes(BytesView(digest.data(), digest.size()));
+  w.u8(0);     // has_snapshot
+  w.u64(0);    // snapshot padded size
+  w.u32(0);    // snapshot misleading
+  w.u32(0);    // snapshot digests
+  w.u8(0);     // deleted
+  return out;
+}
+
+TEST(MetadataIoTest, V1ChunkRowDecodesWithPartialAesNoOpDefaults) {
+  // Pre-ProtectionMode blobs must keep reading: the v1 row (no marker, no
+  // protection fields) decodes with mode = kPartialAes over 0 bytes -- the
+  // exact no-op the data was written under.
+  const Bytes row = v1_chunk_row();
+  wire::Reader r(row);
+  core::ChunkEntry entry;
+  ASSERT_TRUE(core::read_chunk_entry(r, entry));
+  EXPECT_EQ(entry.privacy_level, PrivacyLevel::kModerate);
+  EXPECT_EQ(entry.stripe.size(), 2u);
+  EXPECT_EQ(entry.padded_size, 4096u);
+  EXPECT_EQ(entry.protection, ProtectionMode::kPartialAes);
+  EXPECT_EQ(entry.protect_nonce, 0u);
+  EXPECT_EQ(entry.protect_bytes, 0u);
+  EXPECT_EQ(entry.snapshot_protection, ProtectionMode::kPartialAes);
+  EXPECT_EQ(entry.snapshot_protect_bytes, 0u);
+}
+
+TEST(MetadataIoTest, V1ChunkRowFuzzEveryPrefixAndByteFlip) {
+  // The PR 4 fuzz contract extended to the versioned row: every proper
+  // prefix of a v1 row errors out cleanly, and no single-byte flip crashes
+  // the reader (flips may parse -- payload bytes are opaque -- but a row
+  // that parses must carry a legal protection mode).
+  const Bytes row = v1_chunk_row();
+  for (std::size_t len = 0; len < row.size(); ++len) {
+    wire::Reader r(BytesView(row.data(), len));
+    core::ChunkEntry entry;
+    EXPECT_FALSE(core::read_chunk_entry(r, entry)) << "prefix len=" << len;
+  }
+  for (std::size_t off = 0; off < row.size(); ++off) {
+    Bytes mutated = row;
+    mutated[off] ^= 0x5A;
+    wire::Reader r(mutated);
+    core::ChunkEntry entry;
+    if (core::read_chunk_entry(r, entry)) {
+      EXPECT_LT(static_cast<int>(entry.protection), kNumProtectionModes);
+    }
+  }
+}
+
+TEST(MetadataIoTest, V2ChunkRowRejectsBadModeAndOversizedPrefix) {
+  core::ChunkEntry entry;
+  entry.privacy_level = PrivacyLevel::kLow;
+  entry.layout = raid::StripeLayout::make(raid::RaidLevel::kRaid5, 3);
+  entry.stripe = {{0, 1}, {1, 2}, {0, 3}, {1, 4}};
+  entry.padded_size = 2048;
+  entry.protection = ProtectionMode::kFragmentation;
+  entry.protect_nonce = 99;
+  entry.protect_bytes = 2048;
+  Bytes row;
+  wire::Writer w(row);
+  core::write_chunk_entry(w, entry);
+
+  // Trailing v2 fields: mode u8 | nonce u64 | bytes u64 | snap mode u8 |
+  // snap nonce u64 | snap bytes u64 -- the mode byte sits 34 from the end.
+  const std::size_t mode_off = row.size() - 34;
+  ASSERT_EQ(row[mode_off],
+            static_cast<std::uint8_t>(ProtectionMode::kFragmentation));
+  for (std::uint8_t bad : {std::uint8_t{3}, std::uint8_t{7},
+                           std::uint8_t{0xFF}}) {
+    Bytes mutated = row;
+    mutated[mode_off] = bad;
+    wire::Reader r(mutated);
+    core::ChunkEntry decoded;
+    EXPECT_FALSE(core::read_chunk_entry(r, decoded)) << int(bad);
+  }
+  // protect_bytes > padded_size is a flipped bit, not a legal row: the
+  // prefix would walk the unprotect path off the payload.
+  Bytes oversized = row;
+  oversized[row.size() - 25] = 0xFF;  // low bytes of protect_bytes
+  oversized[row.size() - 24] = 0xFF;
+  wire::Reader r(oversized);
+  core::ChunkEntry decoded;
+  EXPECT_FALSE(core::read_chunk_entry(r, decoded));
+  // And the untouched row round-trips its protection parameters.
+  wire::Reader ok(row);
+  ASSERT_TRUE(core::read_chunk_entry(ok, decoded));
+  EXPECT_EQ(decoded.protection, ProtectionMode::kFragmentation);
+  EXPECT_EQ(decoded.protect_nonce, 99u);
+  EXPECT_EQ(decoded.protect_bytes, 2048u);
 }
 
 TEST(MetadataIoTest, EmptyStoreRoundTrips) {
