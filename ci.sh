@@ -22,6 +22,9 @@
 #              + fragmentation_test (the differential/property battery for
 #              the fast-fragmentation entangle/detangle kernels, including
 #              the arm-switching bit-identity sweep)
+#              + migration_test (the provider-lifecycle registry hammer --
+#              concurrent drain/activate churn against eligibility readers
+#              -- plus the background Migrator running alongside live reads)
 #   4. crash-e2e: scripted end-to-end crash drill against cshield_cli on a
 #              disk-backed root: put files, kill the process mid-stripe via
 #              CSHIELD_CRASH_AFTER_APPENDS (it _exit(42)s inside a journal
@@ -36,6 +39,13 @@
 #              --protection fragmentation`, proving the key-less entangled
 #              protection mode survives a full process restart (metadata v2
 #              persistence of the mode + nonce) and reads back byte-identical.
+#              A fourth drill (run against the ASan-built cli) covers the
+#              dynamic-topology migration: join a 9th provider, kill the
+#              process mid-drain via the same crash hook, verify the restart
+#              reports the provider still draining with the migration
+#              pending, `recover` resumes and finishes it, a second
+#              `recover` is a no-op, and the file reads back byte-identical
+#              before the drained provider is decommissioned.
 #   5. ops-plane e2e: cshield_cli with --export-file on a real workload;
 #              the JSONL sample stream must be non-empty and the final
 #              Prometheus exposition must pass promtool-style line
@@ -75,7 +85,13 @@
 #              sustains >= 2x partial-AES put AND get throughput under every
 #              measured kernel arm (scalar always; the active SIMD arm too
 #              when different) while giving a colluding k-of-n adversary no
-#              more plaintext coverage than partial-AES does.
+#              more plaintext coverage than partial-AES does. Then
+#              bench_migration writes BENCH_migration.json and exits
+#              non-zero unless a single provider join AND a single drain
+#              each relocate <= 35% of live shard slots (vs ~100% for a
+#              naive rehash) with every file byte-identical after, and a
+#              throttled background drain under 5% transient faults serves
+#              every concurrent read with zero failures.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -96,16 +112,17 @@ cmake -B build-asan -S . -DCSHIELD_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${jobs}"
 (cd build-asan && ctest --output-on-failure -j "${jobs}")
 
-echo "== [3/7] thread sanitizer: concurrency_test + obs_test + chaos_test + recovery_test + health_test + fragmentation_test =="
+echo "== [3/7] thread sanitizer: concurrency_test + obs_test + chaos_test + recovery_test + health_test + fragmentation_test + migration_test =="
 cmake -B build-tsan -S . -DCSHIELD_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${jobs}" --target concurrency_test obs_test \
-  chaos_test recovery_test health_test fragmentation_test
+  chaos_test recovery_test health_test fragmentation_test migration_test
 ./build-tsan/tests/concurrency_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/chaos_test
 ./build-tsan/tests/recovery_test
 ./build-tsan/tests/health_test
 ./build-tsan/tests/fragmentation_test
+./build-tsan/tests/migration_test
 
 echo "== [4/7] crash e2e: put, kill mid-stripe, recover, verify =="
 cli=./build/examples/cshield_cli
@@ -217,6 +234,85 @@ head -c 50000 /dev/urandom > "${frag}/f1.bin"
 cmp "${frag}/f1.bin" "${frag}/f1.out"
 echo "crash e2e[fragmentation round-trip]: PASS"
 
+# Migration crash drill, run under ASan: join a provider, kill the process
+# mid-drain (the crash hook fires inside the 3rd journal append -- after
+# kBeginMigrate and a couple of shard moves, before the drain completes),
+# then prove the restart sees the pending drain, `recover` resumes and
+# finishes it, recovery is idempotent, and no byte of the file was lost.
+asan_cli=./build-asan/examples/cshield_cli
+mig="${e2e}/migration"
+mig_root="${mig}/root"
+mkdir -p "${mig}"
+"${asan_cli}" "${mig_root}" init 8
+"${asan_cli}" "${mig_root}" adduser alice secret 2
+head -c 100000 /dev/urandom > "${mig}/f1.bin"
+"${asan_cli}" "${mig_root}" put alice secret f1 "${mig}/f1.bin" 2
+
+join_out="$("${asan_cli}" "${mig_root}" add-provider Zephyr 3 2)"
+echo "${join_out}"
+if ! grep -q "join Zephyr OK" <<< "${join_out}"; then
+  echo "migration e2e: join of Zephyr did not complete" >&2
+  exit 1
+fi
+"${asan_cli}" "${mig_root}" get alice secret f1 "${mig}/f1.join.out"
+cmp "${mig}/f1.bin" "${mig}/f1.join.out"
+
+set +e
+CSHIELD_CRASH_AFTER_APPENDS=3 \
+  "${asan_cli}" "${mig_root}" drain Zephyr
+mig_rc=$?
+set -e
+if [[ "${mig_rc}" -ne 42 ]]; then
+  echo "migration e2e: expected injected crash exit 42, got ${mig_rc}" >&2
+  exit 1
+fi
+
+# The restarted world must report the interrupted drain, not hide it.
+providers_out="$("${asan_cli}" "${mig_root}" providers)"
+echo "${providers_out}"
+if ! grep -q "draining" <<< "${providers_out}"; then
+  echo "migration e2e: Zephyr is not reported as draining after the crash" >&2
+  exit 1
+fi
+if ! grep -q "drain pending" <<< "${providers_out}"; then
+  echo "migration e2e: pending drain not surfaced after the crash" >&2
+  exit 1
+fi
+
+# recover sweeps the orphan the mid-move crash left, then resumes the drain.
+mig_recover="$("${asan_cli}" "${mig_root}" recover)"
+echo "${mig_recover}"
+if ! grep -q "resuming drain of Zephyr" <<< "${mig_recover}"; then
+  echo "migration e2e: recover did not resume the pending drain" >&2
+  exit 1
+fi
+if ! grep -q "drain Zephyr OK" <<< "${mig_recover}"; then
+  echo "migration e2e: resumed drain did not complete" >&2
+  exit 1
+fi
+
+# Idempotent: a second recover has nothing to collect and nothing to resume.
+mig_again="$("${asan_cli}" "${mig_root}" recover)"
+echo "${mig_again}"
+if ! grep -q "recover OK: 0 orphan shards removed" <<< "${mig_again}"; then
+  echo "migration e2e: second recover was not a no-op" >&2
+  exit 1
+fi
+if grep -q "resuming" <<< "${mig_again}"; then
+  echo "migration e2e: second recover re-ran a completed migration" >&2
+  exit 1
+fi
+
+"${asan_cli}" "${mig_root}" get alice secret f1 "${mig}/f1.drain.out"
+cmp "${mig}/f1.bin" "${mig}/f1.drain.out"
+decomm_out="$("${asan_cli}" "${mig_root}" decommission Zephyr)"
+echo "${decomm_out}"
+if ! grep -q "decommission Zephyr OK" <<< "${decomm_out}"; then
+  echo "migration e2e: decommission of the drained provider failed" >&2
+  exit 1
+fi
+echo "crash e2e[migration drain]: PASS"
+
 echo "== [5/7] ops plane e2e: --export-file stream + exposition validation + health =="
 ops="${e2e}/ops"
 ops_root="${ops}/root"
@@ -273,7 +369,7 @@ if ! grep -q "^overall: healthy" <<< "${health_out}"; then
   exit 1
 fi
 for slo in availability latency.put latency.get journal.flush \
-    scrub.integrity breakers batcher.queue; do
+    scrub.integrity breakers batcher.queue migration; do
   if ! grep -q "  ${slo}: " <<< "${health_out}"; then
     echo "ops e2e: health report is missing SLO ${slo}" >&2
     exit 1
@@ -299,5 +395,6 @@ echo "== [7/7] perf gates: bench_throughput + bench_kernels + frontier =="
 ./build/bench/bench_throughput BENCH_throughput.json
 ./build/bench/bench_kernels BENCH_kernels.json
 ./build/bench/bench_encryption_vs_fragmentation BENCH_frontier.json
+./build/bench/bench_migration BENCH_migration.json
 
 echo "== ci.sh: all stages passed =="

@@ -25,6 +25,15 @@
 //   cshield_cli <root> stats
 //   cshield_cli <root> export          # Prometheus text exposition to stdout
 //   cshield_cli <root> health          # rolling SLO/health report
+//   cshield_cli <root> providers       # fleet table: lifecycle, breaker, bytes
+//   cshield_cli <root> add-provider <name> <pl 0-3> <cl 0-3>   # join + migrate
+//   cshield_cli <root> drain <name>         # empty a provider, keep it serving
+//   cshield_cli <root> decommission <name>  # drain (if needed) and retire
+//
+// Topology commands run the journaled two-phase migration (see
+// core/migrator.hpp); `--stripes-per-sec <r>` throttles the walk and
+// `--max-in-flight <n>` caps concurrent chunk moves. A crash mid-migration
+// leaves a kBeginMigrate intent that `recover` resumes to completion.
 //
 // Flags (any command): `--stats` prints this invocation's telemetry;
 // `--journal <path>` overrides the journal location;
@@ -55,6 +64,7 @@
 #include "core/distributor.hpp"
 #include "core/journal.hpp"
 #include "core/metadata_io.hpp"
+#include "core/migrator.hpp"
 #include "core/scrubber.hpp"
 #include "obs/exporter.hpp"
 #include "obs/health.hpp"
@@ -82,20 +92,57 @@ struct CliWorld {
   std::shared_ptr<core::Journal> journal;
   /// Puts the last crash caught between kBeginPut and kCommitPut.
   std::vector<std::pair<std::string, std::string>> in_flight;
+  /// Migrations the last crash caught between kBeginMigrate and
+  /// kCommitMigrate; `recover` resumes them.
+  std::vector<core::MigrationIntent> pending_migrations;
   std::shared_ptr<obs::StallWatchdog> watchdog;
   std::unique_ptr<core::CloudDataDistributor> cdd;
 
   CliWorld(fs::path r, const fs::path& journal_path, std::size_t providers = 0,
            std::size_t batch_ops = 1, std::size_t batch_ms = 0)
       : root(std::move(r)) {
-    // Provider count: from init argument, or from the directory layout.
+    // Crash recovery first: checkpoint image + journal replay. This is the
+    // only metadata load path -- a clean shutdown is just a crash with an
+    // empty tail. It runs before the registry is built because the
+    // recovered provider table is the authority on fleet membership:
+    // runtime-added providers and their lifecycle states live there, not in
+    // the default registry layout.
+    const fs::path meta_path = root / "metadata.bin";
+    Result<core::RecoveredState> recovered =
+        core::recover_metadata(meta_path, journal_path);
+    CS_REQUIRE(recovered.ok(), "metadata recovery failed: " +
+                                   recovered.status().to_string());
+    metadata = recovered.value().metadata;
+    in_flight = recovered.value().in_flight;
+    pending_migrations = recovered.value().pending_migrations;
+
+    // Provider count: from init argument, the recovered table, or the
+    // directory layout (whichever knows more -- a crash can die between
+    // journaling a join and creating its directory).
+    const auto table = metadata->provider_table();
     std::size_t n = providers;
     if (n == 0) {
       while (fs::exists(root / ("provider" + std::to_string(n)))) ++n;
+      n = std::max(n, table.size());
       CS_REQUIRE(n > 0, "no providers under " + root.string() +
                             " -- run 'init' first");
     }
-    registry = storage::make_default_registry(n);
+    if (table.empty()) {
+      registry = storage::make_default_registry(n);
+    } else {
+      // Rebuild the fleet the deployment actually has: names, trust/cost
+      // levels and lifecycles from the recovered table.
+      for (std::size_t i = 0; i < table.size(); ++i) {
+        storage::ProviderDescriptor d;
+        d.name = table[i].name;
+        d.privacy_level = table[i].privacy_level;
+        d.cost_level = table[i].cost_level;
+        d.price_per_gb_month = 0.01 + 0.015 * level_index(table[i].cost_level);
+        registry.add(std::move(d), storage::LatencyModel{},
+                     0xFEED0000ULL + i, table[i].lifecycle);
+      }
+      n = table.size();
+    }
     for (std::size_t p = 0; p < n; ++p) {
       disks.push_back(std::make_unique<storage::DiskStore>(
           root / ("provider" + std::to_string(p))));
@@ -106,16 +153,6 @@ struct CliWorld {
       }
       registry.at(p).set_mirror(disks[p].get());
     }
-    // Crash recovery: checkpoint image + journal replay. This is the only
-    // metadata load path -- a clean shutdown is just a crash with an empty
-    // tail.
-    const fs::path meta_path = root / "metadata.bin";
-    Result<core::RecoveredState> recovered =
-        core::recover_metadata(meta_path, journal_path);
-    CS_REQUIRE(recovered.ok(), "metadata recovery failed: " +
-                                   recovered.status().to_string());
-    metadata = recovered.value().metadata;
-    in_flight = recovered.value().in_flight;
     // Re-open the journal for appends (truncates any torn tail away).
     Result<std::unique_ptr<core::Journal>> j =
         core::Journal::open(journal_path);
@@ -156,6 +193,17 @@ struct CliWorld {
     metadata = cdd->metadata_ptr();
   }
 
+  /// Creates the on-disk store for a just-added provider and wires its
+  /// write-through mirror (the startup loop only covers providers that
+  /// existed at construction).
+  void attach_disk(ProviderIndex p) {
+    while (disks.size() <= p) {
+      disks.push_back(std::make_unique<storage::DiskStore>(
+          root / ("provider" + std::to_string(disks.size()))));
+    }
+    registry.at(p).set_mirror(disks[p].get());
+  }
+
   /// CSHIELD_CRASH_AFTER_APPENDS=<k>: allow k journal appends in this
   /// process, then die inside the next one before its record hits disk.
   void install_crash_hook() {
@@ -192,8 +240,11 @@ int usage() {
                "init [n] | adduser <c> <pw> <pl> | put <c> <pw> <name> "
                "<file> <pl> | get <c> <pw> <name> <file> | rm <c> <pw> "
                "<name> | ls | ls-files <c> <pw> | repair | checkpoint | "
-               "recover | scrub | stats | export | health "
+               "recover | scrub | stats | export | health | providers | "
+               "add-provider <name> <pl> <cl> | drain <name> | "
+               "decommission <name> "
                "[--stats] [--journal <path>] "
+               "[--stripes-per-sec <r>] [--max-in-flight <n>] "
                "[--protection <partial-aes|misleading|fragmentation>] "
                "[--batch-ops <n> "
                "[--batch-ms <t>]] [--faults <p> "
@@ -290,6 +341,16 @@ int main(int argc, char** argv) {
       strip_value_flag(argc, argv, "--protection");
   const std::string batch_ops_flag = strip_value_flag(argc, argv, "--batch-ops");
   const std::string batch_ms_flag = strip_value_flag(argc, argv, "--batch-ms");
+  // Migration pacing for the topology commands (and `recover`'s resume).
+  const std::string sps_flag =
+      strip_value_flag(argc, argv, "--stripes-per-sec");
+  const std::string inflight_flag =
+      strip_value_flag(argc, argv, "--max-in-flight");
+  core::Migrator::Config mig_config;
+  if (!sps_flag.empty()) mig_config.stripes_per_sec = std::stod(sps_flag);
+  if (!inflight_flag.empty()) {
+    mig_config.max_in_flight = std::stoul(inflight_flag);
+  }
   const std::size_t batch_ops =
       batch_ops_flag.empty() ? 1 : std::stoul(batch_ops_flag);
   const std::size_t batch_ms =
@@ -445,6 +506,89 @@ int main(int argc, char** argv) {
       t.print(std::cout);
       return done(0);
     }
+    // One synchronous migration via the throttled engine; shared by the
+    // topology commands and recover's crash-resume.
+    auto run_migration = [&](core::MigrationKind kind,
+                             ProviderIndex p) -> Status {
+      core::Migrator migrator(*world.cdd, mig_config);
+      Result<core::Migrator::Report> rep = migrator.run(kind, p);
+      if (!rep.ok()) return rep.status();
+      const core::Migrator::Report& r = rep.value();
+      std::cout << core::migration_kind_name(kind) << " "
+                << world.registry.at(p).descriptor().name
+                << (r.committed ? " OK: " : " paused: ") << r.shards_moved
+                << " shards (" << r.bytes_moved << " B) moved across "
+                << r.chunks_visited << " chunks\n";
+      return Status::Ok();
+    };
+    if (cmd == "providers") {
+      TextTable t({"Cloud Provider", "PL", "CL", "Lifecycle", "Breaker",
+                   "Shards", "Bytes", "Migration"});
+      const auto table = world.metadata->provider_table();
+      for (std::size_t p = 0; p < table.size(); ++p) {
+        const char* breaker = "closed";
+        switch (world.registry.breaker(p).state()) {
+          case storage::CircuitBreaker::State::kOpen: breaker = "open"; break;
+          case storage::CircuitBreaker::State::kHalfOpen:
+            breaker = "half-open";
+            break;
+          case storage::CircuitBreaker::State::kClosed: break;
+        }
+        std::string migration = "-";
+        for (const core::MigrationIntent& m : world.pending_migrations) {
+          if (m.provider == p) {
+            migration =
+                std::string(core::migration_kind_name(m.kind)) + " pending";
+          }
+        }
+        t.add(table[p].name, level_index(table[p].privacy_level),
+              level_index(table[p].cost_level),
+              std::string(provider_lifecycle_name(table[p].lifecycle)),
+              breaker, table[p].count(),
+              world.registry.at(p).bytes_stored(), migration);
+      }
+      t.print(std::cout);
+      return done(0);
+    }
+    if (cmd == "add-provider" && argc == 6) {
+      storage::ProviderDescriptor d;
+      d.name = argv[3];
+      d.privacy_level = privacy_level_from_int(std::stoi(argv[4]));
+      const int cl = std::stoi(argv[5]);
+      CS_REQUIRE(cl >= 0 && cl < kNumCostLevels, "cost level outside 0..3");
+      d.cost_level = static_cast<CostLevel>(cl);
+      d.price_per_gb_month = 0.01 + 0.015 * cl;
+      Result<ProviderIndex> added = world.cdd->add_provider(std::move(d));
+      if (!added.ok()) {
+        std::cout << added.status().to_string() << "\n";
+        return done(1);
+      }
+      world.attach_disk(added.value());
+      std::cout << "added " << argv[3] << " as provider" << added.value()
+                << " (joining)\n";
+      Status st = run_migration(core::MigrationKind::kJoin, added.value());
+      if (!st.ok()) {
+        std::cout << st.to_string() << " -- run 'recover' to resume\n";
+        return done(1);
+      }
+      return done(0);
+    }
+    if ((cmd == "drain" || cmd == "decommission") && argc == 4) {
+      const ProviderIndex p = world.registry.find(argv[3]);
+      if (p == kNoProvider) {
+        std::cout << "NOT_FOUND: no provider named " << argv[3] << "\n";
+        return done(1);
+      }
+      Status st = run_migration(cmd == "drain"
+                                    ? core::MigrationKind::kDrain
+                                    : core::MigrationKind::kDecommission,
+                                p);
+      if (!st.ok()) {
+        std::cout << st.to_string() << " -- run 'recover' to resume\n";
+        return done(1);
+      }
+      return done(0);
+    }
     if (cmd == "repair") {
       Result<std::size_t> repaired = world.cdd->repair();
       if (!repaired.ok()) {
@@ -479,6 +623,18 @@ int main(int argc, char** argv) {
                 << " stale ids dropped, " << rep.value().aborted_files
                 << " in-flight puts aborted, " << rep.value().repaired_shards
                 << " shards repaired\n";
+      // Resume any migration the crash interrupted: begin is re-issued
+      // idempotently, already-moved shards are skipped, and commit finally
+      // lands.
+      for (const core::MigrationIntent& m : world.pending_migrations) {
+        std::cout << "resuming " << core::migration_kind_name(m.kind)
+                  << " of " << m.provider_name << "\n";
+        Status st = run_migration(m.kind, m.provider);
+        if (!st.ok()) {
+          std::cout << st.to_string() << " -- run 'recover' again to resume\n";
+          return done(1);
+        }
+      }
       return done(0);
     }
     if (cmd == "scrub") {

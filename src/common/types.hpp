@@ -95,6 +95,40 @@ inline constexpr int kNumCostLevels = 4;
   return static_cast<int>(cl);
 }
 
+/// Runtime membership state of a provider in the fleet (the dynamic
+/// topology of §IV-C: providers join, drain and leave without a restart).
+/// Values are on-disk (metadata image v3 provider rows and kBeginMigrate /
+/// kCommitMigrate journal records); append-only, never renumber.
+enum class ProviderLifecycle : std::uint8_t {
+  /// Registered but not yet placed: a joiner receives migrated shards while
+  /// invisible to placement; activated once it holds its ring share.
+  kJoining = 0,
+  kActive = 1,  ///< full member: placement targets it, reads hit it
+  /// Excluded from new placement but still readable while the migrator
+  /// moves its shards off; the state a crash mid-drain persists.
+  kDraining = 2,
+  kDecommissioned = 3,  ///< fully out: holds no data, never addressed
+};
+
+inline constexpr int kNumProviderLifecycles = 4;
+
+[[nodiscard]] constexpr std::string_view provider_lifecycle_name(
+    ProviderLifecycle s) {
+  switch (s) {
+    case ProviderLifecycle::kJoining: return "joining";
+    case ProviderLifecycle::kActive: return "active";
+    case ProviderLifecycle::kDraining: return "draining";
+    case ProviderLifecycle::kDecommissioned: return "decommissioned";
+  }
+  return "invalid";
+}
+
+[[nodiscard]] inline ProviderLifecycle provider_lifecycle_from_int(int v) {
+  CS_REQUIRE(v >= 0 && v < kNumProviderLifecycles,
+             "provider lifecycle outside 0..3");
+  return static_cast<ProviderLifecycle>(v);
+}
+
 /// Opaque 64-bit chunk identity; the only key providers ever see.
 using VirtualId = std::uint64_t;
 

@@ -233,7 +233,8 @@ CloudDataDistributor::CloudDataDistributor(
   const std::size_t known = metadata_->provider_table().size();
   for (ProviderIndex i = known; i < registry_.size(); ++i) {
     const auto& d = registry_.at(i).descriptor();
-    metadata_->register_provider(d.name, d.privacy_level, d.cost_level);
+    const ProviderLifecycle lc = registry_.lifecycle(i);
+    metadata_->register_provider(d.name, d.privacy_level, d.cost_level, lc);
     if (config_.journal != nullptr) {
       JournalRecord rec;
       rec.op = JournalOp::kRegisterProvider;
@@ -241,9 +242,18 @@ CloudDataDistributor::CloudDataDistributor(
       rec.client = d.name;
       rec.level = static_cast<std::uint8_t>(d.privacy_level);
       rec.cost = static_cast<std::uint8_t>(d.cost_level);
+      rec.lifecycle = static_cast<std::uint8_t>(lc);
       const Status journaled = journal_append(rec);
       CS_REQUIRE(journaled.ok(),
                  "journal unusable at startup: " + journaled.to_string());
+    }
+  }
+  // Seed the topology ring with the placement-participating members. A
+  // provider mid-join or mid-drain at construction time (crash-resume)
+  // rejoins/stays off the ring when begin_migration re-runs.
+  for (ProviderIndex i = 0; i < registry_.size(); ++i) {
+    if (registry_.lifecycle(i) == ProviderLifecycle::kActive) {
+      ring_insert(i, registry_.at(i).descriptor().name);
     }
   }
 }
@@ -444,21 +454,31 @@ CloudDataDistributor::write_stripe(BytesView payload,
     // within this call each provider sees one shard -- the batching win is
     // across concurrent operations. Digests are computed here on the
     // caller thread (small-op path: the shards are small by construction).
+    // Providers joined after the batcher was built have no lane; their
+    // shards take the direct per-shard path instead.
     // `encoded` outlives the futures: we block on them below.
-    std::vector<std::future<ShardBatcher::PutResult>> futures;
-    futures.reserve(encoded.shard_count);
+    std::vector<std::pair<std::size_t, std::future<ShardBatcher::PutResult>>>
+        batched;
+    std::vector<std::pair<std::size_t, std::future<ShardOutcome>>> direct;
+    batched.reserve(encoded.shard_count);
     for (std::size_t s = 0; s < encoded.shard_count; ++s) {
+      if (targets[s] >= batcher_->lanes()) {
+        direct.emplace_back(s, io_pool_.submit(upload, s, targets[s],
+                                               result.locations[s].virtual_id));
+        continue;
+      }
       outcomes[s].digest = crypto::sha256(encoded.shard(s));
-      futures.push_back(batcher_->put(targets[s],
-                                      result.locations[s].virtual_id,
-                                      encoded.shard(s)));
+      batched.emplace_back(s, batcher_->put(targets[s],
+                                            result.locations[s].virtual_id,
+                                            encoded.shard(s)));
     }
-    for (std::size_t s = 0; s < futures.size(); ++s) {
-      ShardBatcher::PutResult r = futures[s].get();
+    for (auto& [s, fut] : batched) {
+      ShardBatcher::PutResult r = fut.get();
       outcomes[s].status = std::move(r.status);
       outcomes[s].time = r.time;
       outcomes[s].retries = r.retries;
     }
+    for (auto& [s, fut] : direct) outcomes[s] = fut.get();
   } else {
     std::vector<std::future<ShardOutcome>> futures;
     futures.reserve(encoded.shard_count);
@@ -1700,6 +1720,296 @@ Result<std::size_t> CloudDataDistributor::rebalance() {
   }
   (void)op.finish(Status::Ok(), nullptr, config_.worker_threads);
   return migrated;
+}
+
+// --- dynamic provider topology ------------------------------------------
+
+void CloudDataDistributor::ring_insert(ProviderIndex p,
+                                       std::string_view name) {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  if (ring_members_.insert(p).second) {
+    ring_.add_provider(p, name);
+  }
+}
+
+void CloudDataDistributor::ring_erase(ProviderIndex p) {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  if (ring_members_.erase(p) != 0) {
+    ring_.remove_provider(p);
+  }
+}
+
+ProviderIndex CloudDataDistributor::ring_owner(VirtualId key) const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  if (ring_.empty()) return kNoProvider;
+  return ring_.lookup(key);
+}
+
+ProviderIndex CloudDataDistributor::drain_home(
+    PrivacyLevel pl, const std::vector<ShardLocation>& stripe, VirtualId key,
+    ProviderIndex subject) const {
+  std::vector<ProviderIndex> preference;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    if (!ring_.empty()) {
+      preference = ring_.lookup_many(key, registry_.size());
+    }
+  }
+  for (ProviderIndex cand : preference) {
+    if (cand == subject) continue;  // removed from the ring, but be safe
+    if (registry_.lifecycle(cand) != ProviderLifecycle::kActive) continue;
+    if (!privileged_for(registry_.at(cand).descriptor().privacy_level, pl)) {
+      continue;
+    }
+    if (!registry_.at(cand).online()) continue;
+    if (registry_.quarantined(cand)) continue;
+    bool in_stripe = false;
+    for (const ShardLocation& loc : stripe) {
+      if (loc.provider == cand) in_stripe = true;
+    }
+    if (!in_stripe) return cand;
+  }
+  // Ring exhausted (small fleets, quarantine storms): any healthy
+  // trust-eligible provider outside the stripe.
+  return replacement_target(pl, stripe);
+}
+
+Result<ProviderIndex> CloudDataDistributor::add_provider(
+    storage::ProviderDescriptor descriptor,
+    const storage::LatencyModel& latency, std::uint64_t seed) {
+  if (descriptor.name.empty()) {
+    return Status::InvalidArgument("add_provider: empty provider name");
+  }
+  if (registry_.find(descriptor.name) != kNoProvider) {
+    return Status::AlreadyExists("add_provider: " + descriptor.name);
+  }
+  const std::string name = descriptor.name;
+  const PrivacyLevel pl = descriptor.privacy_level;
+  const CostLevel cl = descriptor.cost_level;
+  if (seed == 0) seed = 0xC10D0000ULL + registry_.size();
+  const ProviderIndex p = registry_.add(std::move(descriptor), latency, seed,
+                                        ProviderLifecycle::kJoining);
+  metadata_->register_provider(name, pl, cl, ProviderLifecycle::kJoining);
+  JournalRecord rec;
+  rec.op = JournalOp::kRegisterProvider;
+  rec.provider_index = p;
+  rec.client = name;
+  rec.level = static_cast<std::uint8_t>(pl);
+  rec.cost = static_cast<std::uint8_t>(cl);
+  rec.lifecycle = static_cast<std::uint8_t>(ProviderLifecycle::kJoining);
+  CS_RETURN_IF_ERROR(journal_append(rec));
+  return p;
+}
+
+Status CloudDataDistributor::begin_migration(MigrationKind kind,
+                                             ProviderIndex subject) {
+  if (subject >= registry_.size()) {
+    return Status::InvalidArgument("begin_migration: no such provider");
+  }
+  const std::string name = registry_.at(subject).descriptor().name;
+  switch (kind) {
+    case MigrationKind::kJoin: {
+      if (registry_.lifecycle(subject) != ProviderLifecycle::kJoining) {
+        return Status::FailedPrecondition(
+            "begin_migration: " + name + " is " +
+            std::string(
+                provider_lifecycle_name(registry_.lifecycle(subject))) +
+            ", not joining");
+      }
+      // The joiner enters the ring *before* any shard moves: the migration
+      // itself computes the stolen arcs from this post-join ring, and
+      // placement still ignores the provider until commit activates it.
+      ring_insert(subject, name);
+      break;
+    }
+    case MigrationKind::kDrain:
+    case MigrationKind::kDecommission: {
+      // Draining a provider must leave at least one active member or
+      // placement (and the migration itself) has nowhere to go.
+      bool any_other_active = false;
+      for (ProviderIndex i = 0; i < registry_.size(); ++i) {
+        if (i != subject &&
+            registry_.lifecycle(i) == ProviderLifecycle::kActive) {
+          any_other_active = true;
+          break;
+        }
+      }
+      if (!any_other_active) {
+        return Status::FailedPrecondition(
+            "begin_migration: draining " + name +
+            " would leave no active provider");
+      }
+      CS_RETURN_IF_ERROR(registry_.drain(subject));
+      metadata_->set_provider_lifecycle(subject, ProviderLifecycle::kDraining);
+      ring_erase(subject);
+      break;
+    }
+  }
+  JournalRecord rec;
+  rec.op = JournalOp::kBeginMigrate;
+  rec.provider_index = subject;
+  rec.client = name;
+  rec.level = static_cast<std::uint8_t>(kind);
+  return journal_append(rec);
+}
+
+Status CloudDataDistributor::commit_migration(MigrationKind kind,
+                                              ProviderIndex subject) {
+  if (subject >= registry_.size()) {
+    return Status::InvalidArgument("commit_migration: no such provider");
+  }
+  switch (kind) {
+    case MigrationKind::kJoin:
+      CS_RETURN_IF_ERROR(registry_.activate(subject));
+      metadata_->set_provider_lifecycle(subject, ProviderLifecycle::kActive);
+      break;
+    case MigrationKind::kDrain:
+      // The provider stays kDraining -- emptied, still serving reads --
+      // until an explicit decommission retires it.
+      break;
+    case MigrationKind::kDecommission:
+      CS_RETURN_IF_ERROR(registry_.decommission(subject));
+      metadata_->set_provider_lifecycle(subject,
+                                        ProviderLifecycle::kDecommissioned);
+      break;
+  }
+  JournalRecord rec;
+  rec.op = JournalOp::kCommitMigrate;
+  rec.provider_index = subject;
+  rec.client = registry_.at(subject).descriptor().name;
+  rec.level = static_cast<std::uint8_t>(kind);
+  return journal_append(rec);
+}
+
+Result<CloudDataDistributor::ChunkMigrateStats>
+CloudDataDistributor::migrate_chunk(std::size_t index, MigrationKind kind,
+                                    ProviderIndex subject) {
+  CS_REQUIRE(subject < registry_.size(),
+             "migrate_chunk: provider index out of range");
+  ChunkMigrateStats stats;
+  Result<ChunkEntry> entry_r = metadata_->chunk_entry(index);
+  if (!entry_r.ok()) return stats;  // deleted hole: nothing to move
+  ChunkEntry entry = std::move(entry_r).value();
+  if (entry.deleted) return stats;
+  const bool join = kind == MigrationKind::kJoin;
+  if (join &&
+      !privileged_for(registry_.at(subject).descriptor().privacy_level,
+                      entry.privacy_level)) {
+    return stats;  // joiner not trusted at this sensitivity: steals nothing
+  }
+
+  // Old copies to delete at their source -- deferred until the new
+  // locations have committed (metadata + journal), so a crash mid-chunk
+  // leaves duplicates (orphans reconcile() sweeps), never a hole.
+  std::vector<ShardLocation> retired;
+  auto migrate_stripe = [&](std::vector<ShardLocation>& stripe) {
+    bool subject_in_stripe = false;
+    for (const ShardLocation& loc : stripe) {
+      if (loc.provider == subject) subject_in_stripe = true;
+    }
+    for (std::size_t s = 0; s < stripe.size(); ++s) {
+      bool affected;
+      if (join) {
+        // The arc the joiner stole. Stripe members must stay on distinct
+        // providers (placement rule 4), so a stripe yields the joiner at
+        // most one shard; a re-run after a crash sees the moved shard
+        // already on the joiner and skips the stripe.
+        affected = !subject_in_stripe && stripe[s].provider != subject &&
+                   ring_owner(stripe[s].virtual_id) == subject;
+      } else {
+        // Drain/decommission: everything resident on the subject. A re-run
+        // finds the moved shards no longer there -- idempotent.
+        affected = stripe[s].provider == subject;
+      }
+      if (!affected) continue;
+
+      // Fetch through the request layer: retries, breaker gating and
+      // hedging apply to migration traffic like any client read.
+      Bytes shard;
+      RequestLayer::GetOutcome got =
+          rt_.get(stripe[s].provider, stripe[s].virtual_id);
+      if (got.status.ok() && got.data.has_value()) {
+        shard = std::move(*got.data);
+      } else {
+        // Source unreachable: RAID-reconstruct from the stripe survivors,
+        // probing through the I/O pool.
+        std::vector<std::optional<Bytes>> shards(stripe.size());
+        std::vector<std::pair<std::size_t,
+                              std::future<std::optional<Bytes>>>> probes;
+        probes.reserve(stripe.size());
+        for (std::size_t t = 0; t < stripe.size(); ++t) {
+          if (t == s) continue;
+          probes.emplace_back(
+              t, io_pool_.submit(
+                     [this, loc = stripe[t]]() -> std::optional<Bytes> {
+                       RequestLayer::GetOutcome other =
+                           rt_.get(loc.provider, loc.virtual_id);
+                       if (other.status.ok() && other.data.has_value()) {
+                         return std::move(*other.data);
+                       }
+                       return std::nullopt;
+                     }));
+        }
+        for (auto& [t, fut] : probes) shards[t] = fut.get();
+        Result<Bytes> rebuilt =
+            raid::reconstruct_shard(entry.layout, shards, s);
+        if (!rebuilt.ok()) {
+          ++stats.errors;  // below RAID tolerance right now: next pass
+          continue;
+        }
+        shard = std::move(rebuilt).value();
+      }
+
+      ProviderIndex home;
+      if (join) {
+        home = subject;
+      } else {
+        home = drain_home(entry.privacy_level, stripe, stripe[s].virtual_id,
+                          subject);
+      }
+      if (home == kNoProvider) {
+        ++stats.errors;  // no qualifying member this pass
+        continue;
+      }
+      const VirtualId id = next_virtual_id();
+      RequestLayer::Outcome rpc = rt_.put(home, id, shard);
+      if (!rpc.status.ok()) {
+        ++stats.errors;
+        continue;
+      }
+      retired.push_back(stripe[s]);
+      metadata_->record_removal(stripe[s].provider, stripe[s].virtual_id);
+      metadata_->record_placement(home, id);
+      stripe[s] = ShardLocation{home, id};
+      ++stats.moved;
+      stats.bytes += shard.size();
+      if (join) subject_in_stripe = true;
+    }
+  };
+  migrate_stripe(entry.stripe);
+  if (entry.has_snapshot) migrate_stripe(entry.snapshot);
+
+  if (stats.moved != 0) {
+    Status updated = metadata_->update_chunk(index, entry);
+    if (!updated.ok()) return updated;
+    JournalRecord rec;
+    rec.op = JournalOp::kUpdateChunk;
+    rec.chunks.push_back(JournalChunk{0, index, std::move(entry)});
+    CS_RETURN_IF_ERROR(journal_append(rec));
+    // New locations are durable; now the old copies can go.
+    for (const ShardLocation& old : retired) {
+      (void)rt_.remove(old.provider, old.virtual_id);
+    }
+    if (telemetry_->enabled()) {
+      obs::MetricsRegistry& m = telemetry_->metrics();
+      m.counter("migration.shards_moved").inc(stats.moved);
+      m.counter("migration.bytes_moved").inc(stats.bytes);
+    }
+  }
+  if (stats.errors != 0 && telemetry_->enabled()) {
+    telemetry_->metrics().counter("migration.errors").inc(stats.errors);
+  }
+  return stats;
 }
 
 }  // namespace cshield::core

@@ -29,9 +29,11 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/chunker.hpp"
+#include "dht/ring.hpp"
 #include "crypto/aes.hpp"
 #include "core/journal.hpp"
 #include "core/placement.hpp"
@@ -237,6 +239,62 @@ class CloudDataDistributor {
   /// number of shards migrated.
   Result<std::size_t> rebalance();
 
+  // --- dynamic provider topology (runtime join/drain/decommission) -------
+  //
+  // The fleet changes at runtime without a restart. A join registers the
+  // provider as kJoining (invisible to placement), then a migration moves it
+  // exactly its consistent-hash ring share -- ~1/n of the shard population,
+  // not the ~100% a naive rehash would move -- and activates it. A drain
+  // removes the provider from the ring and placement, moves its resident
+  // shards to ring successors, and leaves it emptied (still serving reads)
+  // until decommissioned. Every step is journaled (kBeginMigrate /
+  // kCommitMigrate) so a crash at any point resumes idempotently: shard
+  // moves copy-then-commit-then-delete, so the worst a crash leaves is an
+  // orphan duplicate for reconcile() to sweep, never a hole.
+  //
+  // The per-chunk unit of work is migrate_chunk(); core/migrator.hpp wraps
+  // it in a throttled, observable background engine.
+
+  /// Outcome of migrating one chunk (stripe + snapshot).
+  struct ChunkMigrateStats {
+    std::size_t moved = 0;   ///< shards re-homed
+    std::size_t bytes = 0;   ///< shard bytes copied
+    std::size_t errors = 0;  ///< shards that could not be moved this pass
+  };
+
+  /// Registers a brand-new provider as kJoining: registry + metadata +
+  /// journal. It owns no ring share and takes no placement until a kJoin
+  /// migration runs and commits. `seed` 0 derives one from the fleet size.
+  Result<ProviderIndex> add_provider(storage::ProviderDescriptor descriptor,
+                                     const storage::LatencyModel& latency = {},
+                                     std::uint64_t seed = 0);
+
+  /// Opens a migration: validates/applies the lifecycle transition, updates
+  /// the ring (join: subject added; drain/decommission: subject removed) and
+  /// journals kBeginMigrate. Idempotent -- crash-resume re-issues it.
+  Status begin_migration(MigrationKind kind, ProviderIndex subject);
+
+  /// Closes a migration: journals kCommitMigrate and applies the final
+  /// lifecycle (join -> kActive, decommission -> kDecommissioned, drain
+  /// stays kDraining awaiting decommission). Idempotent.
+  Status commit_migration(MigrationKind kind, ProviderIndex subject);
+
+  /// Moves the affected shards of one chunk. kJoin: shards whose virtual id
+  /// the ring now assigns to `subject` (its stolen arc); kDrain /
+  /// kDecommission: shards resident on `subject`, re-homed to ring
+  /// successors. Crash-safe ordering (copy, commit metadata + journal, then
+  /// delete the old copy) and idempotent: a re-run skips shards already
+  /// moved. Unreachable source shards are RAID-reconstructed from stripe
+  /// survivors; a shard that cannot be moved this pass is counted in
+  /// `errors` and left in place for the next pass.
+  Result<ChunkMigrateStats> migrate_chunk(std::size_t index,
+                                          MigrationKind kind,
+                                          ProviderIndex subject);
+
+  /// The ring's owner for a virtual id (kNoProvider on an empty ring).
+  /// Exposed so tests and benches can predict a join's stolen share.
+  [[nodiscard]] ProviderIndex ring_owner(VirtualId key) const;
+
   // --- durability & crash recovery (see core/journal.hpp) ---------------
 
   /// Folds the journal into an atomic metadata snapshot at
@@ -368,6 +426,19 @@ class CloudDataDistributor {
   [[nodiscard]] ProviderIndex replacement_target(
       PrivacyLevel pl, const std::vector<ShardLocation>& stripe) const;
 
+  /// Idempotent ring membership updates (guarded by ring_mu_).
+  void ring_insert(ProviderIndex p, std::string_view name);
+  void ring_erase(ProviderIndex p);
+
+  /// New home for a shard leaving `subject` during a drain: walks the ring
+  /// successors of the shard's key and returns the first active,
+  /// trust-eligible, online, unquarantined provider outside the stripe;
+  /// falls back to replacement_target. kNoProvider when the fleet has no
+  /// qualifying member.
+  [[nodiscard]] ProviderIndex drain_home(
+      PrivacyLevel pl, const std::vector<ShardLocation>& stripe,
+      VirtualId key, ProviderIndex subject) const;
+
   /// What healing one chunk found and fixed.
   struct StripeHealStats {
     std::size_t fixed = 0;       ///< shards reconstructed and re-homed
@@ -397,6 +468,12 @@ class CloudDataDistributor {
   std::atomic<std::uint64_t> id_counter_{1};
   std::uint64_t id_key_;
   mutable std::mutex mu_;  ///< guards placement_ and chaff_rng_
+  /// Consistent-hash ring over placement-participating providers (kActive,
+  /// plus a joiner from its kBeginMigrate on). Joins/drains consult it to
+  /// identify the minimal affected shard set instead of rehashing the world.
+  mutable std::mutex ring_mu_;
+  dht::HashRing ring_;
+  std::unordered_set<ProviderIndex> ring_members_;
   /// Cross-op shard-put coalescing; null when rpc_batch_shards <= 1.
   /// Declared last: its flusher threads use rt_/telemetry_, so it must be
   /// destroyed (drained and joined) before them.

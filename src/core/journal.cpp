@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -21,8 +22,10 @@ namespace {
 constexpr std::uint32_t kJournalMagic = 0xC5D17A6EU;
 // v2 journals may carry protection-aware chunk rows (the rows themselves
 // are self-versioned -- see write_chunk_entry -- so v1 files, and v1 rows
-// inside them, replay unchanged).
-constexpr std::uint32_t kJournalVersion = 2;
+// inside them, replay unchanged). v3 adds the topology records
+// (kBeginMigrate/kCommitMigrate) and an optional lifecycle byte on
+// kRegisterProvider; older files replay unchanged.
+constexpr std::uint32_t kJournalVersion = 3;
 constexpr std::uint32_t kOldestReadableJournalVersion = 1;
 constexpr std::size_t kHeaderSize = 4 + 4 + 8;
 constexpr std::size_t kFrameOverhead = 4 + 4;  // length + crc
@@ -95,6 +98,7 @@ Bytes encode_record(const JournalRecord& rec) {
       w.str(rec.client);  // provider name
       w.u8(rec.level);
       w.u8(rec.cost);
+      w.u8(rec.lifecycle);  // v3 suffix; absent in pre-topology records
       break;
     case JournalOp::kRegisterClient:
       w.str(rec.client);
@@ -130,6 +134,12 @@ Bytes encode_record(const JournalRecord& rec) {
         w.u64(c.index);
       }
       break;
+    case JournalOp::kBeginMigrate:
+    case JournalOp::kCommitMigrate:
+      w.u64(rec.provider_index);
+      w.str(rec.client);  // provider name
+      w.u8(rec.level);    // MigrationKind
+      break;
   }
   return out;
 }
@@ -139,7 +149,7 @@ bool decode_record(BytesView payload, JournalRecord& rec) {
   std::uint8_t op = 0;
   if (!r.u8(op)) return false;
   if (op < static_cast<std::uint8_t>(JournalOp::kRegisterProvider) ||
-      op > static_cast<std::uint8_t>(JournalOp::kRemoveFile)) {
+      op > static_cast<std::uint8_t>(JournalOp::kCommitMigrate)) {
     return false;
   }
   rec.op = static_cast<JournalOp>(op);
@@ -151,6 +161,16 @@ bool decode_record(BytesView payload, JournalRecord& rec) {
       }
       if (rec.level >= kNumPrivacyLevels || rec.cost >= kNumCostLevels) {
         return false;
+      }
+      // v3 suffix: initial lifecycle. A pre-topology record ends here and
+      // decodes to kActive -- the only state a static fleet could be in.
+      rec.lifecycle =
+          static_cast<std::uint8_t>(ProviderLifecycle::kActive);
+      if (r.remaining() > 0) {
+        if (!r.u8(rec.lifecycle) ||
+            rec.lifecycle >= kNumProviderLifecycles) {
+          return false;
+        }
       }
       break;
     case JournalOp::kRegisterClient:
@@ -195,6 +215,14 @@ bool decode_record(BytesView payload, JournalRecord& rec) {
       }
       break;
     }
+    case JournalOp::kBeginMigrate:
+    case JournalOp::kCommitMigrate:
+      if (!r.u64(rec.provider_index) || !r.str(rec.client) ||
+          !r.u8(rec.level)) {
+        return false;
+      }
+      if (rec.level >= kNumMigrationKinds) return false;
+      break;
   }
   return r.remaining() == 0;
 }
@@ -538,9 +566,10 @@ Status apply_journal_record(MetadataStore& store, const JournalRecord& rec) {
         return Status::Internal("journal: provider index gap at " +
                                 std::to_string(rec.provider_index));
       }
-      store.register_provider(rec.client,
-                              static_cast<PrivacyLevel>(rec.level),
-                              static_cast<CostLevel>(rec.cost));
+      store.register_provider(
+          rec.client, static_cast<PrivacyLevel>(rec.level),
+          static_cast<CostLevel>(rec.cost),
+          static_cast<ProviderLifecycle>(rec.lifecycle));
       return Status::Ok();
     }
     case JournalOp::kRegisterClient: {
@@ -596,6 +625,30 @@ Status apply_journal_record(MetadataStore& store, const JournalRecord& rec) {
       }
       return Status::Ok();
     }
+    case JournalOp::kBeginMigrate:
+    case JournalOp::kCommitMigrate: {
+      // Lifecycle transitions mirror the distributor's begin/commit
+      // protocol so checkpoint and replay agree on where the fleet stands:
+      //   Begin join      -> kJoining    Commit join          -> kActive
+      //   Begin drain     -> kDraining   Commit drain         -> kDraining
+      //   Begin decommiss.-> kDraining   Commit decommission  -> kDecommissioned
+      if (rec.provider_index >= store.provider_count()) {
+        return Status::Internal("journal: migrate of unknown provider " +
+                                std::to_string(rec.provider_index));
+      }
+      const auto kind = static_cast<MigrationKind>(rec.level);
+      const auto p = static_cast<ProviderIndex>(rec.provider_index);
+      if (rec.op == JournalOp::kBeginMigrate) {
+        store.set_provider_lifecycle(p, kind == MigrationKind::kJoin
+                                            ? ProviderLifecycle::kJoining
+                                            : ProviderLifecycle::kDraining);
+      } else if (kind == MigrationKind::kJoin) {
+        store.set_provider_lifecycle(p, ProviderLifecycle::kActive);
+      } else if (kind == MigrationKind::kDecommission) {
+        store.set_provider_lifecycle(p, ProviderLifecycle::kDecommissioned);
+      }  // committed drain: stays kDraining (emptied, awaiting decommission)
+      return Status::Ok();
+    }
   }
   return Status::Internal("journal: unknown op");
 }
@@ -633,12 +686,52 @@ Result<RecoveredState> recover_metadata(
           case JournalOp::kAbortPut:
             open_puts.erase({rec.client, rec.filename});
             break;
+          case JournalOp::kBeginMigrate:
+            out.pending_migrations.push_back(MigrationIntent{
+                static_cast<MigrationKind>(rec.level),
+                static_cast<ProviderIndex>(rec.provider_index), rec.client});
+            break;
+          case JournalOp::kCommitMigrate:
+            out.pending_migrations.erase(
+                std::remove_if(out.pending_migrations.begin(),
+                               out.pending_migrations.end(),
+                               [&](const MigrationIntent& m) {
+                                 return m.provider == rec.provider_index;
+                               }),
+                out.pending_migrations.end());
+            break;
           default:
             break;
         }
       }
       out.replayed_records = replay.value().records.size();
       out.in_flight.assign(open_puts.begin(), open_puts.end());
+    }
+  }
+  // A checkpoint mid-migration folds the kBeginMigrate away, but the
+  // lifecycle it set survives in the image: a provider still kJoining or
+  // kDraining with no journaled intent is a migration to resume. (A
+  // decommission interrupted this way resumes as a drain -- the data move
+  // is identical; the operator re-issues the decommission to finalize.)
+  {
+    const auto rows = out.metadata->provider_table();
+    for (ProviderIndex p = 0; p < rows.size(); ++p) {
+      const bool pending =
+          std::any_of(out.pending_migrations.begin(),
+                      out.pending_migrations.end(),
+                      [&](const MigrationIntent& m) { return m.provider == p; });
+      if (pending) continue;
+      if (rows[p].lifecycle == ProviderLifecycle::kJoining) {
+        out.pending_migrations.push_back(
+            MigrationIntent{MigrationKind::kJoin, p, rows[p].name});
+      } else if (rows[p].lifecycle == ProviderLifecycle::kDraining &&
+                 !rows[p].virtual_ids.empty()) {
+        // Still holds placements: the drain did not finish. An emptied
+        // draining provider is a *completed* drain awaiting decommission,
+        // not a pending migration.
+        out.pending_migrations.push_back(
+            MigrationIntent{MigrationKind::kDrain, p, rows[p].name});
+      }
     }
   }
   return out;

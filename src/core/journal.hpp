@@ -41,6 +41,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -67,7 +68,34 @@ enum class JournalOp : std::uint8_t {
   kUpdateChunk = 7, ///< chunk row overwritten (update/repair/rebalance)
   kRemoveChunk = 8,
   kRemoveFile = 9,
+  /// Topology migration intent: a join/drain/decommission of one provider
+  /// has started; shard moves (each its own kUpdateChunk) follow. A Begin
+  /// without a matching Commit marks a crash mid-migration -- recovery
+  /// reports it in RecoveredState::pending_migrations for an idempotent
+  /// resume.
+  kBeginMigrate = 10,
+  kCommitMigrate = 11,  ///< the migration's affected set is fully moved
 };
+
+/// What a kBeginMigrate/kCommitMigrate record describes (carried in the
+/// record's `level` field; on-disk values, append-only).
+enum class MigrationKind : std::uint8_t {
+  kJoin = 0,          ///< new provider steals its ring share
+  kDrain = 1,         ///< provider emptied, stays readable meanwhile
+  kDecommission = 2,  ///< drain, then the provider leaves the fleet
+};
+
+inline constexpr int kNumMigrationKinds = 3;
+
+[[nodiscard]] constexpr std::string_view migration_kind_name(
+    MigrationKind k) {
+  switch (k) {
+    case MigrationKind::kJoin: return "join";
+    case MigrationKind::kDrain: return "drain";
+    case MigrationKind::kDecommission: return "decommission";
+  }
+  return "invalid";
+}
 
 /// One chunk-table row carried by a commit/update/remove record. The index
 /// is explicit because concurrent ops interleave add_chunk arbitrarily --
@@ -82,11 +110,15 @@ struct JournalChunk {
 /// meaningful depends on `op` (see encode_record), unused ones stay empty.
 struct JournalRecord {
   JournalOp op = JournalOp::kBeginPut;
-  std::string client;    ///< provider name for kRegisterProvider
+  std::string client;    ///< provider name for kRegisterProvider / k*Migrate
   std::string filename;  ///< password for kAddPassword
-  std::uint8_t level = 0;          ///< privacy level (provider / password)
-  std::uint8_t cost = 0;           ///< provider cost level
-  std::uint64_t provider_index = 0;  ///< kRegisterProvider: table index
+  /// Privacy level (provider / password); MigrationKind for k*Migrate.
+  std::uint8_t level = 0;
+  std::uint8_t cost = 0;  ///< provider cost level
+  /// kRegisterProvider: initial lifecycle (kActive for a static fleet,
+  /// kJoining for a runtime join).
+  std::uint8_t lifecycle = 1;
+  std::uint64_t provider_index = 0;  ///< kRegisterProvider / k*Migrate index
   std::vector<JournalChunk> chunks;  ///< commit / update / remove rows
 };
 
@@ -246,6 +278,15 @@ class Journal {
 /// is re-derived by diffing the old and new chunk rows.
 Status apply_journal_record(MetadataStore& store, const JournalRecord& rec);
 
+/// A topology migration the crash caught mid-flight (kBeginMigrate with no
+/// matching kCommitMigrate). Re-running the same migration is idempotent:
+/// shards already moved are no longer in the affected set.
+struct MigrationIntent {
+  MigrationKind kind = MigrationKind::kDrain;
+  ProviderIndex provider = kNoProvider;
+  std::string provider_name;
+};
+
 /// What crash recovery reconstructed.
 struct RecoveredState {
   std::shared_ptr<MetadataStore> metadata;
@@ -253,6 +294,8 @@ struct RecoveredState {
   /// them mid-flight. Their claims must be released and their shards are
   /// orphans (reconcile handles both).
   std::vector<std::pair<std::string, std::string>> in_flight;
+  /// Migrations to resume after reconcile() (journal order preserved).
+  std::vector<MigrationIntent> pending_migrations;
   std::size_t replayed_records = 0;
   std::uint64_t checkpoint_ops = 0;
 };

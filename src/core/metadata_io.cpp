@@ -7,8 +7,10 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0xC5D47AB1;
 // v1: pre-ProtectionMode images. v2: chunk rows carry protection fields.
-// Images are written at kVersion; both versions deserialize.
-constexpr std::uint32_t kVersion = 2;
+// v3: provider rows carry a lifecycle byte (dynamic topology). Images are
+// written at kVersion; all versions deserialize -- a pre-v3 provider row
+// reads back kActive, the only state a static fleet could be in.
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kOldestReadableVersion = 1;
 
 // Leading marker of a protection-aware chunk row. A v1 row starts with its
@@ -175,6 +177,7 @@ Bytes serialize_metadata(const MetadataStore& store) {
     w.str(p.name);
     w.u8(static_cast<std::uint8_t>(p.privacy_level));
     w.u8(static_cast<std::uint8_t>(p.cost_level));
+    w.u8(static_cast<std::uint8_t>(p.lifecycle));  // v3
     w.u32(static_cast<std::uint32_t>(p.virtual_ids.size()));
     for (VirtualId id : p.virtual_ids) w.u64(id);
   }
@@ -230,16 +233,24 @@ Result<std::shared_ptr<MetadataStore>> deserialize_metadata(BytesView image) {
   for (auto& p : providers) {
     std::uint8_t pl = 0;
     std::uint8_t cl = 0;
-    std::uint32_t ids = 0;
-    if (!r.str(p.name) || !r.u8(pl) || !r.u8(cl) || !r.u32(ids) ||
-        !plausible(ids)) {
-      return truncated;
-    }
+    if (!r.str(p.name) || !r.u8(pl) || !r.u8(cl)) return truncated;
     if (pl >= kNumPrivacyLevels || cl >= kNumCostLevels) {
       return Status::InvalidArgument("metadata image: bad level value");
     }
     p.privacy_level = static_cast<PrivacyLevel>(pl);
     p.cost_level = static_cast<CostLevel>(cl);
+    // Pre-v3 rows carry no lifecycle: a static fleet is all-active.
+    p.lifecycle = ProviderLifecycle::kActive;
+    if (version >= 3) {
+      std::uint8_t lc = 0;
+      if (!r.u8(lc)) return truncated;
+      if (lc >= kNumProviderLifecycles) {
+        return Status::InvalidArgument("metadata image: bad lifecycle");
+      }
+      p.lifecycle = static_cast<ProviderLifecycle>(lc);
+    }
+    std::uint32_t ids = 0;
+    if (!r.u32(ids) || !plausible(ids)) return truncated;
     p.virtual_ids.resize(ids);
     for (auto& id : p.virtual_ids) {
       if (!r.u64(id)) return truncated;

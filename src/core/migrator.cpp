@@ -1,0 +1,163 @@
+#include "core/migrator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <future>
+
+#include "obs/watchdog.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cshield::core {
+
+Result<Migrator::Report> Migrator::run(MigrationKind kind,
+                                       ProviderIndex subject) {
+  stop_.store(false, std::memory_order_relaxed);
+  return do_run(kind, subject);
+}
+
+Result<Migrator::Report> Migrator::do_run(MigrationKind kind,
+                                          ProviderIndex subject) {
+  chunks_visited_.store(0, std::memory_order_relaxed);
+  shards_moved_.store(0, std::memory_order_relaxed);
+  bytes_moved_.store(0, std::memory_order_relaxed);
+  errors_.store(0, std::memory_order_relaxed);
+  cursor_.store(0, std::memory_order_relaxed);
+
+  obs::Telemetry* tel = dist_.telemetry().get();
+  obs::StallWatchdog* wd = dist_.config().watchdog.get();
+  const std::int64_t deadline_ns = dist_.config().retry.deadline.count();
+
+  CS_RETURN_IF_ERROR(dist_.begin_migration(kind, subject));
+
+  obs::Gauge* progress_gauge = nullptr;
+  obs::Gauge* active_gauge = nullptr;
+  if (tel->enabled()) {
+    obs::MetricsRegistry& m = tel->metrics();
+    progress_gauge = &m.gauge("migration.progress");
+    active_gauge = &m.gauge("migration.active");
+    progress_gauge->set(0);
+    active_gauge->set(1);
+  }
+
+  // Snapshot the table size once: chunks appended by concurrent writes land
+  // on the post-begin topology (placement already excludes a draining
+  // subject and still excludes a joining one), so they need no migration.
+  const std::size_t n = dist_.metadata().total_chunks();
+  Report report;
+  Status first_error = Status::Ok();
+
+  // Bounded-concurrency walk: a private pool issues migrate_chunk calls (each
+  // fans its shard RPCs out on the distributor's I/O pool) and a sliding
+  // window caps how many chunks are in flight at once.
+  ThreadPool pool(std::max<std::size_t>(1, config_.max_in_flight));
+  using ChunkResult = Result<CloudDataDistributor::ChunkMigrateStats>;
+  std::deque<std::future<ChunkResult>> window;
+  auto drain_one = [&] {
+    ChunkResult r = window.front().get();
+    window.pop_front();
+    ++report.chunks_visited;
+    chunks_visited_.fetch_add(1, std::memory_order_relaxed);
+    if (r.ok()) {
+      const auto& stats = r.value();
+      report.shards_moved += stats.moved;
+      report.bytes_moved += stats.bytes;
+      report.errors += stats.errors;
+      shards_moved_.fetch_add(stats.moved, std::memory_order_relaxed);
+      bytes_moved_.fetch_add(stats.bytes, std::memory_order_relaxed);
+      errors_.fetch_add(stats.errors, std::memory_order_relaxed);
+    } else {
+      ++report.errors;
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      if (first_error.ok()) first_error = r.status();
+    }
+    if (progress_gauge != nullptr && n != 0) {
+      progress_gauge->set(
+          static_cast<std::int64_t>(report.chunks_visited * 100 / n));
+    }
+  };
+
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    if (stop_.load(std::memory_order_relaxed)) break;
+    cursor_.store(idx, std::memory_order_relaxed);
+    window.push_back(pool.submit([this, idx, kind, subject, wd, deadline_ns] {
+      obs::StallWatchdog::Armed armed(wd, "migrate_chunk", deadline_ns);
+      return dist_.migrate_chunk(idx, kind, subject);
+    }));
+    if (window.size() >= std::max<std::size_t>(1, config_.max_in_flight)) {
+      drain_one();
+    }
+    throttle();
+  }
+  while (!window.empty()) drain_one();
+
+  const bool stopped = stop_.load(std::memory_order_relaxed);
+  if (tel->enabled()) {
+    obs::MetricsRegistry& m = tel->metrics();
+    m.counter("migration.chunks_visited").inc(report.chunks_visited);
+    if (active_gauge != nullptr) active_gauge->set(0);
+    if (progress_gauge != nullptr && !stopped && report.errors == 0) {
+      progress_gauge->set(100);
+    }
+  }
+
+  if (stopped) return report;  // paused, uncommitted: run() again to resume
+  if (!first_error.ok()) return first_error;
+  if (report.errors != 0) {
+    return Status::ResourceExhausted(
+        "migration incomplete: " + std::to_string(report.errors) +
+        " shards could not be moved this pass; re-run to resume");
+  }
+  CS_RETURN_IF_ERROR(dist_.commit_migration(kind, subject));
+  report.committed = true;
+  return report;
+}
+
+void Migrator::start(MigrationKind kind, ProviderIndex subject) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this, kind, subject] {
+    Result<Report> r = do_run(kind, subject);
+    std::lock_guard<std::mutex> inner(mu_);
+    bg_status_ = r.ok() ? Status::Ok() : r.status();
+    bg_report_ = r.ok() ? r.value() : Report{};
+    running_.store(false, std::memory_order_relaxed);
+  });
+}
+
+void Migrator::stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true, std::memory_order_relaxed);
+    cv_.notify_all();
+    to_join = std::move(thread_);
+  }
+  if (to_join.joinable()) to_join.join();
+  running_.store(false, std::memory_order_relaxed);
+}
+
+Result<Migrator::Report> Migrator::wait() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    to_join = std::move(thread_);
+  }
+  if (to_join.joinable()) to_join.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!bg_status_.ok()) return bg_status_;
+  return bg_report_;
+}
+
+void Migrator::throttle() {
+  if (config_.stripes_per_sec <= 0.0) return;
+  const auto period = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(1.0 / config_.stripes_per_sec));
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, period,
+               [this] { return stop_.load(std::memory_order_relaxed); });
+}
+
+}  // namespace cshield::core

@@ -90,6 +90,10 @@ class ShardBatcher {
   ShardBatcher(const ShardBatcher&) = delete;
   ShardBatcher& operator=(const ShardBatcher&) = delete;
 
+  /// Lane capacity. Providers added to the registry after construction have
+  /// no lane; the stripe writer routes their shards around the batcher.
+  [[nodiscard]] std::size_t lanes() const { return lanes_.size(); }
+
   /// Enqueues one shard put for provider `p`. `data` must stay valid until
   /// the returned future resolves.
   std::future<PutResult> put(ProviderIndex p, VirtualId id, BytesView data) {

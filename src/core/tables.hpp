@@ -95,6 +95,9 @@ struct ProviderEntry {
   std::string name;
   PrivacyLevel privacy_level = PrivacyLevel::kPublic;
   CostLevel cost_level = CostLevel::kCheapest;
+  /// Fleet membership state, persisted so a restart rebuilds the dynamic
+  /// topology (a crash mid-drain must come back still draining).
+  ProviderLifecycle lifecycle = ProviderLifecycle::kActive;
   std::vector<VirtualId> virtual_ids;  ///< chunks (shards) placed here
 
   [[nodiscard]] std::size_t count() const { return virtual_ids.size(); }
@@ -116,9 +119,28 @@ class MetadataStore {
   // --- Cloud Provider Table ------------------------------------------
 
   /// Registers provider bookkeeping rows 0..n-1 (must mirror the registry).
-  void register_provider(std::string name, PrivacyLevel pl, CostLevel cl) {
+  void register_provider(std::string name, PrivacyLevel pl, CostLevel cl,
+                         ProviderLifecycle lifecycle =
+                             ProviderLifecycle::kActive) {
     std::unique_lock<std::shared_mutex> lock(mu_);
-    providers_.push_back(ProviderState{std::move(name), pl, cl, {}});
+    providers_.push_back(ProviderState{std::move(name), pl, cl, lifecycle,
+                                       {}});
+  }
+
+  /// Records a lifecycle transition (journaled by the caller; replay and
+  /// checkpoint both carry it, so recovery restores the fleet's state).
+  void set_provider_lifecycle(ProviderIndex p, ProviderLifecycle s) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    CS_REQUIRE(p < providers_.size(),
+               "set_provider_lifecycle: bad provider index");
+    providers_[p].lifecycle = s;
+  }
+
+  [[nodiscard]] ProviderLifecycle provider_lifecycle(ProviderIndex p) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    CS_REQUIRE(p < providers_.size(),
+               "provider_lifecycle: bad provider index");
+    return providers_[p].lifecycle;
   }
 
   void record_placement(ProviderIndex p, VirtualId id) {
@@ -401,7 +423,7 @@ class MetadataStore {
     providers_.reserve(providers.size());
     for (auto& p : providers) {
       ProviderState state{std::move(p.name), p.privacy_level, p.cost_level,
-                          {}};
+                          p.lifecycle, {}};
       state.virtual_ids.insert(p.virtual_ids.begin(), p.virtual_ids.end());
       providers_.push_back(std::move(state));
     }
@@ -433,6 +455,7 @@ class MetadataStore {
     std::string name;
     PrivacyLevel privacy_level = PrivacyLevel::kPublic;
     CostLevel cost_level = CostLevel::kCheapest;
+    ProviderLifecycle lifecycle = ProviderLifecycle::kActive;
     std::unordered_set<VirtualId> virtual_ids;
   };
 
@@ -444,7 +467,7 @@ class MetadataStore {
   };
 
   [[nodiscard]] static ProviderEntry materialize(const ProviderState& p) {
-    ProviderEntry out{p.name, p.privacy_level, p.cost_level, {}};
+    ProviderEntry out{p.name, p.privacy_level, p.cost_level, p.lifecycle, {}};
     out.virtual_ids.assign(p.virtual_ids.begin(), p.virtual_ids.end());
     std::sort(out.virtual_ids.begin(), out.virtual_ids.end());
     return out;

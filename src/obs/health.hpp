@@ -25,6 +25,7 @@
 //   scrub.integrity digest mismatches / chunks scanned over the window
 //   breakers        open breakers right now (rt.open_breakers)
 //   batcher.queue   pending shard puts right now (cdd.shard_batch_queue_depth)
+//   migration       shards the topology migrator failed to move this window
 //
 // Every state change is logged as a Transition and counted in
 // `health.transitions`; with a deterministic FaultPlan and test-driven
@@ -81,6 +82,9 @@ struct SloPolicy {
   // batcher queue depth right now
   double batcher_depth_degraded = 64.0;
   double batcher_depth_critical = 256.0;
+  // topology migration: shards the migrator failed to move in the window
+  double migration_errors_degraded = 0.0;  ///< any stuck shard degrades
+  double migration_errors_critical = 16.0;
 };
 
 /// One SLO's verdict. `budget_spent` is value / objective: < 1 means inside
@@ -397,6 +401,20 @@ class HealthEngine {
           0, gauge_latest(ring, "cdd.shard_batch_queue_depth")));
       s.state = state_of(s.value, policy_.batcher_depth_degraded,
                          policy_.batcher_depth_critical);
+      s.budget_spent = budget_spent(s.value, s.objective);
+      report.slos.push_back(std::move(s));
+    }
+    // topology migration: shards the migrator could not move this window
+    // (sources below RAID tolerance, no qualifying home, put failures).
+    // Healthy-zero when no migration is running.
+    {
+      SloStatus s;
+      s.name = "migration";
+      s.objective = policy_.migration_errors_degraded;
+      s.value =
+          static_cast<double>(counter_delta(ring, "migration.errors"));
+      s.state = state_of(s.value, policy_.migration_errors_degraded,
+                         policy_.migration_errors_critical);
       s.budget_spent = budget_spent(s.value, s.objective);
       report.slos.push_back(std::move(s));
     }

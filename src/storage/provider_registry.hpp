@@ -5,10 +5,20 @@
 // eligibility queries (providers whose privacy level is >= a chunk's level,
 // SIV-A). Providers are append-only: indices stay stable for the lifetime of
 // the registry, matching the paper's table-index scheme.
+//
+// The fleet is dynamic (§IV-C): providers join, drain and decommission at
+// runtime, each carrying a ProviderLifecycle state. Only kActive providers
+// are placement-eligible -- a draining provider still serves reads while the
+// migrator moves its shards off, and a decommissioned one is fully out. All
+// membership state lives behind one shared_mutex so a runtime add() or a
+// lifecycle transition is safe against concurrent find()/eligible_for()/
+// at() from serving threads; provider objects are heap-allocated, so
+// references handed out by at() stay valid across adds.
 #pragma once
 
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string_view>
 #include <vector>
 
@@ -117,13 +127,42 @@ class CircuitBreaker {
 
 class ProviderRegistry {
  public:
-  /// Adds a provider with an explicit latency model and RNG seed; returns
-  /// its stable index.
+  ProviderRegistry() = default;
+
+  /// Move is setup-time only (make_default_registry returns by value): the
+  /// source must not be serving concurrent calls, and the destination gets
+  /// a fresh mutex.
+  ProviderRegistry(ProviderRegistry&& other) noexcept
+      : providers_(std::move(other.providers_)),
+        breakers_(std::move(other.breakers_)),
+        lifecycles_(std::move(other.lifecycles_)),
+        breaker_config_(other.breaker_config_),
+        fault_plan_(std::move(other.fault_plan_)),
+        telemetry_(std::move(other.telemetry_)) {}
+  ProviderRegistry& operator=(ProviderRegistry&& other) noexcept {
+    providers_ = std::move(other.providers_);
+    breakers_ = std::move(other.breakers_);
+    lifecycles_ = std::move(other.lifecycles_);
+    breaker_config_ = other.breaker_config_;
+    fault_plan_ = std::move(other.fault_plan_);
+    telemetry_ = std::move(other.telemetry_);
+    return *this;
+  }
+  ProviderRegistry(const ProviderRegistry&) = delete;
+  ProviderRegistry& operator=(const ProviderRegistry&) = delete;
+
+  /// Adds a provider with an explicit latency model, RNG seed and initial
+  /// lifecycle; returns its stable index. Runtime joins pass kJoining so
+  /// the new provider stays invisible to placement until it has been
+  /// migrated its ring share and activated.
   ProviderIndex add(ProviderDescriptor descriptor, LatencyModel latency,
-                    std::uint64_t seed) {
+                    std::uint64_t seed,
+                    ProviderLifecycle lifecycle = ProviderLifecycle::kActive) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     providers_.push_back(std::make_unique<SimCloudProvider>(
         std::move(descriptor), latency, seed));
     breakers_.push_back(std::make_unique<CircuitBreaker>(breaker_config_));
+    lifecycles_.push_back(lifecycle);
     if (telemetry_ != nullptr) providers_.back()->attach_telemetry(telemetry_);
     if (fault_plan_ != nullptr) {
       providers_.back()->install_fault_plan(fault_plan_,
@@ -133,24 +172,34 @@ class ProviderRegistry {
   }
 
   ProviderIndex add(ProviderDescriptor descriptor) {
-    return add(std::move(descriptor), LatencyModel{},
-               0xC10D0000ULL + providers_.size());
+    std::uint64_t seed = 0;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      seed = 0xC10D0000ULL + providers_.size();
+    }
+    return add(std::move(descriptor), LatencyModel{}, seed);
   }
 
-  [[nodiscard]] std::size_t size() const { return providers_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return providers_.size();
+  }
 
   [[nodiscard]] SimCloudProvider& at(ProviderIndex i) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     CS_REQUIRE(i < providers_.size(), "provider index out of range");
-    return *providers_[i];
+    return *providers_[i];  // heap object: address survives future adds
   }
 
   [[nodiscard]] const SimCloudProvider& at(ProviderIndex i) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     CS_REQUIRE(i < providers_.size(), "provider index out of range");
     return *providers_[i];
   }
 
   /// Finds a provider by name; kNoProvider if absent.
   [[nodiscard]] ProviderIndex find(std::string_view name) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     for (ProviderIndex i = 0; i < providers_.size(); ++i) {
       if (providers_[i]->descriptor().name == name) return i;
     }
@@ -159,15 +208,81 @@ class ProviderRegistry {
 
   /// Indices of providers trusted for chunks at level `pl` (provider PL >=
   /// chunk PL). Offline providers are still *eligible* -- availability is the
-  /// RAID layer's problem, trust is a static property.
+  /// RAID layer's problem, trust is a static property -- but only kActive
+  /// members are: a joining provider has no ring share yet, a draining one
+  /// is being emptied, and a decommissioned one is gone.
   [[nodiscard]] std::vector<ProviderIndex> eligible_for(PrivacyLevel pl) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     std::vector<ProviderIndex> out;
     for (ProviderIndex i = 0; i < providers_.size(); ++i) {
+      if (lifecycles_[i] != ProviderLifecycle::kActive) continue;
       if (privileged_for(providers_[i]->descriptor().privacy_level, pl)) {
         out.push_back(i);
       }
     }
     return out;
+  }
+
+  // --- lifecycle (dynamic topology) -------------------------------------
+
+  [[nodiscard]] ProviderLifecycle lifecycle(ProviderIndex i) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    CS_REQUIRE(i < lifecycles_.size(), "provider index out of range");
+    return lifecycles_[i];
+  }
+
+  /// kActive -> kDraining: the provider leaves placement but keeps serving
+  /// reads while the migrator empties it. Idempotent on an already-draining
+  /// provider (crash-resume re-issues the transition).
+  Status drain(ProviderIndex i) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    CS_REQUIRE(i < lifecycles_.size(), "provider index out of range");
+    if (lifecycles_[i] == ProviderLifecycle::kDraining) return Status::Ok();
+    if (lifecycles_[i] != ProviderLifecycle::kActive) {
+      return Status::FailedPrecondition(
+          "drain: provider is " +
+          std::string(provider_lifecycle_name(lifecycles_[i])));
+    }
+    lifecycles_[i] = ProviderLifecycle::kDraining;
+    return Status::Ok();
+  }
+
+  /// kDraining (or kActive, for a decommission that drains inline) ->
+  /// kDecommissioned. Idempotent.
+  Status decommission(ProviderIndex i) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    CS_REQUIRE(i < lifecycles_.size(), "provider index out of range");
+    if (lifecycles_[i] == ProviderLifecycle::kDecommissioned) {
+      return Status::Ok();
+    }
+    if (lifecycles_[i] == ProviderLifecycle::kJoining) {
+      return Status::FailedPrecondition("decommission: provider is joining");
+    }
+    lifecycles_[i] = ProviderLifecycle::kDecommissioned;
+    return Status::Ok();
+  }
+
+  /// kJoining -> kActive: the join migration delivered the provider its
+  /// ring share; it now takes placement. Idempotent.
+  Status activate(ProviderIndex i) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    CS_REQUIRE(i < lifecycles_.size(), "provider index out of range");
+    if (lifecycles_[i] == ProviderLifecycle::kActive) return Status::Ok();
+    if (lifecycles_[i] != ProviderLifecycle::kJoining) {
+      return Status::FailedPrecondition(
+          "activate: provider is " +
+          std::string(provider_lifecycle_name(lifecycles_[i])));
+    }
+    lifecycles_[i] = ProviderLifecycle::kActive;
+    return Status::Ok();
+  }
+
+  /// Unchecked restore of a persisted lifecycle (recovery only: the
+  /// metadata image is the authority on where a crash left the fleet).
+  void restore_lifecycle(ProviderIndex i, ProviderLifecycle s) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    CS_REQUIRE(i < lifecycles_.size(), "provider index out of range");
+    lifecycles_[i] = s;
   }
 
   /// Wires every current and future provider into `tel`'s metrics registry
@@ -176,12 +291,14 @@ class ProviderRegistry {
   /// same telemetry twice is a no-op, so several front-ends sharing one
   /// registry converge on one coherent sink.
   void attach_telemetry(const std::shared_ptr<obs::Telemetry>& tel) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     telemetry_ = tel;
     for (const auto& p : providers_) p->attach_telemetry(tel);
   }
 
   /// Total monthly storage cost across all providers.
   [[nodiscard]] double total_monthly_cost_usd() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     double total = 0.0;
     for (const auto& p : providers_) total += p->monthly_cost_usd();
     return total;
@@ -193,6 +310,7 @@ class ProviderRegistry {
   /// resets all breakers, so a replay starts from a clean slate. nullptr
   /// uninstalls. Future add()s inherit the plan.
   void apply_fault_plan(std::shared_ptr<const FaultPlan> plan) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     fault_plan_ = std::move(plan);
     for (ProviderIndex i = 0; i < providers_.size(); ++i) {
       providers_[i]->install_fault_plan(fault_plan_, i);
@@ -205,11 +323,13 @@ class ProviderRegistry {
   /// Replaces every breaker with a fresh one under `config` (configure
   /// before serving traffic; existing breaker state is discarded).
   void set_breaker_config(CircuitBreaker::Config config) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     breaker_config_ = config;
     for (auto& b : breakers_) b = std::make_unique<CircuitBreaker>(config);
   }
 
   [[nodiscard]] CircuitBreaker& breaker(ProviderIndex i) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     CS_REQUIRE(i < breakers_.size(), "breaker index out of range");
     return *breakers_[i];
   }
@@ -217,13 +337,19 @@ class ProviderRegistry {
   /// True while the provider's breaker is open: writes should prefer other
   /// homes and repair should treat its shards as lost.
   [[nodiscard]] bool quarantined(ProviderIndex i) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     CS_REQUIRE(i < breakers_.size(), "breaker index out of range");
     return breakers_[i]->state() == CircuitBreaker::State::kOpen;
   }
 
  private:
+  /// Guards the membership vectors and shared config below. Provider and
+  /// breaker objects are individually synchronized, so the lock only covers
+  /// the lookup, never the RPC.
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<SimCloudProvider>> providers_;
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  std::vector<ProviderLifecycle> lifecycles_;
   CircuitBreaker::Config breaker_config_;
   std::shared_ptr<const FaultPlan> fault_plan_;
   std::shared_ptr<obs::Telemetry> telemetry_;

@@ -27,6 +27,7 @@ enum class ErrorCode {
   kAlreadyExists,    ///< duplicate client/file registration
   kResourceExhausted,///< no eligible provider / capacity exceeded
   kInternal,         ///< invariant violation surfaced as data
+  kFailedPrecondition, ///< state machine rejects the transition (lifecycle)
 };
 
 /// Human-readable tag for an ErrorCode (stable, used in test expectations).
@@ -41,6 +42,7 @@ enum class ErrorCode {
     case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
     case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
   }
   return "UNKNOWN";
 }
@@ -61,6 +63,7 @@ class [[nodiscard]] Status {
   static Status AlreadyExists(std::string m) { return {ErrorCode::kAlreadyExists, std::move(m)}; }
   static Status ResourceExhausted(std::string m) { return {ErrorCode::kResourceExhausted, std::move(m)}; }
   static Status Internal(std::string m) { return {ErrorCode::kInternal, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {ErrorCode::kFailedPrecondition, std::move(m)}; }
 
   [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }
   [[nodiscard]] ErrorCode code() const { return code_; }

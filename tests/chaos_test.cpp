@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/distributor.hpp"
+#include "core/migrator.hpp"
 #include "core/request_layer.hpp"
 #include "obs/telemetry.hpp"
 #include "storage/fault_plan.hpp"
@@ -660,6 +661,79 @@ TEST(ChaosProtectionModeTest, FlakyAndCrashScenarioSurvivesEveryMode) {
     EXPECT_EQ(out.replaced, baseline.replaced) << name;
     EXPECT_EQ(out.injected, baseline.injected) << name;
   }
+}
+
+TEST(ChaosScenarioTest, ProviderLossDuringDrainMigration) {
+  // A bystander provider crashes permanently while another provider is
+  // being drained. The invariants: no read ever fails or returns wrong
+  // bytes (RAID absorbs the loss), the migrator reports the shards it
+  // could not place instead of committing a half-done drain, and once the
+  // bystander is healed the re-run converges and empties the subject --
+  // the copy-commit-delete ordering means the interrupted pass left
+  // duplicates at worst, never holes.
+  auto sink = std::make_shared<obs::Telemetry>(true);
+  storage::ProviderRegistry registry = flat_registry(8);
+  CloudDataDistributor cdd(registry, replay_config(sink));
+  ASSERT_TRUE(cdd.register_client("C").ok());
+  ASSERT_TRUE(cdd.add_password("C", "pw", PrivacyLevel::kHigh).ok());
+  const Bytes data = payload_of(6000, 77);
+  PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;
+  ASSERT_TRUE(cdd.put_file("C", "pw", "f", data, opts).ok());
+
+  auto shards_on = [&cdd](ProviderIndex p) {
+    std::size_t n = 0;
+    for (const core::ChunkEntry& entry : cdd.metadata().chunk_table()) {
+      if (entry.deleted) continue;
+      for (const core::ShardLocation& loc : entry.stripe) {
+        if (loc.provider == p) ++n;
+      }
+    }
+    return n;
+  };
+  ProviderIndex subject = 0;
+  for (ProviderIndex p = 1; p < registry.size(); ++p) {
+    if (shards_on(p) > shards_on(subject)) subject = p;
+  }
+  ASSERT_GT(shards_on(subject), 0u);
+  const ProviderIndex bystander = (subject + 1) % registry.size();
+
+  auto plan = std::make_shared<FaultPlan>();
+  FaultEpisode ep;
+  ep.provider = bystander;
+  ep.kind = FaultKind::kCrash;
+  plan->episodes.push_back(ep);
+  registry.apply_fault_plan(plan);
+
+  // Drain with the fleet degraded: a pass either commits (the ring routed
+  // every shard around the dead provider) or pauses with the remainder.
+  core::Migrator migrator(cdd);
+  Result<core::Migrator::Report> pass =
+      migrator.run(core::MigrationKind::kDrain, subject);
+  if (!pass.ok()) {
+    EXPECT_EQ(pass.status().code(), ErrorCode::kResourceExhausted)
+        << pass.status().to_string();
+  }
+  EXPECT_EQ(registry.lifecycle(subject), ProviderLifecycle::kDraining);
+
+  // Availability during the degraded drain.
+  Result<Bytes> degraded = cdd.get_file("C", "pw", "f");
+  ASSERT_TRUE(degraded.ok()) << degraded.status().to_string();
+  EXPECT_TRUE(equal(degraded.value(), data));
+
+  // Heal the bystander and converge.
+  registry.clear_fault_plan();
+  registry.breaker(bystander).reset();
+  bool committed = pass.ok() && pass.value().committed;
+  for (int attempt = 0; attempt < 4 && !committed; ++attempt) {
+    pass = migrator.run(core::MigrationKind::kDrain, subject);
+    committed = pass.ok() && pass.value().committed;
+  }
+  ASSERT_TRUE(committed) << "drain did not converge after heal";
+  EXPECT_EQ(shards_on(subject), 0u);
+  Result<Bytes> back = cdd.get_file("C", "pw", "f");
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_TRUE(equal(back.value(), data));
 }
 
 }  // namespace

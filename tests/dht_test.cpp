@@ -103,6 +103,43 @@ TEST(HashRingTest, ChunkKeySeparatesFilesAndSerials) {
   EXPECT_NE(HashRing::chunk_key("a", 0), HashRing::chunk_key("b", 0));
 }
 
+TEST(HashRingTest, JoinStealsAtMostFairShareWithSlack) {
+  // The property the topology migrator's <=35% gate rests on: when a
+  // provider joins an 8-node ring, every key that changes owner moves TO
+  // the joiner (no unrelated shuffling), and the stolen fraction is the
+  // newcomer's fair share (1/9) within vnode-variance slack -- nowhere
+  // near the ~100% a naive rehash of `key % n` would move.
+  HashRing ring = ring_of({"P0", "P1", "P2", "P3", "P4", "P5", "P6", "P7"},
+                          128);
+  constexpr std::uint64_t kKeys = 4000;
+  std::map<std::uint64_t, ProviderIndex> before;
+  for (std::uint64_t s = 0; s < kKeys; ++s) {
+    const auto key = HashRing::chunk_key("fleet/file", s);
+    before[key] = ring.lookup(key);
+  }
+
+  constexpr ProviderIndex kJoiner = 8;
+  ring.add_provider(kJoiner, "P8");
+
+  std::uint64_t stolen = 0;
+  for (const auto& [key, owner] : before) {
+    const ProviderIndex now = ring.lookup(key);
+    if (now != owner) {
+      EXPECT_EQ(now, kJoiner) << "join shuffled a key between old members";
+      ++stolen;
+    }
+  }
+  const double fair = 1.0 / 9.0;
+  const double fraction = static_cast<double>(stolen) / kKeys;
+  EXPECT_GT(fraction, 0.0);  // the joiner does take load
+  EXPECT_LT(fraction, 2.0 * fair)
+      << "joiner stole " << fraction << " of keys; fair share is " << fair;
+  // And the ring agrees about the steady-state share it now owns.
+  const auto share = ring.ownership();
+  ASSERT_TRUE(share.count(kJoiner));
+  EXPECT_LT(share.at(kJoiner), 2.0 * fair);
+}
+
 TEST(HashRingTest, NodeCountTracksVirtualNodes) {
   HashRing ring(32);
   ring.add_provider(0, "X");

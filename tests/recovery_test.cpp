@@ -291,7 +291,7 @@ Bytes expected_journal_image(const std::vector<JournalRecord>& recs) {
   {
     wire::Writer w(out);
     w.u32(0xC5D17A6EU);  // magic
-    w.u32(2);            // version (v2: protection-aware chunk rows)
+    w.u32(3);            // version (v3: lifecycle byte + migration records)
     w.u64(0);            // checkpoint ops
   }
   for (const JournalRecord& rec : recs) {
