@@ -1414,96 +1414,128 @@ Status CloudDataDistributor::remove_file(const std::string& client,
 
 Result<CloudDataDistributor::StripeHealStats>
 CloudDataDistributor::heal_chunk(std::size_t index, bool note_scrub) {
-  StripeHealStats stats;
-  Result<ChunkEntry> entry_r = metadata_->chunk_entry(index);
-  if (!entry_r.ok()) return stats;  // row gone from under us: nothing to do
-  ChunkEntry entry = std::move(entry_r).value();
-  if (entry.deleted) return stats;
+  // Same commit discipline as migrate_chunk: the scrubber/repair walk runs
+  // alongside live client updates and the background migrator, so the row
+  // write-back goes through the version CAS -- a stale heal result must not
+  // overwrite a newer row (whose superseded locations may already be
+  // deleted). On a lost race the freshly placed copies are removed and the
+  // chunk is redone from the new row; a row too hot to commit is left for
+  // the next scrub pass.
+  constexpr int kCasAttempts = 8;
+  for (int attempt = 0; attempt < kCasAttempts; ++attempt) {
+    StripeHealStats stats;
+    Result<MetadataStore::VersionedChunk> row =
+        metadata_->chunk_entry_versioned(index);
+    if (!row.ok()) return stats;  // row gone from under us: nothing to do
+    ChunkEntry entry = std::move(row.value().entry);
+    const std::uint64_t row_version = row.value().version;
+    if (entry.deleted) return stats;
 
-  struct Probe {
-    std::optional<Bytes> data;  ///< set only when intact
-    bool corrupt = false;       ///< provider answered, digest failed
-  };
-  auto heal_stripe = [&](std::vector<ShardLocation>& stripe,
-                         const std::vector<crypto::Digest>& digests)
-      -> Result<std::size_t> {
-    // Probe every shard through the I/O pool (leaf tasks only, so both
-    // caller threads and the scrubber thread can block on the futures).
-    // Probes take a single attempt through the request layer: a
-    // quarantined provider's open breaker rejects without I/O, so its
-    // shards read as broken and get re-homed -- this is how repair heals
-    // quarantined stripes.
-    std::vector<std::future<Probe>> probes;
-    probes.reserve(stripe.size());
-    for (std::size_t s = 0; s < stripe.size(); ++s) {
-      probes.push_back(io_pool_.submit(
-          [this, loc = stripe[s], digest = digests[s]]() -> Probe {
-            Probe p;
-            RequestLayer::GetOutcome r =
-                rt_.get(loc.provider, loc.virtual_id, 1);
-            if (!r.data.has_value()) return p;
-            if (crypto::sha256(*r.data) == digest) {
-              p.data = std::move(*r.data);
-            } else {
-              p.corrupt = true;
-            }
-            return p;
-          }));
-    }
-    std::vector<std::optional<Bytes>> shards(stripe.size());
-    std::vector<std::size_t> broken;
-    for (std::size_t s = 0; s < stripe.size(); ++s) {
-      Probe p = probes[s].get();
-      if (p.corrupt) {
-        ++stats.mismatches;
-        if (note_scrub) registry_.at(stripe[s].provider).note_scrub_error();
+    struct Probe {
+      std::optional<Bytes> data;  ///< set only when intact
+      bool corrupt = false;       ///< provider answered, digest failed
+    };
+    // Broken locations re-homed this attempt and their replacements (same
+    // index); update_chunk_if() applies the provider-id-table deltas
+    // atomically with the row commit.
+    std::vector<ShardLocation> replaced_old;
+    std::vector<ShardLocation> replaced_new;
+    auto heal_stripe = [&](std::vector<ShardLocation>& stripe,
+                           const std::vector<crypto::Digest>& digests)
+        -> Result<std::size_t> {
+      // Probe every shard through the I/O pool (leaf tasks only, so both
+      // caller threads and the scrubber thread can block on the futures).
+      // Probes take a single attempt through the request layer: a
+      // quarantined provider's open breaker rejects without I/O, so its
+      // shards read as broken and get re-homed -- this is how repair heals
+      // quarantined stripes.
+      std::vector<std::future<Probe>> probes;
+      probes.reserve(stripe.size());
+      for (std::size_t s = 0; s < stripe.size(); ++s) {
+        probes.push_back(io_pool_.submit(
+            [this, loc = stripe[s], digest = digests[s]]() -> Probe {
+              Probe p;
+              RequestLayer::GetOutcome r =
+                  rt_.get(loc.provider, loc.virtual_id, 1);
+              if (!r.data.has_value()) return p;
+              if (crypto::sha256(*r.data) == digest) {
+                p.data = std::move(*r.data);
+              } else {
+                p.corrupt = true;
+              }
+              return p;
+            }));
       }
-      shards[s] = std::move(p.data);
-      if (!shards[s].has_value()) broken.push_back(s);
-    }
-    if (broken.empty()) return std::size_t{0};
-    std::size_t fixed = 0;
-    for (std::size_t s : broken) {
-      Result<Bytes> shard =
-          raid::reconstruct_shard(entry.layout, shards, s);
-      if (!shard.ok()) return shard.status();
-      // New home: eligible, online, healthy, not already a stripe member.
-      const ProviderIndex home =
-          replacement_target(entry.privacy_level, stripe);
-      if (home == kNoProvider) {
-        return Status::ResourceExhausted(
-            "repair: no healthy provider outside the stripe");
+      std::vector<std::optional<Bytes>> shards(stripe.size());
+      std::vector<std::size_t> broken;
+      for (std::size_t s = 0; s < stripe.size(); ++s) {
+        Probe p = probes[s].get();
+        if (p.corrupt) {
+          ++stats.mismatches;
+          if (note_scrub) registry_.at(stripe[s].provider).note_scrub_error();
+        }
+        shards[s] = std::move(p.data);
+        if (!shards[s].has_value()) broken.push_back(s);
       }
-      const VirtualId id = next_virtual_id();
-      RequestLayer::Outcome rpc = rt_.put(home, id, shard.value());
-      CS_RETURN_IF_ERROR(rpc.status);
-      metadata_->record_removal(stripe[s].provider, stripe[s].virtual_id);
-      metadata_->record_placement(home, id);
-      stripe[s] = ShardLocation{home, id};
-      shards[s] = std::move(shard).value();
-      ++fixed;
-    }
-    return fixed;
-  };
+      if (broken.empty()) return std::size_t{0};
+      std::size_t fixed = 0;
+      for (std::size_t s : broken) {
+        Result<Bytes> shard =
+            raid::reconstruct_shard(entry.layout, shards, s);
+        if (!shard.ok()) return shard.status();
+        // New home: eligible, online, healthy, not already a stripe member.
+        const ProviderIndex home =
+            replacement_target(entry.privacy_level, stripe);
+        if (home == kNoProvider) {
+          return Status::ResourceExhausted(
+              "repair: no healthy provider outside the stripe");
+        }
+        const VirtualId id = next_virtual_id();
+        RequestLayer::Outcome rpc = rt_.put(home, id, shard.value());
+        CS_RETURN_IF_ERROR(rpc.status);
+        replaced_old.push_back(stripe[s]);
+        replaced_new.push_back(ShardLocation{home, id});
+        stripe[s] = ShardLocation{home, id};
+        shards[s] = std::move(shard).value();
+        ++fixed;
+      }
+      return fixed;
+    };
 
-  Result<std::size_t> fixed = heal_stripe(entry.stripe, entry.shard_digests);
-  if (!fixed.ok()) return fixed.status();
-  stats.fixed = fixed.value();
-  if (entry.has_snapshot) {
-    Result<std::size_t> snap_fixed =
-        heal_stripe(entry.snapshot, entry.snapshot_digests);
-    if (!snap_fixed.ok()) return snap_fixed.status();
-    stats.fixed += snap_fixed.value();
+    Result<std::size_t> fixed = heal_stripe(entry.stripe, entry.shard_digests);
+    if (!fixed.ok()) return fixed.status();
+    stats.fixed = fixed.value();
+    if (entry.has_snapshot) {
+      Result<std::size_t> snap_fixed =
+          heal_stripe(entry.snapshot, entry.snapshot_digests);
+      if (!snap_fixed.ok()) return snap_fixed.status();
+      stats.fixed += snap_fixed.value();
+    }
+    if (stats.fixed > 0) {
+      Status updated = metadata_->update_chunk_if(index, entry, row_version,
+                                                  replaced_old, replaced_new);
+      if (!updated.ok()) {
+        // The re-homed copies never became referenced: delete them so the
+        // lost race leaves no orphans behind.
+        for (const ShardLocation& loc : replaced_new) {
+          (void)rt_.remove(loc.provider, loc.virtual_id);
+        }
+        if (updated.code() == ErrorCode::kFailedPrecondition) {
+          continue;  // a concurrent writer rewrote the row: redo from fresh
+        }
+        return updated;
+      }
+      JournalRecord rec;
+      rec.op = JournalOp::kUpdateChunk;
+      rec.chunks.push_back(JournalChunk{0, index, std::move(entry)});
+      CS_RETURN_IF_ERROR(journal_append(rec));
+    }
+    return stats;
   }
-  if (stats.fixed > 0) {
-    Status updated = metadata_->update_chunk(index, entry);
-    if (!updated.ok()) return updated;
-    JournalRecord rec;
-    rec.op = JournalOp::kUpdateChunk;
-    rec.chunks.push_back(JournalChunk{0, index, std::move(entry)});
-    CS_RETURN_IF_ERROR(journal_append(rec));
-  }
-  return stats;
+
+  // Every attempt lost its CAS (a hot row): report nothing healed; the
+  // next scrub/repair pass revisits.
+  return StripeHealStats{};
 }
 
 Result<std::size_t> CloudDataDistributor::repair() {
@@ -1786,7 +1818,7 @@ Result<ProviderIndex> CloudDataDistributor::add_provider(
   const std::string name = descriptor.name;
   const PrivacyLevel pl = descriptor.privacy_level;
   const CostLevel cl = descriptor.cost_level;
-  if (seed == 0) seed = 0xC10D0000ULL + registry_.size();
+  // seed 0: the registry derives one from the fleet size under its lock.
   const ProviderIndex p = registry_.add(std::move(descriptor), latency, seed,
                                         ProviderLifecycle::kJoining);
   metadata_->register_provider(name, pl, cl, ProviderLifecycle::kJoining);
@@ -1825,20 +1857,10 @@ Status CloudDataDistributor::begin_migration(MigrationKind kind,
     case MigrationKind::kDrain:
     case MigrationKind::kDecommission: {
       // Draining a provider must leave at least one active member or
-      // placement (and the migration itself) has nowhere to go.
-      bool any_other_active = false;
-      for (ProviderIndex i = 0; i < registry_.size(); ++i) {
-        if (i != subject &&
-            registry_.lifecycle(i) == ProviderLifecycle::kActive) {
-          any_other_active = true;
-          break;
-        }
-      }
-      if (!any_other_active) {
-        return Status::FailedPrecondition(
-            "begin_migration: draining " + name +
-            " would leave no active provider");
-      }
+      // placement (and the migration itself) has nowhere to go. The
+      // registry enforces that atomically with the transition, so two
+      // concurrent drains of the last two active providers cannot both
+      // slip through a check-then-act window.
       CS_RETURN_IF_ERROR(registry_.drain(subject));
       metadata_->set_provider_lifecycle(subject, ProviderLifecycle::kDraining);
       ring_erase(subject);
@@ -1886,128 +1908,167 @@ CloudDataDistributor::migrate_chunk(std::size_t index, MigrationKind kind,
                                     ProviderIndex subject) {
   CS_REQUIRE(subject < registry_.size(),
              "migrate_chunk: provider index out of range");
-  ChunkMigrateStats stats;
-  Result<ChunkEntry> entry_r = metadata_->chunk_entry(index);
-  if (!entry_r.ok()) return stats;  // deleted hole: nothing to move
-  ChunkEntry entry = std::move(entry_r).value();
-  if (entry.deleted) return stats;
   const bool join = kind == MigrationKind::kJoin;
-  if (join &&
-      !privileged_for(registry_.at(subject).descriptor().privacy_level,
-                      entry.privacy_level)) {
-    return stats;  // joiner not trusted at this sensitivity: steals nothing
-  }
 
-  // Old copies to delete at their source -- deferred until the new
-  // locations have committed (metadata + journal), so a crash mid-chunk
-  // leaves duplicates (orphans reconcile() sweeps), never a hole.
-  std::vector<ShardLocation> retired;
-  auto migrate_stripe = [&](std::vector<ShardLocation>& stripe) {
-    bool subject_in_stripe = false;
-    for (const ShardLocation& loc : stripe) {
-      if (loc.provider == subject) subject_in_stripe = true;
+  // The chunk row is read-modify-written here while live client traffic
+  // (update_chunk, remove, heal) may rewrite the same row concurrently. The
+  // commit therefore goes through a version compare-and-swap: when a client
+  // won the race, this pass's fresh copies are deleted and the chunk is
+  // redone from the new row -- the migrator can never overwrite a newer row
+  // with its stale snapshot (which would then retire shards the new row
+  // references, leaving a permanent hole). A row hot enough to exhaust the
+  // redo budget is left for the next migration pass.
+  constexpr int kCasAttempts = 8;
+  for (int attempt = 0; attempt < kCasAttempts; ++attempt) {
+    ChunkMigrateStats stats;
+    Result<MetadataStore::VersionedChunk> row =
+        metadata_->chunk_entry_versioned(index);
+    if (!row.ok()) return stats;  // deleted hole: nothing to move
+    ChunkEntry entry = std::move(row.value().entry);
+    const std::uint64_t row_version = row.value().version;
+    if (entry.deleted) return stats;
+    if (join &&
+        !privileged_for(registry_.at(subject).descriptor().privacy_level,
+                        entry.privacy_level)) {
+      return stats;  // joiner not trusted at this sensitivity: steals nothing
     }
-    for (std::size_t s = 0; s < stripe.size(); ++s) {
-      bool affected;
-      if (join) {
-        // The arc the joiner stole. Stripe members must stay on distinct
-        // providers (placement rule 4), so a stripe yields the joiner at
-        // most one shard; a re-run after a crash sees the moved shard
-        // already on the joiner and skips the stripe.
-        affected = !subject_in_stripe && stripe[s].provider != subject &&
-                   ring_owner(stripe[s].virtual_id) == subject;
-      } else {
-        // Drain/decommission: everything resident on the subject. A re-run
-        // finds the moved shards no longer there -- idempotent.
-        affected = stripe[s].provider == subject;
-      }
-      if (!affected) continue;
 
-      // Fetch through the request layer: retries, breaker gating and
-      // hedging apply to migration traffic like any client read.
-      Bytes shard;
-      RequestLayer::GetOutcome got =
-          rt_.get(stripe[s].provider, stripe[s].virtual_id);
-      if (got.status.ok() && got.data.has_value()) {
-        shard = std::move(*got.data);
-      } else {
-        // Source unreachable: RAID-reconstruct from the stripe survivors,
-        // probing through the I/O pool.
-        std::vector<std::optional<Bytes>> shards(stripe.size());
-        std::vector<std::pair<std::size_t,
-                              std::future<std::optional<Bytes>>>> probes;
-        probes.reserve(stripe.size());
-        for (std::size_t t = 0; t < stripe.size(); ++t) {
-          if (t == s) continue;
-          probes.emplace_back(
-              t, io_pool_.submit(
-                     [this, loc = stripe[t]]() -> std::optional<Bytes> {
-                       RequestLayer::GetOutcome other =
-                           rt_.get(loc.provider, loc.virtual_id);
-                       if (other.status.ok() && other.data.has_value()) {
-                         return std::move(*other.data);
-                       }
-                       return std::nullopt;
-                     }));
+    // Old copies to delete at their source -- deferred until the new
+    // locations have committed (metadata + journal), so a crash mid-chunk
+    // leaves duplicates (orphans reconcile() sweeps), never a hole. The new
+    // homes (same index as their retired twin) wait alongside: the
+    // provider-id-table deltas are applied by update_chunk_if() atomically
+    // with the row write, so a failed commit or an interleaved checkpoint
+    // never persists id tables that disagree with the chunk rows.
+    std::vector<ShardLocation> retired;
+    std::vector<ShardLocation> placed;
+    auto migrate_stripe = [&](std::vector<ShardLocation>& stripe) {
+      bool subject_in_stripe = false;
+      for (const ShardLocation& loc : stripe) {
+        if (loc.provider == subject) subject_in_stripe = true;
+      }
+      for (std::size_t s = 0; s < stripe.size(); ++s) {
+        bool affected;
+        if (join) {
+          // The arc the joiner stole. Stripe members must stay on distinct
+          // providers (placement rule 4), so a stripe yields the joiner at
+          // most one shard; a re-run after a crash sees the moved shard
+          // already on the joiner and skips the stripe.
+          affected = !subject_in_stripe && stripe[s].provider != subject &&
+                     ring_owner(stripe[s].virtual_id) == subject;
+        } else {
+          // Drain/decommission: everything resident on the subject. A re-run
+          // finds the moved shards no longer there -- idempotent.
+          affected = stripe[s].provider == subject;
         }
-        for (auto& [t, fut] : probes) shards[t] = fut.get();
-        Result<Bytes> rebuilt =
-            raid::reconstruct_shard(entry.layout, shards, s);
-        if (!rebuilt.ok()) {
-          ++stats.errors;  // below RAID tolerance right now: next pass
+        if (!affected) continue;
+
+        // Fetch through the request layer: retries, breaker gating and
+        // hedging apply to migration traffic like any client read.
+        Bytes shard;
+        RequestLayer::GetOutcome got =
+            rt_.get(stripe[s].provider, stripe[s].virtual_id);
+        if (got.status.ok() && got.data.has_value()) {
+          shard = std::move(*got.data);
+        } else {
+          // Source unreachable: RAID-reconstruct from the stripe survivors,
+          // probing through the I/O pool.
+          std::vector<std::optional<Bytes>> shards(stripe.size());
+          std::vector<std::pair<std::size_t,
+                                std::future<std::optional<Bytes>>>> probes;
+          probes.reserve(stripe.size());
+          for (std::size_t t = 0; t < stripe.size(); ++t) {
+            if (t == s) continue;
+            probes.emplace_back(
+                t, io_pool_.submit(
+                       [this, loc = stripe[t]]() -> std::optional<Bytes> {
+                         RequestLayer::GetOutcome other =
+                             rt_.get(loc.provider, loc.virtual_id);
+                         if (other.status.ok() && other.data.has_value()) {
+                           return std::move(*other.data);
+                         }
+                         return std::nullopt;
+                       }));
+          }
+          for (auto& [t, fut] : probes) shards[t] = fut.get();
+          Result<Bytes> rebuilt =
+              raid::reconstruct_shard(entry.layout, shards, s);
+          if (!rebuilt.ok()) {
+            ++stats.errors;  // below RAID tolerance right now: next pass
+            continue;
+          }
+          shard = std::move(rebuilt).value();
+        }
+
+        ProviderIndex home;
+        if (join) {
+          home = subject;
+        } else {
+          home = drain_home(entry.privacy_level, stripe, stripe[s].virtual_id,
+                            subject);
+        }
+        if (home == kNoProvider) {
+          ++stats.errors;  // no qualifying member this pass
           continue;
         }
-        shard = std::move(rebuilt).value();
+        const VirtualId id = next_virtual_id();
+        RequestLayer::Outcome rpc = rt_.put(home, id, shard);
+        if (!rpc.status.ok()) {
+          ++stats.errors;
+          continue;
+        }
+        retired.push_back(stripe[s]);
+        placed.push_back(ShardLocation{home, id});
+        stripe[s] = ShardLocation{home, id};
+        ++stats.moved;
+        stats.bytes += shard.size();
+        if (join) subject_in_stripe = true;
       }
+    };
+    migrate_stripe(entry.stripe);
+    if (entry.has_snapshot) migrate_stripe(entry.snapshot);
 
-      ProviderIndex home;
-      if (join) {
-        home = subject;
-      } else {
-        home = drain_home(entry.privacy_level, stripe, stripe[s].virtual_id,
-                          subject);
+    if (stats.moved != 0) {
+      Status updated =
+          metadata_->update_chunk_if(index, entry, row_version, retired,
+                                     placed);
+      if (!updated.ok()) {
+        // The new copies never became referenced: delete them so the lost
+        // race leaves no orphans behind.
+        for (const ShardLocation& loc : placed) {
+          (void)rt_.remove(loc.provider, loc.virtual_id);
+        }
+        if (updated.code() == ErrorCode::kFailedPrecondition) {
+          continue;  // a client rewrote the row mid-move: redo from fresh
+        }
+        return updated;
       }
-      if (home == kNoProvider) {
-        ++stats.errors;  // no qualifying member this pass
-        continue;
+      JournalRecord rec;
+      rec.op = JournalOp::kUpdateChunk;
+      rec.chunks.push_back(JournalChunk{0, index, std::move(entry)});
+      CS_RETURN_IF_ERROR(journal_append(rec));
+      // The new locations are durable; the old copies can go.
+      for (const ShardLocation& loc : retired) {
+        (void)rt_.remove(loc.provider, loc.virtual_id);
       }
-      const VirtualId id = next_virtual_id();
-      RequestLayer::Outcome rpc = rt_.put(home, id, shard);
-      if (!rpc.status.ok()) {
-        ++stats.errors;
-        continue;
+      if (telemetry_->enabled()) {
+        obs::MetricsRegistry& m = telemetry_->metrics();
+        m.counter("migration.shards_moved").inc(stats.moved);
+        m.counter("migration.bytes_moved").inc(stats.bytes);
       }
-      retired.push_back(stripe[s]);
-      metadata_->record_removal(stripe[s].provider, stripe[s].virtual_id);
-      metadata_->record_placement(home, id);
-      stripe[s] = ShardLocation{home, id};
-      ++stats.moved;
-      stats.bytes += shard.size();
-      if (join) subject_in_stripe = true;
     }
-  };
-  migrate_stripe(entry.stripe);
-  if (entry.has_snapshot) migrate_stripe(entry.snapshot);
-
-  if (stats.moved != 0) {
-    Status updated = metadata_->update_chunk(index, entry);
-    if (!updated.ok()) return updated;
-    JournalRecord rec;
-    rec.op = JournalOp::kUpdateChunk;
-    rec.chunks.push_back(JournalChunk{0, index, std::move(entry)});
-    CS_RETURN_IF_ERROR(journal_append(rec));
-    // New locations are durable; now the old copies can go.
-    for (const ShardLocation& old : retired) {
-      (void)rt_.remove(old.provider, old.virtual_id);
+    if (stats.errors != 0 && telemetry_->enabled()) {
+      telemetry_->metrics().counter("migration.errors").inc(stats.errors);
     }
-    if (telemetry_->enabled()) {
-      obs::MetricsRegistry& m = telemetry_->metrics();
-      m.counter("migration.shards_moved").inc(stats.moved);
-      m.counter("migration.bytes_moved").inc(stats.bytes);
-    }
+    return stats;
   }
-  if (stats.errors != 0 && telemetry_->enabled()) {
-    telemetry_->metrics().counter("migration.errors").inc(stats.errors);
+
+  // Every attempt lost its CAS: count one error so this migration pass
+  // reports incomplete and a later run retries the chunk.
+  ChunkMigrateStats stats;
+  stats.errors = 1;
+  if (telemetry_->enabled()) {
+    telemetry_->metrics().counter("migration.errors").inc(1);
   }
   return stats;
 }

@@ -115,7 +115,15 @@ Result<Migrator::Report> Migrator::do_run(MigrationKind kind,
 
 void Migrator::start(MigrationKind kind, ProviderIndex subject) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (thread_.joinable()) return;
+  if (thread_.joinable()) {
+    // A completed run leaves its thread joinable until wait()/stop(); only
+    // a live one wins over this start(). Reap the finished thread so a
+    // start() meant to resume an errored or stopped migration launches.
+    // Safe under mu_: running_ false means the epilogue (the thread's last
+    // use of mu_) already finished.
+    if (running_.load(std::memory_order_acquire)) return;
+    thread_.join();
+  }
   stop_.store(false, std::memory_order_relaxed);
   running_.store(true, std::memory_order_relaxed);
   thread_ = std::thread([this, kind, subject] {

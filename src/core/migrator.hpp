@@ -75,7 +75,9 @@ class Migrator {
   /// record is re-issued idempotently and already-moved shards are skipped.
   Result<Report> run(MigrationKind kind, ProviderIndex subject);
 
-  /// Launches run() on a background thread. No-op if one is active.
+  /// Launches run() on a background thread. No-op while one is still
+  /// running; a finished (completed, errored or stopped) background run is
+  /// reaped and superseded, so start() also resumes an open migration.
   void start(MigrationKind kind, ProviderIndex subject);
 
   /// Asks a background run to stop at the next chunk boundary and joins

@@ -262,6 +262,7 @@ class MetadataStore {
     }
     const PrivacyLevel pl = entry.privacy_level;
     chunks_.push_back(std::move(entry));
+    versions_.push_back(0);
     const std::size_t idx = chunks_.size() - 1;
     serials.emplace(serial, ChunkRef{filename, serial, pl, idx});
     return idx;
@@ -290,6 +291,7 @@ class MetadataStore {
     const PrivacyLevel pl = entry.privacy_level;
     grow_chunks(index);
     chunks_[index] = std::move(entry);
+    ++versions_[index];
     if (sit == serials.end()) {
       serials.emplace(serial, ChunkRef{filename, serial, pl, index});
     }
@@ -303,6 +305,7 @@ class MetadataStore {
     std::unique_lock<std::shared_mutex> lock(mu_);
     grow_chunks(index);
     chunks_[index] = std::move(entry);
+    ++versions_[index];
   }
 
   [[nodiscard]] Result<ChunkEntry> chunk_entry(std::size_t index) const {
@@ -313,12 +316,72 @@ class MetadataStore {
     return chunks_[index];
   }
 
+  /// Chunk row plus its modification version -- the token update_chunk_if()
+  /// compares, letting a read-modify-write detect a concurrent writer (the
+  /// background migrator races live client updates on the same rows).
+  /// Versions are in-memory only: conflicts only exist within one process.
+  struct VersionedChunk {
+    ChunkEntry entry;
+    std::uint64_t version = 0;
+  };
+
+  [[nodiscard]] Result<VersionedChunk> chunk_entry_versioned(
+      std::size_t index) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (index >= chunks_.size()) {
+      return Status::NotFound("chunk index " + std::to_string(index));
+    }
+    return VersionedChunk{chunks_[index], versions_[index]};
+  }
+
   Status update_chunk(std::size_t index, ChunkEntry entry) {
     std::unique_lock<std::shared_mutex> lock(mu_);
     if (index >= chunks_.size()) {
       return Status::NotFound("chunk index " + std::to_string(index));
     }
     chunks_[index] = std::move(entry);
+    ++versions_[index];
+    return Status::Ok();
+  }
+
+  /// Commits `entry` only while the row is still at `expected_version`
+  /// (compare-and-swap). kFailedPrecondition when a concurrent writer
+  /// committed first: the caller's snapshot is stale -- re-read and redo.
+  Status update_chunk_if(std::size_t index, ChunkEntry entry,
+                         std::uint64_t expected_version) {
+    return update_chunk_if(index, std::move(entry), expected_version, {}, {});
+  }
+
+  /// CAS commit that also applies the shard-move bookkeeping -- `retired`
+  /// leaves the provider id tables, `placed` enters them -- under the same
+  /// exclusive lock as the row write. A checkpoint snapshot (which takes
+  /// this lock) therefore never observes the new row with the old id
+  /// tables: the pair is atomic, so persisted images stay consistent even
+  /// when a journal fold interleaves with a migration or heal commit.
+  Status update_chunk_if(std::size_t index, ChunkEntry entry,
+                         std::uint64_t expected_version,
+                         const std::vector<ShardLocation>& retired,
+                         const std::vector<ShardLocation>& placed) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (index >= chunks_.size()) {
+      return Status::NotFound("chunk index " + std::to_string(index));
+    }
+    if (versions_[index] != expected_version) {
+      return Status::FailedPrecondition(
+          "chunk index " + std::to_string(index) + " modified since read");
+    }
+    chunks_[index] = std::move(entry);
+    ++versions_[index];
+    for (const ShardLocation& loc : retired) {
+      CS_REQUIRE(loc.provider < providers_.size(),
+                 "update_chunk_if: bad retired provider index");
+      providers_[loc.provider].virtual_ids.erase(loc.virtual_id);
+    }
+    for (const ShardLocation& loc : placed) {
+      CS_REQUIRE(loc.provider < providers_.size(),
+                 "update_chunk_if: bad placed provider index");
+      providers_[loc.provider].virtual_ids.insert(loc.virtual_id);
+    }
     return Status::Ok();
   }
 
@@ -436,6 +499,7 @@ class MetadataStore {
       }
     }
     chunks_ = std::move(chunks);
+    versions_.assign(chunks_.size(), 0);
   }
 
  private:
@@ -446,6 +510,7 @@ class MetadataStore {
       ChunkEntry tombstone;
       tombstone.deleted = true;
       chunks_.push_back(std::move(tombstone));
+      versions_.push_back(0);
     }
   }
 
@@ -486,6 +551,9 @@ class MetadataStore {
   std::vector<ProviderState> providers_;
   std::map<std::string, ClientState> clients_;
   std::vector<ChunkEntry> chunks_;
+  /// Per-row write counter backing update_chunk_if(), grown in lockstep
+  /// with chunks_. Not persisted: a restart starts every row at 0.
+  std::vector<std::uint64_t> versions_;
 };
 
 }  // namespace cshield::core

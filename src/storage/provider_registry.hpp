@@ -154,11 +154,14 @@ class ProviderRegistry {
   /// Adds a provider with an explicit latency model, RNG seed and initial
   /// lifecycle; returns its stable index. Runtime joins pass kJoining so
   /// the new provider stays invisible to placement until it has been
-  /// migrated its ring share and activated.
+  /// migrated its ring share and activated. Seed 0 derives a deterministic
+  /// seed from the fleet size -- under the unique lock, so two concurrent
+  /// adds can never end up with identical RNG streams.
   ProviderIndex add(ProviderDescriptor descriptor, LatencyModel latency,
                     std::uint64_t seed,
                     ProviderLifecycle lifecycle = ProviderLifecycle::kActive) {
     std::unique_lock<std::shared_mutex> lock(mu_);
+    if (seed == 0) seed = 0xC10D0000ULL + providers_.size();
     providers_.push_back(std::make_unique<SimCloudProvider>(
         std::move(descriptor), latency, seed));
     breakers_.push_back(std::make_unique<CircuitBreaker>(breaker_config_));
@@ -172,12 +175,7 @@ class ProviderRegistry {
   }
 
   ProviderIndex add(ProviderDescriptor descriptor) {
-    std::uint64_t seed = 0;
-    {
-      std::shared_lock<std::shared_mutex> lock(mu_);
-      seed = 0xC10D0000ULL + providers_.size();
-    }
-    return add(std::move(descriptor), LatencyModel{}, seed);
+    return add(std::move(descriptor), LatencyModel{}, 0);
   }
 
   [[nodiscard]] std::size_t size() const {
@@ -233,7 +231,10 @@ class ProviderRegistry {
 
   /// kActive -> kDraining: the provider leaves placement but keeps serving
   /// reads while the migrator empties it. Idempotent on an already-draining
-  /// provider (crash-resume re-issues the transition).
+  /// provider (crash-resume re-issues the transition). Refuses to retire
+  /// the last placement-eligible member: the check and the transition share
+  /// this one exclusive lock, so two racing drains of the final two active
+  /// providers cannot both pass and strand the fleet with zero.
   Status drain(ProviderIndex i) {
     std::unique_lock<std::shared_mutex> lock(mu_);
     CS_REQUIRE(i < lifecycles_.size(), "provider index out of range");
@@ -242,6 +243,18 @@ class ProviderRegistry {
       return Status::FailedPrecondition(
           "drain: provider is " +
           std::string(provider_lifecycle_name(lifecycles_[i])));
+    }
+    bool any_other_active = false;
+    for (ProviderIndex j = 0; j < lifecycles_.size(); ++j) {
+      if (j != i && lifecycles_[j] == ProviderLifecycle::kActive) {
+        any_other_active = true;
+        break;
+      }
+    }
+    if (!any_other_active) {
+      return Status::FailedPrecondition(
+          "drain: retiring " + providers_[i]->descriptor().name +
+          " would leave no active provider");
     }
     lifecycles_[i] = ProviderLifecycle::kDraining;
     return Status::Ok();

@@ -194,6 +194,24 @@ TEST(LifecycleTest, DrainOfLastActiveProviderIsRejected) {
   EXPECT_EQ(reg.lifecycle(0), ProviderLifecycle::kActive);
 }
 
+TEST(LifecycleTest, ConcurrentDrainsNeverRetireLastActive) {
+  // Two racing drains of the final two active providers must not both
+  // pass: the registry checks "at least one other active" and transitions
+  // under one exclusive lock, so exactly one wins each round.
+  for (int round = 0; round < 50; ++round) {
+    storage::ProviderRegistry reg = flat_registry(2);
+    Status a, b;
+    std::thread t1([&] { a = reg.drain(0); });
+    std::thread t2([&] { b = reg.drain(1); });
+    t1.join();
+    t2.join();
+    EXPECT_NE(a.ok(), b.ok());
+    EXPECT_TRUE(reg.lifecycle(0) == ProviderLifecycle::kActive ||
+                reg.lifecycle(1) == ProviderLifecycle::kActive)
+        << "both drains passed: fleet left with zero active providers";
+  }
+}
+
 TEST(LifecycleTest, ConcurrentLifecycleHammer) {
   // TSan target: churn lifecycle transitions from several threads while
   // readers walk eligibility, descriptors and breakers. No assertion
@@ -478,6 +496,134 @@ TEST(MigrationTest, BackgroundStopPausesAndRunResumes) {
   Result<Bytes> back = cdd.get_file("alice", "pw", "f");
   ASSERT_TRUE(back.ok());
   EXPECT_TRUE(equal(back.value(), data));
+}
+
+TEST(MigrationTest, BackgroundStartAfterFinishedRunLaunchesAgain) {
+  // A completed background run leaves its thread joinable until
+  // wait()/stop(); a second start() must reap it and launch, not silently
+  // no-op while progress().running reports false.
+  storage::ProviderRegistry reg = flat_registry(8);
+  CloudDataDistributor cdd(reg, base_config(0x906));
+  ASSERT_TRUE(cdd.register_client("alice").ok());
+  ASSERT_TRUE(cdd.add_password("alice", "pw", PrivacyLevel::kHigh).ok());
+  core::PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;
+  const Bytes data = payload_of(20000, 9);
+  ASSERT_TRUE(cdd.put_file("alice", "pw", "f", data, opts).ok());
+
+  Migrator migrator(cdd);
+  migrator.start(MigrationKind::kDrain, 2);
+  for (int i = 0; i < 20000 && migrator.progress().running; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(migrator.progress().running);
+
+  // No wait() in between: the finished thread is still unreaped.
+  migrator.start(MigrationKind::kDrain, 3);
+  Result<Migrator::Report> report = migrator.wait();
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report.value().committed);
+  EXPECT_EQ(reg.lifecycle(3), ProviderLifecycle::kDraining)
+      << "second start() never launched";
+  EXPECT_EQ(shards_on(cdd.metadata(), 3), 0u);
+}
+
+// --- migrator vs. concurrent chunk writers ----------------------------------
+
+TEST(MetadataCasTest, UpdateChunkIfRefusesStaleVersion) {
+  core::MetadataStore store;
+  ASSERT_TRUE(store.register_client("alice").ok());
+  ASSERT_TRUE(store.claim_file("alice", "f").ok());
+  core::ChunkEntry entry;
+  entry.privacy_level = PrivacyLevel::kHigh;
+  Result<std::size_t> idx = store.add_chunk("alice", "f", 0, entry);
+  ASSERT_TRUE(idx.ok());
+
+  Result<core::MetadataStore::VersionedChunk> v0 =
+      store.chunk_entry_versioned(idx.value());
+  ASSERT_TRUE(v0.ok());
+
+  // A concurrent writer commits first: the stale token must be refused and
+  // the newer row left untouched.
+  core::ChunkEntry newer = v0.value().entry;
+  newer.padded_size = 111;
+  ASSERT_TRUE(store.update_chunk(idx.value(), newer).ok());
+  core::ChunkEntry stale = v0.value().entry;
+  stale.padded_size = 222;
+  const Status lost =
+      store.update_chunk_if(idx.value(), stale, v0.value().version);
+  EXPECT_EQ(lost.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(store.chunk_entry(idx.value()).value().padded_size, 111u);
+
+  // Re-read and redo: the fresh token commits and bumps the version.
+  Result<core::MetadataStore::VersionedChunk> v1 =
+      store.chunk_entry_versioned(idx.value());
+  ASSERT_TRUE(v1.ok());
+  core::ChunkEntry redo = v1.value().entry;
+  redo.padded_size = 333;
+  EXPECT_TRUE(
+      store.update_chunk_if(idx.value(), redo, v1.value().version).ok());
+  EXPECT_EQ(store.chunk_entry(idx.value()).value().padded_size, 333u);
+  EXPECT_NE(store.chunk_entry_versioned(idx.value()).value().version,
+            v1.value().version);
+}
+
+TEST(MigrationTest, ConcurrentClientUpdatesDuringDrainLeaveNoHoles) {
+  // Regression for the migrator's read-modify-write racing live client
+  // updates on the same chunk rows: without the version CAS the migrator
+  // could commit a stale row over a client's newer one and then delete the
+  // retired copies that newer row still references -- a permanent hole.
+  // Here a client rewrites every chunk continuously while a throttled
+  // drain walks the table; afterwards every chunk must read back equal to
+  // its last committed update.
+  storage::ProviderRegistry reg = flat_registry(8);
+  CloudDataDistributor cdd(reg, base_config(0x90C));
+  ASSERT_TRUE(cdd.register_client("alice").ok());
+  ASSERT_TRUE(cdd.add_password("alice", "pw", PrivacyLevel::kHigh).ok());
+  core::PutOptions opts;
+  opts.privacy_level = PrivacyLevel::kHigh;
+  const Bytes data = payload_of(30000, 11);
+  ASSERT_TRUE(cdd.put_file("alice", "pw", "f", data, opts).ok());
+  const std::vector<core::ChunkRef> refs =
+      cdd.metadata().file_chunks("alice", "f");
+  ASSERT_GT(refs.size(), 1u);
+
+  const ProviderIndex subject = 4;
+  Migrator::Config mconfig;
+  mconfig.stripes_per_sec = 200.0;  // slow the walk so updates interleave
+  mconfig.max_in_flight = 2;
+  Migrator migrator(cdd, mconfig);
+  migrator.start(MigrationKind::kDrain, subject);
+
+  // Serial updater racing the background walk: per chunk, the last update
+  // this loop committed is the content the final read must return.
+  std::map<std::uint64_t, Bytes> expected;
+  std::uint64_t seed = 0x9000;
+  do {
+    for (const core::ChunkRef& ref : refs) {
+      const Bytes next = payload_of(512 + (seed % 1024), seed);
+      ++seed;
+      Status st = cdd.update_chunk("alice", "pw", "f", ref.serial, next);
+      ASSERT_TRUE(st.ok()) << st.to_string();
+      expected[ref.serial] = next;
+    }
+  } while (migrator.progress().running);
+  Result<Migrator::Report> report = migrator.wait();
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+
+  // Lost CAS races surface as errors; converge now that updates quiesced.
+  for (int pass = 0; pass < 5 && !report.value().committed; ++pass) {
+    report = migrator.run(MigrationKind::kDrain, subject);
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+  }
+  EXPECT_TRUE(report.value().committed);
+  EXPECT_EQ(shards_on(cdd.metadata(), subject), 0u);
+  for (const auto& [serial, want] : expected) {
+    Result<Bytes> back = cdd.get_chunk("alice", "pw", "f", serial);
+    ASSERT_TRUE(back.ok()) << "chunk " << serial
+                           << " lost: " << back.status().to_string();
+    EXPECT_TRUE(equal(back.value(), want)) << "chunk " << serial;
+  }
 }
 
 // --- durability: checkpoint + crash sweep -----------------------------------
