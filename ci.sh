@@ -25,6 +25,10 @@
 #              + migration_test (the provider-lifecycle registry hammer --
 #              concurrent drain/activate churn against eligibility readers
 #              -- plus the background Migrator running alongside live reads)
+#              + shardplane_test (the N-way partitioned metadata/journal
+#              plane: 8 front-ends x 64 clients hammering a shared 4-shard
+#              plane, routing-discipline checks, and the per-shard
+#              crash-at-every-append-boundary recovery sweep)
 #   4. crash-e2e: scripted end-to-end crash drill against cshield_cli on a
 #              disk-backed root: put files, kill the process mid-stripe via
 #              CSHIELD_CRASH_AFTER_APPENDS (it _exit(42)s inside a journal
@@ -35,6 +39,14 @@
 #              once with the default per-op commit and once with journal
 #              group commit enabled (--batch-ops 8 --batch-ms 2), so the
 #              crash/recover contract is proven identical under batching.
+#              A sharded pass repeats the drill on a 4-way partitioned
+#              metadata plane (--meta-shards 4): the crash tears one
+#              shard's journal, recovery replays all four in parallel, and
+#              the shard-count discipline is then checked directly --
+#              `stats` with no flag auto-detects 4 shards from the journal
+#              stamp, an explicit matching --meta-shards 4 is accepted, and
+#              a mismatched --meta-shards 2 is rejected with a clear
+#              "shard count mismatch" error before any mutation.
 #              A third pass round-trips a file stored with `put ...
 #              --protection fragmentation`, proving the key-less entangled
 #              protection mode survives a full process restart (metadata v2
@@ -91,7 +103,18 @@
 #              each relocate <= 35% of live shard slots (vs ~100% for a
 #              naive rehash) with every file byte-identical after, and a
 #              throttled background drain under 5% transient faults serves
-#              every concurrent read with zero failures.
+#              every concurrent read with zero failures. Then
+#              bench_shardplane writes BENCH_shardplane.json and exits
+#              non-zero unless the shard-plane gates hold at 64 clients:
+#              a 4-shard plane sustains >= 2x the per-op put ops/sec of a
+#              single-shard plane (median of rep-paired ratios), group
+#              commit + batched RPCs on the 4-shard plane keep the PR 6
+#              >= 3x small-op gate (with an honest single-core fallback
+#              form recorded in the JSON), and parallel recovery of 4
+#              torn journals beats sequential replay by >= 1.5x wall
+#              clock (or, on single-core hosts, stays within 25% paired
+#              overhead while the per-shard critical path shows >= 1.5x
+#              headroom).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -112,10 +135,11 @@ cmake -B build-asan -S . -DCSHIELD_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${jobs}"
 (cd build-asan && ctest --output-on-failure -j "${jobs}")
 
-echo "== [3/7] thread sanitizer: concurrency_test + obs_test + chaos_test + recovery_test + health_test + fragmentation_test + migration_test =="
+echo "== [3/7] thread sanitizer: concurrency_test + obs_test + chaos_test + recovery_test + health_test + fragmentation_test + migration_test + shardplane_test =="
 cmake -B build-tsan -S . -DCSHIELD_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${jobs}" --target concurrency_test obs_test \
-  chaos_test recovery_test health_test fragmentation_test migration_test
+  chaos_test recovery_test health_test fragmentation_test migration_test \
+  shardplane_test
 ./build-tsan/tests/concurrency_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/chaos_test
@@ -123,6 +147,7 @@ cmake --build build-tsan -j "${jobs}" --target concurrency_test obs_test \
 ./build-tsan/tests/health_test
 ./build-tsan/tests/fragmentation_test
 ./build-tsan/tests/migration_test
+./build-tsan/tests/shardplane_test
 
 echo "== [4/7] crash e2e: put, kill mid-stripe, recover, verify =="
 cli=./build/examples/cshield_cli
@@ -218,6 +243,42 @@ crash_drill() {
 # indistinguishable with group commit enabled.
 crash_drill per-op
 crash_drill group-commit --batch-ops 8 --batch-ms 2
+
+# Sharded pass: the identical drill on a 4-way partitioned metadata plane.
+# The injected crash tears whichever shard's journal the fourth put routes
+# to, and `recover` replays all four journals in parallel.
+crash_drill meta-shards-4 --meta-shards 4
+
+# Shard-count discipline on the recovered 4-shard root: the journal stamp
+# is the source of truth. No flag -> auto-detect 4 shards; a matching flag
+# is accepted; a mismatched flag must be rejected up front with a clear
+# error, leaving the plane untouched.
+shard_root="${e2e}/meta-shards-4/root"
+stats_out="$("${cli}" "${shard_root}" stats)"
+if ! grep -q -- "--- journal (4 shards) ---" <<< "${stats_out}"; then
+  echo "shard e2e: stats did not auto-detect the 4-shard plane" >&2
+  exit 1
+fi
+for k in 0 1 2 3; do
+  if ! grep -q "^shard ${k}: " <<< "${stats_out}"; then
+    echo "shard e2e: stats output is missing shard ${k}" >&2
+    exit 1
+  fi
+done
+"${cli}" "${shard_root}" stats --meta-shards 4 >/dev/null
+set +e
+mismatch_out="$("${cli}" "${shard_root}" stats --meta-shards 2 2>&1)"
+mismatch_rc=$?
+set -e
+if [[ "${mismatch_rc}" -eq 0 ]]; then
+  echo "shard e2e: --meta-shards 2 on a 4-shard plane was not rejected" >&2
+  exit 1
+fi
+if ! grep -q "shard count mismatch" <<< "${mismatch_out}"; then
+  echo "shard e2e: mismatch rejection lacks the 'shard count mismatch' error" >&2
+  exit 1
+fi
+echo "crash e2e[shard-count discipline]: PASS"
 
 # Fast-fragmentation protection mode e2e: store a file with the key-less
 # entangled mode, then read it back from fresh processes. The mode and its
@@ -391,10 +452,11 @@ cmake --build build-scalar -j "${jobs}" --target kernels_test crypto_test \
 CSHIELD_FORCE_SCALAR=1 ./build-tsan/tests/concurrency_test
 CSHIELD_FORCE_SCALAR=1 ./build-tsan/tests/recovery_test
 
-echo "== [7/7] perf gates: bench_throughput + bench_kernels + frontier =="
+echo "== [7/7] perf gates: bench_throughput + bench_kernels + frontier + migration + shardplane =="
 ./build/bench/bench_throughput BENCH_throughput.json
 ./build/bench/bench_kernels BENCH_kernels.json
 ./build/bench/bench_encryption_vs_fragmentation BENCH_frontier.json
 ./build/bench/bench_migration BENCH_migration.json
+./build/bench/bench_shardplane BENCH_shardplane.json
 
 echo "== ci.sh: all stages passed =="

@@ -37,6 +37,12 @@
 //
 // Flags (any command): `--stats` prints this invocation's telemetry;
 // `--journal <path>` overrides the journal location;
+// `--meta-shards <n>` (init) partitions the metadata/journal plane N ways
+// -- shard k's journal/checkpoint live at `journal.wal.s<k>` /
+// `metadata.bin.s<k>` (shard 0 keeps the base names, so a 1-shard plane
+// is bit- and path-compatible with the unsharded layout); later commands
+// auto-detect N from the journal's shard stamp and refuse a flag that
+// contradicts it;
 // `--protection <partial-aes|misleading|fragmentation>` (put only) selects
 // the per-chunk protection transform instead of the per-PL default;
 // `--faults <p>`
@@ -51,6 +57,7 @@
 // kBeginPut land and kills the process at kCommitPut, leaving an in-flight
 // put whose shards are on-disk orphans for `recover` to collect.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -64,6 +71,7 @@
 #include "core/distributor.hpp"
 #include "core/journal.hpp"
 #include "core/metadata_io.hpp"
+#include "core/metadata_plane.hpp"
 #include "core/migrator.hpp"
 #include "core/scrubber.hpp"
 #include "obs/exporter.hpp"
@@ -88,8 +96,9 @@ struct CliWorld {
   fs::path root;
   storage::ProviderRegistry registry;
   std::vector<std::unique_ptr<storage::DiskStore>> disks;
-  std::shared_ptr<core::MetadataStore> metadata;
-  std::shared_ptr<core::Journal> journal;
+  std::shared_ptr<core::MetadataStore> metadata;  ///< shard-0 partition
+  std::shared_ptr<core::MetadataPlane> plane;
+  std::size_t meta_shards = 1;
   /// Puts the last crash caught between kBeginPut and kCommitPut.
   std::vector<std::pair<std::string, std::string>> in_flight;
   /// Migrations the last crash caught between kBeginMigrate and
@@ -99,27 +108,48 @@ struct CliWorld {
   std::unique_ptr<core::CloudDataDistributor> cdd;
 
   CliWorld(fs::path r, const fs::path& journal_path, std::size_t providers = 0,
-           std::size_t batch_ops = 1, std::size_t batch_ms = 0)
+           std::size_t batch_ops = 1, std::size_t batch_ms = 0,
+           std::size_t shards_flag = 0)
       : root(std::move(r)) {
-    // Crash recovery first: checkpoint image + journal replay. This is the
-    // only metadata load path -- a clean shutdown is just a crash with an
-    // empty tail. It runs before the registry is built because the
-    // recovered provider table is the authority on fleet membership:
-    // runtime-added providers and their lifecycle states live there, not in
-    // the default registry layout.
+    // Shard count: `--meta-shards` on init chooses it; afterwards the
+    // journal's own shard stamp is the authority. A flag that contradicts
+    // the stamp is refused -- re-opening a 4-shard plane as 2-shard would
+    // scatter ownership and corrupt the namespace.
+    Result<core::JournalShardInfo> stamp =
+        core::probe_journal_shard(journal_path);
+    if (stamp.ok()) {
+      meta_shards = stamp.value().shard_count;
+      CS_REQUIRE(shards_flag == 0 || shards_flag == meta_shards,
+                 "shard count mismatch: " + journal_path.string() +
+                     " belongs to a " + std::to_string(meta_shards) +
+                     "-shard metadata plane, but --meta-shards " +
+                     std::to_string(shards_flag) +
+                     " was given; re-open it with the plane's own shard "
+                     "count (or omit the flag to auto-detect)");
+    } else {
+      meta_shards = shards_flag == 0 ? 1 : shards_flag;
+    }
+
+    // Crash recovery first: every shard's checkpoint image + journal
+    // replayed in parallel (one thread per shard). This is the only
+    // metadata load path -- a clean shutdown is just a crash with an empty
+    // tail. It runs before the registry is built because the recovered
+    // provider table is the authority on fleet membership: runtime-added
+    // providers and their lifecycle states live there, not in the default
+    // registry layout.
     const fs::path meta_path = root / "metadata.bin";
-    Result<core::RecoveredState> recovered =
-        core::recover_metadata(meta_path, journal_path);
+    Result<core::PlaneRecovery> recovered =
+        core::recover_plane(meta_path, journal_path, meta_shards);
     CS_REQUIRE(recovered.ok(), "metadata recovery failed: " +
                                    recovered.status().to_string());
-    metadata = recovered.value().metadata;
     in_flight = recovered.value().in_flight;
     pending_migrations = recovered.value().pending_migrations;
 
     // Provider count: from init argument, the recovered table, or the
     // directory layout (whichever knows more -- a crash can die between
-    // journaling a join and creating its directory).
-    const auto table = metadata->provider_table();
+    // journaling a join and creating its directory). Provider rows are
+    // broadcast to every partition, so shard 0 speaks for the plane.
+    const auto table = recovered.value().shards[0].metadata->provider_table();
     std::size_t n = providers;
     if (n == 0) {
       while (fs::exists(root / ("provider" + std::to_string(n)))) ++n;
@@ -153,25 +183,36 @@ struct CliWorld {
       }
       registry.at(p).set_mirror(disks[p].get());
     }
-    // Re-open the journal for appends (truncates any torn tail away).
-    Result<std::unique_ptr<core::Journal>> j =
-        core::Journal::open(journal_path);
-    CS_REQUIRE(j.ok(), "cannot open journal: " + j.status().to_string());
-    journal = std::shared_ptr<core::Journal>(std::move(j.value()));
-    // `--batch-ops/--batch-ms`: group-commit tuning. Installed before the
-    // distributor exists so every append (including the registrations the
-    // distributor journals at startup) goes through the configured path.
-    if (batch_ops > 1) {
-      journal->set_group_commit(core::GroupCommitConfig{
-          batch_ops, std::chrono::duration_cast<std::chrono::microseconds>(
-                         std::chrono::milliseconds(batch_ms))});
+    // Re-open every shard's journal for appends (truncating any torn tail
+    // away), stamped with its place in the plane so a wrong-shape open of
+    // any member fails loudly.
+    std::vector<core::MetadataPlane::Partition> parts(meta_shards);
+    for (std::size_t k = 0; k < meta_shards; ++k) {
+      Result<std::unique_ptr<core::Journal>> j = core::Journal::open(
+          core::shard_file_path(journal_path, k),
+          static_cast<std::uint32_t>(k),
+          static_cast<std::uint32_t>(meta_shards));
+      CS_REQUIRE(j.ok(), "cannot open journal: " + j.status().to_string());
+      parts[k].store = recovered.value().shards[k].metadata;
+      parts[k].journal = std::shared_ptr<core::Journal>(std::move(j.value()));
+      parts[k].checkpoint_path = core::shard_file_path(meta_path, k);
+      // `--batch-ops/--batch-ms`: group-commit tuning, per commit lane.
+      // Installed before the distributor exists so every append (including
+      // the registrations the distributor journals at startup) goes
+      // through the configured path.
+      if (batch_ops > 1) {
+        parts[k].journal->set_group_commit(core::GroupCommitConfig{
+            batch_ops, std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::milliseconds(batch_ms))});
+      }
     }
+    plane = std::make_shared<core::MetadataPlane>(std::move(parts));
     install_crash_hook();
 
     core::DistributorConfig config;
     config.stripe_data_shards = 3;
     config.misleading_fraction = 0.05;
-    config.journal = journal;
+    config.plane = plane;
     // Stall watchdog: armed by every distributor op and request-layer RPC;
     // a stall dumps its diagnostic next to the deployment's state. Polled
     // by the exporter's sampler when --export-file is given.
@@ -181,16 +222,16 @@ struct CliWorld {
         std::make_shared<obs::StallWatchdog>(obs::Telemetry::global(),
                                              wd_config);
     config.watchdog = watchdog;
-    config.checkpoint_path = meta_path.string();
+    // Checkpoint paths live in the plane's partitions (one image per
+    // shard); the interval still gates the automatic per-shard cuts.
     config.checkpoint_interval = 64;
     // Unique-ish per process so restart never reuses virtual ids.
     config.seed = 0xC11D ^ static_cast<std::uint64_t>(
                                std::chrono::steady_clock::now()
                                    .time_since_epoch()
                                    .count());
-    cdd = std::make_unique<core::CloudDataDistributor>(registry, config,
-                                                       metadata);
-    metadata = cdd->metadata_ptr();
+    cdd = std::make_unique<core::CloudDataDistributor>(registry, config);
+    metadata = plane->store_ptr(0);
   }
 
   /// Creates the on-disk store for a just-added provider and wires its
@@ -206,15 +247,23 @@ struct CliWorld {
 
   /// CSHIELD_CRASH_AFTER_APPENDS=<k>: allow k journal appends in this
   /// process, then die inside the next one before its record hits disk.
+  /// The budget is shared across every shard's journal (one atomic), so on
+  /// an N-shard plane the crash lands at whichever per-shard append
+  /// crosses the threshold -- including a broadcast mid-fan-out, leaving
+  /// some shards with the record and others without.
   void install_crash_hook() {
     const char* env = std::getenv("CSHIELD_CRASH_AFTER_APPENDS");
     if (env == nullptr) return;
     const auto allowed = static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
-    auto seen = std::make_shared<std::uint64_t>(0);
-    journal->test_hook_before_append = [seen,
-                                        allowed](const core::JournalRecord&) {
-      if (++*seen > allowed) ::_exit(42);
-    };
+    auto seen = std::make_shared<std::atomic<std::uint64_t>>(0);
+    for (std::size_t k = 0; k < plane->shard_count(); ++k) {
+      plane->journal(k)->test_hook_before_append =
+          [seen, allowed](const core::JournalRecord&) {
+            if (seen->fetch_add(1, std::memory_order_relaxed) + 1 > allowed) {
+              ::_exit(42);
+            }
+          };
+    }
   }
 };
 
@@ -243,7 +292,7 @@ int usage() {
                "recover | scrub | stats | export | health | providers | "
                "add-provider <name> <pl> <cl> | drain <name> | "
                "decommission <name> "
-               "[--stats] [--journal <path>] "
+               "[--stats] [--journal <path>] [--meta-shards <n>] "
                "[--stripes-per-sec <r>] [--max-in-flight <n>] "
                "[--protection <partial-aes|misleading|fragmentation>] "
                "[--batch-ops <n> "
@@ -281,18 +330,18 @@ std::string strip_value_flag(int& argc, char** argv, std::string_view name) {
 }
 
 void print_journal_stats(CliWorld& world) {
-  std::cout << "--- journal ---\n"
-            << "path:                " << world.journal->path().string()
-            << "\n"
-            << "records (uncheckpointed): " << world.journal->record_count()
-            << "\n"
-            << "bytes:               " << world.journal->bytes() << "\n"
-            << "checkpointed ops:    " << world.journal->last_checkpoint_ops()
-            << "\n"
-            << "flushes:             " << world.journal->flushes() << "\n"
-            << "group commits:       " << world.journal->group_commits()
-            << "\n"
-            << "in-flight puts:      " << world.in_flight.size() << "\n";
+  std::cout << "--- journal (" << world.meta_shards << " shard"
+            << (world.meta_shards == 1 ? "" : "s") << ") ---\n";
+  for (std::size_t k = 0; k < world.meta_shards; ++k) {
+    core::Journal* j = world.plane->journal(k);
+    std::cout << "shard " << k << ": " << j->path().string() << "\n"
+              << "  records (uncheckpointed): " << j->record_count() << "\n"
+              << "  bytes:               " << j->bytes() << "\n"
+              << "  checkpointed ops:    " << j->last_checkpoint_ops() << "\n"
+              << "  flushes:             " << j->flushes() << "\n"
+              << "  group commits:       " << j->group_commits() << "\n";
+  }
+  std::cout << "in-flight puts:      " << world.in_flight.size() << "\n";
 }
 
 /// Prometheus metrics dump plus the top-N slowest spans by executed wall
@@ -341,6 +390,12 @@ int main(int argc, char** argv) {
       strip_value_flag(argc, argv, "--protection");
   const std::string batch_ops_flag = strip_value_flag(argc, argv, "--batch-ops");
   const std::string batch_ms_flag = strip_value_flag(argc, argv, "--batch-ms");
+  // `--meta-shards <n>`: partitions of the metadata/journal plane. Chosen
+  // at `init`; later invocations auto-detect from the journal's shard
+  // stamp, and a flag that contradicts the stamp is refused.
+  const std::string shards_flag = strip_value_flag(argc, argv, "--meta-shards");
+  const std::size_t meta_shards =
+      shards_flag.empty() ? 0 : std::stoul(shards_flag);
   // Migration pacing for the topology commands (and `recover`'s resume).
   const std::string sps_flag =
       strip_value_flag(argc, argv, "--stripes-per-sec");
@@ -376,16 +431,16 @@ int main(int argc, char** argv) {
     if (cmd == "init") {
       const std::size_t n = argc > 3 ? std::stoul(argv[3]) : 12;
       fs::create_directories(root);
-      CliWorld world(root, journal_path, n, batch_ops, batch_ms);
+      CliWorld world(root, journal_path, n, batch_ops, batch_ms, meta_shards);
       // Fold the provider registrations into a first checkpoint so a fresh
       // deployment has both halves of the metadata pipeline on disk.
       Status st = world.cdd->checkpoint();
       CS_REQUIRE(st.ok(), st.to_string());
       std::cout << "initialized " << n << " providers under " << root
-                << "\n";
+                << " (" << world.meta_shards << "-shard metadata plane)\n";
       return 0;
     }
-    CliWorld world(root, journal_path, 0, batch_ops, batch_ms);
+    CliWorld world(root, journal_path, 0, batch_ops, batch_ms, meta_shards);
     arm_faults(world);
     // `--export-file`: the continuous sampler runs for the command's
     // duration, streaming one JSONL sample every 100 ms (and polling the
@@ -497,7 +552,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "ls") {
       TextTable t({"Cloud Provider", "PL", "CL", "Count", "Bytes"});
-      const auto table = world.metadata->provider_table();
+      // Merged plane view: placements are per-partition, so shard 0 alone
+      // would under-count on an N-shard plane.
+      const auto table = world.plane->provider_table();
       for (std::size_t p = 0; p < table.size(); ++p) {
         t.add(table[p].name, level_index(table[p].privacy_level),
               level_index(table[p].cost_level), table[p].count(),
@@ -524,7 +581,7 @@ int main(int argc, char** argv) {
     if (cmd == "providers") {
       TextTable t({"Cloud Provider", "PL", "CL", "Lifecycle", "Breaker",
                    "Shards", "Bytes", "Migration"});
-      const auto table = world.metadata->provider_table();
+      const auto table = world.plane->provider_table();
       for (std::size_t p = 0; p < table.size(); ++p) {
         const char* breaker = "closed";
         switch (world.registry.breaker(p).state()) {
@@ -604,8 +661,13 @@ int main(int argc, char** argv) {
         std::cout << st.to_string() << "\n";
         return done(1);
       }
-      std::cout << "checkpoint OK (" << world.journal->last_checkpoint_ops()
-                << " ops folded in total)\n";
+      std::uint64_t folded = 0;
+      for (std::size_t k = 0; k < world.meta_shards; ++k) {
+        folded += world.plane->journal(k)->last_checkpoint_ops();
+      }
+      std::cout << "checkpoint OK (" << folded
+                << " ops folded in total across " << world.meta_shards
+                << " shard" << (world.meta_shards == 1 ? "" : "s") << ")\n";
       return done(0);
     }
     if (cmd == "recover") {

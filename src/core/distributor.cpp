@@ -179,8 +179,11 @@ CloudDataDistributor::CloudDataDistributor(
                      ? (config_.telemetry_sink ? config_.telemetry_sink
                                                : obs::Telemetry::global())
                      : std::make_shared<obs::Telemetry>(false)),
-      metadata_(metadata ? std::move(metadata)
-                         : std::make_shared<MetadataStore>()),
+      plane_(config_.plane),
+      metadata_(plane_ != nullptr
+                    ? plane_->store_ptr(0)
+                    : (metadata ? std::move(metadata)
+                                : std::make_shared<MetadataStore>())),
       rt_(registry_, config_.retry, telemetry_.get(), config_.seed,
           config_.watchdog.get()),
       placement_(config_.seed ^ 0x91ACE, config_.placement),
@@ -189,16 +192,30 @@ CloudDataDistributor::CloudDataDistributor(
                                        : 4 * config_.worker_threads),
       chaff_rng_(config_.seed ^ 0xC4AFF),
       id_key_(mix64(config_.seed ^ 0x1DFEED)) {
+  // No explicit plane: wrap the store + journal + checkpoint path into a
+  // 1-shard plane, so every op routes uniformly and the on-disk bytes stay
+  // identical to the unsharded layout.
+  if (plane_ == nullptr) {
+    std::vector<MetadataPlane::Partition> parts(1);
+    parts[0].store = metadata_;
+    parts[0].journal = config_.journal;
+    parts[0].checkpoint_path = config_.checkpoint_path;
+    plane_ = std::make_shared<MetadataPlane>(std::move(parts));
+  }
   if (config_.telemetry) {
     registry_.attach_telemetry(telemetry_);
     placement_.set_metrics(&telemetry_->metrics());
-    if (config_.journal != nullptr) {
-      config_.journal->attach_telemetry(telemetry_);
+    for (std::size_t s = 0; s < plane_->shard_count(); ++s) {
+      if (plane_->journal(s) != nullptr) {
+        plane_->journal(s)->attach_telemetry(telemetry_);
+      }
     }
   }
   if (config_.watchdog != nullptr) {
-    if (config_.journal != nullptr) {
-      config_.journal->attach_watchdog(config_.watchdog.get());
+    for (std::size_t s = 0; s < plane_->shard_count(); ++s) {
+      if (plane_->journal(s) != nullptr) {
+        plane_->journal(s)->attach_watchdog(config_.watchdog.get());
+      }
     }
     // Breaker/quarantine states for the diagnostic dump: obs cannot depend
     // on the storage layer, so the distributor injects the renderer.
@@ -226,26 +243,32 @@ CloudDataDistributor::CloudDataDistributor(
         ShardBatcher::Config{config_.rpc_batch_shards, config_.rpc_batch_wait},
         telemetry_.get());
   }
-  // Mirror registry rows into the Cloud Provider Table (idempotent when a
-  // shared, already-populated store is handed in). Each new row is also
-  // journaled: replay onto an empty store must know the providers before
-  // any record_placement touches their id sets.
-  const std::size_t known = metadata_->provider_table().size();
-  for (ProviderIndex i = known; i < registry_.size(); ++i) {
-    const auto& d = registry_.at(i).descriptor();
-    const ProviderLifecycle lc = registry_.lifecycle(i);
-    metadata_->register_provider(d.name, d.privacy_level, d.cost_level, lc);
-    if (config_.journal != nullptr) {
-      JournalRecord rec;
-      rec.op = JournalOp::kRegisterProvider;
-      rec.provider_index = i;
-      rec.client = d.name;
-      rec.level = static_cast<std::uint8_t>(d.privacy_level);
-      rec.cost = static_cast<std::uint8_t>(d.cost_level);
-      rec.lifecycle = static_cast<std::uint8_t>(lc);
-      const Status journaled = journal_append(rec);
-      CS_REQUIRE(journaled.ok(),
-                 "journal unusable at startup: " + journaled.to_string());
+  // Mirror registry rows into every partition's Cloud Provider Table
+  // (idempotent when a shared, already-populated plane is handed in). Each
+  // partition is topped up independently -- a crash mid-broadcast leaves
+  // some partitions a row short, and this loop heals them -- and each new
+  // row is journaled to that partition's own WAL: replay onto an empty
+  // store must know the providers before any record_placement touches
+  // their id sets.
+  for (std::size_t s = 0; s < plane_->shard_count(); ++s) {
+    MetadataStore& part = plane_->store(s);
+    const std::size_t known = part.provider_table().size();
+    for (ProviderIndex i = known; i < registry_.size(); ++i) {
+      const auto& d = registry_.at(i).descriptor();
+      const ProviderLifecycle lc = registry_.lifecycle(i);
+      part.register_provider(d.name, d.privacy_level, d.cost_level, lc);
+      if (plane_->journal(s) != nullptr) {
+        JournalRecord rec;
+        rec.op = JournalOp::kRegisterProvider;
+        rec.provider_index = i;
+        rec.client = d.name;
+        rec.level = static_cast<std::uint8_t>(d.privacy_level);
+        rec.cost = static_cast<std::uint8_t>(d.cost_level);
+        rec.lifecycle = static_cast<std::uint8_t>(lc);
+        const Status journaled = journal_append(rec, s);
+        CS_REQUIRE(journaled.ok(),
+                   "journal unusable at startup: " + journaled.to_string());
+      }
     }
   }
   // Seed the topology ring with the placement-participating members. A
@@ -258,40 +281,70 @@ CloudDataDistributor::CloudDataDistributor(
   }
 }
 
-Status CloudDataDistributor::journal_append(const JournalRecord& rec) {
-  Journal* j = config_.journal.get();
+Status CloudDataDistributor::journal_append(const JournalRecord& rec,
+                                            std::size_t shard) {
+  Journal* j = plane_->journal(shard);
   if (j == nullptr) return Status::Ok();
   CS_RETURN_IF_ERROR(j->append(rec));
-  if (config_.checkpoint_interval > 0 && !config_.checkpoint_path.empty() &&
+  // Auto-checkpoint folds only the shard whose journal hit the interval --
+  // the other partitions' lanes are untouched.
+  if (config_.checkpoint_interval > 0 &&
+      !plane_->checkpoint_path(shard).empty() &&
       j->record_count() >= config_.checkpoint_interval) {
-    return checkpoint();
+    return checkpoint_shard(shard);
   }
   return Status::Ok();
 }
 
-Status CloudDataDistributor::checkpoint() {
-  if (config_.journal == nullptr) {
+Status CloudDataDistributor::journal_append_all(const JournalRecord& rec) {
+  for (std::size_t s = 0; s < plane_->shard_count(); ++s) {
+    CS_RETURN_IF_ERROR(journal_append(rec, s));
+  }
+  return Status::Ok();
+}
+
+Status CloudDataDistributor::checkpoint_shard(std::size_t shard) {
+  Journal* j = plane_->journal(shard);
+  if (j == nullptr) {
     return Status::InvalidArgument("checkpoint: no journal configured");
   }
-  if (config_.checkpoint_path.empty()) {
+  if (plane_->checkpoint_path(shard).empty()) {
     return Status::InvalidArgument("checkpoint: no checkpoint path");
   }
-  Status st = config_.journal->checkpoint(
-      [this] { return serialize_metadata(*metadata_); },
-      config_.checkpoint_path);
+  const std::uint32_t count =
+      static_cast<std::uint32_t>(plane_->shard_count());
+  Status st = j->checkpoint(
+      [this, shard, count] {
+        return serialize_metadata(plane_->store(shard),
+                                  static_cast<std::uint32_t>(shard), count);
+      },
+      plane_->checkpoint_path(shard));
   if (st.ok() && telemetry_->enabled()) {
     telemetry_->metrics().counter("cdd.checkpoints").inc();
   }
   return st;
 }
 
+Status CloudDataDistributor::checkpoint() {
+  for (std::size_t s = 0; s < plane_->shard_count(); ++s) {
+    CS_RETURN_IF_ERROR(checkpoint_shard(s));
+  }
+  return Status::Ok();
+}
+
 Status CloudDataDistributor::register_client(const std::string& name) {
   if (name.empty()) return Status::InvalidArgument("empty client name");
+  // Client rows are broadcast to every partition: any front-end can then
+  // authenticate against any shard, and each shard journal stays
+  // self-contained for parallel recovery.
   CS_RETURN_IF_ERROR(metadata_->register_client(name));
+  for (std::size_t s = 1; s < plane_->shard_count(); ++s) {
+    CS_RETURN_IF_ERROR(plane_->store(s).register_client(name));
+  }
   JournalRecord rec;
   rec.op = JournalOp::kRegisterClient;
   rec.client = name;
-  return journal_append(rec);
+  return journal_append_all(rec);
 }
 
 Status CloudDataDistributor::add_password(const std::string& client,
@@ -299,12 +352,15 @@ Status CloudDataDistributor::add_password(const std::string& client,
                                           PrivacyLevel pl) {
   if (password.empty()) return Status::InvalidArgument("empty password");
   CS_RETURN_IF_ERROR(metadata_->add_password(client, password, pl));
+  for (std::size_t s = 1; s < plane_->shard_count(); ++s) {
+    CS_RETURN_IF_ERROR(plane_->store(s).add_password(client, password, pl));
+  }
   JournalRecord rec;
   rec.op = JournalOp::kAddPassword;
   rec.client = client;
   rec.filename = password;
   rec.level = static_cast<std::uint8_t>(pl);
-  return journal_append(rec);
+  return journal_append_all(rec);
 }
 
 Result<PrivacyLevel> CloudDataDistributor::authorize(
@@ -395,7 +451,8 @@ CloudDataDistributor::write_stripe(BytesView payload,
                                    const std::vector<ProviderIndex>& targets,
                                    PrivacyLevel pl,
                                    std::vector<SimDuration>& times,
-                                   const obs::SpanCtx& span) {
+                                   const obs::SpanCtx& span,
+                                   std::size_t shard) {
   raid::EncodedStripe encoded = raid::encode(layout, payload);
   CS_REQUIRE(targets.size() == encoded.shard_count,
              "write_stripe: target/shard arity mismatch");
@@ -528,8 +585,9 @@ CloudDataDistributor::write_stripe(BytesView payload,
     }
     return first_error;
   }
+  MetadataStore& part = plane_->store(shard);
   for (const auto& loc : result.locations) {
-    metadata_->record_placement(loc.provider, loc.virtual_id);
+    part.record_placement(loc.provider, loc.virtual_id);
   }
   return result;
 }
@@ -696,11 +754,13 @@ Result<Bytes> CloudDataDistributor::read_stripe(
 }
 
 void CloudDataDistributor::drop_stripe(const std::vector<ShardLocation>& stripe,
-                                       std::vector<SimDuration>* times) {
+                                       std::vector<SimDuration>* times,
+                                       std::size_t shard) {
+  MetadataStore& part = plane_->store(shard);
   for (const auto& loc : stripe) {
     RequestLayer::Outcome rpc = rt_.remove(loc.provider, loc.virtual_id);
     if (times != nullptr) times->push_back(rpc.time);
-    metadata_->record_removal(loc.provider, loc.virtual_id);
+    part.record_removal(loc.provider, loc.virtual_id);
   }
 }
 
@@ -713,9 +773,13 @@ Status CloudDataDistributor::put_file(const std::string& client,
   Result<PrivacyLevel> auth = authorize(client, password,
                                         options.privacy_level);
   if (!auth.ok()) return auth.status();
+  // Owning partition: all of this file's refs, rows and journal records
+  // live there, and nowhere else.
+  const std::size_t shard = plane_->shard_of(client, filename);
+  MetadataStore& md = plane_->store(shard);
   // Atomic duplicate check: reserving the name up front means two
   // concurrent uploads of the same file cannot both pass it.
-  CS_RETURN_IF_ERROR(metadata_->claim_file(client, filename));
+  CS_RETURN_IF_ERROR(md.claim_file(client, filename));
   // Journal the intent before any shard leaves for a provider: recovery
   // treats a Begin without a matching Commit/Abort as an in-flight put
   // whose shards are orphans to sweep.
@@ -724,8 +788,8 @@ Status CloudDataDistributor::put_file(const std::string& client,
     rec.op = JournalOp::kBeginPut;
     rec.client = client;
     rec.filename = filename;
-    if (Status st = journal_append(rec); !st.ok()) {
-      metadata_->release_file(client, filename);
+    if (Status st = journal_append(rec, shard); !st.ok()) {
+      md.release_file(client, filename);
       return st;
     }
   }
@@ -805,7 +869,8 @@ Status CloudDataDistributor::put_file(const std::string& client,
     }
     Result<StripeWriteResult> written =
         write_stripe(chaffed.data, layout, targets.value(),
-                     options.privacy_level, out.times, chunk_span.ctx());
+                     options.privacy_level, out.times, chunk_span.ctx(),
+                     shard);
     if (!written.ok()) {
       out.status = written.status();
       close_span();
@@ -849,9 +914,9 @@ Status CloudDataDistributor::put_file(const std::string& client,
   auto rollback = [&](const Status& error) {
     op.rolled_back = true;
     for (const ChunkOutcome& out : outcomes) {
-      if (!out.stripe.empty()) drop_stripe(out.stripe, &op.times);
+      if (!out.stripe.empty()) drop_stripe(out.stripe, &op.times, shard);
     }
-    metadata_->release_file(client, filename);
+    md.release_file(client, filename);
     // The abort record is best-effort BY DESIGN, not an ignored error: the
     // put is already failing with `error`, and recovery aborts a Begin
     // without Commit whether or not this record lands -- losing it only
@@ -862,7 +927,7 @@ Status CloudDataDistributor::put_file(const std::string& client,
     rec.op = JournalOp::kAbortPut;
     rec.client = client;
     rec.filename = filename;
-    if (Status aborted = journal_append(rec); !aborted.ok()) {
+    if (Status aborted = journal_append(rec, shard); !aborted.ok()) {
       if (telemetry_->enabled()) {
         telemetry_->metrics().counter("cdd.abort_journal_errors").inc();
       }
@@ -888,7 +953,7 @@ Status CloudDataDistributor::put_file(const std::string& client,
   committed.reserve(chunks.size());
   for (std::size_t i = 0; i < chunks.size(); ++i) {
     ChunkOutcome& out = outcomes[i];
-    Result<std::size_t> idx = metadata_->add_chunk(
+    Result<std::size_t> idx = md.add_chunk(
         client, filename, chunks[i].serial, std::move(out.entry));
     if (!idx.ok()) {
       for (std::size_t j = 0; j < committed.size(); ++j) {
@@ -896,8 +961,8 @@ Status CloudDataDistributor::put_file(const std::string& client,
         tombstone.privacy_level = options.privacy_level;
         tombstone.layout = layout;
         tombstone.deleted = true;
-        (void)metadata_->update_chunk(committed[j], std::move(tombstone));
-        (void)metadata_->unlink_chunk(client, filename, chunks[j].serial);
+        (void)md.update_chunk(committed[j], std::move(tombstone));
+        (void)md.unlink_chunk(client, filename, chunks[j].serial);
       }
       return op.finish(rollback(idx.status()), report, config_.worker_threads);
     }
@@ -906,23 +971,24 @@ Status CloudDataDistributor::put_file(const std::string& client,
     op.shards += layout.total_shards();
   }
   // Durability commit point: journal every chunk row with its explicit
-  // table index. Only after this append may the client treat the file as
-  // stored -- so a journal failure is a put failure.
-  if (config_.journal != nullptr) {
+  // table index (local to the owning partition). Only after this append may
+  // the client treat the file as stored -- so a journal failure is a put
+  // failure.
+  if (journaling()) {
     JournalRecord rec;
     rec.op = JournalOp::kCommitPut;
     rec.client = client;
     rec.filename = filename;
     rec.chunks.reserve(committed.size());
     for (std::size_t i = 0; i < committed.size(); ++i) {
-      Result<ChunkEntry> row = metadata_->chunk_entry(committed[i]);
+      Result<ChunkEntry> row = md.chunk_entry(committed[i]);
       if (!row.ok()) {
         return op.finish(row.status(), report, config_.worker_threads);
       }
       rec.chunks.push_back(JournalChunk{chunks[i].serial, committed[i],
                                         std::move(row).value()});
     }
-    if (Status st = journal_append(rec); !st.ok()) {
+    if (Status st = journal_append(rec, shard); !st.ok()) {
       return op.finish(st, report, config_.worker_threads);
     }
   }
@@ -934,7 +1000,10 @@ Result<Bytes> CloudDataDistributor::get_chunk(const std::string& client,
                                               const std::string& filename,
                                               std::uint64_t serial,
                                               OpReport* report) {
-  std::optional<ChunkRef> ref = metadata_->find_chunk(client, filename, serial);
+  // Reads resolve against the owning partition -- any front-end sharing
+  // the plane computes the same shard from (client, filename).
+  MetadataStore& md = plane_->store(plane_->shard_of(client, filename));
+  std::optional<ChunkRef> ref = md.find_chunk(client, filename, serial);
   if (!ref.has_value()) {
     // Authenticate first so an attacker cannot probe the namespace with a
     // bad password.
@@ -945,7 +1014,7 @@ Result<Bytes> CloudDataDistributor::get_chunk(const std::string& client,
   }
   Result<PrivacyLevel> auth = authorize(client, password, ref->privacy_level);
   if (!auth.ok()) return auth.status();
-  Result<ChunkEntry> entry = metadata_->chunk_entry(ref->chunk_index);
+  Result<ChunkEntry> entry = md.chunk_entry(ref->chunk_index);
   if (!entry.ok()) return entry.status();
 
   OpScope op(telemetry_.get(), "get_chunk", client, filename,
@@ -979,7 +1048,8 @@ Result<Bytes> CloudDataDistributor::get_file(const std::string& client,
                                              const std::string& password,
                                              const std::string& filename,
                                              OpReport* report) {
-  std::vector<ChunkRef> refs = metadata_->file_chunks(client, filename);
+  MetadataStore& md = plane_->store(plane_->shard_of(client, filename));
+  std::vector<ChunkRef> refs = md.file_chunks(client, filename);
   if (refs.empty()) {
     Result<PrivacyLevel> auth = metadata_->authenticate(client, password);
     if (!auth.ok()) return auth.status();
@@ -1023,7 +1093,7 @@ Result<Bytes> CloudDataDistributor::get_file(const std::string& client,
       chunk_span.rec().bytes = out.plain.size();
       chunk_span.rec().outcome = out.status.code();
     };
-    Result<ChunkEntry> entry = metadata_->chunk_entry(refs[i].chunk_index);
+    Result<ChunkEntry> entry = md.chunk_entry(refs[i].chunk_index);
     if (!entry.ok()) {
       out.status = entry.status();
       close_span();
@@ -1095,12 +1165,21 @@ CloudDataDistributor::list_files(const std::string& client,
   Result<PrivacyLevel> auth = metadata_->authenticate(client, password);
   if (!auth.ok()) return auth.status();
   // The store's filename index does the per-file aggregation (and the
-  // privilege filtering) without scanning every ref per file.
+  // privilege filtering) without scanning every ref per file. A client's
+  // files scatter across partitions, so the inventory unions all of them;
+  // the final sort restores the per-partition map order (a no-op on a
+  // 1-shard plane).
   std::vector<FileInfo> files;
-  for (FileSummary& f : metadata_->list_files(client, auth.value())) {
-    files.push_back(
-        FileInfo{std::move(f.filename), f.privacy_level, f.chunks});
+  for (std::size_t s = 0; s < plane_->shard_count(); ++s) {
+    for (FileSummary& f : plane_->store(s).list_files(client, auth.value())) {
+      files.push_back(
+          FileInfo{std::move(f.filename), f.privacy_level, f.chunks});
+    }
   }
+  std::sort(files.begin(), files.end(),
+            [](const FileInfo& a, const FileInfo& b) {
+              return a.filename < b.filename;
+            });
   return files;
 }
 
@@ -1110,14 +1189,16 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
                                           std::uint64_t serial,
                                           BytesView new_data,
                                           OpReport* report) {
-  std::optional<ChunkRef> ref = metadata_->find_chunk(client, filename, serial);
+  const std::size_t shard = plane_->shard_of(client, filename);
+  MetadataStore& md = plane_->store(shard);
+  std::optional<ChunkRef> ref = md.find_chunk(client, filename, serial);
   if (!ref.has_value()) {
     return Status::NotFound("chunk " + filename + "#" +
                             std::to_string(serial));
   }
   Result<PrivacyLevel> auth = authorize(client, password, ref->privacy_level);
   if (!auth.ok()) return auth.status();
-  Result<ChunkEntry> entry_r = metadata_->chunk_entry(ref->chunk_index);
+  Result<ChunkEntry> entry_r = md.chunk_entry(ref->chunk_index);
   if (!entry_r.ok()) return entry_r.status();
   ChunkEntry entry = std::move(entry_r).value();
 
@@ -1155,13 +1236,13 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
   if (!snap_targets.ok()) return fail(snap_targets.status());
   Result<StripeWriteResult> snap = write_stripe(
       pre_state.value(), entry.layout, snap_targets.value(),
-      entry.privacy_level, times, op.ctx());
+      entry.privacy_level, times, op.ctx(), shard);
   if (!snap.ok()) return fail(snap.status());
   op.retries += snap.value().retries;
   op.replaced_shards += snap.value().replaced;
   auto unwind = [&](const Status& st) {
     op.rolled_back = true;
-    drop_stripe(snap.value().locations, &times);
+    drop_stripe(snap.value().locations, &times, shard);
     return fail(st);
   };
 
@@ -1186,7 +1267,7 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
   if (!new_targets.ok()) return unwind(new_targets.status());
   Result<StripeWriteResult> written =
       write_stripe(chaffed.data, entry.layout, new_targets.value(),
-                   entry.privacy_level, times, op.ctx());
+                   entry.privacy_level, times, op.ctx(), shard);
   if (!written.ok()) return unwind(written.status());
   op.retries += written.value().retries;
   op.replaced_shards += written.value().replaced;
@@ -1210,9 +1291,9 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
   updated.padded_size = chaffed.data.size();
   updated.protect_nonce = protect_nonce;
   updated.protect_bytes = protect_bytes;
-  Status committed = metadata_->update_chunk(ref->chunk_index, updated);
+  Status committed = md.update_chunk(ref->chunk_index, updated);
   if (!committed.ok()) {
-    drop_stripe(written.value().locations, &times);
+    drop_stripe(written.value().locations, &times, shard);
     return unwind(committed);
   }
   {
@@ -1222,13 +1303,13 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
     rec.filename = filename;
     rec.chunks.push_back(
         JournalChunk{serial, ref->chunk_index, std::move(updated)});
-    if (Status st = journal_append(rec); !st.ok()) return fail(st);
+    if (Status st = journal_append(rec, shard); !st.ok()) return fail(st);
   }
 
   // 5. Retire the old stripe and (if present) the old snapshot -- they are
   //    unreferenced now, so a crash mid-drop leaves only orphans.
-  if (entry.has_snapshot) drop_stripe(entry.snapshot, &times);
-  drop_stripe(entry.stripe, &times);
+  if (entry.has_snapshot) drop_stripe(entry.snapshot, &times, shard);
+  drop_stripe(entry.stripe, &times, shard);
 
   op.chunks = 1;
   op.shards = entry.layout.total_shards() * 2;
@@ -1240,14 +1321,15 @@ Status CloudDataDistributor::update_chunk(const std::string& client,
 Result<Bytes> CloudDataDistributor::get_chunk_snapshot(
     const std::string& client, const std::string& password,
     const std::string& filename, std::uint64_t serial) {
-  std::optional<ChunkRef> ref = metadata_->find_chunk(client, filename, serial);
+  MetadataStore& md = plane_->store(plane_->shard_of(client, filename));
+  std::optional<ChunkRef> ref = md.find_chunk(client, filename, serial);
   if (!ref.has_value()) {
     return Status::NotFound("chunk " + filename + "#" +
                             std::to_string(serial));
   }
   Result<PrivacyLevel> auth = authorize(client, password, ref->privacy_level);
   if (!auth.ok()) return auth.status();
-  Result<ChunkEntry> entry = metadata_->chunk_entry(ref->chunk_index);
+  Result<ChunkEntry> entry = md.chunk_entry(ref->chunk_index);
   if (!entry.ok()) return entry.status();
   if (!entry.value().has_snapshot) {
     return Status::NotFound("chunk has no snapshot (never modified)");
@@ -1270,14 +1352,16 @@ Status CloudDataDistributor::remove_chunk(const std::string& client,
                                           const std::string& password,
                                           const std::string& filename,
                                           std::uint64_t serial) {
-  std::optional<ChunkRef> ref = metadata_->find_chunk(client, filename, serial);
+  const std::size_t shard = plane_->shard_of(client, filename);
+  MetadataStore& md = plane_->store(shard);
+  std::optional<ChunkRef> ref = md.find_chunk(client, filename, serial);
   if (!ref.has_value()) {
     return Status::NotFound("chunk " + filename + "#" +
                             std::to_string(serial));
   }
   Result<PrivacyLevel> auth = authorize(client, password, ref->privacy_level);
   if (!auth.ok()) return auth.status();
-  Result<ChunkEntry> entry = metadata_->chunk_entry(ref->chunk_index);
+  Result<ChunkEntry> entry = md.chunk_entry(ref->chunk_index);
   if (!entry.ok()) return entry.status();
 
   OpScope op(telemetry_.get(), "remove_chunk", client, filename,
@@ -1294,11 +1378,10 @@ Status CloudDataDistributor::remove_chunk(const std::string& client,
   tombstone.stripe.clear();
   tombstone.snapshot.clear();
   tombstone.has_snapshot = false;
-  Status updated = metadata_->update_chunk(ref->chunk_index,
-                                           std::move(tombstone));
+  Status updated = md.update_chunk(ref->chunk_index, std::move(tombstone));
   if (!updated.ok()) return op.finish(updated, nullptr,
                                       config_.worker_threads);
-  Status unlinked = metadata_->unlink_chunk(client, filename, serial);
+  Status unlinked = md.unlink_chunk(client, filename, serial);
   if (!unlinked.ok()) return op.finish(unlinked, nullptr,
                                        config_.worker_threads);
   {
@@ -1307,14 +1390,14 @@ Status CloudDataDistributor::remove_chunk(const std::string& client,
     rec.client = client;
     rec.filename = filename;
     rec.chunks.push_back(JournalChunk{serial, ref->chunk_index, {}});
-    if (Status st = journal_append(rec); !st.ok()) {
+    if (Status st = journal_append(rec, shard); !st.ok()) {
       return op.finish(st, nullptr, config_.worker_threads);
     }
   }
 
-  drop_stripe(entry.value().stripe, &op.times);
+  drop_stripe(entry.value().stripe, &op.times, shard);
   if (entry.value().has_snapshot) {
-    drop_stripe(entry.value().snapshot, &op.times);
+    drop_stripe(entry.value().snapshot, &op.times, shard);
   }
   return op.finish(Status::Ok(), nullptr, config_.worker_threads);
 }
@@ -1322,7 +1405,9 @@ Status CloudDataDistributor::remove_chunk(const std::string& client,
 Status CloudDataDistributor::remove_file(const std::string& client,
                                          const std::string& password,
                                          const std::string& filename) {
-  std::vector<ChunkRef> refs = metadata_->file_chunks(client, filename);
+  const std::size_t shard = plane_->shard_of(client, filename);
+  MetadataStore& md = plane_->store(shard);
+  std::vector<ChunkRef> refs = md.file_chunks(client, filename);
   if (refs.empty()) {
     Result<PrivacyLevel> auth = metadata_->authenticate(client, password);
     if (!auth.ok()) return auth.status();
@@ -1342,7 +1427,7 @@ Status CloudDataDistributor::remove_file(const std::string& client,
   std::vector<Result<ChunkEntry>> entries;
   entries.reserve(refs.size());
   for (const ChunkRef& ref : refs) {
-    entries.push_back(metadata_->chunk_entry(ref.chunk_index));
+    entries.push_back(md.chunk_entry(ref.chunk_index));
   }
   for (const auto& e : entries) {
     if (!e.ok()) return e.status();
@@ -1362,12 +1447,11 @@ Status CloudDataDistributor::remove_file(const std::string& client,
     tombstone.stripe.clear();
     tombstone.snapshot.clear();
     tombstone.has_snapshot = false;
-    Status updated = metadata_->update_chunk(refs[i].chunk_index,
-                                             std::move(tombstone));
+    Status updated = md.update_chunk(refs[i].chunk_index,
+                                     std::move(tombstone));
     if (!updated.ok()) return op.finish(updated, nullptr,
                                         config_.worker_threads);
-    Status unlinked = metadata_->unlink_chunk(client, filename,
-                                              refs[i].serial);
+    Status unlinked = md.unlink_chunk(client, filename, refs[i].serial);
     if (!unlinked.ok()) return op.finish(unlinked, nullptr,
                                          config_.worker_threads);
   }
@@ -1380,7 +1464,7 @@ Status CloudDataDistributor::remove_file(const std::string& client,
     for (const ChunkRef& ref : refs) {
       rec.chunks.push_back(JournalChunk{ref.serial, ref.chunk_index, {}});
     }
-    if (Status st = journal_append(rec); !st.ok()) {
+    if (Status st = journal_append(rec, shard); !st.ok()) {
       return op.finish(st, nullptr, config_.worker_threads);
     }
   }
@@ -1391,8 +1475,8 @@ Status CloudDataDistributor::remove_file(const std::string& client,
   std::vector<std::vector<SimDuration>> drop_times(refs.size());
   auto drop_one = [&](std::size_t i) {
     const ChunkEntry& e = entries[i].value();
-    drop_stripe(e.stripe, &drop_times[i]);
-    if (e.has_snapshot) drop_stripe(e.snapshot, &drop_times[i]);
+    drop_stripe(e.stripe, &drop_times[i], shard);
+    if (e.has_snapshot) drop_stripe(e.snapshot, &drop_times[i], shard);
   };
   if (config_.pipelined && refs.size() > 1) {
     std::vector<std::future<void>> futures;
@@ -1414,6 +1498,11 @@ Status CloudDataDistributor::remove_file(const std::string& client,
 
 Result<CloudDataDistributor::StripeHealStats>
 CloudDataDistributor::heal_chunk(std::size_t index, bool note_scrub) {
+  // `index` is a global chunk index; resolve the owning partition first.
+  // A sparse global (no row in its partition) reads as NotFound -- skipped.
+  const std::size_t shard = plane_->shard_of_index(index);
+  const std::size_t local = plane_->local_index(index);
+  MetadataStore& md = plane_->store(shard);
   // Same commit discipline as migrate_chunk: the scrubber/repair walk runs
   // alongside live client updates and the background migrator, so the row
   // write-back goes through the version CAS -- a stale heal result must not
@@ -1425,7 +1514,7 @@ CloudDataDistributor::heal_chunk(std::size_t index, bool note_scrub) {
   for (int attempt = 0; attempt < kCasAttempts; ++attempt) {
     StripeHealStats stats;
     Result<MetadataStore::VersionedChunk> row =
-        metadata_->chunk_entry_versioned(index);
+        md.chunk_entry_versioned(local);
     if (!row.ok()) return stats;  // row gone from under us: nothing to do
     ChunkEntry entry = std::move(row.value().entry);
     const std::uint64_t row_version = row.value().version;
@@ -1512,8 +1601,8 @@ CloudDataDistributor::heal_chunk(std::size_t index, bool note_scrub) {
       stats.fixed += snap_fixed.value();
     }
     if (stats.fixed > 0) {
-      Status updated = metadata_->update_chunk_if(index, entry, row_version,
-                                                  replaced_old, replaced_new);
+      Status updated = md.update_chunk_if(local, entry, row_version,
+                                          replaced_old, replaced_new);
       if (!updated.ok()) {
         // The re-homed copies never became referenced: delete them so the
         // lost race leaves no orphans behind.
@@ -1527,8 +1616,8 @@ CloudDataDistributor::heal_chunk(std::size_t index, bool note_scrub) {
       }
       JournalRecord rec;
       rec.op = JournalOp::kUpdateChunk;
-      rec.chunks.push_back(JournalChunk{0, index, std::move(entry)});
-      CS_RETURN_IF_ERROR(journal_append(rec));
+      rec.chunks.push_back(JournalChunk{0, local, std::move(entry)});
+      CS_RETURN_IF_ERROR(journal_append(rec, shard));
     }
     return stats;
   }
@@ -1542,7 +1631,7 @@ Result<std::size_t> CloudDataDistributor::repair() {
   OpScope op(telemetry_.get(), "repair", "", "", config_.watchdog.get(),
              config_.retry.deadline.count());
   std::size_t repaired = 0;
-  const std::size_t n = metadata_->total_chunks();
+  const std::size_t n = chunk_index_bound();
   for (std::size_t idx = 0; idx < n; ++idx) {
     Result<StripeHealStats> healed = heal_chunk(idx, /*note_scrub=*/false);
     if (!healed.ok()) {
@@ -1575,19 +1664,23 @@ CloudDataDistributor::reconcile(
              config_.retry.deadline.count());
   ReconcileReport report;
 
-  // 1. The referenced set: every (provider, id) a live chunk row points at.
-  //    Everything else -- at a provider or in the provider table -- is a
-  //    crash leftover.
+  // 1. The referenced set: every (provider, id) a live chunk row points at,
+  //    unioned across ALL partitions -- a shard referenced by any partition
+  //    must survive the sweep. Everything else -- at a provider or in a
+  //    provider table -- is a crash leftover.
   std::vector<std::unordered_set<VirtualId>> referenced(registry_.size());
-  const std::size_t n = metadata_->total_chunks();
-  for (std::size_t idx = 0; idx < n; ++idx) {
-    Result<ChunkEntry> entry = metadata_->chunk_entry(idx);
-    if (!entry.ok()) continue;
-    for (const std::vector<ShardLocation>* locs :
-         {&entry.value().stripe, &entry.value().snapshot}) {
-      for (const ShardLocation& loc : *locs) {
-        if (loc.provider < referenced.size()) {
-          referenced[loc.provider].insert(loc.virtual_id);
+  for (std::size_t s = 0; s < plane_->shard_count(); ++s) {
+    const MetadataStore& part = plane_->store(s);
+    const std::size_t n = part.total_chunks();
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      Result<ChunkEntry> entry = part.chunk_entry(idx);
+      if (!entry.ok()) continue;
+      for (const std::vector<ShardLocation>* locs :
+           {&entry.value().stripe, &entry.value().snapshot}) {
+        for (const ShardLocation& loc : *locs) {
+          if (loc.provider < referenced.size()) {
+            referenced[loc.provider].insert(loc.virtual_id);
+          }
         }
       }
     }
@@ -1595,37 +1688,48 @@ CloudDataDistributor::reconcile(
 
   // 2. Sweep provider-side objects no row references: shards of
   //    uncommitted puts, or drops the crash interrupted after their
-  //    removal record committed.
+  //    removal record committed. record_removal goes to every partition --
+  //    only the (unknown) owning one has the id, and erasure is a no-op
+  //    elsewhere.
   for (ProviderIndex p = 0; p < registry_.size(); ++p) {
     for (VirtualId id : registry_.at(p).list_ids()) {
       if (referenced[p].count(id) != 0) continue;
       RequestLayer::Outcome rpc = rt_.remove(p, id);
       op.times.push_back(rpc.time);
-      metadata_->record_removal(p, id);
+      for (std::size_t s = 0; s < plane_->shard_count(); ++s) {
+        plane_->store(s).record_removal(p, id);
+      }
       if (rpc.status.ok()) ++report.orphans_removed;
     }
   }
 
-  // 3. Provider-table ids with neither a referencing row nor an object
-  //    (placements of writes whose shards never survived the crash).
-  const auto provider_rows = metadata_->provider_table();
-  for (ProviderIndex p = 0; p < provider_rows.size(); ++p) {
-    for (VirtualId id : provider_rows[p].virtual_ids) {
-      if (p < referenced.size() && referenced[p].count(id) != 0) continue;
-      metadata_->record_removal(p, id);
-      ++report.stale_ids;
+  // 3. Per-partition provider-table ids with neither a referencing row nor
+  //    an object (placements of writes whose shards never survived the
+  //    crash). An id lives in exactly one partition's table, so the count
+  //    does not double.
+  for (std::size_t s = 0; s < plane_->shard_count(); ++s) {
+    MetadataStore& part = plane_->store(s);
+    const auto provider_rows = part.provider_table();
+    for (ProviderIndex p = 0; p < provider_rows.size(); ++p) {
+      for (VirtualId id : provider_rows[p].virtual_ids) {
+        if (p < referenced.size() && referenced[p].count(id) != 0) continue;
+        part.record_removal(p, id);
+        ++report.stale_ids;
+      }
     }
   }
 
   // 4. Abort the puts the crash caught mid-flight: their claims block the
   //    filename forever otherwise. Shards they uploaded were swept above.
+  //    Claim and abort record both live in the file's owning partition.
   for (const auto& [client, filename] : in_flight) {
-    metadata_->release_file(client, filename);
+    const std::size_t shard = plane_->shard_of(client, filename);
+    plane_->store(shard).release_file(client, filename);
     JournalRecord rec;
     rec.op = JournalOp::kAbortPut;
     rec.client = client;
     rec.filename = filename;
-    if (Status st = journal_append(rec); !st.ok()) {
+    if (Status st = journal_append(rec, shard); !st.ok()) {
       return op.finish(st, nullptr, config_.worker_threads);
     }
     ++report.aborted_files;
@@ -1660,9 +1764,12 @@ Result<std::size_t> CloudDataDistributor::rebalance() {
     return op.finish(st, nullptr, config_.worker_threads);
   };
   std::size_t migrated = 0;
-  const std::size_t n = metadata_->total_chunks();
+  const std::size_t n = chunk_index_bound();
   for (std::size_t idx = 0; idx < n; ++idx) {
-    Result<ChunkEntry> entry_r = metadata_->chunk_entry(idx);
+    const std::size_t part = plane_->shard_of_index(idx);
+    const std::size_t local = plane_->local_index(idx);
+    MetadataStore& md = plane_->store(part);
+    Result<ChunkEntry> entry_r = md.chunk_entry(local);
     if (!entry_r.ok()) continue;
     ChunkEntry entry = std::move(entry_r).value();
     if (entry.deleted) continue;
@@ -1717,8 +1824,8 @@ Result<std::size_t> CloudDataDistributor::rebalance() {
         RequestLayer::Outcome rpc = rt_.put(home, id, shard.value());
         CS_RETURN_IF_ERROR(rpc.status);
         retired.push_back(stripe[s]);
-        metadata_->record_removal(stripe[s].provider, stripe[s].virtual_id);
-        metadata_->record_placement(home, id);
+        md.record_removal(stripe[s].provider, stripe[s].virtual_id);
+        md.record_placement(home, id);
         stripe[s] = ShardLocation{home, id};
         ++moved;
       }
@@ -1735,12 +1842,12 @@ Result<std::size_t> CloudDataDistributor::rebalance() {
     }
     if (total_moved > 0) {
       migrated += total_moved;
-      Status updated = metadata_->update_chunk(idx, entry);
+      Status updated = md.update_chunk(local, entry);
       if (!updated.ok()) return fail(updated);
       JournalRecord rec;
       rec.op = JournalOp::kUpdateChunk;
-      rec.chunks.push_back(JournalChunk{0, idx, std::move(entry)});
-      if (Status st = journal_append(rec); !st.ok()) return fail(st);
+      rec.chunks.push_back(JournalChunk{0, local, std::move(entry)});
+      if (Status st = journal_append(rec, part); !st.ok()) return fail(st);
       for (const ShardLocation& old : retired) {
         (void)rt_.remove(old.provider, old.virtual_id);
       }
@@ -1821,7 +1928,12 @@ Result<ProviderIndex> CloudDataDistributor::add_provider(
   // seed 0: the registry derives one from the fleet size under its lock.
   const ProviderIndex p = registry_.add(std::move(descriptor), latency, seed,
                                         ProviderLifecycle::kJoining);
-  metadata_->register_provider(name, pl, cl, ProviderLifecycle::kJoining);
+  // Provider rows are broadcast: every partition's checkpoint+journal pair
+  // must know the fleet to replay its own record_placements.
+  for (std::size_t s = 0; s < plane_->shard_count(); ++s) {
+    plane_->store(s).register_provider(name, pl, cl,
+                                       ProviderLifecycle::kJoining);
+  }
   JournalRecord rec;
   rec.op = JournalOp::kRegisterProvider;
   rec.provider_index = p;
@@ -1829,7 +1941,7 @@ Result<ProviderIndex> CloudDataDistributor::add_provider(
   rec.level = static_cast<std::uint8_t>(pl);
   rec.cost = static_cast<std::uint8_t>(cl);
   rec.lifecycle = static_cast<std::uint8_t>(ProviderLifecycle::kJoining);
-  CS_RETURN_IF_ERROR(journal_append(rec));
+  CS_RETURN_IF_ERROR(journal_append_all(rec));
   return p;
 }
 
@@ -1862,17 +1974,22 @@ Status CloudDataDistributor::begin_migration(MigrationKind kind,
       // concurrent drains of the last two active providers cannot both
       // slip through a check-then-act window.
       CS_RETURN_IF_ERROR(registry_.drain(subject));
-      metadata_->set_provider_lifecycle(subject, ProviderLifecycle::kDraining);
+      for (std::size_t s = 0; s < plane_->shard_count(); ++s) {
+        plane_->store(s).set_provider_lifecycle(subject,
+                                                ProviderLifecycle::kDraining);
+      }
       ring_erase(subject);
       break;
     }
   }
+  // Migration intents are broadcast so any single shard's recovery alone
+  // can resume the interrupted migration.
   JournalRecord rec;
   rec.op = JournalOp::kBeginMigrate;
   rec.provider_index = subject;
   rec.client = name;
   rec.level = static_cast<std::uint8_t>(kind);
-  return journal_append(rec);
+  return journal_append_all(rec);
 }
 
 Status CloudDataDistributor::commit_migration(MigrationKind kind,
@@ -1883,7 +2000,10 @@ Status CloudDataDistributor::commit_migration(MigrationKind kind,
   switch (kind) {
     case MigrationKind::kJoin:
       CS_RETURN_IF_ERROR(registry_.activate(subject));
-      metadata_->set_provider_lifecycle(subject, ProviderLifecycle::kActive);
+      for (std::size_t s = 0; s < plane_->shard_count(); ++s) {
+        plane_->store(s).set_provider_lifecycle(subject,
+                                                ProviderLifecycle::kActive);
+      }
       break;
     case MigrationKind::kDrain:
       // The provider stays kDraining -- emptied, still serving reads --
@@ -1891,8 +2011,10 @@ Status CloudDataDistributor::commit_migration(MigrationKind kind,
       break;
     case MigrationKind::kDecommission:
       CS_RETURN_IF_ERROR(registry_.decommission(subject));
-      metadata_->set_provider_lifecycle(subject,
-                                        ProviderLifecycle::kDecommissioned);
+      for (std::size_t s = 0; s < plane_->shard_count(); ++s) {
+        plane_->store(s).set_provider_lifecycle(
+            subject, ProviderLifecycle::kDecommissioned);
+      }
       break;
   }
   JournalRecord rec;
@@ -1900,7 +2022,7 @@ Status CloudDataDistributor::commit_migration(MigrationKind kind,
   rec.provider_index = subject;
   rec.client = registry_.at(subject).descriptor().name;
   rec.level = static_cast<std::uint8_t>(kind);
-  return journal_append(rec);
+  return journal_append_all(rec);
 }
 
 Result<CloudDataDistributor::ChunkMigrateStats>
@@ -1918,11 +2040,15 @@ CloudDataDistributor::migrate_chunk(std::size_t index, MigrationKind kind,
   // with its stale snapshot (which would then retire shards the new row
   // references, leaving a permanent hole). A row hot enough to exhaust the
   // redo budget is left for the next migration pass.
+  // `index` is a global chunk index; sparse globals resolve to NotFound.
+  const std::size_t part = plane_->shard_of_index(index);
+  const std::size_t local = plane_->local_index(index);
+  MetadataStore& md = plane_->store(part);
   constexpr int kCasAttempts = 8;
   for (int attempt = 0; attempt < kCasAttempts; ++attempt) {
     ChunkMigrateStats stats;
     Result<MetadataStore::VersionedChunk> row =
-        metadata_->chunk_entry_versioned(index);
+        md.chunk_entry_versioned(local);
     if (!row.ok()) return stats;  // deleted hole: nothing to move
     ChunkEntry entry = std::move(row.value().entry);
     const std::uint64_t row_version = row.value().version;
@@ -2030,8 +2156,7 @@ CloudDataDistributor::migrate_chunk(std::size_t index, MigrationKind kind,
 
     if (stats.moved != 0) {
       Status updated =
-          metadata_->update_chunk_if(index, entry, row_version, retired,
-                                     placed);
+          md.update_chunk_if(local, entry, row_version, retired, placed);
       if (!updated.ok()) {
         // The new copies never became referenced: delete them so the lost
         // race leaves no orphans behind.
@@ -2045,8 +2170,8 @@ CloudDataDistributor::migrate_chunk(std::size_t index, MigrationKind kind,
       }
       JournalRecord rec;
       rec.op = JournalOp::kUpdateChunk;
-      rec.chunks.push_back(JournalChunk{0, index, std::move(entry)});
-      CS_RETURN_IF_ERROR(journal_append(rec));
+      rec.chunks.push_back(JournalChunk{0, local, std::move(entry)});
+      CS_RETURN_IF_ERROR(journal_append(rec, part));
       // The new locations are durable; the old copies can go.
       for (const ShardLocation& loc : retired) {
         (void)rt_.remove(loc.provider, loc.virtual_id);

@@ -36,6 +36,7 @@
 #include "dht/ring.hpp"
 #include "crypto/aes.hpp"
 #include "core/journal.hpp"
+#include "core/metadata_plane.hpp"
 #include "core/placement.hpp"
 #include "core/request_layer.hpp"
 #include "core/shard_batcher.hpp"
@@ -114,6 +115,16 @@ struct DistributorConfig {
   /// explicit checkpoint() calls). Bounds both journal growth and replay
   /// time after a crash.
   std::size_t checkpoint_interval = 0;
+  /// N-way sharded metadata/journal plane (see core/metadata_plane.hpp).
+  /// When set it supersedes `journal`/`checkpoint_path` and the `metadata`
+  /// constructor argument: per-(client, filename) state routes to the
+  /// partition shard_of(client, filename), each with its own lock, its own
+  /// WAL commit lane and its own checkpoint image. Journaling is
+  /// all-or-nothing across partitions (shard 0 decides). Null = the
+  /// distributor wraps its store + `journal` + `checkpoint_path` into a
+  /// 1-shard plane, reproducing the unsharded behavior (and its on-disk
+  /// bytes) exactly.
+  std::shared_ptr<MetadataPlane> plane;
   /// Stall watchdog (see obs/watchdog.hpp). When set, every client-visible
   /// op and every request-layer RPC arms an in-flight entry carrying its
   /// modeled deadline, and the journal's flush leader brackets its
@@ -327,8 +338,21 @@ class CloudDataDistributor {
   Result<std::size_t> scrub_chunk(std::size_t index,
                                   std::size_t* digest_mismatches = nullptr);
 
+  /// Shard-0 partition of the metadata plane -- the whole namespace on an
+  /// unsharded (1-shard) plane, one partition of it otherwise.
   [[nodiscard]] const MetadataStore& metadata() const { return *metadata_; }
   [[nodiscard]] std::shared_ptr<MetadataStore> metadata_ptr() { return metadata_; }
+  /// The (possibly 1-shard) metadata plane every op routes through.
+  [[nodiscard]] const std::shared_ptr<MetadataPlane>& plane() const {
+    return plane_;
+  }
+  /// Exclusive upper bound of the global chunk index space maintenance
+  /// loops sweep (repair/scrub/rebalance/migrate). Globals may be sparse on
+  /// a sharded plane -- a missing slot reads as NotFound and is skipped.
+  /// Equals metadata().total_chunks() on a 1-shard plane.
+  [[nodiscard]] std::size_t chunk_index_bound() const {
+    return plane_->global_chunk_bound();
+  }
   [[nodiscard]] storage::ProviderRegistry& registry() { return registry_; }
   [[nodiscard]] const DistributorConfig& config() const { return config_; }
 
@@ -397,12 +421,16 @@ class CloudDataDistributor {
   /// `pl` is the chunk's privacy level -- needed so a shard whose provider
   /// keeps failing can be re-placed on another *trust-eligible* provider
   /// (the write-quarantine path) instead of failing the stripe.
+  /// `shard` is the metadata partition owning the chunk being written --
+  /// its provider table records the placements, keeping each partition's
+  /// checkpoint self-consistent with its own chunk rows.
   Result<StripeWriteResult> write_stripe(BytesView payload,
                                          const raid::StripeLayout& layout,
                                          const std::vector<ProviderIndex>& targets,
                                          PrivacyLevel pl,
                                          std::vector<SimDuration>& times,
-                                         const obs::SpanCtx& span = {});
+                                         const obs::SpanCtx& span,
+                                         std::size_t shard);
 
   /// Fetches + digest-verifies + RAID-decodes one stripe into its padded
   /// payload (chaff still present). Shard fetches run on io_pool_ (same
@@ -416,9 +444,10 @@ class CloudDataDistributor {
                             const obs::SpanCtx& span = {},
                             StripeReadStats* stats = nullptr);
 
-  /// Deletes stripe shards at providers and updates the provider table.
+  /// Deletes stripe shards at providers and updates the provider table of
+  /// the owning metadata partition.
   void drop_stripe(const std::vector<ShardLocation>& stripe,
-                   std::vector<SimDuration>* times);
+                   std::vector<SimDuration>* times, std::size_t shard);
 
   /// Healthy (online, not quarantined) trust-eligible provider outside
   /// `stripe`; kNoProvider when none. Shared by write-quarantine re-placement
@@ -452,14 +481,28 @@ class CloudDataDistributor {
   /// that served corrupt bytes with a scrub error.
   Result<StripeHealStats> heal_chunk(std::size_t index, bool note_scrub);
 
-  /// Appends to the configured journal (no-op without one) and triggers the
-  /// auto-checkpoint when the interval is reached.
-  Status journal_append(const JournalRecord& rec);
+  /// True when the plane journals (all-or-nothing across partitions).
+  [[nodiscard]] bool journaling() const {
+    return plane_->journal(0) != nullptr;
+  }
+
+  /// Appends to `shard`'s journal (no-op on an unjournaled plane) and
+  /// triggers that shard's auto-checkpoint when the interval is reached.
+  Status journal_append(const JournalRecord& rec, std::size_t shard);
+
+  /// Broadcast append: the record goes to every shard journal, so each
+  /// partition's checkpoint+journal pair stays self-contained (client rows,
+  /// provider rows, migration intents).
+  Status journal_append_all(const JournalRecord& rec);
+
+  /// Folds one partition's journal into its checkpoint image.
+  Status checkpoint_shard(std::size_t shard);
 
   storage::ProviderRegistry& registry_;
   DistributorConfig config_;
   std::shared_ptr<obs::Telemetry> telemetry_;
-  std::shared_ptr<MetadataStore> metadata_;
+  std::shared_ptr<MetadataPlane> plane_;
+  std::shared_ptr<MetadataStore> metadata_;  ///< shard-0 partition
   RequestLayer rt_;  ///< retry/breaker/hedge wrapper for every shard RPC
   PlacementPolicy placement_;
   ThreadPool pool_;     ///< chunk-level pipeline stages

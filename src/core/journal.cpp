@@ -5,10 +5,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <set>
+#include <thread>
 
 #include "common/types.hpp"
 #include "core/metadata_io.hpp"
@@ -24,10 +26,15 @@ constexpr std::uint32_t kJournalMagic = 0xC5D17A6EU;
 // are self-versioned -- see write_chunk_entry -- so v1 files, and v1 rows
 // inside them, replay unchanged). v3 adds the topology records
 // (kBeginMigrate/kCommitMigrate) and an optional lifecycle byte on
-// kRegisterProvider; older files replay unchanged.
+// kRegisterProvider; older files replay unchanged. v4 appends a shard
+// stamp (u32 shard_index | u32 shard_count) to the header and is written
+// only by members of an N > 1 plane -- a 1-shard journal stays v3 so its
+// image is bit-identical to the unsharded layout.
 constexpr std::uint32_t kJournalVersion = 3;
+constexpr std::uint32_t kJournalShardVersion = 4;
 constexpr std::uint32_t kOldestReadableJournalVersion = 1;
 constexpr std::size_t kHeaderSize = 4 + 4 + 8;
+constexpr std::size_t kShardHeaderSize = kHeaderSize + 4 + 4;
 constexpr std::size_t kFrameOverhead = 4 + 4;  // length + crc
 
 [[nodiscard]] std::uint32_t load_u32(BytesView image, std::size_t off) {
@@ -56,12 +63,18 @@ constexpr std::size_t kFrameOverhead = 4 + 4;  // length + crc
   return Status::Ok();
 }
 
-[[nodiscard]] Bytes encode_header(std::uint64_t checkpoint_ops) {
+[[nodiscard]] Bytes encode_header(std::uint64_t checkpoint_ops,
+                                  std::uint32_t shard_index,
+                                  std::uint32_t shard_count) {
   Bytes out;
   wire::Writer w(out);
   w.u32(kJournalMagic);
-  w.u32(kJournalVersion);
+  w.u32(shard_count > 1 ? kJournalShardVersion : kJournalVersion);
   w.u64(checkpoint_ops);
+  if (shard_count > 1) {
+    w.u32(shard_index);
+    w.u32(shard_count);
+  }
   return out;
 }
 
@@ -235,16 +248,29 @@ Result<JournalReplay> replay_journal_image(BytesView image) {
     return Status::InvalidArgument("journal: bad magic");
   }
   const std::uint32_t version = load_u32(image, 4);
-  if (version < kOldestReadableJournalVersion || version > kJournalVersion) {
+  if (version < kOldestReadableJournalVersion ||
+      version > kJournalShardVersion) {
     return Status::InvalidArgument("journal: unsupported version");
   }
   JournalReplay out;
   for (int i = 0; i < 8; ++i) {
     out.checkpoint_ops |= static_cast<std::uint64_t>(image[8 + i]) << (8 * i);
   }
-  out.valid_bytes = kHeaderSize;
+  std::size_t header = kHeaderSize;
+  if (version >= kJournalShardVersion) {
+    if (image.size() < kShardHeaderSize) {
+      return Status::InvalidArgument("journal: truncated shard header");
+    }
+    out.shard_index = load_u32(image, 16);
+    out.shard_count = load_u32(image, 20);
+    if (out.shard_count < 2 || out.shard_index >= out.shard_count) {
+      return Status::InvalidArgument("journal: implausible shard stamp");
+    }
+    header = kShardHeaderSize;
+  }
+  out.valid_bytes = header;
 
-  std::size_t off = kHeaderSize;
+  std::size_t off = header;
   while (off + kFrameOverhead <= image.size()) {
     const std::uint32_t len = load_u32(image, off);
     const std::uint32_t crc = load_u32(image, off + 4);
@@ -263,33 +289,62 @@ Result<JournalReplay> replay_journal_image(BytesView image) {
 }
 
 Journal::Journal(std::filesystem::path path, int fd, std::size_t records,
-                 std::uint64_t bytes, std::uint64_t checkpoint_ops)
+                 std::uint64_t bytes, std::uint64_t checkpoint_ops,
+                 std::uint32_t shard_index, std::uint32_t shard_count)
     : path_(std::move(path)),
       fd_(fd),
       records_(records),
       bytes_(bytes),
-      checkpoint_ops_(checkpoint_ops) {}
+      checkpoint_ops_(checkpoint_ops),
+      shard_index_(shard_index),
+      shard_count_(shard_count),
+      header_size_(shard_count > 1 ? kShardHeaderSize : kHeaderSize) {
+  if (shard_count_ > 1) {
+    shard_flush_metric_ =
+        "journal.shard." + std::to_string(shard_index_) + ".flush_ns";
+  }
+}
 
 Journal::~Journal() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<std::unique_ptr<Journal>> Journal::open(std::filesystem::path path) {
+Result<std::unique_ptr<Journal>> Journal::open(std::filesystem::path path,
+                                               std::uint32_t shard_index,
+                                               std::uint32_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  if (shard_index >= shard_count) {
+    return Status::InvalidArgument("journal: shard index out of range");
+  }
   Bytes image;
   if (std::filesystem::exists(path)) {
     auto read = read_file_bytes(path);
     CS_RETURN_IF_ERROR(read.status());
     image = std::move(read).value();
   }
-  // A file shorter than the header is a crash while creating a fresh
-  // journal -- it cannot hold records, so recreate it.
-  const bool fresh = image.size() < kHeaderSize;
+  // A file shorter than its full header is a crash while creating a fresh
+  // journal -- it cannot hold records, so recreate it. A v4 header is
+  // longer, so a v4 file cut inside its shard stamp is fresh too.
+  bool fresh = image.size() < kHeaderSize;
+  if (!fresh && load_u32(image, 4) >= kJournalShardVersion &&
+      image.size() < kShardHeaderSize) {
+    fresh = true;
+  }
   std::size_t records = 0;
-  std::size_t valid = kHeaderSize;
+  std::size_t valid =
+      shard_count > 1 ? kShardHeaderSize : kHeaderSize;
   std::uint64_t checkpoint_ops = 0;
   if (!fresh) {
     auto replay = replay_journal_image(image);
     CS_RETURN_IF_ERROR(replay.status());
+    if (replay.value().shard_index != shard_index ||
+        replay.value().shard_count != shard_count) {
+      return Status::InvalidArgument(
+          "journal " + path.string() + ": shard stamp mismatch: file is shard " +
+          std::to_string(replay.value().shard_index) + " of " +
+          std::to_string(replay.value().shard_count) + ", opened as shard " +
+          std::to_string(shard_index) + " of " + std::to_string(shard_count));
+    }
     records = replay.value().records.size();
     valid = replay.value().valid_bytes;
     checkpoint_ops = replay.value().checkpoint_ops;
@@ -302,7 +357,7 @@ Result<std::unique_ptr<Journal>> Journal::open(std::filesystem::path path) {
       ::close(fd);
       return errno_status("journal truncate");
     }
-    const Bytes header = encode_header(0);
+    const Bytes header = encode_header(0, shard_index, shard_count);
     if (Status st = write_all(fd, header); !st.ok()) {
       ::close(fd);
       return st;
@@ -328,8 +383,9 @@ Result<std::unique_ptr<Journal>> Journal::open(std::filesystem::path path) {
     ::close(fd);
     return errno_status("journal seek");
   }
-  return std::unique_ptr<Journal>(
-      new Journal(std::move(path), fd, records, valid, checkpoint_ops));
+  return std::unique_ptr<Journal>(new Journal(std::move(path), fd, records,
+                                              valid, checkpoint_ops,
+                                              shard_index, shard_count));
 }
 
 void Journal::set_group_commit(const GroupCommitConfig& cfg) {
@@ -423,6 +479,12 @@ void Journal::flush_batch(std::unique_lock<std::mutex>& lk) {
           .observe(static_cast<double>(batch.size()));
       m.histogram("journal.flush_ns")
           .observe(static_cast<double>(flush_ns.count()));
+      if (!shard_flush_metric_.empty()) {
+        // Plane members also report their own flush lane so the SLO engine
+        // can tell one slow shard from a plane-wide sick disk.
+        m.histogram(shard_flush_metric_)
+            .observe(static_cast<double>(flush_ns.count()));
+      }
       if (batch.size() > 1) m.counter("journal.group_commits").inc();
     }
   }
@@ -478,15 +540,16 @@ Status Journal::checkpoint(const std::function<Bytes()>& snapshot,
   // apply_journal_record is idempotent for exactly this window.
   checkpoint_ops_ += records_;
   records_ = 0;
-  if (::ftruncate(fd_, static_cast<off_t>(kHeaderSize)) != 0) {
+  if (::ftruncate(fd_, static_cast<off_t>(header_size_)) != 0) {
     return errno_status("journal truncate");
   }
-  const Bytes header = encode_header(checkpoint_ops_);
+  const Bytes header =
+      encode_header(checkpoint_ops_, shard_index_, shard_count_);
   if (::lseek(fd_, 0, SEEK_SET) < 0) return errno_status("journal seek");
   CS_RETURN_IF_ERROR(write_all(fd_, header));
   if (::fsync(fd_) != 0) return errno_status("journal fsync");
   if (::lseek(fd_, 0, SEEK_END) < 0) return errno_status("journal seek");
-  bytes_ = kHeaderSize;
+  bytes_ = header_size_;
   return Status::Ok();
 }
 
@@ -655,13 +718,27 @@ Status apply_journal_record(MetadataStore& store, const JournalRecord& rec) {
 
 Result<RecoveredState> recover_metadata(
     const std::filesystem::path& checkpoint_path,
-    const std::filesystem::path& journal_path) {
+    const std::filesystem::path& journal_path,
+    std::uint32_t expected_shard_index,
+    std::uint32_t expected_shard_count) {
+  if (expected_shard_count == 0) expected_shard_count = 1;
   RecoveredState out;
   if (std::filesystem::exists(checkpoint_path)) {
     auto image = read_file_bytes(checkpoint_path);
     CS_RETURN_IF_ERROR(image.status());
-    auto restored = deserialize_metadata(image.value());
+    MetadataShardStamp stamp;
+    auto restored = deserialize_metadata(image.value(), &stamp);
     CS_RETURN_IF_ERROR(restored.status());
+    if (stamp.shard_index != expected_shard_index ||
+        stamp.shard_count != expected_shard_count) {
+      return Status::InvalidArgument(
+          "checkpoint " + checkpoint_path.string() +
+          ": shard stamp mismatch: image is shard " +
+          std::to_string(stamp.shard_index) + " of " +
+          std::to_string(stamp.shard_count) + ", recovering as shard " +
+          std::to_string(expected_shard_index) + " of " +
+          std::to_string(expected_shard_count));
+    }
     out.metadata = std::move(restored).value();
   } else {
     out.metadata = std::make_shared<MetadataStore>();
@@ -670,10 +747,24 @@ Result<RecoveredState> recover_metadata(
   if (std::filesystem::exists(journal_path)) {
     auto image = read_file_bytes(journal_path);
     CS_RETURN_IF_ERROR(image.status());
-    // Shorter than a header = crash while creating the file: no records.
-    if (image.value().size() >= kHeaderSize) {
+    // Shorter than its header = crash while creating the file: no records.
+    const bool sub_header =
+        image.value().size() < kHeaderSize ||
+        (load_u32(image.value(), 4) >= kJournalShardVersion &&
+         image.value().size() < kShardHeaderSize);
+    if (!sub_header) {
       auto replay = replay_journal_image(image.value());
       CS_RETURN_IF_ERROR(replay.status());
+      if (replay.value().shard_index != expected_shard_index ||
+          replay.value().shard_count != expected_shard_count) {
+        return Status::InvalidArgument(
+            "journal " + journal_path.string() +
+            ": shard stamp mismatch: file is shard " +
+            std::to_string(replay.value().shard_index) + " of " +
+            std::to_string(replay.value().shard_count) +
+            ", recovering as shard " + std::to_string(expected_shard_index) +
+            " of " + std::to_string(expected_shard_count));
+      }
       out.checkpoint_ops = replay.value().checkpoint_ops;
       std::set<std::pair<std::string, std::string>> open_puts;
       for (const JournalRecord& rec : replay.value().records) {
@@ -734,6 +825,102 @@ Result<RecoveredState> recover_metadata(
       }
     }
   }
+  return out;
+}
+
+std::filesystem::path shard_file_path(const std::filesystem::path& base,
+                                      std::size_t shard) {
+  if (shard == 0) return base;
+  return std::filesystem::path(base.string() + ".s" + std::to_string(shard));
+}
+
+Result<JournalShardInfo> probe_journal_shard(
+    const std::filesystem::path& path) {
+  if (!std::filesystem::exists(path)) {
+    return Status::NotFound("journal " + path.string() + ": no file");
+  }
+  auto image = read_file_bytes(path);
+  CS_RETURN_IF_ERROR(image.status());
+  const Bytes& bytes = image.value();
+  if (bytes.size() < kHeaderSize) {
+    return Status::NotFound("journal " + path.string() + ": no header");
+  }
+  if (load_u32(bytes, 0) != kJournalMagic) {
+    return Status::InvalidArgument("journal " + path.string() + ": bad magic");
+  }
+  JournalShardInfo info;
+  info.version = load_u32(bytes, 4);
+  if (info.version < kOldestReadableJournalVersion ||
+      info.version > kJournalShardVersion) {
+    return Status::InvalidArgument("journal " + path.string() +
+                                   ": unsupported version");
+  }
+  if (info.version >= kJournalShardVersion) {
+    if (bytes.size() < kShardHeaderSize) {
+      return Status::NotFound("journal " + path.string() +
+                              ": truncated shard header");
+    }
+    info.shard_index = load_u32(bytes, 16);
+    info.shard_count = load_u32(bytes, 20);
+    if (info.shard_count < 2 || info.shard_index >= info.shard_count) {
+      return Status::InvalidArgument("journal " + path.string() +
+                                     ": implausible shard stamp");
+    }
+  }
+  return info;
+}
+
+Result<PlaneRecovery> recover_plane(
+    const std::filesystem::path& checkpoint_base,
+    const std::filesystem::path& journal_base, std::size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  PlaneRecovery out;
+  out.shards.resize(shard_count);
+  std::vector<Result<RecoveredState>> results(
+      shard_count, Result<RecoveredState>(Status::Internal("not run")));
+  {
+    // One recovery worker per shard, clamped to the core count: each shard
+    // replays its own checkpoint + journal, so plane MTTR is the slowest
+    // shard, not the sum. Replay is CPU-bound, so threads beyond the
+    // hardware only add scheduling overhead; on a single-core host the
+    // whole plane recovers inline.
+    const std::size_t workers = std::min<std::size_t>(
+        shard_count,
+        std::max(1u, std::thread::hardware_concurrency()));
+    std::atomic<std::size_t> next{0};
+    const auto drain = [&] {
+      for (std::size_t s = next.fetch_add(1); s < shard_count;
+           s = next.fetch_add(1)) {
+        results[s] = recover_metadata(
+            shard_file_path(checkpoint_base, s),
+            shard_file_path(journal_base, s), static_cast<std::uint32_t>(s),
+            static_cast<std::uint32_t>(shard_count));
+      }
+    };
+    if (workers <= 1) {
+      drain();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(drain);
+      for (auto& t : threads) t.join();
+    }
+  }
+  std::set<std::pair<std::string, std::string>> in_flight;
+  std::set<std::pair<std::uint8_t, ProviderIndex>> intents;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    CS_RETURN_IF_ERROR(results[s].status());
+    out.shards[s] = std::move(results[s]).value();
+    out.replayed_records += out.shards[s].replayed_records;
+    for (const auto& put : out.shards[s].in_flight) in_flight.insert(put);
+    for (const MigrationIntent& m : out.shards[s].pending_migrations) {
+      if (intents.emplace(static_cast<std::uint8_t>(m.kind), m.provider)
+              .second) {
+        out.pending_migrations.push_back(m);
+      }
+    }
+  }
+  out.in_flight.assign(in_flight.begin(), in_flight.end());
   return out;
 }
 

@@ -9,6 +9,7 @@
 //
 // File layout:
 //   header : u32 magic | u32 version | u64 checkpoint_ops
+//            [v4: | u32 shard_index | u32 shard_count]
 //   frames : (u32 payload_len | u32 crc32(payload) | payload)*
 //
 // `checkpoint_ops` counts the records folded into checkpoints so far, so a
@@ -17,6 +18,15 @@
 // stops at the first frame whose length runs past the file or whose CRC
 // fails, and Journal::open truncates the tail so the next append lands on
 // a clean boundary.
+//
+// Sharded plane (v4): an N-way partitioned metadata plane gives every
+// partition its own journal file with its own group-commit lane. Those
+// files carry a self-describing shard stamp (shard_index / shard_count)
+// in a v4 header so a file can never be silently replayed into the wrong
+// plane shape: opening an N-shard member as 1-shard (or vice versa, or
+// with the wrong N) fails loudly. A 1-shard plane keeps writing the v3
+// header, so its on-disk image stays bit-identical to the unsharded
+// layout.
 //
 // Commit-point discipline (enforced by the distributor, verified by
 // tests/recovery_test.cpp):
@@ -134,6 +144,9 @@ struct JournalReplay {
   std::vector<JournalRecord> records;  ///< longest well-formed prefix
   std::uint64_t checkpoint_ops = 0;    ///< header field
   std::size_t valid_bytes = 0;  ///< bytes up to (excluding) the torn tail
+  /// Shard stamp (v4 header); a pre-v4 file is shard 0 of a 1-shard plane.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
 };
 
 /// Scans a full journal file image. A bad header is an error (the file is
@@ -173,9 +186,15 @@ class Journal {
 
   /// Opens (creating if absent) the journal at `path`. An existing file is
   /// scanned and any torn tail truncated away. Rejects files that are not
-  /// journals (bad magic / unknown version).
+  /// journals (bad magic / unknown version) and files whose shard stamp
+  /// disagrees with the expected one -- an N-shard member opened as
+  /// 1-shard, or with the wrong index/count, fails with a clear error
+  /// instead of replaying into the wrong plane shape. The default
+  /// (shard 0 of 1) is the unsharded layout and writes the bit-compatible
+  /// v3 header; shard_count > 1 writes the self-describing v4 header.
   [[nodiscard]] static Result<std::unique_ptr<Journal>> open(
-      std::filesystem::path path);
+      std::filesystem::path path, std::uint32_t shard_index = 0,
+      std::uint32_t shard_count = 1);
 
   /// Appends one framed record. The record is durable when this returns
   /// OK -- under group commit the fsync may be shared with other records
@@ -222,6 +241,9 @@ class Journal {
   /// Flushes that folded more than one record into a single fsync.
   [[nodiscard]] std::uint64_t group_commits() const;
   [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+  /// This file's shard stamp (0 of 1 for the unsharded layout).
+  [[nodiscard]] std::uint32_t shard_index() const { return shard_index_; }
+  [[nodiscard]] std::uint32_t shard_count() const { return shard_count_; }
 
   /// Crash-injection seams for tests: the flush leader calls these for
   /// every record of its batch, in commit order, immediately before the
@@ -247,7 +269,8 @@ class Journal {
   };
 
   Journal(std::filesystem::path path, int fd, std::size_t records,
-          std::uint64_t bytes, std::uint64_t checkpoint_ops);
+          std::uint64_t bytes, std::uint64_t checkpoint_ops,
+          std::uint32_t shard_index, std::uint32_t shard_count);
 
   /// Leader body: drains up to batch_ops waiters from the queue front
   /// (waiting batch_interval for the batch to fill), writes + fsyncs them
@@ -268,6 +291,12 @@ class Journal {
   std::uint64_t checkpoint_ops_ = 0;
   std::uint64_t flushes_ = 0;
   std::uint64_t group_commits_ = 0;
+  std::uint32_t shard_index_ = 0;
+  std::uint32_t shard_count_ = 1;
+  std::size_t header_size_ = 0;  ///< v3: 16 bytes; v4 (sharded): 24
+  /// Pre-built per-shard metric name ("journal.shard.<k>.flush_ns");
+  /// empty for a 1-shard plane, whose flushes report only the aggregate.
+  std::string shard_flush_metric_;
   std::shared_ptr<obs::Telemetry> telemetry_;  ///< null = no instrumentation
   obs::StallWatchdog* watchdog_ = nullptr;     ///< null = no stall brackets
 };
@@ -302,9 +331,52 @@ struct RecoveredState {
 
 /// Rebuilds the committed metadata state: checkpoint image (if any) plus
 /// the journal's well-formed record prefix (if any). Neither file existing
-/// yields an empty store -- a fresh deployment.
+/// yields an empty store -- a fresh deployment. The expected shard stamp
+/// defaults to the unsharded layout; images stamped otherwise are rejected
+/// (a plane member must be recovered as the shard it was written as).
 [[nodiscard]] Result<RecoveredState> recover_metadata(
     const std::filesystem::path& checkpoint_path,
-    const std::filesystem::path& journal_path);
+    const std::filesystem::path& journal_path,
+    std::uint32_t expected_shard_index = 0,
+    std::uint32_t expected_shard_count = 1);
+
+/// Path of shard `k`'s file under a plane's base path: the base itself for
+/// shard 0 (so a 1-shard plane is path-compatible with the unsharded
+/// layout), `<base>.s<k>` otherwise. Used for journals and checkpoints
+/// alike.
+[[nodiscard]] std::filesystem::path shard_file_path(
+    const std::filesystem::path& base, std::size_t shard);
+
+/// A journal file's header stamp, read without replaying it. NotFound when
+/// the file is absent or shorter than a full header (a fresh / mid-create
+/// file holds no records and carries no stamp).
+struct JournalShardInfo {
+  std::uint32_t version = 0;
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+};
+[[nodiscard]] Result<JournalShardInfo> probe_journal_shard(
+    const std::filesystem::path& path);
+
+/// What recovering an N-shard plane reconstructed: every shard's own
+/// RecoveredState plus the plane-wide unions reconcile() needs.
+struct PlaneRecovery {
+  std::vector<RecoveredState> shards;  ///< index = shard
+  /// Union of every shard's in-flight puts (each put lives in exactly one
+  /// shard's journal, so this is concatenation, deduped for safety).
+  std::vector<std::pair<std::string, std::string>> in_flight;
+  /// Pending migrations deduped by (kind, provider): topology intents are
+  /// broadcast to every shard's journal, so N shards report N copies.
+  std::vector<MigrationIntent> pending_migrations;
+  std::size_t replayed_records = 0;  ///< sum over shards
+};
+
+/// Recovers all `shard_count` members of a plane in parallel -- one thread
+/// per shard, each replaying its own checkpoint + journal (paths derived
+/// via shard_file_path) -- and validates every member's shard stamp.
+/// shard_count 1 is exactly recover_metadata on the base paths.
+[[nodiscard]] Result<PlaneRecovery> recover_plane(
+    const std::filesystem::path& checkpoint_base,
+    const std::filesystem::path& journal_base, std::size_t shard_count);
 
 }  // namespace cshield::core

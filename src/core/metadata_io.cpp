@@ -7,10 +7,14 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0xC5D47AB1;
 // v1: pre-ProtectionMode images. v2: chunk rows carry protection fields.
-// v3: provider rows carry a lifecycle byte (dynamic topology). Images are
-// written at kVersion; all versions deserialize -- a pre-v3 provider row
-// reads back kActive, the only state a static fleet could be in.
+// v3: provider rows carry a lifecycle byte (dynamic topology). v4: the
+// header carries a shard stamp (u32 shard_index | u32 shard_count) --
+// written only for partitions of an N > 1 metadata plane, so unsharded
+// images stay bit-identical to v3. All versions deserialize -- a pre-v3
+// provider row reads back kActive, the only state a static fleet could
+// be in; a pre-v4 image is shard 0 of 1.
 constexpr std::uint32_t kVersion = 3;
+constexpr std::uint32_t kShardVersion = 4;
 constexpr std::uint32_t kOldestReadableVersion = 1;
 
 // Leading marker of a protection-aware chunk row. A v1 row starts with its
@@ -166,10 +170,22 @@ bool read_chunk_entry(wire::Reader& r, ChunkEntry& e) {
 }
 
 Bytes serialize_metadata(const MetadataStore& store) {
+  return serialize_metadata(store, 0, 1);
+}
+
+Bytes serialize_metadata(const MetadataStore& store,
+                         std::uint32_t shard_index,
+                         std::uint32_t shard_count) {
   Bytes out;
   wire::Writer w(out);
   w.u32(kMagic);
-  w.u32(kVersion);
+  if (shard_count > 1) {
+    w.u32(kShardVersion);
+    w.u32(shard_index);
+    w.u32(shard_count);
+  } else {
+    w.u32(kVersion);
+  }
 
   const auto providers = store.provider_table();
   w.u32(static_cast<std::uint32_t>(providers.size()));
@@ -206,7 +222,8 @@ Bytes serialize_metadata(const MetadataStore& store) {
   return out;
 }
 
-Result<std::shared_ptr<MetadataStore>> deserialize_metadata(BytesView image) {
+Result<std::shared_ptr<MetadataStore>> deserialize_metadata(
+    BytesView image, MetadataShardStamp* stamp) {
   wire::Reader r(image);
   std::uint32_t magic = 0;
   std::uint32_t version = 0;
@@ -214,9 +231,20 @@ Result<std::shared_ptr<MetadataStore>> deserialize_metadata(BytesView image) {
     return Status::InvalidArgument("metadata image: bad magic");
   }
   if (!r.u32(version) || version < kOldestReadableVersion ||
-      version > kVersion) {
+      version > kShardVersion) {
     return Status::InvalidArgument("metadata image: unsupported version");
   }
+  MetadataShardStamp shard;
+  if (version >= kShardVersion) {
+    if (!r.u32(shard.shard_index) || !r.u32(shard.shard_count)) {
+      return Status::InvalidArgument("metadata image: truncated shard stamp");
+    }
+    if (shard.shard_count < 2 || shard.shard_index >= shard.shard_count) {
+      return Status::InvalidArgument(
+          "metadata image: implausible shard stamp");
+    }
+  }
+  if (stamp != nullptr) *stamp = shard;
   const Status truncated =
       Status::InvalidArgument("metadata image: truncated");
   // Every serialized element consumes at least one byte, so any count

@@ -17,13 +17,30 @@
 
 namespace cshield::core {
 
-/// Serializes the full table state.
+/// Serializes the full table state (the unsharded v3 image).
 [[nodiscard]] Bytes serialize_metadata(const MetadataStore& store);
 
+/// Serializes one partition of an N-way sharded metadata plane. With
+/// shard_count <= 1 the image is byte-identical to serialize_metadata;
+/// otherwise a v4 image carries a self-describing shard stamp right after
+/// the version word, so a partition snapshot can never be silently
+/// restored into the wrong plane shape.
+[[nodiscard]] Bytes serialize_metadata(const MetadataStore& store,
+                                       std::uint32_t shard_index,
+                                       std::uint32_t shard_count);
+
+/// Shard stamp of a metadata image; pre-v4 images are shard 0 of 1.
+struct MetadataShardStamp {
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+};
+
 /// Rebuilds a store from an image produced by serialize_metadata. Rejects
-/// bad magic, unknown versions and truncation.
+/// bad magic, unknown versions and truncation. `stamp` (optional)
+/// receives the image's shard stamp -- callers recovering a plane member
+/// validate it against the expected shard.
 [[nodiscard]] Result<std::shared_ptr<MetadataStore>> deserialize_metadata(
-    BytesView image);
+    BytesView image, MetadataShardStamp* stamp = nullptr);
 
 /// Writes one chunk-table row in the image's wire layout. Shared with the
 /// journal's commit/update records, so a replayed entry is byte-identical

@@ -40,10 +40,13 @@ Result<Migrator::Report> Migrator::do_run(MigrationKind kind,
     active_gauge->set(1);
   }
 
-  // Snapshot the table size once: chunks appended by concurrent writes land
-  // on the post-begin topology (placement already excludes a draining
-  // subject and still excludes a joining one), so they need no migration.
-  const std::size_t n = dist_.metadata().total_chunks();
+  // Snapshot the global index bound once: chunks appended by concurrent
+  // writes land on the post-begin topology (placement already excludes a
+  // draining subject and still excludes a joining one), so they need no
+  // migration. On a sharded plane the bound interleaves all partitions;
+  // sparse globals resolve to NotFound inside migrate_chunk and are
+  // skipped.
+  const std::size_t n = dist_.chunk_index_bound();
   Report report;
   Status first_error = Status::Ok();
 

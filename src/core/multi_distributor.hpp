@@ -7,9 +7,18 @@
 // distributor that will upload data, whereas other distributors will act as
 // secondary distributors who can perform the data retrieval operations."
 //
-// All front-ends share one MetadataStore (the consistent namespace) and one
-// ProviderRegistry; writes route to the client's primary, reads to any
-// distributor -- round-robin here, modelling read load spreading.
+// All front-ends share one MetadataPlane (the consistent namespace,
+// N-way sharded -- see core/metadata_plane.hpp) and one ProviderRegistry.
+// Writes route to the client's primary front-end (a stable hash of the
+// client name, so every group member computes the same assignment); reads
+// go to any front-end, round-robin. Either way the op resolves against the
+// (client, filename) pair's owning shard partition inside the plane, so a
+// read served by a secondary sees exactly what the primary committed.
+//
+// The group keeps per-front-end read/write counters for the convenience
+// API below: routing a read through front-end i charges front-end i, never
+// the primary that originally wrote the file -- per-distributor load
+// attribution stays correct even though the data resolves elsewhere.
 #pragma once
 
 #include <atomic>
@@ -18,32 +27,52 @@
 #include <vector>
 
 #include "core/distributor.hpp"
+#include "core/metadata_plane.hpp"
 #include "util/hash.hpp"
 
 namespace cshield::core {
 
 class DistributorGroup {
  public:
-  /// Builds `count` distributors over the shared registry/metadata. Seeds
-  /// are derived from config.seed so the group is reproducible.
+  /// Builds `count` front-ends over the shared registry and a shared
+  /// metadata plane. `config.plane` (when set) is used as-is -- pass a
+  /// journaled N-shard plane for a durable group; otherwise an in-memory
+  /// plane with `meta_shards` partitions is created. Seeds are derived
+  /// from config.seed so the group is reproducible.
   DistributorGroup(storage::ProviderRegistry& registry,
-                   DistributorConfig config, std::size_t count)
-      : metadata_(std::make_shared<MetadataStore>()) {
+                   DistributorConfig config, std::size_t count,
+                   std::size_t meta_shards = 1)
+      : plane_(config.plane != nullptr
+                   ? config.plane
+                   : MetadataPlane::make_in_memory(meta_shards)),
+        reads_(std::make_unique<std::atomic<std::uint64_t>[]>(count)),
+        writes_(std::make_unique<std::atomic<std::uint64_t>[]>(count)) {
     CS_REQUIRE(count > 0, "DistributorGroup needs >= 1 distributor");
     distributors_.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
       DistributorConfig c = config;
+      c.plane = plane_;
       c.seed = config.seed + 0x9E3779B9ULL * (i + 1);
-      distributors_.push_back(std::make_unique<CloudDataDistributor>(
-          registry, c, metadata_));
+      distributors_.push_back(
+          std::make_unique<CloudDataDistributor>(registry, c));
+      reads_[i].store(0, std::memory_order_relaxed);
+      writes_[i].store(0, std::memory_order_relaxed);
     }
   }
 
   [[nodiscard]] std::size_t size() const { return distributors_.size(); }
 
+  /// The client's primary front-end index: a stable hash of the client
+  /// name, identical on every group member (and across restarts). File
+  /// renames do not move a client to another primary -- only the client
+  /// name feeds the hash.
+  [[nodiscard]] std::size_t primary_index(const std::string& client) const {
+    return fnv1a64(client) % distributors_.size();
+  }
+
   /// The client's primary distributor (stable hash of the client name).
   [[nodiscard]] CloudDataDistributor& primary_for(const std::string& client) {
-    return *distributors_[fnv1a64(client) % distributors_.size()];
+    return *distributors_[primary_index(client)];
   }
 
   /// Any distributor, round-robin -- the read path.
@@ -61,28 +90,45 @@ class DistributorGroup {
   //     routing discipline --------------------------------------------------
 
   Status register_client(const std::string& client) {
-    return primary_for(client).register_client(client);
+    return write_via(primary_index(client)).register_client(client);
   }
 
   Status add_password(const std::string& client, const std::string& password,
                       PrivacyLevel pl) {
-    return primary_for(client).add_password(client, password, pl);
+    return write_via(primary_index(client)).add_password(client, password, pl);
   }
 
   /// Uploads go through the client's primary.
   Status put_file(const std::string& client, const std::string& password,
                   const std::string& filename, BytesView data,
                   const PutOptions& options, OpReport* report = nullptr) {
-    return primary_for(client).put_file(client, password, filename, data,
-                                        options, report);
+    return write_via(primary_index(client))
+        .put_file(client, password, filename, data, options, report);
   }
 
-  /// Retrievals may hit any distributor (they share the tables).
+  /// Modifications are writes: they go through the primary too.
+  Status update_chunk(const std::string& client, const std::string& password,
+                      const std::string& filename, std::uint64_t serial,
+                      BytesView new_data, OpReport* report = nullptr) {
+    return write_via(primary_index(client))
+        .update_chunk(client, password, filename, serial, new_data, report);
+  }
+
+  Status remove_file(const std::string& client, const std::string& password,
+                     const std::string& filename) {
+    return write_via(primary_index(client))
+        .remove_file(client, password, filename);
+  }
+
+  /// Retrievals may hit any distributor; the serving front-end is charged
+  /// the read (its spans/counters carry the op), while the data resolves
+  /// against the owning shard of the shared plane.
   [[nodiscard]] Result<Bytes> get_file(const std::string& client,
                                        const std::string& password,
                                        const std::string& filename,
                                        OpReport* report = nullptr) {
-    return any().get_file(client, password, filename, report);
+    return read_via(next_read_index())
+        .get_file(client, password, filename, report);
   }
 
   [[nodiscard]] Result<Bytes> get_chunk(const std::string& client,
@@ -90,13 +136,55 @@ class DistributorGroup {
                                         const std::string& filename,
                                         std::uint64_t serial,
                                         OpReport* report = nullptr) {
-    return any().get_chunk(client, password, filename, serial, report);
+    return read_via(next_read_index())
+        .get_chunk(client, password, filename, serial, report);
   }
 
-  [[nodiscard]] const MetadataStore& metadata() const { return *metadata_; }
+  [[nodiscard]] Result<std::vector<CloudDataDistributor::FileInfo>>
+  list_files(const std::string& client, const std::string& password) {
+    return read_via(next_read_index()).list_files(client, password);
+  }
+
+  /// Per-front-end load attribution for the convenience API above.
+  struct FrontEndLoad {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+  };
+  [[nodiscard]] std::vector<FrontEndLoad> load() const {
+    std::vector<FrontEndLoad> out(distributors_.size());
+    for (std::size_t i = 0; i < distributors_.size(); ++i) {
+      out[i].reads = reads_[i].load(std::memory_order_relaxed);
+      out[i].writes = writes_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  /// The shared metadata plane (and its shard-0 partition, kept for
+  /// callers that predate sharding).
+  [[nodiscard]] const std::shared_ptr<MetadataPlane>& plane() const {
+    return plane_;
+  }
+  [[nodiscard]] const MetadataStore& metadata() const {
+    return plane_->store(0);
+  }
 
  private:
-  std::shared_ptr<MetadataStore> metadata_;
+  [[nodiscard]] std::size_t next_read_index() {
+    return next_.fetch_add(1, std::memory_order_relaxed) %
+           distributors_.size();
+  }
+  CloudDataDistributor& read_via(std::size_t i) {
+    reads_[i].fetch_add(1, std::memory_order_relaxed);
+    return *distributors_[i];
+  }
+  CloudDataDistributor& write_via(std::size_t i) {
+    writes_[i].fetch_add(1, std::memory_order_relaxed);
+    return *distributors_[i];
+  }
+
+  std::shared_ptr<MetadataPlane> plane_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> reads_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> writes_;
   std::vector<std::unique_ptr<CloudDataDistributor>> distributors_;
   std::atomic<std::size_t> next_{0};
 };

@@ -70,7 +70,9 @@ class Scrubber {
     if (tel->enabled()) proto.op_id = tel->tracer().next_id();
     obs::ScopedSpan span(tel, std::move(proto));
 
-    const std::size_t n = dist_.metadata().total_chunks();
+    // Global index bound: on a sharded plane this interleaves every
+    // partition; sparse globals heal as NotFound no-ops.
+    const std::size_t n = dist_.chunk_index_bound();
     // `scrub.progress` (0..100) makes a long pass visible mid-flight; a
     // scrape between passes reads 100 (the last pass completed).
     obs::Gauge* progress_gauge =

@@ -22,6 +22,9 @@
 //   latency.put     rolling p99 of cdd.put_file_wall_ns vs target
 //   latency.get     rolling p99 of cdd.get_file_wall_ns vs target
 //   journal.flush   rolling p99 of journal.flush_ns vs target
+//   journal.shard.<k>.flush  same, per WAL commit lane of an N-shard
+//                   metadata plane (discovered from the metric namespace;
+//                   absent on a 1-shard journal)
 //   scrub.integrity digest mismatches / chunks scanned over the window
 //   breakers        open breakers right now (rt.open_breakers)
 //   batcher.queue   pending shard puts right now (cdd.shard_batch_queue_depth)
@@ -363,6 +366,31 @@ class HealthEngine {
                  policy_.get_p99_target_ns);
     push_latency(ring, report, "journal.flush", "journal.flush_ns",
                  policy_.flush_p99_target_ns);
+    // Per-shard journal flush lanes (N-way metadata plane only; a 1-shard
+    // journal never emits these). Discovered from the metric namespace --
+    // journal.shard.<k>.flush_ns -- like providers, so one slow fsync lane
+    // shows up even when the aggregate p99 hides behind healthy shards.
+    {
+      static constexpr std::string_view kShardPrefix = "journal.shard.";
+      static constexpr std::string_view kShardSuffix = ".flush_ns";
+      for (const auto& [metric, unused] : ring.back().snap.histograms) {
+        (void)unused;
+        if (metric.size() <= kShardPrefix.size() + kShardSuffix.size()) {
+          continue;
+        }
+        if (metric.compare(0, kShardPrefix.size(), kShardPrefix) != 0) {
+          continue;
+        }
+        if (!ends_with(metric, kShardSuffix)) continue;
+        const std::string shard =
+            metric.substr(kShardPrefix.size(), metric.size() -
+                                                   kShardPrefix.size() -
+                                                   kShardSuffix.size());
+        const std::string slo = "journal.shard." + shard + ".flush";
+        push_latency(ring, report, slo.c_str(), metric.c_str(),
+                     policy_.flush_p99_target_ns);
+      }
+    }
     // scrub integrity: corrupt shards per chunk scanned in the window.
     {
       const std::uint64_t scanned =
